@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks of the encoding and validation layer, plus
+//! the FPGA estimation model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tta_model::presets;
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encoding");
+    for machine in presets::all_design_points() {
+        g.bench_with_input(
+            BenchmarkId::new("instruction_bits", &machine.name),
+            &machine,
+            |b, m| b.iter(|| std::hint::black_box(tta_isa::encoding::instruction_bits(m))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_validate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("validate");
+    g.sample_size(30);
+    let module = (tta_chstone::by_name("motion").unwrap().build)();
+    for machine in [presets::m_tta_2(), presets::m_vliw_2()] {
+        let compiled = tta_compiler::compile(&module, &machine).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("motion", &machine.name),
+            &(machine, compiled),
+            |b, (m, compiled)| {
+                b.iter(|| compiled.program.validate(std::hint::black_box(m)).is_ok())
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_fpga_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fpga_estimate");
+    for machine in [presets::m_tta_3(), presets::m_vliw_3()] {
+        g.bench_with_input(BenchmarkId::from_parameter(&machine.name), &machine, |b, m| {
+            b.iter(|| std::hint::black_box(tta_fpga::estimate(m)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encoding, bench_validate, bench_fpga_model);
+criterion_main!(benches);

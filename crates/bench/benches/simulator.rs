@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks of the cycle-accurate simulators: simulated
+//! cycles per second of host time for each programming model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tta_model::presets;
+
+fn bench_simulators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate");
+    g.sample_size(20);
+    let kernel = tta_chstone::by_name("sha").unwrap();
+    let module = (kernel.build)();
+    for machine in [presets::mblaze_3(), presets::m_vliw_2(), presets::m_tta_2()] {
+        let compiled = tta_compiler::compile(&module, &machine).unwrap();
+        let memory = module.initial_memory();
+        // Report throughput in simulated cycles.
+        let cycles = tta_sim::run(&machine, &compiled.program, memory.clone())
+            .unwrap()
+            .cycles;
+        g.throughput(Throughput::Elements(cycles));
+        g.bench_with_input(
+            BenchmarkId::new("sha", &machine.name),
+            &(machine, compiled, memory),
+            |b, (m, compiled, memory)| {
+                b.iter(|| {
+                    let r = tta_sim::run(m, &compiled.program, memory.clone())
+                        .expect("runs");
+                    std::hint::black_box(r.cycles)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interpreter");
+    g.sample_size(20);
+    let module = (tta_chstone::by_name("sha").unwrap().build)();
+    g.bench_function("sha_golden_model", |b| {
+        b.iter(|| {
+            let r = tta_ir::interp::Interpreter::new(std::hint::black_box(&module))
+                .run(&[])
+                .expect("runs");
+            std::hint::black_box(r.ret)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulators, bench_interpreter);
+criterion_main!(benches);

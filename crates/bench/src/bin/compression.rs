@@ -1,0 +1,35 @@
+//! Dictionary-compression study for TTA program images (paper §VI future
+//! work; §III cites Heikkinen et al. \[24\] for the mechanism).
+//!
+//!     cargo run --release -p tta-bench --bin compression
+
+use tta_explore::compression::dictionary_compress;
+use tta_model::presets;
+
+fn main() {
+    println!("full-instruction dictionary compression of TTA program images\n");
+    println!(
+        "{:10} {:>9} {:>7} {:>7} {:>11} {:>11} {:>7}",
+        "machine", "kernel", "instrs", "dict", "raw bits", "packed bits", "ratio"
+    );
+    for machine in presets::all_design_points() {
+        if machine.style != tta_model::CoreStyle::Tta {
+            continue;
+        }
+        for kernel in tta_chstone::all_kernels() {
+            let module = (kernel.build)();
+            let compiled = tta_compiler::compile(&module, &machine).expect("compiles");
+            let c = dictionary_compress(&machine, &compiled.program);
+            println!(
+                "{:10} {:>9} {:>7} {:>7} {:>11} {:>11} {:>6.2}x",
+                machine.name,
+                kernel.name,
+                c.instructions,
+                c.dictionary_entries,
+                c.uncompressed_bits,
+                c.compressed_bits,
+                c.ratio()
+            );
+        }
+    }
+}

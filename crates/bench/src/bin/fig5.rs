@@ -1,0 +1,5 @@
+//! Regenerate Fig. 5 of the paper (execution times at achieved fmax).
+fn main() {
+    let reports = tta_bench::full_evaluation();
+    println!("{}", tta_explore::figures::fig5(&reports));
+}

@@ -1,0 +1,5 @@
+//! Regenerate Fig. 6 of the paper (performance/area scatter).
+fn main() {
+    let reports = tta_bench::full_evaluation();
+    println!("{}", tta_explore::figures::fig6(&reports));
+}

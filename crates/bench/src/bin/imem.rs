@@ -1,0 +1,44 @@
+//! Instruction-memory hierarchy study (paper §V-D): simulate a small
+//! per-core instruction cache over real dynamic PC traces and report the
+//! effective slowdown per design point — quantifying the claim that TTA's
+//! larger images are amortised by the memory hierarchy while its RF savings
+//! are paid per core.
+//!
+//!     cargo run --release -p tta-bench --bin imem
+
+use tta_explore::imem::{kernel_icache, ICacheConfig};
+use tta_model::presets;
+
+fn main() {
+    let cfg = ICacheConfig::small();
+    println!(
+        "16 kbit 2-way I-cache, 8-instruction lines, 10-cycle refills\n"
+    );
+    println!(
+        "{:10} {:>9} {:>7} {:>10} {:>9} {:>9}",
+        "machine", "kernel", "lines", "accesses", "miss rate", "slowdown"
+    );
+    for machine in presets::all_design_points() {
+        for kernel in ["gsm", "motion", "sha"] {
+            let k = tta_chstone::by_name(kernel).unwrap();
+            let module = (k.build)();
+            let compiled = tta_compiler::compile(&module, &machine).expect("compiles");
+            let (report, slowdown) =
+                kernel_icache(&machine, &compiled.program, module.initial_memory(), cfg);
+            println!(
+                "{:10} {:>9} {:>7} {:>10} {:>8.2}% {:>8.3}x",
+                machine.name,
+                kernel,
+                report.lines,
+                report.accesses,
+                report.miss_rate() * 100.0,
+                slowdown
+            );
+        }
+    }
+    println!(
+        "\nEven the widest TTA instructions keep loop working sets resident:\n\
+         the image-size penalty turns into a one-time cold-miss cost, while\n\
+         the register-file savings recur per core (paper §V-D)."
+    );
+}

@@ -1,0 +1,10 @@
+//! Regenerate every table and figure of the paper in one pass.
+fn main() {
+    let reports = tta_bench::full_evaluation();
+    println!("{}", tta_explore::tables::table1());
+    println!("{}", tta_explore::tables::table2(&reports));
+    println!("{}", tta_explore::tables::table3(&reports));
+    println!("{}", tta_explore::tables::table4(&reports));
+    println!("{}", tta_explore::figures::fig5(&reports));
+    println!("{}", tta_explore::figures::fig6(&reports));
+}

@@ -1,0 +1,16 @@
+//! Bus-count design-space sweep for dual- and triple-issue TTAs
+//! (the trade-off the paper's bm-tta points sample).
+//!
+//!     cargo run --release -p tta-bench --bin sweep
+
+fn main() {
+    let kernels: Vec<_> = ["gsm", "motion", "sha"]
+        .iter()
+        .map(|n| tta_chstone::by_name(n).expect("kernel"))
+        .collect();
+    for issue in [2u8, 3] {
+        println!("== issue width {issue}");
+        let pts = tta_explore::sweep_bus_count(issue, 3, 9, &kernels);
+        println!("{}", tta_explore::sweep::render(&pts));
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerate Table 1 of the paper.
+fn main() {
+    println!("{}", tta_explore::tables::table1());
+}

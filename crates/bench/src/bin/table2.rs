@@ -1,0 +1,5 @@
+//! Regenerate Table 2 of the paper.
+fn main() {
+    let reports = tta_bench::full_evaluation();
+    println!("{}", tta_explore::tables::table2(&reports));
+}

@@ -1,0 +1,41 @@
+//! # tta-bench — benchmark harness and table/figure reproduction
+//!
+//! * `cargo run --release -p tta-bench --bin table1..table4 | fig5 | fig6`
+//!   regenerates the corresponding table/figure of the paper from a full
+//!   evaluation (all thirteen design points, all eight kernels).
+//! * `cargo run --release -p tta-bench --bin repro` prints everything in
+//!   one pass (used to fill `EXPERIMENTS.md`).
+//! * `cargo bench` runs the Criterion micro-benchmarks of the toolchain
+//!   itself (scheduler, simulator, encoder, end-to-end pipeline).
+
+#![warn(missing_docs)]
+
+use tta_explore::MachineReport;
+
+/// Run the full evaluation once (13 machines x 8 kernels).
+pub fn full_evaluation() -> Vec<MachineReport> {
+    tta_explore::evaluate_all()
+}
+
+/// A small subset evaluation for fast smoke tests.
+pub fn quick_evaluation() -> Vec<MachineReport> {
+    let machines = vec![
+        tta_model::presets::mblaze_3(),
+        tta_model::presets::m_vliw_2(),
+        tta_model::presets::m_tta_2(),
+    ];
+    let kernels: Vec<_> = ["sha", "motion"]
+        .iter()
+        .map(|n| tta_chstone::by_name(n).expect("kernel"))
+        .collect();
+    tta_explore::evaluate(&machines, &kernels)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_evaluation_works() {
+        let r = super::quick_evaluation();
+        assert_eq!(r.len(), 3);
+    }
+}

@@ -1,0 +1,324 @@
+//! `adpcm` — IMA ADPCM speech codec (CHStone's `adpcm` workload).
+//!
+//! Encodes 128 synthetic 16-bit samples to 4-bit ADPCM codes and decodes
+//! them back, with the step-size and index-adaptation tables in data
+//! memory. The control-heavy quantisation (three successive
+//! compare-subtract steps plus clamping) matches the branchy profile of
+//! the CHStone original.
+
+use crate::util::{for_range, if_else, if_then};
+use tta_ir::{FunctionBuilder, Module, ModuleBuilder, VReg};
+
+const N: usize = 128;
+
+/// IMA step-size table.
+const STEP_TABLE: [i32; 89] = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
+    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
+    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
+    32767,
+];
+
+/// IMA index-adaptation table.
+const INDEX_TABLE: [i32; 16] = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8];
+
+/// Deterministic synthetic speech-like input.
+fn samples() -> Vec<i32> {
+    (0..N as i32)
+        .map(|i| {
+            let saw = ((i * 997) & 0x3fff) - 0x2000;
+            let jitter = ((i * i * 31) & 0xff) - 128;
+            (saw + jitter).clamp(-32768, 32767)
+        })
+        .collect()
+}
+
+fn clamp16(v: i32) -> i32 {
+    v.clamp(-32768, 32767)
+}
+
+fn encode_step(sample: i32, valpred: &mut i32, index: &mut i32) -> i32 {
+    let step = STEP_TABLE[*index as usize];
+    let mut diff = sample - *valpred;
+    let sign = if diff < 0 { 8 } else { 0 };
+    if sign != 0 {
+        diff = -diff;
+    }
+    let mut delta = 0;
+    let mut vpdiff = step >> 3;
+    let mut s = step;
+    if diff >= s {
+        delta = 4;
+        diff -= s;
+        vpdiff += s;
+    }
+    s >>= 1;
+    if diff >= s {
+        delta |= 2;
+        diff -= s;
+        vpdiff += s;
+    }
+    s >>= 1;
+    if diff >= s {
+        delta |= 1;
+        vpdiff += s;
+    }
+    if sign != 0 {
+        *valpred -= vpdiff;
+    } else {
+        *valpred += vpdiff;
+    }
+    *valpred = clamp16(*valpred);
+    delta |= sign;
+    *index = (*index + INDEX_TABLE[delta as usize]).clamp(0, 88);
+    delta
+}
+
+fn decode_step(delta: i32, valpred: &mut i32, index: &mut i32) -> i32 {
+    let step = STEP_TABLE[*index as usize];
+    let sign = delta & 8;
+    let d = delta & 7;
+    let mut vpdiff = step >> 3;
+    if d & 4 != 0 {
+        vpdiff += step;
+    }
+    if d & 2 != 0 {
+        vpdiff += step >> 1;
+    }
+    if d & 1 != 0 {
+        vpdiff += step >> 2;
+    }
+    if sign != 0 {
+        *valpred -= vpdiff;
+    } else {
+        *valpred += vpdiff;
+    }
+    *valpred = clamp16(*valpred);
+    *index = (*index + INDEX_TABLE[delta as usize]).clamp(0, 88);
+    *valpred
+}
+
+/// Native reference: encode then decode; the checksum mixes every code and
+/// every reconstructed sample.
+pub fn expected() -> i32 {
+    let input = samples();
+    let mut sum = 0x1357i32;
+    let (mut vp, mut idx) = (0, 0);
+    let mut codes = Vec::with_capacity(N);
+    for &s in &input {
+        let d = encode_step(s, &mut vp, &mut idx);
+        codes.push(d);
+        sum = (sum.wrapping_mul(33)) ^ d;
+    }
+    let (mut vp, mut idx) = (0, 0);
+    for &d in &codes {
+        let r = decode_step(d, &mut vp, &mut idx);
+        sum = (sum.wrapping_mul(33)) ^ r;
+    }
+    sum
+}
+
+/// Emit `v = v.clamp(-32768, 32767)` in place.
+fn emit_clamp16(fb: &mut FunctionBuilder, v: VReg) {
+    let hi = fb.gt(v, 32767);
+    if_then(fb, hi, |fb| fb.copy_to(v, 32767));
+    let lo = fb.lt(v, -32768);
+    if_then(fb, lo, |fb| fb.copy_to(v, -32768));
+}
+
+/// Build the IR module.
+pub fn build() -> Module {
+    let mut mb = ModuleBuilder::new("adpcm");
+    let steps = mb.data_words(&STEP_TABLE);
+    let idxs = mb.data_words(&INDEX_TABLE);
+    let input = mb.data_words(&samples());
+    let codes = mb.buffer((N * 4) as u32);
+    let recon = mb.buffer((N * 4) as u32);
+    let mut fb = FunctionBuilder::new("main", 0, true);
+
+    let steps_base = fb.copy(steps.addr as i32);
+    let idxs_base = fb.copy(idxs.addr as i32);
+    let sum = fb.copy(0x1357);
+
+    // ---- encoder ----
+    let vp = fb.copy(0);
+    let index = fb.copy(0);
+    for_range(&mut fb, N as i32, |fb, i| {
+        let off = fb.shl(i, 2);
+        let ia = fb.add(input.addr as i32, off);
+        let sample = fb.ldw(ia, input.region);
+
+        let so = fb.shl(index, 2);
+        let sa = fb.add(steps_base, so);
+        let step = fb.ldw(sa, steps.region);
+
+        let diff = fb.sub(sample, vp);
+        let sign = fb.vreg();
+        let adiff = fb.vreg();
+        let neg = fb.lt(diff, 0);
+        if_else(
+            fb,
+            neg,
+            |fb| {
+                fb.copy_to(sign, 8);
+                let n = fb.sub(0, diff);
+                fb.copy_to(adiff, n);
+            },
+            |fb| {
+                fb.copy_to(sign, 0);
+                fb.copy_to(adiff, diff);
+            },
+        );
+
+        let delta = fb.copy(0);
+        let vpd0 = fb.shr(step, 3);
+        let vpd = fb.copy(vpd0);
+        let s = fb.copy(step);
+        for bit in [4, 2, 1] {
+            let ge = fb.ge(adiff, s);
+            if_then(fb, ge, |fb| {
+                let nd = fb.ior(delta, bit);
+                fb.copy_to(delta, nd);
+                let na = fb.sub(adiff, s);
+                fb.copy_to(adiff, na);
+                let nv = fb.add(vpd, s);
+                fb.copy_to(vpd, nv);
+            });
+            let ns = fb.shr(s, 1);
+            fb.copy_to(s, ns);
+        }
+
+        if_else(
+            fb,
+            sign,
+            |fb| {
+                let n = fb.sub(vp, vpd);
+                fb.copy_to(vp, n);
+            },
+            |fb| {
+                let n = fb.add(vp, vpd);
+                fb.copy_to(vp, n);
+            },
+        );
+        emit_clamp16(fb, vp);
+
+        let code = fb.ior(delta, sign);
+        let ca = fb.add(codes.addr as i32, off);
+        fb.stw(code, ca, codes.region);
+
+        let io = fb.shl(code, 2);
+        let ia2 = fb.add(idxs_base, io);
+        let adj = fb.ldw(ia2, idxs.region);
+        let ni = fb.add(index, adj);
+        fb.copy_to(index, ni);
+        let lo = fb.lt(index, 0);
+        if_then(fb, lo, |fb| fb.copy_to(index, 0));
+        let hi = fb.gt(index, 88);
+        if_then(fb, hi, |fb| fb.copy_to(index, 88));
+
+        let m = fb.mul(sum, 33);
+        let x = fb.xor(m, code);
+        fb.copy_to(sum, x);
+    });
+
+    // ---- decoder ----
+    let dvp = fb.copy(0);
+    let didx = fb.copy(0);
+    for_range(&mut fb, N as i32, |fb, i| {
+        let off = fb.shl(i, 2);
+        let ca = fb.add(codes.addr as i32, off);
+        let code = fb.ldw(ca, codes.region);
+
+        let so = fb.shl(didx, 2);
+        let sa = fb.add(steps_base, so);
+        let step = fb.ldw(sa, steps.region);
+
+        let vpd0 = fb.shr(step, 3);
+        let acc = fb.copy(vpd0);
+        // Bit 4 adds step, bit 2 adds step>>1, bit 1 adds step>>2.
+        for (bit, sh) in [(4, 0), (2, 1), (1, 2)] {
+            let b = fb.and(code, bit);
+            if_then(fb, b, |fb| {
+                let inc = fb.shr(step, sh);
+                let n = fb.add(acc, inc);
+                fb.copy_to(acc, n);
+            });
+        }
+        let sign = fb.and(code, 8);
+        if_else(
+            fb,
+            sign,
+            |fb| {
+                let n = fb.sub(dvp, acc);
+                fb.copy_to(dvp, n);
+            },
+            |fb| {
+                let n = fb.add(dvp, acc);
+                fb.copy_to(dvp, n);
+            },
+        );
+        emit_clamp16(fb, dvp);
+
+        let ra = fb.add(recon.addr as i32, off);
+        fb.stw(dvp, ra, recon.region);
+
+        let io = fb.shl(code, 2);
+        let ia2 = fb.add(idxs_base, io);
+        let adj = fb.ldw(ia2, idxs.region);
+        let ni = fb.add(didx, adj);
+        fb.copy_to(didx, ni);
+        let lo = fb.lt(didx, 0);
+        if_then(fb, lo, |fb| fb.copy_to(didx, 0));
+        let hi = fb.gt(didx, 88);
+        if_then(fb, hi, |fb| fb.copy_to(didx, 88));
+
+        let m = fb.mul(sum, 33);
+        let x = fb.xor(m, dvp);
+        fb.copy_to(sum, x);
+    });
+
+    fb.ret(sum);
+    let id = mb.add(fb.finish());
+    mb.set_entry(id);
+    mb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_ir::interp::run_ret;
+
+    #[test]
+    fn matches_reference() {
+        assert_eq!(run_ret(&build(), &[]), expected());
+    }
+
+    #[test]
+    fn decoder_tracks_encoder_closely() {
+        let input = samples();
+        let (mut vp, mut idx) = (0, 0);
+        let codes: Vec<i32> =
+            input.iter().map(|&s| encode_step(s, &mut vp, &mut idx)).collect();
+        let (mut vp, mut idx) = (0, 0);
+        let recon: Vec<i32> =
+            codes.iter().map(|&d| decode_step(d, &mut vp, &mut idx)).collect();
+        // The input sawtooth has abrupt wraps ADPCM cannot follow
+        // instantly, so demand bounded *average* error rather than
+        // per-sample tracking.
+        let mean_err: i64 = input
+            .iter()
+            .zip(&recon)
+            .skip(16)
+            .map(|(s, r)| (s - r).abs() as i64)
+            .sum::<i64>()
+            / (input.len() as i64 - 16);
+        assert!(mean_err < 2500, "mean reconstruction error {mean_err}");
+    }
+
+    #[test]
+    fn encode_is_deterministic() {
+        assert_eq!(expected(), expected());
+    }
+}

@@ -1,0 +1,356 @@
+//! `aes` — AES-128 encryption (CHStone's `aes` workload).
+//!
+//! Expands a 128-bit key in-kernel and ECB-encrypts four 16-byte blocks,
+//! with the S-box and round constants as in-memory tables. All state is
+//! byte-addressed (`ldqu`/`stq`), matching the table-lookup-heavy profile
+//! of the CHStone original; `xtime` uses a branch-free mask so MixColumns
+//! stays straight-line code.
+
+use crate::util::{for_range, if_then, XorShift32};
+use tta_ir::{FunctionBuilder, Module, ModuleBuilder, Operand, VReg};
+
+const BLOCKS: usize = 4;
+
+/// The AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// ShiftRows source index per destination byte (column-major state layout).
+const SHIFT: [usize; 16] = [0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11];
+
+fn key_bytes() -> [u8; 16] {
+    let mut k = [0u8; 16];
+    let mut rng = XorShift32(0x0ae5_cafe);
+    for b in &mut k {
+        *b = rng.next() as u8;
+    }
+    k
+}
+
+fn plaintext() -> Vec<u8> {
+    let mut p = vec![0u8; BLOCKS * 16];
+    let mut rng = XorShift32(0x9e37_79b9);
+    for b in &mut p {
+        *b = rng.next() as u8;
+    }
+    p
+}
+
+// ---- native reference ----
+
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ (if x & 0x80 != 0 { 0x1b } else { 0 })
+}
+
+fn expand_key(key: &[u8; 16]) -> [u8; 176] {
+    let mut rk = [0u8; 176];
+    rk[..16].copy_from_slice(key);
+    for i in 4..44 {
+        let mut t = [
+            rk[4 * (i - 1)],
+            rk[4 * (i - 1) + 1],
+            rk[4 * (i - 1) + 2],
+            rk[4 * (i - 1) + 3],
+        ];
+        if i % 4 == 0 {
+            t.rotate_left(1);
+            for b in &mut t {
+                *b = SBOX[*b as usize];
+            }
+            t[0] ^= RCON[i / 4 - 1];
+        }
+        for j in 0..4 {
+            rk[4 * i + j] = rk[4 * (i - 4) + j] ^ t[j];
+        }
+    }
+    rk
+}
+
+fn encrypt_block(state: &mut [u8; 16], rk: &[u8; 176]) {
+    let ark = |s: &mut [u8; 16], r: usize| {
+        for i in 0..16 {
+            s[i] ^= rk[16 * r + i];
+        }
+    };
+    let sub_shift = |s: &mut [u8; 16]| {
+        let old = *s;
+        for i in 0..16 {
+            s[i] = SBOX[old[SHIFT[i]] as usize];
+        }
+    };
+    ark(state, 0);
+    for r in 1..=9 {
+        sub_shift(state);
+        for c in 0..4 {
+            let a: [u8; 4] = state[4 * c..4 * c + 4].try_into().unwrap();
+            state[4 * c] = xtime(a[0]) ^ xtime(a[1]) ^ a[1] ^ a[2] ^ a[3];
+            state[4 * c + 1] = a[0] ^ xtime(a[1]) ^ xtime(a[2]) ^ a[2] ^ a[3];
+            state[4 * c + 2] = a[0] ^ a[1] ^ xtime(a[2]) ^ xtime(a[3]) ^ a[3];
+            state[4 * c + 3] = xtime(a[0]) ^ a[0] ^ a[1] ^ a[2] ^ xtime(a[3]);
+        }
+        ark(state, r);
+    }
+    sub_shift(state);
+    ark(state, 10);
+}
+
+/// Native reference: rotating-XOR checksum over all ciphertext bytes.
+pub fn expected() -> i32 {
+    let rk = expand_key(&key_bytes());
+    let pt = plaintext();
+    let mut sum: u32 = 1;
+    for blk in 0..BLOCKS {
+        let mut st: [u8; 16] = pt[blk * 16..blk * 16 + 16].try_into().unwrap();
+        encrypt_block(&mut st, &rk);
+        for b in st {
+            sum = sum.rotate_left(5) ^ (b as u32);
+        }
+    }
+    sum as i32
+}
+
+// ---- IR implementation ----
+
+/// `xtime` as branch-free IR: `((x<<1) ^ ((-(x>>7)) & 0x1b)) & 0xff`.
+fn emit_xtime(fb: &mut FunctionBuilder, x: VReg) -> VReg {
+    let sh = fb.shl(x, 1);
+    let hi = fb.shru(x, 7);
+    let mask = fb.sub(0, hi);
+    let poly = fb.and(mask, 0x1b);
+    let t = fb.xor(sh, poly);
+    fb.and(t, 0xff)
+}
+
+/// Build the IR module.
+pub fn build() -> Module {
+    let mut mb = ModuleBuilder::new("aes");
+    let sbox = mb.data(&SBOX);
+    let rcon = mb.data(&RCON);
+    let key = mb.data(&key_bytes());
+    let pt = mb.data(&plaintext());
+    let rk = mb.buffer(176);
+    let state = mb.buffer(16);
+    let tmp = mb.buffer(16);
+    let ct = mb.buffer((BLOCKS * 16) as u32);
+    let sbox_region = sbox.region;
+    let mut fb = FunctionBuilder::new("main", 0, true);
+
+    let sbox_base = fb.copy(sbox.addr as i32);
+    let rk_base = fb.copy(rk.addr as i32);
+
+    // Look a byte up in the S-box.
+    fn sub(
+        fb: &mut FunctionBuilder,
+        sbox_base: VReg,
+        region: tta_ir::MemRegion,
+        x: impl Into<Operand>,
+    ) -> VReg {
+        let a = fb.add(sbox_base, x);
+        fb.ldqu(a, region)
+    }
+
+    // --- key expansion ---
+    for_range(&mut fb, 16, |fb, i| {
+        let ka = fb.add(key.addr as i32, i);
+        let v = fb.ldqu(ka, key.region);
+        let ra = fb.add(rk_base, i);
+        fb.stq(v, ra, rk.region);
+    });
+    for_range(&mut fb, 40, |fb, i4| {
+        let i = fb.add(i4, 4);
+        let woff = fb.shl(i, 2);
+        let prev = fb.add(woff, -4); // byte offset of word i-1
+        let back4 = fb.add(woff, -16); // byte offset of word i-4
+        let t: Vec<VReg> = (0..4)
+            .map(|j| {
+                let a0 = fb.add(rk_base, prev);
+                let a = fb.add(a0, j);
+                fb.ldqu(a, rk.region)
+            })
+            .collect();
+        let tj = [fb.vreg(), fb.vreg(), fb.vreg(), fb.vreg()];
+        for (j, r) in tj.iter().enumerate() {
+            fb.copy_to(*r, t[j]);
+        }
+        let m = fb.and(i, 3);
+        let is0 = fb.eq(m, 0);
+        if_then(fb, is0, |fb| {
+            // RotWord + SubWord + Rcon.
+            let s0 = sub(fb, sbox_base, sbox_region, t[1]);
+            let s1 = sub(fb, sbox_base, sbox_region, t[2]);
+            let s2 = sub(fb, sbox_base, sbox_region, t[3]);
+            let s3 = sub(fb, sbox_base, sbox_region, t[0]);
+            let idx = fb.shru(i, 2);
+            let ra = fb.add(rcon.addr as i32 - 1, idx);
+            let rc = fb.ldqu(ra, rcon.region);
+            let s0r = fb.xor(s0, rc);
+            fb.copy_to(tj[0], s0r);
+            fb.copy_to(tj[1], s1);
+            fb.copy_to(tj[2], s2);
+            fb.copy_to(tj[3], s3);
+        });
+        for (j, r) in tj.iter().enumerate() {
+            let a0 = fb.add(rk_base, back4);
+            let a = fb.add(a0, j as i32);
+            let old = fb.ldqu(a, rk.region);
+            let nv = fb.xor(old, *r);
+            let d0 = fb.add(rk_base, woff);
+            let d = fb.add(d0, j as i32);
+            fb.stq(nv, d, rk.region);
+        }
+    });
+
+    // --- encryption ---
+    let sum = fb.copy(1);
+    for_range(&mut fb, BLOCKS as i32, |fb, blk| {
+        let blk_off = fb.shl(blk, 4);
+        // Load plaintext and add round key 0.
+        for i in 0..16u32 {
+            let pa0 = fb.add(pt.addr as i32, blk_off);
+            let pa = fb.add(pa0, i as i32);
+            let p = fb.ldqu(pa, pt.region);
+            let k = fb.ldqu(rk.at(i), rk.region);
+            let v = fb.xor(p, k);
+            fb.stq(v, state.at(i), state.region);
+        }
+        // Rounds 1..=9.
+        for_range(fb, 9, |fb, r0| {
+            let r = fb.add(r0, 1);
+            // SubBytes + ShiftRows into tmp.
+            for (i, &src) in SHIFT.iter().enumerate() {
+                let x = fb.ldqu(state.at(src as u32), state.region);
+                let s = sub(fb, sbox_base, sbox_region, x);
+                fb.stq(s, tmp.at(i as u32), tmp.region);
+            }
+            // MixColumns + AddRoundKey back into state.
+            let rk_off = fb.shl(r, 4);
+            for c in 0..4u32 {
+                let a: Vec<VReg> =
+                    (0..4).map(|j| fb.ldqu(tmp.at(4 * c + j), tmp.region)).collect();
+                let xt: Vec<VReg> = a.iter().map(|&x| emit_xtime(fb, x)).collect();
+                let mixed = [
+                    {
+                        let t1 = fb.xor(xt[0], xt[1]);
+                        let t2 = fb.xor(t1, a[1]);
+                        let t3 = fb.xor(t2, a[2]);
+                        fb.xor(t3, a[3])
+                    },
+                    {
+                        let t1 = fb.xor(a[0], xt[1]);
+                        let t2 = fb.xor(t1, xt[2]);
+                        let t3 = fb.xor(t2, a[2]);
+                        fb.xor(t3, a[3])
+                    },
+                    {
+                        let t1 = fb.xor(a[0], a[1]);
+                        let t2 = fb.xor(t1, xt[2]);
+                        let t3 = fb.xor(t2, xt[3]);
+                        fb.xor(t3, a[3])
+                    },
+                    {
+                        let t1 = fb.xor(xt[0], a[0]);
+                        let t2 = fb.xor(t1, a[1]);
+                        let t3 = fb.xor(t2, a[2]);
+                        fb.xor(t3, xt[3])
+                    },
+                ];
+                for (j, mx) in mixed.into_iter().enumerate() {
+                    let ka0 = fb.add(rk_base, rk_off);
+                    let ka = fb.add(ka0, (4 * c + j as u32) as i32);
+                    let k = fb.ldqu(ka, rk.region);
+                    let v = fb.xor(mx, k);
+                    fb.stq(v, state.at(4 * c + j as u32), state.region);
+                }
+            }
+        });
+        // Final round (no MixColumns), ciphertext out, checksum.
+        for (i, &src) in SHIFT.iter().enumerate() {
+            let x = fb.ldqu(state.at(src as u32), state.region);
+            let s = sub(fb, sbox_base, sbox_region, x);
+            fb.stq(s, tmp.at(i as u32), tmp.region);
+        }
+        for i in 0..16u32 {
+            let x = fb.ldqu(tmp.at(i), tmp.region);
+            let k = fb.ldqu(rk.at(160 + i), rk.region);
+            let v = fb.xor(x, k);
+            let ca0 = fb.add(ct.addr as i32, blk_off);
+            let ca = fb.add(ca0, i as i32);
+            fb.stq(v, ca, ct.region);
+            let l = fb.shl(sum, 5);
+            let rr = fb.shru(sum, 27);
+            let rot = fb.ior(l, rr);
+            let ns = fb.xor(rot, v);
+            fb.copy_to(sum, ns);
+        }
+    });
+
+    fb.ret(sum);
+    let id = mb.add(fb.finish());
+    mb.set_entry(id);
+    mb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_ir::interp::run_ret;
+
+    #[test]
+    fn matches_reference() {
+        assert_eq!(run_ret(&build(), &[]), expected());
+    }
+
+    #[test]
+    fn fips_key_schedule_known_answer() {
+        // FIPS-197 appendix A.1 key-schedule spot checks.
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let rk = expand_key(&key);
+        assert_eq!(&rk[16..20], &[0xa0, 0xfa, 0xfe, 0x17]);
+        assert_eq!(&rk[172..176], &[0xb6, 0x63, 0x0c, 0xa6]);
+    }
+
+    #[test]
+    fn fips_encrypt_known_answer() {
+        // FIPS-197 appendix B.
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let mut st = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let rk = expand_key(&key);
+        encrypt_block(&mut st, &rk);
+        assert_eq!(
+            st,
+            [
+                0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19,
+                0x6a, 0x0b, 0x32
+            ]
+        );
+    }
+}

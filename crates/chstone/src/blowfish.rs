@@ -1,0 +1,291 @@
+//! `blowfish` — Blowfish block cipher (CHStone's `blowfish` workload).
+//!
+//! Runs the real Blowfish structure — 16-round Feistel network, four
+//! 256-entry S-boxes, P-array key schedule with rolling re-encryption —
+//! over sixteen 8-byte blocks. The box initialisers are deterministic
+//! pseudo-random words rather than the hexadecimal digits of pi (the
+//! substitution keeps every code path and table access identical while
+//! avoiding 4 KiB of literal constants; DESIGN.md records it).
+//!
+//! The block-encryption routine is a separate IR *function* called from
+//! both the key schedule and the data loop, exercising the compiler's
+//! exhaustive inliner the way CHStone's C functions do.
+
+use crate::util::{for_range, XorShift32};
+use tta_ir::{FunctionBuilder, Module, ModuleBuilder, VReg};
+
+const ROUNDS: usize = 16;
+const BLOCKS: usize = 16;
+
+fn init_p() -> Vec<u32> {
+    let mut rng = XorShift32(0xb10f_1501);
+    (0..18).map(|_| rng.next()).collect()
+}
+
+fn init_s() -> Vec<u32> {
+    let mut rng = XorShift32(0x5b0c_e5e5);
+    (0..1024).map(|_| rng.next()).collect()
+}
+
+fn key_words() -> [u32; 4] {
+    [0xdead_beef, 0x0123_4567, 0x89ab_cdef, 0x4242_4242]
+}
+
+fn data_words() -> Vec<u32> {
+    let mut rng = XorShift32(0x0da7_a000 ^ 0x77777);
+    (0..BLOCKS * 2).map(|_| rng.next()).collect()
+}
+
+// ---- native reference ----
+
+struct Bf {
+    p: [u32; 18],
+    s: [[u32; 256]; 4],
+}
+
+impl Bf {
+    fn new() -> Bf {
+        let pv = init_p();
+        let sv = init_s();
+        let mut p = [0u32; 18];
+        p.copy_from_slice(&pv);
+        let mut s = [[0u32; 256]; 4];
+        for (i, w) in sv.iter().enumerate() {
+            s[i / 256][i % 256] = *w;
+        }
+        // Key schedule part 1: fold the key into P.
+        let key = key_words();
+        for (i, pi) in p.iter_mut().enumerate() {
+            *pi ^= key[i % 4];
+        }
+        let mut bf = Bf { p, s };
+        // Key schedule part 2: roll an all-zero block through P.
+        let (mut l, mut r) = (0u32, 0u32);
+        for i in (0..18).step_by(2) {
+            let (nl, nr) = bf.encrypt(l, r);
+            bf.p[i] = nl;
+            bf.p[i + 1] = nr;
+            l = nl;
+            r = nr;
+        }
+        bf
+    }
+
+    fn f(&self, x: u32) -> u32 {
+        let a = (x >> 24) as usize;
+        let b = (x >> 16 & 0xff) as usize;
+        let c = (x >> 8 & 0xff) as usize;
+        let d = (x & 0xff) as usize;
+        self.s[0][a]
+            .wrapping_add(self.s[1][b])
+            .bitxor_then_add(self.s[2][c], self.s[3][d])
+    }
+
+    fn encrypt(&self, mut xl: u32, mut xr: u32) -> (u32, u32) {
+        for i in 0..ROUNDS {
+            xl ^= self.p[i];
+            xr ^= self.f(xl);
+            std::mem::swap(&mut xl, &mut xr);
+        }
+        std::mem::swap(&mut xl, &mut xr);
+        xr ^= self.p[16];
+        xl ^= self.p[17];
+        (xl, xr)
+    }
+}
+
+trait XorAdd {
+    fn bitxor_then_add(self, x: u32, a: u32) -> u32;
+}
+
+impl XorAdd for u32 {
+    fn bitxor_then_add(self, x: u32, a: u32) -> u32 {
+        (self ^ x).wrapping_add(a)
+    }
+}
+
+/// Native reference: ECB-encrypt the data blocks; rotating-XOR checksum of
+/// all ciphertext words.
+pub fn expected() -> i32 {
+    let bf = Bf::new();
+    let data = data_words();
+    let mut sum = 0x0bf0u32;
+    for blk in 0..BLOCKS {
+        let (l, r) = bf.encrypt(data[2 * blk], data[2 * blk + 1]);
+        sum = sum.rotate_left(7) ^ l;
+        sum = sum.rotate_left(7) ^ r;
+    }
+    sum as i32
+}
+
+// ---- IR implementation ----
+
+/// Build the IR module.
+pub fn build() -> Module {
+    let mut mb = ModuleBuilder::new("blowfish");
+    let p_box = mb.data_words(&init_p().iter().map(|&w| w as i32).collect::<Vec<_>>());
+    let s_box = mb.data_words(&init_s().iter().map(|&w| w as i32).collect::<Vec<_>>());
+    let key = mb.data_words(&key_words().iter().map(|&w| w as i32).collect::<Vec<_>>());
+    let data = mb.data_words(&data_words().iter().map(|&w| w as i32).collect::<Vec<_>>());
+    let lr = mb.buffer(8); // the block being encrypted (xl, xr)
+    let ct = mb.buffer((BLOCKS * 8) as u32);
+
+    // encrypt(): reads/writes the LR scratch block.
+    let encrypt = {
+        let mut fb = FunctionBuilder::new("encrypt", 0, false);
+        let xl = fb.ldw(lr.word(0), lr.region);
+        let xr = fb.ldw(lr.word(1), lr.region);
+        let l = fb.copy(xl);
+        let r = fb.copy(xr);
+        let p_base = fb.copy(p_box.addr as i32);
+        let s_base = fb.copy(s_box.addr as i32);
+        for_range(&mut fb, ROUNDS as i32, |fb, i| {
+            let po = fb.shl(i, 2);
+            let pa = fb.add(p_base, po);
+            let pi = fb.ldw(pa, p_box.region);
+            let nl = fb.xor(l, pi);
+            // F(nl)
+            let f = {
+                let lookup = |fb: &mut FunctionBuilder, box_idx: i32, byte: VReg| -> VReg {
+                    let off = fb.shl(byte, 2);
+                    let base = fb.add(s_base, box_idx * 1024);
+                    let a = fb.add(base, off);
+                    fb.ldw(a, s_box.region)
+                };
+                let a = fb.shru(nl, 24);
+                let b0 = fb.shru(nl, 16);
+                let b = fb.and(b0, 0xff);
+                let c0 = fb.shru(nl, 8);
+                let c = fb.and(c0, 0xff);
+                let d = fb.and(nl, 0xff);
+                let sa = lookup(fb, 0, a);
+                let sb = lookup(fb, 1, b);
+                let sc = lookup(fb, 2, c);
+                let sd = lookup(fb, 3, d);
+                let t1 = fb.add(sa, sb);
+                let t2 = fb.xor(t1, sc);
+                fb.add(t2, sd)
+            };
+            let nr = fb.xor(r, f);
+            // Swap for the next round.
+            fb.copy_to(l, nr);
+            fb.copy_to(r, nl);
+        });
+        // Undo the final swap, apply P[16]/P[17].
+        let p16 = fb.ldw(p_box.word(16), p_box.region);
+        let p17 = fb.ldw(p_box.word(17), p_box.region);
+        let out_r = fb.xor(l, p16); // l currently holds xr
+        let out_l = fb.xor(r, p17);
+        fb.stw(out_l, lr.word(0), lr.region);
+        fb.stw(out_r, lr.word(1), lr.region);
+        fb.ret_void();
+        fb.finish()
+    };
+
+    let mut mbf = FunctionBuilder::new("main", 0, true);
+    let encrypt_id = mb.add(encrypt);
+
+    // Key schedule part 1: P[i] ^= key[i % 4].
+    let p_base = mbf.copy(p_box.addr as i32);
+    for_range(&mut mbf, 18, |fb, i| {
+        let m = fb.and(i, 3);
+        let ko = fb.shl(m, 2);
+        let ka = fb.add(key.addr as i32, ko);
+        let kw = fb.ldw(ka, key.region);
+        let po = fb.shl(i, 2);
+        let pa = fb.add(p_base, po);
+        let pv = fb.ldw(pa, p_box.region);
+        let nv = fb.xor(pv, kw);
+        fb.stw(nv, pa, p_box.region);
+    });
+    // Key schedule part 2: roll the zero block through P.
+    mbf.stw(0, lr.word(0), lr.region);
+    mbf.stw(0, lr.word(1), lr.region);
+    for_range(&mut mbf, 9, |fb, i| {
+        fb.call_void(encrypt_id, &[]);
+        let l = fb.ldw(lr.word(0), lr.region);
+        let r = fb.ldw(lr.word(1), lr.region);
+        let po = fb.shl(i, 3);
+        let pa = fb.add(p_base, po);
+        fb.stw(l, pa, p_box.region);
+        let pa2 = fb.add(pa, 4);
+        fb.stw(r, pa2, p_box.region);
+    });
+
+    // Encrypt the data blocks.
+    let sum = mbf.copy(0x0bf0);
+    for_range(&mut mbf, BLOCKS as i32, |fb, blk| {
+        let off = fb.shl(blk, 3);
+        let da = fb.add(data.addr as i32, off);
+        let l = fb.ldw(da, data.region);
+        let da2 = fb.add(da, 4);
+        let r = fb.ldw(da2, data.region);
+        fb.stw(l, lr.word(0), lr.region);
+        fb.stw(r, lr.word(1), lr.region);
+        fb.call_void(encrypt_id, &[]);
+        let cl = fb.ldw(lr.word(0), lr.region);
+        let cr = fb.ldw(lr.word(1), lr.region);
+        let ca = fb.add(ct.addr as i32, off);
+        fb.stw(cl, ca, ct.region);
+        let ca2 = fb.add(ca, 4);
+        fb.stw(cr, ca2, ct.region);
+        for c in [cl, cr] {
+            let hi = fb.shl(sum, 7);
+            let lo = fb.shru(sum, 25);
+            let rot = fb.ior(hi, lo);
+            let ns = fb.xor(rot, c);
+            fb.copy_to(sum, ns);
+        }
+    });
+    mbf.ret(sum);
+    let main_id = mb.add(mbf.finish());
+    mb.set_entry(main_id);
+    mb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_ir::interp::run_ret;
+
+    #[test]
+    fn matches_reference() {
+        assert_eq!(run_ret(&build(), &[]), expected());
+    }
+
+    #[test]
+    fn feistel_is_invertible() {
+        // Decrypt = encrypt with reversed P; round-trip must restore the
+        // plaintext (validates the native reference structure).
+        let bf = Bf::new();
+        let (l, r) = bf.encrypt(0x0102_0304, 0x0506_0708);
+        // Inverse network.
+        let mut xl = l;
+        let mut xr = r;
+        xl ^= bf.p[17];
+        xr ^= bf.p[16];
+        std::mem::swap(&mut xl, &mut xr);
+        for i in (0..ROUNDS).rev() {
+            std::mem::swap(&mut xl, &mut xr);
+            xr ^= bf.f(xl);
+            xl ^= bf.p[i];
+        }
+        assert_eq!((xl, xr), (0x0102_0304, 0x0506_0708));
+    }
+
+    #[test]
+    fn key_changes_ciphertext() {
+        let bf = Bf::new();
+        let (l1, _) = bf.encrypt(1, 2);
+        let (l2, _) = bf.encrypt(1, 3);
+        assert_ne!(l1, l2);
+    }
+
+    /// The IR `encrypt` function exists and is non-trivial.
+    #[test]
+    fn module_has_two_functions() {
+        let m = build();
+        assert_eq!(m.funcs.len(), 2);
+        assert!(m.funcs.iter().any(|f| f.name == "encrypt"));
+    }
+}

@@ -1,0 +1,368 @@
+//! `gsm` — GSM 06.10 LPC analysis (CHStone's `gsm` workload).
+//!
+//! The short-term linear-predictive analysis stage: dynamic scaling of a
+//! 160-sample frame, 9-lag autocorrelation, and the Schur recursion
+//! producing eight Q15 reflection coefficients. Division is the GSM-style
+//! 15-step restoring shift-subtract loop (the evaluated cores have no
+//! divider, exactly like the paper's datapaths), and all arithmetic is
+//! 16/32-bit fixed point.
+
+use crate::util::{for_range, if_else, if_then, while_loop};
+use tta_ir::{FunctionBuilder, Module, ModuleBuilder, Operand, VReg};
+
+const N: usize = 160;
+const LAGS: usize = 9;
+
+/// Synthetic speech-like frame (sum of two integer "sinusoids" plus noise).
+fn frame() -> Vec<i32> {
+    (0..N as i32)
+        .map(|i| {
+            let a = ((i * 37) % 255) - 127;
+            let b = ((i * 11 + 7) % 101) - 50;
+            let n = ((i * i * 13) % 33) - 16;
+            (a * 60 + b * 90 + n).clamp(-32768, 32767)
+        })
+        .collect()
+}
+
+fn mult_q15(a: i32, b: i32) -> i32 {
+    (a.wrapping_mul(b) + 16384) >> 15
+}
+
+/// 15-step restoring division producing `num/den` in Q15 (0 <= num < den).
+fn div_q15(num: i32, den: i32) -> i32 {
+    let mut div = 0;
+    let mut n = num;
+    for _ in 0..15 {
+        n <<= 1;
+        div <<= 1;
+        if n >= den {
+            n -= den;
+            div += 1;
+        }
+    }
+    div
+}
+
+/// Native reference: returns a checksum folded over the scale shift, the
+/// scaled autocorrelation and the eight reflection coefficients.
+pub fn expected() -> i32 {
+    let s = frame();
+    // Dynamic scaling: shift so the maximum magnitude uses ~13 bits.
+    let mut smax = 0;
+    for &x in &s {
+        let a = x.abs();
+        if a > smax {
+            smax = a;
+        }
+    }
+    let mut scale = 0;
+    while (smax >> scale) > 0x1fff {
+        scale += 1;
+    }
+    let scaled: Vec<i32> = s.iter().map(|&x| x >> scale).collect();
+
+    // Autocorrelation.
+    let mut acf = [0i32; LAGS];
+    for (k, a) in acf.iter_mut().enumerate() {
+        let mut sum = 0i32;
+        for i in k..N {
+            sum = sum.wrapping_add(scaled[i].wrapping_mul(scaled[i - k]));
+        }
+        *a = sum;
+    }
+
+    // Normalise so acf[0] uses its top 16 bits, then drop to 16-bit values.
+    let mut sum = 0x6510i32;
+    let mut r = [0i32; 8];
+    if acf[0] != 0 {
+        let mut norm = 0;
+        while (acf[0] << norm) < 0x4000_0000 {
+            norm += 1;
+        }
+        let ac16: Vec<i32> = acf.iter().map(|&v| (v << norm) >> 16).collect();
+
+        // Schur recursion.
+        let mut p = [0i32; LAGS];
+        let mut k_arr = [0i32; LAGS];
+        p.copy_from_slice(&ac16);
+        k_arr[1..LAGS].copy_from_slice(&ac16[1..LAGS]);
+        for i in 1..=8usize {
+            let temp = p[1].abs();
+            let rc = if p[0] <= 0 || temp >= p[0] { 0 } else { div_q15(temp, p[0]) };
+            r[i - 1] = if p[1] > 0 { -rc } else { rc };
+            if i == 8 {
+                break;
+            }
+            for m in 1..=(8 - i) {
+                let pm1 = p[m + 1];
+                p[m] = pm1.wrapping_add(mult_q15(r[i - 1], k_arr[m]));
+                k_arr[m] = k_arr[m].wrapping_add(mult_q15(r[i - 1], pm1));
+            }
+            p[0] = p[0].wrapping_add(mult_q15(r[i - 1], p[1]));
+            p[1] = p[2];
+            // Shift P down one lag (the recursion consumes one lag per step).
+            for m in 1..=(8 - i) {
+                p[m] = p[m + 1];
+            }
+        }
+        sum ^= norm + (scale << 8);
+    }
+    for (i, &ri) in r.iter().enumerate() {
+        sum = sum.wrapping_mul(31) ^ (ri + (i as i32));
+    }
+    sum
+}
+
+/// Emit Q15 rounding multiply `(a*b + 16384) >> 15`.
+fn emit_mult_q15(
+    fb: &mut FunctionBuilder,
+    a: impl Into<Operand>,
+    b: impl Into<Operand>,
+) -> VReg {
+    let p = fb.mul(a, b);
+    let r = fb.add(p, 16384);
+    fb.shr(r, 15)
+}
+
+/// Build the IR module.
+pub fn build() -> Module {
+    let mut mb = ModuleBuilder::new("gsm");
+    let input = mb.data_words(&frame());
+    let scaled = mb.buffer((N * 4) as u32);
+    let acf = mb.buffer((LAGS * 4) as u32);
+    let p_buf = mb.buffer((LAGS * 4) as u32);
+    let k_buf = mb.buffer((LAGS * 4) as u32);
+    let r_buf = mb.buffer(8 * 4);
+    let mut fb = FunctionBuilder::new("main", 0, true);
+
+    let in_base = fb.copy(input.addr as i32);
+    let sc_base = fb.copy(scaled.addr as i32);
+
+    // --- dynamic scaling ---
+    let smax = fb.copy(0);
+    for_range(&mut fb, N as i32, |fb, i| {
+        let off = fb.shl(i, 2);
+        let a = fb.add(in_base, off);
+        let x = fb.ldw(a, input.region);
+        let neg = fb.lt(x, 0);
+        let ax = fb.vreg();
+        if_else(
+            fb,
+            neg,
+            |fb| {
+                let n = fb.sub(0, x);
+                fb.copy_to(ax, n);
+            },
+            |fb| fb.copy_to(ax, x),
+        );
+        let gt = fb.gt(ax, smax);
+        if_then(fb, gt, |fb| fb.copy_to(smax, ax));
+    });
+    let scale = fb.copy(0);
+    while_loop(
+        &mut fb,
+        |fb| {
+            let sh = fb.shr(smax, scale);
+            fb.gt(sh, 0x1fff)
+        },
+        |fb| {
+            let n = fb.add(scale, 1);
+            fb.copy_to(scale, n);
+        },
+    );
+    for_range(&mut fb, N as i32, |fb, i| {
+        let off = fb.shl(i, 2);
+        let a = fb.add(in_base, off);
+        let x = fb.ldw(a, input.region);
+        let v = fb.shr(x, scale);
+        let d = fb.add(sc_base, off);
+        fb.stw(v, d, scaled.region);
+    });
+
+    // --- autocorrelation ---
+    for_range(&mut fb, LAGS as i32, |fb, k| {
+        let sum = fb.copy(0);
+        let n_minus_k = fb.sub(N as i32, k);
+        for_range(fb, n_minus_k, |fb, t| {
+            // i = t + k; products scaled[i] * scaled[i-k]
+            let i = fb.add(t, k);
+            let oi = fb.shl(i, 2);
+            let ai = fb.add(sc_base, oi);
+            let si = fb.ldw(ai, scaled.region);
+            let ot = fb.shl(t, 2);
+            let at = fb.add(sc_base, ot);
+            let st = fb.ldw(at, scaled.region);
+            let prod = fb.mul(si, st);
+            let ns = fb.add(sum, prod);
+            fb.copy_to(sum, ns);
+        });
+        let ok = fb.shl(k, 2);
+        let ak = fb.add(acf.addr as i32, ok);
+        fb.stw(sum, ak, acf.region);
+    });
+
+    // --- normalisation + Schur ---
+    let sum = fb.copy(0x6510);
+    let acf0 = fb.ldw(acf.word(0), acf.region);
+    let nz = fb.ne(acf0, 0);
+    if_then(&mut fb, nz, |fb| {
+        let norm = fb.copy(0);
+        while_loop(
+            fb,
+            |fb| {
+                let sh = fb.shl(acf0, norm);
+                fb.lt(sh, 0x4000_0000)
+            },
+            |fb| {
+                let n = fb.add(norm, 1);
+                fb.copy_to(norm, n);
+            },
+        );
+        // 16-bit scaled ACF into P and K.
+        for_range(fb, LAGS as i32, |fb, k| {
+            let ok = fb.shl(k, 2);
+            let ak = fb.add(acf.addr as i32, ok);
+            let v = fb.ldw(ak, acf.region);
+            let up = fb.shl(v, norm);
+            let v16 = fb.shr(up, 16);
+            let pa = fb.add(p_buf.addr as i32, ok);
+            fb.stw(v16, pa, p_buf.region);
+            let ka = fb.add(k_buf.addr as i32, ok);
+            fb.stw(v16, ka, k_buf.region);
+        });
+
+        // Schur recursion (loop unrolled over i=1..=8 at build time; the
+        // inner update loop stays a runtime loop with a dynamic bound).
+        for i in 1..=8 {
+            let p0 = fb.ldw(p_buf.word(0), p_buf.region);
+            let p1 = fb.ldw(p_buf.word(1), p_buf.region);
+            let neg = fb.lt(p1, 0);
+            let temp = fb.vreg();
+            if_else(
+                fb,
+                neg,
+                |fb| {
+                    let n = fb.sub(0, p1);
+                    fb.copy_to(temp, n);
+                },
+                |fb| fb.copy_to(temp, p1),
+            );
+            let rc = fb.copy(0);
+            let le = fb.le(p0, 0);
+            let ge = fb.ge(temp, p0);
+            let bad = fb.ior(le, ge);
+            let ok = fb.eq(bad, 0);
+            if_then(fb, ok, |fb| {
+                // 15-step restoring division temp / p0 in Q15.
+                let div = fb.copy(0);
+                let num = fb.copy(temp);
+                for_range(fb, 15, |fb, _| {
+                    let n2 = fb.shl(num, 1);
+                    fb.copy_to(num, n2);
+                    let d2 = fb.shl(div, 1);
+                    fb.copy_to(div, d2);
+                    let ge2 = fb.ge(num, p0);
+                    if_then(fb, ge2, |fb| {
+                        let nn = fb.sub(num, p0);
+                        fb.copy_to(num, nn);
+                        let nd = fb.add(div, 1);
+                        fb.copy_to(div, nd);
+                    });
+                });
+                fb.copy_to(rc, div);
+            });
+            let ri = fb.vreg();
+            let pos = fb.gt(p1, 0);
+            if_else(
+                fb,
+                pos,
+                |fb| {
+                    let n = fb.sub(0, rc);
+                    fb.copy_to(ri, n);
+                },
+                |fb| fb.copy_to(ri, rc),
+            );
+            fb.stw(ri, r_buf.word(i as u32 - 1), r_buf.region);
+            if i == 8 {
+                break;
+            }
+            // Update P and K.
+            for_range(fb, 8 - i, |fb, m0| {
+                let m = fb.add(m0, 1);
+                let om = fb.shl(m, 2);
+                let om1 = fb.add(om, 4);
+                let pa1 = fb.add(p_buf.addr as i32, om1);
+                let pm1 = fb.ldw(pa1, p_buf.region);
+                let ka = fb.add(k_buf.addr as i32, om);
+                let km = fb.ldw(ka, k_buf.region);
+                let t1 = emit_mult_q15(fb, ri, km);
+                let np = fb.add(pm1, t1);
+                let pa = fb.add(p_buf.addr as i32, om);
+                fb.stw(np, pa, p_buf.region);
+                let t2 = emit_mult_q15(fb, ri, pm1);
+                let nk = fb.add(km, t2);
+                fb.stw(nk, ka, k_buf.region);
+            });
+            let p1n = fb.ldw(p_buf.word(1), p_buf.region);
+            let t0 = emit_mult_q15(fb, ri, p1n);
+            let np0 = fb.add(p0, t0);
+            fb.stw(np0, p_buf.word(0), p_buf.region);
+            // Shift P down one lag.
+            for_range(fb, 8 - i, |fb, m0| {
+                let m = fb.add(m0, 1);
+                let om = fb.shl(m, 2);
+                let om1 = fb.add(om, 4);
+                let pa1 = fb.add(p_buf.addr as i32, om1);
+                let v = fb.ldw(pa1, p_buf.region);
+                let pa = fb.add(p_buf.addr as i32, om);
+                fb.stw(v, pa, p_buf.region);
+            });
+        }
+        let sh8 = fb.shl(scale, 8);
+        let mix = fb.add(norm, sh8);
+        let x = fb.xor(sum, mix);
+        fb.copy_to(sum, x);
+    });
+
+    // Fold the reflection coefficients.
+    for_range(&mut fb, 8, |fb, i| {
+        let off = fb.shl(i, 2);
+        let ra = fb.add(r_buf.addr as i32, off);
+        let v = fb.ldw(ra, r_buf.region);
+        let vi = fb.add(v, i);
+        let m = fb.mul(sum, 31);
+        let x = fb.xor(m, vi);
+        fb.copy_to(sum, x);
+    });
+    fb.ret(sum);
+    let id = mb.add(fb.finish());
+    mb.set_entry(id);
+    mb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_ir::interp::run_ret;
+
+    #[test]
+    fn matches_reference() {
+        assert_eq!(run_ret(&build(), &[]), expected());
+    }
+
+    #[test]
+    fn div_q15_bounds() {
+        assert_eq!(div_q15(0, 100), 0);
+        // num just below den yields just below 1.0 in Q15.
+        assert!(div_q15(99, 100) > 32000);
+        assert!(div_q15(50, 100) >= 16383 && div_q15(50, 100) <= 16385);
+    }
+
+    #[test]
+    fn mult_q15_rounds() {
+        assert_eq!(mult_q15(32767, 32767), 32766);
+        assert_eq!(mult_q15(16384, 16384), 8192);
+        assert_eq!(mult_q15(-16384, 16384), -8192);
+    }
+}

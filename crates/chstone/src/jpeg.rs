@@ -1,0 +1,263 @@
+//! `jpeg` — JPEG block decoding (CHStone's `jpeg` workload).
+//!
+//! The compute core of baseline JPEG decoding: dequantisation, zigzag
+//! reordering and the 2-D 8x8 inverse DCT in fixed-point integer
+//! arithmetic over sixteen coefficient blocks, followed by level shift and
+//! clamping. (CHStone decodes a full JFIF container including the Huffman
+//! entropy stage; the bit-serial entropy decoding profile is covered by the
+//! `motion` kernel, and DESIGN.md records the substitution.)
+//!
+//! The Q13 cosine table is generated once and shared verbatim by the
+//! native reference and the IR program, so the two implementations agree
+//! bit-for-bit by construction.
+
+#![allow(clippy::needless_range_loop)] // indexing mirrors the C reference
+
+use crate::util::{for_range, if_then, XorShift32};
+use tta_ir::{FunctionBuilder, Module, ModuleBuilder};
+
+const BLOCKS: usize = 16;
+
+/// Standard JPEG luminance quantisation table (natural order).
+const QTABLE: [i32; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69,
+    56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81,
+    104, 113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Zigzag scan order: `ZIGZAG[k]` is the natural-order index of the k-th
+/// transmitted coefficient.
+const ZIGZAG: [i32; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Q13 IDCT basis: `T[u][x] = round(c_u/2 * cos((2x+1)u*pi/16) * 8192)`.
+fn cos_table() -> [[i32; 8]; 8] {
+    let mut t = [[0i32; 8]; 8];
+    for (u, row) in t.iter_mut().enumerate() {
+        let cu = if u == 0 { 1.0 / std::f64::consts::SQRT_2 } else { 1.0 };
+        for (x, e) in row.iter_mut().enumerate() {
+            let angle = (2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0;
+            *e = (cu / 2.0 * angle.cos() * 8192.0).round() as i32;
+        }
+    }
+    t
+}
+
+/// Synthetic sparse coefficient blocks in zigzag order: a strong DC value
+/// plus a handful of low-frequency ACs, like real JPEG data.
+fn coefficients() -> Vec<i32> {
+    let mut rng = XorShift32(0x0dc7_1d17);
+    let mut out = Vec::with_capacity(BLOCKS * 64);
+    for _ in 0..BLOCKS {
+        for k in 0..64 {
+            let v = if k == 0 {
+                (rng.below(256) as i32) - 128
+            } else if k < 12 {
+                (rng.below(33) as i32) - 16
+            } else {
+                0
+            };
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Native reference: decode every block; rolling checksum over the output
+/// pixels.
+pub fn expected() -> i32 {
+    let t = cos_table();
+    let coefs = coefficients();
+    let mut sum = 0x11d0i32;
+    for blk in 0..BLOCKS {
+        // Dequantise + un-zigzag.
+        let mut f = [0i32; 64];
+        for k in 0..64 {
+            f[ZIGZAG[k] as usize] = coefs[blk * 64 + k] * QTABLE[k];
+        }
+        // Row pass (keep 3 extra bits of precision).
+        let mut tmp = [0i32; 64];
+        for y in 0..8 {
+            for x in 0..8 {
+                let mut acc = 0i32;
+                for u in 0..8 {
+                    acc = acc.wrapping_add(f[8 * y + u].wrapping_mul(t[u][x]));
+                }
+                tmp[8 * y + x] = acc >> 10;
+            }
+        }
+        // Column pass.
+        for x in 0..8 {
+            for y in 0..8 {
+                let mut acc = 0i32;
+                for v in 0..8 {
+                    acc = acc.wrapping_add(tmp[8 * v + x].wrapping_mul(t[v][y]));
+                }
+                let mut p = (acc >> 16) + 128;
+                p = p.clamp(0, 255);
+                sum = sum.wrapping_mul(17) ^ (p + ((8 * y + x) as i32));
+            }
+        }
+    }
+    sum
+}
+
+/// Build the IR module.
+pub fn build() -> Module {
+    let mut mb = ModuleBuilder::new("jpeg");
+    let t = cos_table();
+    let t_flat: Vec<i32> = t.iter().flatten().copied().collect();
+    let cos_t = mb.data_words(&t_flat);
+    let qtab = mb.data_words(&QTABLE);
+    let zz = mb.data_words(&ZIGZAG);
+    let coefs = mb.data_words(&coefficients());
+    let f_buf = mb.buffer(64 * 4);
+    let tmp_buf = mb.buffer(64 * 4);
+    let out_buf = mb.buffer((BLOCKS * 64) as u32);
+    let mut fb = FunctionBuilder::new("main", 0, true);
+
+    let t_base = fb.copy(cos_t.addr as i32);
+    let f_base = fb.copy(f_buf.addr as i32);
+    let tmp_base = fb.copy(tmp_buf.addr as i32);
+    let sum = fb.copy(0x11d0);
+
+    for_range(&mut fb, BLOCKS as i32, |fb, blk| {
+        let blk_off = fb.shl(blk, 8); // *64*4 bytes
+        // Dequantise + un-zigzag.
+        for_range(fb, 64, |fb, k| {
+            let ko = fb.shl(k, 2);
+            let ca0 = fb.add(coefs.addr as i32, blk_off);
+            let ca = fb.add(ca0, ko);
+            let c = fb.ldw(ca, coefs.region);
+            let qa = fb.add(qtab.addr as i32, ko);
+            let q = fb.ldw(qa, qtab.region);
+            let d = fb.mul(c, q);
+            let za = fb.add(zz.addr as i32, ko);
+            let nat = fb.ldw(za, zz.region);
+            let no = fb.shl(nat, 2);
+            let da = fb.add(f_base, no);
+            fb.stw(d, da, f_buf.region);
+        });
+        // Row pass.
+        for_range(fb, 8, |fb, y| {
+            let row_off = fb.shl(y, 5); // *8*4
+            for_range(fb, 8, |fb, x| {
+                let acc = fb.copy(0);
+                let xo = fb.shl(x, 2);
+                for_range(fb, 8, |fb, u| {
+                    let uo = fb.shl(u, 2);
+                    let fa0 = fb.add(f_base, row_off);
+                    let fa = fb.add(fa0, uo);
+                    let fv = fb.ldw(fa, f_buf.region);
+                    let to0 = fb.shl(u, 5);
+                    let ta0 = fb.add(t_base, to0);
+                    let ta = fb.add(ta0, xo);
+                    let tv = fb.ldw(ta, cos_t.region);
+                    let p = fb.mul(fv, tv);
+                    let na = fb.add(acc, p);
+                    fb.copy_to(acc, na);
+                });
+                let v = fb.shr(acc, 10);
+                let da0 = fb.add(tmp_base, row_off);
+                let da = fb.add(da0, xo);
+                fb.stw(v, da, tmp_buf.region);
+            });
+        });
+        // Column pass + output.
+        for_range(fb, 8, |fb, x| {
+            let xo = fb.shl(x, 2);
+            for_range(fb, 8, |fb, y| {
+                let acc = fb.copy(0);
+                let yo = fb.shl(y, 2);
+                for_range(fb, 8, |fb, v| {
+                    let vo32 = fb.shl(v, 5);
+                    let ta0 = fb.add(tmp_base, vo32);
+                    let ta = fb.add(ta0, xo);
+                    let tv = fb.ldw(ta, tmp_buf.region);
+                    let co0 = fb.add(t_base, vo32);
+                    let ca = fb.add(co0, yo);
+                    let cv = fb.ldw(ca, cos_t.region);
+                    let p = fb.mul(tv, cv);
+                    let na = fb.add(acc, p);
+                    fb.copy_to(acc, na);
+                });
+                let sh = fb.shr(acc, 16);
+                let p = fb.add(sh, 128);
+                let lo = fb.lt(p, 0);
+                if_then(fb, lo, |fb| fb.copy_to(p, 0));
+                let hi = fb.gt(p, 255);
+                if_then(fb, hi, |fb| fb.copy_to(p, 255));
+                // Store the pixel.
+                let row = fb.shl(y, 3);
+                let idx = fb.add(row, x);
+                let oa0 = fb.shl(blk, 6);
+                let oa1 = fb.add(oa0, idx);
+                let oa = fb.add(out_buf.addr as i32, oa1);
+                fb.stq(p, oa, out_buf.region);
+                // Checksum.
+                let pi = fb.add(p, idx);
+                let m = fb.mul(sum, 17);
+                let xr = fb.xor(m, pi);
+                fb.copy_to(sum, xr);
+            });
+        });
+    });
+
+    fb.ret(sum);
+    let id = mb.add(fb.finish());
+    mb.set_entry(id);
+    mb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_ir::interp::run_ret;
+
+    #[test]
+    fn matches_reference() {
+        assert_eq!(run_ret(&build(), &[]), expected());
+    }
+
+    #[test]
+    fn idct_of_pure_dc_is_flat() {
+        // A DC-only block must decode to a uniform pixel value.
+        let t = cos_table();
+        let mut f = [0i32; 64];
+        f[0] = 64 * 16; // DC * q
+        let mut tmp = [0i32; 64];
+        for y in 0..8 {
+            for x in 0..8 {
+                let mut acc = 0;
+                for u in 0..8 {
+                    acc += f[8 * y + u] * t[u][x];
+                }
+                tmp[8 * y + x] = acc >> 10;
+            }
+        }
+        let mut pix = vec![];
+        for x in 0..8 {
+            for y in 0..8 {
+                let mut acc = 0;
+                for v in 0..8 {
+                    acc += tmp[8 * v + x] * t[v][y];
+                }
+                pix.push(((acc >> 16) + 128).clamp(0, 255));
+            }
+        }
+        assert!(pix.windows(2).all(|w| (w[0] - w[1]).abs() <= 1), "{pix:?}");
+    }
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &z in &ZIGZAG {
+            assert!(!seen[z as usize]);
+            seen[z as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

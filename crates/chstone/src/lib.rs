@@ -1,0 +1,115 @@
+//! # tta-chstone — CHStone-style benchmark kernels
+//!
+//! The eight workloads of the paper's evaluation (CHStone \[27\] without the
+//! two SoftFloat cases, exactly as the paper excludes them), each
+//! implemented twice:
+//!
+//! * as a **native Rust reference** (`expected()` — the golden checksum),
+//! * as an **IR program** built through `tta-ir` (`build()`), compiled and
+//!   executed by every design point of the evaluation.
+//!
+//! Every kernel's `main` returns a checksum folded over its full output and
+//! writes its output buffers to memory, so the differential tests compare
+//! both the returned value and the final memory image against the IR
+//! interpreter, and the interpreter result in turn must equal the native
+//! reference.
+//!
+//! The kernels keep the algorithmic structure of their CHStone namesakes
+//! (table-driven codecs, bit-twiddling crypto rounds, fixed-point DSP,
+//! an ISA interpreter) at reduced input sizes so the full 13-machine
+//! evaluation completes quickly; DESIGN.md documents the substitution.
+
+#![warn(missing_docs)]
+
+pub mod adpcm;
+pub mod aes;
+pub mod blowfish;
+pub mod gsm;
+pub mod jpeg;
+pub mod mips;
+pub mod motion;
+pub mod sha;
+pub mod util;
+
+use tta_ir::Module;
+
+/// One benchmark kernel: a named pair of IR builder and native reference.
+#[derive(Clone, Copy)]
+pub struct Kernel {
+    /// CHStone-style name (e.g. `"sha"`).
+    pub name: &'static str,
+    /// Build the IR module (entry returns the checksum).
+    pub build: fn() -> Module,
+    /// Compute the checksum natively (the golden value).
+    pub expected: fn() -> i32,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel").field("name", &self.name).finish()
+    }
+}
+
+/// All eight kernels in the paper's reporting order.
+pub fn all_kernels() -> Vec<Kernel> {
+    vec![
+        Kernel { name: "adpcm", build: adpcm::build, expected: adpcm::expected },
+        Kernel { name: "aes", build: aes::build, expected: aes::expected },
+        Kernel { name: "blowfish", build: blowfish::build, expected: blowfish::expected },
+        Kernel { name: "gsm", build: gsm::build, expected: gsm::expected },
+        Kernel { name: "jpeg", build: jpeg::build, expected: jpeg::expected },
+        Kernel { name: "mips", build: mips::build, expected: mips::expected },
+        Kernel { name: "motion", build: motion::build, expected: motion::expected },
+        Kernel { name: "sha", build: sha::build, expected: sha::expected },
+    ]
+}
+
+/// Look a kernel up by name.
+pub fn by_name(name: &str) -> Option<Kernel> {
+    all_kernels().into_iter().find(|k| k.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_ir::interp::Interpreter;
+
+    /// Every kernel: verified IR + interpreter checksum equals the native
+    /// reference.
+    #[test]
+    fn kernels_match_native_references() {
+        for k in all_kernels() {
+            let module = (k.build)();
+            tta_ir::verify::verify_module(&module)
+                .unwrap_or_else(|e| panic!("{}: verify failed: {e:?}", k.name));
+            let r = Interpreter::new(&module)
+                .run(&[])
+                .unwrap_or_else(|e| panic!("{}: interp failed: {e}", k.name));
+            assert_eq!(
+                r.ret,
+                Some((k.expected)()),
+                "{}: interpreter checksum != native reference",
+                k.name
+            );
+        }
+    }
+
+    #[test]
+    fn kernels_have_distinct_nontrivial_checksums() {
+        let sums: Vec<i32> = all_kernels().iter().map(|k| (k.expected)()).collect();
+        for (k, s) in all_kernels().iter().zip(&sums) {
+            assert_ne!(*s, 0, "{} checksum is trivially zero", k.name);
+        }
+        let mut uniq = sums.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), sums.len(), "checksum collision between kernels");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("sha").is_some());
+        assert!(by_name("softfloat").is_none());
+        assert_eq!(all_kernels().len(), 8);
+    }
+}

@@ -1,0 +1,380 @@
+//! `mips` — MIPS-subset instruction-set interpreter (CHStone's `mips`
+//! workload).
+//!
+//! CHStone's `mips` simulates a MIPS processor executing a sort program;
+//! this kernel does the same: a fetch–decode–dispatch interpreter for a
+//! twelve-instruction MIPS subset runs a hand-assembled bubble sort over
+//! 24 integers held in guest memory. The guest program and data live in
+//! the data segment; the interpreter's register file is a 32-word buffer.
+//!
+//! Branches are interpreted without delay slots and `j` carries an
+//! absolute instruction index — both implementations (IR and native)
+//! define the guest semantics identically.
+
+#![allow(clippy::vec_init_then_push)] // the assembler reads as a listing
+
+use crate::util::{for_range, if_then, while_loop, XorShift32};
+use tta_ir::{FunctionBuilder, Module, ModuleBuilder};
+
+const N_DATA: usize = 24;
+
+// Opcodes / functs of the interpreted subset.
+const OP_RTYPE: u32 = 0x00;
+const OP_J: u32 = 0x02;
+const OP_BEQ: u32 = 0x04;
+const OP_BNE: u32 = 0x05;
+const OP_ADDIU: u32 = 0x09;
+const OP_SLTI: u32 = 0x0a;
+const OP_LW: u32 = 0x23;
+const OP_SW: u32 = 0x2b;
+const OP_HALT: u32 = 0x3f;
+const F_SLL: u32 = 0x00;
+const F_SRL: u32 = 0x02;
+const F_ADDU: u32 = 0x21;
+const F_SUBU: u32 = 0x23;
+const F_AND: u32 = 0x24;
+const F_OR: u32 = 0x25;
+const F_SLT: u32 = 0x2a;
+
+fn r_type(funct: u32, rs: u32, rt: u32, rd: u32, shamt: u32) -> u32 {
+    (OP_RTYPE << 26) | (rs << 21) | (rt << 16) | (rd << 11) | (shamt << 6) | funct
+}
+
+fn i_type(op: u32, rs: u32, rt: u32, imm: i32) -> u32 {
+    (op << 26) | (rs << 21) | (rt << 16) | (imm as u32 & 0xffff)
+}
+
+fn j_abs(target: u32) -> u32 {
+    (OP_J << 26) | target
+}
+
+/// The guest program: bubble sort of `N_DATA` words at the address in `$1`.
+///
+/// Register use: `$1` base, `$2` n, `$3` i, `$4` limit, `$5` j, `$6` cond,
+/// `$7` addr, `$8`/`$9` elements, `$10` swap flag.
+fn guest_program(base_addr: i32) -> Vec<u32> {
+    let mut p = Vec::new();
+    // 0: $1 = base ; 1: $2 = n ; 2: $3 = 0 (i)
+    p.push(i_type(OP_ADDIU, 0, 1, base_addr));
+    p.push(i_type(OP_ADDIU, 0, 2, N_DATA as i32));
+    p.push(i_type(OP_ADDIU, 0, 3, 0));
+    // outer (3): $4 = n-1-i ; $5 = 0
+    p.push(i_type(OP_ADDIU, 2, 4, -1)); // 3
+    p.push(r_type(F_SUBU, 4, 3, 4, 0)); // 4: $4 = $4 - $3
+    p.push(i_type(OP_ADDIU, 0, 5, 0)); // 5
+    // inner (6): if !(j < limit) goto inner_end(16)
+    p.push(r_type(F_SLT, 5, 4, 6, 0)); // 6: $6 = $5 < $4
+    p.push(i_type(OP_BEQ, 6, 0, 18 - 8)); // 7: beq $6,$0 -> inner_end at 18
+    p.push(r_type(F_SLL, 0, 5, 7, 2)); // 8: $7 = $5 << 2
+    p.push(r_type(F_ADDU, 7, 1, 7, 0)); // 9: $7 += $1
+    p.push(i_type(OP_LW, 7, 8, 0)); // 10: $8 = mem[$7]
+    p.push(i_type(OP_LW, 7, 9, 4)); // 11: $9 = mem[$7+4]
+    p.push(r_type(F_SLT, 9, 8, 10, 0)); // 12: $10 = $9 < $8
+    p.push(i_type(OP_BEQ, 10, 0, 15 - 13)); // 13: no swap -> 15
+    p.push(i_type(OP_SW, 7, 9, 0)); // 14: mem[$7] = $9
+    p.push(i_type(OP_SW, 7, 8, 4)); // 15 (reached only when swapping)?
+    // Careful: instruction 15 must be the store of $8; the "no swap" branch
+    // targets 16.
+    // 16: j++ ; j inner
+    p.push(i_type(OP_ADDIU, 5, 5, 1)); // 16
+    p.push(j_abs(6)); // 17
+    // inner_end (18): i++ ; if i < n goto outer
+    p.push(i_type(OP_ADDIU, 3, 3, 1)); // 18
+    p.push(r_type(F_SLT, 3, 2, 6, 0)); // 19
+    p.push(i_type(OP_BNE, 6, 0, 3 - 21)); // 20: bne -> 3
+    p.push((OP_HALT) << 26); // 21
+    p
+}
+
+fn guest_data() -> Vec<i32> {
+    let mut rng = XorShift32(0x50b7_ed01);
+    (0..N_DATA).map(|_| (rng.next() & 0xffff) as i32 - 32768).collect()
+}
+
+/// Interpret the guest program natively. Returns the final guest data.
+fn run_guest_native(program: &[u32], data: &mut [i32], base_addr: i32) {
+    // Guest memory is modelled as the data array at `base_addr`.
+    let mut regs = [0i32; 32];
+    let mut pc = 0usize;
+    let mut fuel = 1_000_000;
+    loop {
+        fuel -= 1;
+        assert!(fuel > 0, "guest runaway");
+        let w = program[pc];
+        let op = w >> 26;
+        let rs = (w >> 21 & 31) as usize;
+        let rt = (w >> 16 & 31) as usize;
+        let rd = (w >> 11 & 31) as usize;
+        let shamt = w >> 6 & 31;
+        let funct = w & 0x3f;
+        let imm = w as u16 as i16 as i32;
+        match op {
+            OP_RTYPE => {
+                regs[rd] = match funct {
+                    F_ADDU => regs[rs].wrapping_add(regs[rt]),
+                    F_SUBU => regs[rs].wrapping_sub(regs[rt]),
+                    F_AND => regs[rs] & regs[rt],
+                    F_OR => regs[rs] | regs[rt],
+                    F_SLT => (regs[rs] < regs[rt]) as i32,
+                    F_SLL => regs[rt] << shamt,
+                    F_SRL => ((regs[rt] as u32) >> shamt) as i32,
+                    _ => panic!("bad funct {funct:#x}"),
+                };
+                pc += 1;
+            }
+            OP_ADDIU => {
+                regs[rt] = regs[rs].wrapping_add(imm);
+                pc += 1;
+            }
+            OP_SLTI => {
+                regs[rt] = (regs[rs] < imm) as i32;
+                pc += 1;
+            }
+            OP_LW => {
+                let a = (regs[rs].wrapping_add(imm) - base_addr) as usize / 4;
+                regs[rt] = data[a];
+                pc += 1;
+            }
+            OP_SW => {
+                let a = (regs[rs].wrapping_add(imm) - base_addr) as usize / 4;
+                data[a] = regs[rt];
+                pc += 1;
+            }
+            OP_BEQ => {
+                pc = if regs[rs] == regs[rt] {
+                    (pc as i32 + 1 + imm) as usize
+                } else {
+                    pc + 1
+                };
+            }
+            OP_BNE => {
+                pc = if regs[rs] != regs[rt] {
+                    (pc as i32 + 1 + imm) as usize
+                } else {
+                    pc + 1
+                };
+            }
+            OP_J => pc = (w & 0x03ff_ffff) as usize,
+            OP_HALT => return,
+            _ => panic!("bad opcode {op:#x}"),
+        }
+    }
+}
+
+/// Native reference: run the sort on the guest interpreter; checksum over
+/// the sorted data.
+pub fn expected() -> i32 {
+    // Use the same base address the IR module assigns; computed by building
+    // the data layout identically (data buffer is the 2nd allocation after
+    // the program, see build()). To avoid coupling, run with a synthetic
+    // base: the algorithm only uses base-relative addresses.
+    let base = 0x100;
+    let program = guest_program(base);
+    let mut data = guest_data();
+    run_guest_native(&program, &mut data, base);
+    let mut sum = 0x3a1di32;
+    for (i, &v) in data.iter().enumerate() {
+        sum = sum.wrapping_mul(29) ^ v ^ (i as i32);
+    }
+    sum
+}
+
+/// Build the IR module.
+pub fn build() -> Module {
+    let mut mb = ModuleBuilder::new("mips");
+    // Reserve the guest data buffer first so its address is independent of
+    // the program encoding (which embeds the base address).
+    let gdata = mb.data_words(&guest_data());
+    let prog_words: Vec<i32> =
+        guest_program(gdata.addr as i32).iter().map(|&w| w as i32).collect();
+    let gprog = mb.data_words(&prog_words);
+    let regs = mb.buffer(32 * 4);
+    let mut fb = FunctionBuilder::new("main", 0, true);
+
+    let regs_base = fb.copy(regs.addr as i32);
+    let prog_base = fb.copy(gprog.addr as i32);
+    // Zero the register file.
+    for_range(&mut fb, 32, |fb, i| {
+        let off = fb.shl(i, 2);
+        let a = fb.add(regs_base, off);
+        fb.stw(0, a, regs.region);
+    });
+
+    let pc = fb.copy(0);
+    let running = fb.copy(1);
+    // Helpers to read/write guest registers.
+    let rd_reg = |fb: &mut FunctionBuilder, idx: tta_ir::VReg| {
+        let off = fb.shl(idx, 2);
+        let a = fb.add(regs_base, off);
+        fb.ldw(a, regs.region)
+    };
+
+    while_loop(
+        &mut fb,
+        |fb| fb.ne(running, 0),
+        |fb| {
+            let po = fb.shl(pc, 2);
+            let pa = fb.add(prog_base, po);
+            let w = fb.ldw(pa, gprog.region);
+            let op = fb.shru(w, 26);
+            let rs_i = {
+                let t = fb.shru(w, 21);
+                fb.and(t, 31)
+            };
+            let rt_i = {
+                let t = fb.shru(w, 16);
+                fb.and(t, 31)
+            };
+            let rd_i = {
+                let t = fb.shru(w, 11);
+                fb.and(t, 31)
+            };
+            let shamt = {
+                let t = fb.shru(w, 6);
+                fb.and(t, 31)
+            };
+            let funct = fb.and(w, 0x3f);
+            let imm = fb.sxhw(w);
+            let next_pc = fb.add(pc, 1);
+            fb.copy_to(pc, next_pc);
+
+            let rs_v = rd_reg(fb, rs_i);
+            let rt_v = rd_reg(fb, rt_i);
+
+            let wr_reg = |fb: &mut FunctionBuilder, idx: tta_ir::VReg, v: tta_ir::VReg| {
+                let off = fb.shl(idx, 2);
+                let a = fb.add(regs_base, off);
+                fb.stw(v, a, regs.region);
+            };
+
+            // R-type dispatch.
+            let is_r = fb.eq(op, OP_RTYPE as i32);
+            if_then(fb, is_r, |fb| {
+                let res = fb.vreg();
+                fb.copy_to(res, 0);
+                for (f, kind) in [
+                    (F_ADDU, 0),
+                    (F_SUBU, 1),
+                    (F_AND, 2),
+                    (F_OR, 3),
+                    (F_SLT, 4),
+                    (F_SLL, 5),
+                    (F_SRL, 6),
+                ] {
+                    let hit = fb.eq(funct, f as i32);
+                    if_then(fb, hit, |fb| {
+                        let v = match kind {
+                            0 => fb.add(rs_v, rt_v),
+                            1 => fb.sub(rs_v, rt_v),
+                            2 => fb.and(rs_v, rt_v),
+                            3 => fb.ior(rs_v, rt_v),
+                            4 => fb.lt(rs_v, rt_v),
+                            5 => fb.shl(rt_v, shamt),
+                            _ => fb.shru(rt_v, shamt),
+                        };
+                        fb.copy_to(res, v);
+                    });
+                }
+                wr_reg(fb, rd_i, res);
+            });
+
+            // I-type / J-type dispatch.
+            let case = |fb: &mut FunctionBuilder, opc: u32| fb.eq(op, opc as i32);
+
+            let c = case(fb, OP_ADDIU);
+            if_then(fb, c, |fb| {
+                let v = fb.add(rs_v, imm);
+                wr_reg(fb, rt_i, v);
+            });
+            let c = case(fb, OP_SLTI);
+            if_then(fb, c, |fb| {
+                let v = fb.lt(rs_v, imm);
+                wr_reg(fb, rt_i, v);
+            });
+            let c = case(fb, OP_LW);
+            if_then(fb, c, |fb| {
+                let a = fb.add(rs_v, imm);
+                let v = fb.ldw(a, gdata.region);
+                wr_reg(fb, rt_i, v);
+            });
+            let c = case(fb, OP_SW);
+            if_then(fb, c, |fb| {
+                let a = fb.add(rs_v, imm);
+                fb.stw(rt_v, a, gdata.region);
+            });
+            let c = case(fb, OP_BEQ);
+            if_then(fb, c, |fb| {
+                let t = fb.eq(rs_v, rt_v);
+                if_then(fb, t, |fb| {
+                    let d = fb.add(pc, imm);
+                    fb.copy_to(pc, d);
+                });
+            });
+            let c = case(fb, OP_BNE);
+            if_then(fb, c, |fb| {
+                let t = fb.ne(rs_v, rt_v);
+                if_then(fb, t, |fb| {
+                    let d = fb.add(pc, imm);
+                    fb.copy_to(pc, d);
+                });
+            });
+            let c = case(fb, OP_J);
+            if_then(fb, c, |fb| {
+                let t = fb.and(w, 0x03ff_ffff);
+                fb.copy_to(pc, t);
+            });
+            let c = case(fb, OP_HALT);
+            if_then(fb, c, |fb| fb.copy_to(running, 0));
+        },
+    );
+
+    // Checksum over the sorted guest data.
+    let sum = fb.copy(0x3a1d);
+    for_range(&mut fb, N_DATA as i32, |fb, i| {
+        let off = fb.shl(i, 2);
+        let a = fb.add(gdata.addr as i32, off);
+        let v = fb.ldw(a, gdata.region);
+        let m = fb.mul(sum, 29);
+        let x1 = fb.xor(m, v);
+        let x2 = fb.xor(x1, i);
+        fb.copy_to(sum, x2);
+    });
+    fb.ret(sum);
+    let id = mb.add(fb.finish());
+    mb.set_entry(id);
+    mb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_ir::interp::run_ret;
+
+    #[test]
+    fn matches_reference() {
+        assert_eq!(run_ret(&build(), &[]), expected());
+    }
+
+    #[test]
+    fn guest_sort_actually_sorts() {
+        let base = 0x100;
+        let program = guest_program(base);
+        let mut data = guest_data();
+        run_guest_native(&program, &mut data, base);
+        let mut want = guest_data();
+        want.sort_unstable();
+        assert_eq!(data, want);
+    }
+
+    #[test]
+    fn encodings_roundtrip() {
+        let w = r_type(F_SLT, 5, 4, 6, 0);
+        assert_eq!(w >> 26, OP_RTYPE);
+        assert_eq!(w >> 21 & 31, 5);
+        assert_eq!(w >> 16 & 31, 4);
+        assert_eq!(w >> 11 & 31, 6);
+        assert_eq!(w & 0x3f, F_SLT);
+        let w = i_type(OP_ADDIU, 2, 4, -1);
+        assert_eq!(w as u16 as i16 as i32, -1);
+    }
+}

@@ -1,0 +1,259 @@
+//! `sha` — SHA-1 message digest (CHStone's `sha` workload).
+//!
+//! Hashes a deterministic 448-byte message (pre-padded to eight 512-bit
+//! blocks during data generation; the kernel itself is the full 80-round
+//! compression loop, the part that dominates CHStone's profile). The
+//! message words are stored pre-byteswapped so the little-endian `ldw`
+//! yields the big-endian word stream SHA-1 consumes.
+
+#![allow(clippy::needless_range_loop)] // indexing mirrors the C reference
+
+use crate::util::{for_range, XorShift32};
+use tta_ir::{FunctionBuilder, Module, ModuleBuilder, Operand, VReg};
+
+/// Message length before padding, in bytes.
+const MSG_LEN: usize = 448;
+/// Padded length (multiple of 64).
+const PADDED: usize = 512;
+const BLOCKS: usize = PADDED / 64;
+
+/// The padded message as big-endian u32 words.
+fn message_words() -> Vec<i32> {
+    let mut bytes = vec![0u8; PADDED];
+    let mut rng = XorShift32(0x51a5_1a5a);
+    for b in bytes.iter_mut().take(MSG_LEN) {
+        *b = rng.next() as u8;
+    }
+    // SHA-1 padding: 0x80, zeros, 64-bit big-endian bit length.
+    bytes[MSG_LEN] = 0x80;
+    let bits = (MSG_LEN as u64) * 8;
+    bytes[PADDED - 8..].copy_from_slice(&bits.to_be_bytes());
+    bytes
+        .chunks_exact(4)
+        .map(|c| i32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+/// Native reference: SHA-1 over the padded message; checksum is the XOR of
+/// the five state words.
+pub fn expected() -> i32 {
+    let words = message_words();
+    let mut h = [0x6745_2301u32, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+    for blk in 0..BLOCKS {
+        let mut w = [0u32; 80];
+        for t in 0..16 {
+            w[t] = words[blk * 16 + t] as u32;
+        }
+        for t in 16..80 {
+            w[t] = (w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16]).rotate_left(1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (t, &wt) in w.iter().enumerate() {
+            let (f, k) = match t / 20 {
+                0 => ((b & c) | (!b & d), 0x5A82_7999u32),
+                1 => (b ^ c ^ d, 0x6ED9_EBA1),
+                2 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wt);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+    (h[0] ^ h[1] ^ h[2] ^ h[3] ^ h[4]) as i32
+}
+
+/// Emit `rotl(x, n)` for a constant rotation.
+fn rotl(fb: &mut FunctionBuilder, x: impl Into<Operand> + Copy, n: i32) -> VReg {
+    let l = fb.shl(x, n);
+    let r = fb.shru(x, 32 - n);
+    fb.ior(l, r)
+}
+
+/// Build the IR module.
+pub fn build() -> Module {
+    let mut mb = ModuleBuilder::new("sha");
+    let msg = mb.data_words(&message_words());
+    let w_buf = mb.buffer(80 * 4);
+    let out = mb.buffer(5 * 4);
+    let mut fb = FunctionBuilder::new("main", 0, true);
+
+    // Hash state (wide constants, manually kept in registers).
+    let h: Vec<VReg> = [0x6745_2301u32, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0]
+        .iter()
+        .map(|&v| fb.copy(v as i32))
+        .collect();
+    // Round constants.
+    let ks: Vec<VReg> = [0x5A82_7999u32, 0x6ED9_EBA1, 0x8F1B_BCDC, 0xCA62_C1D6]
+        .iter()
+        .map(|&v| fb.copy(v as i32))
+        .collect();
+    let msg_base = fb.copy(msg.addr as i32);
+    let w_base = fb.copy(w_buf.addr as i32);
+
+    for_range(&mut fb, BLOCKS as i32, |fb, blk| {
+        // W[0..16] = message words of this block.
+        let blk_off = fb.shl(blk, 6); // *64
+        let blk_base = fb.add(msg_base, blk_off);
+        for_range(fb, 16, |fb, t| {
+            let off = fb.shl(t, 2);
+            let src = fb.add(blk_base, off);
+            let v = fb.ldw(src, msg.region);
+            let dst = fb.add(w_base, off);
+            fb.stw(v, dst, w_buf.region);
+        });
+        // W[16..80] expansion.
+        for_range(fb, 64, |fb, t16| {
+            let t = fb.add(t16, 16);
+            let off = fb.shl(t, 2);
+            let addr_t = fb.add(w_base, off);
+            let ld = |fb: &mut FunctionBuilder, back: i32| {
+                let a = fb.sub(addr_t, back * 4);
+                fb.ldw(a, w_buf.region)
+            };
+            let w3 = ld(fb, 3);
+            let w8 = ld(fb, 8);
+            let w14 = ld(fb, 14);
+            let w16 = ld(fb, 16);
+            let x1 = fb.xor(w3, w8);
+            let x2 = fb.xor(x1, w14);
+            let x3 = fb.xor(x2, w16);
+            let r = rotl(fb, x3, 1);
+            fb.stw(r, addr_t, w_buf.region);
+        });
+
+        // Working variables.
+        let a = fb.copy(h[0]);
+        let b = fb.copy(h[1]);
+        let c = fb.copy(h[2]);
+        let d = fb.copy(h[3]);
+        let e = fb.copy(h[4]);
+
+        // The four 20-round phases.
+        for phase in 0..4 {
+            let k = ks[phase];
+            for_range(fb, 20, |fb, t| {
+                let tt = fb.add(t, (phase as i32) * 20);
+                let off = fb.shl(tt, 2);
+                let wa = fb.add(w_base, off);
+                let wt = fb.ldw(wa, w_buf.region);
+                let f = match phase {
+                    0 => {
+                        let bc = fb.and(b, c);
+                        let nb = fb.xor(b, -1);
+                        let nbd = fb.and(nb, d);
+                        fb.ior(bc, nbd)
+                    }
+                    1 | 3 => {
+                        let t1 = fb.xor(b, c);
+                        fb.xor(t1, d)
+                    }
+                    _ => {
+                        let bc = fb.and(b, c);
+                        let bd = fb.and(b, d);
+                        let cd = fb.and(c, d);
+                        let t1 = fb.ior(bc, bd);
+                        fb.ior(t1, cd)
+                    }
+                };
+                let ra = rotl(fb, a, 5);
+                let s1 = fb.add(ra, f);
+                let s2 = fb.add(s1, e);
+                let s3 = fb.add(s2, k);
+                let tmp = fb.add(s3, wt);
+                fb.copy_to(e, d);
+                fb.copy_to(d, c);
+                let rb = rotl(fb, b, 30);
+                fb.copy_to(c, rb);
+                fb.copy_to(b, a);
+                fb.copy_to(a, tmp);
+            });
+        }
+
+        for (hi, v) in h.iter().zip([a, b, c, d, e]) {
+            let s = fb.add(*hi, v);
+            fb.copy_to(*hi, s);
+        }
+    });
+
+    // Outputs and checksum.
+    let mut sum = fb.copy(0);
+    for (i, hi) in h.iter().enumerate() {
+        fb.stw(*hi, out.word(i as u32), out.region);
+        let s = fb.xor(sum, *hi);
+        sum = s;
+    }
+    fb.ret(sum);
+    let id = mb.add(fb.finish());
+    mb.set_entry(id);
+    mb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_ir::interp::run_ret;
+
+    #[test]
+    fn matches_reference() {
+        assert_eq!(run_ret(&build(), &[]), expected());
+    }
+
+    #[test]
+    fn known_answer_empty_style_check() {
+        // The reference must change if the message changes — guards against
+        // a reference that ignores its input.
+        let mut w = message_words();
+        w[0] ^= 1;
+        // (Recompute manually with the flipped word.)
+        let mut h = [0x6745_2301u32, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+        for blk in 0..BLOCKS {
+            let mut ws = [0u32; 80];
+            for t in 0..16 {
+                ws[t] = w[blk * 16 + t] as u32;
+            }
+            for t in 16..80 {
+                ws[t] = (ws[t - 3] ^ ws[t - 8] ^ ws[t - 14] ^ ws[t - 16]).rotate_left(1);
+            }
+            let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+            for (t, &wt) in ws.iter().enumerate() {
+                let (f, k) = match t / 20 {
+                    0 => ((b & c) | (!b & d), 0x5A82_7999u32),
+                    1 => (b ^ c ^ d, 0x6ED9_EBA1),
+                    2 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                    _ => (b ^ c ^ d, 0xCA62_C1D6),
+                };
+                let tmp = a
+                    .rotate_left(5)
+                    .wrapping_add(f)
+                    .wrapping_add(e)
+                    .wrapping_add(k)
+                    .wrapping_add(wt);
+                e = d;
+                d = c;
+                c = b.rotate_left(30);
+                b = a;
+                a = tmp;
+            }
+            h[0] = h[0].wrapping_add(a);
+            h[1] = h[1].wrapping_add(b);
+            h[2] = h[2].wrapping_add(c);
+            h[3] = h[3].wrapping_add(d);
+            h[4] = h[4].wrapping_add(e);
+        }
+        assert_ne!((h[0] ^ h[1] ^ h[2] ^ h[3] ^ h[4]) as i32, expected());
+    }
+}

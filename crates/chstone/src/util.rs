@@ -1,0 +1,197 @@
+//! Shared helpers for authoring kernels in IR.
+
+use tta_ir::{BlockId, FunctionBuilder, Operand, VReg};
+
+/// Emit `for i in 0..n { body }` into the current block, continuing in a
+/// fresh block afterwards. The body closure receives the builder and the
+/// counter register; loop-carried state uses `copy_to` onto registers
+/// defined before the loop.
+pub fn for_range(
+    fb: &mut FunctionBuilder,
+    n: impl Into<Operand>,
+    body: impl FnOnce(&mut FunctionBuilder, VReg),
+) {
+    let n = n.into();
+    let i = fb.copy(0);
+    let head = fb.new_block();
+    let body_b = fb.new_block();
+    let exit = fb.new_block();
+    fb.jump(head);
+    fb.switch_to(head);
+    let c = fb.lt(i, n);
+    fb.branch(c, body_b, exit);
+    fb.switch_to(body_b);
+    body(fb, i);
+    let i2 = fb.add(i, 1);
+    fb.copy_to(i, i2);
+    fb.jump(head);
+    fb.switch_to(exit);
+}
+
+/// Emit `while cond(fb) != 0 { body }`. The condition closure emits into
+/// the loop-head block and returns the condition register; the body emits
+/// into the body block.
+pub fn while_loop(
+    fb: &mut FunctionBuilder,
+    cond: impl FnOnce(&mut FunctionBuilder) -> VReg,
+    body: impl FnOnce(&mut FunctionBuilder),
+) {
+    let head = fb.new_block();
+    let body_b = fb.new_block();
+    let exit = fb.new_block();
+    fb.jump(head);
+    fb.switch_to(head);
+    let c = cond(fb);
+    fb.branch(c, body_b, exit);
+    fb.switch_to(body_b);
+    body(fb);
+    fb.jump(head);
+    fb.switch_to(exit);
+}
+
+/// Emit `if cond { then }` (no else), continuing in a fresh block.
+pub fn if_then(
+    fb: &mut FunctionBuilder,
+    cond: impl Into<Operand>,
+    then: impl FnOnce(&mut FunctionBuilder),
+) {
+    let t = fb.new_block();
+    let merge = fb.new_block();
+    fb.branch(cond, t, merge);
+    fb.switch_to(t);
+    then(fb);
+    fb.jump(merge);
+    fb.switch_to(merge);
+}
+
+/// Emit `if cond { then } else { other }`, continuing in a fresh block.
+pub fn if_else(
+    fb: &mut FunctionBuilder,
+    cond: impl Into<Operand>,
+    then: impl FnOnce(&mut FunctionBuilder),
+    other: impl FnOnce(&mut FunctionBuilder),
+) {
+    let t = fb.new_block();
+    let e = fb.new_block();
+    let merge = fb.new_block();
+    fb.branch(cond, t, e);
+    fb.switch_to(t);
+    then(fb);
+    fb.jump(merge);
+    fb.switch_to(e);
+    other(fb);
+    fb.jump(merge);
+    fb.switch_to(merge);
+}
+
+/// `select(cond, a, b)`: branchless-ish select via a diamond, returning a
+/// merged register.
+pub fn select(
+    fb: &mut FunctionBuilder,
+    cond: impl Into<Operand>,
+    a: impl Into<Operand>,
+    b: impl Into<Operand>,
+) -> VReg {
+    let (a, b) = (a.into(), b.into());
+    let out = fb.vreg();
+    if_else(
+        fb,
+        cond,
+        |fb| fb.copy_to(out, a),
+        |fb| fb.copy_to(out, b),
+    );
+    out
+}
+
+/// The block the builder is currently emitting into (handy for manual CFG
+/// work in kernels).
+pub fn here(fb: &FunctionBuilder) -> BlockId {
+    fb.current()
+}
+
+/// A simple deterministic PRNG (xorshift32) usable both natively and as a
+/// data generator for kernel inputs.
+pub struct XorShift32(pub u32);
+
+impl XorShift32 {
+    /// Next pseudo-random value.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u32 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        self.0 = x;
+        x
+    }
+
+    /// Next value reduced to `0..bound`.
+    pub fn below(&mut self, bound: u32) -> u32 {
+        self.next() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_ir::builder::ModuleBuilder;
+    use tta_ir::interp::run_ret;
+
+    #[test]
+    fn for_range_counts() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut fb = FunctionBuilder::new("main", 0, true);
+        let acc = fb.copy(0);
+        for_range(&mut fb, 10, |fb, i| {
+            let s = fb.add(acc, i);
+            fb.copy_to(acc, s);
+        });
+        fb.ret(acc);
+        let id = mb.add(fb.finish());
+        mb.set_entry(id);
+        assert_eq!(run_ret(&mb.finish(), &[]), 45);
+    }
+
+    #[test]
+    fn while_loop_terminates() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut fb = FunctionBuilder::new("main", 0, true);
+        let x = fb.copy(1);
+        while_loop(
+            &mut fb,
+            |fb| fb.lt(x, 100),
+            |fb| {
+                let d = fb.mul(x, 2);
+                fb.copy_to(x, d);
+            },
+        );
+        fb.ret(x);
+        let id = mb.add(fb.finish());
+        mb.set_entry(id);
+        assert_eq!(run_ret(&mb.finish(), &[]), 128);
+    }
+
+    #[test]
+    fn select_picks_sides() {
+        for (c, want) in [(1, 10), (0, 20)] {
+            let mut mb = ModuleBuilder::new("t");
+            let mut fb = FunctionBuilder::new("main", 0, true);
+            let cond = fb.copy(c);
+            let v = select(&mut fb, cond, 10, 20);
+            fb.ret(v);
+            let id = mb.add(fb.finish());
+            mb.set_entry(id);
+            assert_eq!(run_ret(&mb.finish(), &[]), want);
+        }
+    }
+
+    #[test]
+    fn xorshift_is_deterministic() {
+        let mut a = XorShift32(0x1234_5678);
+        let mut b = XorShift32(0x1234_5678);
+        for _ in 0..100 {
+            assert_eq!(a.next(), b.next());
+        }
+        assert_ne!(XorShift32(1).next(), XorShift32(2).next());
+    }
+}

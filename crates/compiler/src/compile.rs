@@ -1,0 +1,368 @@
+//! The top-level compilation driver: verified IR module in, validated
+//! machine program out.
+//!
+//! Pipeline: verify → exhaustive inlining → constant legalisation →
+//! linear-scan register allocation → located-code lowering → style-specific
+//! scheduling (TTA / VLIW / scalar) → block layout and branch-target
+//! patching → program validation.
+
+use crate::consts::ConstStats;
+use crate::inline::inline_module;
+use crate::loc::lower;
+use crate::regalloc::allocate;
+use crate::scalar_sched::{ScalarCodegen, WhichSrc};
+use crate::tta_sched::{TtaScheduler, TtaStats};
+use crate::vliw_sched::VliwScheduler;
+use tta_ir::Module;
+use tta_isa::encoding::{fits_signed, vliw_imm_bits};
+use tta_isa::{OpSrc, Program, ScalarInst, VliwSlot};
+use tta_model::{CoreStyle, Machine, RegRef, RfId};
+
+/// A compilation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The input module failed verification.
+    Verify(Vec<tta_ir::VerifyError>),
+    /// The module could not be inlined (recursion).
+    Inline(String),
+    /// Register allocation failed.
+    Alloc(String),
+    /// The produced program failed machine validation (a compiler bug).
+    Invalid(Vec<tta_isa::IsaError>),
+    /// The module shape is unsupported.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Verify(es) => write!(f, "verification failed: {} errors", es.len()),
+            CompileError::Inline(m) => write!(f, "inlining failed: {m}"),
+            CompileError::Alloc(m) => write!(f, "register allocation failed: {m}"),
+            CompileError::Invalid(es) => {
+                write!(f, "compiler produced an invalid program: ")?;
+                for e in es.iter().take(3) {
+                    write!(f, "{e}; ")?;
+                }
+                Ok(())
+            }
+            CompileError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compilation statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompileStats {
+    /// Blocks in the flattened function.
+    pub blocks: usize,
+    /// Located operations scheduled.
+    pub ops: usize,
+    /// Values spilled by the register allocator.
+    pub spilled: usize,
+    /// Constant legalisation counters.
+    pub consts: ConstStats,
+    /// Instructions removed by dead-code elimination.
+    pub dce_removed: usize,
+    /// Instructions rewritten by constant folding / identity
+    /// simplification.
+    pub folded: usize,
+    /// TTA-specific schedule quality (zeroed for other styles).
+    pub tta: TtaStats,
+}
+
+/// A compiled program plus its metadata.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The machine program (style matches the machine).
+    pub program: Program,
+    /// Name of the machine compiled for.
+    pub machine: String,
+    /// Start address (instruction index) of each block.
+    pub block_starts: Vec<u32>,
+    /// Statistics.
+    pub stats: CompileStats,
+}
+
+impl Compiled {
+    /// A human-readable assembly listing of the program, with block
+    /// markers at the compiler's block-start addresses.
+    pub fn listing(&self) -> String {
+        let mut out = String::new();
+        let is_block_start = |pc: usize| self.block_starts.contains(&(pc as u32));
+        let line = |pc: usize, text: String, out: &mut String| {
+            if is_block_start(pc) {
+                let bi = self.block_starts.iter().position(|&s| s == pc as u32).unwrap();
+                out.push_str(&format!("bb{bi}:\n"));
+            }
+            out.push_str(&format!("{pc:6}: {text}\n"));
+        };
+        match &self.program {
+            Program::Tta(insts) => {
+                for (pc, i) in insts.iter().enumerate() {
+                    line(pc, i.to_string(), &mut out);
+                }
+            }
+            Program::Vliw(bundles) => {
+                for (pc, b) in bundles.iter().enumerate() {
+                    line(pc, b.to_string(), &mut out);
+                }
+            }
+            Program::Scalar(insts) => {
+                for (pc, i) in insts.iter().enumerate() {
+                    line(pc, i.to_string(), &mut out);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The reserved VLIW branch-target scratch register: the highest register
+/// of the first file.
+pub fn vliw_bt_reg(m: &Machine) -> RegRef {
+    RegRef { rf: RfId(0), index: m.rfs[0].regs - 1 }
+}
+
+/// Compile `module` for `machine` with every TTA freedom enabled.
+pub fn compile(module: &Module, machine: &Machine) -> Result<Compiled, CompileError> {
+    compile_with(module, machine, crate::tta_sched::TtaOptions::default())
+}
+
+/// Compile with explicit TTA-freedom toggles (no effect on VLIW/scalar
+/// targets); used by the ablation study.
+pub fn compile_with(
+    module: &Module,
+    machine: &Machine,
+    opts: crate::tta_sched::TtaOptions,
+) -> Result<Compiled, CompileError> {
+    tta_ir::verify::verify_module(module).map_err(CompileError::Verify)?;
+    if !module.entry_func().params.is_empty() {
+        return Err(CompileError::Unsupported(
+            "entry functions must take no parameters".into(),
+        ));
+    }
+    let mut flat = inline_module(module).map_err(|e| CompileError::Inline(e.0))?;
+    // Folding exposes dead code and vice versa; iterate the pair to a
+    // fixpoint (bounded — each round strictly shrinks or stops).
+    let mut dce_removed = 0;
+    let mut folded = 0;
+    loop {
+        let f = crate::fold::fold_constants(&mut flat)
+            + crate::fold::propagate_single_def_constants(&mut flat);
+        let d = crate::dce::eliminate_dead_code(&mut flat);
+        folded += f;
+        dce_removed += d;
+        if f == 0 && d == 0 {
+            break;
+        }
+    }
+
+    // Constant legalisation with the style's inline-immediate reach.
+    let fits: Box<dyn Fn(i32) -> bool> = match machine.style {
+        CoreStyle::Tta => {
+            let bits: Vec<u8> = machine.buses.iter().map(|b| b.simm_bits).collect();
+            let min = bits.into_iter().min().unwrap_or(0) as u32;
+            Box::new(move |v| fits_signed(v, min))
+        }
+        CoreStyle::Vliw => {
+            let bits = vliw_imm_bits(machine);
+            Box::new(move |v| fits_signed(v, bits))
+        }
+        CoreStyle::Scalar => {
+            let bits = machine.scalar.expect("scalar machine").imm_bits as u32;
+            Box::new(move |v| fits_signed(v, bits))
+        }
+    };
+    // Hoisting floods long-lived registers; budget it to a quarter of the
+    // register file so the allocator never spills just to hold constants.
+    let hoist_budget = (machine.total_regs() as usize / 4).max(4);
+    let const_stats =
+        crate::consts::hoist_wide_constants(&mut flat, fits.as_ref(), hoist_budget);
+
+    // Register allocation (reserving the VLIW branch-target register).
+    let reserved: Vec<RegRef> = match machine.style {
+        CoreStyle::Vliw => vec![vliw_bt_reg(machine)],
+        _ => vec![],
+    };
+    let spill_base = module.mem_size.saturating_sub(4096);
+    let alloc = allocate(&flat, machine, &reserved, spill_base)
+        .map_err(|e| CompileError::Alloc(e.0))?;
+    let spilled = alloc.spilled;
+    let lf = lower(&alloc);
+
+    let mut stats = CompileStats {
+        blocks: lf.blocks.len(),
+        ops: lf.blocks.iter().map(|b| b.ops.len()).sum(),
+        spilled,
+        consts: const_stats,
+        dce_removed,
+        folded,
+        tta: TtaStats::default(),
+    };
+
+    // Schedule + layout + patch.
+    let (program, block_starts) = match machine.style {
+        CoreStyle::Vliw => {
+            let sched = VliwScheduler::new(machine, vliw_bt_reg(machine));
+            let blocks = sched.schedule(&lf);
+            let mut starts = Vec::with_capacity(blocks.len());
+            let mut insts = Vec::new();
+            for b in &blocks {
+                starts.push(insts.len() as u32);
+                insts.extend(b.bundles.iter().cloned());
+            }
+            // Patch branch-target long immediates.
+            for (bi, b) in blocks.iter().enumerate() {
+                for p in &b.patches {
+                    let at = (starts[bi] + p.cycle) as usize;
+                    let target = starts[p.target.0 as usize] as i32;
+                    match &mut insts[at].slots[p.slot] {
+                        Some(VliwSlot::LimmHead { value, .. }) => *value = target,
+                        other => panic!("patch site is not a limm head: {other:?}"),
+                    }
+                }
+            }
+            (Program::Vliw(insts), starts)
+        }
+        CoreStyle::Tta => {
+            let mut sched = TtaScheduler::with_options(machine, opts);
+            let blocks = sched.schedule(&lf);
+            stats.tta = sched.stats;
+            let mut starts = Vec::with_capacity(blocks.len());
+            let mut insts = Vec::new();
+            for b in &blocks {
+                starts.push(insts.len() as u32);
+                insts.extend(b.insts.iter().cloned());
+            }
+            for (bi, b) in blocks.iter().enumerate() {
+                for p in &b.patches {
+                    let at = (starts[bi] + p.cycle) as usize;
+                    let target = starts[p.target.0 as usize] as i32;
+                    match &mut insts[at].limm {
+                        Some((_, value)) => *value = target,
+                        None => panic!("patch site has no long immediate"),
+                    }
+                }
+            }
+            (Program::Tta(insts), starts)
+        }
+        CoreStyle::Scalar => {
+            let cg = ScalarCodegen::new(machine);
+            let blocks = cg.generate(&lf);
+            let mut starts = Vec::with_capacity(blocks.len());
+            let mut insts = Vec::new();
+            for b in &blocks {
+                starts.push(insts.len() as u32);
+                insts.extend(b.insts.iter().cloned());
+            }
+            for (bi, b) in blocks.iter().enumerate() {
+                for p in &b.patches {
+                    let at = (starts[bi] + p.index) as usize;
+                    let target = starts[p.target.0 as usize] as i32;
+                    match &mut insts[at] {
+                        ScalarInst::Op(o) => {
+                            let field = match p.which {
+                                WhichSrc::A => &mut o.a,
+                                WhichSrc::B => &mut o.b,
+                            };
+                            *field = Some(OpSrc::Imm(target));
+                        }
+                        ScalarInst::ImmPrefix => panic!("patch site is a prefix"),
+                    }
+                }
+            }
+            (Program::Scalar(insts), starts)
+        }
+    };
+
+    program.validate(machine).map_err(CompileError::Invalid)?;
+    Ok(Compiled { program, machine: machine.name.clone(), block_starts, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_ir::builder::{FunctionBuilder, ModuleBuilder};
+    use tta_model::presets;
+
+    fn sum_module(n: i32) -> Module {
+        let mut mb = ModuleBuilder::new("sum");
+        let buf = mb.buffer(64);
+        let mut fb = FunctionBuilder::new("main", 0, true);
+        let i = fb.copy(0);
+        let sum = fb.copy(0);
+        let head = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.jump(head);
+        fb.switch_to(head);
+        let c = fb.lt(i, n);
+        fb.branch(c, body, exit);
+        fb.switch_to(body);
+        let addr = fb.shl(i, 2);
+        let addr = fb.add(addr, buf.base());
+        fb.stw(i, addr, buf.region);
+        let v = fb.ldw(addr, buf.region);
+        let s2 = fb.add(sum, v);
+        fb.copy_to(sum, s2);
+        let i2 = fb.add(i, 1);
+        fb.copy_to(i, i2);
+        fb.jump(head);
+        fb.switch_to(exit);
+        fb.ret(sum);
+        let id = mb.add(fb.finish());
+        mb.set_entry(id);
+        mb.finish()
+    }
+
+    #[test]
+    fn compiles_for_every_design_point() {
+        let m = sum_module(10);
+        for machine in presets::all_design_points() {
+            let c = compile(&m, &machine)
+                .unwrap_or_else(|e| panic!("{}: {e}", machine.name));
+            assert!(!c.program.is_empty(), "{}", machine.name);
+            assert_eq!(c.block_starts.len(), c.stats.blocks);
+        }
+    }
+
+    #[test]
+    fn branch_targets_are_patched() {
+        let m = sum_module(3);
+        let machine = presets::mblaze_3();
+        let c = compile(&m, &machine).unwrap();
+        // No instruction may carry a zero jump-target placeholder pointing
+        // nowhere: every control op's target must be a valid address.
+        if let Program::Scalar(insts) = &c.program {
+            for inst in insts {
+                if let ScalarInst::Op(o) = inst {
+                    if o.op.is_ctrl() && o.op != tta_model::Opcode::Halt {
+                        let target = [o.a, o.b]
+                            .into_iter()
+                            .flatten()
+                            .find_map(|s| match s {
+                                OpSrc::Imm(v) => Some(v),
+                                _ => None,
+                            })
+                            .expect("jump target immediate");
+                        assert!((target as usize) < insts.len());
+                    }
+                }
+            }
+        } else {
+            panic!("expected scalar program");
+        }
+    }
+
+    #[test]
+    fn tta_stats_show_bypassing() {
+        let m = sum_module(10);
+        let machine = presets::m_tta_2();
+        let c = compile(&m, &machine).unwrap();
+        assert!(c.stats.tta.moves > 0);
+        assert!(c.stats.tta.bypassed > 0, "expected some software bypassing");
+    }
+}

@@ -1,0 +1,526 @@
+//! List scheduler for the operation-triggered VLIW targets.
+//!
+//! Timing model (matches the paper's synthesised VLIW, which has *no*
+//! forwarding network — §V.B notes the comparison omits forward-resolution
+//! logic): an operation issued at cycle `t` reads its RF operands at `t`,
+//! occupies an RF write port at `t + latency`, and its result becomes
+//! readable at `t + latency + 1`. The one-cycle writeback penalty on every
+//! dependence edge is exactly what TTA software bypassing removes.
+
+use crate::ddg::{DepKind, Ddg};
+use crate::loc::{LocBlock, LocFunc, LocKind, LocOp, LocSrc, LocTerm, RETVAL_ADDR};
+use tta_ir::BlockId;
+use tta_isa::encoding::{fits_signed, vliw_imm_bits};
+use tta_isa::{OpSrc, Operation, VliwBundle, VliwSlot};
+use tta_model::{FuId, FuKind, Machine, Opcode, RegRef};
+
+/// A branch-target long-immediate awaiting its absolute address.
+#[derive(Debug, Clone, Copy)]
+pub struct Patch {
+    /// Cycle within the block.
+    pub cycle: u32,
+    /// First slot of the long immediate.
+    pub slot: usize,
+    /// Target block whose start address must be written.
+    pub target: BlockId,
+}
+
+/// A scheduled block.
+#[derive(Debug, Clone)]
+pub struct SchedBlock {
+    /// The bundles (block-local cycles).
+    pub bundles: Vec<VliwBundle>,
+    /// Branch-target patches.
+    pub patches: Vec<Patch>,
+}
+
+/// Growable per-cycle resource grid.
+struct Grid<'m> {
+    m: &'m Machine,
+    slots: Vec<Vec<bool>>,
+    fu_busy: Vec<Vec<bool>>,
+    reads: Vec<Vec<u8>>,
+    writes: Vec<Vec<u8>>,
+}
+
+impl<'m> Grid<'m> {
+    fn new(m: &'m Machine) -> Self {
+        Grid { m, slots: Vec::new(), fu_busy: Vec::new(), reads: Vec::new(), writes: Vec::new() }
+    }
+
+    fn grow(&mut self, cycle: u32) {
+        while self.slots.len() <= cycle as usize {
+            self.slots.push(vec![false; self.m.slots.len()]);
+            self.fu_busy.push(vec![false; self.m.funits.len()]);
+            self.reads.push(vec![0; self.m.rfs.len()]);
+            self.writes.push(vec![0; self.m.rfs.len()]);
+        }
+    }
+
+    fn read_ok(&mut self, t: u32, regs: &[RegRef]) -> bool {
+        self.grow(t);
+        let mut need = vec![0u8; self.m.rfs.len()];
+        for r in regs {
+            need[r.rf.0 as usize] += 1;
+        }
+        need.iter().enumerate().all(|(rf, &n)| {
+            self.reads[t as usize][rf] + n <= self.m.rfs[rf].read_ports
+        })
+    }
+
+    fn write_ok(&mut self, t: u32, reg: RegRef) -> bool {
+        self.grow(t);
+        self.writes[t as usize][reg.rf.0 as usize] < self.m.rfs[reg.rf.0 as usize].write_ports
+    }
+
+    fn free_slot_for(&mut self, t: u32, fu: FuId) -> Option<usize> {
+        self.grow(t);
+        (0..self.m.slots.len())
+            .find(|&s| !self.slots[t as usize][s] && self.m.slots[s].units.contains(&fu))
+    }
+
+    fn consecutive_free_slots(&mut self, t: u32, n: usize) -> Option<usize> {
+        self.grow(t);
+        let row = &self.slots[t as usize];
+        (0..=row.len().saturating_sub(n)).find(|&s| row[s..s + n].iter().all(|b| !b))
+    }
+
+    fn commit_op(&mut self, t: u32, slot: usize, fu: FuId, reads: &[RegRef], write: Option<(u32, RegRef)>) {
+        self.grow(t);
+        self.slots[t as usize][slot] = true;
+        self.fu_busy[t as usize][fu.0 as usize] = true;
+        for r in reads {
+            self.reads[t as usize][r.rf.0 as usize] += 1;
+        }
+        if let Some((wt, wr)) = write {
+            self.grow(wt);
+            self.writes[wt as usize][wr.rf.0 as usize] += 1;
+        }
+    }
+}
+
+/// Context for scheduling one function.
+pub struct VliwScheduler<'m> {
+    m: &'m Machine,
+    /// Reserved branch-target scratch register.
+    pub bt_reg: RegRef,
+    imm_bits: u32,
+}
+
+impl<'m> VliwScheduler<'m> {
+    /// Create a scheduler for a VLIW machine. `bt_reg` must have been
+    /// reserved during register allocation.
+    pub fn new(m: &'m Machine, bt_reg: RegRef) -> Self {
+        VliwScheduler { m, bt_reg, imm_bits: vliw_imm_bits(m) }
+    }
+
+    /// Schedule all blocks of a function. Blocks are laid out in index
+    /// order; `fallthrough[bi]` is the next block in layout (None for the
+    /// last).
+    pub fn schedule(&self, f: &LocFunc) -> Vec<SchedBlock> {
+        f.blocks
+            .iter()
+            .enumerate()
+            .map(|(bi, b)| {
+                let next = if bi + 1 < f.blocks.len() {
+                    Some(BlockId(bi as u32 + 1))
+                } else {
+                    None
+                };
+                self.schedule_block(b, next)
+            })
+            .collect()
+    }
+
+    fn op_src(&self, s: LocSrc) -> OpSrc {
+        match s {
+            LocSrc::Reg(r) => OpSrc::Reg(r),
+            LocSrc::Imm(v) => {
+                debug_assert!(
+                    fits_signed(v, self.imm_bits),
+                    "constant legalisation must have removed wide immediate {v}"
+                );
+                OpSrc::Imm(v)
+            }
+        }
+    }
+
+    /// Pick the opcode/FU/operands for a located op (Copy becomes
+    /// `add a, #0`; wide-immediate Copy becomes a long immediate, handled by
+    /// the caller).
+    fn operation_for(&self, op: &LocOp) -> (Opcode, Vec<FuId>, Option<OpSrc>, Option<OpSrc>) {
+        match op.kind {
+            LocKind::Alu(o) => {
+                let units: Vec<FuId> = self.m.units_for(o).collect();
+                if o.num_inputs() == 1 {
+                    (o, units, None, Some(self.op_src(op.b.unwrap())))
+                } else {
+                    (o, units, Some(self.op_src(op.a.unwrap())), Some(self.op_src(op.b.unwrap())))
+                }
+            }
+            LocKind::Load(o, _) => {
+                (o, self.m.units_for(o).collect(), None, Some(self.op_src(op.b.unwrap())))
+            }
+            LocKind::Store(o, _) => (
+                o,
+                self.m.units_for(o).collect(),
+                Some(self.op_src(op.a.unwrap())),
+                Some(self.op_src(op.b.unwrap())),
+            ),
+            LocKind::Copy => {
+                let a = self.op_src(op.a.unwrap());
+                let units: Vec<FuId> = self.m.units_for(Opcode::Add).collect();
+                (Opcode::Add, units, Some(a), Some(OpSrc::Imm(0)))
+            }
+        }
+    }
+
+    fn is_wide_copy(&self, op: &LocOp) -> bool {
+        matches!(
+            (op.kind, op.a),
+            (LocKind::Copy, Some(LocSrc::Imm(v))) if !fits_signed(v, self.imm_bits)
+        )
+    }
+
+    fn earliest_from_deps(
+        &self,
+        i: usize,
+        ddg: &Ddg,
+        block: &LocBlock,
+        cycle_of: &[Option<u32>],
+    ) -> u32 {
+        let mut t = 0u32;
+        for d in &ddg.preds[i] {
+            let tp = cycle_of[d.from].expect("topological order");
+            let lp = block.ops[d.from].latency();
+            let li = block.ops[i].latency();
+            let min = match d.kind {
+                DepKind::Data => tp + lp + 1,
+                DepKind::Anti => tp,
+                DepKind::Output => tp + 1.max(lp.saturating_sub(li) + 1),
+                DepKind::Mem => {
+                    let prior_is_load = matches!(block.ops[d.from].kind, LocKind::Load(..));
+                    let cur_is_store = matches!(block.ops[i].kind, LocKind::Store(..));
+                    if prior_is_load && cur_is_store {
+                        tp
+                    } else {
+                        tp + 1
+                    }
+                }
+            };
+            t = t.max(min);
+        }
+        t
+    }
+
+    fn schedule_block(&self, block: &LocBlock, next: Option<BlockId>) -> SchedBlock {
+        let ddg = Ddg::build(block);
+        let order = ddg.priority_order();
+        let mut grid = Grid::new(self.m);
+        let mut bundles: Vec<VliwBundle> = Vec::new();
+        let mut cycle_of: Vec<Option<u32>> = vec![None; block.ops.len()];
+        let mut last_activity = 0u32;
+        let ensure = |bundles: &mut Vec<VliwBundle>, t: u32, nslots: usize| {
+            while bundles.len() <= t as usize {
+                bundles.push(VliwBundle::nop(nslots));
+            }
+        };
+        let nslots = self.m.slots.len();
+
+        for &i in &order {
+            let op = &block.ops[i];
+            let earliest = self.earliest_from_deps(i, &ddg, block, &cycle_of);
+            if self.is_wide_copy(op) {
+                // Long immediate: consecutive slots, writeback at t+1.
+                let dst = op.dst.expect("copy has a destination");
+                let value = match op.a {
+                    Some(LocSrc::Imm(v)) => v,
+                    _ => unreachable!(),
+                };
+                let mut t = earliest;
+                let slot = loop {
+                    if let Some(s) = grid.consecutive_free_slots(t, self.m.vliw_limm_slots as usize)
+                    {
+                        if grid.write_ok(t + 1, dst) {
+                            break s;
+                        }
+                    }
+                    t += 1;
+                };
+                ensure(&mut bundles, t, nslots);
+                bundles[t as usize].slots[slot] = Some(VliwSlot::LimmHead { dst, value });
+                for k in 1..self.m.vliw_limm_slots as usize {
+                    bundles[t as usize].slots[slot + k] = Some(VliwSlot::LimmCont);
+                }
+                for k in 0..self.m.vliw_limm_slots as usize {
+                    grid.slots[t as usize][slot + k] = true;
+                }
+                grid.grow(t + 1);
+                grid.writes[t as usize + 1][dst.rf.0 as usize] += 1;
+                cycle_of[i] = Some(t);
+                last_activity = last_activity.max(t + 1);
+                continue;
+            }
+
+            let (opcode, units, a, b) = self.operation_for(op);
+            let reads: Vec<RegRef> = [a, b]
+                .into_iter()
+                .flatten()
+                .filter_map(|s| match s {
+                    OpSrc::Reg(r) => Some(r),
+                    OpSrc::Imm(_) => None,
+                })
+                .collect();
+            let lat = opcode.latency();
+            let mut t = earliest;
+            let (t, slot, fu) = loop {
+                grid.grow(t);
+                let mut found = None;
+                for &fu in &units {
+                    if grid.fu_busy[t as usize][fu.0 as usize] {
+                        continue;
+                    }
+                    if let Some(s) = grid.free_slot_for(t, fu) {
+                        found = Some((s, fu));
+                        break;
+                    }
+                }
+                if let Some((s, fu)) = found {
+                    let reads_ok = grid.read_ok(t, &reads);
+                    let write_ok = match op.dst {
+                        Some(d) if opcode.has_result() => grid.write_ok(t + lat, d),
+                        _ => true,
+                    };
+                    if reads_ok && write_ok {
+                        break (t, s, fu);
+                    }
+                }
+                t += 1;
+            };
+            let dst = if opcode.has_result() { op.dst } else { None };
+            let write = dst.map(|d| (t + lat, d));
+            grid.commit_op(t, slot, fu, &reads, write);
+            ensure(&mut bundles, t, nslots);
+            bundles[t as usize].slots[slot] =
+                Some(VliwSlot::Op(Operation { op: opcode, fu, dst, a, b }));
+            cycle_of[i] = Some(t);
+            last_activity = last_activity.max(t);
+            if let Some((wt, _)) = write {
+                last_activity = last_activity.max(wt);
+            }
+        }
+
+        // Terminator.
+        let mut patches = Vec::new();
+        let cond_ready = ddg
+            .term_def
+            .map(|d| cycle_of[d].unwrap() + block.ops[d].latency() + 1)
+            .unwrap_or(0);
+        let d = self.m.jump_delay_slots;
+
+        match block.term {
+            LocTerm::Jump(target) if Some(target) == next => {
+                // Fall through; pad so every writeback lands inside the
+                // block.
+                ensure(&mut bundles, last_activity, nslots);
+            }
+            LocTerm::Jump(target) => {
+                self.emit_jump(
+                    &mut grid,
+                    &mut bundles,
+                    &mut patches,
+                    Opcode::Jump,
+                    None,
+                    target,
+                    0,
+                    0,
+                    last_activity,
+                    d,
+                );
+            }
+            LocTerm::Branch { cond, if_true, if_false } => {
+                let cond_src = self.op_src(cond);
+                let (opcode, target, other) = if Some(if_false) == next {
+                    (Opcode::CJnz, if_true, None)
+                } else if Some(if_true) == next {
+                    (Opcode::CJz, if_false, None)
+                } else {
+                    (Opcode::CJnz, if_true, Some(if_false))
+                };
+                let t_br = self.emit_jump(
+                    &mut grid,
+                    &mut bundles,
+                    &mut patches,
+                    opcode,
+                    Some(cond_src),
+                    target,
+                    cond_ready,
+                    0,
+                    last_activity,
+                    d,
+                );
+                if let Some(f_target) = other {
+                    self.emit_jump(
+                        &mut grid,
+                        &mut bundles,
+                        &mut patches,
+                        Opcode::Jump,
+                        None,
+                        f_target,
+                        t_br + d + 1,
+                        t_br,
+                        last_activity,
+                        d,
+                    );
+                }
+            }
+            LocTerm::Ret(v) => {
+                // Store the return value, then halt.
+                let mut after = last_activity;
+                if let Some(v) = v {
+                    let val = self.op_src(v);
+                    let lsu = self
+                        .m
+                        .fu_ids()
+                        .find(|&f| self.m.fu(f).kind == FuKind::Lsu)
+                        .expect("machine has an LSU");
+                    let ready = match v {
+                        LocSrc::Reg(_) => cond_ready, // term_def covers the value
+                        LocSrc::Imm(_) => 0,
+                    };
+                    let mut t = ready;
+                    let (t, slot) = loop {
+                        if let Some(s) = grid.free_slot_for(t, lsu) {
+                            let reads: Vec<RegRef> = match val {
+                                OpSrc::Reg(r) => vec![r],
+                                _ => vec![],
+                            };
+                            if grid.read_ok(t, &reads) {
+                                break (t, s);
+                            }
+                        }
+                        t += 1;
+                    };
+                    grid.slots[t as usize][slot] = true;
+                    ensure(&mut bundles, t, nslots);
+                    bundles[t as usize].slots[slot] = Some(VliwSlot::Op(Operation {
+                        op: Opcode::Stw,
+                        fu: lsu,
+                        dst: None,
+                        a: Some(val),
+                        b: Some(OpSrc::Imm(RETVAL_ADDR as i32)),
+                    }));
+                    after = after.max(t);
+                }
+                // Halt.
+                let cu = self.m.ctrl_unit();
+                let mut t = after;
+                let (t, slot) = loop {
+                    if let Some(s) = grid.free_slot_for(t, cu) {
+                        break (t, s);
+                    }
+                    t += 1;
+                };
+                grid.slots[t as usize][slot] = true;
+                ensure(&mut bundles, t, nslots);
+                bundles[t as usize].slots[slot] = Some(VliwSlot::Op(Operation {
+                    op: Opcode::Halt,
+                    fu: cu,
+                    dst: None,
+                    a: None,
+                    b: Some(OpSrc::Imm(0)),
+                }));
+            }
+        }
+
+        SchedBlock { bundles, patches }
+    }
+
+    /// Emit `limm bt_reg <- target` followed by a control op reading it.
+    /// Returns the control op's cycle.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_jump(
+        &self,
+        grid: &mut Grid,
+        bundles: &mut Vec<VliwBundle>,
+        patches: &mut Vec<Patch>,
+        opcode: Opcode,
+        cond: Option<OpSrc>,
+        target: BlockId,
+        ready: u32,
+        min_limm: u32,
+        last_activity: u32,
+        delay_slots: u32,
+    ) -> u32 {
+        let nslots = self.m.slots.len();
+        let ensure = |bundles: &mut Vec<VliwBundle>, t: u32| {
+            while bundles.len() <= t as usize {
+                bundles.push(VliwBundle::nop(nslots));
+            }
+        };
+        // Long immediate for the target address.
+        let mut t_l = min_limm;
+        let slot_l = loop {
+            if let Some(s) = grid.consecutive_free_slots(t_l, self.m.vliw_limm_slots as usize) {
+                if grid.write_ok(t_l + 1, self.bt_reg) {
+                    break s;
+                }
+            }
+            t_l += 1;
+        };
+        ensure(bundles, t_l);
+        bundles[t_l as usize].slots[slot_l] =
+            Some(VliwSlot::LimmHead { dst: self.bt_reg, value: 0 });
+        for k in 1..self.m.vliw_limm_slots as usize {
+            bundles[t_l as usize].slots[slot_l + k] = Some(VliwSlot::LimmCont);
+        }
+        for k in 0..self.m.vliw_limm_slots as usize {
+            grid.slots[t_l as usize][slot_l + k] = true;
+        }
+        grid.grow(t_l + 1);
+        grid.writes[t_l as usize + 1][self.bt_reg.rf.0 as usize] += 1;
+        patches.push(Patch { cycle: t_l, slot: slot_l, target });
+
+        // The control op: must start no earlier than the limm is readable,
+        // the condition is ready, and late enough that every writeback lands
+        // within the delay-slot window.
+        let cu = self.m.ctrl_unit();
+        let mut t = ready
+            .max(t_l + 2)
+            .max(last_activity.saturating_sub(delay_slots));
+        let (t_br, slot) = loop {
+            if let Some(s) = grid.free_slot_for(t, cu) {
+                let reads: Vec<RegRef> = std::iter::once(self.bt_reg)
+                    .chain(cond.and_then(|c| match c {
+                        OpSrc::Reg(r) => Some(r),
+                        _ => None,
+                    }))
+                    .collect();
+                if grid.read_ok(t, &reads) {
+                    break (t, s);
+                }
+            }
+            t += 1;
+        };
+        let reads: Vec<RegRef> = std::iter::once(self.bt_reg)
+            .chain(cond.and_then(|c| match c {
+                OpSrc::Reg(r) => Some(r),
+                _ => None,
+            }))
+            .collect();
+        grid.commit_op(t_br, slot, cu, &reads, None);
+        ensure(bundles, t_br + delay_slots);
+        let (a, b) = match cond {
+            // Conditional jumps: target on the operand port, condition on
+            // the trigger.
+            Some(c) => (Some(OpSrc::Reg(self.bt_reg)), Some(c)),
+            // Unconditional jump: the target itself triggers.
+            None => (None, Some(OpSrc::Reg(self.bt_reg))),
+        };
+        bundles[t_br as usize].slots[slot] =
+            Some(VliwSlot::Op(Operation { op: opcode, fu: cu, dst: None, a, b }));
+        // The bundles up to t_br + delay_slots exist; everything scheduled
+        // there already belongs to this block (delay-slot execution).
+        t_br
+    }
+}

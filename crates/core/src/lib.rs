@@ -1,0 +1,222 @@
+//! # tta-core — transport-triggered soft cores, end to end
+//!
+//! The facade crate of the *Transport-Triggered Soft Cores* reproduction:
+//! design (or pick) a soft-core architecture, compile a program for it, run
+//! it cycle-accurately, and estimate what it would cost on an FPGA — in a
+//! handful of calls.
+//!
+//! ```
+//! use tta_core::SoftCore;
+//! use tta_ir::{FunctionBuilder, ModuleBuilder};
+//!
+//! // A program: sum of squares 1..=10.
+//! let mut mb = ModuleBuilder::new("sumsq");
+//! let mut fb = FunctionBuilder::new("main", 0, true);
+//! let acc = fb.copy(0);
+//! tta_core::build_loop(&mut fb, 10, |fb, i| {
+//!     let i1 = fb.add(i, 1);
+//!     let sq = fb.mul(i1, i1);
+//!     let a = fb.add(acc, sq);
+//!     fb.copy_to(acc, a);
+//! });
+//! fb.ret(acc);
+//! let main = mb.add(fb.finish());
+//! mb.set_entry(main);
+//! let module = mb.finish();
+//!
+//! // Run it on the paper's best performance/area design point.
+//! let core = SoftCore::design_point("m-tta-2").unwrap();
+//! let exec = core.run(&module).unwrap();
+//! assert_eq!(exec.ret, 385);
+//!
+//! // The same program on the VLIW counterpart takes more cycles...
+//! let vliw = SoftCore::design_point("m-vliw-2").unwrap();
+//! assert!(exec.cycles <= vliw.run(&module).unwrap().cycles);
+//! // ...on a larger core.
+//! assert!(core.resources().lut_core < vliw.resources().lut_core);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use tta_compiler::{compile, Compiled, CompileError};
+pub use tta_fpga::Resources;
+pub use tta_ir::{Function, FunctionBuilder, Module, ModuleBuilder};
+pub use tta_isa::Program;
+pub use tta_model::{presets, CoreStyle, Machine};
+pub use tta_sim::{SimError, SimResult, SimStats};
+
+use tta_ir::{Operand, VReg};
+
+/// A soft core: a validated machine plus the operations a user performs
+/// with one (compile, run, estimate).
+#[derive(Debug, Clone)]
+pub struct SoftCore {
+    machine: Machine,
+}
+
+/// The outcome of running a program on a core.
+#[derive(Debug, Clone)]
+pub struct Execution {
+    /// The program's return value.
+    pub ret: i32,
+    /// Cycle count.
+    pub cycles: u64,
+    /// Final data memory.
+    pub memory: Vec<u8>,
+    /// Dynamic statistics.
+    pub stats: SimStats,
+    /// The compiled program (for inspection / size accounting).
+    pub compiled: Compiled,
+}
+
+/// Errors from the end-to-end [`SoftCore::run`] flow.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Compilation failed.
+    Compile(CompileError),
+    /// Simulation failed.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Compile(e) => write!(f, "{e}"),
+            CoreError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl SoftCore {
+    /// One of the paper's thirteen design points, by name (e.g.
+    /// `"m-tta-2"`, `"p-vliw-3"`, `"mblaze-5"`).
+    pub fn design_point(name: &str) -> Option<SoftCore> {
+        presets::by_name(name).map(|machine| SoftCore { machine })
+    }
+
+    /// Wrap a custom machine (validated first).
+    pub fn new(machine: Machine) -> Result<SoftCore, Vec<tta_model::ModelError>> {
+        machine.validate()?;
+        Ok(SoftCore { machine })
+    }
+
+    /// The underlying machine description.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Compile a verified IR module for this core.
+    pub fn compile(&self, module: &Module) -> Result<Compiled, CompileError> {
+        compile(module, &self.machine)
+    }
+
+    /// Compile and run a module, returning the full execution record.
+    pub fn run(&self, module: &Module) -> Result<Execution, CoreError> {
+        let compiled = self.compile(module).map_err(CoreError::Compile)?;
+        let result = tta_sim::run(&self.machine, &compiled.program, module.initial_memory())
+            .map_err(CoreError::Sim)?;
+        Ok(Execution {
+            ret: result.ret,
+            cycles: result.cycles,
+            memory: result.memory,
+            stats: result.stats,
+            compiled,
+        })
+    }
+
+    /// Estimated FPGA cost of this core.
+    pub fn resources(&self) -> Resources {
+        tta_fpga::estimate(&self.machine)
+    }
+
+    /// Instruction width in bits (the Table II metric).
+    pub fn instruction_bits(&self) -> u32 {
+        tta_isa::encoding::instruction_bits(&self.machine)
+    }
+
+    /// Estimated wall-clock runtime of an execution on this core, in
+    /// microseconds at the estimated fmax (the Fig. 5 metric).
+    pub fn runtime_us(&self, exec: &Execution) -> f64 {
+        exec.cycles as f64 / self.resources().fmax_mhz
+    }
+}
+
+/// Convenience: emit `for i in 0..n { body }` (re-exported from the kernel
+/// utility set so facade users don't need `tta-chstone`).
+pub fn build_loop(
+    fb: &mut FunctionBuilder,
+    n: i32,
+    body: impl FnOnce(&mut FunctionBuilder, VReg),
+) {
+    let i = fb.copy(0);
+    let head = fb.new_block();
+    let body_b = fb.new_block();
+    let exit = fb.new_block();
+    fb.jump(head);
+    fb.switch_to(head);
+    let c = fb.lt(i, n);
+    fb.branch(c, body_b, exit);
+    fb.switch_to(body_b);
+    body(fb, i);
+    let i2 = fb.add(i, Operand::Imm(1));
+    fb.copy_to(i, i2);
+    fb.jump(head);
+    fb.switch_to(exit);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_module(n: i32) -> Module {
+        let mut mb = ModuleBuilder::new("sum");
+        let mut fb = FunctionBuilder::new("main", 0, true);
+        let acc = fb.copy(0);
+        build_loop(&mut fb, n, |fb, i| {
+            let a = fb.add(acc, i);
+            fb.copy_to(acc, a);
+        });
+        fb.ret(acc);
+        let id = mb.add(fb.finish());
+        mb.set_entry(id);
+        mb.finish()
+    }
+
+    #[test]
+    fn run_on_every_design_point() {
+        let module = sum_module(20);
+        for m in presets::all_design_points() {
+            let core = SoftCore::design_point(&m.name).unwrap();
+            let exec = core.run(&module).unwrap();
+            assert_eq!(exec.ret, 190, "{}", m.name);
+            assert!(exec.cycles > 0);
+            assert!(core.runtime_us(&exec) > 0.0);
+        }
+    }
+
+    #[test]
+    fn invalid_machines_are_rejected() {
+        let mut m = presets::m_tta_1();
+        m.buses.clear();
+        assert!(SoftCore::new(m).is_err());
+    }
+
+    #[test]
+    fn unknown_design_point_is_none() {
+        assert!(SoftCore::design_point("m-tta-9").is_none());
+    }
+
+    #[test]
+    fn execution_exposes_program_metrics() {
+        let module = sum_module(5);
+        let core = SoftCore::design_point("bm-tta-2").unwrap();
+        let exec = core.run(&module).unwrap();
+        assert!(!exec.compiled.program.is_empty());
+        assert_eq!(
+            exec.compiled.program.image_bits(core.machine()),
+            exec.compiled.program.len() as u64 * core.instruction_bits() as u64
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! The paper's evaluation pipeline: compile every kernel for every design
+//! point, simulate cycle-accurately, estimate FPGA cost, and collect the
+//! raw numbers behind Tables II–IV and Figs. 5–6.
+
+use parking_lot::Mutex;
+use tta_chstone::Kernel;
+use tta_compiler::compile;
+use tta_fpga::Resources;
+use tta_ir::interp::Interpreter;
+use tta_isa::encoding;
+use tta_model::{presets, Machine};
+use tta_sim::SimStats;
+
+/// One kernel executed on one machine.
+#[derive(Debug, Clone)]
+pub struct KernelRun {
+    /// Kernel name.
+    pub kernel: String,
+    /// Cycle count from the cycle-accurate simulation.
+    pub cycles: u64,
+    /// Static program length in instructions.
+    pub program_len: usize,
+    /// Program image size in bits.
+    pub image_bits: u64,
+    /// Dynamic statistics.
+    pub sim: SimStats,
+    /// TTA schedule quality (zeroed for other styles).
+    pub tta: tta_compiler::tta_sched::TtaStats,
+    /// Register values spilled during allocation.
+    pub spilled: usize,
+}
+
+/// A design point with its estimated resources and per-kernel results.
+#[derive(Debug, Clone)]
+pub struct MachineReport {
+    /// Paper name of the design point.
+    pub name: String,
+    /// The machine description.
+    pub machine: Machine,
+    /// FPGA cost estimate.
+    pub resources: Resources,
+    /// Instruction width in bits.
+    pub instr_bits: u32,
+    /// One entry per kernel, in kernel order.
+    pub runs: Vec<KernelRun>,
+}
+
+impl MachineReport {
+    /// The run for a named kernel.
+    pub fn run(&self, kernel: &str) -> &KernelRun {
+        self.runs
+            .iter()
+            .find(|r| r.kernel == kernel)
+            .unwrap_or_else(|| panic!("no run of {kernel} on {}", self.name))
+    }
+
+    /// Geometric-mean cycle count across kernels.
+    pub fn geomean_cycles(&self) -> f64 {
+        let s: f64 = self.runs.iter().map(|r| (r.cycles as f64).ln()).sum();
+        (s / self.runs.len() as f64).exp()
+    }
+
+    /// Geometric-mean runtime in microseconds at the estimated fmax.
+    pub fn geomean_runtime_us(&self) -> f64 {
+        self.geomean_cycles() / self.resources.fmax_mhz
+    }
+}
+
+/// Run one kernel on one machine (compile + simulate + verify against the
+/// interpreter).
+pub fn run_kernel(kernel: &Kernel, machine: &Machine) -> KernelRun {
+    let module = (kernel.build)();
+    let compiled = compile(&module, machine)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, machine.name));
+    let result = tta_sim::run(machine, &compiled.program, module.initial_memory())
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, machine.name));
+    // Guard the evaluation numbers with the golden model.
+    let golden = Interpreter::new(&module).run(&[]).expect("interpreter");
+    assert_eq!(Some(result.ret), golden.ret, "{} on {}", kernel.name, machine.name);
+    KernelRun {
+        kernel: kernel.name.to_string(),
+        cycles: result.cycles,
+        program_len: compiled.program.len(),
+        image_bits: compiled.program.image_bits(machine),
+        sim: result.stats,
+        tta: compiled.stats.tta,
+        spilled: compiled.stats.spilled,
+    }
+}
+
+/// Evaluate `kernels` on `machines`, in parallel across machines.
+pub fn evaluate(machines: &[Machine], kernels: &[Kernel]) -> Vec<MachineReport> {
+    let reports: Mutex<Vec<(usize, MachineReport)>> = Mutex::new(Vec::new());
+    crossbeam::scope(|scope| {
+        for (mi, machine) in machines.iter().enumerate() {
+            let reports = &reports;
+            scope.spawn(move |_| {
+                let runs: Vec<KernelRun> =
+                    kernels.iter().map(|k| run_kernel(k, machine)).collect();
+                let report = MachineReport {
+                    name: machine.name.clone(),
+                    machine: machine.clone(),
+                    resources: tta_fpga::estimate(machine),
+                    instr_bits: encoding::instruction_bits(machine),
+                    runs,
+                };
+                reports.lock().push((mi, report));
+            });
+        }
+    })
+    .expect("evaluation threads");
+    let mut v = reports.into_inner();
+    v.sort_by_key(|(mi, _)| *mi);
+    v.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Evaluate all eight kernels on all thirteen design points.
+pub fn evaluate_all() -> Vec<MachineReport> {
+    evaluate(&presets::all_design_points(), &tta_chstone::all_kernels())
+}
+
+/// The issue-width class a design point is reported under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueClass {
+    /// mblaze-3/5, m-tta-1 (normalised to mblaze-3).
+    Single,
+    /// the 2-issue machines (normalised to m-vliw-2).
+    Two,
+    /// the 3-issue machines (normalised to m-vliw-3).
+    Three,
+}
+
+/// Classify a report by its machine's issue width.
+pub fn issue_class(m: &Machine) -> IssueClass {
+    match m.issue_width {
+        1 => IssueClass::Single,
+        2 => IssueClass::Two,
+        _ => IssueClass::Three,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_eval() -> Vec<MachineReport> {
+        let machines =
+            vec![presets::mblaze_3(), presets::m_vliw_2(), presets::m_tta_2()];
+        let kernels: Vec<Kernel> = ["sha", "motion"]
+            .iter()
+            .map(|n| tta_chstone::by_name(n).unwrap())
+            .collect();
+        evaluate(&machines, &kernels)
+    }
+
+    #[test]
+    fn evaluation_produces_ordered_reports() {
+        let reports = small_eval();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].name, "mblaze-3");
+        assert_eq!(reports[2].name, "m-tta-2");
+        for r in &reports {
+            assert_eq!(r.runs.len(), 2);
+            assert!(r.runs.iter().all(|k| k.cycles > 0));
+            assert!(r.resources.fmax_mhz > 50.0);
+        }
+    }
+
+    #[test]
+    fn geomeans_are_positive_and_bounded() {
+        let reports = small_eval();
+        for r in &reports {
+            let g = r.geomean_cycles();
+            let min = r.runs.iter().map(|k| k.cycles).min().unwrap() as f64;
+            let max = r.runs.iter().map(|k| k.cycles).max().unwrap() as f64;
+            assert!(g >= min && g <= max, "{}: {g} not within [{min}, {max}]", r.name);
+        }
+    }
+
+    #[test]
+    fn tta_beats_vliw_in_cycles_on_this_sample() {
+        let reports = small_eval();
+        let vliw = reports[1].geomean_cycles();
+        let tta = reports[2].geomean_cycles();
+        assert!(tta < vliw, "m-tta-2 {tta} vs m-vliw-2 {vliw}");
+    }
+
+    #[test]
+    fn issue_classes() {
+        assert_eq!(issue_class(&presets::mblaze_3()), IssueClass::Single);
+        assert_eq!(issue_class(&presets::p_tta_2()), IssueClass::Two);
+        assert_eq!(issue_class(&presets::bm_tta_3()), IssueClass::Three);
+    }
+}

@@ -1,0 +1,204 @@
+//! Regeneration of the paper's figures from an evaluation.
+//!
+//! * **Fig. 5** — execution time at the achieved fmax, normalised to
+//!   mblaze-3 (single-issue group) or m-vliw-2/3 (multi-issue groups),
+//!   one bar per benchmark per machine.
+//! * **Fig. 6** — slice utilisation vs. overall execution time (geometric
+//!   mean over benchmarks, normalised to m-tta-1): the performance/area
+//!   scatter whose near-origin points are the paper's best designs.
+
+use crate::eval::MachineReport;
+use crate::tables::groups;
+
+/// One bar of Fig. 5: normalised runtime of a kernel on a machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Bar {
+    /// Design point.
+    pub machine: String,
+    /// Benchmark.
+    pub kernel: String,
+    /// Runtime relative to the issue-class baseline.
+    pub relative_runtime: f64,
+}
+
+fn runtime_us(r: &MachineReport, kernel: &str) -> f64 {
+    r.run(kernel).cycles as f64 / r.resources.fmax_mhz
+}
+
+/// Compute the Fig. 5 data set.
+pub fn fig5_data(reports: &[MachineReport]) -> Vec<Fig5Bar> {
+    let find = |n: &str| reports.iter().find(|r| r.name == n).expect("report");
+    let mut bars = Vec::new();
+    for (members, baseline) in groups() {
+        let base = find(baseline);
+        for name in members {
+            let r = find(name);
+            for run in &r.runs {
+                bars.push(Fig5Bar {
+                    machine: r.name.clone(),
+                    kernel: run.kernel.clone(),
+                    relative_runtime: runtime_us(r, &run.kernel)
+                        / runtime_us(base, &run.kernel),
+                });
+            }
+        }
+    }
+    bars
+}
+
+/// Render Fig. 5 as ASCII bars.
+pub fn fig5(reports: &[MachineReport]) -> String {
+    let mut out =
+        String::from("Fig. 5: execution times at achieved fmax (normalised)\n");
+    let bars = fig5_data(reports);
+    let mut machines: Vec<&str> = Vec::new();
+    for b in &bars {
+        if !machines.contains(&b.machine.as_str()) {
+            machines.push(&b.machine);
+        }
+    }
+    let kernels: Vec<&str> = reports[0].runs.iter().map(|r| r.kernel.as_str()).collect();
+    for k in &kernels {
+        out.push_str(&format!("-- {k}\n"));
+        for m in &machines {
+            let bar = bars
+                .iter()
+                .find(|b| b.machine == *m && b.kernel == *k)
+                .expect("bar");
+            let n = (bar.relative_runtime * 40.0).round() as usize;
+            out.push_str(&format!(
+                "{:10} {:5.2} |{}\n",
+                m,
+                bar.relative_runtime,
+                "#".repeat(n.min(80))
+            ));
+        }
+    }
+    out
+}
+
+/// One point of Fig. 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Point {
+    /// Design point.
+    pub machine: String,
+    /// Estimated slice utilisation.
+    pub slices: u32,
+    /// Geomean execution time normalised to m-tta-1.
+    pub relative_time: f64,
+}
+
+/// Compute the Fig. 6 scatter.
+pub fn fig6_data(reports: &[MachineReport]) -> Vec<Fig6Point> {
+    let base = reports
+        .iter()
+        .find(|r| r.name == "m-tta-1")
+        .expect("m-tta-1 present")
+        .geomean_runtime_us();
+    reports
+        .iter()
+        .map(|r| Fig6Point {
+            machine: r.name.clone(),
+            slices: r.resources.slices,
+            relative_time: r.geomean_runtime_us() / base,
+        })
+        .collect()
+}
+
+/// Render Fig. 6 as an ASCII scatter plot.
+pub fn fig6(reports: &[MachineReport]) -> String {
+    let pts = fig6_data(reports);
+    let max_slices = pts.iter().map(|p| p.slices).max().unwrap_or(1) as f64;
+    let max_t = pts.iter().map(|p| p.relative_time).fold(0.0f64, f64::max);
+    let (w, h) = (64usize, 20usize);
+    let mut grid = vec![vec![b' '; w + 1]; h + 1];
+    let mut labels = Vec::new();
+    for (i, p) in pts.iter().enumerate() {
+        let x = ((p.slices as f64 / max_slices) * w as f64).round() as usize;
+        let y = h - ((p.relative_time / max_t) * h as f64).round() as usize;
+        let c = b'A' + (i as u8);
+        grid[y.min(h)][x.min(w)] = c;
+        labels.push(format!(
+            "  {} = {:10} slices {:5}  time {:4.2}x",
+            c as char, p.machine, p.slices, p.relative_time
+        ));
+    }
+    let mut out = String::from(
+        "Fig. 6: slice utilisation vs overall execution time (geomean, norm. to m-tta-1)\n",
+    );
+    for row in grid {
+        out.push_str("  |");
+        out.push_str(std::str::from_utf8(&row).unwrap());
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"-".repeat(w + 1));
+    out.push_str("> slices\n");
+    for l in labels {
+        out.push_str(&l);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use tta_model::presets;
+
+    fn reports() -> Vec<MachineReport> {
+        let kernels: Vec<_> = ["adpcm", "sha"]
+            .iter()
+            .map(|n| tta_chstone::by_name(n).unwrap())
+            .collect();
+        evaluate(&presets::all_design_points(), &kernels)
+    }
+
+    #[test]
+    fn fig5_baselines_are_unity() {
+        let r = reports();
+        for b in fig5_data(&r) {
+            if b.machine == "mblaze-3" || b.machine == "m-vliw-2" || b.machine == "m-vliw-3"
+            {
+                assert!((b.relative_runtime - 1.0).abs() < 1e-9, "{b:?}");
+            } else {
+                assert!(b.relative_runtime > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fig6_m_tta_1_is_unity() {
+        let r = reports();
+        let pts = fig6_data(&r);
+        let p = pts.iter().find(|p| p.machine == "m-tta-1").unwrap();
+        assert!((p.relative_time - 1.0).abs() < 1e-9);
+        assert!(pts.iter().all(|p| p.slices > 0));
+    }
+
+    #[test]
+    fn figures_render() {
+        let r = reports();
+        let f5 = fig5(&r);
+        let f6 = fig6(&r);
+        assert!(f5.contains("adpcm"));
+        assert!(f6.contains("slices"));
+        assert!(f6.contains("m-tta-1"));
+    }
+
+    #[test]
+    fn ttas_run_faster_than_vliw_at_fmax() {
+        // The paper's Fig. 5 claim: TTA outruns its VLIW counterpart once
+        // clock frequency is taken into account.
+        let r = reports();
+        let bars = fig5_data(&r);
+        for k in ["adpcm", "sha"] {
+            let tta = bars
+                .iter()
+                .find(|b| b.machine == "m-tta-2" && b.kernel == k)
+                .unwrap();
+            assert!(tta.relative_runtime < 1.0, "{k}: {tta:?}");
+        }
+    }
+}

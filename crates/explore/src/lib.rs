@@ -1,0 +1,30 @@
+//! # tta-explore — the paper's design-space evaluation
+//!
+//! Drives the full pipeline of the paper's §IV–V: compile the CHStone-style
+//! kernels for all thirteen design points, simulate them cycle-accurately,
+//! estimate FPGA cost, and regenerate every table and figure of the
+//! evaluation. Also provides the VLIW→TTA architecture transformations of
+//! Fig. 4 (register-file partitioning, bypass pruning, greedy bus merging).
+//!
+//! ```no_run
+//! // The full 13-machine x 8-kernel evaluation:
+//! let reports = tta_explore::evaluate_all();
+//! println!("{}", tta_explore::tables::table4(&reports));
+//! println!("{}", tta_explore::figures::fig6(&reports));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compression;
+pub mod eval;
+pub mod imem;
+pub mod figures;
+pub mod sweep;
+pub mod tables;
+pub mod transform;
+
+pub use eval::{evaluate, evaluate_all, issue_class, IssueClass, KernelRun, MachineReport};
+pub use compression::{dictionary_compress, Compression};
+pub use imem::{kernel_icache, simulate_icache, ICacheConfig, ICacheReport};
+pub use sweep::{sweep_bus_count, SweepPoint};
+pub use transform::{merge_buses, partition_rf, profile_buses, prune_bypasses, BusProfile};

@@ -1,0 +1,110 @@
+//! Bus-count design-space sweep.
+//!
+//! The `bm-tta` design points sample two spots of a larger trade-off: how
+//! many transport buses a TTA needs. This sweep walks the whole curve for
+//! a given issue width — instruction width, cycle count, FPGA cost — the
+//! greedy-exploration territory of Viitanen et al. \[25\] that the paper
+//! builds on.
+
+use tta_chstone::Kernel;
+use tta_model::{presets, Machine, RegisterFile};
+
+/// One point of the sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Number of transport buses.
+    pub buses: usize,
+    /// Instruction width in bits.
+    pub instr_bits: u32,
+    /// Geometric-mean cycles over the sweep kernels.
+    pub geomean_cycles: f64,
+    /// Estimated core LUTs.
+    pub lut_core: u32,
+    /// Estimated fmax.
+    pub fmax_mhz: f64,
+    /// The machine itself.
+    pub machine: Machine,
+}
+
+/// Sweep bus counts `min_buses..=max_buses` for a dual-issue partitioned
+/// TTA, evaluating the given kernels at every point.
+pub fn sweep_bus_count(
+    issue: u8,
+    min_buses: usize,
+    max_buses: usize,
+    kernels: &[Kernel],
+) -> Vec<SweepPoint> {
+    assert!(min_buses >= 3, "long immediates need at least 3 bus slots");
+    (min_buses..=max_buses)
+        .map(|n| {
+            let banks = issue.min(3) as u16;
+            let rfs: Vec<RegisterFile> = (0..banks)
+                .map(|b| RegisterFile::new(format!("rf{b}"), 32, 1, 1))
+                .collect();
+            // Full RF connectivity everywhere: the sweep varies ONLY the
+            // transport bandwidth, avoiding the preset's pruned/merged
+            // wiring discontinuity at 3 x issue buses.
+            let machine =
+                presets::custom_tta(&format!("tta-{issue}w-{n}b"), issue, rfs, n, true);
+            let reports = crate::eval::evaluate(std::slice::from_ref(&machine), kernels);
+            let r = &reports[0];
+            SweepPoint {
+                buses: n,
+                instr_bits: r.instr_bits,
+                geomean_cycles: r.geomean_cycles(),
+                lut_core: r.resources.lut_core,
+                fmax_mhz: r.resources.fmax_mhz,
+                machine: machine.clone(),
+            }
+        })
+        .collect()
+}
+
+/// Render a sweep as a small table.
+pub fn render(points: &[SweepPoint]) -> String {
+    let mut out = String::from("bus-count sweep\n");
+    out.push_str(&format!(
+        "{:>5} {:>6} {:>12} {:>8} {:>7}\n",
+        "buses", "bits", "geo cycles", "LUT", "fmax"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:>5} {:>5}b {:>12.0} {:>8} {:>4.0}MHz\n",
+            p.buses, p.instr_bits, p.geomean_cycles, p.lut_core, p.fmax_mhz
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernels() -> Vec<Kernel> {
+        vec![tta_chstone::by_name("gsm").unwrap()]
+    }
+
+    #[test]
+    fn width_grows_and_cycles_shrink_with_buses() {
+        let pts = sweep_bus_count(2, 3, 7, &kernels());
+        assert_eq!(pts.len(), 5);
+        // Instruction width is monotone in bus count.
+        for w in pts.windows(2) {
+            assert!(w[1].instr_bits > w[0].instr_bits, "{w:?}");
+        }
+        // More transport bandwidth never costs cycles, and the sweep ends
+        // faster than it starts.
+        let first = pts.first().unwrap().geomean_cycles;
+        let last = pts.last().unwrap().geomean_cycles;
+        assert!(last <= first * 1.01, "{first} -> {last}");
+    }
+
+    #[test]
+    fn render_contains_every_point() {
+        let pts = sweep_bus_count(2, 3, 5, &kernels());
+        let s = render(&pts);
+        for p in &pts {
+            assert!(s.contains(&format!("{:>5}", p.buses)));
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Architecture transformations: the VLIW→TTA optimisation steps of the
+//! paper's Fig. 4.
+//!
+//! * [`partition_rf`] — split a monolithic register file into banks with
+//!   fewer ports each (Fig. 4b / §III-D);
+//! * [`prune_bypasses`] — drop result-port bus connections no compiled
+//!   program uses (Fig. 4c); the scheduler transparently falls back to the
+//!   register file where a bypass disappeared;
+//! * [`merge_buses`] — greedily merge the pair of buses least often used
+//!   concurrently, the Viitanen et al. \[25\] interconnect exploration
+//!   heuristic behind the `bm-tta` design points (Fig. 4d).
+
+use std::collections::HashSet;
+use tta_chstone::Kernel;
+use tta_compiler::compile;
+use tta_isa::{MoveDst, MoveSrc, Program};
+use tta_model::{Bus, CoreStyle, DstConn, Machine, RegisterFile, RfId, SrcConn};
+
+/// Split every register file of `m` into `banks` equal banks with the
+/// given port counts, reconnecting the transport buses the way the
+/// partitioned presets are wired (each bank's read and write sockets on
+/// two buses, round-robin).
+pub fn partition_rf(m: &Machine, banks: u16, read_ports: u8, write_ports: u8) -> Machine {
+    let mut out = m.clone();
+    let total: u32 = m.total_regs();
+    let per_bank = (total / banks as u32) as u16;
+    out.rfs = (0..banks)
+        .map(|b| RegisterFile {
+            name: format!("rf{b}"),
+            regs: per_bank,
+            width: m.rfs[0].width,
+            read_ports,
+            write_ports,
+        })
+        .collect();
+    out.name = format!("{}-p{banks}", m.name);
+
+    if m.style == CoreStyle::Tta {
+        // Drop the old RF connections, then re-wire per bank.
+        for bus in &mut out.buses {
+            bus.sources.retain(|s| !matches!(s, SrcConn::RfRead(_)));
+            bus.dests.retain(|d| !matches!(d, DstConn::RfWrite(_)));
+        }
+        let n = out.buses.len();
+        let mut next = 0usize;
+        for b in 0..banks {
+            for _ in 0..read_ports {
+                for k in 0..2usize.min(n) {
+                    out.buses[(next + k) % n].connect_src(SrcConn::RfRead(RfId(b)));
+                }
+                next += 2;
+            }
+        }
+        for b in 0..banks {
+            for _ in 0..write_ports {
+                for k in 0..2usize.min(n) {
+                    out.buses[(next + k) % n].connect_dst(DstConn::RfWrite(RfId(b)));
+                }
+                next += 2;
+            }
+        }
+    }
+    out.validate().expect("partitioned machine is valid");
+    out
+}
+
+/// Per-bus usage and pairwise concurrency counted over the static
+/// schedules of the given kernels.
+#[derive(Debug, Clone)]
+pub struct BusProfile {
+    /// Moves carried per bus.
+    pub use_count: Vec<u64>,
+    /// `pair[i][j]` (i < j): instructions in which both buses carry moves.
+    pub pair: Vec<Vec<u64>>,
+    /// Bus source/destination connections actually used by some move.
+    pub used_src: HashSet<(usize, SrcConn)>,
+    /// See `used_src`.
+    pub used_dst: HashSet<(usize, DstConn)>,
+}
+
+/// Compile the kernels for `m` and profile its transport buses.
+pub fn profile_buses(m: &Machine, kernels: &[Kernel]) -> BusProfile {
+    assert_eq!(m.style, CoreStyle::Tta, "bus profiling applies to TTA machines");
+    let n = m.buses.len();
+    let mut p = BusProfile {
+        use_count: vec![0; n],
+        pair: vec![vec![0; n]; n],
+        used_src: HashSet::new(),
+        used_dst: HashSet::new(),
+    };
+    for k in kernels {
+        let module = (k.build)();
+        let compiled = compile(&module, m)
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", k.name, m.name));
+        let Program::Tta(insts) = &compiled.program else { unreachable!() };
+        for inst in insts {
+            let busy: Vec<usize> = inst
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(b, s)| s.map(|_| b))
+                .collect();
+            for &b in &busy {
+                p.use_count[b] += 1;
+                let mv = inst.slots[b].unwrap();
+                match mv.src {
+                    MoveSrc::Rf(r) => {
+                        p.used_src.insert((b, SrcConn::RfRead(r.rf)));
+                    }
+                    MoveSrc::FuResult(f) => {
+                        p.used_src.insert((b, SrcConn::FuResult(f)));
+                    }
+                    _ => {}
+                }
+                match mv.dst {
+                    MoveDst::Rf(r) => {
+                        p.used_dst.insert((b, DstConn::RfWrite(r.rf)));
+                    }
+                    MoveDst::FuOperand(f) => {
+                        p.used_dst.insert((b, DstConn::FuOperand(f)));
+                    }
+                    MoveDst::FuTrigger(f, _) => {
+                        p.used_dst.insert((b, DstConn::FuTrigger(f)));
+                    }
+                }
+            }
+            for i in 0..busy.len() {
+                for j in i + 1..busy.len() {
+                    p.pair[busy[i]][busy[j]] += 1;
+                }
+            }
+        }
+    }
+    p
+}
+
+/// Remove result-port (bypass) bus connections that no profiled program
+/// uses — the paper's Fig. 4c step. The machine stays valid for arbitrary
+/// programs because every value can still reach every consumer through the
+/// register file.
+pub fn prune_bypasses(m: &Machine, profile: &BusProfile) -> Machine {
+    let mut out = m.clone();
+    for (bi, bus) in out.buses.iter_mut().enumerate() {
+        bus.sources.retain(|s| match s {
+            SrcConn::FuResult(f) => {
+                profile.used_src.contains(&(bi, SrcConn::FuResult(*f)))
+            }
+            _ => true,
+        });
+    }
+    // Writeback routes must survive pruning: every FU result must still
+    // reach every register file's write port on some bus, or values with
+    // no usable bypass could never be committed. Restore the minimum.
+    for f in m.fu_ids() {
+        if !m.fu(f).has_result_port() {
+            continue;
+        }
+        for r in m.rf_ids() {
+            let routed = out
+                .buses
+                .iter()
+                .any(|b| b.reads(SrcConn::FuResult(f)) && b.writes(DstConn::RfWrite(r)));
+            if !routed {
+                if let Some(bus) = out.buses.iter_mut().find(|b| b.writes(DstConn::RfWrite(r)))
+                {
+                    bus.connect_src(SrcConn::FuResult(f));
+                }
+            }
+        }
+    }
+    out.name = format!("{}-pruned", m.name);
+    out.validate().expect("pruned machine is valid");
+    out
+}
+
+/// Greedily merge buses down to `target` buses: repeatedly merge the pair
+/// with the lowest pairwise concurrency (their connectivity becomes the
+/// union), following the heuristic of \[25\].
+pub fn merge_buses(m: &Machine, target: usize, profile: &BusProfile) -> Machine {
+    assert_eq!(m.style, CoreStyle::Tta);
+    assert!(target >= m.limm.bus_slots as usize, "too few buses for long immediates");
+    let mut buses: Vec<Bus> = m.buses.clone();
+    let mut usage: Vec<u64> = profile.use_count.clone();
+    let mut pair: Vec<Vec<u64>> = profile.pair.clone();
+
+    while buses.len() > target {
+        // Pick the pair (i, j) with the least concurrent use, breaking
+        // ties toward the least-used buses.
+        let n = buses.len();
+        let mut best = (0usize, 1usize);
+        let mut best_key = (u64::MAX, u64::MAX);
+        for i in 0..n {
+            for j in i + 1..n {
+                let key = (pair[i][j], usage[i] + usage[j]);
+                if key < best_key {
+                    best_key = key;
+                    best = (i, j);
+                }
+            }
+        }
+        let (i, j) = best;
+        let merged = {
+            let mut b = buses[i].clone();
+            b.merge_from(&buses[j]);
+            b.name = format!("{}+{}", buses[i].name, buses[j].name);
+            b
+        };
+        buses[i] = merged;
+        usage[i] += usage[j];
+        buses.remove(j);
+        usage.remove(j);
+        // Fold the concurrency matrix.
+        for r in 0..n {
+            if r != i && r != j {
+                let v = pair[r.min(j)][r.max(j)];
+                let (a, b) = (r.min(i), r.max(i));
+                pair[a][b] += v;
+            }
+        }
+        for row in &mut pair {
+            row.remove(j);
+        }
+        pair.remove(j);
+    }
+
+    let mut out = m.clone();
+    out.buses = buses;
+    out.name = format!("{}-bm{target}", m.name);
+    out.validate().expect("merged machine is valid");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_ir::interp::Interpreter;
+    use tta_model::presets;
+
+    fn kernels(names: &[&str]) -> Vec<Kernel> {
+        names.iter().map(|n| tta_chstone::by_name(n).unwrap()).collect()
+    }
+
+    /// A kernel must still produce the golden checksum on a transformed
+    /// machine.
+    fn assert_still_correct(m: &Machine, k: &Kernel) {
+        let module = (k.build)();
+        let golden = Interpreter::new(&module).run(&[]).unwrap();
+        let compiled = compile(&module, m).unwrap_or_else(|e| panic!("{}: {e}", m.name));
+        let r = tta_sim::run(m, &compiled.program, module.initial_memory()).unwrap();
+        assert_eq!(Some(r.ret), golden.ret, "{} on {}", k.name, m.name);
+    }
+
+    #[test]
+    fn partitioning_matches_the_preset_shape() {
+        let p = partition_rf(&presets::m_vliw_2(), 2, 2, 1);
+        let preset = presets::p_vliw_2();
+        assert_eq!(p.total_regs(), preset.total_regs());
+        assert_eq!(p.total_read_ports(), preset.total_read_ports());
+        assert_eq!(p.total_write_ports(), preset.total_write_ports());
+    }
+
+    #[test]
+    fn partitioned_tta_still_computes() {
+        let p = partition_rf(&presets::m_tta_2(), 2, 1, 1);
+        assert_eq!(p.rfs.len(), 2);
+        assert_still_correct(&p, &tta_chstone::by_name("motion").unwrap());
+    }
+
+    #[test]
+    fn bus_profile_counts_something() {
+        let m = presets::p_tta_2();
+        let p = profile_buses(&m, &kernels(&["gsm"]));
+        assert!(p.use_count.iter().sum::<u64>() > 0);
+        assert!(!p.used_src.is_empty());
+        assert!(!p.used_dst.is_empty());
+    }
+
+    #[test]
+    fn merging_reduces_width_and_preserves_semantics() {
+        let m = presets::p_tta_2();
+        let p = profile_buses(&m, &kernels(&["gsm"]));
+        let merged = merge_buses(&m, 4, &p);
+        assert_eq!(merged.buses.len(), 4);
+        let w_before = tta_isa::encoding::instruction_bits(&m);
+        let w_after = tta_isa::encoding::instruction_bits(&merged);
+        assert!(w_after < w_before, "{w_after} >= {w_before}");
+        assert_still_correct(&merged, &tta_chstone::by_name("gsm").unwrap());
+        // And on a kernel that was NOT profiled.
+        assert_still_correct(&merged, &tta_chstone::by_name("adpcm").unwrap());
+    }
+
+    #[test]
+    fn pruning_preserves_semantics_even_for_unprofiled_kernels() {
+        let m = presets::m_tta_2();
+        let p = profile_buses(&m, &kernels(&["motion"]));
+        let pruned = prune_bypasses(&m, &p);
+        assert_still_correct(&pruned, &tta_chstone::by_name("motion").unwrap());
+        assert_still_correct(&pruned, &tta_chstone::by_name("sha").unwrap());
+        // Pruning must have removed something.
+        let conns = |mm: &Machine| -> usize {
+            mm.buses.iter().map(|b| b.sources.len()).sum()
+        };
+        assert!(conns(&pruned) < conns(&m));
+    }
+
+    #[test]
+    #[should_panic(expected = "too few buses")]
+    fn merging_below_limm_capacity_is_rejected() {
+        let m = presets::p_tta_2();
+        let p = profile_buses(&m, &kernels(&["gsm"]));
+        let _ = merge_buses(&m, 2, &p);
+    }
+}

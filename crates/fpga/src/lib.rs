@@ -1,0 +1,29 @@
+//! # tta-fpga — analytical FPGA resource and timing model
+//!
+//! Stands in for Vivado synthesis on the paper's Zynq Z7020 (speed grade
+//! -1). The model maps each structural feature of a [`tta_model::Machine`]
+//! to LUT / FF / LUT-as-RAM / DSP counts and a critical-path estimate,
+//! with constants calibrated once against the published Table III
+//! breakdowns and then held fixed for every design point — so the
+//! *relative* movement between design points (the paper's argument) is
+//! emergent, not fitted per machine.
+//!
+//! The key structural drivers, in the paper's order of importance:
+//!
+//! * **Register files** dominate: a distributed-RAM file replicates its
+//!   storage once per read-port × write-port combination (the
+//!   LaForest–Steffan construction the paper cites \[28\]), and
+//!   multi-write files additionally pay live-value-table bookkeeping —
+//!   this is why the monolithic VLIW RFs are 6–27x larger than the TTA
+//!   ones in Table III.
+//! * **Interconnect** muxing grows with socket fan-in (TTA) or per-slot
+//!   operand routing (VLIW).
+//! * **fmax** falls with RF port count and mux depth, which is what drags
+//!   `m-vliw-3` down to ~146 MHz while the partitioned and TTA variants
+//!   stay near 200 MHz.
+
+#![warn(missing_docs)]
+
+pub mod model;
+
+pub use model::{estimate, Resources};

@@ -1,0 +1,249 @@
+//! Functions, basic blocks, modules and static data.
+
+use crate::inst::{BlockId, FuncId, Inst, Operand, Terminator, VReg};
+use serde::{Deserialize, Serialize};
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// The instructions, in program order.
+    pub insts: Vec<Inst>,
+    /// The terminator. `None` only while the block is under construction;
+    /// a verified function has a terminator in every block.
+    pub term: Option<Terminator>,
+}
+
+impl Block {
+    /// An empty, unterminated block.
+    pub fn new() -> Self {
+        Block { insts: Vec::new(), term: None }
+    }
+}
+
+impl Default for Block {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A function: parameters, blocks, and an entry block (always block 0).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Function name, unique within the module.
+    pub name: String,
+    /// Parameter registers, defined on entry.
+    pub params: Vec<VReg>,
+    /// Whether the function returns a value (all `Ret` terminators must
+    /// agree with this).
+    pub returns_value: bool,
+    /// Basic blocks; [`BlockId`] indexes into this vector. Block 0 is the
+    /// entry.
+    pub blocks: Vec<Block>,
+    /// Next unallocated virtual-register number.
+    pub next_vreg: u32,
+}
+
+impl Function {
+    /// Entry block id.
+    pub const ENTRY: BlockId = BlockId(0);
+
+    /// Look up a block.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Look up a block mutably.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.0 as usize]
+    }
+
+    /// Iterate block ids in layout order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// Allocate a fresh virtual register.
+    pub fn new_vreg(&mut self) -> VReg {
+        let r = VReg(self.next_vreg);
+        self.next_vreg += 1;
+        r
+    }
+
+    /// Total instruction count (excluding terminators).
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Predecessor map: for each block, the blocks that jump to it.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for id in self.block_ids() {
+            if let Some(t) = &self.block(id).term {
+                for s in t.successors() {
+                    preds[s.0 as usize].push(id);
+                }
+            }
+        }
+        preds
+    }
+}
+
+impl std::fmt::Display for Function {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fn {}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        writeln!(f, ") {{")?;
+        for id in self.block_ids() {
+            writeln!(f, "{id}:")?;
+            let b = self.block(id);
+            for inst in &b.insts {
+                writeln!(f, "  {inst}")?;
+            }
+            match &b.term {
+                Some(t) => writeln!(f, "  {t}")?,
+                None => writeln!(f, "  <unterminated>")?,
+            }
+        }
+        writeln!(f, "}}")
+    }
+}
+
+/// A static data initialiser: `bytes` copied to absolute address `addr`
+/// before execution starts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataInit {
+    /// Absolute load address.
+    pub addr: u32,
+    /// Initial bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// A whole program: functions, the entry function, static data and the data
+/// memory size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Module {
+    /// Module name (benchmark name).
+    pub name: String,
+    /// All functions; [`FuncId`] indexes into this vector.
+    pub funcs: Vec<Function>,
+    /// The entry function, executed by `run`.
+    pub entry: FuncId,
+    /// Static data initialisers.
+    pub data: Vec<DataInit>,
+    /// Data memory size in bytes.
+    pub mem_size: u32,
+}
+
+impl Module {
+    /// Look up a function.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// Look up the entry function.
+    pub fn entry_func(&self) -> &Function {
+        self.func(self.entry)
+    }
+
+    /// Build the initial memory image (zero-filled, then data initialisers
+    /// applied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an initialiser falls outside `mem_size` (a verifier check
+    /// reports this as an error first in normal use).
+    pub fn initial_memory(&self) -> Vec<u8> {
+        let mut mem = vec![0u8; self.mem_size as usize];
+        for d in &self.data {
+            let start = d.addr as usize;
+            mem[start..start + d.bytes.len()].copy_from_slice(&d.bytes);
+        }
+        mem
+    }
+
+    /// Total instruction count over all functions.
+    pub fn inst_count(&self) -> usize {
+        self.funcs.iter().map(|f| f.inst_count()).sum()
+    }
+}
+
+/// Convenience conversions used pervasively by kernel builders.
+pub fn imm(v: i32) -> Operand {
+    Operand::Imm(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_model::Opcode;
+
+    fn tiny() -> Function {
+        let mut f = Function {
+            name: "t".into(),
+            params: vec![VReg(0)],
+            returns_value: true,
+            blocks: vec![Block::new(), Block::new(), Block::new()],
+            next_vreg: 1,
+        };
+        let v = f.new_vreg();
+        f.block_mut(BlockId(0)).insts.push(Inst::Bin {
+            op: Opcode::Add,
+            dst: v,
+            a: Operand::Reg(VReg(0)),
+            b: Operand::Imm(1),
+        });
+        f.block_mut(BlockId(0)).term = Some(Terminator::Branch {
+            cond: Operand::Reg(v),
+            if_true: BlockId(1),
+            if_false: BlockId(2),
+        });
+        f.block_mut(BlockId(1)).term = Some(Terminator::Jump(BlockId(2)));
+        f.block_mut(BlockId(2)).term = Some(Terminator::Ret(Some(Operand::Reg(v))));
+        f
+    }
+
+    #[test]
+    fn predecessors() {
+        let f = tiny();
+        let preds = f.predecessors();
+        assert_eq!(preds[0], vec![]);
+        assert_eq!(preds[1], vec![BlockId(0)]);
+        assert_eq!(preds[2], vec![BlockId(0), BlockId(1)]);
+    }
+
+    #[test]
+    fn vreg_allocation_is_monotonic() {
+        let mut f = tiny();
+        let a = f.new_vreg();
+        let b = f.new_vreg();
+        assert!(b.0 > a.0);
+    }
+
+    #[test]
+    fn initial_memory_applies_data() {
+        let m = Module {
+            name: "m".into(),
+            funcs: vec![],
+            entry: FuncId(0),
+            data: vec![DataInit { addr: 4, bytes: vec![1, 2, 3] }],
+            mem_size: 16,
+        };
+        let mem = m.initial_memory();
+        assert_eq!(mem.len(), 16);
+        assert_eq!(&mem[4..7], &[1, 2, 3]);
+        assert_eq!(mem[0], 0);
+    }
+
+    #[test]
+    fn display_smoke() {
+        let s = tiny().to_string();
+        assert!(s.contains("bb0:"));
+        assert!(s.contains("v1 = add v0, #1"));
+        assert!(s.contains("ret v1"));
+    }
+}

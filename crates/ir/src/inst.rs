@@ -1,0 +1,358 @@
+//! IR instructions.
+//!
+//! The IR is a conventional virtual-register three-address code over the
+//! Table-I operation set: the form a C compiler front end (the paper uses
+//! TCE's LLVM-based `tcecc`) would hand to the target-specific scheduler.
+//! Programs at this level are *operation triggered*; it is the compiler
+//! back end (`tta-compiler`) that lowers them into data transports for TTA
+//! targets, into operation bundles for VLIW targets, or into a sequential
+//! stream for scalar targets.
+
+use serde::{Deserialize, Serialize};
+use tta_model::Opcode;
+
+/// A virtual register (SSA-like but reassignable; the IR allows multiple
+/// definitions of the same vreg, e.g. loop induction variables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VReg(pub u32);
+
+impl std::fmt::Display for VReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An instruction operand: a virtual register or an immediate constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// Read a virtual register.
+    Reg(VReg),
+    /// A 32-bit constant.
+    Imm(i32),
+}
+
+impl Operand {
+    /// The register read by this operand, if any.
+    pub fn reg(self) -> Option<VReg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+
+    /// The immediate value of this operand, if any.
+    pub fn imm(self) -> Option<i32> {
+        match self {
+            Operand::Reg(_) => None,
+            Operand::Imm(v) => Some(v),
+        }
+    }
+}
+
+impl From<VReg> for Operand {
+    fn from(r: VReg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl std::fmt::Display for Operand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+/// Index of a basic block within its function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// Index of a function within its module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FuncId(pub u32);
+
+/// A memory alias region.
+///
+/// The builder tags each memory access with the static buffer it touches;
+/// accesses to *different* non-zero regions are guaranteed disjoint, which
+/// the scheduler's dependence analysis exploits (standing in for the alias
+/// analysis a production compiler performs). Region 0 ([`MemRegion::ANY`])
+/// may alias everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemRegion(pub u16);
+
+impl MemRegion {
+    /// The conservative "may alias anything" region.
+    pub const ANY: MemRegion = MemRegion(0);
+
+    /// Whether two accesses may touch the same memory.
+    pub fn may_alias(self, other: MemRegion) -> bool {
+        self == MemRegion::ANY || other == MemRegion::ANY || self == other
+    }
+}
+
+/// A non-terminator IR instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Inst {
+    /// Two-input ALU operation: `dst = a <op> b`.
+    Bin {
+        /// An ALU opcode with two inputs.
+        op: Opcode,
+        /// Destination register.
+        dst: VReg,
+        /// First input (operand port on a TTA).
+        a: Operand,
+        /// Second input (trigger port on a TTA).
+        b: Operand,
+    },
+    /// One-input ALU operation (`sxhw`, `sxqw`): `dst = <op> a`.
+    Un {
+        /// An ALU opcode with one input.
+        op: Opcode,
+        /// Destination register.
+        dst: VReg,
+        /// The input.
+        a: Operand,
+    },
+    /// Register/constant copy: `dst = src`.
+    Copy {
+        /// Destination register.
+        dst: VReg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// Memory load: `dst = <op> [addr]` (absolute address).
+    Load {
+        /// A load opcode.
+        op: Opcode,
+        /// Destination register.
+        dst: VReg,
+        /// Absolute byte address.
+        addr: Operand,
+        /// Alias region of the access.
+        region: MemRegion,
+    },
+    /// Memory store: `<op> [addr] = value` (absolute address).
+    Store {
+        /// A store opcode.
+        op: Opcode,
+        /// The value to store.
+        value: Operand,
+        /// Absolute byte address.
+        addr: Operand,
+        /// Alias region of the access.
+        region: MemRegion,
+    },
+    /// Direct call: `dst = func(args...)`. Calls are eliminated by the
+    /// compiler's exhaustive inlining pass before scheduling (mirroring the
+    /// whole-program optimisation of the paper's LLVM-based toolchain).
+    Call {
+        /// Callee.
+        func: FuncId,
+        /// Argument operands, one per callee parameter.
+        args: Vec<Operand>,
+        /// Where the return value goes (if the callee returns one).
+        dst: Option<VReg>,
+    },
+}
+
+impl Inst {
+    /// The register defined by this instruction, if any.
+    pub fn def(&self) -> Option<VReg> {
+        match self {
+            Inst::Bin { dst, .. } | Inst::Un { dst, .. } | Inst::Copy { dst, .. } => Some(*dst),
+            Inst::Load { dst, .. } => Some(*dst),
+            Inst::Store { .. } => None,
+            Inst::Call { dst, .. } => *dst,
+        }
+    }
+
+    /// The registers read by this instruction.
+    pub fn uses(&self) -> Vec<VReg> {
+        let mut v = Vec::new();
+        let mut push = |o: &Operand| {
+            if let Operand::Reg(r) = o {
+                v.push(*r);
+            }
+        };
+        match self {
+            Inst::Bin { a, b, .. } => {
+                push(a);
+                push(b);
+            }
+            Inst::Un { a, .. } => push(a),
+            Inst::Copy { src, .. } => push(src),
+            Inst::Load { addr, .. } => push(addr),
+            Inst::Store { value, addr, .. } => {
+                push(value);
+                push(addr);
+            }
+            Inst::Call { args, .. } => {
+                for a in args {
+                    push(a);
+                }
+            }
+        }
+        v
+    }
+
+    /// Whether this instruction touches memory.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Inst::Load { .. } | Inst::Store { .. })
+    }
+}
+
+impl std::fmt::Display for Inst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Inst::Bin { op, dst, a, b } => write!(f, "{dst} = {op} {a}, {b}"),
+            Inst::Un { op, dst, a } => write!(f, "{dst} = {op} {a}"),
+            Inst::Copy { dst, src } => write!(f, "{dst} = {src}"),
+            Inst::Load { op, dst, addr, region } => {
+                write!(f, "{dst} = {op} [{addr}] @r{}", region.0)
+            }
+            Inst::Store { op, value, addr, region } => {
+                write!(f, "{op} [{addr}] = {value} @r{}", region.0)
+            }
+            Inst::Call { func, args, dst } => {
+                if let Some(d) = dst {
+                    write!(f, "{d} = call f{}(", func.0)?;
+                } else {
+                    write!(f, "call f{}(", func.0)?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A basic-block terminator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on `cond != 0`.
+    Branch {
+        /// The condition operand.
+        cond: Operand,
+        /// Successor when `cond != 0`.
+        if_true: BlockId,
+        /// Successor when `cond == 0`.
+        if_false: BlockId,
+    },
+    /// Return from the function (with an optional value).
+    Ret(Option<Operand>),
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Branch { if_true, if_false, .. } => vec![*if_true, *if_false],
+            Terminator::Ret(_) => vec![],
+        }
+    }
+
+    /// Registers read by the terminator.
+    pub fn uses(&self) -> Vec<VReg> {
+        match self {
+            Terminator::Branch { cond: Operand::Reg(r), .. } => vec![*r],
+            Terminator::Ret(Some(Operand::Reg(r))) => vec![*r],
+            _ => vec![],
+        }
+    }
+}
+
+impl std::fmt::Display for Terminator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Terminator::Jump(b) => write!(f, "jump {b}"),
+            Terminator::Branch { cond, if_true, if_false } => {
+                write!(f, "branch {cond} ? {if_true} : {if_false}")
+            }
+            Terminator::Ret(Some(v)) => write!(f, "ret {v}"),
+            Terminator::Ret(None) => write!(f, "ret"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_model::Opcode;
+
+    #[test]
+    fn defs_and_uses() {
+        let i = Inst::Bin {
+            op: Opcode::Add,
+            dst: VReg(3),
+            a: Operand::Reg(VReg(1)),
+            b: Operand::Imm(7),
+        };
+        assert_eq!(i.def(), Some(VReg(3)));
+        assert_eq!(i.uses(), vec![VReg(1)]);
+
+        let s = Inst::Store {
+            op: Opcode::Stw,
+            value: Operand::Reg(VReg(2)),
+            addr: Operand::Reg(VReg(4)),
+            region: MemRegion(1),
+        };
+        assert_eq!(s.def(), None);
+        assert_eq!(s.uses(), vec![VReg(2), VReg(4)]);
+        assert!(s.is_mem());
+    }
+
+    #[test]
+    fn region_aliasing() {
+        assert!(MemRegion::ANY.may_alias(MemRegion(5)));
+        assert!(MemRegion(5).may_alias(MemRegion::ANY));
+        assert!(MemRegion(5).may_alias(MemRegion(5)));
+        assert!(!MemRegion(5).may_alias(MemRegion(6)));
+    }
+
+    #[test]
+    fn terminator_successors() {
+        assert_eq!(Terminator::Jump(BlockId(2)).successors(), vec![BlockId(2)]);
+        let b = Terminator::Branch {
+            cond: Operand::Reg(VReg(0)),
+            if_true: BlockId(1),
+            if_false: BlockId(2),
+        };
+        assert_eq!(b.successors(), vec![BlockId(1), BlockId(2)]);
+        assert_eq!(b.uses(), vec![VReg(0)]);
+        assert!(Terminator::Ret(None).successors().is_empty());
+    }
+
+    #[test]
+    fn display_forms() {
+        let i = Inst::Bin {
+            op: Opcode::Add,
+            dst: VReg(3),
+            a: Operand::Reg(VReg(1)),
+            b: Operand::Imm(7),
+        };
+        assert_eq!(i.to_string(), "v3 = add v1, #7");
+        assert_eq!(Terminator::Jump(BlockId(4)).to_string(), "jump bb4");
+    }
+}

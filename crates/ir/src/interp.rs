@@ -1,0 +1,346 @@
+//! The reference interpreter — the golden model of the whole reproduction.
+//!
+//! Every compiled-and-simulated execution in the test suite is checked
+//! against this interpreter: the compiled program must produce the same
+//! return value and the same final memory image. The interpreter shares its
+//! ALU and memory semantics with the cycle-accurate simulator through
+//! `tta_model::{op, mem}`, so the comparison genuinely exercises the
+//! compiler and simulator rather than two copies of the same arithmetic.
+
+use crate::func::{Function, Module};
+use crate::inst::{Inst, Operand, Terminator, VReg};
+use tta_model::mem::MemError;
+
+/// Dynamic execution counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Executed non-terminator instructions.
+    pub insts: u64,
+    /// Executed loads.
+    pub loads: u64,
+    /// Executed stores.
+    pub stores: u64,
+    /// Executed terminators (jumps, branches, returns).
+    pub terminators: u64,
+    /// Executed calls.
+    pub calls: u64,
+}
+
+/// Result of an interpreted run.
+#[derive(Debug, Clone)]
+pub struct ExecResult {
+    /// Return value of the entry function.
+    pub ret: Option<i32>,
+    /// Dynamic counts.
+    pub stats: ExecStats,
+    /// Final memory image (compared against the simulator's).
+    pub memory: Vec<u8>,
+}
+
+/// An execution error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// A register was read before any assignment.
+    UndefinedRead(VReg, String),
+    /// A memory access faulted.
+    Mem(MemError),
+    /// The fuel limit was reached (probable infinite loop).
+    FuelExhausted,
+    /// Call argument count mismatch.
+    BadCall(String),
+    /// Call recursion exceeded the depth limit.
+    DepthExceeded,
+}
+
+impl std::fmt::Display for IrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IrError::UndefinedRead(r, func) => write!(f, "read of undefined {r} in {func}"),
+            IrError::Mem(e) => write!(f, "{e}"),
+            IrError::FuelExhausted => write!(f, "fuel exhausted (infinite loop?)"),
+            IrError::BadCall(m) => write!(f, "bad call: {m}"),
+            IrError::DepthExceeded => write!(f, "call depth exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+impl From<MemError> for IrError {
+    fn from(e: MemError) -> Self {
+        IrError::Mem(e)
+    }
+}
+
+/// Interprets a [`Module`].
+pub struct Interpreter<'m> {
+    module: &'m Module,
+    fuel: u64,
+    max_depth: u32,
+}
+
+impl<'m> Interpreter<'m> {
+    /// Interpreter with the default fuel (500 M instructions) and call depth
+    /// (128).
+    pub fn new(module: &'m Module) -> Self {
+        Interpreter { module, fuel: 500_000_000, max_depth: 128 }
+    }
+
+    /// Override the fuel limit.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Run the module's entry function with the given arguments.
+    pub fn run(&self, args: &[i32]) -> Result<ExecResult, IrError> {
+        let mut mem = self.module.initial_memory();
+        let mut stats = ExecStats::default();
+        let mut fuel = self.fuel;
+        let entry = self.module.entry_func();
+        let ret = self.call(entry, args, &mut mem, &mut stats, &mut fuel, 0)?;
+        Ok(ExecResult { ret, stats, memory: mem })
+    }
+
+    fn call(
+        &self,
+        f: &Function,
+        args: &[i32],
+        mem: &mut Vec<u8>,
+        stats: &mut ExecStats,
+        fuel: &mut u64,
+        depth: u32,
+    ) -> Result<Option<i32>, IrError> {
+        if depth > self.max_depth {
+            return Err(IrError::DepthExceeded);
+        }
+        if args.len() != f.params.len() {
+            return Err(IrError::BadCall(format!(
+                "{} expects {} args, got {}",
+                f.name,
+                f.params.len(),
+                args.len()
+            )));
+        }
+        let mut regs: Vec<Option<i32>> = vec![None; f.next_vreg as usize];
+        for (p, &v) in f.params.iter().zip(args) {
+            regs[p.0 as usize] = Some(v);
+        }
+
+        let read = |regs: &[Option<i32>], r: VReg| -> Result<i32, IrError> {
+            regs.get(r.0 as usize)
+                .copied()
+                .flatten()
+                .ok_or_else(|| IrError::UndefinedRead(r, f.name.clone()))
+        };
+        let eval = |regs: &[Option<i32>], o: Operand| -> Result<i32, IrError> {
+            match o {
+                Operand::Reg(r) => read(regs, r),
+                Operand::Imm(v) => Ok(v),
+            }
+        };
+
+        let mut block = Function::ENTRY;
+        loop {
+            let b = f.block(block);
+            for inst in &b.insts {
+                if *fuel == 0 {
+                    return Err(IrError::FuelExhausted);
+                }
+                *fuel -= 1;
+                stats.insts += 1;
+                match inst {
+                    Inst::Bin { op, dst, a, b } => {
+                        let va = eval(&regs, *a)?;
+                        let vb = eval(&regs, *b)?;
+                        regs[dst.0 as usize] = Some(op.eval_alu(va, vb));
+                    }
+                    Inst::Un { op, dst, a } => {
+                        let va = eval(&regs, *a)?;
+                        regs[dst.0 as usize] = Some(op.eval_alu(va, 0));
+                    }
+                    Inst::Copy { dst, src } => {
+                        let v = eval(&regs, *src)?;
+                        regs[dst.0 as usize] = Some(v);
+                    }
+                    Inst::Load { op, dst, addr, .. } => {
+                        stats.loads += 1;
+                        let a = eval(&regs, *addr)? as u32;
+                        regs[dst.0 as usize] = Some(tta_model::mem::load(mem, *op, a)?);
+                    }
+                    Inst::Store { op, value, addr, .. } => {
+                        stats.stores += 1;
+                        let v = eval(&regs, *value)?;
+                        let a = eval(&regs, *addr)? as u32;
+                        tta_model::mem::store(mem, *op, a, v)?;
+                    }
+                    Inst::Call { func, args: call_args, dst } => {
+                        stats.calls += 1;
+                        let callee = self.module.func(*func);
+                        let mut vals = Vec::with_capacity(call_args.len());
+                        for a in call_args {
+                            vals.push(eval(&regs, *a)?);
+                        }
+                        let r = self.call(callee, &vals, mem, stats, fuel, depth + 1)?;
+                        if let Some(d) = dst {
+                            let v = r.ok_or_else(|| {
+                                IrError::BadCall(format!(
+                                    "{} returns no value but caller expects one",
+                                    callee.name
+                                ))
+                            })?;
+                            regs[d.0 as usize] = Some(v);
+                        }
+                    }
+                }
+            }
+            if *fuel == 0 {
+                return Err(IrError::FuelExhausted);
+            }
+            *fuel -= 1;
+            stats.terminators += 1;
+            match b.term.as_ref().expect("verified function has terminators") {
+                Terminator::Jump(t) => block = *t,
+                Terminator::Branch { cond, if_true, if_false } => {
+                    block = if eval(&regs, *cond)? != 0 { *if_true } else { *if_false };
+                }
+                Terminator::Ret(v) => {
+                    return match v {
+                        Some(o) => Ok(Some(eval(&regs, *o)?)),
+                        None => Ok(None),
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: run a module and return just the return value, panicking on
+/// error. Used heavily in tests.
+pub fn run_ret(module: &Module, args: &[i32]) -> i32 {
+    Interpreter::new(module)
+        .run(args)
+        .unwrap_or_else(|e| panic!("{}: {e}", module.name))
+        .ret
+        .expect("entry returns a value")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FunctionBuilder, ModuleBuilder};
+
+    fn loop_sum_module(n: i32) -> Module {
+        // sum of 0..n via a loop
+        let mut mb = ModuleBuilder::new("loop_sum");
+        let mut fb = FunctionBuilder::new("main", 0, true);
+        let i = fb.copy(0);
+        let sum = fb.copy(0);
+        let head = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.jump(head);
+        fb.switch_to(head);
+        let c = fb.lt(i, n);
+        fb.branch(c, body, exit);
+        fb.switch_to(body);
+        let s2 = fb.add(sum, i);
+        fb.copy_to(sum, s2);
+        let i2 = fb.add(i, 1);
+        fb.copy_to(i, i2);
+        fb.jump(head);
+        fb.switch_to(exit);
+        fb.ret(sum);
+        let id = mb.add(fb.finish());
+        mb.set_entry(id);
+        mb.finish()
+    }
+
+    #[test]
+    fn loop_sum() {
+        assert_eq!(run_ret(&loop_sum_module(10), &[]), 45);
+        assert_eq!(run_ret(&loop_sum_module(0), &[]), 0);
+        assert_eq!(run_ret(&loop_sum_module(1000), &[]), 499_500);
+    }
+
+    #[test]
+    fn fuel_limits_infinite_loops() {
+        let mut mb = ModuleBuilder::new("inf");
+        let mut fb = FunctionBuilder::new("main", 0, false);
+        let head = fb.new_block();
+        fb.jump(head);
+        fb.switch_to(head);
+        fb.jump(head);
+        let id = mb.add(fb.finish());
+        mb.set_entry(id);
+        let m = mb.finish();
+        let e = Interpreter::new(&m).with_fuel(1000).run(&[]).unwrap_err();
+        assert_eq!(e, IrError::FuelExhausted);
+    }
+
+    #[test]
+    fn undefined_read_detected() {
+        let mut mb = ModuleBuilder::new("undef");
+        let mut fb = FunctionBuilder::new("main", 0, true);
+        let ghost = fb.vreg(); // never assigned
+        let v = fb.add(ghost, 1);
+        fb.ret(v);
+        let id = mb.add(fb.finish());
+        mb.set_entry(id);
+        let m = mb.finish();
+        match Interpreter::new(&m).run(&[]) {
+            Err(IrError::UndefinedRead(..)) => {}
+            other => panic!("expected UndefinedRead, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn calls_pass_arguments_and_return() {
+        let mut mb = ModuleBuilder::new("call");
+        // callee: f(a, b) = a * 2 + b
+        let mut cb = FunctionBuilder::new("f", 2, true);
+        let d = cb.mul(cb.param(0), 2);
+        let r = cb.add(d, cb.param(1));
+        cb.ret(r);
+        let callee = mb.add(cb.finish());
+        let mut fb = FunctionBuilder::new("main", 1, true);
+        let x = fb.call(callee, &[Operand::Reg(fb.param(0)), Operand::Imm(5)]);
+        fb.ret(x);
+        let id = mb.add(fb.finish());
+        mb.set_entry(id);
+        let m = mb.finish();
+        let r = Interpreter::new(&m).run(&[20]).unwrap();
+        assert_eq!(r.ret, Some(45));
+        assert_eq!(r.stats.calls, 1);
+    }
+
+    #[test]
+    fn memory_survives_across_calls_and_is_returned() {
+        let mut mb = ModuleBuilder::new("mem");
+        let buf = mb.buffer(8);
+        let mut cb = FunctionBuilder::new("poke", 0, false);
+        cb.stw(0x55aa, buf.base(), buf.region);
+        cb.ret_void();
+        let poke = mb.add(cb.finish());
+        let mut fb = FunctionBuilder::new("main", 0, true);
+        fb.call_void(poke, &[]);
+        let v = fb.ldw(buf.base(), buf.region);
+        fb.ret(v);
+        let id = mb.add(fb.finish());
+        mb.set_entry(id);
+        let m = mb.finish();
+        let r = Interpreter::new(&m).run(&[]).unwrap();
+        assert_eq!(r.ret, Some(0x55aa));
+        assert_eq!(r.memory[buf.addr as usize], 0xaa);
+    }
+
+    #[test]
+    fn stats_count_classes() {
+        let m = loop_sum_module(3);
+        let r = Interpreter::new(&m).run(&[]).unwrap();
+        assert!(r.stats.insts > 0);
+        assert!(r.stats.terminators >= 4);
+        assert_eq!(r.stats.loads, 0);
+        assert_eq!(r.stats.stores, 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # tta-ir — the compiler's intermediate representation
+//!
+//! A target-independent virtual-register IR over the paper's Table-I
+//! operation set, together with:
+//!
+//! * a [`builder`] API used to author programs (the CHStone-style kernels in
+//!   `tta-chstone` are written against it),
+//! * a [`verify`] pass (structure, opcode classes, definite assignment,
+//!   recursion detection), and
+//! * the reference [`interp`]reter that serves as the golden model for the
+//!   differential tests of the compiler and the cycle-accurate simulator.
+//!
+//! ```
+//! use tta_ir::builder::{FunctionBuilder, ModuleBuilder};
+//! use tta_ir::interp::Interpreter;
+//!
+//! let mut mb = ModuleBuilder::new("example");
+//! let mut fb = FunctionBuilder::new("main", 2, true);
+//! let sum = fb.add(fb.param(0), fb.param(1));
+//! fb.ret(sum);
+//! let main = mb.add(fb.finish());
+//! mb.set_entry(main);
+//! let module = mb.finish();
+//!
+//! tta_ir::verify::verify_module(&module).unwrap();
+//! let result = Interpreter::new(&module).run(&[2, 40]).unwrap();
+//! assert_eq!(result.ret, Some(42));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod func;
+pub mod inst;
+pub mod interp;
+pub mod verify;
+
+pub use builder::{Buffer, FunctionBuilder, ModuleBuilder};
+pub use func::{Block, DataInit, Function, Module};
+pub use inst::{BlockId, FuncId, Inst, MemRegion, Operand, Terminator, VReg};
+pub use interp::{ExecResult, ExecStats, Interpreter, IrError};
+pub use verify::{verify_function, verify_module, VerifyError};

@@ -1,0 +1,399 @@
+//! Bit-exact binary encoding of TTA programs.
+//!
+//! This is the machine-code generator behind the Table II width numbers:
+//! each move slot is packed as a 1-bit immediate flag, a source field
+//! (socket index or short immediate), and a destination field (socket /
+//! register / trigger-opcode index), with one leading template bit that
+//! selects the long-immediate format (in which the first
+//! `limm.bus_slots` slots are repurposed to carry an immediate-register
+//! selector plus the 32-bit value, exactly the TCE template mechanism the
+//! paper relies on).
+//!
+//! Encoding and decoding round-trip bit-exactly; the property tests in
+//! this module and `tests/encoding_roundtrip.rs` enforce it for random
+//! instructions and for whole compiled kernels.
+
+use crate::code::{Move, MoveDst, MoveSrc, TtaInst};
+use crate::encoding::{ceil_log2, tta_dst_bits, tta_instruction_bits, tta_src_bits};
+use crate::program::IsaError;
+use bytes::Bytes;
+use tta_model::{DstConn, FuId, Machine, Opcode, RegRef, RfId, SrcConn};
+
+/// A source item addressable by a slot's source field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SrcItem {
+    Rf(RfId, u16),
+    FuResult(FuId),
+    ImmReg(u8),
+}
+
+/// A destination item addressable by a slot's destination field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DstItem {
+    Nop,
+    Rf(RfId, u16),
+    FuOperand(FuId),
+    FuTrigger(FuId, Opcode),
+}
+
+struct SlotLayout {
+    src_items: Vec<SrcItem>,
+    dst_items: Vec<DstItem>,
+    /// Content bits of the source field (excluding the immediate flag).
+    src_bits: u32,
+    dst_bits: u32,
+    simm_bits: u32,
+}
+
+/// Bit-exact encoder/decoder for one machine's TTA instruction format.
+pub struct TtaCodec {
+    slots: Vec<SlotLayout>,
+    width: u32,
+    limm_reg_bits: u32,
+    limm_slots: usize,
+}
+
+struct BitWriter {
+    bytes: Vec<u8>,
+    pos: u64,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter { bytes: Vec::new(), pos: 0 }
+    }
+    /// Append `n` bits of `v` (MSB of the field first).
+    fn put(&mut self, v: u64, n: u32) {
+        for k in (0..n).rev() {
+            let bit = (v >> k) & 1;
+            let byte = (self.pos / 8) as usize;
+            if byte == self.bytes.len() {
+                self.bytes.push(0);
+            }
+            self.bytes[byte] |= (bit as u8) << (7 - (self.pos % 8));
+            self.pos += 1;
+        }
+    }
+}
+
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    fn get(&mut self, n: u32) -> Result<u64, IsaError> {
+        let mut v = 0u64;
+        for _ in 0..n {
+            let byte = (self.pos / 8) as usize;
+            if byte >= self.bytes.len() {
+                return Err(IsaError("bitstream exhausted".into()));
+            }
+            let bit = (self.bytes[byte] >> (7 - (self.pos % 8))) & 1;
+            v = (v << 1) | bit as u64;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+}
+
+impl TtaCodec {
+    /// Derive the instruction format of a TTA machine.
+    pub fn new(m: &Machine) -> TtaCodec {
+        let mut slots = Vec::with_capacity(m.buses.len());
+        for bus in &m.buses {
+            let mut src_items = Vec::new();
+            for s in &bus.sources {
+                match *s {
+                    SrcConn::RfRead(rf) => {
+                        for i in 0..m.rf(rf).regs {
+                            src_items.push(SrcItem::Rf(rf, i));
+                        }
+                    }
+                    SrcConn::FuResult(f) => src_items.push(SrcItem::FuResult(f)),
+                }
+            }
+            for k in 0..m.limm.imm_regs {
+                src_items.push(SrcItem::ImmReg(k));
+            }
+            let mut dst_items = vec![DstItem::Nop];
+            for d in &bus.dests {
+                match *d {
+                    DstConn::RfWrite(rf) => {
+                        for i in 0..m.rf(rf).regs {
+                            dst_items.push(DstItem::Rf(rf, i));
+                        }
+                    }
+                    DstConn::FuOperand(f) => dst_items.push(DstItem::FuOperand(f)),
+                    DstConn::FuTrigger(f) => {
+                        for &op in &m.fu(f).ops {
+                            dst_items.push(DstItem::FuTrigger(f, op));
+                        }
+                    }
+                }
+            }
+            slots.push(SlotLayout {
+                src_bits: tta_src_bits(m, bus) - 1, // content bits
+                dst_bits: tta_dst_bits(m, bus),
+                simm_bits: bus.simm_bits as u32,
+                src_items,
+                dst_items,
+            });
+        }
+        let limm_slots = m.limm.bus_slots as usize;
+        let codec = TtaCodec {
+            width: tta_instruction_bits(m),
+            limm_reg_bits: ceil_log2(m.limm.imm_regs as usize).max(1),
+            limm_slots,
+            slots,
+        };
+        // The long-immediate template must fit in the repurposed slots.
+        let limm_capacity: u32 = codec.slots[..limm_slots]
+            .iter()
+            .map(|s| 1 + s.src_bits + s.dst_bits)
+            .sum();
+        assert!(
+            limm_capacity >= codec.limm_reg_bits + 32,
+            "long-immediate template needs {} bits but the first {} slots provide {}",
+            codec.limm_reg_bits + 32,
+            limm_slots,
+            limm_capacity
+        );
+        codec
+    }
+
+    /// Instruction width in bits (identical to
+    /// [`tta_instruction_bits`]).
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn encode_inst(&self, inst: &TtaInst, w: &mut BitWriter) -> Result<(), IsaError> {
+        if inst.slots.len() != self.slots.len() {
+            return Err(IsaError(format!(
+                "instruction has {} slots, format has {}",
+                inst.slots.len(),
+                self.slots.len()
+            )));
+        }
+        let start = w.pos;
+        match inst.limm {
+            None => {
+                w.put(0, 1);
+                for (mv, layout) in inst.slots.iter().zip(&self.slots) {
+                    self.encode_slot(*mv, layout, w)?;
+                }
+            }
+            Some((reg, value)) => {
+                w.put(1, 1);
+                // Repurposed slots: imm register selector + 32-bit value,
+                // zero-padded to the slots' combined width.
+                let cap: u32 = self.slots[..self.limm_slots]
+                    .iter()
+                    .map(|s| 1 + s.src_bits + s.dst_bits)
+                    .sum();
+                w.put(reg as u64, self.limm_reg_bits);
+                w.put(value as u32 as u64, 32);
+                w.put(0, cap - self.limm_reg_bits - 32);
+                for (mv, layout) in
+                    inst.slots.iter().zip(&self.slots).skip(self.limm_slots)
+                {
+                    self.encode_slot(*mv, layout, w)?;
+                }
+            }
+        }
+        debug_assert_eq!(w.pos - start, self.width as u64);
+        Ok(())
+    }
+
+    fn encode_slot(
+        &self,
+        mv: Option<Move>,
+        layout: &SlotLayout,
+        w: &mut BitWriter,
+    ) -> Result<(), IsaError> {
+        match mv {
+            None => {
+                // NOP: flag 0, source 0, destination code 0.
+                w.put(0, 1 + layout.src_bits + layout.dst_bits);
+            }
+            Some(mv) => {
+                match mv.src {
+                    MoveSrc::Imm(v) => {
+                        w.put(1, 1);
+                        let mask = if layout.simm_bits >= 32 {
+                            u32::MAX as u64
+                        } else {
+                            (1u64 << layout.simm_bits) - 1
+                        };
+                        w.put(v as u32 as u64 & mask, layout.src_bits);
+                    }
+                    _ => {
+                        let item = match mv.src {
+                            MoveSrc::Rf(r) => SrcItem::Rf(r.rf, r.index),
+                            MoveSrc::FuResult(f) => SrcItem::FuResult(f),
+                            MoveSrc::ImmReg(k) => SrcItem::ImmReg(k),
+                            MoveSrc::Imm(_) => unreachable!(),
+                        };
+                        let idx = layout
+                            .src_items
+                            .iter()
+                            .position(|&i| i == item)
+                            .ok_or_else(|| {
+                                IsaError(format!("source {:?} not reachable on this bus", mv.src))
+                            })?;
+                        w.put(0, 1);
+                        w.put(idx as u64, layout.src_bits);
+                    }
+                }
+                let ditem = match mv.dst {
+                    MoveDst::Rf(r) => DstItem::Rf(r.rf, r.index),
+                    MoveDst::FuOperand(f) => DstItem::FuOperand(f),
+                    MoveDst::FuTrigger(f, op) => DstItem::FuTrigger(f, op),
+                };
+                let didx = layout
+                    .dst_items
+                    .iter()
+                    .position(|&i| i == ditem)
+                    .ok_or_else(|| {
+                        IsaError(format!("destination {:?} not reachable on this bus", mv.dst))
+                    })?;
+                w.put(didx as u64, layout.dst_bits);
+            }
+        }
+        Ok(())
+    }
+
+    fn decode_inst(&self, r: &mut BitReader) -> Result<TtaInst, IsaError> {
+        let mut inst = TtaInst::nop(self.slots.len());
+        let template = r.get(1)?;
+        let skip = if template == 1 {
+            let reg = r.get(self.limm_reg_bits)? as u8;
+            let value = r.get(32)? as u32 as i32;
+            let cap: u32 = self.slots[..self.limm_slots]
+                .iter()
+                .map(|s| 1 + s.src_bits + s.dst_bits)
+                .sum();
+            let _ = r.get(cap - self.limm_reg_bits - 32)?;
+            inst.limm = Some((reg, value));
+            self.limm_slots
+        } else {
+            0
+        };
+        for (si, layout) in self.slots.iter().enumerate().skip(skip) {
+            let flag = r.get(1)?;
+            let src_field = r.get(layout.src_bits)?;
+            let dst_field = r.get(layout.dst_bits)? as usize;
+            if dst_field == 0 {
+                continue; // NOP slot
+            }
+            let dst = match layout.dst_items.get(dst_field) {
+                Some(DstItem::Rf(rf, i)) => MoveDst::Rf(RegRef { rf: *rf, index: *i }),
+                Some(DstItem::FuOperand(f)) => MoveDst::FuOperand(*f),
+                Some(DstItem::FuTrigger(f, op)) => MoveDst::FuTrigger(*f, *op),
+                _ => return Err(IsaError(format!("bad destination code {dst_field}"))),
+            };
+            let src = if flag == 1 {
+                // Sign-extend the short immediate.
+                let v = if layout.simm_bits >= 32 {
+                    src_field as u32 as i32
+                } else {
+                    let shift = 32 - layout.simm_bits;
+                    (((src_field as u32) << shift) as i32) >> shift
+                };
+                MoveSrc::Imm(v)
+            } else {
+                match layout.src_items.get(src_field as usize) {
+                    Some(SrcItem::Rf(rf, i)) => MoveSrc::Rf(RegRef { rf: *rf, index: *i }),
+                    Some(SrcItem::FuResult(f)) => MoveSrc::FuResult(*f),
+                    Some(SrcItem::ImmReg(k)) => MoveSrc::ImmReg(*k),
+                    None => return Err(IsaError(format!("bad source code {src_field}"))),
+                }
+            };
+            inst.slots[si] = Some(Move { src, dst });
+        }
+        Ok(inst)
+    }
+
+    /// Encode a program into a packed big-endian bitstream.
+    pub fn encode_program(&self, insts: &[TtaInst]) -> Result<Bytes, IsaError> {
+        let mut w = BitWriter::new();
+        for inst in insts {
+            self.encode_inst(inst, &mut w)?;
+        }
+        Ok(Bytes::from(w.bytes))
+    }
+
+    /// Decode `n` instructions from a packed bitstream.
+    pub fn decode_program(&self, bytes: &[u8], n: usize) -> Result<Vec<TtaInst>, IsaError> {
+        let mut r = BitReader { bytes, pos: 0 };
+        (0..n).map(|_| self.decode_inst(&mut r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_model::presets;
+
+    #[test]
+    fn codec_width_matches_encoding_model() {
+        for m in presets::all_design_points() {
+            if m.style != tta_model::CoreStyle::Tta {
+                continue;
+            }
+            let c = TtaCodec::new(&m);
+            assert_eq!(c.width(), tta_instruction_bits(&m), "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn nop_and_limm_roundtrip() {
+        let m = presets::m_tta_2();
+        let c = TtaCodec::new(&m);
+        let nop = TtaInst::nop(m.buses.len());
+        let mut limm = TtaInst::nop(m.buses.len());
+        limm.limm = Some((1, -123_456_789));
+        let prog = vec![nop.clone(), limm.clone(), nop];
+        let bytes = c.encode_program(&prog).unwrap();
+        assert_eq!(bytes.len(), (3 * c.width() as usize).div_ceil(8));
+        let back = c.decode_program(&bytes, 3).unwrap();
+        assert_eq!(back, prog);
+    }
+
+    #[test]
+    fn moves_roundtrip() {
+        let m = presets::m_tta_1();
+        let c = TtaCodec::new(&m);
+        // One of each move flavour on the buses that support them.
+        let mut inst = TtaInst::nop(3);
+        inst.slots[0] = Some(Move {
+            src: MoveSrc::Rf(RegRef { rf: RfId(0), index: 31 }),
+            dst: MoveDst::FuTrigger(FuId(0), Opcode::Mul),
+        });
+        inst.slots[2] = Some(Move {
+            src: MoveSrc::Imm(-32),
+            dst: MoveDst::FuOperand(FuId(1)),
+        });
+        let bytes = c.encode_program(std::slice::from_ref(&inst)).unwrap();
+        let back = c.decode_program(&bytes, 1).unwrap();
+        assert_eq!(back[0], inst);
+    }
+
+    #[test]
+    fn unconnected_move_is_rejected() {
+        let m = presets::m_tta_2();
+        let c = TtaCodec::new(&m);
+        // Find a bus that cannot read the RF and try to encode an RF read
+        // on it.
+        let bad = (0..m.buses.len())
+            .find(|&b| !m.buses[b].reads(SrcConn::RfRead(RfId(0))))
+            .expect("pruned preset");
+        let mut inst = TtaInst::nop(m.buses.len());
+        inst.slots[bad] = Some(Move {
+            src: MoveSrc::Rf(RegRef { rf: RfId(0), index: 0 }),
+            dst: MoveDst::FuOperand(FuId(0)),
+        });
+        assert!(c.encode_program(&[inst]).is_err());
+    }
+}

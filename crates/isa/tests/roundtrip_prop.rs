@@ -1,0 +1,105 @@
+//! Property test: the bit-level TTA codec round-trips every valid
+//! instruction on every TTA design point.
+
+use proptest::prelude::*;
+use tta_isa::{Move, MoveDst, MoveSrc, TtaCodec, TtaInst};
+use tta_model::{presets, CoreStyle, DstConn, Machine, RegRef, SrcConn};
+
+/// Generate a random valid move for bus `b` of `m`, if the bus has any
+/// valid source/destination.
+fn random_move(m: &Machine, b: usize, pick: &mut impl FnMut(usize) -> usize) -> Option<Move> {
+    let bus = &m.buses[b];
+    // Collect candidate sources.
+    let mut srcs: Vec<MoveSrc> = Vec::new();
+    for s in &bus.sources {
+        match *s {
+            SrcConn::RfRead(rf) => {
+                let idx = pick(m.rf(rf).regs as usize) as u16;
+                srcs.push(MoveSrc::Rf(RegRef { rf, index: idx }));
+            }
+            SrcConn::FuResult(f) => srcs.push(MoveSrc::FuResult(f)),
+        }
+    }
+    for k in 0..m.limm.imm_regs {
+        srcs.push(MoveSrc::ImmReg(k));
+    }
+    if bus.simm_bits > 0 {
+        let half = 1i64 << (bus.simm_bits - 1);
+        let v = (pick((2 * half) as usize) as i64 - half) as i32;
+        srcs.push(MoveSrc::Imm(v));
+    }
+    let mut dsts: Vec<MoveDst> = Vec::new();
+    for d in &bus.dests {
+        match *d {
+            DstConn::RfWrite(rf) => {
+                let idx = pick(m.rf(rf).regs as usize) as u16;
+                dsts.push(MoveDst::Rf(RegRef { rf, index: idx }));
+            }
+            DstConn::FuOperand(f) => dsts.push(MoveDst::FuOperand(f)),
+            DstConn::FuTrigger(f) => {
+                let ops = &m.fu(f).ops;
+                dsts.push(MoveDst::FuTrigger(f, ops[pick(ops.len())]));
+            }
+        }
+    }
+    if srcs.is_empty() || dsts.is_empty() {
+        return None;
+    }
+    Some(Move { src: srcs[pick(srcs.len())], dst: dsts[pick(dsts.len())] })
+}
+
+fn random_program(m: &Machine, seeds: &[u32]) -> Vec<TtaInst> {
+    let mut cursor = 0usize;
+    let mut pick = |n: usize| -> usize {
+        let v = seeds[cursor % seeds.len()] as usize;
+        cursor += 1;
+        v % n.max(1)
+    };
+    let n_insts = 1 + pick(8);
+    let mut prog = Vec::with_capacity(n_insts);
+    for _ in 0..n_insts {
+        let mut inst = TtaInst::nop(m.buses.len());
+        let kind = pick(4);
+        if kind == 0 {
+            // Long immediate; the repurposed slots stay empty.
+            let reg = pick(m.limm.imm_regs as usize) as u8;
+            let value = (pick(usize::MAX) as u32 as i32).wrapping_mul(2654435761u32 as i32);
+            inst.limm = Some((reg, value));
+            for b in m.limm.bus_slots as usize..m.buses.len() {
+                if pick(2) == 0 {
+                    inst.slots[b] = random_move(m, b, &mut pick);
+                }
+            }
+        } else {
+            for b in 0..m.buses.len() {
+                if pick(3) != 0 {
+                    inst.slots[b] = random_move(m, b, &mut pick);
+                }
+            }
+        }
+        prog.push(inst);
+    }
+    prog
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_instructions_roundtrip(seeds in prop::collection::vec(any::<u32>(), 32..128)) {
+        for m in presets::all_design_points() {
+            if m.style != CoreStyle::Tta {
+                continue;
+            }
+            let codec = TtaCodec::new(&m);
+            let prog = random_program(&m, &seeds);
+            let bytes = codec.encode_program(&prog).unwrap();
+            prop_assert_eq!(
+                bytes.len(),
+                (prog.len() * codec.width() as usize).div_ceil(8)
+            );
+            let back = codec.decode_program(&bytes, prog.len()).unwrap();
+            prop_assert_eq!(back, prog, "machine {}", m.name);
+        }
+    }
+}

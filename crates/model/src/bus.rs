@@ -1,0 +1,166 @@
+//! Transport buses and their connectivity.
+//!
+//! A TTA instruction has one *move slot* per bus; each slot programs one data
+//! transport from a source socket to a destination socket on that bus
+//! (paper §III-A, Fig. 2). Connectivity is modelled at component granularity:
+//! a bus lists which RF read/write ports and FU result/operand/trigger ports
+//! it can reach. The per-slot field widths of the instruction encoding are
+//! derived from these lists (more reachable sockets → wider fields), which is
+//! exactly the mechanism behind the bus-merged `bm-tta` design points: fewer,
+//! less-connected buses → narrower instructions.
+
+use crate::fu::FuId;
+use crate::rf::RfId;
+use serde::{Deserialize, Serialize};
+
+/// Index of a bus within its [`Machine`](crate::Machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BusId(pub u16);
+
+impl std::fmt::Display for BusId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// A source socket reachable from a bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SrcConn {
+    /// A read port of a register file (the slot's source field then carries
+    /// the register index).
+    RfRead(RfId),
+    /// The result port of a function unit (software bypassing reads this).
+    FuResult(FuId),
+}
+
+/// A destination socket reachable from a bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DstConn {
+    /// A write port of a register file.
+    RfWrite(RfId),
+    /// The (storing, non-trigger) operand port of a function unit.
+    FuOperand(FuId),
+    /// The trigger port of a function unit (the slot's destination field
+    /// then also carries the opcode).
+    FuTrigger(FuId),
+}
+
+/// One transport bus.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bus {
+    /// Human-readable name, unique within the machine (e.g. `"b0"`).
+    pub name: String,
+    /// Data width in bits (32 throughout the paper).
+    pub width: u16,
+    /// Short-immediate width of this bus's source field in bits: immediate
+    /// values representable in `simm_bits` (signed) ride for free inside the
+    /// move; larger constants need the long-immediate mechanism.
+    pub simm_bits: u8,
+    /// Source sockets reachable from this bus.
+    pub sources: Vec<SrcConn>,
+    /// Destination sockets reachable from this bus.
+    pub dests: Vec<DstConn>,
+}
+
+impl Bus {
+    /// A 32-bit bus with 8-bit short immediates and no connections yet.
+    pub fn new(name: impl Into<String>) -> Self {
+        Bus { name: name.into(), width: 32, simm_bits: 8, sources: Vec::new(), dests: Vec::new() }
+    }
+
+    /// Whether the bus can read the given source socket.
+    pub fn reads(&self, s: SrcConn) -> bool {
+        self.sources.contains(&s)
+    }
+
+    /// Whether the bus can write the given destination socket.
+    pub fn writes(&self, d: DstConn) -> bool {
+        self.dests.contains(&d)
+    }
+
+    /// Whether a signed immediate value fits in this bus's short-immediate
+    /// field.
+    pub fn simm_fits(&self, value: i32) -> bool {
+        if self.simm_bits == 0 {
+            return false;
+        }
+        if self.simm_bits >= 32 {
+            return true;
+        }
+        let half = 1i64 << (self.simm_bits - 1);
+        (value as i64) >= -half && (value as i64) < half
+    }
+
+    /// Add a source connection (idempotent).
+    pub fn connect_src(&mut self, s: SrcConn) {
+        if !self.sources.contains(&s) {
+            self.sources.push(s);
+        }
+    }
+
+    /// Add a destination connection (idempotent).
+    pub fn connect_dst(&mut self, d: DstConn) {
+        if !self.dests.contains(&d) {
+            self.dests.push(d);
+        }
+    }
+
+    /// Merge another bus's connectivity into this one, producing the union
+    /// (used by the greedy bus-merging transform for `bm-tta`).
+    pub fn merge_from(&mut self, other: &Bus) {
+        for &s in &other.sources {
+            self.connect_src(s);
+        }
+        for &d in &other.dests {
+            self.connect_dst(d);
+        }
+        self.simm_bits = self.simm_bits.max(other.simm_bits);
+        self.width = self.width.max(other.width);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simm_ranges() {
+        let mut b = Bus::new("b0");
+        assert_eq!(b.simm_bits, 8);
+        assert!(b.simm_fits(127));
+        assert!(b.simm_fits(-128));
+        assert!(!b.simm_fits(128));
+        assert!(!b.simm_fits(-129));
+        b.simm_bits = 0;
+        assert!(!b.simm_fits(0));
+        b.simm_bits = 32;
+        assert!(b.simm_fits(i32::MIN));
+        assert!(b.simm_fits(i32::MAX));
+    }
+
+    #[test]
+    fn connect_is_idempotent() {
+        let mut b = Bus::new("b0");
+        b.connect_src(SrcConn::RfRead(RfId(0)));
+        b.connect_src(SrcConn::RfRead(RfId(0)));
+        b.connect_dst(DstConn::FuTrigger(FuId(1)));
+        b.connect_dst(DstConn::FuTrigger(FuId(1)));
+        assert_eq!(b.sources.len(), 1);
+        assert_eq!(b.dests.len(), 1);
+    }
+
+    #[test]
+    fn merge_unions_connectivity() {
+        let mut a = Bus::new("a");
+        a.connect_src(SrcConn::RfRead(RfId(0)));
+        a.simm_bits = 6;
+        let mut b = Bus::new("b");
+        b.connect_src(SrcConn::FuResult(FuId(0)));
+        b.connect_dst(DstConn::RfWrite(RfId(0)));
+        b.simm_bits = 8;
+        a.merge_from(&b);
+        assert_eq!(a.sources.len(), 2);
+        assert_eq!(a.dests.len(), 1);
+        assert_eq!(a.simm_bits, 8);
+    }
+}

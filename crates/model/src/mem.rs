@@ -1,0 +1,130 @@
+//! Little-endian byte-addressable memory helpers shared by the IR reference
+//! interpreter and the cycle-accurate simulator, so both agree bit-for-bit on
+//! load/store semantics.
+
+use crate::op::Opcode;
+
+/// Error produced by an out-of-bounds or misaligned memory access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemError {
+    /// The faulting absolute byte address.
+    pub addr: u32,
+    /// Access width in bytes.
+    pub width: u32,
+    /// Whether the access was a store.
+    pub store: bool,
+    /// Memory size at the time of the access.
+    pub size: usize,
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} of {} bytes at address {:#x} out of bounds or misaligned (memory size {:#x})",
+            if self.store { "store" } else { "load" },
+            self.width,
+            self.addr,
+            self.size
+        )
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Access width in bytes for a memory opcode.
+pub fn access_width(op: Opcode) -> u32 {
+    match op {
+        Opcode::Ldw | Opcode::Stw => 4,
+        Opcode::Ldh | Opcode::Ldhu | Opcode::Sth => 2,
+        Opcode::Ldq | Opcode::Ldqu | Opcode::Stq => 1,
+        _ => panic!("access_width called on non-memory opcode {op:?}"),
+    }
+}
+
+fn check(mem: &[u8], addr: u32, width: u32, store: bool) -> Result<usize, MemError> {
+    let a = addr as usize;
+    if !a.is_multiple_of(width as usize) || a.checked_add(width as usize).is_none_or(|e| e > mem.len()) {
+        return Err(MemError { addr, width, store, size: mem.len() });
+    }
+    Ok(a)
+}
+
+/// Perform a load per the opcode's width/extension semantics.
+pub fn load(mem: &[u8], op: Opcode, addr: u32) -> Result<i32, MemError> {
+    let w = access_width(op);
+    let a = check(mem, addr, w, false)?;
+    let v = match op {
+        Opcode::Ldw => i32::from_le_bytes([mem[a], mem[a + 1], mem[a + 2], mem[a + 3]]),
+        Opcode::Ldh => i16::from_le_bytes([mem[a], mem[a + 1]]) as i32,
+        Opcode::Ldhu => u16::from_le_bytes([mem[a], mem[a + 1]]) as i32,
+        Opcode::Ldq => mem[a] as i8 as i32,
+        Opcode::Ldqu => mem[a] as i32,
+        _ => unreachable!("load called on non-load opcode {op:?}"),
+    };
+    Ok(v)
+}
+
+/// Perform a store per the opcode's width semantics (the value is truncated).
+pub fn store(mem: &mut [u8], op: Opcode, addr: u32, value: i32) -> Result<(), MemError> {
+    let w = access_width(op);
+    let a = check(mem, addr, w, true)?;
+    match op {
+        Opcode::Stw => mem[a..a + 4].copy_from_slice(&value.to_le_bytes()),
+        Opcode::Sth => mem[a..a + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+        Opcode::Stq => mem[a] = value as u8,
+        _ => unreachable!("store called on non-store opcode {op:?}"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_roundtrip_little_endian() {
+        let mut m = vec![0u8; 16];
+        store(&mut m, Opcode::Stw, 4, 0x1234_5678).unwrap();
+        assert_eq!(&m[4..8], &[0x78, 0x56, 0x34, 0x12]);
+        assert_eq!(load(&m, Opcode::Ldw, 4).unwrap(), 0x1234_5678);
+    }
+
+    #[test]
+    fn half_and_byte_extension() {
+        let mut m = vec![0u8; 8];
+        store(&mut m, Opcode::Sth, 2, -2).unwrap();
+        assert_eq!(load(&m, Opcode::Ldh, 2).unwrap(), -2);
+        assert_eq!(load(&m, Opcode::Ldhu, 2).unwrap(), 0xfffe);
+        store(&mut m, Opcode::Stq, 5, -1).unwrap();
+        assert_eq!(load(&m, Opcode::Ldq, 5).unwrap(), -1);
+        assert_eq!(load(&m, Opcode::Ldqu, 5).unwrap(), 0xff);
+    }
+
+    #[test]
+    fn store_truncates() {
+        let mut m = vec![0u8; 8];
+        store(&mut m, Opcode::Sth, 0, 0x0001_ffff).unwrap();
+        assert_eq!(load(&m, Opcode::Ldhu, 0).unwrap(), 0xffff);
+        store(&mut m, Opcode::Stq, 4, 0x1ff).unwrap();
+        assert_eq!(load(&m, Opcode::Ldqu, 4).unwrap(), 0xff);
+    }
+
+    #[test]
+    fn oob_and_misaligned_fault() {
+        let mut m = vec![0u8; 8];
+        assert!(load(&m, Opcode::Ldw, 8).is_err());
+        assert!(load(&m, Opcode::Ldw, 6).is_err()); // crosses the end
+        assert!(load(&m, Opcode::Ldw, 2).is_err()); // misaligned
+        assert!(load(&m, Opcode::Ldh, 1).is_err()); // misaligned
+        assert!(store(&mut m, Opcode::Stw, u32::MAX - 2, 0).is_err()); // overflow-safe
+        assert!(load(&m, Opcode::Ldq, 7).is_ok());
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(access_width(Opcode::Ldw), 4);
+        assert_eq!(access_width(Opcode::Sth), 2);
+        assert_eq!(access_width(Opcode::Ldqu), 1);
+    }
+}

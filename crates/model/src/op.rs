@@ -1,0 +1,410 @@
+//! The operation set of the evaluated cores.
+//!
+//! This is exactly the integer operation set of Table I in the paper plus the
+//! control operations provided by the control unit (absolute `jump`,
+//! conditional jumps and `halt`). Latencies are the ones listed in Table I.
+//!
+//! The ALU/LSU evaluation semantics live here (see [`Opcode::eval_alu`] and
+//! the [`mem`](crate::mem) module) so that the IR reference interpreter and
+//! the cycle-accurate simulator share a single source of truth: a divergence
+//! between the two would otherwise silently invalidate the differential
+//! tests.
+
+use serde::{Deserialize, Serialize};
+
+/// Functional class of an operation, which also determines the kind of
+/// function unit that may execute it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Integer arithmetic / logic (executes on an ALU).
+    Alu,
+    /// Memory access (executes on a load-store unit).
+    Lsu,
+    /// Control flow (executes on the control unit).
+    Ctrl,
+}
+
+/// Every operation of the evaluated base datapath (Table I) plus control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Opcode {
+    // --- ALU (Table I, left column) ---
+    /// `a + b` (wrapping).
+    Add,
+    /// `a & b`.
+    And,
+    /// `a == b` producing 0/1.
+    Eq,
+    /// signed `a > b` producing 0/1.
+    Gt,
+    /// unsigned `a > b` producing 0/1.
+    Gtu,
+    /// `a | b`.
+    Ior,
+    /// `a * b` (wrapping, low 32 bits).
+    Mul,
+    /// `a << (b & 31)`.
+    Shl,
+    /// arithmetic `a >> (b & 31)`.
+    Shr,
+    /// logical `a >> (b & 31)`.
+    Shru,
+    /// `a - b` (wrapping).
+    Sub,
+    /// sign extend low 16 bits of `a`.
+    Sxhw,
+    /// sign extend low 8 bits of `a`.
+    Sxqw,
+    /// `a ^ b`.
+    Xor,
+    // --- LSU (Table I, right column); all addresses are absolute ---
+    /// load 32b.
+    Ldw,
+    /// load 16b, sign extend.
+    Ldh,
+    /// load 8b, sign extend.
+    Ldq,
+    /// load 8b, zero extend.
+    Ldqu,
+    /// load 16b, zero extend.
+    Ldhu,
+    /// store 32b.
+    Stw,
+    /// store 16b.
+    Sth,
+    /// store 8b.
+    Stq,
+    // --- Control unit ---
+    /// absolute unconditional jump.
+    Jump,
+    /// conditional jump, taken when the condition is non-zero.
+    CJnz,
+    /// conditional jump, taken when the condition is zero.
+    CJz,
+    /// stop the core (used to terminate `main`).
+    Halt,
+}
+
+impl Opcode {
+    /// All opcodes, in a stable order (ALU, LSU, control).
+    pub const ALL: [Opcode; 26] = [
+        Opcode::Add,
+        Opcode::And,
+        Opcode::Eq,
+        Opcode::Gt,
+        Opcode::Gtu,
+        Opcode::Ior,
+        Opcode::Mul,
+        Opcode::Shl,
+        Opcode::Shr,
+        Opcode::Shru,
+        Opcode::Sub,
+        Opcode::Sxhw,
+        Opcode::Sxqw,
+        Opcode::Xor,
+        Opcode::Ldw,
+        Opcode::Ldh,
+        Opcode::Ldq,
+        Opcode::Ldqu,
+        Opcode::Ldhu,
+        Opcode::Stw,
+        Opcode::Sth,
+        Opcode::Stq,
+        Opcode::Jump,
+        Opcode::CJnz,
+        Opcode::CJz,
+        Opcode::Halt,
+    ];
+
+    /// The ALU opcodes of Table I.
+    pub const ALU_OPS: [Opcode; 14] = [
+        Opcode::Add,
+        Opcode::And,
+        Opcode::Eq,
+        Opcode::Gt,
+        Opcode::Gtu,
+        Opcode::Ior,
+        Opcode::Mul,
+        Opcode::Shl,
+        Opcode::Shr,
+        Opcode::Shru,
+        Opcode::Sub,
+        Opcode::Sxhw,
+        Opcode::Sxqw,
+        Opcode::Xor,
+    ];
+
+    /// The LSU opcodes of Table I.
+    pub const LSU_OPS: [Opcode; 8] = [
+        Opcode::Ldw,
+        Opcode::Ldh,
+        Opcode::Ldq,
+        Opcode::Ldqu,
+        Opcode::Ldhu,
+        Opcode::Stw,
+        Opcode::Sth,
+        Opcode::Stq,
+    ];
+
+    /// The control-unit opcodes.
+    pub const CTRL_OPS: [Opcode; 4] = [Opcode::Jump, Opcode::CJnz, Opcode::CJz, Opcode::Halt];
+
+    /// Assembly mnemonic, matching Table I where applicable.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Add => "add",
+            Opcode::And => "and",
+            Opcode::Eq => "eq",
+            Opcode::Gt => "gt",
+            Opcode::Gtu => "gtu",
+            Opcode::Ior => "ior",
+            Opcode::Mul => "mul",
+            Opcode::Shl => "shl",
+            Opcode::Shr => "shr",
+            Opcode::Shru => "shru",
+            Opcode::Sub => "sub",
+            Opcode::Sxhw => "sxhw",
+            Opcode::Sxqw => "sxqw",
+            Opcode::Xor => "xor",
+            Opcode::Ldw => "ldw",
+            Opcode::Ldh => "ldh",
+            Opcode::Ldq => "ldq",
+            Opcode::Ldqu => "ldqu",
+            Opcode::Ldhu => "ldhu",
+            Opcode::Stw => "stw",
+            Opcode::Sth => "sth",
+            Opcode::Stq => "stq",
+            Opcode::Jump => "jump",
+            Opcode::CJnz => "cjnz",
+            Opcode::CJz => "cjz",
+            Opcode::Halt => "halt",
+        }
+    }
+
+    /// The functional class of this operation.
+    pub fn class(self) -> OpClass {
+        match self {
+            Opcode::Add
+            | Opcode::And
+            | Opcode::Eq
+            | Opcode::Gt
+            | Opcode::Gtu
+            | Opcode::Ior
+            | Opcode::Mul
+            | Opcode::Shl
+            | Opcode::Shr
+            | Opcode::Shru
+            | Opcode::Sub
+            | Opcode::Sxhw
+            | Opcode::Sxqw
+            | Opcode::Xor => OpClass::Alu,
+            Opcode::Ldw
+            | Opcode::Ldh
+            | Opcode::Ldq
+            | Opcode::Ldqu
+            | Opcode::Ldhu
+            | Opcode::Stw
+            | Opcode::Sth
+            | Opcode::Stq => OpClass::Lsu,
+            Opcode::Jump | Opcode::CJnz | Opcode::CJz | Opcode::Halt => OpClass::Ctrl,
+        }
+    }
+
+    /// Execution latency in cycles, per Table I. An operation triggered at
+    /// cycle `t` has its result available at cycle `t + latency()`. Stores
+    /// have latency 0: the memory write happens immediately and there is no
+    /// result.
+    pub fn latency(self) -> u32 {
+        match self {
+            Opcode::Mul => 3,
+            Opcode::Shl | Opcode::Shr | Opcode::Shru => 2,
+            Opcode::Ldw | Opcode::Ldh | Opcode::Ldq | Opcode::Ldqu | Opcode::Ldhu => 3,
+            Opcode::Stw | Opcode::Sth | Opcode::Stq => 0,
+            // Control-flow effect latency is machine-dependent (delay slots),
+            // handled by `Machine::jump_delay_slots`; the nominal latency of
+            // the trigger itself is one cycle.
+            Opcode::Jump | Opcode::CJnz | Opcode::CJz | Opcode::Halt => 1,
+            _ => 1,
+        }
+    }
+
+    /// Number of data inputs (1 or 2). For stores the two inputs are
+    /// (address, value); for conditional jumps (target, condition).
+    pub fn num_inputs(self) -> usize {
+        match self {
+            Opcode::Sxhw | Opcode::Sxqw => 1,
+            Opcode::Ldw | Opcode::Ldh | Opcode::Ldq | Opcode::Ldqu | Opcode::Ldhu => 1,
+            Opcode::Jump | Opcode::Halt => 1,
+            _ => 2,
+        }
+    }
+
+    /// Whether the operation produces a result value.
+    pub fn has_result(self) -> bool {
+        !matches!(
+            self,
+            Opcode::Stw
+                | Opcode::Sth
+                | Opcode::Stq
+                | Opcode::Jump
+                | Opcode::CJnz
+                | Opcode::CJz
+                | Opcode::Halt
+        )
+    }
+
+    /// Whether this is a memory load.
+    pub fn is_load(self) -> bool {
+        matches!(
+            self,
+            Opcode::Ldw | Opcode::Ldh | Opcode::Ldq | Opcode::Ldqu | Opcode::Ldhu
+        )
+    }
+
+    /// Whether this is a memory store.
+    pub fn is_store(self) -> bool {
+        matches!(self, Opcode::Stw | Opcode::Sth | Opcode::Stq)
+    }
+
+    /// Whether this is any memory operation.
+    pub fn is_mem(self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Whether this is a control-flow operation.
+    pub fn is_ctrl(self) -> bool {
+        self.class() == OpClass::Ctrl
+    }
+
+    /// Whether the operation is commutative in its two data inputs, which the
+    /// TTA scheduler may exploit by swapping the operand and trigger moves.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            Opcode::Add | Opcode::And | Opcode::Ior | Opcode::Xor | Opcode::Eq | Opcode::Mul
+        )
+    }
+
+    /// Evaluate a (non-memory, non-control) ALU operation.
+    ///
+    /// `a` is the first (operand-port) input and `b` the second
+    /// (trigger-port) input; unary operations ignore `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with a memory or control opcode.
+    pub fn eval_alu(self, a: i32, b: i32) -> i32 {
+        match self {
+            Opcode::Add => a.wrapping_add(b),
+            Opcode::Sub => a.wrapping_sub(b),
+            Opcode::And => a & b,
+            Opcode::Ior => a | b,
+            Opcode::Xor => a ^ b,
+            Opcode::Eq => (a == b) as i32,
+            Opcode::Gt => (a > b) as i32,
+            Opcode::Gtu => ((a as u32) > (b as u32)) as i32,
+            Opcode::Mul => a.wrapping_mul(b),
+            Opcode::Shl => a.wrapping_shl(b as u32 & 31),
+            Opcode::Shr => a.wrapping_shr(b as u32 & 31),
+            Opcode::Shru => ((a as u32).wrapping_shr(b as u32 & 31)) as i32,
+            Opcode::Sxhw => a as i16 as i32,
+            Opcode::Sxqw => a as i8 as i32,
+            _ => panic!("eval_alu called on non-ALU opcode {self:?}"),
+        }
+    }
+}
+
+impl std::fmt::Display for Opcode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_latencies() {
+        // The exact latencies printed in Table I of the paper.
+        assert_eq!(Opcode::Add.latency(), 1);
+        assert_eq!(Opcode::And.latency(), 1);
+        assert_eq!(Opcode::Eq.latency(), 1);
+        assert_eq!(Opcode::Gt.latency(), 1);
+        assert_eq!(Opcode::Gtu.latency(), 1);
+        assert_eq!(Opcode::Ior.latency(), 1);
+        assert_eq!(Opcode::Mul.latency(), 3);
+        assert_eq!(Opcode::Shl.latency(), 2);
+        assert_eq!(Opcode::Shr.latency(), 2);
+        assert_eq!(Opcode::Shru.latency(), 2);
+        assert_eq!(Opcode::Sub.latency(), 1);
+        assert_eq!(Opcode::Sxhw.latency(), 1);
+        assert_eq!(Opcode::Sxqw.latency(), 1);
+        assert_eq!(Opcode::Xor.latency(), 1);
+        for ld in [Opcode::Ldw, Opcode::Ldh, Opcode::Ldq, Opcode::Ldqu, Opcode::Ldhu] {
+            assert_eq!(ld.latency(), 3, "{ld}");
+        }
+        for st in [Opcode::Stw, Opcode::Sth, Opcode::Stq] {
+            assert_eq!(st.latency(), 0, "{st}");
+        }
+    }
+
+    #[test]
+    fn class_partition_is_total_and_disjoint() {
+        let mut alu = 0;
+        let mut lsu = 0;
+        let mut ctrl = 0;
+        for op in Opcode::ALL {
+            match op.class() {
+                OpClass::Alu => alu += 1,
+                OpClass::Lsu => lsu += 1,
+                OpClass::Ctrl => ctrl += 1,
+            }
+        }
+        assert_eq!(alu, Opcode::ALU_OPS.len());
+        assert_eq!(lsu, Opcode::LSU_OPS.len());
+        assert_eq!(ctrl, Opcode::CTRL_OPS.len());
+        assert_eq!(alu + lsu + ctrl, Opcode::ALL.len());
+    }
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(Opcode::Add.eval_alu(2, 3), 5);
+        assert_eq!(Opcode::Add.eval_alu(i32::MAX, 1), i32::MIN); // wrapping
+        assert_eq!(Opcode::Sub.eval_alu(2, 3), -1);
+        assert_eq!(Opcode::And.eval_alu(0b1100, 0b1010), 0b1000);
+        assert_eq!(Opcode::Ior.eval_alu(0b1100, 0b1010), 0b1110);
+        assert_eq!(Opcode::Xor.eval_alu(0b1100, 0b1010), 0b0110);
+        assert_eq!(Opcode::Eq.eval_alu(7, 7), 1);
+        assert_eq!(Opcode::Eq.eval_alu(7, 8), 0);
+        assert_eq!(Opcode::Gt.eval_alu(-1, 1), 0);
+        assert_eq!(Opcode::Gtu.eval_alu(-1, 1), 1); // 0xffff_ffff > 1 unsigned
+        assert_eq!(Opcode::Mul.eval_alu(7, -3), -21);
+        assert_eq!(Opcode::Shl.eval_alu(1, 33), 2); // shift amount masked to 5 bits
+        assert_eq!(Opcode::Shr.eval_alu(-8, 1), -4);
+        assert_eq!(Opcode::Shru.eval_alu(-8, 1), 0x7fff_fffc);
+        assert_eq!(Opcode::Sxhw.eval_alu(0xffff, 0), -1);
+        assert_eq!(Opcode::Sxhw.eval_alu(0x7fff, 0), 0x7fff);
+        assert_eq!(Opcode::Sxqw.eval_alu(0xff, 0), -1);
+        assert_eq!(Opcode::Sxqw.eval_alu(0x7f, 0), 0x7f);
+    }
+
+    #[test]
+    fn input_counts_and_results() {
+        assert_eq!(Opcode::Add.num_inputs(), 2);
+        assert_eq!(Opcode::Sxhw.num_inputs(), 1);
+        assert_eq!(Opcode::Ldw.num_inputs(), 1);
+        assert_eq!(Opcode::Stw.num_inputs(), 2);
+        assert_eq!(Opcode::CJnz.num_inputs(), 2);
+        assert_eq!(Opcode::Jump.num_inputs(), 1);
+        assert!(Opcode::Ldw.has_result());
+        assert!(!Opcode::Stw.has_result());
+        assert!(!Opcode::Jump.has_result());
+        assert!(Opcode::Add.has_result());
+    }
+
+    #[test]
+    #[should_panic(expected = "eval_alu called on non-ALU opcode")]
+    fn eval_alu_rejects_memory_ops() {
+        Opcode::Ldw.eval_alu(0, 0);
+    }
+}

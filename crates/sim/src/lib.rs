@@ -1,0 +1,43 @@
+//! # tta-sim — cycle-accurate soft-core simulators
+//!
+//! Instruction-cycle-accurate simulators for the three programming models,
+//! playing the role of the TCE architecture simulator in the paper's
+//! methodology. Each simulator implements the timing contract its scheduler
+//! plans against and *checks* the dynamic machine rules (result-port
+//! lifetimes, write-port budgets, jump nesting), so a scheduler bug
+//! surfaces as a hard [`SimError`] or as a differential-test mismatch
+//! against the IR interpreter rather than as silently wrong cycle counts.
+
+#![warn(missing_docs)]
+
+pub mod result;
+pub mod scalar;
+pub mod tta;
+pub mod vliw;
+
+pub use result::{SimError, SimResult, SimStats};
+
+use tta_isa::Program;
+use tta_model::Machine;
+
+/// Default cycle budget for [`run`].
+pub const DEFAULT_FUEL: u64 = 200_000_000;
+
+/// Run any program on its machine (styles must match).
+pub fn run(m: &Machine, program: &Program, memory: Vec<u8>) -> Result<SimResult, SimError> {
+    run_with_fuel(m, program, memory, DEFAULT_FUEL)
+}
+
+/// [`run`] with an explicit cycle budget.
+pub fn run_with_fuel(
+    m: &Machine,
+    program: &Program,
+    memory: Vec<u8>,
+    fuel: u64,
+) -> Result<SimResult, SimError> {
+    match program {
+        Program::Tta(insts) => tta::run_tta(m, insts, memory, fuel),
+        Program::Vliw(bundles) => vliw::run_vliw(m, bundles, memory, fuel),
+        Program::Scalar(insts) => scalar::run_scalar(m, insts, memory, fuel),
+    }
+}

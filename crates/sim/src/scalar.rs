@@ -1,0 +1,161 @@
+//! In-order scalar pipeline simulator (the MicroBlaze-like baselines).
+//!
+//! Functionally the program executes sequentially; the timing model charges
+//! the pipeline costs of the configured [`tta_model::ScalarPipeline`]: one base cycle
+//! per instruction, dependence stalls when a consumer issues before its
+//! producer's functional latency has elapsed (plus one extra cycle when the
+//! pipeline lacks forwarding), the taken-branch refill penalty, and one
+//! cycle per `imm` prefix.
+
+use crate::result::{SimError, SimResult, SimStats};
+use tta_isa::{OpSrc, Operation, ScalarInst, RETVAL_ADDR};
+use tta_model::{mem, Machine, OpClass, Opcode, RegRef};
+
+/// Maximum simulated instructions before declaring a runaway program.
+pub const DEFAULT_FUEL: u64 = 200_000_000;
+
+/// Run a scalar program.
+pub fn run_scalar(
+    m: &Machine,
+    program: &[ScalarInst],
+    memory: Vec<u8>,
+    fuel: u64,
+) -> Result<SimResult, SimError> {
+    run_scalar_inner(m, program, memory, fuel, None)
+}
+
+/// Like [`run_scalar`], also recording the program counter of every executed
+/// instruction (for instruction-memory hierarchy studies).
+pub fn run_scalar_traced(
+    m: &Machine,
+    program: &[ScalarInst],
+    memory: Vec<u8>,
+    fuel: u64,
+) -> Result<(SimResult, Vec<u32>), SimError> {
+    let mut trace = Vec::new();
+    let r = run_scalar_inner(m, program, memory, fuel, Some(&mut trace))?;
+    Ok((r, trace))
+}
+
+fn run_scalar_inner(
+    m: &Machine,
+    program: &[ScalarInst],
+    mut memory: Vec<u8>,
+    fuel: u64,
+    mut trace: Option<&mut Vec<u32>>,
+) -> Result<SimResult, SimError> {
+    let pipe = m.scalar.expect("scalar machine");
+    let mut rf: Vec<Vec<i32>> = m.rfs.iter().map(|r| vec![0; r.regs as usize]).collect();
+    let mut ready: Vec<Vec<u64>> = m.rfs.iter().map(|r| vec![0; r.regs as usize]).collect();
+    let mut stats = SimStats::default();
+    let mut pc: u32 = 0;
+    let mut cycle: u64 = 0;
+    let mut executed: u64 = 0;
+
+    let extra = if pipe.forwarding { 0 } else { 1 };
+
+    loop {
+        if executed >= fuel {
+            return Err(SimError::OutOfFuel);
+        }
+        let Some(inst) = program.get(pc as usize) else {
+            return Err(SimError::PcOutOfRange(pc));
+        };
+        executed += 1;
+        stats.instructions += 1;
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(pc);
+        }
+
+        match inst {
+            ScalarInst::ImmPrefix => {
+                // One fetch/issue cycle; the following instruction carries
+                // the full immediate already.
+                cycle += 1;
+                pc += 1;
+                continue;
+            }
+            ScalarInst::Op(Operation { op, dst, a, b, .. }) => {
+                stats.payload += 1;
+                // Issue no earlier than every source register is ready.
+                let mut issue = cycle;
+                let src_val = |s: OpSrc, issue: &mut u64, stats: &mut SimStats| -> i32 {
+                    match s {
+                        OpSrc::Reg(r) => {
+                            stats.rf_reads += 1;
+                            *issue = (*issue).max(ready[r.rf.0 as usize][r.index as usize]);
+                            rf[r.rf.0 as usize][r.index as usize]
+                        }
+                        OpSrc::Imm(v) => v,
+                    }
+                };
+                let va = a.map(|s| src_val(s, &mut issue, &mut stats));
+                let vb = b.map(|s| src_val(s, &mut issue, &mut stats));
+                stats.stall_cycles += issue - cycle;
+                cycle = issue + 1; // the instruction occupies one issue slot
+
+                let mut write = |dst: Option<RegRef>, v: i32, lat: u32, rf: &mut Vec<Vec<i32>>| {
+                    if let Some(d) = dst {
+                        stats.rf_writes += 1;
+                        rf[d.rf.0 as usize][d.index as usize] = v;
+                        ready[d.rf.0 as usize][d.index as usize] =
+                            issue + lat as u64 + extra;
+                    }
+                };
+
+                match op.class() {
+                    OpClass::Alu => {
+                        let r = if op.num_inputs() == 1 {
+                            op.eval_alu(vb.unwrap(), 0)
+                        } else {
+                            op.eval_alu(va.unwrap(), vb.unwrap())
+                        };
+                        write(*dst, r, op.latency(), &mut rf);
+                    }
+                    OpClass::Lsu => {
+                        if op.is_load() {
+                            stats.loads += 1;
+                            let v = mem::load(&memory, *op, vb.unwrap() as u32)?;
+                            write(*dst, v, op.latency(), &mut rf);
+                        } else {
+                            stats.stores += 1;
+                            mem::store(&mut memory, *op, vb.unwrap() as u32, va.unwrap())?;
+                        }
+                    }
+                    OpClass::Ctrl => match op {
+                        Opcode::Halt => {
+                            let ret = mem::load(&memory, Opcode::Ldw, RETVAL_ADDR)?;
+                            return Ok(SimResult { cycles: cycle, ret, memory, stats });
+                        }
+                        Opcode::Jump | Opcode::CJnz | Opcode::CJz => {
+                            let (taken, target) = match op {
+                                Opcode::Jump => (true, vb.unwrap() as u32),
+                                Opcode::CJnz => (vb.unwrap() != 0, va.unwrap() as u32),
+                                Opcode::CJz => (vb.unwrap() == 0, va.unwrap() as u32),
+                                _ => unreachable!(),
+                            };
+                            if taken {
+                                stats.branches_taken += 1;
+                                cycle += pipe.branch_penalty as u64;
+                                stats.stall_cycles += pipe.branch_penalty as u64;
+                                pc = target;
+                                continue;
+                            }
+                        }
+                        _ => unreachable!(),
+                    },
+                }
+                pc += 1;
+            }
+        }
+    }
+}
+
+/// Convenience wrapper with the default fuel.
+pub fn run_scalar_default(
+    m: &Machine,
+    program: &[ScalarInst],
+    memory: Vec<u8>,
+) -> Result<SimResult, SimError> {
+    run_scalar(m, program, memory, DEFAULT_FUEL)
+}

@@ -1,0 +1,236 @@
+//! Cycle-accurate simulator for the transport-triggered cores.
+//!
+//! Implements exactly the timing contract the scheduler plans against
+//! (documented in `tta-compiler::tta_sched`): per cycle, (1) function-unit
+//! completions land in result ports, (2) all move sources are sampled, (3)
+//! operand-port and RF writes apply (RF reads of the same cycle already
+//! sampled → writes become visible next cycle; operand ports feed triggers
+//! of the *same* cycle), (4) triggers start operations, loads sampling
+//! memory and stores committing immediately, (5) the long immediate and
+//! control effects apply.
+//!
+//! The simulator is deliberately paranoid: reading a result port that never
+//! received a completion, simultaneous completions on one unit, or a jump
+//! during an in-flight jump raise [`SimError::Machine`] — each of these is
+//! a scheduler bug that static validation cannot see.
+
+use crate::result::{SimError, SimResult, SimStats};
+use tta_isa::{MoveDst, MoveSrc, TtaInst, RETVAL_ADDR};
+use tta_model::{mem, FuKind, Machine, OpClass, Opcode};
+
+/// Maximum simulated cycles before declaring a runaway program.
+pub const DEFAULT_FUEL: u64 = 200_000_000;
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    done: u64,
+    value: i32,
+}
+
+#[derive(Debug, Clone, Default)]
+struct FuSim {
+    operand: i32,
+    result: Option<i32>,
+    pipeline: Vec<InFlight>,
+}
+
+/// Run a TTA program.
+pub fn run_tta(
+    m: &Machine,
+    program: &[TtaInst],
+    memory: Vec<u8>,
+    fuel: u64,
+) -> Result<SimResult, SimError> {
+    run_tta_inner(m, program, memory, fuel, None)
+}
+
+/// Like [`run_tta`], also recording the program counter of every executed
+/// instruction (for instruction-memory hierarchy studies).
+pub fn run_tta_traced(
+    m: &Machine,
+    program: &[TtaInst],
+    memory: Vec<u8>,
+    fuel: u64,
+) -> Result<(SimResult, Vec<u32>), SimError> {
+    let mut trace = Vec::new();
+    let r = run_tta_inner(m, program, memory, fuel, Some(&mut trace))?;
+    Ok((r, trace))
+}
+
+fn run_tta_inner(
+    m: &Machine,
+    program: &[TtaInst],
+    mut memory: Vec<u8>,
+    fuel: u64,
+    mut trace: Option<&mut Vec<u32>>,
+) -> Result<SimResult, SimError> {
+    let mut rf: Vec<Vec<i32>> = m.rfs.iter().map(|r| vec![0; r.regs as usize]).collect();
+    let mut fus: Vec<FuSim> = vec![FuSim::default(); m.funits.len()];
+    let mut immregs: Vec<Option<i32>> = vec![None; m.limm.imm_regs as usize];
+    let mut stats = SimStats::default();
+    let mut pc: u32 = 0;
+    let mut cycle: u64 = 0;
+    // (remaining delay slots, target)
+    let mut pending_jump: Option<(u32, u32)> = None;
+
+    loop {
+        if cycle >= fuel {
+            return Err(SimError::OutOfFuel);
+        }
+        let Some(inst) = program.get(pc as usize) else {
+            return Err(SimError::PcOutOfRange(pc));
+        };
+        stats.instructions += 1;
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(pc);
+        }
+
+        // (1) Completions.
+        for (fi, fu) in fus.iter_mut().enumerate() {
+            let mut completed = 0;
+            let mut k = 0;
+            while k < fu.pipeline.len() {
+                if fu.pipeline[k].done == cycle {
+                    fu.result = Some(fu.pipeline[k].value);
+                    fu.pipeline.swap_remove(k);
+                    completed += 1;
+                } else {
+                    k += 1;
+                }
+            }
+            if completed > 1 {
+                return Err(SimError::Machine(format!(
+                    "{} delivered {completed} results in cycle {cycle}",
+                    m.funits[fi].name
+                )));
+            }
+        }
+
+        // (2) Sample sources.
+        let mut values: Vec<Option<i32>> = vec![None; inst.slots.len()];
+        for (si, slot) in inst.slots.iter().enumerate() {
+            let Some(mv) = slot else { continue };
+            let v = match mv.src {
+                MoveSrc::Rf(r) => {
+                    stats.rf_reads += 1;
+                    rf[r.rf.0 as usize][r.index as usize]
+                }
+                MoveSrc::FuResult(f) => {
+                    stats.bypass_reads += 1;
+                    fus[f.0 as usize].result.ok_or_else(|| {
+                        SimError::Machine(format!(
+                            "read of {}'s result port before any completion (pc {pc})",
+                            m.funits[f.0 as usize].name
+                        ))
+                    })?
+                }
+                MoveSrc::Imm(v) => v,
+                MoveSrc::ImmReg(k) => immregs[k as usize].ok_or_else(|| {
+                    SimError::Machine(format!(
+                        "read of long-immediate register {k} before any write (pc {pc})"
+                    ))
+                })?,
+            };
+            values[si] = Some(v);
+            stats.payload += 1;
+        }
+
+        // (3) Apply operand-port and RF writes.
+        for (si, slot) in inst.slots.iter().enumerate() {
+            let Some(mv) = slot else { continue };
+            let v = values[si].unwrap();
+            match mv.dst {
+                MoveDst::Rf(r) => {
+                    stats.rf_writes += 1;
+                    rf[r.rf.0 as usize][r.index as usize] = v;
+                }
+                MoveDst::FuOperand(f) => fus[f.0 as usize].operand = v,
+                MoveDst::FuTrigger(..) => {} // handled below
+            }
+        }
+
+        // (4) Triggers.
+        let mut halt = false;
+        for (si, slot) in inst.slots.iter().enumerate() {
+            let Some(mv) = slot else { continue };
+            let MoveDst::FuTrigger(f, op) = mv.dst else { continue };
+            let trig = values[si].unwrap();
+            let fu = &mut fus[f.0 as usize];
+            match op.class() {
+                OpClass::Alu => {
+                    let result = if op.num_inputs() == 1 {
+                        op.eval_alu(trig, 0)
+                    } else {
+                        op.eval_alu(fu.operand, trig)
+                    };
+                    fu.pipeline.push(InFlight {
+                        done: cycle + op.latency() as u64,
+                        value: result,
+                    });
+                }
+                OpClass::Lsu => {
+                    if op.is_load() {
+                        stats.loads += 1;
+                        let v = mem::load(&memory, op, trig as u32)?;
+                        fu.pipeline.push(InFlight {
+                            done: cycle + op.latency() as u64,
+                            value: v,
+                        });
+                    } else {
+                        stats.stores += 1;
+                        mem::store(&mut memory, op, trig as u32, fu.operand)?;
+                    }
+                }
+                OpClass::Ctrl => match op {
+                    Opcode::Halt => halt = true,
+                    Opcode::Jump | Opcode::CJnz | Opcode::CJz => {
+                        let (taken, target) = match op {
+                            Opcode::Jump => (true, trig as u32),
+                            Opcode::CJnz => (trig != 0, fu.operand as u32),
+                            Opcode::CJz => (trig == 0, fu.operand as u32),
+                            _ => unreachable!(),
+                        };
+                        if taken {
+                            if pending_jump.is_some() {
+                                return Err(SimError::Machine(format!(
+                                    "jump triggered during an in-flight jump (pc {pc})"
+                                )));
+                            }
+                            stats.branches_taken += 1;
+                            pending_jump = Some((m.jump_delay_slots, target));
+                        }
+                    }
+                    _ => unreachable!(),
+                },
+            }
+        }
+
+        // (5) Long immediate (visible next cycle — applied after sampling).
+        if let Some((k, v)) = inst.limm {
+            stats.limms += 1;
+            immregs[k as usize] = Some(v);
+        }
+
+        cycle += 1;
+        if halt {
+            let ret = mem::load(&memory, Opcode::Ldw, RETVAL_ADDR)?;
+            return Ok(SimResult { cycles: cycle, ret, memory, stats });
+        }
+        // Control transfer bookkeeping.
+        match pending_jump.take() {
+            Some((0, target)) => pc = target,
+            Some((n, target)) => {
+                pending_jump = Some((n - 1, target));
+                pc += 1;
+            }
+            None => pc += 1,
+        }
+    }
+}
+
+/// Convenience wrapper asserting the LSU exists and the program is
+/// non-empty; mirrors [`run_tta`] with the default fuel.
+pub fn run_tta_default(m: &Machine, program: &[TtaInst], memory: Vec<u8>) -> Result<SimResult, SimError> {
+    debug_assert!(m.funits.iter().any(|f| f.kind == FuKind::Lsu));
+    run_tta(m, program, memory, DEFAULT_FUEL)
+}

@@ -1,0 +1,190 @@
+//! Cycle-accurate simulator for the operation-triggered VLIW cores.
+//!
+//! Matches the timing contract of `tta-compiler::vliw_sched`: a bundle at
+//! cycle `t` reads all register operands at `t`, results write back at the
+//! end of cycle `t + latency` (becoming readable at `t + latency + 1` —
+//! there is no forwarding network, per the paper's synthesised VLIW), long
+//! immediates write back at the end of `t + 1`, stores commit at `t`, and
+//! control transfers take effect after the machine's delay slots.
+//!
+//! Write-port overuse and in-flight-jump violations raise
+//! [`SimError::Machine`].
+
+use crate::result::{SimError, SimResult, SimStats};
+use tta_isa::{OpSrc, Operation, VliwBundle, VliwSlot, RETVAL_ADDR};
+use tta_model::{mem, Machine, OpClass, Opcode, RegRef};
+
+/// Maximum simulated cycles before declaring a runaway program.
+pub const DEFAULT_FUEL: u64 = 200_000_000;
+
+#[derive(Debug, Clone, Copy)]
+struct Writeback {
+    due: u64,
+    reg: RegRef,
+    value: i32,
+}
+
+/// Run a VLIW program.
+pub fn run_vliw(
+    m: &Machine,
+    program: &[VliwBundle],
+    memory: Vec<u8>,
+    fuel: u64,
+) -> Result<SimResult, SimError> {
+    run_vliw_inner(m, program, memory, fuel, None)
+}
+
+/// Like [`run_vliw`], also recording the program counter of every executed
+/// instruction (for instruction-memory hierarchy studies).
+pub fn run_vliw_traced(
+    m: &Machine,
+    program: &[VliwBundle],
+    memory: Vec<u8>,
+    fuel: u64,
+) -> Result<(SimResult, Vec<u32>), SimError> {
+    let mut trace = Vec::new();
+    let r = run_vliw_inner(m, program, memory, fuel, Some(&mut trace))?;
+    Ok((r, trace))
+}
+
+fn run_vliw_inner(
+    m: &Machine,
+    program: &[VliwBundle],
+    mut memory: Vec<u8>,
+    fuel: u64,
+    mut trace: Option<&mut Vec<u32>>,
+) -> Result<SimResult, SimError> {
+    let mut rf: Vec<Vec<i32>> = m.rfs.iter().map(|r| vec![0; r.regs as usize]).collect();
+    let mut stats = SimStats::default();
+    let mut pending: Vec<Writeback> = Vec::new();
+    let mut pc: u32 = 0;
+    let mut cycle: u64 = 0;
+    let mut pending_jump: Option<(u32, u32)> = None;
+
+    loop {
+        if cycle >= fuel {
+            return Err(SimError::OutOfFuel);
+        }
+        let Some(bundle) = program.get(pc as usize) else {
+            return Err(SimError::PcOutOfRange(pc));
+        };
+        stats.instructions += 1;
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(pc);
+        }
+
+        let read = |rf: &Vec<Vec<i32>>, stats: &mut SimStats, s: OpSrc| -> i32 {
+            match s {
+                OpSrc::Reg(r) => {
+                    stats.rf_reads += 1;
+                    rf[r.rf.0 as usize][r.index as usize]
+                }
+                OpSrc::Imm(v) => v,
+            }
+        };
+
+        // Execute slots (reads all happen against the pre-cycle RF state:
+        // writebacks apply at end of cycle).
+        let mut halt = false;
+        for slot in bundle.slots.iter() {
+            match slot {
+                None | Some(VliwSlot::LimmCont) => continue,
+                Some(VliwSlot::LimmHead { dst, value }) => {
+                    stats.payload += 1;
+                    stats.limms += 1;
+                    pending.push(Writeback { due: cycle + 1, reg: *dst, value: *value });
+                }
+                Some(VliwSlot::Op(Operation { op, dst, a, b, .. })) => {
+                    stats.payload += 1;
+                    let va = a.map(|s| read(&rf, &mut stats, s));
+                    let vb = b.map(|s| read(&rf, &mut stats, s));
+                    match op.class() {
+                        OpClass::Alu => {
+                            let r = if op.num_inputs() == 1 {
+                                op.eval_alu(vb.unwrap(), 0)
+                            } else {
+                                op.eval_alu(va.unwrap(), vb.unwrap())
+                            };
+                            pending.push(Writeback {
+                                due: cycle + op.latency() as u64,
+                                reg: dst.expect("ALU op writes a register"),
+                                value: r,
+                            });
+                        }
+                        OpClass::Lsu => {
+                            if op.is_load() {
+                                stats.loads += 1;
+                                let v = mem::load(&memory, *op, vb.unwrap() as u32)?;
+                                pending.push(Writeback {
+                                    due: cycle + op.latency() as u64,
+                                    reg: dst.expect("load writes a register"),
+                                    value: v,
+                                });
+                            } else {
+                                stats.stores += 1;
+                                mem::store(&mut memory, *op, vb.unwrap() as u32, va.unwrap())?;
+                            }
+                        }
+                        OpClass::Ctrl => match op {
+                            Opcode::Halt => halt = true,
+                            Opcode::Jump | Opcode::CJnz | Opcode::CJz => {
+                                let (taken, target) = match op {
+                                    Opcode::Jump => (true, vb.unwrap() as u32),
+                                    Opcode::CJnz => (vb.unwrap() != 0, va.unwrap() as u32),
+                                    Opcode::CJz => (vb.unwrap() == 0, va.unwrap() as u32),
+                                    _ => unreachable!(),
+                                };
+                                if taken {
+                                    if pending_jump.is_some() {
+                                        return Err(SimError::Machine(format!(
+                                            "jump during in-flight jump (pc {pc})"
+                                        )));
+                                    }
+                                    stats.branches_taken += 1;
+                                    pending_jump = Some((m.jump_delay_slots, target));
+                                }
+                            }
+                            _ => unreachable!(),
+                        },
+                    }
+                }
+            }
+        }
+
+        // End of cycle: apply due writebacks, checking port budgets.
+        let mut writes_per_rf = vec![0u32; m.rfs.len()];
+        let mut k = 0;
+        while k < pending.len() {
+            if pending[k].due == cycle {
+                let wb = pending.swap_remove(k);
+                writes_per_rf[wb.reg.rf.0 as usize] += 1;
+                stats.rf_writes += 1;
+                rf[wb.reg.rf.0 as usize][wb.reg.index as usize] = wb.value;
+            } else {
+                k += 1;
+            }
+        }
+        for (ri, &n) in writes_per_rf.iter().enumerate() {
+            if n > m.rfs[ri].write_ports as u32 {
+                return Err(SimError::Machine(format!(
+                    "{n} writebacks to {} in cycle {cycle} but only {} ports",
+                    m.rfs[ri].name, m.rfs[ri].write_ports
+                )));
+            }
+        }
+
+        cycle += 1;
+        if halt {
+            let ret = mem::load(&memory, Opcode::Ldw, RETVAL_ADDR)?;
+            return Ok(SimResult { cycles: cycle, ret, memory, stats });
+        }
+        match pending_jump.take() {
+            Some((0, target)) => pc = target,
+            Some((n, target)) => {
+                pending_jump = Some((n - 1, target));
+                pc += 1;
+            }
+            None => pc += 1,
+        }
+    }
+}

@@ -1,0 +1,459 @@
+//! Differential tests: for every design point, compiling a program and
+//! running it on the cycle-accurate simulator must produce exactly the
+//! return value and memory image of the IR reference interpreter.
+//!
+//! This is the correctness backbone of the whole reproduction: the
+//! interpreter shares only the ALU/memory *semantics* with the simulator
+//! (via `tta-model`), so agreement exercises the inliner, constant
+//! legalisation, register allocator, all three schedulers and all three
+//! simulators end to end.
+
+use proptest::prelude::*;
+use tta_compiler::compile;
+use tta_ir::builder::{FunctionBuilder, ModuleBuilder};
+use tta_ir::interp::Interpreter;
+use tta_ir::{Module, Operand, VReg};
+use tta_isa::RETVAL_ADDR;
+use tta_model::presets;
+
+/// Compare a module's interpreted execution against compile+simulate on one
+/// machine. Memory is compared outside the reserved low area and the spill
+/// scratch area.
+fn check_machine(module: &Module, machine: &tta_model::Machine) {
+    let golden = Interpreter::new(module)
+        .run(&[])
+        .unwrap_or_else(|e| panic!("{}: interpreter failed: {e}", module.name));
+    let compiled = compile(module, machine)
+        .unwrap_or_else(|e| panic!("{} on {}: compile failed: {e}", module.name, machine.name));
+    let result = tta_sim::run(machine, &compiled.program, module.initial_memory())
+        .unwrap_or_else(|e| panic!("{} on {}: simulation failed: {e}", module.name, machine.name));
+
+    if let Some(expected) = golden.ret {
+        assert_eq!(
+            result.ret, expected,
+            "{} on {}: return value mismatch",
+            module.name, machine.name
+        );
+    }
+    // Compare data memory: skip the reserved head (return-value slot) and
+    // the compiler's spill scratch area at the top.
+    let lo = 16usize;
+    let hi = module.mem_size.saturating_sub(4096) as usize;
+    assert_eq!(
+        &golden.memory[lo..hi],
+        &result.memory[lo..hi],
+        "{} on {}: memory mismatch",
+        module.name,
+        machine.name
+    );
+    assert!(result.cycles > 0);
+    let _ = RETVAL_ADDR;
+}
+
+fn check_all(module: &Module) {
+    for machine in presets::all_design_points() {
+        check_machine(module, &machine);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hand-written scenarios.
+// ---------------------------------------------------------------------
+
+#[test]
+fn straight_line_arithmetic() {
+    let mut mb = ModuleBuilder::new("arith");
+    let mut fb = FunctionBuilder::new("main", 0, true);
+    let a = fb.copy(1234);
+    let b = fb.mul(a, -57);
+    let c = fb.xor(b, 0x00ff_00ffu32 as i32);
+    let d = fb.shr(c, 3);
+    let e = fb.shru(c, 3);
+    let f = fb.sub(d, e);
+    let g = fb.sxhw(f);
+    let h = fb.sxqw(c);
+    let i = fb.add(g, h);
+    let j = fb.gtu(i, 100);
+    let k = fb.ior(i, j);
+    fb.ret(k);
+    let id = mb.add(fb.finish());
+    mb.set_entry(id);
+    check_all(&mb.finish());
+}
+
+#[test]
+fn memory_widths_and_extensions() {
+    let mut mb = ModuleBuilder::new("memwidth");
+    let buf = mb.buffer(64);
+    let mut fb = FunctionBuilder::new("main", 0, true);
+    fb.stw(0x8091_a2b3u32 as i32, buf.word(0), buf.region);
+    fb.sth(-2, buf.at(8), buf.region);
+    fb.stq(0x99u8 as i32, buf.at(12), buf.region);
+    let w = fb.ldw(buf.word(0), buf.region);
+    let h = fb.ldh(buf.at(8), buf.region);
+    let hu = fb.ldhu(buf.at(8), buf.region);
+    let q = fb.ldq(buf.at(12), buf.region);
+    let qu = fb.ldqu(buf.at(12), buf.region);
+    let s1 = fb.add(w, h);
+    let s2 = fb.add(hu, q);
+    let s3 = fb.add(s1, s2);
+    let s4 = fb.add(s3, qu);
+    fb.ret(s4);
+    let id = mb.add(fb.finish());
+    mb.set_entry(id);
+    check_all(&mb.finish());
+}
+
+#[test]
+fn loop_with_memory_traffic() {
+    let mut mb = ModuleBuilder::new("loopmem");
+    let buf = mb.buffer(256);
+    let mut fb = FunctionBuilder::new("main", 0, true);
+    let i = fb.copy(0);
+    let head = fb.new_block();
+    let body = fb.new_block();
+    let sum_head = fb.new_block();
+    let sum_body = fb.new_block();
+    let exit = fb.new_block();
+    fb.jump(head);
+    // fill buf[i] = i*i - 3
+    fb.switch_to(head);
+    let c = fb.lt(i, 64);
+    fb.branch(c, body, sum_head);
+    fb.switch_to(body);
+    let sq = fb.mul(i, i);
+    let v = fb.sub(sq, 3);
+    let off = fb.shl(i, 2);
+    let addr = fb.add(off, buf.base());
+    fb.stw(v, addr, buf.region);
+    let i2 = fb.add(i, 1);
+    fb.copy_to(i, i2);
+    fb.jump(head);
+    // sum pass
+    fb.switch_to(sum_head);
+    let j = fb.copy(0);
+    let acc = fb.copy(0);
+    let sh = fb.new_block();
+    fb.jump(sh);
+    fb.switch_to(sh);
+    let c2 = fb.lt(j, 64);
+    fb.branch(c2, sum_body, exit);
+    fb.switch_to(sum_body);
+    let off2 = fb.shl(j, 2);
+    let addr2 = fb.add(off2, buf.base());
+    let lv = fb.ldw(addr2, buf.region);
+    let acc2 = fb.add(acc, lv);
+    fb.copy_to(acc, acc2);
+    let j2 = fb.add(j, 1);
+    fb.copy_to(j, j2);
+    fb.jump(sh);
+    fb.switch_to(exit);
+    fb.ret(acc);
+    let id = mb.add(fb.finish());
+    mb.set_entry(id);
+    check_all(&mb.finish());
+}
+
+#[test]
+fn nested_branches_and_wide_constants() {
+    let mut mb = ModuleBuilder::new("branches");
+    let mut fb = FunctionBuilder::new("main", 0, true);
+    let x = fb.copy(0x1234_5678);
+    let y = fb.copy(0x1234_0000);
+    let t1 = fb.new_block();
+    let f1 = fb.new_block();
+    let m1 = fb.new_block();
+    let c = fb.gt(x, y);
+    let res = fb.vreg();
+    fb.branch(c, t1, f1);
+    fb.switch_to(t1);
+    let a = fb.and(x, 0xffff);
+    fb.copy_to(res, a);
+    fb.jump(m1);
+    fb.switch_to(f1);
+    let b = fb.ior(y, 0x55aa);
+    fb.copy_to(res, b);
+    fb.jump(m1);
+    fb.switch_to(m1);
+    // another diamond with both targets not-fallthrough ordering
+    let t2 = fb.new_block();
+    let f2 = fb.new_block();
+    let m2 = fb.new_block();
+    let c2 = fb.eq(res, 0x5678);
+    fb.branch(c2, m2, f2); // if_true jumps forward past f2
+    fb.switch_to(t2);
+    fb.jump(m2);
+    fb.switch_to(f2);
+    let r2 = fb.add(res, 0x1234_5678); // reuse the wide constant
+    fb.copy_to(res, r2);
+    fb.jump(m2);
+    fb.switch_to(m2);
+    fb.ret(res);
+    let id = mb.add(fb.finish());
+    mb.set_entry(id);
+    check_all(&mb.finish());
+}
+
+#[test]
+fn deep_dependence_chain_vs_wide_parallelism() {
+    // Half the block is one long chain (bypass heaven), half is wide and
+    // independent (port pressure).
+    let mut mb = ModuleBuilder::new("chainwide");
+    let mut fb = FunctionBuilder::new("main", 0, true);
+    let mut chain = fb.copy(7);
+    for k in 0..24 {
+        chain = fb.add(chain, k);
+        chain = fb.xor(chain, 3);
+    }
+    let wides: Vec<VReg> = (0..16).map(|k| fb.mul(k, k + 1)).collect();
+    let mut acc = fb.copy(0);
+    for w in wides {
+        acc = fb.add(acc, w);
+    }
+    let r = fb.sub(chain, acc);
+    fb.ret(r);
+    let id = mb.add(fb.finish());
+    mb.set_entry(id);
+    check_all(&mb.finish());
+}
+
+#[test]
+fn spill_pressure_program() {
+    // More simultaneously-live values than any machine has registers.
+    let mut mb = ModuleBuilder::new("spill");
+    let mut fb = FunctionBuilder::new("main", 0, true);
+    let vals: Vec<VReg> = (0..100).map(|k| fb.mul(k, k + 3)).collect();
+    let mut acc = fb.copy(0);
+    for v in vals {
+        acc = fb.add(acc, v);
+    }
+    fb.ret(acc);
+    let id = mb.add(fb.finish());
+    mb.set_entry(id);
+    check_all(&mb.finish());
+}
+
+#[test]
+fn calls_are_inlined_correctly() {
+    let mut mb = ModuleBuilder::new("calls");
+    let buf = mb.buffer(32);
+    let mut gb = FunctionBuilder::new("store_sq", 2, false);
+    let sq = gb.mul(gb.param(0), gb.param(0));
+    let off = gb.shl(gb.param(1), 2);
+    let addr = gb.add(off, buf.base());
+    gb.stw(sq, addr, buf.region);
+    gb.ret_void();
+    let store_sq = mb.add(gb.finish());
+    let mut fb = FunctionBuilder::new("main", 0, true);
+    for k in 0..6 {
+        fb.call_void(store_sq, &[Operand::Imm(k + 2), Operand::Imm(k)]);
+    }
+    let v0 = fb.ldw(buf.word(0), buf.region);
+    let v5 = fb.ldw(buf.word(5), buf.region);
+    let r = fb.add(v0, v5);
+    fb.ret(r);
+    let id = mb.add(fb.finish());
+    mb.set_entry(id);
+    check_all(&mb.finish());
+}
+
+// ---------------------------------------------------------------------
+// Property-based differential testing with random structured programs.
+// ---------------------------------------------------------------------
+
+/// A recipe for a random but well-formed program.
+#[derive(Debug, Clone)]
+enum Stmt {
+    /// dst = op(v[i], v[j]) over existing values.
+    Bin(u8, usize, usize),
+    /// dst = un-op(v[i]).
+    Un(u8, usize),
+    /// store v[i] to slot k of the buffer.
+    Store(usize, u8),
+    /// load slot k of the buffer.
+    Load(u8),
+    /// dst = constant.
+    Const(i32),
+    /// if v[i] != 0 { then-stmts } else { else-stmts } (merged value).
+    If(usize, Vec<Stmt>, Vec<Stmt>),
+    /// bounded loop: repeat body `n` times, accumulating.
+    Loop(u8, Vec<Stmt>),
+}
+
+fn stmt_strategy(depth: u32) -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        (0u8..10, any::<prop::sample::Index>(), any::<prop::sample::Index>())
+            .prop_map(|(op, i, j)| Stmt::Bin(op, i.index(1_000_000), j.index(1_000_000))),
+        (0u8..2, any::<prop::sample::Index>()).prop_map(|(op, i)| Stmt::Un(op, i.index(1_000_000))),
+        (any::<prop::sample::Index>(), 0u8..16).prop_map(|(i, k)| Stmt::Store(i.index(1_000_000), k)),
+        (0u8..16).prop_map(Stmt::Load),
+        any::<i32>().prop_map(Stmt::Const),
+    ];
+    leaf.prop_recursive(depth, 24, 6, |inner| {
+        prop_oneof![
+            (
+                any::<prop::sample::Index>(),
+                prop::collection::vec(inner.clone(), 1..4),
+                prop::collection::vec(inner.clone(), 1..4)
+            )
+                .prop_map(|(c, t, e)| Stmt::If(c.index(1_000_000), t, e)),
+            (1u8..5, prop::collection::vec(inner, 1..4)).prop_map(|(n, b)| Stmt::Loop(n, b)),
+        ]
+    })
+}
+
+/// Emit a statement list; returns the value representing the sequence.
+fn emit(
+    fb: &mut FunctionBuilder,
+    buf: &tta_ir::Buffer,
+    stmts: &[Stmt],
+    vals: &mut Vec<VReg>,
+) -> VReg {
+    use tta_model::Opcode;
+    let pick = |vals: &[VReg], i: usize| vals[i % vals.len()];
+    let mut last = pick(vals, 0);
+    for s in stmts {
+        let v = match s {
+            Stmt::Bin(op, i, j) => {
+                let ops = [
+                    Opcode::Add,
+                    Opcode::Sub,
+                    Opcode::And,
+                    Opcode::Ior,
+                    Opcode::Xor,
+                    Opcode::Mul,
+                    Opcode::Eq,
+                    Opcode::Gt,
+                    Opcode::Gtu,
+                    Opcode::Shl,
+                ];
+                let a = pick(vals, *i);
+                let b = pick(vals, *j);
+                fb.bin(ops[*op as usize % ops.len()], a, b)
+            }
+            Stmt::Un(op, i) => {
+                let ops = [Opcode::Sxhw, Opcode::Sxqw];
+                let a = pick(vals, *i);
+                fb.un(ops[*op as usize % ops.len()], a)
+            }
+            Stmt::Store(i, k) => {
+                let a = pick(vals, *i);
+                fb.stw(a, buf.word(*k as u32), buf.region);
+                a
+            }
+            Stmt::Load(k) => fb.ldw(buf.word(*k as u32), buf.region),
+            Stmt::Const(c) => fb.copy(*c),
+            Stmt::If(ci, t, e) => {
+                let cond = pick(vals, *ci);
+                let res = fb.vreg();
+                let tb = fb.new_block();
+                let eb = fb.new_block();
+                let mb_ = fb.new_block();
+                fb.branch(cond, tb, eb);
+                let n_before = vals.len();
+                fb.switch_to(tb);
+                let tv = emit(fb, buf, t, vals);
+                fb.copy_to(res, tv);
+                fb.jump(mb_);
+                vals.truncate(n_before); // values from one arm are not
+                                         // visible after the merge
+                fb.switch_to(eb);
+                let ev = emit(fb, buf, e, vals);
+                fb.copy_to(res, ev);
+                fb.jump(mb_);
+                vals.truncate(n_before);
+                fb.switch_to(mb_);
+                res
+            }
+            Stmt::Loop(n, body) => {
+                let i = fb.copy(0);
+                let acc = fb.copy(1);
+                let head = fb.new_block();
+                let bodyb = fb.new_block();
+                let exit = fb.new_block();
+                fb.jump(head);
+                fb.switch_to(head);
+                let c = fb.lt(i, *n as i32);
+                fb.branch(c, bodyb, exit);
+                fb.switch_to(bodyb);
+                let n_before = vals.len();
+                vals.push(i);
+                vals.push(acc);
+                let bv = emit(fb, buf, body, vals);
+                let acc2 = fb.add(acc, bv);
+                fb.copy_to(acc, acc2);
+                vals.truncate(n_before);
+                let i2 = fb.add(i, 1);
+                fb.copy_to(i, i2);
+                fb.jump(head);
+                fb.switch_to(exit);
+                acc
+            }
+        };
+        vals.push(v);
+        last = v;
+    }
+    last
+}
+
+fn build_random_module(stmts: &[Stmt]) -> Module {
+    let mut mb = ModuleBuilder::new("random");
+    let buf = mb.buffer(64);
+    let mut fb = FunctionBuilder::new("main", 0, true);
+    let seed = fb.copy(42);
+    let mut vals = vec![seed];
+    let last = emit(&mut fb, &buf, stmts, &mut vals);
+    // Fold everything into the result so dead-code effects still matter.
+    let mut acc = last;
+    for v in vals.iter().rev().take(4) {
+        acc = fb.xor(acc, *v);
+    }
+    fb.ret(acc);
+    let id = mb.add(fb.finish());
+    mb.set_entry(id);
+    mb.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_shrink_iters: 200,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_programs_match_interpreter(stmts in prop::collection::vec(stmt_strategy(2), 1..10)) {
+        let module = build_random_module(&stmts);
+        tta_ir::verify::verify_module(&module).expect("generated programs are well-formed");
+        check_all(&module);
+    }
+}
+
+/// Exact shrunken module from the first proptest failure, kept as a fast
+/// regression.
+#[test]
+fn regression_if_then_loop_wide_consts() {
+    let stmts = vec![
+        Stmt::If(
+            0,
+            vec![Stmt::Bin(0, 0, 0), Stmt::Const(509804834), Stmt::Bin(3, 283569, 10808)],
+            vec![Stmt::Bin(3, 29180, 562253), Stmt::Un(1, 779754), Stmt::Bin(0, 598282, 187422)],
+        ),
+        Stmt::Loop(2, vec![Stmt::Const(195494744), Stmt::Load(3), Stmt::Un(0, 783974)]),
+    ];
+    let module = build_random_module(&stmts);
+    if std::env::var("DUMP").is_ok() {
+        eprintln!("=== IR ===\n{}", module.entry_func());
+        let machine = presets::m_tta_1();
+        let compiled = compile(&module, &machine).unwrap();
+        if let tta_isa::Program::Tta(insts) = &compiled.program {
+            eprintln!("=== block starts: {:?}", compiled.block_starts);
+            for (i, inst) in insts.iter().enumerate() {
+                eprintln!("{i:4}: {inst}");
+            }
+        }
+        let golden = Interpreter::new(&module).run(&[]).unwrap();
+        eprintln!("golden ret = {:?}", golden.ret);
+    }
+    check_machine(&module, &presets::m_tta_1());
+}

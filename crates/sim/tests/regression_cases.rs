@@ -1,0 +1,79 @@
+//! Regression cases distilled from proptest failures.
+
+use tta_compiler::compile;
+use tta_ir::builder::{FunctionBuilder, ModuleBuilder};
+use tta_ir::interp::Interpreter;
+use tta_ir::Module;
+use tta_model::presets;
+
+fn check(module: &Module, machine: &tta_model::Machine, dump: bool) {
+    let golden = Interpreter::new(module).run(&[]).unwrap();
+    let compiled = compile(module, machine).unwrap();
+    if dump {
+        eprintln!("=== IR ===\n{}", module.entry_func());
+        if let tta_isa::Program::Tta(insts) = &compiled.program {
+            eprintln!("=== block starts: {:?}", compiled.block_starts);
+            for (i, inst) in insts.iter().enumerate() {
+                eprintln!("{i:4}: {inst}");
+            }
+        }
+    }
+    let result = tta_sim::run(machine, &compiled.program, module.initial_memory()).unwrap();
+    assert_eq!(Some(result.ret), golden.ret, "on {}", machine.name);
+}
+
+/// Distilled from the first proptest failure: a diamond followed by a
+/// 2-iteration loop whose body holds a wide constant, a load and a
+/// sign-extension.
+#[test]
+fn wide_const_in_loop_body() {
+    let mut mb = ModuleBuilder::new("regress1");
+    let buf = mb.buffer(64);
+    let mut fb = FunctionBuilder::new("main", 0, true);
+    let v0 = fb.copy(42);
+    // diamond
+    let res = fb.vreg();
+    let tb = fb.new_block();
+    let eb = fb.new_block();
+    let m1 = fb.new_block();
+    fb.branch(v0, tb, eb);
+    fb.switch_to(tb);
+    let a = fb.add(v0, v0);
+    let w = fb.copy(509804834);
+    let o = fb.ior(a, w);
+    fb.copy_to(res, o);
+    fb.jump(m1);
+    fb.switch_to(eb);
+    let x = fb.ior(v0, v0);
+    fb.copy_to(res, x);
+    fb.jump(m1);
+    fb.switch_to(m1);
+    // loop with wide const + load + sxhw in the body
+    let i = fb.copy(0);
+    let acc = fb.copy(1);
+    let head = fb.new_block();
+    let body = fb.new_block();
+    let exit = fb.new_block();
+    fb.jump(head);
+    fb.switch_to(head);
+    let c = fb.lt(i, 2);
+    fb.branch(c, body, exit);
+    fb.switch_to(body);
+    let k = fb.copy(195494744);
+    let ld = fb.ldw(buf.word(3), buf.region);
+    let sx = fb.sxhw(k);
+    let t1 = fb.add(acc, k);
+    let t2 = fb.add(t1, ld);
+    let t3 = fb.add(t2, sx);
+    fb.copy_to(acc, t3);
+    let i2 = fb.add(i, 1);
+    fb.copy_to(i, i2);
+    fb.jump(head);
+    fb.switch_to(exit);
+    let r = fb.xor(res, acc);
+    fb.ret(r);
+    let id = mb.add(fb.finish());
+    mb.set_entry(id);
+    let m = mb.finish();
+    check(&m, &presets::m_tta_1(), std::env::var("DUMP").is_ok());
+}

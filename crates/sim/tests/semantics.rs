@@ -1,0 +1,416 @@
+//! Direct tests of the simulators' timing semantics with hand-built
+//! machine programs — the contract the schedulers plan against, pinned
+//! down independently of the compiler.
+
+use tta_isa::{Move, MoveDst, MoveSrc, OpSrc, Operation, ScalarInst, TtaInst, VliwBundle, VliwSlot};
+use tta_model::{presets, FuId, Opcode, RegRef, RfId};
+use tta_sim::{SimError, SimResult};
+
+const ALU: FuId = FuId(0);
+// In the single-ALU presets the LSU is unit 1 and the control unit 2.
+const LSU: FuId = FuId(1);
+const CU: FuId = FuId(2);
+
+fn rr(i: u16) -> RegRef {
+    RegRef { rf: RfId(0), index: i }
+}
+
+fn mv(src: MoveSrc, dst: MoveDst) -> Option<Move> {
+    Some(Move { src, dst })
+}
+
+/// Run a TTA program on m-tta-1 with 64 KiB of memory.
+fn run_tta(insts: Vec<TtaInst>) -> Result<SimResult, SimError> {
+    let m = presets::m_tta_1();
+    tta_sim::tta::run_tta(&m, &insts, vec![0; 1 << 16], 10_000)
+}
+
+/// Build an m-tta-1 instruction from up to three slot moves.
+fn inst(slots: [Option<Move>; 3]) -> TtaInst {
+    TtaInst { slots: slots.to_vec(), limm: None }
+}
+
+fn store_and_halt(value_src: MoveSrc) -> Vec<TtaInst> {
+    vec![
+        // value -> lsu.o ; #8 -> lsu.t.stw  (RETVAL_ADDR = 8)
+        inst([
+            mv(value_src, MoveDst::FuOperand(LSU)),
+            mv(MoveSrc::Imm(8), MoveDst::FuTrigger(LSU, Opcode::Stw)),
+            None,
+        ]),
+        inst([mv(MoveSrc::Imm(0), MoveDst::FuTrigger(CU, Opcode::Halt)), None, None]),
+    ]
+}
+
+#[test]
+fn alu_result_is_readable_exactly_at_latency() {
+    // add(5, 7) triggered at cycle 0; result port readable at cycle 1.
+    let mut prog = vec![inst([
+        mv(MoveSrc::Imm(5), MoveDst::FuOperand(ALU)),
+        mv(MoveSrc::Imm(7), MoveDst::FuTrigger(ALU, Opcode::Add)),
+        None,
+    ])];
+    prog.extend(store_and_halt(MoveSrc::FuResult(ALU)));
+    let r = run_tta(prog).unwrap();
+    assert_eq!(r.ret, 12);
+    assert_eq!(r.cycles, 3);
+}
+
+#[test]
+fn reading_a_result_port_too_early_is_a_machine_error() {
+    // Read the ALU result port in cycle 0, before any operation completed.
+    let prog = vec![inst([
+        mv(MoveSrc::FuResult(ALU), MoveDst::FuOperand(LSU)),
+        None,
+        None,
+    ])];
+    match run_tta(prog) {
+        Err(SimError::Machine(msg)) => assert!(msg.contains("result port"), "{msg}"),
+        other => panic!("expected a machine error, got {other:?}"),
+    }
+}
+
+#[test]
+fn rf_write_is_visible_one_cycle_later() {
+    // Write r3 = 42 at cycle 0; read it at cycle 1 (gets 42). A same-cycle
+    // read at cycle 0 would read the reset value 0 — check both paths.
+    let mut prog = vec![
+        inst([mv(MoveSrc::Imm(42), MoveDst::Rf(rr(3))), None, None]),
+        // cycle 1: r3 -> alu.o ; 0 -> alu trigger add => 42
+        inst([
+            mv(MoveSrc::Rf(rr(3)), MoveDst::FuOperand(ALU)),
+            mv(MoveSrc::Imm(0), MoveDst::FuTrigger(ALU, Opcode::Add)),
+            None,
+        ]),
+    ];
+    prog.extend(store_and_halt(MoveSrc::FuResult(ALU)));
+    assert_eq!(run_tta(prog).unwrap().ret, 42);
+
+    // Same-cycle read sees the old (zero) value.
+    let mut prog2 = vec![inst([
+        mv(MoveSrc::Imm(42), MoveDst::Rf(rr(3))),
+        mv(MoveSrc::Rf(rr(3)), MoveDst::FuOperand(ALU)),
+        mv(MoveSrc::Imm(0), MoveDst::FuTrigger(ALU, Opcode::Add)),
+    ])];
+    prog2.extend(store_and_halt(MoveSrc::FuResult(ALU)));
+    assert_eq!(run_tta(prog2).unwrap().ret, 0);
+}
+
+#[test]
+fn operand_port_storage_persists_across_triggers() {
+    // Load the operand port once (10), trigger two adds with different
+    // trigger values; the port value is reused (operand sharing).
+    let mut prog = vec![
+        inst([
+            mv(MoveSrc::Imm(10), MoveDst::FuOperand(ALU)),
+            mv(MoveSrc::Imm(1), MoveDst::FuTrigger(ALU, Opcode::Add)),
+            None,
+        ]),
+        // Second trigger, no operand move: still a = 10.
+        inst([mv(MoveSrc::Imm(2), MoveDst::FuTrigger(ALU, Opcode::Add)), None, None]),
+    ];
+    prog.extend(store_and_halt(MoveSrc::FuResult(ALU)));
+    assert_eq!(run_tta(prog).unwrap().ret, 12);
+}
+
+#[test]
+fn long_immediate_becomes_visible_next_cycle() {
+    let mut limm = TtaInst::nop(3);
+    limm.limm = Some((0, 123_456_789));
+    let mut prog = vec![limm];
+    prog.extend(store_and_halt(MoveSrc::ImmReg(0)));
+    assert_eq!(run_tta(prog).unwrap().ret, 123_456_789);
+}
+
+#[test]
+fn reading_an_unwritten_imm_register_is_a_machine_error() {
+    let prog = vec![inst([
+        mv(MoveSrc::ImmReg(0), MoveDst::FuOperand(ALU)),
+        None,
+        None,
+    ])];
+    assert!(matches!(run_tta(prog), Err(SimError::Machine(_))));
+}
+
+#[test]
+fn jump_executes_exactly_two_delay_slots() {
+    // jump to the halt at index 5, triggered at cycle 0; the two delay
+    // slots write r1 and r2; the skipped instruction would write r3.
+    let mut limm = TtaInst::nop(3);
+    limm.limm = Some((0, 5));
+    let prog = vec![
+        limm,                                                             // 0
+        inst([mv(MoveSrc::ImmReg(0), MoveDst::FuTrigger(CU, Opcode::Jump)), None, None]), // 1
+        inst([mv(MoveSrc::Imm(1), MoveDst::Rf(rr(1))), None, None]),      // 2 (delay)
+        inst([mv(MoveSrc::Imm(2), MoveDst::Rf(rr(2))), None, None]),      // 3 (delay)
+        inst([mv(MoveSrc::Imm(3), MoveDst::Rf(rr(3))), None, None]),      // 4 (skipped)
+        // 5: r1+r2 -> store
+        inst([
+            mv(MoveSrc::Rf(rr(1)), MoveDst::FuOperand(ALU)),
+            mv(MoveSrc::Rf(rr(2)), MoveDst::FuTrigger(ALU, Opcode::Add)),
+            None,
+        ]),
+        inst([
+            mv(MoveSrc::FuResult(ALU), MoveDst::FuOperand(LSU)),
+            mv(MoveSrc::Imm(8), MoveDst::FuTrigger(LSU, Opcode::Stw)),
+            None,
+        ]),
+        inst([mv(MoveSrc::Imm(0), MoveDst::FuTrigger(CU, Opcode::Halt)), None, None]),
+    ];
+    let r = run_tta(prog).unwrap();
+    // Delay slots executed: r1 + r2 = 3; the skipped store of r3 never ran.
+    assert_eq!(r.ret, 3);
+    assert_eq!(r.stats.branches_taken, 1);
+}
+
+#[test]
+fn runaway_programs_exhaust_fuel() {
+    // An infinite self-loop.
+    let mut limm = TtaInst::nop(3);
+    limm.limm = Some((0, 0));
+    let prog = vec![
+        limm,
+        inst([mv(MoveSrc::ImmReg(0), MoveDst::FuTrigger(CU, Opcode::Jump)), None, None]),
+        TtaInst::nop(3),
+        TtaInst::nop(3),
+    ];
+    assert!(matches!(run_tta(prog), Err(SimError::OutOfFuel)));
+}
+
+#[test]
+fn same_cycle_completions_on_one_unit_are_rejected() {
+    // mul (latency 3) at cycle 0 and add (latency 1) at cycle 2 both
+    // complete at cycle 3 — a hazard the scheduler must never emit.
+    let prog = vec![
+        inst([
+            mv(MoveSrc::Imm(2), MoveDst::FuOperand(ALU)),
+            mv(MoveSrc::Imm(3), MoveDst::FuTrigger(ALU, Opcode::Mul)),
+            None,
+        ]),
+        TtaInst::nop(3),
+        inst([
+            mv(MoveSrc::Imm(1), MoveDst::FuOperand(ALU)),
+            mv(MoveSrc::Imm(1), MoveDst::FuTrigger(ALU, Opcode::Add)),
+            None,
+        ]),
+        TtaInst::nop(3),
+        TtaInst::nop(3),
+    ];
+    match run_tta(prog) {
+        Err(SimError::Machine(msg)) => assert!(msg.contains("results"), "{msg}"),
+        other => panic!("expected a machine error, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// VLIW timing.
+// ---------------------------------------------------------------------
+
+/// m-vliw-2: slot 0 hosts ALU+CU, slot 1 the LSU.
+fn vliw_op(op: Opcode, fu: FuId, dst: Option<RegRef>, a: Option<OpSrc>, b: Option<OpSrc>) -> VliwSlot {
+    VliwSlot::Op(Operation { op, fu, dst, a, b })
+}
+
+#[test]
+fn vliw_writeback_visible_after_latency_plus_one() {
+    let m = presets::m_vliw_2();
+    let lsu = FuId(1);
+    let cu = FuId(2);
+    // c0: r1 = 5 + 7 (visible from cycle 2)
+    // c1: store r1 (reads the OLD r1 = 0)
+    // c2: store r1 to another address (reads 12)
+    let prog = vec![
+        VliwBundle {
+            slots: vec![
+                Some(vliw_op(
+                    Opcode::Add,
+                    ALU,
+                    Some(rr(1)),
+                    Some(OpSrc::Imm(5)),
+                    Some(OpSrc::Imm(7)),
+                )),
+                None,
+            ],
+        },
+        VliwBundle {
+            slots: vec![
+                None,
+                Some(vliw_op(
+                    Opcode::Stw,
+                    lsu,
+                    None,
+                    Some(OpSrc::Reg(rr(1))),
+                    Some(OpSrc::Imm(16)),
+                )),
+            ],
+        },
+        VliwBundle {
+            slots: vec![
+                None,
+                Some(vliw_op(
+                    Opcode::Stw,
+                    lsu,
+                    None,
+                    Some(OpSrc::Reg(rr(1))),
+                    Some(OpSrc::Imm(8)),
+                )),
+            ],
+        },
+        VliwBundle {
+            slots: vec![
+                Some(vliw_op(Opcode::Halt, cu, None, None, Some(OpSrc::Imm(0)))),
+                None,
+            ],
+        },
+    ];
+    let r = tta_sim::vliw::run_vliw(&m, &prog, vec![0; 1 << 16], 1000).unwrap();
+    assert_eq!(r.ret, 12); // cycle-2 store saw the new value
+    assert_eq!(
+        i32::from_le_bytes(r.memory[16..20].try_into().unwrap()),
+        0,
+        "cycle-1 store must see the pre-writeback value"
+    );
+}
+
+#[test]
+fn vliw_limm_head_behaves_like_a_one_cycle_op() {
+    let m = presets::m_vliw_2();
+    let lsu = FuId(1);
+    let cu = FuId(2);
+    let prog = vec![
+        VliwBundle {
+            slots: vec![
+                Some(VliwSlot::LimmHead { dst: rr(2), value: 1 << 30 }),
+                Some(VliwSlot::LimmCont),
+            ],
+        },
+        VliwBundle { slots: vec![None, None] },
+        VliwBundle {
+            slots: vec![
+                None,
+                Some(vliw_op(
+                    Opcode::Stw,
+                    lsu,
+                    None,
+                    Some(OpSrc::Reg(rr(2))),
+                    Some(OpSrc::Imm(8)),
+                )),
+            ],
+        },
+        VliwBundle {
+            slots: vec![
+                Some(vliw_op(Opcode::Halt, cu, None, None, Some(OpSrc::Imm(0)))),
+                None,
+            ],
+        },
+    ];
+    let r = tta_sim::vliw::run_vliw(&m, &prog, vec![0; 1 << 16], 1000).unwrap();
+    assert_eq!(r.ret, 1 << 30);
+    assert_eq!(r.stats.limms, 1);
+}
+
+// ---------------------------------------------------------------------
+// Scalar pipeline timing.
+// ---------------------------------------------------------------------
+
+fn scalar_op(op: Opcode, fu: FuId, dst: Option<RegRef>, a: Option<OpSrc>, b: Option<OpSrc>) -> ScalarInst {
+    ScalarInst::Op(Operation { op, fu, dst, a, b })
+}
+
+#[test]
+fn scalar_load_use_stall_is_charged() {
+    let m = presets::mblaze_3();
+    let lsu = FuId(1);
+    let cu = FuId(2);
+    // Independent instructions: no stalls → 4 cycles. With a load-use
+    // dependence the consumer waits for the 3-cycle load.
+    let independent = vec![
+        scalar_op(Opcode::Ldw, lsu, Some(rr(1)), None, Some(OpSrc::Imm(16))),
+        scalar_op(Opcode::Add, ALU, Some(rr(2)), Some(OpSrc::Imm(1)), Some(OpSrc::Imm(2))),
+        scalar_op(Opcode::Stw, lsu, None, Some(OpSrc::Reg(rr(2))), Some(OpSrc::Imm(8))),
+        scalar_op(Opcode::Halt, cu, None, None, Some(OpSrc::Imm(0))),
+    ];
+    let r1 = tta_sim::scalar::run_scalar(&m, &independent, vec![0; 1 << 16], 1000).unwrap();
+    assert_eq!(r1.stats.stall_cycles, 0);
+
+    let dependent = vec![
+        scalar_op(Opcode::Ldw, lsu, Some(rr(1)), None, Some(OpSrc::Imm(16))),
+        scalar_op(Opcode::Add, ALU, Some(rr(2)), Some(OpSrc::Reg(rr(1))), Some(OpSrc::Imm(2))),
+        scalar_op(Opcode::Stw, lsu, None, Some(OpSrc::Reg(rr(2))), Some(OpSrc::Imm(8))),
+        scalar_op(Opcode::Halt, cu, None, None, Some(OpSrc::Imm(0))),
+    ];
+    let r2 = tta_sim::scalar::run_scalar(&m, &dependent, vec![0; 1 << 16], 1000).unwrap();
+    assert!(r2.stats.stall_cycles >= 2, "load-use must stall: {:?}", r2.stats);
+    assert!(r2.cycles > r1.cycles);
+}
+
+#[test]
+fn scalar_taken_branch_pays_the_pipeline_penalty() {
+    let cu = FuId(2);
+    let make = |m: &tta_model::Machine| {
+        let prog = vec![
+            // Jump over one instruction.
+            scalar_op(Opcode::Jump, cu, None, None, Some(OpSrc::Imm(2))),
+            scalar_op(Opcode::Add, ALU, Some(rr(1)), Some(OpSrc::Imm(1)), Some(OpSrc::Imm(1))),
+            scalar_op(Opcode::Halt, cu, None, None, Some(OpSrc::Imm(0))),
+        ];
+        tta_sim::scalar::run_scalar(m, &prog, vec![0; 1 << 16], 1000).unwrap()
+    };
+    let r3 = make(&presets::mblaze_3());
+    let r5 = make(&presets::mblaze_5());
+    // 3-stage penalty 2, 5-stage (branch-target cache) penalty 1.
+    assert_eq!(r3.cycles - r5.cycles, 1);
+    assert_eq!(r3.stats.branches_taken, 1);
+}
+
+#[test]
+fn scalar_imm_prefix_costs_one_cycle() {
+    let m = presets::mblaze_3();
+    let cu = FuId(2);
+    let with_prefix = vec![
+        ScalarInst::ImmPrefix,
+        scalar_op(
+            Opcode::Add,
+            ALU,
+            Some(rr(1)),
+            Some(OpSrc::Imm(1 << 20)),
+            Some(OpSrc::Imm(0)),
+        ),
+        scalar_op(Opcode::Halt, cu, None, None, Some(OpSrc::Imm(0))),
+    ];
+    let without = vec![
+        scalar_op(Opcode::Add, ALU, Some(rr(1)), Some(OpSrc::Imm(7)), Some(OpSrc::Imm(0))),
+        scalar_op(Opcode::Halt, cu, None, None, Some(OpSrc::Imm(0))),
+    ];
+    let r1 = tta_sim::scalar::run_scalar(&m, &with_prefix, vec![0; 1 << 16], 100).unwrap();
+    let r2 = tta_sim::scalar::run_scalar(&m, &without, vec![0; 1 << 16], 100).unwrap();
+    assert_eq!(r1.cycles - r2.cycles, 1);
+}
+
+#[test]
+fn scalar_without_forwarding_pays_an_extra_cycle_per_dependence() {
+    // A custom pipeline with forwarding disabled: back-to-back dependent
+    // adds stall one extra cycle each.
+    let mut m = presets::mblaze_3();
+    m.scalar = Some(tta_model::ScalarPipeline {
+        stages: 3,
+        branch_penalty: 2,
+        forwarding: false,
+        imm_bits: 16,
+    });
+    let cu = FuId(2);
+    let prog = vec![
+        scalar_op(Opcode::Add, ALU, Some(rr(1)), Some(OpSrc::Imm(1)), Some(OpSrc::Imm(1))),
+        scalar_op(Opcode::Add, ALU, Some(rr(2)), Some(OpSrc::Reg(rr(1))), Some(OpSrc::Imm(1))),
+        scalar_op(Opcode::Add, ALU, Some(rr(3)), Some(OpSrc::Reg(rr(2))), Some(OpSrc::Imm(1))),
+        scalar_op(Opcode::Stw, LSU, None, Some(OpSrc::Reg(rr(3))), Some(OpSrc::Imm(8))),
+        scalar_op(Opcode::Halt, cu, None, None, Some(OpSrc::Imm(0))),
+    ];
+    let slow = tta_sim::scalar::run_scalar(&m, &prog, vec![0; 1 << 16], 100).unwrap();
+    let fast =
+        tta_sim::scalar::run_scalar(&presets::mblaze_3(), &prog, vec![0; 1 << 16], 100).unwrap();
+    assert_eq!(slow.ret, 4); // ((1+1)+1)+1
+    assert_eq!(fast.ret, 4);
+    assert!(slow.cycles > fast.cycles, "{} vs {}", slow.cycles, fast.cycles);
+    assert!(slow.stats.stall_cycles >= fast.stats.stall_cycles + 3);
+}

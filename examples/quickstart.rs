@@ -1,0 +1,58 @@
+//! Quickstart: write a small program against the IR builder, run it on one
+//! of the paper's design points, and look at what the toolchain reports.
+//!
+//!     cargo run --release --example quickstart
+
+use tta_core::{build_loop, SoftCore};
+use tta_ir::{FunctionBuilder, ModuleBuilder};
+
+fn main() {
+    // A toy program: dot product of two 32-element vectors held in memory.
+    let mut mb = ModuleBuilder::new("dot");
+    let a = mb.data_words(&(0..32).map(|i| i * 3 - 7).collect::<Vec<_>>());
+    let b = mb.data_words(&(0..32).map(|i| 11 - i).collect::<Vec<_>>());
+    let mut fb = FunctionBuilder::new("main", 0, true);
+    let acc = fb.copy(0);
+    build_loop(&mut fb, 32, |fb, i| {
+        let off = fb.shl(i, 2);
+        let pa = fb.add(a.base(), off);
+        let va = fb.ldw(pa, a.region);
+        let pb = fb.add(b.base(), off);
+        let vb = fb.ldw(pb, b.region);
+        let prod = fb.mul(va, vb);
+        let sum = fb.add(acc, prod);
+        fb.copy_to(acc, sum);
+    });
+    fb.ret(acc);
+    let main_fn = mb.add(fb.finish());
+    mb.set_entry(main_fn);
+    let module = mb.finish();
+
+    // Run it on the paper's best performance/area design point and on the
+    // VLIW it competes with.
+    println!("dot product on two soft cores:\n");
+    for name in ["m-tta-2", "m-vliw-2"] {
+        let core = SoftCore::design_point(name).expect("known design point");
+        let exec = core.run(&module).expect("runs");
+        let res = core.resources();
+        println!("  {name}:");
+        println!("    result        = {}", exec.ret);
+        println!("    cycles        = {}", exec.cycles);
+        println!(
+            "    runtime       = {:.2} us @ {:.0} MHz",
+            core.runtime_us(&exec),
+            res.fmax_mhz
+        );
+        println!(
+            "    program image = {} instructions x {} bits = {} bits",
+            exec.compiled.program.len(),
+            core.instruction_bits(),
+            exec.compiled.program.image_bits(core.machine())
+        );
+        println!(
+            "    core cost     = {} LUTs ({} in the register file)",
+            res.lut_core, res.lut_rf
+        );
+        println!();
+    }
+}

@@ -1,0 +1,1 @@
+//! Workspace root: see the `tta-core` facade crate.

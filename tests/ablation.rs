@@ -1,0 +1,67 @@
+//! Integration test for the TTA-freedom ablation switches: every variant
+//! must stay correct, and each freedom must actually do its job.
+
+use tta_compiler::{compile_with, TtaOptions};
+use tta_model::presets;
+
+fn run(kernel: &str, opts: TtaOptions) -> (u64, tta_sim::SimStats) {
+    let k = tta_chstone::by_name(kernel).unwrap();
+    let module = (k.build)();
+    let machine = presets::m_tta_2();
+    let compiled = compile_with(&module, &machine, opts).expect("compiles");
+    let r = tta_sim::run(&machine, &compiled.program, module.initial_memory())
+        .expect("runs");
+    assert_eq!(r.ret, (k.expected)(), "{kernel} with {opts:?}");
+    (r.cycles, r.stats)
+}
+
+#[test]
+fn every_ablated_variant_is_still_correct() {
+    let full = TtaOptions::default();
+    for opts in [
+        full,
+        TtaOptions { bypass: false, ..full },
+        TtaOptions { dead_result_elim: false, ..full },
+        TtaOptions { operand_share: false, ..full },
+        TtaOptions { bypass: false, dead_result_elim: false, operand_share: false },
+    ] {
+        for kernel in ["gsm", "sha", "mips"] {
+            run(kernel, opts);
+        }
+    }
+}
+
+#[test]
+fn bypassing_saves_cycles_and_rf_reads() {
+    let full = TtaOptions::default();
+    let (c_full, s_full) = run("gsm", full);
+    let (c_nobyp, s_nobyp) = run("gsm", TtaOptions { bypass: false, ..full });
+    assert!(c_full < c_nobyp, "bypassing must save cycles: {c_full} vs {c_nobyp}");
+    assert!(
+        s_full.rf_reads * 3 < s_nobyp.rf_reads * 2,
+        "bypassing must cut RF reads substantially: {} vs {}",
+        s_full.rf_reads,
+        s_nobyp.rf_reads
+    );
+    // With bypassing off, the only result-port reads left are the RF
+    // writeback moves themselves.
+    assert!(
+        s_nobyp.bypass_reads <= s_nobyp.rf_writes,
+        "result-port reads ({}) must all be writebacks ({})",
+        s_nobyp.bypass_reads,
+        s_nobyp.rf_writes
+    );
+}
+
+#[test]
+fn dead_result_elimination_saves_rf_writes() {
+    let full = TtaOptions::default();
+    let (_, s_full) = run("gsm", full);
+    let (_, s_nodre) = run("gsm", TtaOptions { dead_result_elim: false, ..full });
+    assert!(
+        s_full.rf_writes < s_nodre.rf_writes,
+        "DRE must cut RF writes: {} vs {}",
+        s_full.rf_writes,
+        s_nodre.rf_writes
+    );
+}

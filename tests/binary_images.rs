@@ -1,0 +1,60 @@
+//! Integration test: every compiled TTA kernel program survives a
+//! bit-exact encode→decode round trip, and the decoded program still
+//! simulates to the golden checksum — the full "program image" path.
+
+use tta_isa::{Program, TtaCodec};
+use tta_model::presets;
+
+#[test]
+fn compiled_kernels_roundtrip_through_binary_images() {
+    for machine in presets::all_design_points() {
+        if machine.style != tta_model::CoreStyle::Tta {
+            continue;
+        }
+        let codec = TtaCodec::new(&machine);
+        for kernel in ["gsm", "motion", "sha"] {
+            let k = tta_chstone::by_name(kernel).unwrap();
+            let module = (k.build)();
+            let compiled = tta_compiler::compile(&module, &machine).unwrap();
+            let Program::Tta(insts) = &compiled.program else { unreachable!() };
+
+            let bytes = codec.encode_program(insts).unwrap_or_else(|e| {
+                panic!("{kernel} on {}: encode failed: {e}", machine.name)
+            });
+            // Image size matches the Table II accounting exactly.
+            assert_eq!(
+                bytes.len(),
+                (insts.len() * codec.width() as usize).div_ceil(8),
+                "{kernel} on {}",
+                machine.name
+            );
+            let decoded = codec.decode_program(&bytes, insts.len()).unwrap();
+            assert_eq!(&decoded, insts, "{kernel} on {}", machine.name);
+
+            // The decoded program must still run to the right answer.
+            let r = tta_sim::run(
+                &machine,
+                &Program::Tta(decoded),
+                module.initial_memory(),
+            )
+            .unwrap();
+            assert_eq!(r.ret, (k.expected)(), "{kernel} on {}", machine.name);
+        }
+    }
+}
+
+#[test]
+fn image_bits_model_matches_codec_widths() {
+    for machine in presets::all_design_points() {
+        if machine.style != tta_model::CoreStyle::Tta {
+            continue;
+        }
+        let codec = TtaCodec::new(&machine);
+        assert_eq!(
+            codec.width(),
+            tta_isa::encoding::instruction_bits(&machine),
+            "{}",
+            machine.name
+        );
+    }
+}
