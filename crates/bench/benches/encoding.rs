@@ -1,47 +1,43 @@
-//! Criterion micro-benchmarks of the encoding and validation layer, plus
-//! the FPGA estimation model.
+//! Micro-benchmarks of the encoding and validation layer, plus the FPGA
+//! estimation model.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tta_bench::harness::Harness;
 use tta_model::presets;
 
-fn bench_encoding(c: &mut Criterion) {
-    let mut g = c.benchmark_group("encoding");
+fn bench_encoding(h: &mut Harness) {
+    let mut g = h.group("encoding");
     for machine in presets::all_design_points() {
-        g.bench_with_input(
-            BenchmarkId::new("instruction_bits", &machine.name),
-            &machine,
-            |b, m| b.iter(|| std::hint::black_box(tta_isa::encoding::instruction_bits(m))),
-        );
-    }
-    g.finish();
-}
-
-fn bench_validate(c: &mut Criterion) {
-    let mut g = c.benchmark_group("validate");
-    g.sample_size(30);
-    let module = (tta_chstone::by_name("motion").unwrap().build)();
-    for machine in [presets::m_tta_2(), presets::m_vliw_2()] {
-        let compiled = tta_compiler::compile(&module, &machine).unwrap();
-        g.bench_with_input(
-            BenchmarkId::new("motion", &machine.name),
-            &(machine, compiled),
-            |b, (m, compiled)| {
-                b.iter(|| compiled.program.validate(std::hint::black_box(m)).is_ok())
-            },
-        );
-    }
-    g.finish();
-}
-
-fn bench_fpga_model(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fpga_estimate");
-    for machine in [presets::m_tta_3(), presets::m_vliw_3()] {
-        g.bench_with_input(BenchmarkId::from_parameter(&machine.name), &machine, |b, m| {
-            b.iter(|| std::hint::black_box(tta_fpga::estimate(m)))
+        g.bench(&format!("instruction_bits/{}", machine.name), || {
+            std::hint::black_box(tta_isa::encoding::instruction_bits(&machine))
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_encoding, bench_validate, bench_fpga_model);
-criterion_main!(benches);
+fn bench_validate(h: &mut Harness) {
+    let module = (tta_chstone::by_name("motion").unwrap().build)();
+    let mut g = h.group("validate");
+    g.sample_size(30);
+    for machine in [presets::m_tta_2(), presets::m_vliw_2()] {
+        let compiled = tta_compiler::compile(&module, &machine).unwrap();
+        g.bench(&format!("motion/{}", machine.name), || {
+            compiled.program.validate(std::hint::black_box(&machine)).is_ok()
+        });
+    }
+}
+
+fn bench_fpga_model(h: &mut Harness) {
+    let mut g = h.group("fpga_estimate");
+    for machine in [presets::m_tta_3(), presets::m_vliw_3()] {
+        g.bench(&machine.name.clone(), || {
+            std::hint::black_box(tta_fpga::estimate(&machine))
+        });
+    }
+}
+
+fn main() {
+    let mut h = Harness::from_args();
+    bench_encoding(&mut h);
+    bench_validate(&mut h);
+    bench_fpga_model(&mut h);
+    h.finish();
+}

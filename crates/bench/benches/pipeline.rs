@@ -1,9 +1,9 @@
-//! Criterion benchmark of the end-to-end pipeline (one bench per paper
-//! table/figure *generator*): how long each artefact of the evaluation
-//! takes to regenerate on a reduced kernel set, plus the full
-//! per-design-point flow for the two headline machines.
+//! Benchmark of the end-to-end pipeline (one bench per paper table/figure
+//! *generator*): how long each artefact of the evaluation takes to
+//! regenerate on a reduced kernel set, plus the full per-design-point flow
+//! for the two headline machines.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tta_bench::harness::Harness;
 use tta_model::presets;
 
 fn small_reports() -> Vec<tta_explore::MachineReport> {
@@ -14,46 +14,31 @@ fn small_reports() -> Vec<tta_explore::MachineReport> {
     tta_explore::evaluate(&presets::all_design_points(), &kernels)
 }
 
-fn bench_tables_and_figures(c: &mut Criterion) {
+fn bench_tables_and_figures(h: &mut Harness) {
     let reports = small_reports();
-    let mut g = c.benchmark_group("artefacts");
+    let mut g = h.group("artefacts");
     g.sample_size(20);
-    g.bench_function("table2", |b| {
-        b.iter(|| std::hint::black_box(tta_explore::tables::table2(&reports).len()))
-    });
-    g.bench_function("table3", |b| {
-        b.iter(|| std::hint::black_box(tta_explore::tables::table3(&reports).len()))
-    });
-    g.bench_function("table4", |b| {
-        b.iter(|| std::hint::black_box(tta_explore::tables::table4(&reports).len()))
-    });
-    g.bench_function("fig5", |b| {
-        b.iter(|| std::hint::black_box(tta_explore::figures::fig5(&reports).len()))
-    });
-    g.bench_function("fig6", |b| {
-        b.iter(|| std::hint::black_box(tta_explore::figures::fig6(&reports).len()))
-    });
-    g.finish();
+    g.bench("table2", || tta_explore::tables::table2(&reports).len());
+    g.bench("table3", || tta_explore::tables::table3(&reports).len());
+    g.bench("table4", || tta_explore::tables::table4(&reports).len());
+    g.bench("fig5", || tta_explore::figures::fig5(&reports).len());
+    g.bench("fig6", || tta_explore::figures::fig6(&reports).len());
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("end_to_end");
-    g.sample_size(10);
+fn bench_end_to_end(h: &mut Harness) {
     let kernel = tta_chstone::by_name("gsm").unwrap();
+    let mut g = h.group("end_to_end");
+    g.sample_size(10);
     for machine in [presets::m_tta_2(), presets::m_vliw_2()] {
-        g.bench_with_input(
-            BenchmarkId::new("gsm_compile_and_run", &machine.name),
-            &machine,
-            |b, m| {
-                b.iter(|| {
-                    let run = tta_explore::eval::run_kernel(&kernel, m);
-                    std::hint::black_box(run.cycles)
-                })
-            },
-        );
+        g.bench(&format!("gsm_compile_and_run/{}", machine.name), || {
+            tta_explore::eval::run_kernel(&kernel, &machine).cycles
+        });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_tables_and_figures, bench_end_to_end);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_tables_and_figures(&mut h);
+    bench_end_to_end(&mut h);
+    h.finish();
+}

@@ -1,13 +1,13 @@
-//! Criterion micro-benchmarks of the compiler: how fast each backend
-//! schedules a realistic kernel for representative design points.
+//! Micro-benchmarks of the compiler: how fast each backend schedules a
+//! realistic kernel for representative design points.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tta_bench::harness::Harness;
 use tta_model::presets;
 
-fn bench_compile(c: &mut Criterion) {
-    let mut g = c.benchmark_group("compile");
-    g.sample_size(20);
+fn bench_compile(h: &mut Harness) {
     let module = (tta_chstone::by_name("gsm").unwrap().build)();
+    let mut g = h.group("compile");
+    g.sample_size(20);
     for machine in [
         presets::mblaze_3(),
         presets::m_vliw_2(),
@@ -15,44 +15,41 @@ fn bench_compile(c: &mut Criterion) {
         presets::p_tta_3(),
         presets::bm_tta_2(),
     ] {
-        g.bench_with_input(BenchmarkId::new("gsm", &machine.name), &machine, |b, m| {
-            b.iter(|| {
-                let compiled = tta_compiler::compile(std::hint::black_box(&module), m)
-                    .expect("compiles");
-                std::hint::black_box(compiled.program.len())
-            })
+        g.bench(&format!("gsm/{}", machine.name), || {
+            tta_compiler::compile(std::hint::black_box(&module), &machine)
+                .expect("compiles")
+                .program
+                .len()
         });
     }
-    g.finish();
 }
 
-fn bench_passes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("passes");
-    g.sample_size(30);
+fn bench_passes(h: &mut Harness) {
     let module = (tta_chstone::by_name("aes").unwrap().build)();
-    g.bench_function("inline_aes", |b| {
-        b.iter(|| {
-            let f = tta_compiler::inline::inline_module(std::hint::black_box(&module))
-                .expect("inlines");
-            std::hint::black_box(f.inst_count())
-        })
+    let mut g = h.group("passes");
+    g.sample_size(30);
+    g.bench("inline_aes", || {
+        tta_compiler::inline::inline_module(std::hint::black_box(&module))
+            .expect("inlines")
+            .inst_count()
     });
     let flat = tta_compiler::inline::inline_module(&module).unwrap();
-    g.bench_function("regalloc_aes_on_m_tta_2", |b| {
-        let m = presets::m_tta_2();
-        b.iter(|| {
-            let a = tta_compiler::regalloc::allocate(
-                std::hint::black_box(&flat),
-                &m,
-                &[],
-                module.mem_size - 4096,
-            )
-            .expect("allocates");
-            std::hint::black_box(a.spilled)
-        })
+    let m = presets::m_tta_2();
+    g.bench("regalloc_aes_on_m_tta_2", || {
+        tta_compiler::regalloc::allocate(
+            std::hint::black_box(&flat),
+            &m,
+            &[],
+            module.mem_size - 4096,
+        )
+        .expect("allocates")
+        .spilled
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_compile, bench_passes);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_compile(&mut h);
+    bench_passes(&mut h);
+    h.finish();
+}

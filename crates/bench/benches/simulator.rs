@@ -1,12 +1,11 @@
-//! Criterion micro-benchmarks of the cycle-accurate simulators: simulated
-//! cycles per second of host time for each programming model.
+//! Micro-benchmarks of the cycle-accurate simulators: simulated cycles per
+//! second of host time for each programming model, plus the predecode
+//! overhead and the golden-model interpreter for comparison.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tta_bench::harness::Harness;
 use tta_model::presets;
 
-fn bench_simulators(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate");
-    g.sample_size(20);
+fn bench_simulators(h: &mut Harness) {
     let kernel = tta_chstone::by_name("sha").unwrap();
     let module = (kernel.build)();
     for machine in [presets::mblaze_3(), presets::m_vliw_2(), presets::m_tta_2()] {
@@ -16,36 +15,28 @@ fn bench_simulators(c: &mut Criterion) {
         let cycles = tta_sim::run(&machine, &compiled.program, memory.clone())
             .unwrap()
             .cycles;
-        g.throughput(Throughput::Elements(cycles));
-        g.bench_with_input(
-            BenchmarkId::new("sha", &machine.name),
-            &(machine, compiled, memory),
-            |b, (m, compiled, memory)| {
-                b.iter(|| {
-                    let r = tta_sim::run(m, &compiled.program, memory.clone())
-                        .expect("runs");
-                    std::hint::black_box(r.cycles)
-                })
-            },
-        );
+        let mut g = h.group("simulate");
+        g.sample_size(20).throughput(cycles).bench(&format!("sha/{}", machine.name), || {
+            tta_sim::run(&machine, &compiled.program, memory.clone())
+                .expect("runs")
+                .cycles
+        });
     }
-    g.finish();
 }
 
-fn bench_interpreter(c: &mut Criterion) {
-    let mut g = c.benchmark_group("interpreter");
-    g.sample_size(20);
+fn bench_interpreter(h: &mut Harness) {
     let module = (tta_chstone::by_name("sha").unwrap().build)();
-    g.bench_function("sha_golden_model", |b| {
-        b.iter(|| {
-            let r = tta_ir::interp::Interpreter::new(std::hint::black_box(&module))
-                .run(&[])
-                .expect("runs");
-            std::hint::black_box(r.ret)
-        })
+    h.group("interpreter").sample_size(20).bench("sha_golden_model", || {
+        tta_ir::interp::Interpreter::new(std::hint::black_box(&module))
+            .run(&[])
+            .expect("runs")
+            .ret
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_simulators, bench_interpreter);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_simulators(&mut h);
+    bench_interpreter(&mut h);
+    h.finish();
+}

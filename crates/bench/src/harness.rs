@@ -1,0 +1,186 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! Stands in for Criterion (unavailable in the offline build environment)
+//! with the same measurement discipline on a smaller scale: per benchmark
+//! it warms up, auto-calibrates an iteration count per sample, collects a
+//! fixed number of samples, and reports the median with min/max spread so
+//! one-off scheduling hiccups are visible instead of silently averaged in.
+//!
+//! Bench binaries (`harness = false`) build one [`Harness`], register
+//! benchmarks through [`Group`]s, and call [`Harness::finish`]. A single
+//! positional command-line argument filters benchmarks by substring, so
+//! `cargo bench -p tta-bench --bench simulator -- tta` runs the TTA rows
+//! only.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one measured sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(40);
+
+/// One benchmark's collected measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark name, `group/id`.
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample, ns per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, ns per iteration.
+    pub max_ns: f64,
+    /// Optional element count for throughput reporting.
+    pub elements: Option<u64>,
+}
+
+/// Top-level benchmark registry; create one per bench binary.
+pub struct Harness {
+    filter: Option<String>,
+    results: Vec<Measurement>,
+}
+
+impl Harness {
+    /// Create a harness, reading the benchmark-name filter from the
+    /// command line. Flags Cargo forwards (`--bench`, `--profile-time`,
+    /// etc.) are ignored.
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Harness { filter, results: Vec::new() }
+    }
+
+    /// Open a named benchmark group.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_string(),
+            sample_size: 10,
+            elements: None,
+        }
+    }
+
+    /// Print the result table.
+    pub fn finish(self) {
+        let width = self.results.iter().map(|m| m.name.len()).max().unwrap_or(0);
+        for m in &self.results {
+            let mut line = format!(
+                "{:width$}  {:>12}  (min {}, max {})",
+                m.name,
+                format_ns(m.median_ns),
+                format_ns(m.min_ns),
+                format_ns(m.max_ns),
+            );
+            if let Some(e) = m.elements {
+                let per_sec = e as f64 / (m.median_ns * 1e-9);
+                line.push_str(&format!("  {:.2e} elem/s", per_sec));
+            }
+            println!("{line}");
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    name: String,
+    sample_size: usize,
+    elements: Option<u64>,
+}
+
+impl Group<'_> {
+    /// Number of samples to collect per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Report throughput as `elements` per iteration for subsequent
+    /// benchmarks in this group.
+    pub fn throughput(&mut self, elements: u64) -> &mut Self {
+        self.elements = Some(elements);
+        self
+    }
+
+    /// Measure one closure. The closure's return value is black-boxed so
+    /// the computation cannot be optimised away.
+    pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) -> &mut Self {
+        let name = format!("{}/{id}", self.name);
+        if let Some(filt) = &self.harness.filter {
+            if !name.contains(filt.as_str()) {
+                return self;
+            }
+        }
+        // Warm up and calibrate: how many iterations fill one sample?
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed();
+        let iters = (TARGET_SAMPLE.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            samples_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let m = Measurement {
+            name,
+            median_ns: samples_ns[samples_ns.len() / 2],
+            min_ns: samples_ns[0],
+            max_ns: *samples_ns.last().unwrap(),
+            elements: self.elements,
+        };
+        println!(
+            "{}  {}  (min {}, max {})",
+            m.name,
+            format_ns(m.median_ns),
+            format_ns(m.min_ns),
+            format_ns(m.max_ns)
+        );
+        self.harness.results.push(m);
+        self
+    }
+}
+
+/// Render nanoseconds with an adaptive unit.
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut h = Harness { filter: None, results: Vec::new() };
+        h.group("t").sample_size(3).bench("spin", || {
+            std::hint::black_box((0..100u64).sum::<u64>())
+        });
+        assert_eq!(h.results.len(), 1);
+        assert!(h.results[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut h = Harness { filter: Some("xyz".into()), results: Vec::new() };
+        h.group("t").bench("abc", || 1);
+        assert!(h.results.is_empty());
+    }
+
+    #[test]
+    fn ns_formatting_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2_000_000_000.0).ends_with(" s"));
+    }
+}

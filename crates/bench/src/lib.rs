@@ -5,10 +5,16 @@
 //!   evaluation (all thirteen design points, all eight kernels).
 //! * `cargo run --release -p tta-bench --bin repro` prints everything in
 //!   one pass (used to fill `EXPERIMENTS.md`).
-//! * `cargo bench` runs the Criterion micro-benchmarks of the toolchain
-//!   itself (scheduler, simulator, encoder, end-to-end pipeline).
+//! * `cargo run --release -p tta-bench --bin bench_eval` times the full
+//!   evaluation pipeline and writes `BENCH_eval.json` (the perf
+//!   trajectory tracked in `EXPERIMENTS.md`).
+//! * `cargo bench` runs the micro-benchmarks of the toolchain itself
+//!   (scheduler, simulator, encoder, end-to-end pipeline) on the local
+//!   [`harness`].
 
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use tta_explore::MachineReport;
 

@@ -1,9 +1,10 @@
 //! Property tests for the IR-level passes: inlining, dead-code elimination
 //! and constant legalisation must preserve interpreter semantics on random
-//! programs, and DCE must actually remove provably dead code.
+//! programs, and DCE must actually remove provably dead code. Cases come
+//! from a deterministic PRNG and are reproducible from their number.
 
-use proptest::prelude::*;
 use tta_ir::builder::{FunctionBuilder, ModuleBuilder};
+use tta_testutil::Rng;
 use tta_ir::{Module, VReg};
 use tta_model::Opcode;
 
@@ -53,24 +54,24 @@ fn build(steps: &[Step]) -> (Module, Vec<VReg>) {
     (mb.finish(), vals)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
-
-    #[test]
-    fn dce_preserves_semantics_and_removes_dead_tails(
-        steps in prop::collection::vec(
-            (any::<usize>(), any::<usize>(), any::<usize>(), any::<bool>())
-                .prop_map(|(op, a, b, used)| Step { op, a, b, used }),
-            1..40,
-        )
-    ) {
+#[test]
+fn dce_preserves_semantics_and_removes_dead_tails() {
+    for case in 0u64..128 {
+        let mut rng = Rng::new(case);
+        let n = rng.range(1, 40);
+        let steps: Vec<Step> = rng.vec(n, |r| Step {
+            op: r.below(usize::MAX),
+            a: r.below(usize::MAX),
+            b: r.below(usize::MAX),
+            used: r.next_bool(),
+        });
         let (module, _) = build(&steps);
         let before = tta_ir::interp::run_ret(&module, &[]);
 
         let mut flat = tta_compiler::inline::inline_module(&module).unwrap();
         let n_before = flat.inst_count();
         let removed = tta_compiler::dce::eliminate_dead_code(&mut flat);
-        prop_assert_eq!(flat.inst_count() + removed, n_before);
+        assert_eq!(flat.inst_count() + removed, n_before, "case {case}");
         tta_ir::verify::verify_function(&flat, None).unwrap();
 
         // Wrap the optimised function back into a module and re-interpret.
@@ -81,25 +82,28 @@ proptest! {
             data: module.data.clone(),
             mem_size: module.mem_size,
         };
-        prop_assert_eq!(tta_ir::interp::run_ret(&opt_module, &[]), before);
+        assert_eq!(tta_ir::interp::run_ret(&opt_module, &[]), before, "case {case}");
 
         // Every value never reaching the result whose consumers are all
         // dead must be gone: if NO step is used, only the seed/result
         // scaffolding survives.
         if steps.iter().all(|s| !s.used) {
-            prop_assert!(
+            assert!(
                 opt_module.funcs[0].inst_count() <= 3,
-                "all steps dead but {} instructions remain",
+                "case {case}: all steps dead but {} instructions remain",
                 opt_module.funcs[0].inst_count()
             );
         }
     }
+}
 
-    #[test]
-    fn const_legalisation_preserves_semantics(
-        consts in prop::collection::vec(any::<i32>(), 1..12),
-        budget in 1usize..16,
-    ) {
+#[test]
+fn const_legalisation_preserves_semantics() {
+    for case in 0u64..128 {
+        let mut rng = Rng::new(0xc0de ^ case);
+        let n = rng.range(1, 12);
+        let consts: Vec<i32> = rng.vec(n, |r| r.next_i32());
+        let budget = rng.range(1, 16);
         let mut mb = ModuleBuilder::new("c");
         let mut fb = FunctionBuilder::new("main", 0, true);
         let mut acc = fb.copy(1);
@@ -128,7 +132,7 @@ proptest! {
             data: module.data.clone(),
             mem_size: module.mem_size,
         };
-        prop_assert_eq!(tta_ir::interp::run_ret(&opt_module, &[]), before);
+        assert_eq!(tta_ir::interp::run_ret(&opt_module, &[]), before, "case {case}");
 
         // Post-condition: no wide immediate survives outside Copy sources.
         for b in &flat.blocks {
@@ -137,7 +141,10 @@ proptest! {
                     continue;
                 }
                 for u in collect_imms(inst) {
-                    prop_assert!((-32..32).contains(&u), "wide imm {u} left in {inst}");
+                    assert!(
+                        (-32..32).contains(&u),
+                        "case {case}: wide imm {u} left in {inst}"
+                    );
                 }
             }
         }

@@ -2,7 +2,7 @@
 //! point, simulate cycle-accurately, estimate FPGA cost, and collect the
 //! raw numbers behind Tables II–IV and Figs. 5–6.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use tta_chstone::Kernel;
 use tta_compiler::compile;
 use tta_fpga::Resources;
@@ -91,10 +91,10 @@ pub fn run_kernel(kernel: &Kernel, machine: &Machine) -> KernelRun {
 /// Evaluate `kernels` on `machines`, in parallel across machines.
 pub fn evaluate(machines: &[Machine], kernels: &[Kernel]) -> Vec<MachineReport> {
     let reports: Mutex<Vec<(usize, MachineReport)>> = Mutex::new(Vec::new());
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (mi, machine) in machines.iter().enumerate() {
             let reports = &reports;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let runs: Vec<KernelRun> =
                     kernels.iter().map(|k| run_kernel(k, machine)).collect();
                 let report = MachineReport {
@@ -104,12 +104,11 @@ pub fn evaluate(machines: &[Machine], kernels: &[Kernel]) -> Vec<MachineReport> 
                     instr_bits: encoding::instruction_bits(machine),
                     runs,
                 };
-                reports.lock().push((mi, report));
+                reports.lock().unwrap().push((mi, report));
             });
         }
-    })
-    .expect("evaluation threads");
-    let mut v = reports.into_inner();
+    });
+    let mut v = reports.into_inner().unwrap();
     v.sort_by_key(|(mi, _)| *mi);
     v.into_iter().map(|(_, r)| r).collect()
 }

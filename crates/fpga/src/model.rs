@@ -5,12 +5,11 @@
 //! points come only from their structure. `EXPERIMENTS.md` tabulates the
 //! model's output against the paper's numbers.
 
-use serde::{Deserialize, Serialize};
 use tta_isa::encoding;
 use tta_model::{CoreStyle, DstConn, FuKind, Machine, SrcConn};
 
 /// Estimated FPGA resources and timing for one core.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Resources {
     /// Total core LUTs (including `lut_rf` and `lut_ic`).
     pub lut_core: u32,

@@ -1,10 +1,9 @@
 //! Functions, basic blocks, modules and static data.
 
 use crate::inst::{BlockId, FuncId, Inst, Operand, Terminator, VReg};
-use serde::{Deserialize, Serialize};
 
 /// A basic block: straight-line instructions plus one terminator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Block {
     /// The instructions, in program order.
     pub insts: Vec<Inst>,
@@ -27,7 +26,7 @@ impl Default for Block {
 }
 
 /// A function: parameters, blocks, and an entry block (always block 0).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Function {
     /// Function name, unique within the module.
     pub name: String,
@@ -115,7 +114,7 @@ impl std::fmt::Display for Function {
 
 /// A static data initialiser: `bytes` copied to absolute address `addr`
 /// before execution starts.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DataInit {
     /// Absolute load address.
     pub addr: u32,
@@ -125,7 +124,7 @@ pub struct DataInit {
 
 /// A whole program: functions, the entry function, static data and the data
 /// memory size.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Module {
     /// Module name (benchmark name).
     pub name: String,

@@ -8,12 +8,11 @@
 //! targets, into operation bundles for VLIW targets, or into a sequential
 //! stream for scalar targets.
 
-use serde::{Deserialize, Serialize};
 use tta_model::Opcode;
 
 /// A virtual register (SSA-like but reassignable; the IR allows multiple
 /// definitions of the same vreg, e.g. loop induction variables).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VReg(pub u32);
 
 impl std::fmt::Display for VReg {
@@ -23,7 +22,7 @@ impl std::fmt::Display for VReg {
 }
 
 /// An instruction operand: a virtual register or an immediate constant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operand {
     /// Read a virtual register.
     Reg(VReg),
@@ -71,7 +70,7 @@ impl std::fmt::Display for Operand {
 }
 
 /// Index of a basic block within its function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BlockId(pub u32);
 
 impl std::fmt::Display for BlockId {
@@ -81,7 +80,7 @@ impl std::fmt::Display for BlockId {
 }
 
 /// Index of a function within its module.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FuncId(pub u32);
 
 /// A memory alias region.
@@ -91,7 +90,7 @@ pub struct FuncId(pub u32);
 /// the scheduler's dependence analysis exploits (standing in for the alias
 /// analysis a production compiler performs). Region 0 ([`MemRegion::ANY`])
 /// may alias everything.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemRegion(pub u16);
 
 impl MemRegion {
@@ -105,7 +104,7 @@ impl MemRegion {
 }
 
 /// A non-terminator IR instruction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Inst {
     /// Two-input ALU operation: `dst = a <op> b`.
     Bin {
@@ -246,7 +245,7 @@ impl std::fmt::Display for Inst {
 }
 
 /// A basic-block terminator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Terminator {
     /// Unconditional jump.
     Jump(BlockId),

@@ -16,7 +16,6 @@
 use crate::code::{Move, MoveDst, MoveSrc, TtaInst};
 use crate::encoding::{ceil_log2, tta_dst_bits, tta_instruction_bits, tta_src_bits};
 use crate::program::IsaError;
-use bytes::Bytes;
 use tta_model::{DstConn, FuId, Machine, Opcode, RegRef, RfId, SrcConn};
 
 /// A source item addressable by a slot's source field.
@@ -316,12 +315,12 @@ impl TtaCodec {
     }
 
     /// Encode a program into a packed big-endian bitstream.
-    pub fn encode_program(&self, insts: &[TtaInst]) -> Result<Bytes, IsaError> {
+    pub fn encode_program(&self, insts: &[TtaInst]) -> Result<Vec<u8>, IsaError> {
         let mut w = BitWriter::new();
         for inst in insts {
             self.encode_inst(inst, &mut w)?;
         }
-        Ok(Bytes::from(w.bytes))
+        Ok(w.bytes)
     }
 
     /// Decode `n` instructions from a packed bitstream.

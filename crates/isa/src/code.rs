@@ -10,7 +10,6 @@
 //! Control-flow targets are absolute instruction indices, matching the
 //! paper's machines whose control units implement absolute jumps only.
 
-use serde::{Deserialize, Serialize};
 use tta_model::{FuId, Opcode, RegRef};
 
 /// Absolute byte address where a program stores its entry function's return
@@ -19,7 +18,7 @@ use tta_model::{FuId, Opcode, RegRef};
 pub const RETVAL_ADDR: u32 = 8;
 
 /// Source of a TTA data transport.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MoveSrc {
     /// Read a general-purpose register (occupies one RF read port this
     /// cycle).
@@ -35,7 +34,7 @@ pub enum MoveSrc {
 }
 
 /// Destination of a TTA data transport.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MoveDst {
     /// Write a general-purpose register (occupies one RF write port).
     Rf(RegRef),
@@ -46,7 +45,7 @@ pub enum MoveDst {
 }
 
 /// One programmed data transport.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Move {
     /// Where the data comes from.
     pub src: MoveSrc,
@@ -63,7 +62,7 @@ impl std::fmt::Display for Move {
 /// One TTA instruction: a move slot per bus, plus an optional long-immediate
 /// write that repurposes the first `limm.bus_slots` move slots (which must
 /// therefore be empty).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct TtaInst {
     /// One optional move per bus, indexed by bus id.
     pub slots: Vec<Option<Move>>,
@@ -90,7 +89,7 @@ impl TtaInst {
 }
 
 /// Source of a VLIW or scalar operand.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpSrc {
     /// Read a register.
     Reg(RegRef),
@@ -100,7 +99,7 @@ pub enum OpSrc {
 
 /// An operation-triggered operation (VLIW slot payload or scalar
 /// instruction body): `dst = op(a, b)` with RF-resident operands.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Operation {
     /// The opcode.
     pub op: Opcode,
@@ -116,7 +115,7 @@ pub struct Operation {
 }
 
 /// Payload of one VLIW issue slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VliwSlot {
     /// A normal operation.
     Op(Operation),
@@ -134,7 +133,7 @@ pub enum VliwSlot {
 }
 
 /// One VLIW instruction (bundle).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct VliwBundle {
     /// One optional payload per issue slot.
     pub slots: Vec<Option<VliwSlot>>,
@@ -161,7 +160,7 @@ impl VliwBundle {
 }
 
 /// One scalar instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScalarInst {
     /// A normal operation.
     Op(Operation),

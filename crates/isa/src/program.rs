@@ -9,7 +9,6 @@
 
 use crate::code::{MoveDst, MoveSrc, Operation, OpSrc, ScalarInst, TtaInst, VliwBundle, VliwSlot};
 use crate::encoding::{fits_signed, image_bits, vliw_imm_bits};
-use serde::{Deserialize, Serialize};
 use tta_model::{CoreStyle, DstConn, Machine, RegRef, SrcConn};
 
 /// A validation problem in a program.
@@ -25,7 +24,7 @@ impl std::fmt::Display for IsaError {
 impl std::error::Error for IsaError {}
 
 /// A compiled program for one machine, in that machine's native form.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Program {
     /// Transport-triggered instruction stream.
     Tta(Vec<TtaInst>),

@@ -1,8 +1,9 @@
 //! Property test: the bit-level TTA codec round-trips every valid
-//! instruction on every TTA design point.
+//! instruction on every TTA design point. Cases are generated from a
+//! deterministic PRNG, so every case is reproducible from its number.
 
-use proptest::prelude::*;
 use tta_isa::{Move, MoveDst, MoveSrc, TtaCodec, TtaInst};
+use tta_testutil::Rng;
 use tta_model::{presets, CoreStyle, DstConn, Machine, RegRef, SrcConn};
 
 /// Generate a random valid move for bus `b` of `m`, if the bus has any
@@ -82,11 +83,12 @@ fn random_program(m: &Machine, seeds: &[u32]) -> Vec<TtaInst> {
     prog
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn random_instructions_roundtrip(seeds in prop::collection::vec(any::<u32>(), 32..128)) {
+#[test]
+fn random_instructions_roundtrip() {
+    for case in 0u64..64 {
+        let mut rng = Rng::new(case);
+        let n_seeds = rng.range(32, 128);
+        let seeds: Vec<u32> = rng.vec(n_seeds, |r| r.next_u32());
         for m in presets::all_design_points() {
             if m.style != CoreStyle::Tta {
                 continue;
@@ -94,12 +96,14 @@ proptest! {
             let codec = TtaCodec::new(&m);
             let prog = random_program(&m, &seeds);
             let bytes = codec.encode_program(&prog).unwrap();
-            prop_assert_eq!(
+            assert_eq!(
                 bytes.len(),
-                (prog.len() * codec.width() as usize).div_ceil(8)
+                (prog.len() * codec.width() as usize).div_ceil(8),
+                "case {case} machine {}",
+                m.name
             );
             let back = codec.decode_program(&bytes, prog.len()).unwrap();
-            prop_assert_eq!(back, prog, "machine {}", m.name);
+            assert_eq!(back, prog, "case {case} machine {}", m.name);
         }
     }
 }

@@ -11,10 +11,9 @@
 
 use crate::fu::FuId;
 use crate::rf::RfId;
-use serde::{Deserialize, Serialize};
 
 /// Index of a bus within its [`Machine`](crate::Machine).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BusId(pub u16);
 
 impl std::fmt::Display for BusId {
@@ -24,7 +23,7 @@ impl std::fmt::Display for BusId {
 }
 
 /// A source socket reachable from a bus.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SrcConn {
     /// A read port of a register file (the slot's source field then carries
     /// the register index).
@@ -34,7 +33,7 @@ pub enum SrcConn {
 }
 
 /// A destination socket reachable from a bus.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DstConn {
     /// A write port of a register file.
     RfWrite(RfId),
@@ -46,7 +45,7 @@ pub enum DstConn {
 }
 
 /// One transport bus.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Bus {
     /// Human-readable name, unique within the machine (e.g. `"b0"`).
     pub name: String,

@@ -8,10 +8,9 @@
 //! result register until the next operation on the same unit overwrites it.
 
 use crate::op::{OpClass, Opcode};
-use serde::{Deserialize, Serialize};
 
 /// Index of a function unit within its [`Machine`](crate::Machine).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FuId(pub u16);
 
 impl std::fmt::Display for FuId {
@@ -21,7 +20,7 @@ impl std::fmt::Display for FuId {
 }
 
 /// The kind of a function unit, constraining which opcodes it may host.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FuKind {
     /// Arithmetic-logic unit.
     Alu,
@@ -43,7 +42,7 @@ impl FuKind {
 }
 
 /// A function unit description.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FunctionUnit {
     /// Human-readable name, unique within the machine (e.g. `"alu0"`).
     pub name: String,

@@ -6,10 +6,9 @@ use crate::bus::{Bus, BusId, DstConn, SrcConn};
 use crate::fu::{FuId, FuKind, FunctionUnit};
 use crate::op::{OpClass, Opcode};
 use crate::rf::{RegisterFile, RfId};
-use serde::{Deserialize, Serialize};
 
 /// Programming model of the core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CoreStyle {
     /// Transport-triggered: instructions are bundles of explicit data moves.
     Tta,
@@ -22,7 +21,7 @@ pub enum CoreStyle {
 
 /// One VLIW issue slot: the set of function units whose operations may be
 /// encoded in this slot.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IssueSlot {
     /// Slot name for diagnostics.
     pub name: String,
@@ -36,7 +35,7 @@ pub struct IssueSlot {
 /// functional-unit latencies are the same Table-I latencies used by the TTA
 /// and VLIW cores (the paper configures MicroBlaze with a "similar datapath")
 /// and the pipeline parameters add the per-style hazard costs on top.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScalarPipeline {
     /// Pipeline depth (3 or 5 in the paper); affects the FPGA timing model.
     pub stages: u8,
@@ -75,7 +74,7 @@ impl ScalarPipeline {
 /// `bus_slots` slots in one instruction and lands in one of `imm_regs`
 /// immediate registers, readable as a move source from the *next* cycle
 /// until overwritten.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LimmConfig {
     /// Number of long-immediate registers.
     pub imm_regs: u8,
@@ -105,7 +104,7 @@ impl std::fmt::Display for ModelError {
 impl std::error::Error for ModelError {}
 
 /// A complete soft-core description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Machine {
     /// Design-point name (e.g. `"m-tta-2"`).
     pub name: String,

@@ -10,11 +10,10 @@
 //! between the two would otherwise silently invalidate the differential
 //! tests.
 
-use serde::{Deserialize, Serialize};
 
 /// Functional class of an operation, which also determines the kind of
 /// function unit that may execute it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpClass {
     /// Integer arithmetic / logic (executes on an ALU).
     Alu,
@@ -25,7 +24,7 @@ pub enum OpClass {
 }
 
 /// Every operation of the evaluated base datapath (Table I) plus control.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Opcode {
     // --- ALU (Table I, left column) ---
     /// `a + b` (wrapping).

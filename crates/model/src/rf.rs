@@ -8,10 +8,9 @@
 //! port multiplies the distributed-RAM replication cost, which is what
 //! Table III of the paper measures.
 
-use serde::{Deserialize, Serialize};
 
 /// Index of a register file within its [`Machine`](crate::Machine).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RfId(pub u16);
 
 impl std::fmt::Display for RfId {
@@ -21,7 +20,7 @@ impl std::fmt::Display for RfId {
 }
 
 /// A general-purpose register file.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegisterFile {
     /// Human-readable name, unique within the machine (e.g. `"rf0"`).
     pub name: String,
@@ -56,7 +55,7 @@ impl RegisterFile {
 
 /// A location in one of the machine's register files: the unit of register
 /// allocation for partitioned-RF design points.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RegRef {
     /// Which register file.
     pub rf: RfId,

@@ -8,8 +8,8 @@
 //! legalisation, register allocator, all three schedulers and all three
 //! simulators end to end.
 
-use proptest::prelude::*;
 use tta_compiler::compile;
+use tta_testutil::Rng;
 use tta_ir::builder::{FunctionBuilder, ModuleBuilder};
 use tta_ir::interp::Interpreter;
 use tta_ir::{Module, Operand, VReg};
@@ -280,26 +280,34 @@ enum Stmt {
     Loop(u8, Vec<Stmt>),
 }
 
-fn stmt_strategy(depth: u32) -> impl Strategy<Value = Stmt> {
-    let leaf = prop_oneof![
-        (0u8..10, any::<prop::sample::Index>(), any::<prop::sample::Index>())
-            .prop_map(|(op, i, j)| Stmt::Bin(op, i.index(1_000_000), j.index(1_000_000))),
-        (0u8..2, any::<prop::sample::Index>()).prop_map(|(op, i)| Stmt::Un(op, i.index(1_000_000))),
-        (any::<prop::sample::Index>(), 0u8..16).prop_map(|(i, k)| Stmt::Store(i.index(1_000_000), k)),
-        (0u8..16).prop_map(Stmt::Load),
-        any::<i32>().prop_map(Stmt::Const),
-    ];
-    leaf.prop_recursive(depth, 24, 6, |inner| {
-        prop_oneof![
-            (
-                any::<prop::sample::Index>(),
-                prop::collection::vec(inner.clone(), 1..4),
-                prop::collection::vec(inner.clone(), 1..4)
+/// Generate one random statement. `depth` bounds If/Loop nesting exactly
+/// as the old proptest `prop_recursive` strategy did.
+fn random_stmt(rng: &mut Rng, depth: u32) -> Stmt {
+    // At positive depth, half the draws pick a branching construct.
+    if depth > 0 && rng.chance(1, 2) {
+        return if rng.next_bool() {
+            Stmt::If(
+                rng.below(1_000_000),
+                random_stmts(rng, depth - 1, 1, 4),
+                random_stmts(rng, depth - 1, 1, 4),
             )
-                .prop_map(|(c, t, e)| Stmt::If(c.index(1_000_000), t, e)),
-            (1u8..5, prop::collection::vec(inner, 1..4)).prop_map(|(n, b)| Stmt::Loop(n, b)),
-        ]
-    })
+        } else {
+            Stmt::Loop(rng.range(1, 5) as u8, random_stmts(rng, depth - 1, 1, 4))
+        };
+    }
+    match rng.below(5) {
+        0 => Stmt::Bin(rng.below(10) as u8, rng.below(1_000_000), rng.below(1_000_000)),
+        1 => Stmt::Un(rng.below(2) as u8, rng.below(1_000_000)),
+        2 => Stmt::Store(rng.below(1_000_000), rng.below(16) as u8),
+        3 => Stmt::Load(rng.below(16) as u8),
+        _ => Stmt::Const(rng.next_i32()),
+    }
+}
+
+/// Generate `lo..hi` random statements.
+fn random_stmts(rng: &mut Rng, depth: u32, lo: usize, hi: usize) -> Vec<Stmt> {
+    let n = rng.range(lo, hi);
+    (0..n).map(|_| random_stmt(rng, depth)).collect()
 }
 
 /// Emit a statement list; returns the value representing the sequence.
@@ -414,15 +422,11 @@ fn build_random_module(stmts: &[Stmt]) -> Module {
     mb.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        max_shrink_iters: 200,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn random_programs_match_interpreter(stmts in prop::collection::vec(stmt_strategy(2), 1..10)) {
+#[test]
+fn random_programs_match_interpreter() {
+    for case in 0u64..48 {
+        let mut rng = Rng::new(case);
+        let stmts = random_stmts(&mut rng, 2, 1, 10);
         let module = build_random_module(&stmts);
         tta_ir::verify::verify_module(&module).expect("generated programs are well-formed");
         check_all(&module);

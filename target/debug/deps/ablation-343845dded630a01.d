@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-343845dded630a01.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-343845dded630a01: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-78f16324ad414217.d: tests/ablation.rs
+
+/root/repo/target/debug/deps/ablation-78f16324ad414217: tests/ablation.rs
+
+tests/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/binary_images-91c650f2c2eaf2cb.d: tests/binary_images.rs
+
+/root/repo/target/debug/deps/binary_images-91c650f2c2eaf2cb: tests/binary_images.rs
+
+tests/binary_images.rs:

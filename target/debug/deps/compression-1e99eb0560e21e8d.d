@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compression-1e99eb0560e21e8d.d: crates/bench/src/bin/compression.rs
+
+/root/repo/target/debug/deps/compression-1e99eb0560e21e8d: crates/bench/src/bin/compression.rs
+
+crates/bench/src/bin/compression.rs:

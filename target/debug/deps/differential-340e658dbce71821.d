@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-340e658dbce71821.d: crates/sim/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-340e658dbce71821: crates/sim/tests/differential.rs
+
+crates/sim/tests/differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disasm-f32af093ba913a04.d: crates/bench/src/bin/disasm.rs
+
+/root/repo/target/debug/deps/disasm-f32af093ba913a04: crates/bench/src/bin/disasm.rs
+
+crates/bench/src/bin/disasm.rs:

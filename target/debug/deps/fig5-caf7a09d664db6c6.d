@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-caf7a09d664db6c6.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-caf7a09d664db6c6: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-4182291e34a63a4e.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-4182291e34a63a4e: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/imem-54bdc88a7def6ef2.d: crates/bench/src/bin/imem.rs
+
+/root/repo/target/debug/deps/imem-54bdc88a7def6ef2: crates/bench/src/bin/imem.rs
+
+crates/bench/src/bin/imem.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels_end_to_end-683ba2406449601b.d: tests/kernels_end_to_end.rs
+
+/root/repo/target/debug/deps/kernels_end_to_end-683ba2406449601b: tests/kernels_end_to_end.rs
+
+tests/kernels_end_to_end.rs:

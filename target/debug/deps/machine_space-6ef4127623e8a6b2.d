@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/machine_space-6ef4127623e8a6b2.d: tests/machine_space.rs
+
+/root/repo/target/debug/deps/machine_space-6ef4127623e8a6b2: tests/machine_space.rs
+
+tests/machine_space.rs:

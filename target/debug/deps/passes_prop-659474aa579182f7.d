@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/passes_prop-659474aa579182f7.d: crates/compiler/tests/passes_prop.rs
+
+/root/repo/target/debug/deps/passes_prop-659474aa579182f7: crates/compiler/tests/passes_prop.rs
+
+crates/compiler/tests/passes_prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regression_cases-2cb57956229b8ace.d: crates/sim/tests/regression_cases.rs
+
+/root/repo/target/debug/deps/regression_cases-2cb57956229b8ace: crates/sim/tests/regression_cases.rs
+
+crates/sim/tests/regression_cases.rs:

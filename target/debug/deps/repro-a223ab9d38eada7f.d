@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-a223ab9d38eada7f.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-a223ab9d38eada7f: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip_prop-df9a6fbeb250e7fa.d: crates/isa/tests/roundtrip_prop.rs
+
+/root/repo/target/debug/deps/roundtrip_prop-df9a6fbeb250e7fa: crates/isa/tests/roundtrip_prop.rs
+
+crates/isa/tests/roundtrip_prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantics-9ed960133934aa52.d: crates/sim/tests/semantics.rs
+
+/root/repo/target/debug/deps/semantics-9ed960133934aa52: crates/sim/tests/semantics.rs
+
+crates/sim/tests/semantics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-0fc72cd4b4cd186c.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-0fc72cd4b4cd186c: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

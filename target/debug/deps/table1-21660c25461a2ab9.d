@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-21660c25461a2ab9.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-21660c25461a2ab9: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-83cc3d138e440a2d.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-83cc3d138e440a2d: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-931ffbb2e4f681a3.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-931ffbb2e4f681a3: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tta_bench-00c2683ff792727b.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libtta_bench-00c2683ff792727b.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libtta_bench-00c2683ff792727b.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

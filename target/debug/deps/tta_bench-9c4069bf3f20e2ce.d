@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/tta_bench-9c4069bf3f20e2ce.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/tta_bench-9c4069bf3f20e2ce: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

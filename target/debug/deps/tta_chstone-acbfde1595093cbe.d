@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tta_chstone-acbfde1595093cbe.d: crates/chstone/src/lib.rs crates/chstone/src/adpcm.rs crates/chstone/src/aes.rs crates/chstone/src/blowfish.rs crates/chstone/src/gsm.rs crates/chstone/src/jpeg.rs crates/chstone/src/mips.rs crates/chstone/src/motion.rs crates/chstone/src/sha.rs crates/chstone/src/util.rs
+
+/root/repo/target/debug/deps/libtta_chstone-acbfde1595093cbe.rlib: crates/chstone/src/lib.rs crates/chstone/src/adpcm.rs crates/chstone/src/aes.rs crates/chstone/src/blowfish.rs crates/chstone/src/gsm.rs crates/chstone/src/jpeg.rs crates/chstone/src/mips.rs crates/chstone/src/motion.rs crates/chstone/src/sha.rs crates/chstone/src/util.rs
+
+/root/repo/target/debug/deps/libtta_chstone-acbfde1595093cbe.rmeta: crates/chstone/src/lib.rs crates/chstone/src/adpcm.rs crates/chstone/src/aes.rs crates/chstone/src/blowfish.rs crates/chstone/src/gsm.rs crates/chstone/src/jpeg.rs crates/chstone/src/mips.rs crates/chstone/src/motion.rs crates/chstone/src/sha.rs crates/chstone/src/util.rs
+
+crates/chstone/src/lib.rs:
+crates/chstone/src/adpcm.rs:
+crates/chstone/src/aes.rs:
+crates/chstone/src/blowfish.rs:
+crates/chstone/src/gsm.rs:
+crates/chstone/src/jpeg.rs:
+crates/chstone/src/mips.rs:
+crates/chstone/src/motion.rs:
+crates/chstone/src/sha.rs:
+crates/chstone/src/util.rs:

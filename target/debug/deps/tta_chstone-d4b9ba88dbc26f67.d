@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tta_chstone-d4b9ba88dbc26f67.d: crates/chstone/src/lib.rs crates/chstone/src/adpcm.rs crates/chstone/src/aes.rs crates/chstone/src/blowfish.rs crates/chstone/src/gsm.rs crates/chstone/src/jpeg.rs crates/chstone/src/mips.rs crates/chstone/src/motion.rs crates/chstone/src/sha.rs crates/chstone/src/util.rs
+
+/root/repo/target/debug/deps/tta_chstone-d4b9ba88dbc26f67: crates/chstone/src/lib.rs crates/chstone/src/adpcm.rs crates/chstone/src/aes.rs crates/chstone/src/blowfish.rs crates/chstone/src/gsm.rs crates/chstone/src/jpeg.rs crates/chstone/src/mips.rs crates/chstone/src/motion.rs crates/chstone/src/sha.rs crates/chstone/src/util.rs
+
+crates/chstone/src/lib.rs:
+crates/chstone/src/adpcm.rs:
+crates/chstone/src/aes.rs:
+crates/chstone/src/blowfish.rs:
+crates/chstone/src/gsm.rs:
+crates/chstone/src/jpeg.rs:
+crates/chstone/src/mips.rs:
+crates/chstone/src/motion.rs:
+crates/chstone/src/sha.rs:
+crates/chstone/src/util.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tta_core-13d788de282827e1.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/tta_core-13d788de282827e1: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tta_core-1ae07a7e1ad36730.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libtta_core-1ae07a7e1ad36730.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libtta_core-1ae07a7e1ad36730.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tta_explore-08ba5648e5fdf8e1.d: crates/explore/src/lib.rs crates/explore/src/compression.rs crates/explore/src/eval.rs crates/explore/src/imem.rs crates/explore/src/figures.rs crates/explore/src/sweep.rs crates/explore/src/tables.rs crates/explore/src/transform.rs
+
+/root/repo/target/debug/deps/libtta_explore-08ba5648e5fdf8e1.rlib: crates/explore/src/lib.rs crates/explore/src/compression.rs crates/explore/src/eval.rs crates/explore/src/imem.rs crates/explore/src/figures.rs crates/explore/src/sweep.rs crates/explore/src/tables.rs crates/explore/src/transform.rs
+
+/root/repo/target/debug/deps/libtta_explore-08ba5648e5fdf8e1.rmeta: crates/explore/src/lib.rs crates/explore/src/compression.rs crates/explore/src/eval.rs crates/explore/src/imem.rs crates/explore/src/figures.rs crates/explore/src/sweep.rs crates/explore/src/tables.rs crates/explore/src/transform.rs
+
+crates/explore/src/lib.rs:
+crates/explore/src/compression.rs:
+crates/explore/src/eval.rs:
+crates/explore/src/imem.rs:
+crates/explore/src/figures.rs:
+crates/explore/src/sweep.rs:
+crates/explore/src/tables.rs:
+crates/explore/src/transform.rs:

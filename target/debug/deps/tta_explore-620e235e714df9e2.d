@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tta_explore-620e235e714df9e2.d: crates/explore/src/lib.rs crates/explore/src/compression.rs crates/explore/src/eval.rs crates/explore/src/imem.rs crates/explore/src/figures.rs crates/explore/src/sweep.rs crates/explore/src/tables.rs crates/explore/src/transform.rs
+
+/root/repo/target/debug/deps/tta_explore-620e235e714df9e2: crates/explore/src/lib.rs crates/explore/src/compression.rs crates/explore/src/eval.rs crates/explore/src/imem.rs crates/explore/src/figures.rs crates/explore/src/sweep.rs crates/explore/src/tables.rs crates/explore/src/transform.rs
+
+crates/explore/src/lib.rs:
+crates/explore/src/compression.rs:
+crates/explore/src/eval.rs:
+crates/explore/src/imem.rs:
+crates/explore/src/figures.rs:
+crates/explore/src/sweep.rs:
+crates/explore/src/tables.rs:
+crates/explore/src/transform.rs:

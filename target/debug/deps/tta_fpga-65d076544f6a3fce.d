@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tta_fpga-65d076544f6a3fce.d: crates/fpga/src/lib.rs crates/fpga/src/model.rs
+
+/root/repo/target/debug/deps/libtta_fpga-65d076544f6a3fce.rlib: crates/fpga/src/lib.rs crates/fpga/src/model.rs
+
+/root/repo/target/debug/deps/libtta_fpga-65d076544f6a3fce.rmeta: crates/fpga/src/lib.rs crates/fpga/src/model.rs
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/model.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/tta_fpga-b4e4ae5748379114.d: crates/fpga/src/lib.rs crates/fpga/src/model.rs
+
+/root/repo/target/debug/deps/tta_fpga-b4e4ae5748379114: crates/fpga/src/lib.rs crates/fpga/src/model.rs
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/model.rs:

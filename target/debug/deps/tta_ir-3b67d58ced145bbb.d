@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tta_ir-3b67d58ced145bbb.d: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/func.rs crates/ir/src/inst.rs crates/ir/src/interp.rs crates/ir/src/verify.rs
+
+/root/repo/target/debug/deps/tta_ir-3b67d58ced145bbb: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/func.rs crates/ir/src/inst.rs crates/ir/src/interp.rs crates/ir/src/verify.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/func.rs:
+crates/ir/src/inst.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/verify.rs:

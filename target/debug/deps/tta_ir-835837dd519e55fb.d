@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tta_ir-835837dd519e55fb.d: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/func.rs crates/ir/src/inst.rs crates/ir/src/interp.rs crates/ir/src/verify.rs
+
+/root/repo/target/debug/deps/libtta_ir-835837dd519e55fb.rlib: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/func.rs crates/ir/src/inst.rs crates/ir/src/interp.rs crates/ir/src/verify.rs
+
+/root/repo/target/debug/deps/libtta_ir-835837dd519e55fb.rmeta: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/func.rs crates/ir/src/inst.rs crates/ir/src/interp.rs crates/ir/src/verify.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/func.rs:
+crates/ir/src/inst.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/verify.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tta_isa-21f3391b06ba1159.d: crates/isa/src/lib.rs crates/isa/src/bits.rs crates/isa/src/code.rs crates/isa/src/encoding.rs crates/isa/src/program.rs
+
+/root/repo/target/debug/deps/libtta_isa-21f3391b06ba1159.rlib: crates/isa/src/lib.rs crates/isa/src/bits.rs crates/isa/src/code.rs crates/isa/src/encoding.rs crates/isa/src/program.rs
+
+/root/repo/target/debug/deps/libtta_isa-21f3391b06ba1159.rmeta: crates/isa/src/lib.rs crates/isa/src/bits.rs crates/isa/src/code.rs crates/isa/src/encoding.rs crates/isa/src/program.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/bits.rs:
+crates/isa/src/code.rs:
+crates/isa/src/encoding.rs:
+crates/isa/src/program.rs:

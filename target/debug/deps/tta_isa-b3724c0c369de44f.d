@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tta_isa-b3724c0c369de44f.d: crates/isa/src/lib.rs crates/isa/src/bits.rs crates/isa/src/code.rs crates/isa/src/encoding.rs crates/isa/src/program.rs
+
+/root/repo/target/debug/deps/tta_isa-b3724c0c369de44f: crates/isa/src/lib.rs crates/isa/src/bits.rs crates/isa/src/code.rs crates/isa/src/encoding.rs crates/isa/src/program.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/bits.rs:
+crates/isa/src/code.rs:
+crates/isa/src/encoding.rs:
+crates/isa/src/program.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tta_model-54ca6fdc20f93378.d: crates/model/src/lib.rs crates/model/src/bus.rs crates/model/src/fu.rs crates/model/src/machine.rs crates/model/src/mem.rs crates/model/src/op.rs crates/model/src/presets.rs crates/model/src/rf.rs
+
+/root/repo/target/debug/deps/libtta_model-54ca6fdc20f93378.rlib: crates/model/src/lib.rs crates/model/src/bus.rs crates/model/src/fu.rs crates/model/src/machine.rs crates/model/src/mem.rs crates/model/src/op.rs crates/model/src/presets.rs crates/model/src/rf.rs
+
+/root/repo/target/debug/deps/libtta_model-54ca6fdc20f93378.rmeta: crates/model/src/lib.rs crates/model/src/bus.rs crates/model/src/fu.rs crates/model/src/machine.rs crates/model/src/mem.rs crates/model/src/op.rs crates/model/src/presets.rs crates/model/src/rf.rs
+
+crates/model/src/lib.rs:
+crates/model/src/bus.rs:
+crates/model/src/fu.rs:
+crates/model/src/machine.rs:
+crates/model/src/mem.rs:
+crates/model/src/op.rs:
+crates/model/src/presets.rs:
+crates/model/src/rf.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tta_model-78861933db888384.d: crates/model/src/lib.rs crates/model/src/bus.rs crates/model/src/fu.rs crates/model/src/machine.rs crates/model/src/mem.rs crates/model/src/op.rs crates/model/src/presets.rs crates/model/src/rf.rs
+
+/root/repo/target/debug/deps/tta_model-78861933db888384: crates/model/src/lib.rs crates/model/src/bus.rs crates/model/src/fu.rs crates/model/src/machine.rs crates/model/src/mem.rs crates/model/src/op.rs crates/model/src/presets.rs crates/model/src/rf.rs
+
+crates/model/src/lib.rs:
+crates/model/src/bus.rs:
+crates/model/src/fu.rs:
+crates/model/src/machine.rs:
+crates/model/src/mem.rs:
+crates/model/src/op.rs:
+crates/model/src/presets.rs:
+crates/model/src/rf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tta_sim-661628fdd21a9e59.d: crates/sim/src/lib.rs crates/sim/src/result.rs crates/sim/src/scalar.rs crates/sim/src/tta.rs crates/sim/src/vliw.rs
+
+/root/repo/target/debug/deps/tta_sim-661628fdd21a9e59: crates/sim/src/lib.rs crates/sim/src/result.rs crates/sim/src/scalar.rs crates/sim/src/tta.rs crates/sim/src/vliw.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/result.rs:
+crates/sim/src/scalar.rs:
+crates/sim/src/tta.rs:
+crates/sim/src/vliw.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tta_sim-c9cff4004811b2cf.d: crates/sim/src/lib.rs crates/sim/src/result.rs crates/sim/src/scalar.rs crates/sim/src/tta.rs crates/sim/src/vliw.rs
+
+/root/repo/target/debug/deps/libtta_sim-c9cff4004811b2cf.rlib: crates/sim/src/lib.rs crates/sim/src/result.rs crates/sim/src/scalar.rs crates/sim/src/tta.rs crates/sim/src/vliw.rs
+
+/root/repo/target/debug/deps/libtta_sim-c9cff4004811b2cf.rmeta: crates/sim/src/lib.rs crates/sim/src/result.rs crates/sim/src/scalar.rs crates/sim/src/tta.rs crates/sim/src/vliw.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/result.rs:
+crates/sim/src/scalar.rs:
+crates/sim/src/tta.rs:
+crates/sim/src/vliw.rs:

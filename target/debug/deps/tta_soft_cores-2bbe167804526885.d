@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tta_soft_cores-2bbe167804526885.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtta_soft_cores-2bbe167804526885.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtta_soft_cores-2bbe167804526885.rmeta: src/lib.rs
+
+src/lib.rs:

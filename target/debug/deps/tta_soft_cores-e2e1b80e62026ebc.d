@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tta_soft_cores-e2e1b80e62026ebc.d: src/lib.rs
+
+/root/repo/target/debug/deps/tta_soft_cores-e2e1b80e62026ebc: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tta_testutil-6ba6500d550168f3.d: crates/testutil/src/lib.rs
+
+/root/repo/target/debug/deps/tta_testutil-6ba6500d550168f3: crates/testutil/src/lib.rs
+
+crates/testutil/src/lib.rs:

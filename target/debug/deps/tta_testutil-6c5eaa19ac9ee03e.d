@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tta_testutil-6c5eaa19ac9ee03e.d: crates/testutil/src/lib.rs
+
+/root/repo/target/debug/deps/libtta_testutil-6c5eaa19ac9ee03e.rlib: crates/testutil/src/lib.rs
+
+/root/repo/target/debug/deps/libtta_testutil-6c5eaa19ac9ee03e.rmeta: crates/testutil/src/lib.rs
+
+crates/testutil/src/lib.rs:

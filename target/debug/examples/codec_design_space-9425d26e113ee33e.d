@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/codec_design_space-9425d26e113ee33e.d: examples/codec_design_space.rs
+
+/root/repo/target/debug/examples/codec_design_space-9425d26e113ee33e: examples/codec_design_space.rs
+
+examples/codec_design_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_core-2376c9008db4dd17.d: examples/custom_core.rs
+
+/root/repo/target/debug/examples/custom_core-2376c9008db4dd17: examples/custom_core.rs
+
+examples/custom_core.rs:

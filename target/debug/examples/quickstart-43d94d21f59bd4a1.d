@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-43d94d21f59bd4a1.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-43d94d21f59bd4a1: examples/quickstart.rs
+
+examples/quickstart.rs:

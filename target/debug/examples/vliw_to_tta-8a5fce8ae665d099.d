@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vliw_to_tta-8a5fce8ae665d099.d: examples/vliw_to_tta.rs
+
+/root/repo/target/debug/examples/vliw_to_tta-8a5fce8ae665d099: examples/vliw_to_tta.rs
+
+examples/vliw_to_tta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-1a8012c800b6be95.d: tests/ablation.rs
+
+/root/repo/target/release/deps/ablation-1a8012c800b6be95: tests/ablation.rs
+
+tests/ablation.rs:

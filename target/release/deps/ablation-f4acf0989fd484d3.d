@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-f4acf0989fd484d3.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-f4acf0989fd484d3: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

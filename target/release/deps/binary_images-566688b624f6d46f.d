@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/binary_images-566688b624f6d46f.d: tests/binary_images.rs
+
+/root/repo/target/release/deps/binary_images-566688b624f6d46f: tests/binary_images.rs
+
+tests/binary_images.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compression-cefd095c16d8bb77.d: crates/bench/src/bin/compression.rs
+
+/root/repo/target/release/deps/compression-cefd095c16d8bb77: crates/bench/src/bin/compression.rs
+
+crates/bench/src/bin/compression.rs:

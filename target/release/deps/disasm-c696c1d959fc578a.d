@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/disasm-c696c1d959fc578a.d: crates/bench/src/bin/disasm.rs
+
+/root/repo/target/release/deps/disasm-c696c1d959fc578a: crates/bench/src/bin/disasm.rs
+
+crates/bench/src/bin/disasm.rs:

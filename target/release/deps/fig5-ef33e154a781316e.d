@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-ef33e154a781316e.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-ef33e154a781316e: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-941f9a252b4893ae.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-941f9a252b4893ae: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/imem-3fa578783653cacc.d: crates/bench/src/bin/imem.rs
+
+/root/repo/target/release/deps/imem-3fa578783653cacc: crates/bench/src/bin/imem.rs
+
+crates/bench/src/bin/imem.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels_end_to_end-ab5b687f2784a02d.d: tests/kernels_end_to_end.rs
+
+/root/repo/target/release/deps/kernels_end_to_end-ab5b687f2784a02d: tests/kernels_end_to_end.rs
+
+tests/kernels_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/machine_space-933e4b151d2d3b38.d: tests/machine_space.rs
+
+/root/repo/target/release/deps/machine_space-933e4b151d2d3b38: tests/machine_space.rs
+
+tests/machine_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-a91fa344eb245d2a.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-a91fa344eb245d2a: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulator-64dcc07af6778703.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/release/deps/simulator-64dcc07af6778703: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep-23cb33170acfb269.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/release/deps/sweep-23cb33170acfb269: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

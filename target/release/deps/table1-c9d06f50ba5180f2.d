@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-c9d06f50ba5180f2.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-c9d06f50ba5180f2: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-1d761e5900188906.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-1d761e5900188906: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-21490f722d532d9d.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-21490f722d532d9d: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

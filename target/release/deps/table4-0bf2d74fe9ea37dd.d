@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-0bf2d74fe9ea37dd.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-0bf2d74fe9ea37dd: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

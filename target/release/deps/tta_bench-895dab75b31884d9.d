@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/tta_bench-895dab75b31884d9.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libtta_bench-895dab75b31884d9.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libtta_bench-895dab75b31884d9.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

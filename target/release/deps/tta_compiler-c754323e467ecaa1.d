@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/tta_compiler-c754323e467ecaa1.d: crates/compiler/src/lib.rs crates/compiler/src/bitset.rs crates/compiler/src/compact.rs crates/compiler/src/compile.rs crates/compiler/src/consts.rs crates/compiler/src/dce.rs crates/compiler/src/fold.rs crates/compiler/src/ddg.rs crates/compiler/src/inline.rs crates/compiler/src/liveness.rs crates/compiler/src/loc.rs crates/compiler/src/regalloc.rs crates/compiler/src/scalar_sched.rs crates/compiler/src/tta_sched.rs crates/compiler/src/vliw_sched.rs
+
+/root/repo/target/release/deps/libtta_compiler-c754323e467ecaa1.rlib: crates/compiler/src/lib.rs crates/compiler/src/bitset.rs crates/compiler/src/compact.rs crates/compiler/src/compile.rs crates/compiler/src/consts.rs crates/compiler/src/dce.rs crates/compiler/src/fold.rs crates/compiler/src/ddg.rs crates/compiler/src/inline.rs crates/compiler/src/liveness.rs crates/compiler/src/loc.rs crates/compiler/src/regalloc.rs crates/compiler/src/scalar_sched.rs crates/compiler/src/tta_sched.rs crates/compiler/src/vliw_sched.rs
+
+/root/repo/target/release/deps/libtta_compiler-c754323e467ecaa1.rmeta: crates/compiler/src/lib.rs crates/compiler/src/bitset.rs crates/compiler/src/compact.rs crates/compiler/src/compile.rs crates/compiler/src/consts.rs crates/compiler/src/dce.rs crates/compiler/src/fold.rs crates/compiler/src/ddg.rs crates/compiler/src/inline.rs crates/compiler/src/liveness.rs crates/compiler/src/loc.rs crates/compiler/src/regalloc.rs crates/compiler/src/scalar_sched.rs crates/compiler/src/tta_sched.rs crates/compiler/src/vliw_sched.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/bitset.rs:
+crates/compiler/src/compact.rs:
+crates/compiler/src/compile.rs:
+crates/compiler/src/consts.rs:
+crates/compiler/src/dce.rs:
+crates/compiler/src/fold.rs:
+crates/compiler/src/ddg.rs:
+crates/compiler/src/inline.rs:
+crates/compiler/src/liveness.rs:
+crates/compiler/src/loc.rs:
+crates/compiler/src/regalloc.rs:
+crates/compiler/src/scalar_sched.rs:
+crates/compiler/src/tta_sched.rs:
+crates/compiler/src/vliw_sched.rs:

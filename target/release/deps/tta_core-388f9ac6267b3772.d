@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tta_core-388f9ac6267b3772.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libtta_core-388f9ac6267b3772.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libtta_core-388f9ac6267b3772.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/tta_explore-0dc50779d17baf0e.d: crates/explore/src/lib.rs crates/explore/src/compression.rs crates/explore/src/eval.rs crates/explore/src/imem.rs crates/explore/src/figures.rs crates/explore/src/sweep.rs crates/explore/src/tables.rs crates/explore/src/transform.rs
+
+/root/repo/target/release/deps/libtta_explore-0dc50779d17baf0e.rlib: crates/explore/src/lib.rs crates/explore/src/compression.rs crates/explore/src/eval.rs crates/explore/src/imem.rs crates/explore/src/figures.rs crates/explore/src/sweep.rs crates/explore/src/tables.rs crates/explore/src/transform.rs
+
+/root/repo/target/release/deps/libtta_explore-0dc50779d17baf0e.rmeta: crates/explore/src/lib.rs crates/explore/src/compression.rs crates/explore/src/eval.rs crates/explore/src/imem.rs crates/explore/src/figures.rs crates/explore/src/sweep.rs crates/explore/src/tables.rs crates/explore/src/transform.rs
+
+crates/explore/src/lib.rs:
+crates/explore/src/compression.rs:
+crates/explore/src/eval.rs:
+crates/explore/src/imem.rs:
+crates/explore/src/figures.rs:
+crates/explore/src/sweep.rs:
+crates/explore/src/tables.rs:
+crates/explore/src/transform.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/tta_fpga-dd66f9c47f423659.d: crates/fpga/src/lib.rs crates/fpga/src/model.rs
+
+/root/repo/target/release/deps/libtta_fpga-dd66f9c47f423659.rlib: crates/fpga/src/lib.rs crates/fpga/src/model.rs
+
+/root/repo/target/release/deps/libtta_fpga-dd66f9c47f423659.rmeta: crates/fpga/src/lib.rs crates/fpga/src/model.rs
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/model.rs:

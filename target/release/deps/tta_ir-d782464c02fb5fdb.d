@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/tta_ir-d782464c02fb5fdb.d: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/func.rs crates/ir/src/inst.rs crates/ir/src/interp.rs crates/ir/src/verify.rs
+
+/root/repo/target/release/deps/libtta_ir-d782464c02fb5fdb.rlib: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/func.rs crates/ir/src/inst.rs crates/ir/src/interp.rs crates/ir/src/verify.rs
+
+/root/repo/target/release/deps/libtta_ir-d782464c02fb5fdb.rmeta: crates/ir/src/lib.rs crates/ir/src/builder.rs crates/ir/src/func.rs crates/ir/src/inst.rs crates/ir/src/interp.rs crates/ir/src/verify.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/builder.rs:
+crates/ir/src/func.rs:
+crates/ir/src/inst.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/verify.rs:

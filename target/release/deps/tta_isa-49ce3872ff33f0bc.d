@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/tta_isa-49ce3872ff33f0bc.d: crates/isa/src/lib.rs crates/isa/src/bits.rs crates/isa/src/code.rs crates/isa/src/encoding.rs crates/isa/src/program.rs
+
+/root/repo/target/release/deps/libtta_isa-49ce3872ff33f0bc.rlib: crates/isa/src/lib.rs crates/isa/src/bits.rs crates/isa/src/code.rs crates/isa/src/encoding.rs crates/isa/src/program.rs
+
+/root/repo/target/release/deps/libtta_isa-49ce3872ff33f0bc.rmeta: crates/isa/src/lib.rs crates/isa/src/bits.rs crates/isa/src/code.rs crates/isa/src/encoding.rs crates/isa/src/program.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/bits.rs:
+crates/isa/src/code.rs:
+crates/isa/src/encoding.rs:
+crates/isa/src/program.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/tta_model-b4eb3c8f036d9cbb.d: crates/model/src/lib.rs crates/model/src/bus.rs crates/model/src/fu.rs crates/model/src/machine.rs crates/model/src/mem.rs crates/model/src/op.rs crates/model/src/presets.rs crates/model/src/rf.rs
+
+/root/repo/target/release/deps/libtta_model-b4eb3c8f036d9cbb.rlib: crates/model/src/lib.rs crates/model/src/bus.rs crates/model/src/fu.rs crates/model/src/machine.rs crates/model/src/mem.rs crates/model/src/op.rs crates/model/src/presets.rs crates/model/src/rf.rs
+
+/root/repo/target/release/deps/libtta_model-b4eb3c8f036d9cbb.rmeta: crates/model/src/lib.rs crates/model/src/bus.rs crates/model/src/fu.rs crates/model/src/machine.rs crates/model/src/mem.rs crates/model/src/op.rs crates/model/src/presets.rs crates/model/src/rf.rs
+
+crates/model/src/lib.rs:
+crates/model/src/bus.rs:
+crates/model/src/fu.rs:
+crates/model/src/machine.rs:
+crates/model/src/mem.rs:
+crates/model/src/op.rs:
+crates/model/src/presets.rs:
+crates/model/src/rf.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/tta_sim-bdb9cf845c4a8fed.d: crates/sim/src/lib.rs crates/sim/src/result.rs crates/sim/src/scalar.rs crates/sim/src/tta.rs crates/sim/src/vliw.rs
+
+/root/repo/target/release/deps/libtta_sim-bdb9cf845c4a8fed.rlib: crates/sim/src/lib.rs crates/sim/src/result.rs crates/sim/src/scalar.rs crates/sim/src/tta.rs crates/sim/src/vliw.rs
+
+/root/repo/target/release/deps/libtta_sim-bdb9cf845c4a8fed.rmeta: crates/sim/src/lib.rs crates/sim/src/result.rs crates/sim/src/scalar.rs crates/sim/src/tta.rs crates/sim/src/vliw.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/result.rs:
+crates/sim/src/scalar.rs:
+crates/sim/src/tta.rs:
+crates/sim/src/vliw.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tta_soft_cores-6137e39b092018b4.d: src/lib.rs
+
+/root/repo/target/release/deps/tta_soft_cores-6137e39b092018b4: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tta_soft_cores-dcee2c0a639de4fa.d: src/lib.rs
+
+/root/repo/target/release/deps/libtta_soft_cores-dcee2c0a639de4fa.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtta_soft_cores-dcee2c0a639de4fa.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tta_testutil-13bf08271586824a.d: crates/testutil/src/lib.rs
+
+/root/repo/target/release/deps/libtta_testutil-13bf08271586824a.rlib: crates/testutil/src/lib.rs
+
+/root/repo/target/release/deps/libtta_testutil-13bf08271586824a.rmeta: crates/testutil/src/lib.rs
+
+crates/testutil/src/lib.rs:

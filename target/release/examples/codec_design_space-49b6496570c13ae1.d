@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/codec_design_space-49b6496570c13ae1.d: examples/codec_design_space.rs
+
+/root/repo/target/release/examples/codec_design_space-49b6496570c13ae1: examples/codec_design_space.rs
+
+examples/codec_design_space.rs:

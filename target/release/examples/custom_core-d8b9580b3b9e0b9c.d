@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_core-d8b9580b3b9e0b9c.d: examples/custom_core.rs
+
+/root/repo/target/release/examples/custom_core-d8b9580b3b9e0b9c: examples/custom_core.rs
+
+examples/custom_core.rs:

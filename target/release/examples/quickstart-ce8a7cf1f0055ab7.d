@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ce8a7cf1f0055ab7.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ce8a7cf1f0055ab7: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/vliw_to_tta-d0da0c067c825510.d: examples/vliw_to_tta.rs
+
+/root/repo/target/release/examples/vliw_to_tta-d0da0c067c825510: examples/vliw_to_tta.rs
+
+examples/vliw_to_tta.rs:
