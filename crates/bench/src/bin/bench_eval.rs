@@ -1,0 +1,51 @@
+//! Times the full evaluation pipeline (`evaluate_all`: 13 design points ×
+//! 8 kernels, compile + simulate + verify) and writes `BENCH_eval.json`
+//! so the performance trajectory is tracked in-repo from PR to PR.
+//!
+//! Usage: `cargo run --release -p tta-bench --bin bench_eval [reps]`
+//! (default 5 repetitions; reports min and median, writes JSON to the
+//! working directory).
+
+use std::time::Instant;
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5);
+
+    // Warm-up run: faults in the kernel IR builders and touches the page
+    // cache so rep timings measure the pipeline, not first-run effects.
+    let reports = tta_bench::full_evaluation();
+    let pairs: usize = reports.iter().map(|r| r.runs.len()).sum();
+
+    let mut totals_s: Vec<f64> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = tta_bench::full_evaluation();
+        std::hint::black_box(&r);
+        totals_s.push(t.elapsed().as_secs_f64());
+    }
+    totals_s.sort_by(|a, b| a.total_cmp(b));
+    let min = totals_s[0];
+    let median = totals_s[totals_s.len() / 2];
+
+    let timing = tta_explore::eval::last_timing();
+    let json = format!(
+        "{{\n  \"bench\": \"evaluate_all\",\n  \"machines\": {},\n  \"kernels\": {},\n  \"pairs\": {},\n  \"reps\": {},\n  \"wall_s_min\": {min:.6},\n  \"wall_s_median\": {median:.6},\n  \"pairs_per_s\": {:.2},\n  \"stages_s\": {{\n    \"build_ir\": {:.6},\n    \"golden_interp\": {:.6},\n    \"compile\": {:.6},\n    \"simulate\": {:.6},\n    \"verify_estimate\": {:.6}\n  }},\n  \"threads\": {}\n}}\n",
+        reports.len(),
+        reports.first().map_or(0, |r| r.runs.len()),
+        pairs,
+        reps,
+        pairs as f64 / min,
+        timing.build_ir_s,
+        timing.golden_interp_s,
+        timing.compile_s,
+        timing.simulate_s,
+        timing.verify_estimate_s,
+        timing.threads,
+    );
+    std::fs::write("BENCH_eval.json", &json).expect("write BENCH_eval.json");
+    print!("{json}");
+    eprintln!("wrote BENCH_eval.json ({pairs} pairs, min {min:.3}s, median {median:.3}s)");
+}

@@ -2,7 +2,9 @@
 //! point, simulate cycle-accurately, estimate FPGA cost, and collect the
 //! raw numbers behind Tables II–IV and Figs. 5–6.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 use tta_chstone::Kernel;
 use tta_compiler::compile;
 use tta_fpga::Resources;
@@ -10,6 +12,75 @@ use tta_ir::interp::Interpreter;
 use tta_isa::encoding;
 use tta_model::{presets, Machine};
 use tta_sim::SimStats;
+
+/// Cumulative per-stage timing of the most recent [`evaluate`] call.
+///
+/// Stage fields are summed across worker threads (thread-seconds, not
+/// wall-clock); `wall_s` and `threads` describe the call itself. Retrieved
+/// with [`last_timing`] and emitted by the `bench_eval` binary into
+/// `BENCH_eval.json`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalTiming {
+    /// Building kernel IR modules from their builders.
+    pub build_ir_s: f64,
+    /// Golden-model interpreter runs.
+    pub golden_interp_s: f64,
+    /// Compilation (all passes + scheduling).
+    pub compile_s: f64,
+    /// Cycle-accurate simulation.
+    pub simulate_s: f64,
+    /// Result verification plus FPGA estimation and encoding-width work.
+    pub verify_estimate_s: f64,
+    /// Wall-clock of the whole evaluate call.
+    pub wall_s: f64,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+/// Nanosecond accumulators behind [`EvalTiming`] (index: stage).
+static STAGE_NS: [AtomicU64; 5] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+static WALL_NS: AtomicU64 = AtomicU64::new(0);
+static THREADS: AtomicU64 = AtomicU64::new(0);
+
+/// Add `dt` to stage accumulator `idx`.
+fn stage_add(idx: usize, dt: std::time::Duration) {
+    STAGE_NS[idx].fetch_add(dt.as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// Charge the time since `t` to stage `idx`; returns a fresh lap start.
+fn stage_lap(idx: usize, t: Instant) -> Instant {
+    stage_add(idx, t.elapsed());
+    Instant::now()
+}
+
+/// Per-stage timing of the most recent [`evaluate`] call in this process.
+pub fn last_timing() -> EvalTiming {
+    let s = |i: usize| STAGE_NS[i].load(Ordering::Relaxed) as f64 * 1e-9;
+    EvalTiming {
+        build_ir_s: s(0),
+        golden_interp_s: s(1),
+        compile_s: s(2),
+        simulate_s: s(3),
+        verify_estimate_s: s(4),
+        wall_s: WALL_NS.load(Ordering::Relaxed) as f64 * 1e-9,
+        threads: THREADS.load(Ordering::Relaxed) as usize,
+    }
+}
+
+/// Reset the accumulators at the start of an [`evaluate`] call.
+fn reset_timing(threads: usize) {
+    for a in &STAGE_NS {
+        a.store(0, Ordering::Relaxed);
+    }
+    WALL_NS.store(0, Ordering::Relaxed);
+    THREADS.store(threads as u64, Ordering::Relaxed);
+}
 
 /// One kernel executed on one machine.
 #[derive(Debug, Clone)]
@@ -69,14 +140,20 @@ impl MachineReport {
 /// Run one kernel on one machine (compile + simulate + verify against the
 /// interpreter).
 pub fn run_kernel(kernel: &Kernel, machine: &Machine) -> KernelRun {
+    let t = Instant::now();
     let module = (kernel.build)();
+    let t = stage_lap(0, t);
     let compiled = compile(&module, machine)
         .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, machine.name));
+    let t = stage_lap(2, t);
     let result = tta_sim::run(machine, &compiled.program, module.initial_memory())
         .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, machine.name));
+    let t = stage_lap(3, t);
     // Guard the evaluation numbers with the golden model.
     let golden = Interpreter::new(&module).run(&[]).expect("interpreter");
+    let t = stage_lap(1, t);
     assert_eq!(Some(result.ret), golden.ret, "{} on {}", kernel.name, machine.name);
+    let _ = stage_lap(4, t);
     KernelRun {
         kernel: kernel.name.to_string(),
         cycles: result.cycles,
@@ -90,6 +167,8 @@ pub fn run_kernel(kernel: &Kernel, machine: &Machine) -> KernelRun {
 
 /// Evaluate `kernels` on `machines`, in parallel across machines.
 pub fn evaluate(machines: &[Machine], kernels: &[Kernel]) -> Vec<MachineReport> {
+    reset_timing(machines.len());
+    let wall = Instant::now();
     let reports: Mutex<Vec<(usize, MachineReport)>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
         for (mi, machine) in machines.iter().enumerate() {
@@ -97,6 +176,7 @@ pub fn evaluate(machines: &[Machine], kernels: &[Kernel]) -> Vec<MachineReport> 
             scope.spawn(move || {
                 let runs: Vec<KernelRun> =
                     kernels.iter().map(|k| run_kernel(k, machine)).collect();
+                let t = Instant::now();
                 let report = MachineReport {
                     name: machine.name.clone(),
                     machine: machine.clone(),
@@ -104,10 +184,12 @@ pub fn evaluate(machines: &[Machine], kernels: &[Kernel]) -> Vec<MachineReport> 
                     instr_bits: encoding::instruction_bits(machine),
                     runs,
                 };
+                stage_add(4, t.elapsed());
                 reports.lock().unwrap().push((mi, report));
             });
         }
     });
+    WALL_NS.store(wall.elapsed().as_nanos() as u64, Ordering::Relaxed);
     let mut v = reports.into_inner().unwrap();
     v.sort_by_key(|(mi, _)| *mi);
     v.into_iter().map(|(_, r)| r).collect()

@@ -1,0 +1,83 @@
+//! Cycle-count snapshot regression: every (kernel × design point) pair
+//! must report byte-identical `cycles` and `SimStats` across simulator
+//! refactors. This locks the paper's *timing contract* — not merely the
+//! return values — so a performance rewrite of the simulators (e.g. the
+//! predecoded cores) cannot silently shift a single reported number.
+//!
+//! The golden file was generated from the original (pre-predecode)
+//! simulators. To regenerate after an *intentional* timing change:
+//!
+//! ```sh
+//! UPDATE_SNAPSHOT=1 cargo test --release --test cycle_snapshot
+//! ```
+
+use std::fmt::Write as _;
+
+const SNAPSHOT_PATH: &str = "tests/snapshots/cycle_counts.txt";
+
+/// Render one stable line per (machine, kernel) pair: the cycle count and
+/// every `SimStats` field, in declaration order.
+fn render_snapshot() -> String {
+    let reports = tta_explore::evaluate_all();
+    let mut out = String::new();
+    out.push_str(
+        "# machine kernel cycles instructions payload rf_reads rf_writes \
+         bypass_reads limms branches_taken stall_cycles loads stores\n",
+    );
+    for report in &reports {
+        for run in &report.runs {
+            let s = &run.sim;
+            writeln!(
+                out,
+                "{} {} {} {} {} {} {} {} {} {} {} {} {}",
+                report.name,
+                run.kernel,
+                run.cycles,
+                s.instructions,
+                s.payload,
+                s.rf_reads,
+                s.rf_writes,
+                s.bypass_reads,
+                s.limms,
+                s.branches_taken,
+                s.stall_cycles,
+                s.loads,
+                s.stores,
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+#[test]
+fn cycles_and_stats_match_golden_snapshot() {
+    let rendered = render_snapshot();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(SNAPSHOT_PATH);
+    if std::env::var("UPDATE_SNAPSHOT").is_ok() {
+        std::fs::write(&path, &rendered).expect("write snapshot");
+        eprintln!("snapshot updated: {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden snapshot {}: {e}", path.display()));
+    if rendered != golden {
+        // Diff line-by-line so a timing regression names the exact pair.
+        let mut mismatches = Vec::new();
+        for (g, r) in golden.lines().zip(rendered.lines()) {
+            if g != r {
+                mismatches.push(format!("  golden: {g}\n  got:    {r}"));
+            }
+        }
+        let gl = golden.lines().count();
+        let rl = rendered.lines().count();
+        if gl != rl {
+            mismatches.push(format!("  line count changed: golden {gl}, got {rl}"));
+        }
+        panic!(
+            "cycle/SimStats snapshot mismatch ({} lines differ):\n{}",
+            mismatches.len(),
+            mismatches.join("\n")
+        );
+    }
+}
