@@ -6,21 +6,29 @@ use tta_bench::harness::Harness;
 use tta_model::presets;
 
 fn bench_simulators(h: &mut Harness) {
-    let kernel = tta_chstone::by_name("sha").unwrap();
-    let module = (kernel.build)();
-    for machine in [presets::mblaze_3(), presets::m_vliw_2(), presets::m_tta_2()] {
-        let compiled = tta_compiler::compile(&module, &machine).unwrap();
-        let memory = module.initial_memory();
-        // Report throughput in simulated cycles.
-        let cycles = tta_sim::run(&machine, &compiled.program, memory.clone())
-            .unwrap()
-            .cycles;
-        let mut g = h.group("simulate");
-        g.sample_size(20).throughput(cycles).bench(&format!("sha/{}", machine.name), || {
-            tta_sim::run(&machine, &compiled.program, memory.clone())
-                .expect("runs")
-                .cycles
-        });
+    // sha exercises tight ALU loops, aes wide straight-line code, adpcm
+    // the deepest call tree — together they cover the decoded-program
+    // shapes the simulators see in the full evaluation.
+    for name in ["sha", "aes", "adpcm"] {
+        let kernel = tta_chstone::by_name(name).unwrap();
+        let module = (kernel.build)();
+        for machine in [presets::mblaze_3(), presets::m_vliw_2(), presets::m_tta_2()] {
+            let compiled = tta_compiler::compile(&module, &machine).unwrap();
+            let memory = module.initial_memory();
+            // Report throughput in simulated cycles.
+            let cycles = tta_sim::run(&machine, &compiled.program, memory.clone())
+                .unwrap()
+                .cycles;
+            let mut g = h.group("simulate");
+            g.sample_size(20).throughput(cycles).bench(
+                &format!("{name}/{}", machine.name),
+                || {
+                    tta_sim::run(&machine, &compiled.program, memory.clone())
+                        .expect("runs")
+                        .cycles
+                },
+            );
+        }
     }
 }
 

@@ -2,7 +2,7 @@
 //! point, simulate cycle-accurately, estimate FPGA cost, and collect the
 //! raw numbers behind Tables II–IV and Figs. 5–6.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 use tta_chstone::Kernel;
@@ -137,25 +137,39 @@ impl MachineReport {
     }
 }
 
-/// Run one kernel on one machine (compile + simulate + verify against the
-/// interpreter).
-pub fn run_kernel(kernel: &Kernel, machine: &Machine) -> KernelRun {
+/// A kernel with its IR module built and golden return value interpreted —
+/// both machine-independent, so [`evaluate`] does this once per kernel
+/// instead of once per (kernel × machine).
+struct PreparedKernel {
+    name: &'static str,
+    module: tta_ir::Module,
+    golden_ret: Option<i32>,
+}
+
+fn prepare_kernel(kernel: &Kernel) -> PreparedKernel {
     let t = Instant::now();
     let module = (kernel.build)();
     let t = stage_lap(0, t);
-    let compiled = compile(&module, machine)
-        .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, machine.name));
+    let golden = Interpreter::new(&module).run(&[]).expect("interpreter");
+    stage_add(1, t.elapsed());
+    PreparedKernel { name: kernel.name, module, golden_ret: golden.ret }
+}
+
+/// Compile + simulate one prepared kernel on one machine and verify the
+/// result against the golden model.
+fn run_prepared(p: &PreparedKernel, machine: &Machine) -> KernelRun {
+    let t = Instant::now();
+    let compiled = compile(&p.module, machine)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", p.name, machine.name));
     let t = stage_lap(2, t);
-    let result = tta_sim::run(machine, &compiled.program, module.initial_memory())
-        .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, machine.name));
+    let result = tta_sim::run(machine, &compiled.program, p.module.initial_memory())
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", p.name, machine.name));
     let t = stage_lap(3, t);
     // Guard the evaluation numbers with the golden model.
-    let golden = Interpreter::new(&module).run(&[]).expect("interpreter");
-    let t = stage_lap(1, t);
-    assert_eq!(Some(result.ret), golden.ret, "{} on {}", kernel.name, machine.name);
+    assert_eq!(Some(result.ret), p.golden_ret, "{} on {}", p.name, machine.name);
     let _ = stage_lap(4, t);
     KernelRun {
-        kernel: kernel.name.to_string(),
+        kernel: p.name.to_string(),
         cycles: result.cycles,
         program_len: compiled.program.len(),
         image_bits: compiled.program.image_bits(machine),
@@ -165,34 +179,69 @@ pub fn run_kernel(kernel: &Kernel, machine: &Machine) -> KernelRun {
     }
 }
 
-/// Evaluate `kernels` on `machines`, in parallel across machines.
+/// Run one kernel on one machine (compile + simulate + verify against the
+/// interpreter).
+pub fn run_kernel(kernel: &Kernel, machine: &Machine) -> KernelRun {
+    run_prepared(&prepare_kernel(kernel), machine)
+}
+
+/// Evaluate `kernels` on `machines`.
+///
+/// Kernel modules and golden interpreter runs happen once per kernel; the
+/// remaining (machine × kernel) compile/simulate jobs are then drained by a
+/// pool of workers off a shared atomic counter, so a slow machine's jobs
+/// spread across threads instead of serialising on one
+/// machine-per-thread worker.
 pub fn evaluate(machines: &[Machine], kernels: &[Kernel]) -> Vec<MachineReport> {
-    reset_timing(machines.len());
+    let n_jobs = machines.len() * kernels.len();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8)
+        .min(n_jobs.max(1));
+    reset_timing(threads);
     let wall = Instant::now();
-    let reports: Mutex<Vec<(usize, MachineReport)>> = Mutex::new(Vec::new());
+
+    let prepared: Vec<PreparedKernel> = kernels.iter().map(prepare_kernel).collect();
+
+    // One result slot per job; each is written by exactly one worker.
+    let slots: Vec<Mutex<Option<KernelRun>>> =
+        (0..n_jobs).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for (mi, machine) in machines.iter().enumerate() {
-            let reports = &reports;
-            scope.spawn(move || {
-                let runs: Vec<KernelRun> =
-                    kernels.iter().map(|k| run_kernel(k, machine)).collect();
-                let t = Instant::now();
-                let report = MachineReport {
-                    name: machine.name.clone(),
-                    machine: machine.clone(),
-                    resources: tta_fpga::estimate(machine),
-                    instr_bits: encoding::instruction_bits(machine),
-                    runs,
-                };
-                stage_add(4, t.elapsed());
-                reports.lock().unwrap().push((mi, report));
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let ji = next.fetch_add(1, Ordering::Relaxed);
+                if ji >= n_jobs {
+                    break;
+                }
+                let (mi, ki) = (ji / kernels.len(), ji % kernels.len());
+                let run = run_prepared(&prepared[ki], &machines[mi]);
+                *slots[ji].lock().unwrap() = Some(run);
             });
         }
     });
+
+    let mut runs = slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("job completed"));
+    let reports = machines
+        .iter()
+        .map(|machine| {
+            let runs: Vec<KernelRun> = runs.by_ref().take(kernels.len()).collect();
+            let t = Instant::now();
+            let report = MachineReport {
+                name: machine.name.clone(),
+                machine: machine.clone(),
+                resources: tta_fpga::estimate(machine),
+                instr_bits: encoding::instruction_bits(machine),
+                runs,
+            };
+            stage_add(4, t.elapsed());
+            report
+        })
+        .collect();
     WALL_NS.store(wall.elapsed().as_nanos() as u64, Ordering::Relaxed);
-    let mut v = reports.into_inner().unwrap();
-    v.sort_by_key(|(mi, _)| *mi);
-    v.into_iter().map(|(_, r)| r).collect()
+    reports
 }
 
 /// Evaluate all eight kernels on all thirteen design points.

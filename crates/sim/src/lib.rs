@@ -12,6 +12,7 @@
 
 pub mod result;
 pub mod scalar;
+mod state;
 pub mod tta;
 pub mod vliw;
 

@@ -6,13 +6,46 @@
 //! producer's functional latency has elapsed (plus one extra cycle when the
 //! pipeline lacks forwarding), the taken-branch refill penalty, and one
 //! cycle per `imm` prefix.
+//!
+//! Instructions are predecoded once per run (register references resolved
+//! to flat indices, the register scoreboard stored alongside), so the
+//! per-instruction loop performs no heap allocation.
 
 use crate::result::{SimError, SimResult, SimStats};
-use tta_isa::{OpSrc, Operation, ScalarInst, RETVAL_ADDR};
-use tta_model::{mem, Machine, OpClass, Opcode, RegRef};
+use crate::state::{trace_capacity, DecOpSrc, FlatRf, NO_DST};
+use tta_isa::{Operation, ScalarInst, RETVAL_ADDR};
+use tta_model::{mem, Machine, OpClass, Opcode};
 
 /// Maximum simulated instructions before declaring a runaway program.
 pub const DEFAULT_FUEL: u64 = 200_000_000;
+
+/// One predecoded scalar instruction.
+#[derive(Debug, Clone, Copy)]
+enum DecInst {
+    ImmPrefix,
+    Op {
+        op: Opcode,
+        a: DecOpSrc,
+        b: DecOpSrc,
+        /// Flat destination index, [`NO_DST`] if the op writes nothing.
+        dst: u32,
+    },
+}
+
+fn decode(rf: &FlatRf, program: &[ScalarInst]) -> Vec<DecInst> {
+    program
+        .iter()
+        .map(|inst| match inst {
+            ScalarInst::ImmPrefix => DecInst::ImmPrefix,
+            ScalarInst::Op(Operation { op, dst, a, b, .. }) => DecInst::Op {
+                op: *op,
+                a: DecOpSrc::decode(rf, *a),
+                b: DecOpSrc::decode(rf, *b),
+                dst: dst.map_or(NO_DST, |d| rf.flat(d)),
+            },
+        })
+        .collect()
+}
 
 /// Run a scalar program.
 pub fn run_scalar(
@@ -32,7 +65,7 @@ pub fn run_scalar_traced(
     memory: Vec<u8>,
     fuel: u64,
 ) -> Result<(SimResult, Vec<u32>), SimError> {
-    let mut trace = Vec::new();
+    let mut trace = Vec::with_capacity(trace_capacity(program.len()));
     let r = run_scalar_inner(m, program, memory, fuel, Some(&mut trace))?;
     Ok((r, trace))
 }
@@ -45,8 +78,10 @@ fn run_scalar_inner(
     mut trace: Option<&mut Vec<u32>>,
 ) -> Result<SimResult, SimError> {
     let pipe = m.scalar.expect("scalar machine");
-    let mut rf: Vec<Vec<i32>> = m.rfs.iter().map(|r| vec![0; r.regs as usize]).collect();
-    let mut ready: Vec<Vec<u64>> = m.rfs.iter().map(|r| vec![0; r.regs as usize]).collect();
+    let mut rf = FlatRf::new(m);
+    let dec = decode(&rf, program);
+    // Cycle at which each register's latest value becomes readable.
+    let mut ready: Vec<u64> = vec![0; rf.len()];
     let mut stats = SimStats::default();
     let mut pc: u32 = 0;
     let mut cycle: u64 = 0;
@@ -58,7 +93,7 @@ fn run_scalar_inner(
         if executed >= fuel {
             return Err(SimError::OutOfFuel);
         }
-        let Some(inst) = program.get(pc as usize) else {
+        let Some(inst) = dec.get(pc as usize) else {
             return Err(SimError::PcOutOfRange(pc));
         };
         executed += 1;
@@ -67,39 +102,37 @@ fn run_scalar_inner(
             t.push(pc);
         }
 
-        match inst {
-            ScalarInst::ImmPrefix => {
+        match *inst {
+            DecInst::ImmPrefix => {
                 // One fetch/issue cycle; the following instruction carries
                 // the full immediate already.
                 cycle += 1;
                 pc += 1;
                 continue;
             }
-            ScalarInst::Op(Operation { op, dst, a, b, .. }) => {
+            DecInst::Op { op, a, b, dst } => {
                 stats.payload += 1;
                 // Issue no earlier than every source register is ready.
                 let mut issue = cycle;
-                let src_val = |s: OpSrc, issue: &mut u64, stats: &mut SimStats| -> i32 {
-                    match s {
-                        OpSrc::Reg(r) => {
-                            stats.rf_reads += 1;
-                            *issue = (*issue).max(ready[r.rf.0 as usize][r.index as usize]);
-                            rf[r.rf.0 as usize][r.index as usize]
-                        }
-                        OpSrc::Imm(v) => v,
+                let src_val = |s: DecOpSrc, issue: &mut u64, stats: &mut SimStats| match s {
+                    DecOpSrc::None => None,
+                    DecOpSrc::Reg(i) => {
+                        stats.rf_reads += 1;
+                        *issue = (*issue).max(ready[i as usize]);
+                        Some(rf.vals[i as usize])
                     }
+                    DecOpSrc::Imm(v) => Some(v),
                 };
-                let va = a.map(|s| src_val(s, &mut issue, &mut stats));
-                let vb = b.map(|s| src_val(s, &mut issue, &mut stats));
+                let va = src_val(a, &mut issue, &mut stats);
+                let vb = src_val(b, &mut issue, &mut stats);
                 stats.stall_cycles += issue - cycle;
                 cycle = issue + 1; // the instruction occupies one issue slot
 
-                let mut write = |dst: Option<RegRef>, v: i32, lat: u32, rf: &mut Vec<Vec<i32>>| {
-                    if let Some(d) = dst {
+                let mut write = |v: i32, lat: u32, rf: &mut FlatRf, ready: &mut Vec<u64>| {
+                    if dst != NO_DST {
                         stats.rf_writes += 1;
-                        rf[d.rf.0 as usize][d.index as usize] = v;
-                        ready[d.rf.0 as usize][d.index as usize] =
-                            issue + lat as u64 + extra;
+                        rf.vals[dst as usize] = v;
+                        ready[dst as usize] = issue + lat as u64 + extra;
                     }
                 };
 
@@ -110,16 +143,16 @@ fn run_scalar_inner(
                         } else {
                             op.eval_alu(va.unwrap(), vb.unwrap())
                         };
-                        write(*dst, r, op.latency(), &mut rf);
+                        write(r, op.latency(), &mut rf, &mut ready);
                     }
                     OpClass::Lsu => {
                         if op.is_load() {
                             stats.loads += 1;
-                            let v = mem::load(&memory, *op, vb.unwrap() as u32)?;
-                            write(*dst, v, op.latency(), &mut rf);
+                            let v = mem::load(&memory, op, vb.unwrap() as u32)?;
+                            write(v, op.latency(), &mut rf, &mut ready);
                         } else {
                             stats.stores += 1;
-                            mem::store(&mut memory, *op, vb.unwrap() as u32, va.unwrap())?;
+                            mem::store(&mut memory, op, vb.unwrap() as u32, va.unwrap())?;
                         }
                     }
                     OpClass::Ctrl => match op {

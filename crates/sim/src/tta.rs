@@ -13,25 +13,136 @@
 //! received a completion, simultaneous completions on one unit, or a jump
 //! during an in-flight jump raise [`SimError::Machine`] — each of these is
 //! a scheduler bug that static validation cannot see.
+//!
+//! The program is predecoded once per run: empty slots are dropped, moves
+//! are split into source/write/trigger classes, and every register
+//! reference is resolved to a flat index, so the cycle loop touches only
+//! dense arrays and performs no heap allocation.
 
 use crate::result::{SimError, SimResult, SimStats};
+use crate::state::{trace_capacity, FlatRf};
 use tta_isa::{MoveDst, MoveSrc, TtaInst, RETVAL_ADDR};
 use tta_model::{mem, FuKind, Machine, OpClass, Opcode};
 
 /// Maximum simulated cycles before declaring a runaway program.
 pub const DEFAULT_FUEL: u64 = 200_000_000;
 
-#[derive(Debug, Clone, Copy)]
+/// In-flight result slots per function unit. The deepest pipeline is the
+/// longest op latency (3) per trigger move, and a well-formed instruction
+/// triggers a unit at most once, so 8 leaves ample headroom; the
+/// same-cycle-completion check below still rejects overfull schedules.
+const MAX_INFLIGHT: usize = 8;
+
+#[derive(Debug, Clone, Copy, Default)]
 struct InFlight {
     done: u64,
     value: i32,
 }
 
-#[derive(Debug, Clone, Default)]
+/// Runtime state of one function unit: its shared operand port, result
+/// port, and a fixed-capacity in-flight buffer (no per-trigger allocation).
+#[derive(Debug, Clone)]
 struct FuSim {
     operand: i32,
     result: Option<i32>,
-    pipeline: Vec<InFlight>,
+    pipeline: [InFlight; MAX_INFLIGHT],
+    live: u8,
+}
+
+impl Default for FuSim {
+    fn default() -> Self {
+        FuSim {
+            operand: 0,
+            result: None,
+            pipeline: [InFlight::default(); MAX_INFLIGHT],
+            live: 0,
+        }
+    }
+}
+
+/// A decoded move source: register references resolved to flat indices.
+#[derive(Debug, Clone, Copy)]
+enum DecSrc {
+    Rf(u32),
+    FuResult(u16),
+    Imm(i32),
+    ImmReg(u8),
+}
+
+/// A decoded non-trigger destination. The `u16` pairs each write with the
+/// sampled value of its move (index into the per-instruction value window).
+#[derive(Debug, Clone, Copy)]
+enum DecWrite {
+    Rf(u32),
+    FuOperand(u16),
+}
+
+/// A decoded trigger: value index, unit, opcode.
+#[derive(Debug, Clone, Copy)]
+struct DecTrig {
+    vi: u16,
+    fu: u16,
+    op: Opcode,
+}
+
+/// One instruction as ranges into the flat per-class move arrays.
+#[derive(Debug, Clone, Copy)]
+struct DecInst {
+    srcs: (u32, u32),
+    writes: (u32, u32),
+    trigs: (u32, u32),
+    limm: Option<(u8, i32)>,
+}
+
+/// The whole program, predecoded into dense per-class arrays.
+struct Decoded {
+    srcs: Vec<DecSrc>,
+    writes: Vec<(u16, DecWrite)>,
+    trigs: Vec<DecTrig>,
+    insts: Vec<DecInst>,
+    /// Widest instruction (sizes the reusable sampled-value scratch).
+    max_moves: usize,
+}
+
+fn decode(rf: &FlatRf, program: &[TtaInst]) -> Decoded {
+    let mut d = Decoded {
+        srcs: Vec::new(),
+        writes: Vec::new(),
+        trigs: Vec::new(),
+        insts: Vec::with_capacity(program.len()),
+        max_moves: 0,
+    };
+    for inst in program {
+        let s0 = d.srcs.len() as u32;
+        let w0 = d.writes.len() as u32;
+        let t0 = d.trigs.len() as u32;
+        let mut vi: u16 = 0;
+        for slot in &inst.slots {
+            let Some(mv) = slot else { continue };
+            d.srcs.push(match mv.src {
+                MoveSrc::Rf(r) => DecSrc::Rf(rf.flat(r)),
+                MoveSrc::FuResult(f) => DecSrc::FuResult(f.0 as u16),
+                MoveSrc::Imm(v) => DecSrc::Imm(v),
+                MoveSrc::ImmReg(k) => DecSrc::ImmReg(k),
+            });
+            match mv.dst {
+                MoveDst::Rf(r) => d.writes.push((vi, DecWrite::Rf(rf.flat(r)))),
+                MoveDst::FuOperand(f) => d.writes.push((vi, DecWrite::FuOperand(f.0 as u16))),
+                MoveDst::FuTrigger(f, op) => {
+                    d.trigs.push(DecTrig { vi, fu: f.0 as u16, op })
+                }
+            }
+            vi += 1;
+        }
+        d.max_moves = d.max_moves.max(vi as usize);
+        d.insts.push(DecInst {
+            srcs: (s0, d.srcs.len() as u32),
+            writes: (w0, d.writes.len() as u32),
+            trigs: (t0, d.trigs.len() as u32),
+            limm: inst.limm,
+        });
+    }
+    d
 }
 
 /// Run a TTA program.
@@ -52,7 +163,7 @@ pub fn run_tta_traced(
     memory: Vec<u8>,
     fuel: u64,
 ) -> Result<(SimResult, Vec<u32>), SimError> {
-    let mut trace = Vec::new();
+    let mut trace = Vec::with_capacity(trace_capacity(program.len()));
     let r = run_tta_inner(m, program, memory, fuel, Some(&mut trace))?;
     Ok((r, trace))
 }
@@ -64,9 +175,12 @@ fn run_tta_inner(
     fuel: u64,
     mut trace: Option<&mut Vec<u32>>,
 ) -> Result<SimResult, SimError> {
-    let mut rf: Vec<Vec<i32>> = m.rfs.iter().map(|r| vec![0; r.regs as usize]).collect();
+    let mut rf = FlatRf::new(m);
+    let dec = decode(&rf, program);
     let mut fus: Vec<FuSim> = vec![FuSim::default(); m.funits.len()];
     let mut immregs: Vec<Option<i32>> = vec![None; m.limm.imm_regs as usize];
+    // Sampled move values of the current instruction, reused every cycle.
+    let mut values: Vec<i32> = vec![0; dec.max_moves];
     let mut stats = SimStats::default();
     let mut pc: u32 = 0;
     let mut cycle: u64 = 0;
@@ -77,7 +191,7 @@ fn run_tta_inner(
         if cycle >= fuel {
             return Err(SimError::OutOfFuel);
         }
-        let Some(inst) = program.get(pc as usize) else {
+        let Some(inst) = dec.insts.get(pc as usize) else {
             return Err(SimError::PcOutOfRange(pc));
         };
         stats.instructions += 1;
@@ -89,10 +203,11 @@ fn run_tta_inner(
         for (fi, fu) in fus.iter_mut().enumerate() {
             let mut completed = 0;
             let mut k = 0;
-            while k < fu.pipeline.len() {
+            while k < fu.live as usize {
                 if fu.pipeline[k].done == cycle {
                     fu.result = Some(fu.pipeline[k].value);
-                    fu.pipeline.swap_remove(k);
+                    fu.live -= 1;
+                    fu.pipeline[k] = fu.pipeline[fu.live as usize];
                     completed += 1;
                 } else {
                     k += 1;
@@ -107,87 +222,91 @@ fn run_tta_inner(
         }
 
         // (2) Sample sources.
-        let mut values: Vec<Option<i32>> = vec![None; inst.slots.len()];
-        for (si, slot) in inst.slots.iter().enumerate() {
-            let Some(mv) = slot else { continue };
-            let v = match mv.src {
-                MoveSrc::Rf(r) => {
+        for (vi, src) in dec.srcs[inst.srcs.0 as usize..inst.srcs.1 as usize]
+            .iter()
+            .enumerate()
+        {
+            let v = match *src {
+                DecSrc::Rf(i) => {
                     stats.rf_reads += 1;
-                    rf[r.rf.0 as usize][r.index as usize]
+                    rf.vals[i as usize]
                 }
-                MoveSrc::FuResult(f) => {
+                DecSrc::FuResult(f) => {
                     stats.bypass_reads += 1;
-                    fus[f.0 as usize].result.ok_or_else(|| {
+                    fus[f as usize].result.ok_or_else(|| {
                         SimError::Machine(format!(
                             "read of {}'s result port before any completion (pc {pc})",
-                            m.funits[f.0 as usize].name
+                            m.funits[f as usize].name
                         ))
                     })?
                 }
-                MoveSrc::Imm(v) => v,
-                MoveSrc::ImmReg(k) => immregs[k as usize].ok_or_else(|| {
+                DecSrc::Imm(v) => v,
+                DecSrc::ImmReg(k) => immregs[k as usize].ok_or_else(|| {
                     SimError::Machine(format!(
                         "read of long-immediate register {k} before any write (pc {pc})"
                     ))
                 })?,
             };
-            values[si] = Some(v);
+            values[vi] = v;
             stats.payload += 1;
         }
 
         // (3) Apply operand-port and RF writes.
-        for (si, slot) in inst.slots.iter().enumerate() {
-            let Some(mv) = slot else { continue };
-            let v = values[si].unwrap();
-            match mv.dst {
-                MoveDst::Rf(r) => {
+        for &(vi, w) in &dec.writes[inst.writes.0 as usize..inst.writes.1 as usize] {
+            let v = values[vi as usize];
+            match w {
+                DecWrite::Rf(i) => {
                     stats.rf_writes += 1;
-                    rf[r.rf.0 as usize][r.index as usize] = v;
+                    rf.vals[i as usize] = v;
                 }
-                MoveDst::FuOperand(f) => fus[f.0 as usize].operand = v,
-                MoveDst::FuTrigger(..) => {} // handled below
+                DecWrite::FuOperand(f) => fus[f as usize].operand = v,
             }
         }
 
         // (4) Triggers.
         let mut halt = false;
-        for (si, slot) in inst.slots.iter().enumerate() {
-            let Some(mv) = slot else { continue };
-            let MoveDst::FuTrigger(f, op) = mv.dst else { continue };
-            let trig = values[si].unwrap();
-            let fu = &mut fus[f.0 as usize];
+        for trig in &dec.trigs[inst.trigs.0 as usize..inst.trigs.1 as usize] {
+            let trig_v = values[trig.vi as usize];
+            let op = trig.op;
+            let fu = &mut fus[trig.fu as usize];
+            let launch = |fu: &mut FuSim, value: i32| -> Result<(), SimError> {
+                if fu.live as usize == MAX_INFLIGHT {
+                    return Err(SimError::Machine(format!(
+                        "more than {MAX_INFLIGHT} in-flight results on {} (pc {pc})",
+                        m.funits[trig.fu as usize].name
+                    )));
+                }
+                fu.pipeline[fu.live as usize] =
+                    InFlight { done: cycle + op.latency() as u64, value };
+                fu.live += 1;
+                Ok(())
+            };
             match op.class() {
                 OpClass::Alu => {
                     let result = if op.num_inputs() == 1 {
-                        op.eval_alu(trig, 0)
+                        op.eval_alu(trig_v, 0)
                     } else {
-                        op.eval_alu(fu.operand, trig)
+                        op.eval_alu(fu.operand, trig_v)
                     };
-                    fu.pipeline.push(InFlight {
-                        done: cycle + op.latency() as u64,
-                        value: result,
-                    });
+                    launch(fu, result)?;
                 }
                 OpClass::Lsu => {
                     if op.is_load() {
                         stats.loads += 1;
-                        let v = mem::load(&memory, op, trig as u32)?;
-                        fu.pipeline.push(InFlight {
-                            done: cycle + op.latency() as u64,
-                            value: v,
-                        });
+                        let v = mem::load(&memory, op, trig_v as u32)?;
+                        launch(fu, v)?;
                     } else {
                         stats.stores += 1;
-                        mem::store(&mut memory, op, trig as u32, fu.operand)?;
+                        mem::store(&mut memory, op, trig_v as u32, fu.operand)?;
                     }
                 }
                 OpClass::Ctrl => match op {
                     Opcode::Halt => halt = true,
                     Opcode::Jump | Opcode::CJnz | Opcode::CJz => {
                         let (taken, target) = match op {
-                            Opcode::Jump => (true, trig as u32),
-                            Opcode::CJnz => (trig != 0, fu.operand as u32),
-                            Opcode::CJz => (trig == 0, fu.operand as u32),
+                            Opcode::Jump => (true, trig_v as u32),
+                            Opcode::CJnz => (trig_v != 0, fu.operand as u32),
+                            Opcode::CJz => (trig_v == 0, fu.operand as u32),
                             _ => unreachable!(),
                         };
                         if taken {

@@ -9,10 +9,16 @@
 //!
 //! Write-port overuse and in-flight-jump violations raise
 //! [`SimError::Machine`].
+//!
+//! Bundles are predecoded once per run — empty and `LimmCont` slots are
+//! dropped and register references resolved to flat indices — and the
+//! per-cycle write-port counters live in a reusable buffer, so the cycle
+//! loop performs no heap allocation.
 
 use crate::result::{SimError, SimResult, SimStats};
-use tta_isa::{OpSrc, Operation, VliwBundle, VliwSlot, RETVAL_ADDR};
-use tta_model::{mem, Machine, OpClass, Opcode, RegRef};
+use crate::state::{trace_capacity, DecOpSrc, FlatRf, NO_DST};
+use tta_isa::{Operation, VliwBundle, VliwSlot, RETVAL_ADDR};
+use tta_model::{mem, Machine, OpClass, Opcode};
 
 /// Maximum simulated cycles before declaring a runaway program.
 pub const DEFAULT_FUEL: u64 = 200_000_000;
@@ -20,8 +26,64 @@ pub const DEFAULT_FUEL: u64 = 200_000_000;
 #[derive(Debug, Clone, Copy)]
 struct Writeback {
     due: u64,
-    reg: RegRef,
+    /// Flat register index.
+    flat: u32,
+    /// Register-file index (write-port accounting).
+    rf: u16,
     value: i32,
+}
+
+/// One decoded slot: an operation or a long-immediate head. `LimmCont`
+/// and empty slots vanish at decode time.
+#[derive(Debug, Clone, Copy)]
+enum DecSlot {
+    Op {
+        op: Opcode,
+        a: DecOpSrc,
+        b: DecOpSrc,
+        /// Flat destination index, [`NO_DST`] if the op writes nothing.
+        dst: u32,
+        /// Destination RF (write-port accounting).
+        dst_rf: u16,
+    },
+    Limm {
+        dst: u32,
+        dst_rf: u16,
+        value: i32,
+    },
+}
+
+/// One bundle as a range into the flat decoded-slot array.
+#[derive(Debug, Clone, Copy)]
+struct DecBundle {
+    slots: (u32, u32),
+}
+
+fn decode(rf: &FlatRf, program: &[VliwBundle]) -> (Vec<DecSlot>, Vec<DecBundle>) {
+    let mut slots = Vec::new();
+    let mut bundles = Vec::with_capacity(program.len());
+    for bundle in program {
+        let s0 = slots.len() as u32;
+        for slot in &bundle.slots {
+            match slot {
+                None | Some(VliwSlot::LimmCont) => {}
+                Some(VliwSlot::LimmHead { dst, value }) => slots.push(DecSlot::Limm {
+                    dst: rf.flat(*dst),
+                    dst_rf: dst.rf.0 as u16,
+                    value: *value,
+                }),
+                Some(VliwSlot::Op(Operation { op, dst, a, b, .. })) => slots.push(DecSlot::Op {
+                    op: *op,
+                    a: DecOpSrc::decode(rf, *a),
+                    b: DecOpSrc::decode(rf, *b),
+                    dst: dst.map_or(NO_DST, |d| rf.flat(d)),
+                    dst_rf: dst.map_or(0, |d| d.rf.0 as u16),
+                }),
+            }
+        }
+        bundles.push(DecBundle { slots: (s0, slots.len() as u32) });
+    }
+    (slots, bundles)
 }
 
 /// Run a VLIW program.
@@ -42,7 +104,7 @@ pub fn run_vliw_traced(
     memory: Vec<u8>,
     fuel: u64,
 ) -> Result<(SimResult, Vec<u32>), SimError> {
-    let mut trace = Vec::new();
+    let mut trace = Vec::with_capacity(trace_capacity(program.len()));
     let r = run_vliw_inner(m, program, memory, fuel, Some(&mut trace))?;
     Ok((r, trace))
 }
@@ -54,9 +116,12 @@ fn run_vliw_inner(
     fuel: u64,
     mut trace: Option<&mut Vec<u32>>,
 ) -> Result<SimResult, SimError> {
-    let mut rf: Vec<Vec<i32>> = m.rfs.iter().map(|r| vec![0; r.regs as usize]).collect();
+    let mut rf = FlatRf::new(m);
+    let (dec_slots, dec_bundles) = decode(&rf, program);
     let mut stats = SimStats::default();
     let mut pending: Vec<Writeback> = Vec::new();
+    // Per-cycle write-port usage, reused across cycles.
+    let mut writes_per_rf = vec![0u32; m.rfs.len()];
     let mut pc: u32 = 0;
     let mut cycle: u64 = 0;
     let mut pending_jump: Option<(u32, u32)> = None;
@@ -65,7 +130,7 @@ fn run_vliw_inner(
         if cycle >= fuel {
             return Err(SimError::OutOfFuel);
         }
-        let Some(bundle) = program.get(pc as usize) else {
+        let Some(bundle) = dec_bundles.get(pc as usize) else {
             return Err(SimError::PcOutOfRange(pc));
         };
         stats.instructions += 1;
@@ -73,31 +138,34 @@ fn run_vliw_inner(
             t.push(pc);
         }
 
-        let read = |rf: &Vec<Vec<i32>>, stats: &mut SimStats, s: OpSrc| -> i32 {
-            match s {
-                OpSrc::Reg(r) => {
-                    stats.rf_reads += 1;
-                    rf[r.rf.0 as usize][r.index as usize]
-                }
-                OpSrc::Imm(v) => v,
-            }
-        };
-
         // Execute slots (reads all happen against the pre-cycle RF state:
         // writebacks apply at end of cycle).
         let mut halt = false;
-        for slot in bundle.slots.iter() {
-            match slot {
-                None | Some(VliwSlot::LimmCont) => continue,
-                Some(VliwSlot::LimmHead { dst, value }) => {
+        for slot in &dec_slots[bundle.slots.0 as usize..bundle.slots.1 as usize] {
+            match *slot {
+                DecSlot::Limm { dst, dst_rf, value } => {
                     stats.payload += 1;
                     stats.limms += 1;
-                    pending.push(Writeback { due: cycle + 1, reg: *dst, value: *value });
+                    pending.push(Writeback { due: cycle + 1, flat: dst, rf: dst_rf, value });
                 }
-                Some(VliwSlot::Op(Operation { op, dst, a, b, .. })) => {
+                DecSlot::Op { op, a, b, dst, dst_rf } => {
                     stats.payload += 1;
-                    let va = a.map(|s| read(&rf, &mut stats, s));
-                    let vb = b.map(|s| read(&rf, &mut stats, s));
+                    let va = match a {
+                        DecOpSrc::None => None,
+                        DecOpSrc::Reg(i) => {
+                            stats.rf_reads += 1;
+                            Some(rf.vals[i as usize])
+                        }
+                        DecOpSrc::Imm(v) => Some(v),
+                    };
+                    let vb = match b {
+                        DecOpSrc::None => None,
+                        DecOpSrc::Reg(i) => {
+                            stats.rf_reads += 1;
+                            Some(rf.vals[i as usize])
+                        }
+                        DecOpSrc::Imm(v) => Some(v),
+                    };
                     match op.class() {
                         OpClass::Alu => {
                             let r = if op.num_inputs() == 1 {
@@ -105,24 +173,28 @@ fn run_vliw_inner(
                             } else {
                                 op.eval_alu(va.unwrap(), vb.unwrap())
                             };
+                            assert!(dst != NO_DST, "ALU op writes a register");
                             pending.push(Writeback {
                                 due: cycle + op.latency() as u64,
-                                reg: dst.expect("ALU op writes a register"),
+                                flat: dst,
+                                rf: dst_rf,
                                 value: r,
                             });
                         }
                         OpClass::Lsu => {
                             if op.is_load() {
                                 stats.loads += 1;
-                                let v = mem::load(&memory, *op, vb.unwrap() as u32)?;
+                                let v = mem::load(&memory, op, vb.unwrap() as u32)?;
+                                assert!(dst != NO_DST, "load writes a register");
                                 pending.push(Writeback {
                                     due: cycle + op.latency() as u64,
-                                    reg: dst.expect("load writes a register"),
+                                    flat: dst,
+                                    rf: dst_rf,
                                     value: v,
                                 });
                             } else {
                                 stats.stores += 1;
-                                mem::store(&mut memory, *op, vb.unwrap() as u32, va.unwrap())?;
+                                mem::store(&mut memory, op, vb.unwrap() as u32, va.unwrap())?;
                             }
                         }
                         OpClass::Ctrl => match op {
@@ -152,14 +224,14 @@ fn run_vliw_inner(
         }
 
         // End of cycle: apply due writebacks, checking port budgets.
-        let mut writes_per_rf = vec![0u32; m.rfs.len()];
+        writes_per_rf.fill(0);
         let mut k = 0;
         while k < pending.len() {
             if pending[k].due == cycle {
                 let wb = pending.swap_remove(k);
-                writes_per_rf[wb.reg.rf.0 as usize] += 1;
+                writes_per_rf[wb.rf as usize] += 1;
                 stats.rf_writes += 1;
-                rf[wb.reg.rf.0 as usize][wb.reg.index as usize] = wb.value;
+                rf.vals[wb.flat as usize] = wb.value;
             } else {
                 k += 1;
             }
