@@ -20,7 +20,10 @@ fn bench_validate(h: &mut Harness) {
     for machine in [presets::m_tta_2(), presets::m_vliw_2()] {
         let compiled = tta_compiler::compile(&module, &machine).unwrap();
         g.bench(&format!("motion/{}", machine.name), || {
-            compiled.program.validate(std::hint::black_box(&machine)).is_ok()
+            compiled
+                .program
+                .validate(std::hint::black_box(&machine))
+                .is_ok()
         });
     }
 }

@@ -20,26 +20,27 @@ fn bench_simulators(h: &mut Harness) {
                 .unwrap()
                 .cycles;
             let mut g = h.group("simulate");
-            g.sample_size(20).throughput(cycles).bench(
-                &format!("{name}/{}", machine.name),
-                || {
+            g.sample_size(20)
+                .throughput(cycles)
+                .bench(&format!("{name}/{}", machine.name), || {
                     tta_sim::run(&machine, &compiled.program, memory.clone())
                         .expect("runs")
                         .cycles
-                },
-            );
+                });
         }
     }
 }
 
 fn bench_interpreter(h: &mut Harness) {
     let module = (tta_chstone::by_name("sha").unwrap().build)();
-    h.group("interpreter").sample_size(20).bench("sha_golden_model", || {
-        tta_ir::interp::Interpreter::new(std::hint::black_box(&module))
-            .run(&[])
-            .expect("runs")
-            .ret
-    });
+    h.group("interpreter")
+        .sample_size(20)
+        .bench("sha_golden_model", || {
+            tta_ir::interp::Interpreter::new(std::hint::black_box(&module))
+                .run(&[])
+                .expect("runs")
+                .ret
+        });
 }
 
 fn main() {

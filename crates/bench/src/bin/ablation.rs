@@ -15,19 +15,44 @@ fn variants() -> Vec<(&'static str, TtaOptions)> {
     let full = TtaOptions::default();
     vec![
         ("full", full),
-        ("no-bypass", TtaOptions { bypass: false, ..full }),
-        ("no-dre", TtaOptions { dead_result_elim: false, ..full }),
-        ("no-share", TtaOptions { operand_share: false, ..full }),
+        (
+            "no-bypass",
+            TtaOptions {
+                bypass: false,
+                ..full
+            },
+        ),
+        (
+            "no-dre",
+            TtaOptions {
+                dead_result_elim: false,
+                ..full
+            },
+        ),
+        (
+            "no-share",
+            TtaOptions {
+                operand_share: false,
+                ..full
+            },
+        ),
         (
             "none",
-            TtaOptions { bypass: false, dead_result_elim: false, operand_share: false },
+            TtaOptions {
+                bypass: false,
+                dead_result_elim: false,
+                operand_share: false,
+            },
         ),
     ]
 }
 
 fn main() {
     let machine = presets::m_tta_2();
-    println!("TTA programming-freedom ablation on {} (cycles | RF reads | RF writes)\n", machine.name);
+    println!(
+        "TTA programming-freedom ablation on {} (cycles | RF reads | RF writes)\n",
+        machine.name
+    );
     println!(
         "{:10} {:>22} {:>22} {:>22} {:>22} {:>22}",
         "kernel", "full", "no-bypass", "no-dre", "no-share", "none"
@@ -37,9 +62,13 @@ fn main() {
         print!("{:10}", kernel.name);
         for (_, opts) in variants() {
             let compiled = compile_with(&module, &machine, opts).expect("compiles");
-            let r = tta_sim::run(&machine, &compiled.program, module.initial_memory())
-                .expect("runs");
-            assert_eq!(r.ret, (kernel.expected)(), "ablated compile must stay correct");
+            let r =
+                tta_sim::run(&machine, &compiled.program, module.initial_memory()).expect("runs");
+            assert_eq!(
+                r.ret,
+                (kernel.expected)(),
+                "ablated compile must stay correct"
+            );
             print!(
                 " {:>8} |{:>5}k|{:>5}k",
                 r.cycles,

@@ -6,8 +6,8 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let kernel_name = args.get(1).map(String::as_str).unwrap_or("sha");
     let machine_name = args.get(2).map(String::as_str).unwrap_or("m-tta-2");
-    let kernel = tta_chstone::by_name(kernel_name)
-        .unwrap_or_else(|| panic!("unknown kernel {kernel_name}"));
+    let kernel =
+        tta_chstone::by_name(kernel_name).unwrap_or_else(|| panic!("unknown kernel {kernel_name}"));
     let machine = tta_model::presets::by_name(machine_name)
         .unwrap_or_else(|| panic!("unknown design point {machine_name}"));
     let module = (kernel.build)();

@@ -11,9 +11,7 @@ use tta_model::presets;
 
 fn main() {
     let cfg = ICacheConfig::small();
-    println!(
-        "16 kbit 2-way I-cache, 8-instruction lines, 10-cycle refills\n"
-    );
+    println!("16 kbit 2-way I-cache, 8-instruction lines, 10-cycle refills\n");
     println!(
         "{:10} {:>9} {:>7} {:>10} {:>9} {:>9}",
         "machine", "kernel", "lines", "accesses", "miss rate", "slowdown"

@@ -44,7 +44,10 @@ impl Harness {
     /// etc.) are ignored.
     pub fn from_args() -> Self {
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-        Harness { filter, results: Vec::new() }
+        Harness {
+            filter,
+            results: Vec::new(),
+        }
     }
 
     /// Open a named benchmark group.
@@ -161,17 +164,23 @@ mod tests {
 
     #[test]
     fn measures_something_positive() {
-        let mut h = Harness { filter: None, results: Vec::new() };
-        h.group("t").sample_size(3).bench("spin", || {
-            std::hint::black_box((0..100u64).sum::<u64>())
-        });
+        let mut h = Harness {
+            filter: None,
+            results: Vec::new(),
+        };
+        h.group("t")
+            .sample_size(3)
+            .bench("spin", || std::hint::black_box((0..100u64).sum::<u64>()));
         assert_eq!(h.results.len(), 1);
         assert!(h.results[0].median_ns > 0.0);
     }
 
     #[test]
     fn filter_skips_nonmatching() {
-        let mut h = Harness { filter: Some("xyz".into()), results: Vec::new() };
+        let mut h = Harness {
+            filter: Some("xyz".into()),
+            results: Vec::new(),
+        };
         h.group("t").bench("abc", || 1);
         assert!(h.results.is_empty());
     }

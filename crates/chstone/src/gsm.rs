@@ -89,7 +89,11 @@ pub fn expected() -> i32 {
         k_arr[1..LAGS].copy_from_slice(&ac16[1..LAGS]);
         for i in 1..=8usize {
             let temp = p[1].abs();
-            let rc = if p[0] <= 0 || temp >= p[0] { 0 } else { div_q15(temp, p[0]) };
+            let rc = if p[0] <= 0 || temp >= p[0] {
+                0
+            } else {
+                div_q15(temp, p[0])
+            };
             r[i - 1] = if p[1] > 0 { -rc } else { rc };
             if i == 8 {
                 break;
@@ -115,11 +119,7 @@ pub fn expected() -> i32 {
 }
 
 /// Emit Q15 rounding multiply `(a*b + 16384) >> 15`.
-fn emit_mult_q15(
-    fb: &mut FunctionBuilder,
-    a: impl Into<Operand>,
-    b: impl Into<Operand>,
-) -> VReg {
+fn emit_mult_q15(fb: &mut FunctionBuilder, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
     let p = fb.mul(a, b);
     let r = fb.add(p, 16384);
     fb.shr(r, 15)

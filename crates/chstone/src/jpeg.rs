@@ -20,24 +20,28 @@ const BLOCKS: usize = 16;
 
 /// Standard JPEG luminance quantisation table (natural order).
 const QTABLE: [i32; 64] = [
-    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69,
-    56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81,
-    104, 113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104, 113,
+    92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
 ];
 
 /// Zigzag scan order: `ZIGZAG[k]` is the natural-order index of the k-th
 /// transmitted coefficient.
 const ZIGZAG: [i32; 64] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
-    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 /// Q13 IDCT basis: `T[u][x] = round(c_u/2 * cos((2x+1)u*pi/16) * 8192)`.
 fn cos_table() -> [[i32; 8]; 8] {
     let mut t = [[0i32; 8]; 8];
     for (u, row) in t.iter_mut().enumerate() {
-        let cu = if u == 0 { 1.0 / std::f64::consts::SQRT_2 } else { 1.0 };
+        let cu = if u == 0 {
+            1.0 / std::f64::consts::SQRT_2
+        } else {
+            1.0
+        };
         for (x, e) in row.iter_mut().enumerate() {
             let angle = (2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0;
             *e = (cu / 2.0 * angle.cos() * 8192.0).round() as i32;
@@ -126,7 +130,7 @@ pub fn build() -> Module {
 
     for_range(&mut fb, BLOCKS as i32, |fb, blk| {
         let blk_off = fb.shl(blk, 8); // *64*4 bytes
-        // Dequantise + un-zigzag.
+                                      // Dequantise + un-zigzag.
         for_range(fb, 64, |fb, k| {
             let ko = fb.shl(k, 2);
             let ca0 = fb.add(coefs.addr as i32, blk_off);

@@ -53,14 +53,46 @@ impl std::fmt::Debug for Kernel {
 /// All eight kernels in the paper's reporting order.
 pub fn all_kernels() -> Vec<Kernel> {
     vec![
-        Kernel { name: "adpcm", build: adpcm::build, expected: adpcm::expected },
-        Kernel { name: "aes", build: aes::build, expected: aes::expected },
-        Kernel { name: "blowfish", build: blowfish::build, expected: blowfish::expected },
-        Kernel { name: "gsm", build: gsm::build, expected: gsm::expected },
-        Kernel { name: "jpeg", build: jpeg::build, expected: jpeg::expected },
-        Kernel { name: "mips", build: mips::build, expected: mips::expected },
-        Kernel { name: "motion", build: motion::build, expected: motion::expected },
-        Kernel { name: "sha", build: sha::build, expected: sha::expected },
+        Kernel {
+            name: "adpcm",
+            build: adpcm::build,
+            expected: adpcm::expected,
+        },
+        Kernel {
+            name: "aes",
+            build: aes::build,
+            expected: aes::expected,
+        },
+        Kernel {
+            name: "blowfish",
+            build: blowfish::build,
+            expected: blowfish::expected,
+        },
+        Kernel {
+            name: "gsm",
+            build: gsm::build,
+            expected: gsm::expected,
+        },
+        Kernel {
+            name: "jpeg",
+            build: jpeg::build,
+            expected: jpeg::expected,
+        },
+        Kernel {
+            name: "mips",
+            build: mips::build,
+            expected: mips::expected,
+        },
+        Kernel {
+            name: "motion",
+            build: motion::build,
+            expected: motion::expected,
+        },
+        Kernel {
+            name: "sha",
+            build: sha::build,
+            expected: sha::expected,
+        },
     ]
 }
 

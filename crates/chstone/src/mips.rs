@@ -62,7 +62,7 @@ fn guest_program(base_addr: i32) -> Vec<u32> {
     p.push(i_type(OP_ADDIU, 2, 4, -1)); // 3
     p.push(r_type(F_SUBU, 4, 3, 4, 0)); // 4: $4 = $4 - $3
     p.push(i_type(OP_ADDIU, 0, 5, 0)); // 5
-    // inner (6): if !(j < limit) goto inner_end(16)
+                                       // inner (6): if !(j < limit) goto inner_end(16)
     p.push(r_type(F_SLT, 5, 4, 6, 0)); // 6: $6 = $5 < $4
     p.push(i_type(OP_BEQ, 6, 0, 18 - 8)); // 7: beq $6,$0 -> inner_end at 18
     p.push(r_type(F_SLL, 0, 5, 7, 2)); // 8: $7 = $5 << 2
@@ -73,12 +73,12 @@ fn guest_program(base_addr: i32) -> Vec<u32> {
     p.push(i_type(OP_BEQ, 10, 0, 15 - 13)); // 13: no swap -> 15
     p.push(i_type(OP_SW, 7, 9, 0)); // 14: mem[$7] = $9
     p.push(i_type(OP_SW, 7, 8, 4)); // 15 (reached only when swapping)?
-    // Careful: instruction 15 must be the store of $8; the "no swap" branch
-    // targets 16.
-    // 16: j++ ; j inner
+                                    // Careful: instruction 15 must be the store of $8; the "no swap" branch
+                                    // targets 16.
+                                    // 16: j++ ; j inner
     p.push(i_type(OP_ADDIU, 5, 5, 1)); // 16
     p.push(j_abs(6)); // 17
-    // inner_end (18): i++ ; if i < n goto outer
+                      // inner_end (18): i++ ; if i < n goto outer
     p.push(i_type(OP_ADDIU, 3, 3, 1)); // 18
     p.push(r_type(F_SLT, 3, 2, 6, 0)); // 19
     p.push(i_type(OP_BNE, 6, 0, 3 - 21)); // 20: bne -> 3
@@ -88,7 +88,9 @@ fn guest_program(base_addr: i32) -> Vec<u32> {
 
 fn guest_data() -> Vec<i32> {
     let mut rng = XorShift32(0x50b7_ed01);
-    (0..N_DATA).map(|_| (rng.next() & 0xffff) as i32 - 32768).collect()
+    (0..N_DATA)
+        .map(|_| (rng.next() & 0xffff) as i32 - 32768)
+        .collect()
 }
 
 /// Interpret the guest program natively. Returns the final guest data.
@@ -185,8 +187,10 @@ pub fn build() -> Module {
     // Reserve the guest data buffer first so its address is independent of
     // the program encoding (which embeds the base address).
     let gdata = mb.data_words(&guest_data());
-    let prog_words: Vec<i32> =
-        guest_program(gdata.addr as i32).iter().map(|&w| w as i32).collect();
+    let prog_words: Vec<i32> = guest_program(gdata.addr as i32)
+        .iter()
+        .map(|&w| w as i32)
+        .collect();
     let gprog = mb.data_words(&prog_words);
     let regs = mb.buffer(32 * 4);
     let mut fb = FunctionBuilder::new("main", 0, true);

@@ -30,7 +30,10 @@ struct BitWriter {
 
 impl BitWriter {
     fn new() -> Self {
-        BitWriter { words: vec![0], bit: 0 }
+        BitWriter {
+            words: vec![0],
+            bit: 0,
+        }
     }
     fn put(&mut self, b: u32) {
         let w = self.words.last_mut().unwrap();
@@ -53,7 +56,11 @@ impl BitWriter {
 fn encode_stream() -> Vec<u32> {
     let mut bw = BitWriter::new();
     for &v in &deltas() {
-        let k = if v <= 0 { (-2 * v) as u32 } else { (2 * v - 1) as u32 };
+        let k = if v <= 0 {
+            (-2 * v) as u32
+        } else {
+            (2 * v - 1) as u32
+        };
         let code = k + 1;
         let len = 32 - code.leading_zeros();
         for _ in 0..len - 1 {

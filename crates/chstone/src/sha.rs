@@ -38,7 +38,13 @@ fn message_words() -> Vec<i32> {
 /// the five state words.
 pub fn expected() -> i32 {
     let words = message_words();
-    let mut h = [0x6745_2301u32, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+    let mut h = [
+        0x6745_2301u32,
+        0xEFCD_AB89,
+        0x98BA_DCFE,
+        0x1032_5476,
+        0xC3D2_E1F0,
+    ];
     for blk in 0..BLOCKS {
         let mut w = [0u32; 80];
         for t in 0..16 {
@@ -92,10 +98,16 @@ pub fn build() -> Module {
     let mut fb = FunctionBuilder::new("main", 0, true);
 
     // Hash state (wide constants, manually kept in registers).
-    let h: Vec<VReg> = [0x6745_2301u32, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0]
-        .iter()
-        .map(|&v| fb.copy(v as i32))
-        .collect();
+    let h: Vec<VReg> = [
+        0x6745_2301u32,
+        0xEFCD_AB89,
+        0x98BA_DCFE,
+        0x1032_5476,
+        0xC3D2_E1F0,
+    ]
+    .iter()
+    .map(|&v| fb.copy(v as i32))
+    .collect();
     // Round constants.
     let ks: Vec<VReg> = [0x5A82_7999u32, 0x6ED9_EBA1, 0x8F1B_BCDC, 0xCA62_C1D6]
         .iter()
@@ -219,7 +231,13 @@ mod tests {
         let mut w = message_words();
         w[0] ^= 1;
         // (Recompute manually with the flipped word.)
-        let mut h = [0x6745_2301u32, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+        let mut h = [
+            0x6745_2301u32,
+            0xEFCD_AB89,
+            0x98BA_DCFE,
+            0x1032_5476,
+            0xC3D2_E1F0,
+        ];
         for blk in 0..BLOCKS {
             let mut ws = [0u32; 80];
             for t in 0..16 {

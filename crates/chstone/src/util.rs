@@ -94,12 +94,7 @@ pub fn select(
 ) -> VReg {
     let (a, b) = (a.into(), b.into());
     let out = fb.vreg();
-    if_else(
-        fb,
-        cond,
-        |fb| fb.copy_to(out, a),
-        |fb| fb.copy_to(out, b),
-    );
+    if_else(fb, cond, |fb| fb.copy_to(out, a), |fb| fb.copy_to(out, b));
     out
 }
 

@@ -10,7 +10,10 @@ pub struct BitSet {
 impl BitSet {
     /// An empty set with room for `capacity` elements.
     pub fn new(capacity: usize) -> Self {
-        BitSet { words: vec![0; capacity.div_ceil(64)], capacity }
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
     }
 
     /// Insert an element; returns whether it was newly inserted.

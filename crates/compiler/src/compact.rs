@@ -33,7 +33,10 @@ pub fn compact_vregs(f: &mut Function) -> u32 {
             }
         }
     }
-    let mut rn = Renamer { map: HashMap::new(), next: 0 };
+    let mut rn = Renamer {
+        map: HashMap::new(),
+        next: 0,
+    };
 
     // Parameters first, preserving their order.
     let params = f.params.clone();

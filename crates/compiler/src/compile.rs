@@ -94,7 +94,11 @@ impl Compiled {
         let is_block_start = |pc: usize| self.block_starts.contains(&(pc as u32));
         let line = |pc: usize, text: String, out: &mut String| {
             if is_block_start(pc) {
-                let bi = self.block_starts.iter().position(|&s| s == pc as u32).unwrap();
+                let bi = self
+                    .block_starts
+                    .iter()
+                    .position(|&s| s == pc as u32)
+                    .unwrap();
                 out.push_str(&format!("bb{bi}:\n"));
             }
             out.push_str(&format!("{pc:6}: {text}\n"));
@@ -123,7 +127,10 @@ impl Compiled {
 /// The reserved VLIW branch-target scratch register: the highest register
 /// of the first file.
 pub fn vliw_bt_reg(m: &Machine) -> RegRef {
-    RegRef { rf: RfId(0), index: m.rfs[0].regs - 1 }
+    RegRef {
+        rf: RfId(0),
+        index: m.rfs[0].regs - 1,
+    }
 }
 
 /// Compile `module` for `machine` with every TTA freedom enabled.
@@ -179,8 +186,7 @@ pub fn compile_with(
     // Hoisting floods long-lived registers; budget it to a quarter of the
     // register file so the allocator never spills just to hold constants.
     let hoist_budget = (machine.total_regs() as usize / 4).max(4);
-    let const_stats =
-        crate::consts::hoist_wide_constants(&mut flat, fits.as_ref(), hoist_budget);
+    let const_stats = crate::consts::hoist_wide_constants(&mut flat, fits.as_ref(), hoist_budget);
 
     // Register allocation (reserving the VLIW branch-target register).
     let reserved: Vec<RegRef> = match machine.style {
@@ -188,8 +194,8 @@ pub fn compile_with(
         _ => vec![],
     };
     let spill_base = module.mem_size.saturating_sub(4096);
-    let alloc = allocate(&flat, machine, &reserved, spill_base)
-        .map_err(|e| CompileError::Alloc(e.0))?;
+    let alloc =
+        allocate(&flat, machine, &reserved, spill_base).map_err(|e| CompileError::Alloc(e.0))?;
     let spilled = alloc.spilled;
     let lf = lower(&alloc);
 
@@ -279,7 +285,12 @@ pub fn compile_with(
     };
 
     program.validate(machine).map_err(CompileError::Invalid)?;
-    Ok(Compiled { program, machine: machine.name.clone(), block_starts, stats })
+    Ok(Compiled {
+        program,
+        machine: machine.name.clone(),
+        block_starts,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -322,8 +333,7 @@ mod tests {
     fn compiles_for_every_design_point() {
         let m = sum_module(10);
         for machine in presets::all_design_points() {
-            let c = compile(&m, &machine)
-                .unwrap_or_else(|e| panic!("{}: {e}", machine.name));
+            let c = compile(&m, &machine).unwrap_or_else(|e| panic!("{}: {e}", machine.name));
             assert!(!c.program.is_empty(), "{}", machine.name);
             assert_eq!(c.block_starts.len(), c.stats.blocks);
         }

@@ -78,8 +78,7 @@ fn loop_blocks(f: &Function) -> Vec<bool> {
                             break;
                         }
                     }
-                    let cyclic = scc.len() > 1
-                        || succs[scc[0]].contains(&scc[0]);
+                    let cyclic = scc.len() > 1 || succs[scc[0]].contains(&scc[0]);
                     if cyclic {
                         for w in scc {
                             in_loop[w] = true;
@@ -138,9 +137,10 @@ pub fn hoist_wide_constants(
         }
         match &b.term {
             Some(Terminator::Ret(Some(Operand::Imm(v))))
-            | Some(Terminator::Branch { cond: Operand::Imm(v), .. })
-                if !fits(*v) =>
-            {
+            | Some(Terminator::Branch {
+                cond: Operand::Imm(v),
+                ..
+            }) if !fits(*v) => {
                 let e = counts.entry(*v).or_insert((0, false));
                 e.0 += 1;
                 e.1 |= in_loop[bi];
@@ -206,7 +206,10 @@ pub fn hoist_wide_constants(
                     stats.materialized += 1;
                     let placeholder = VReg(u32::MAX - k as u32);
                     substitute_placeholder(&mut inst, placeholder, real);
-                    out.push(Inst::Copy { dst: real, src: Operand::Imm(*v) });
+                    out.push(Inst::Copy {
+                        dst: real,
+                        src: Operand::Imm(*v),
+                    });
                 }
             }
             out.push(inst);
@@ -225,7 +228,10 @@ pub fn hoist_wide_constants(
                     None => {
                         let r = f.new_vreg();
                         stats.materialized += 1;
-                        out.push(Inst::Copy { dst: r, src: Operand::Imm(v) });
+                        out.push(Inst::Copy {
+                            dst: r,
+                            src: Operand::Imm(v),
+                        });
                         r
                     }
                 };
@@ -240,7 +246,10 @@ pub fn hoist_wide_constants(
     // block.
     let copies: Vec<Inst> = hoist_order
         .iter()
-        .map(|&v| Inst::Copy { dst: reg_for[&v], src: Operand::Imm(v) })
+        .map(|&v| Inst::Copy {
+            dst: reg_for[&v],
+            src: Operand::Imm(v),
+        })
         .collect();
     let entry = &mut f.blocks[0];
     let old = std::mem::take(&mut entry.insts);
@@ -315,7 +324,13 @@ mod tests {
         // 1000 now appears exactly once: in the entry copy.
         let imms = collect_immediates(&f);
         assert_eq!(imms.iter().filter(|&&v| v == 1000).count(), 1);
-        assert!(matches!(f.blocks[0].insts[0], Inst::Copy { src: Operand::Imm(1000), .. }));
+        assert!(matches!(
+            f.blocks[0].insts[0],
+            Inst::Copy {
+                src: Operand::Imm(1000),
+                ..
+            }
+        ));
         verify_function(&f, None).unwrap();
     }
 

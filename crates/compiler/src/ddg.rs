@@ -77,7 +77,10 @@ impl Ddg {
             for (which, s) in [op.a, op.b].into_iter().enumerate() {
                 if let Some(LocSrc::Reg(r)) = s {
                     if let Some(&d) = last_def.get(&r) {
-                        preds[i].push(Dep { from: d, kind: DepKind::Data });
+                        preds[i].push(Dep {
+                            from: d,
+                            kind: DepKind::Data,
+                        });
                         src_def[i][which] = Some(d);
                         if !consumers[d].contains(&i) {
                             consumers[d].push(i);
@@ -91,12 +94,18 @@ impl Ddg {
                 if is_store {
                     for &p in &stores_so_far {
                         if aliases(block, p, region) {
-                            preds[i].push(Dep { from: p, kind: DepKind::Mem });
+                            preds[i].push(Dep {
+                                from: p,
+                                kind: DepKind::Mem,
+                            });
                         }
                     }
                     for &p in &loads_since_store {
                         if aliases(block, p, region) {
-                            preds[i].push(Dep { from: p, kind: DepKind::Mem });
+                            preds[i].push(Dep {
+                                from: p,
+                                kind: DepKind::Mem,
+                            });
                         }
                     }
                     stores_so_far.push(i);
@@ -104,7 +113,10 @@ impl Ddg {
                 } else {
                     for &p in &stores_so_far {
                         if aliases(block, p, region) {
-                            preds[i].push(Dep { from: p, kind: DepKind::Mem });
+                            preds[i].push(Dep {
+                                from: p,
+                                kind: DepKind::Mem,
+                            });
                         }
                     }
                     loads_since_store.push(i);
@@ -115,12 +127,18 @@ impl Ddg {
                 if let Some(rs) = reads_since_def.get(&d) {
                     for &r in rs {
                         if r != i {
-                            preds[i].push(Dep { from: r, kind: DepKind::Anti });
+                            preds[i].push(Dep {
+                                from: r,
+                                kind: DepKind::Anti,
+                            });
                         }
                     }
                 }
                 if let Some(&p) = last_def.get(&d) {
-                    preds[i].push(Dep { from: p, kind: DepKind::Output });
+                    preds[i].push(Dep {
+                        from: p,
+                        kind: DepKind::Output,
+                    });
                 }
                 last_def.insert(d, i);
                 reads_since_def.insert(d, Vec::new());
@@ -151,7 +169,10 @@ impl Ddg {
         let mut succs: Vec<Vec<Dep>> = vec![Vec::new(); n];
         for (i, ps) in preds.iter().enumerate() {
             for d in ps {
-                succs[d.from].push(Dep { from: i, kind: d.kind });
+                succs[d.from].push(Dep {
+                    from: i,
+                    kind: d.kind,
+                });
             }
         }
 
@@ -173,7 +194,15 @@ impl Ddg {
             priority[i] = h;
         }
 
-        Ddg { preds, succs, src_def, term_def, priority, consumers, term_consumes }
+        Ddg {
+            preds,
+            succs,
+            src_def,
+            term_def,
+            priority,
+            consumers,
+            term_consumes,
+        }
     }
 
     /// Nodes in a topological order that respects all edges, by descending
@@ -218,15 +247,27 @@ mod tests {
     use tta_model::{Opcode, RegRef, RfId};
 
     fn r(i: u16) -> RegRef {
-        RegRef { rf: RfId(0), index: i }
+        RegRef {
+            rf: RfId(0),
+            index: i,
+        }
     }
 
     fn alu(dst: u16, a: LocSrc, b: LocSrc) -> LocOp {
-        LocOp { kind: LocKind::Alu(Opcode::Add), dst: Some(r(dst)), a: Some(a), b: Some(b) }
+        LocOp {
+            kind: LocKind::Alu(Opcode::Add),
+            dst: Some(r(dst)),
+            a: Some(a),
+            b: Some(b),
+        }
     }
 
     fn block(ops: Vec<LocOp>) -> LocBlock {
-        LocBlock { ops, term: LocTerm::Ret(None), live_out: vec![] }
+        LocBlock {
+            ops,
+            term: LocTerm::Ret(None),
+            live_out: vec![],
+        }
     }
 
     #[test]
@@ -240,7 +281,9 @@ mod tests {
         assert_eq!(g.src_def[1][0], Some(0));
         assert_eq!(g.src_def[2][0], Some(1));
         assert_eq!(g.src_def[2][1], Some(0));
-        assert!(g.preds[2].iter().any(|d| d.from == 1 && d.kind == DepKind::Data));
+        assert!(g.preds[2]
+            .iter()
+            .any(|d| d.from == 1 && d.kind == DepKind::Data));
         assert_eq!(g.consumers[0], vec![1, 2]);
         // Priorities decrease along the chain.
         assert!(g.priority[0] > g.priority[1]);
@@ -261,13 +304,17 @@ mod tests {
     #[test]
     fn register_reuse_creates_anti_and_output_deps() {
         let b = block(vec![
-            alu(1, LocSrc::Imm(1), LocSrc::Imm(2)),  // def r1
+            alu(1, LocSrc::Imm(1), LocSrc::Imm(2)),    // def r1
             alu(2, LocSrc::Reg(r(1)), LocSrc::Imm(0)), // read r1
-            alu(1, LocSrc::Imm(5), LocSrc::Imm(6)),  // redef r1
+            alu(1, LocSrc::Imm(5), LocSrc::Imm(6)),    // redef r1
         ]);
         let g = Ddg::build(&b);
-        assert!(g.preds[2].iter().any(|d| d.from == 1 && d.kind == DepKind::Anti));
-        assert!(g.preds[2].iter().any(|d| d.from == 0 && d.kind == DepKind::Output));
+        assert!(g.preds[2]
+            .iter()
+            .any(|d| d.from == 1 && d.kind == DepKind::Anti));
+        assert!(g.preds[2]
+            .iter()
+            .any(|d| d.from == 0 && d.kind == DepKind::Output));
     }
 
     #[test]
@@ -287,11 +334,15 @@ mod tests {
         // store r1 / load r1 → dep; store r1 / load r2 → none.
         let b = block(vec![st(1), ld(1, 1), ld(2, 2), st(2)]);
         let g = Ddg::build(&b);
-        assert!(g.preds[1].iter().any(|d| d.from == 0 && d.kind == DepKind::Mem));
+        assert!(g.preds[1]
+            .iter()
+            .any(|d| d.from == 0 && d.kind == DepKind::Mem));
         assert!(g.preds[2].iter().all(|d| d.kind != DepKind::Mem));
         // The region-2 store depends on the region-2 load (WAR-mem) but not
         // on the region-1 accesses.
-        assert!(g.preds[3].iter().any(|d| d.from == 2 && d.kind == DepKind::Mem));
+        assert!(g.preds[3]
+            .iter()
+            .any(|d| d.from == 2 && d.kind == DepKind::Mem));
         assert!(!g.preds[3].iter().any(|d| d.from == 0));
     }
 

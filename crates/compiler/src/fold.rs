@@ -24,18 +24,34 @@ pub fn fold_constants(f: &mut Function) -> usize {
     let mut rewritten = 0;
     for b in &mut f.blocks {
         // A branch whose condition became a constant is a jump.
-        if let Some(Terminator::Branch { cond: Operand::Imm(v), if_true, if_false }) = b.term {
+        if let Some(Terminator::Branch {
+            cond: Operand::Imm(v),
+            if_true,
+            if_false,
+        }) = b.term
+        {
             b.term = Some(Terminator::Jump(if v != 0 { if_true } else { if_false }));
             rewritten += 1;
         }
         for inst in &mut b.insts {
             let new = match inst {
-                Inst::Bin { op, dst, a: Operand::Imm(a), b: Operand::Imm(bv) } => {
-                    Some(Inst::Copy { dst: *dst, src: Operand::Imm(op.eval_alu(*a, *bv)) })
-                }
-                Inst::Un { op, dst, a: Operand::Imm(a) } => {
-                    Some(Inst::Copy { dst: *dst, src: Operand::Imm(op.eval_alu(*a, 0)) })
-                }
+                Inst::Bin {
+                    op,
+                    dst,
+                    a: Operand::Imm(a),
+                    b: Operand::Imm(bv),
+                } => Some(Inst::Copy {
+                    dst: *dst,
+                    src: Operand::Imm(op.eval_alu(*a, *bv)),
+                }),
+                Inst::Un {
+                    op,
+                    dst,
+                    a: Operand::Imm(a),
+                } => Some(Inst::Copy {
+                    dst: *dst,
+                    src: Operand::Imm(op.eval_alu(*a, 0)),
+                }),
                 Inst::Bin { op, dst, a, b } => {
                     identity(*op, *a, *b).map(|src| Inst::Copy { dst: *dst, src })
                 }
@@ -62,7 +78,11 @@ pub fn propagate_single_def_constants(f: &mut Function) -> usize {
         for inst in &b.insts {
             if let Some(d) = inst.def() {
                 *def_count.entry(d).or_insert(0) += 1;
-                if let Inst::Copy { src: Operand::Imm(v), .. } = inst {
+                if let Inst::Copy {
+                    src: Operand::Imm(v),
+                    ..
+                } = inst
+                {
                     const_of.insert(d, *v);
                 }
             }
@@ -167,12 +187,18 @@ mod tests {
         assert_eq!(n, 3);
         assert!(matches!(
             f.blocks[0].insts[0],
-            Inst::Copy { src: Operand::Imm(7), .. }
+            Inst::Copy {
+                src: Operand::Imm(7),
+                ..
+            }
         ));
         assert!(matches!(f.blocks[0].insts[1], Inst::Copy { .. }));
         assert!(matches!(
             f.blocks[0].insts[2],
-            Inst::Copy { src: Operand::Imm(-1), .. }
+            Inst::Copy {
+                src: Operand::Imm(-1),
+                ..
+            }
         ));
     }
 
@@ -227,7 +253,10 @@ mod tests {
         propagate_single_def_constants(&mut f);
         fold_constants(&mut f);
         match &f.blocks[0].insts[1] {
-            Inst::Copy { src: Operand::Imm(v), .. } => assert_eq!(*v, want),
+            Inst::Copy {
+                src: Operand::Imm(v),
+                ..
+            } => assert_eq!(*v, want),
             other => panic!("expected folded copy, got {other}"),
         }
     }

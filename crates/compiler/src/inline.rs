@@ -25,7 +25,9 @@ impl std::error::Error for InlineError {}
 /// function with every call expanded. Fails on recursive call graphs.
 pub fn inline_module(m: &Module) -> Result<Function, InlineError> {
     if let Some(f) = tta_ir::verify::find_recursion(m) {
-        return Err(InlineError(format!("recursive function {f} cannot be inlined")));
+        return Err(InlineError(format!(
+            "recursive function {f} cannot be inlined"
+        )));
     }
     let entry = m.entry_func();
     let mut out = Function {
@@ -93,7 +95,10 @@ fn clone_body(
                     clone_body(
                         m,
                         callee,
-                        Some(RetCtx { cont, dst: dst.map(map_reg) }),
+                        Some(RetCtx {
+                            cont,
+                            dst: dst.map(map_reg),
+                        }),
                         out,
                         callee_base,
                     );
@@ -103,10 +108,17 @@ fn clone_body(
             }
         }
         out.blocks[cur_out.0 as usize].insts = std::mem::take(&mut insts);
-        let term = src_block.term.as_ref().expect("verified blocks are terminated");
+        let term = src_block
+            .term
+            .as_ref()
+            .expect("verified blocks are terminated");
         out.blocks[cur_out.0 as usize].term = Some(match term {
             Terminator::Jump(b) => Terminator::Jump(map_block(*b)),
-            Terminator::Branch { cond, if_true, if_false } => Terminator::Branch {
+            Terminator::Branch {
+                cond,
+                if_true,
+                if_false,
+            } => Terminator::Branch {
                 cond: map_op(*cond),
                 if_true: map_block(*if_true),
                 if_false: map_block(*if_false),
@@ -118,9 +130,10 @@ fn clone_body(
                 // continuation.
                 Some(ctx) => {
                     if let (Some(dst), Some(v)) = (ctx.dst, v) {
-                        out.blocks[cur_out.0 as usize]
-                            .insts
-                            .push(Inst::Copy { dst, src: map_op(*v) });
+                        out.blocks[cur_out.0 as usize].insts.push(Inst::Copy {
+                            dst,
+                            src: map_op(*v),
+                        });
                     }
                     Terminator::Jump(ctx.cont)
                 }
@@ -149,15 +162,32 @@ fn remap_inst(
             a: map_op(*a),
             b: map_op(*b),
         },
-        Inst::Un { op, dst, a } => Inst::Un { op: *op, dst: map_reg(*dst), a: map_op(*a) },
-        Inst::Copy { dst, src } => Inst::Copy { dst: map_reg(*dst), src: map_op(*src) },
-        Inst::Load { op, dst, addr, region } => Inst::Load {
+        Inst::Un { op, dst, a } => Inst::Un {
+            op: *op,
+            dst: map_reg(*dst),
+            a: map_op(*a),
+        },
+        Inst::Copy { dst, src } => Inst::Copy {
+            dst: map_reg(*dst),
+            src: map_op(*src),
+        },
+        Inst::Load {
+            op,
+            dst,
+            addr,
+            region,
+        } => Inst::Load {
             op: *op,
             dst: map_reg(*dst),
             addr: map_op(*addr),
             region: *region,
         },
-        Inst::Store { op, value, addr, region } => Inst::Store {
+        Inst::Store {
+            op,
+            value,
+            addr,
+            region,
+        } => Inst::Store {
             op: *op,
             value: map_op(*value),
             addr: map_op(*addr),

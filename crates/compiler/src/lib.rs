@@ -19,8 +19,8 @@ pub mod compact;
 pub mod compile;
 pub mod consts;
 pub mod dce;
-pub mod fold;
 pub mod ddg;
+pub mod fold;
 pub mod inline;
 pub mod liveness;
 pub mod loc;
@@ -29,5 +29,5 @@ pub mod scalar_sched;
 pub mod tta_sched;
 pub mod vliw_sched;
 
-pub use compile::{compile, compile_with, Compiled, CompileError, CompileStats};
+pub use compile::{compile, compile_with, CompileError, CompileStats, Compiled};
 pub use tta_sched::TtaOptions;

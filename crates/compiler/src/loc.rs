@@ -79,7 +79,10 @@ impl LocOp {
 
     /// Registers read by this op.
     pub fn reads(&self) -> impl Iterator<Item = RegRef> {
-        [self.a, self.b].into_iter().flatten().filter_map(LocSrc::reg)
+        [self.a, self.b]
+            .into_iter()
+            .flatten()
+            .filter_map(LocSrc::reg)
     }
 }
 
@@ -107,7 +110,9 @@ impl LocTerm {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             LocTerm::Jump(b) => vec![*b],
-            LocTerm::Branch { if_true, if_false, .. } => vec![*if_true, *if_false],
+            LocTerm::Branch {
+                if_true, if_false, ..
+            } => vec![*if_true, *if_false],
             LocTerm::Ret(_) => vec![],
         }
     }
@@ -171,13 +176,23 @@ pub fn lower(alloc: &Allocation) -> LocFunc {
                     a: Some(src(*s)),
                     b: None,
                 },
-                Inst::Load { op, dst, addr, region } => LocOp {
+                Inst::Load {
+                    op,
+                    dst,
+                    addr,
+                    region,
+                } => LocOp {
                     kind: LocKind::Load(*op, *region),
                     dst: Some(reg(*dst)),
                     a: None,
                     b: Some(src(*addr)),
                 },
-                Inst::Store { op, value, addr, region } => LocOp {
+                Inst::Store {
+                    op,
+                    value,
+                    addr,
+                    region,
+                } => LocOp {
                     kind: LocKind::Store(*op, *region),
                     dst: None,
                     a: Some(src(*value)),
@@ -189,7 +204,11 @@ pub fn lower(alloc: &Allocation) -> LocFunc {
         }
         let term = match b.term.as_ref().expect("terminated blocks") {
             Terminator::Jump(t) => LocTerm::Jump(*t),
-            Terminator::Branch { cond, if_true, if_false } => LocTerm::Branch {
+            Terminator::Branch {
+                cond,
+                if_true,
+                if_false,
+            } => LocTerm::Branch {
                 cond: src(*cond),
                 if_true: *if_true,
                 if_false: *if_false,
@@ -200,7 +219,11 @@ pub fn lower(alloc: &Allocation) -> LocFunc {
             .iter()
             .filter_map(|v| alloc.assignment[v].as_ref().copied())
             .collect();
-        blocks.push(LocBlock { ops, term, live_out });
+        blocks.push(LocBlock {
+            ops,
+            term,
+            live_out,
+        });
     }
     LocFunc { blocks }
 }

@@ -103,7 +103,10 @@ pub fn allocate(
             }
         }
     }
-    Err(AllocError(format!("register allocation did not converge on {}", machine.name)))
+    Err(AllocError(format!(
+        "register allocation did not converge on {}",
+        machine.name
+    )))
 }
 
 /// One linear-scan round: returns an assignment, or the set of vregs to
@@ -168,7 +171,10 @@ fn try_allocate(
             (0..rf.regs)
                 .rev()
                 .filter(|&i| {
-                    !reserved.contains(&RegRef { rf: RfId(ri as u16), index: i })
+                    !reserved.contains(&RegRef {
+                        rf: RfId(ri as u16),
+                        index: i,
+                    })
                 })
                 .collect()
         })
@@ -203,7 +209,10 @@ fn try_allocate(
         match bank {
             Some(b) => {
                 let idx = free[b].pop().unwrap();
-                assignment[r] = Some(RegRef { rf: RfId(b as u16), index: idx });
+                assignment[r] = Some(RegRef {
+                    rf: RfId(b as u16),
+                    index: idx,
+                });
                 active_per_bank[b] += 1;
                 let ins = active.partition_point(|&(e, _)| e <= to[r]);
                 active.insert(ins, (to[r], r));
@@ -296,7 +305,10 @@ fn rewrite_spills(
                 let addr_tmp = VReg(f.next_vreg);
                 f.next_vreg += 1;
                 temps.push(addr_tmp);
-                out.push(Inst::Copy { dst: addr_tmp, src: Operand::Imm(addr) });
+                out.push(Inst::Copy {
+                    dst: addr_tmp,
+                    src: Operand::Imm(addr),
+                });
                 out.push(Inst::Load {
                     op: Opcode::Ldw,
                     dst: *t,
@@ -318,7 +330,10 @@ fn rewrite_spills(
                     f.next_vreg += 1;
                     temps.push(addr_tmp);
                     out.push(inst);
-                    out.push(Inst::Copy { dst: addr_tmp, src: Operand::Imm(addr) });
+                    out.push(Inst::Copy {
+                        dst: addr_tmp,
+                        src: Operand::Imm(addr),
+                    });
                     out.push(Inst::Store {
                         op: Opcode::Stw,
                         value: Operand::Reg(t),
@@ -333,7 +348,10 @@ fn rewrite_spills(
         // Terminator uses.
         if let Some(t) = &mut b.term {
             let cond_reg = match t {
-                Terminator::Branch { cond: Operand::Reg(r), .. } => Some(*r),
+                Terminator::Branch {
+                    cond: Operand::Reg(r),
+                    ..
+                } => Some(*r),
                 Terminator::Ret(Some(Operand::Reg(r))) => Some(*r),
                 _ => None,
             };
@@ -346,7 +364,10 @@ fn rewrite_spills(
                     let addr_tmp = VReg(f.next_vreg);
                     f.next_vreg += 1;
                     temps.push(addr_tmp);
-                    out.push(Inst::Copy { dst: addr_tmp, src: Operand::Imm(addr) });
+                    out.push(Inst::Copy {
+                        dst: addr_tmp,
+                        src: Operand::Imm(addr),
+                    });
                     out.push(Inst::Load {
                         op: Opcode::Ldw,
                         dst: tmp,
@@ -437,7 +458,10 @@ mod tests {
         let m = presets::m_tta_1(); // 32 regs, pressure 40 forces spills
         let f = pressure_func(40);
         let a = allocate(&f, &m, &[], 1 << 16).unwrap();
-        assert!(a.spilled > 0, "expected spills with 40 live values in 32 regs");
+        assert!(
+            a.spilled > 0,
+            "expected spills with 40 live values in 32 regs"
+        );
         // The rewritten function must still compute the same value.
         let run = |f: Function| {
             let mut mb = ModuleBuilder::new("m");
@@ -489,7 +513,10 @@ mod tests {
     #[test]
     fn reserved_registers_are_never_assigned() {
         let m = presets::m_vliw_2();
-        let reserved = RegRef { rf: RfId(0), index: 63 };
+        let reserved = RegRef {
+            rf: RfId(0),
+            index: 63,
+        };
         let f = pressure_func(20);
         let a = allocate(&f, &m, &[reserved], 1 << 16).unwrap();
         assert!(a.assignment.iter().flatten().all(|r| *r != reserved));

@@ -102,7 +102,16 @@ impl<'m> ScalarCodegen<'m> {
             .next()
             .unwrap_or_else(|| panic!("no unit implements {opcode}"));
         let dst = if opcode.has_result() { op.dst } else { None };
-        self.push_op(out, Operation { op: opcode, fu, dst, a, b });
+        self.push_op(
+            out,
+            Operation {
+                op: opcode,
+                fu,
+                dst,
+                a,
+                b,
+            },
+        );
     }
 
     fn generate_block(&self, block: &LocBlock, next: Option<BlockId>) -> ScalarBlock {
@@ -134,7 +143,11 @@ impl<'m> ScalarCodegen<'m> {
                     b: Some(OpSrc::Imm(0)),
                 }));
             }
-            LocTerm::Branch { cond, if_true, if_false } => {
+            LocTerm::Branch {
+                cond,
+                if_true,
+                if_false,
+            } => {
                 let (opcode, target, other) = if Some(if_false) == next {
                     (Opcode::CJnz, if_true, None)
                 } else if Some(if_true) == next {

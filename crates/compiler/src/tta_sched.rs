@@ -53,7 +53,11 @@ pub struct TtaOptions {
 
 impl Default for TtaOptions {
     fn default() -> Self {
-        TtaOptions { bypass: true, dead_result_elim: true, operand_share: true }
+        TtaOptions {
+            bypass: true,
+            dead_result_elim: true,
+            operand_share: true,
+        }
     }
 }
 
@@ -334,9 +338,6 @@ impl<'m> BlockSched<'m> {
             self.rf_writes[c as usize][r.rf.0 as usize] += 1;
             let e = self.reg_last_rf_write.entry(r).or_insert(0);
             *e = (*e).max(c);
-            let lr = self.reg_last_rf_read.entry(r).or_insert(0);
-            debug_assert!(*lr <= c || true); // reads of the old value stay valid
-            let _ = lr;
         }
         debug_assert!(
             self.insts[c as usize].slots[b].is_none(),
@@ -362,7 +363,9 @@ impl<'m> BlockSched<'m> {
             return true;
         }
         let r = block.ops[i].dst.expect("value has a destination");
-        let f = self.nodes[i].fu.expect("copies are written at schedule time");
+        let f = self.nodes[i]
+            .fu
+            .expect("copies are written at schedule time");
         let mut c = self.nodes[i].done.max(self.rf_write_floor(r));
         for _ in 0..MAX_SLACK {
             if self.port_window_open(i, c)
@@ -396,7 +399,8 @@ impl<'m> BlockSched<'m> {
         loop {
             self.grow(c);
             let inst_free = self.insts[c as usize].limm.is_none()
-                && (0..self.m.limm.bus_slots as usize).all(|s| self.insts[c as usize].slots[s].is_none());
+                && (0..self.m.limm.bus_slots as usize)
+                    .all(|s| self.insts[c as usize].slots[s].is_none());
             if inst_free {
                 // An imm register is reusable at cycle c when its current
                 // tenancy lies entirely before c: written earlier (writes to
@@ -410,8 +414,11 @@ impl<'m> BlockSched<'m> {
                 });
                 if let Some(k) = reg {
                     self.insts[c as usize].limm = Some((k as u8, value));
-                    self.immregs[k] =
-                        ImmRegState { write: c, last_read: c, in_use: true };
+                    self.immregs[k] = ImmRegState {
+                        write: c,
+                        last_read: c,
+                        in_use: true,
+                    };
                     self.stats.limms += 1;
                     self.last_activity = self.last_activity.max(c);
                     return (k as u8, c);
@@ -425,7 +432,13 @@ impl<'m> BlockSched<'m> {
     /// `new_done` may be triggered: if the pending result still has
     /// unscheduled consumers or is live-out, force its RF write now.
     /// Returns false if impossible (caller must try a later cycle).
-    fn resolve_previous(&mut self, f: FuId, new_trigger: u32, new_done: u32, block: &LocBlock) -> bool {
+    fn resolve_previous(
+        &mut self,
+        f: FuId,
+        new_trigger: u32,
+        new_done: u32,
+        block: &LocBlock,
+    ) -> bool {
         let Some(&(prev, _t, done)) = self.fu[f.0 as usize].ops.last() else {
             return true;
         };
@@ -447,11 +460,15 @@ impl<'m> BlockSched<'m> {
             return true;
         }
         // The write must land strictly before the window closes.
-        let r = block.ops[prev].dst.expect("value with consumers has a register");
+        let r = block.ops[prev]
+            .dst
+            .expect("value with consumers has a register");
         let floor = self.nodes[prev].done.max(self.rf_write_floor(r));
         for c in floor..new_done {
             if self.rf_write_ok(c, r) {
-                if let Some(b) = self.find_bus(c, &ReadPlan::Bypass(f, prev), DstConn::RfWrite(r.rf)) {
+                if let Some(b) =
+                    self.find_bus(c, &ReadPlan::Bypass(f, prev), DstConn::RfWrite(r.rf))
+                {
                     self.commit_move(c, b, ReadPlan::Bypass(f, prev), MoveDst::Rf(r));
                     self.stats.bypassed -= 1;
                     self.nodes[prev].rf_write = Some(c);
@@ -480,7 +497,11 @@ impl<'m> TtaScheduler<'m> {
 
     /// Create a scheduler with explicit freedom toggles (ablation studies).
     pub fn with_options(m: &'m Machine, opts: TtaOptions) -> Self {
-        TtaScheduler { m, opts, stats: TtaStats::default() }
+        TtaScheduler {
+            m,
+            opts,
+            stats: TtaStats::default(),
+        }
     }
 
     /// Schedule all blocks.
@@ -507,8 +528,7 @@ impl<'m> TtaScheduler<'m> {
         let ddg = Ddg::build(block);
         let mut s = BlockSched::new(self.m, self.opts, block.ops.len());
         for (i, n) in s.nodes.iter_mut().enumerate() {
-            n.pending_consumers =
-                ddg.consumers[i].len() + usize::from(ddg.term_consumes[i]);
+            n.pending_consumers = ddg.consumers[i].len() + usize::from(ddg.term_consumes[i]);
         }
 
         for i in ddg.priority_order() {
@@ -551,7 +571,10 @@ impl<'m> TtaScheduler<'m> {
         self.stats.limms += s.stats.limms;
         self.stats.rf_reads += s.stats.rf_reads;
 
-        TtaBlock { insts: s.insts, patches: s.patches }
+        TtaBlock {
+            insts: s.insts,
+            patches: s.patches,
+        }
     }
 
     /// Dependence-imposed lower bound for node `i`'s trigger cycle.
@@ -623,9 +646,15 @@ impl<'m> TtaScheduler<'m> {
                 let mut c = (lc + 1).max(wfloor);
                 let deadline = c + MAX_SLACK;
                 loop {
-                    assert!(c < deadline, "wide-immediate copy wedged on {}", self.m.name);
+                    assert!(
+                        c < deadline,
+                        "wide-immediate copy wedged on {}",
+                        self.m.name
+                    );
                     if s.rf_write_ok(c, dst) {
-                        if let Some(b) = s.find_bus(c, &ReadPlan::ImmReg(k), DstConn::RfWrite(dst.rf)) {
+                        if let Some(b) =
+                            s.find_bus(c, &ReadPlan::ImmReg(k), DstConn::RfWrite(dst.rf))
+                        {
                             s.commit_move(c, b, ReadPlan::ImmReg(k), MoveDst::Rf(dst));
                             s.nodes[i].rf_write = Some(c);
                             s.nodes[i].trigger = c;
@@ -848,7 +877,8 @@ impl<'m> TtaScheduler<'m> {
                     }
                     let excl = if c == t { Some(trig_bus) } else { None };
                     if let Some((plan, bus)) = plans.into_iter().find_map(|p| {
-                        s.find_bus_excl(c, &p, DstConn::FuOperand(f), excl).map(|b| (p, b))
+                        s.find_bus_excl(c, &p, DstConn::FuOperand(f), excl)
+                            .map(|b| (p, b))
                     }) {
                         found = Some((c, bus, plan));
                         break;
@@ -929,7 +959,11 @@ impl<'m> TtaScheduler<'m> {
             LocTerm::Jump(target) => {
                 self.emit_branch(Opcode::Jump, None, None, target, 0, block, s, cu, d);
             }
-            LocTerm::Branch { cond, if_true, if_false } => {
+            LocTerm::Branch {
+                cond,
+                if_true,
+                if_false,
+            } => {
                 let (opcode, target, other) = if Some(if_false) == next {
                     (Opcode::CJnz, if_true, None)
                 } else if Some(if_true) == next {
@@ -961,7 +995,11 @@ impl<'m> TtaScheduler<'m> {
                         .map(|&(_, pt, _)| pt + 1)
                         .unwrap_or(0);
                     let mut t = ready.max(port_free).max(
-                        s.fu[lsu.0 as usize].ops.last().map(|&(_, pt, _)| pt + 1).unwrap_or(0),
+                        s.fu[lsu.0 as usize]
+                            .ops
+                            .last()
+                            .map(|&(_, pt, _)| pt + 1)
+                            .unwrap_or(0),
                     );
                     let ret_deadline = t + MAX_SLACK;
                     loop {
@@ -993,7 +1031,11 @@ impl<'m> TtaScheduler<'m> {
                 }
                 // Halt trigger.
                 let mut t = min_halt.max(
-                    s.fu[cu.0 as usize].ops.last().map(|&(_, pt, _)| pt + 1).unwrap_or(0),
+                    s.fu[cu.0 as usize]
+                        .ops
+                        .last()
+                        .map(|&(_, pt, _)| pt + 1)
+                        .unwrap_or(0),
                 );
                 loop {
                     let plan = ReadPlan::Imm(0);
@@ -1027,7 +1069,11 @@ impl<'m> TtaScheduler<'m> {
         s.patches.push(TtaPatch { cycle: lc, target });
 
         let cond_ready = cond_producer.map(|p| s.nodes[p].done).unwrap_or(0);
-        let cu_floor = s.fu[cu.0 as usize].ops.last().map(|&(_, pt, _)| pt + 1).unwrap_or(0);
+        let cu_floor = s.fu[cu.0 as usize]
+            .ops
+            .last()
+            .map(|&(_, pt, _)| pt + 1)
+            .unwrap_or(0);
         let mut t = (lc + 1)
             .max(cond_ready)
             .max(cu_floor)
@@ -1063,10 +1109,9 @@ impl<'m> TtaScheduler<'m> {
                 Some(c_src) => {
                     // Operand = target, trigger = condition.
                     let plans = s.read_plans(c_src, cond_producer, t);
-                    let trig =
-                        plans.into_iter().find_map(|p| {
-                            s.find_bus(t, &p, DstConn::FuTrigger(cu)).map(|b| (p, b))
-                        });
+                    let trig = plans
+                        .into_iter()
+                        .find_map(|p| s.find_bus(t, &p, DstConn::FuTrigger(cu)).map(|b| (p, b)));
                     if let Some((tp, tb)) = trig {
                         // Operand move of the target in [lc+1, t].
                         let port_free = s.fu[cu.0 as usize]

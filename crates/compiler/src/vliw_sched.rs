@@ -7,7 +7,7 @@
 //! readable at `t + latency + 1`. The one-cycle writeback penalty on every
 //! dependence edge is exactly what TTA software bypassing removes.
 
-use crate::ddg::{DepKind, Ddg};
+use crate::ddg::{Ddg, DepKind};
 use crate::loc::{LocBlock, LocFunc, LocKind, LocOp, LocSrc, LocTerm, RETVAL_ADDR};
 use tta_ir::BlockId;
 use tta_isa::encoding::{fits_signed, vliw_imm_bits};
@@ -45,7 +45,13 @@ struct Grid<'m> {
 
 impl<'m> Grid<'m> {
     fn new(m: &'m Machine) -> Self {
-        Grid { m, slots: Vec::new(), fu_busy: Vec::new(), reads: Vec::new(), writes: Vec::new() }
+        Grid {
+            m,
+            slots: Vec::new(),
+            fu_busy: Vec::new(),
+            reads: Vec::new(),
+            writes: Vec::new(),
+        }
     }
 
     fn grow(&mut self, cycle: u32) {
@@ -63,9 +69,9 @@ impl<'m> Grid<'m> {
         for r in regs {
             need[r.rf.0 as usize] += 1;
         }
-        need.iter().enumerate().all(|(rf, &n)| {
-            self.reads[t as usize][rf] + n <= self.m.rfs[rf].read_ports
-        })
+        need.iter()
+            .enumerate()
+            .all(|(rf, &n)| self.reads[t as usize][rf] + n <= self.m.rfs[rf].read_ports)
     }
 
     fn write_ok(&mut self, t: u32, reg: RegRef) -> bool {
@@ -85,7 +91,14 @@ impl<'m> Grid<'m> {
         (0..=row.len().saturating_sub(n)).find(|&s| row[s..s + n].iter().all(|b| !b))
     }
 
-    fn commit_op(&mut self, t: u32, slot: usize, fu: FuId, reads: &[RegRef], write: Option<(u32, RegRef)>) {
+    fn commit_op(
+        &mut self,
+        t: u32,
+        slot: usize,
+        fu: FuId,
+        reads: &[RegRef],
+        write: Option<(u32, RegRef)>,
+    ) {
         self.grow(t);
         self.slots[t as usize][slot] = true;
         self.fu_busy[t as usize][fu.0 as usize] = true;
@@ -111,7 +124,11 @@ impl<'m> VliwScheduler<'m> {
     /// Create a scheduler for a VLIW machine. `bt_reg` must have been
     /// reserved during register allocation.
     pub fn new(m: &'m Machine, bt_reg: RegRef) -> Self {
-        VliwScheduler { m, bt_reg, imm_bits: vliw_imm_bits(m) }
+        VliwScheduler {
+            m,
+            bt_reg,
+            imm_bits: vliw_imm_bits(m),
+        }
     }
 
     /// Schedule all blocks of a function. Blocks are laid out in index
@@ -155,12 +172,20 @@ impl<'m> VliwScheduler<'m> {
                 if o.num_inputs() == 1 {
                     (o, units, None, Some(self.op_src(op.b.unwrap())))
                 } else {
-                    (o, units, Some(self.op_src(op.a.unwrap())), Some(self.op_src(op.b.unwrap())))
+                    (
+                        o,
+                        units,
+                        Some(self.op_src(op.a.unwrap())),
+                        Some(self.op_src(op.b.unwrap())),
+                    )
                 }
             }
-            LocKind::Load(o, _) => {
-                (o, self.m.units_for(o).collect(), None, Some(self.op_src(op.b.unwrap())))
-            }
+            LocKind::Load(o, _) => (
+                o,
+                self.m.units_for(o).collect(),
+                None,
+                Some(self.op_src(op.b.unwrap())),
+            ),
             LocKind::Store(o, _) => (
                 o,
                 self.m.units_for(o).collect(),
@@ -301,8 +326,13 @@ impl<'m> VliwScheduler<'m> {
             let write = dst.map(|d| (t + lat, d));
             grid.commit_op(t, slot, fu, &reads, write);
             ensure(&mut bundles, t, nslots);
-            bundles[t as usize].slots[slot] =
-                Some(VliwSlot::Op(Operation { op: opcode, fu, dst, a, b }));
+            bundles[t as usize].slots[slot] = Some(VliwSlot::Op(Operation {
+                op: opcode,
+                fu,
+                dst,
+                a,
+                b,
+            }));
             cycle_of[i] = Some(t);
             last_activity = last_activity.max(t);
             if let Some((wt, _)) = write {
@@ -338,7 +368,11 @@ impl<'m> VliwScheduler<'m> {
                     d,
                 );
             }
-            LocTerm::Branch { cond, if_true, if_false } => {
+            LocTerm::Branch {
+                cond,
+                if_true,
+                if_false,
+            } => {
                 let cond_src = self.op_src(cond);
                 let (opcode, target, other) = if Some(if_false) == next {
                     (Opcode::CJnz, if_true, None)
@@ -469,8 +503,10 @@ impl<'m> VliwScheduler<'m> {
             t_l += 1;
         };
         ensure(bundles, t_l);
-        bundles[t_l as usize].slots[slot_l] =
-            Some(VliwSlot::LimmHead { dst: self.bt_reg, value: 0 });
+        bundles[t_l as usize].slots[slot_l] = Some(VliwSlot::LimmHead {
+            dst: self.bt_reg,
+            value: 0,
+        });
         for k in 1..self.m.vliw_limm_slots as usize {
             bundles[t_l as usize].slots[slot_l + k] = Some(VliwSlot::LimmCont);
         }
@@ -479,7 +515,11 @@ impl<'m> VliwScheduler<'m> {
         }
         grid.grow(t_l + 1);
         grid.writes[t_l as usize + 1][self.bt_reg.rf.0 as usize] += 1;
-        patches.push(Patch { cycle: t_l, slot: slot_l, target });
+        patches.push(Patch {
+            cycle: t_l,
+            slot: slot_l,
+            target,
+        });
 
         // The control op: must start no earlier than the limm is readable,
         // the condition is ready, and late enough that every writeback lands
@@ -517,8 +557,13 @@ impl<'m> VliwScheduler<'m> {
             // Unconditional jump: the target itself triggers.
             None => (None, Some(OpSrc::Reg(self.bt_reg))),
         };
-        bundles[t_br as usize].slots[slot] =
-            Some(VliwSlot::Op(Operation { op: opcode, fu: cu, dst: None, a, b }));
+        bundles[t_br as usize].slots[slot] = Some(VliwSlot::Op(Operation {
+            op: opcode,
+            fu: cu,
+            dst: None,
+            a,
+            b,
+        }));
         // The bundles up to t_br + delay_slots exist; everything scheduled
         // there already belongs to this block (delay-slot execution).
         t_br

@@ -4,9 +4,9 @@
 //! from a deterministic PRNG and are reproducible from their number.
 
 use tta_ir::builder::{FunctionBuilder, ModuleBuilder};
-use tta_testutil::Rng;
 use tta_ir::{Module, VReg};
 use tta_model::Opcode;
+use tta_testutil::Rng;
 
 const BIN_OPS: [Opcode; 8] = [
     Opcode::Add,
@@ -82,7 +82,11 @@ fn dce_preserves_semantics_and_removes_dead_tails() {
             data: module.data.clone(),
             mem_size: module.mem_size,
         };
-        assert_eq!(tta_ir::interp::run_ret(&opt_module, &[]), before, "case {case}");
+        assert_eq!(
+            tta_ir::interp::run_ret(&opt_module, &[]),
+            before,
+            "case {case}"
+        );
 
         // Every value never reaching the result whose consumers are all
         // dead must be gone: if NO step is used, only the seed/result
@@ -132,7 +136,11 @@ fn const_legalisation_preserves_semantics() {
             data: module.data.clone(),
             mem_size: module.mem_size,
         };
-        assert_eq!(tta_ir::interp::run_ret(&opt_module, &[]), before, "case {case}");
+        assert_eq!(
+            tta_ir::interp::run_ret(&opt_module, &[]),
+            before,
+            "case {case}"
+        );
 
         // Post-condition: no wide immediate survives outside Copy sources.
         for b in &flat.blocks {

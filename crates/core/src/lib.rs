@@ -38,7 +38,7 @@
 
 #![warn(missing_docs)]
 
-pub use tta_compiler::{compile, Compiled, CompileError};
+pub use tta_compiler::{compile, CompileError, Compiled};
 pub use tta_fpga::Resources;
 pub use tta_ir::{Function, FunctionBuilder, Module, ModuleBuilder};
 pub use tta_isa::Program;
@@ -145,11 +145,7 @@ impl SoftCore {
 
 /// Convenience: emit `for i in 0..n { body }` (re-exported from the kernel
 /// utility set so facade users don't need `tta-chstone`).
-pub fn build_loop(
-    fb: &mut FunctionBuilder,
-    n: i32,
-    body: impl FnOnce(&mut FunctionBuilder, VReg),
-) {
+pub fn build_loop(fb: &mut FunctionBuilder, n: i32, body: impl FnOnce(&mut FunctionBuilder, VReg)) {
     let i = fb.copy(0);
     let head = fb.new_block();
     let body_b = fb.new_block();

@@ -152,7 +152,11 @@ fn prepare_kernel(kernel: &Kernel) -> PreparedKernel {
     let t = stage_lap(0, t);
     let golden = Interpreter::new(&module).run(&[]).expect("interpreter");
     stage_add(1, t.elapsed());
-    PreparedKernel { name: kernel.name, module, golden_ret: golden.ret }
+    PreparedKernel {
+        name: kernel.name,
+        module,
+        golden_ret: golden.ret,
+    }
 }
 
 /// Compile + simulate one prepared kernel on one machine and verify the
@@ -166,7 +170,13 @@ fn run_prepared(p: &PreparedKernel, machine: &Machine) -> KernelRun {
         .unwrap_or_else(|e| panic!("{} on {}: {e}", p.name, machine.name));
     let t = stage_lap(3, t);
     // Guard the evaluation numbers with the golden model.
-    assert_eq!(Some(result.ret), p.golden_ret, "{} on {}", p.name, machine.name);
+    assert_eq!(
+        Some(result.ret),
+        p.golden_ret,
+        "{} on {}",
+        p.name,
+        machine.name
+    );
     let _ = stage_lap(4, t);
     KernelRun {
         kernel: p.name.to_string(),
@@ -204,8 +214,7 @@ pub fn evaluate(machines: &[Machine], kernels: &[Kernel]) -> Vec<MachineReport> 
     let prepared: Vec<PreparedKernel> = kernels.iter().map(prepare_kernel).collect();
 
     // One result slot per job; each is written by exactly one worker.
-    let slots: Vec<Mutex<Option<KernelRun>>> =
-        (0..n_jobs).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<KernelRun>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -274,8 +283,7 @@ mod tests {
     use super::*;
 
     fn small_eval() -> Vec<MachineReport> {
-        let machines =
-            vec![presets::mblaze_3(), presets::m_vliw_2(), presets::m_tta_2()];
+        let machines = vec![presets::mblaze_3(), presets::m_vliw_2(), presets::m_tta_2()];
         let kernels: Vec<Kernel> = ["sha", "motion"]
             .iter()
             .map(|n| tta_chstone::by_name(n).unwrap())
@@ -303,7 +311,11 @@ mod tests {
             let g = r.geomean_cycles();
             let min = r.runs.iter().map(|k| k.cycles).min().unwrap() as f64;
             let max = r.runs.iter().map(|k| k.cycles).max().unwrap() as f64;
-            assert!(g >= min && g <= max, "{}: {g} not within [{min}, {max}]", r.name);
+            assert!(
+                g >= min && g <= max,
+                "{}: {g} not within [{min}, {max}]",
+                r.name
+            );
         }
     }
 

@@ -37,8 +37,7 @@ pub fn fig5_data(reports: &[MachineReport]) -> Vec<Fig5Bar> {
                 bars.push(Fig5Bar {
                     machine: r.name.clone(),
                     kernel: run.kernel.clone(),
-                    relative_runtime: runtime_us(r, &run.kernel)
-                        / runtime_us(base, &run.kernel),
+                    relative_runtime: runtime_us(r, &run.kernel) / runtime_us(base, &run.kernel),
                 });
             }
         }
@@ -48,8 +47,7 @@ pub fn fig5_data(reports: &[MachineReport]) -> Vec<Fig5Bar> {
 
 /// Render Fig. 5 as ASCII bars.
 pub fn fig5(reports: &[MachineReport]) -> String {
-    let mut out =
-        String::from("Fig. 5: execution times at achieved fmax (normalised)\n");
+    let mut out = String::from("Fig. 5: execution times at achieved fmax (normalised)\n");
     let bars = fig5_data(reports);
     let mut machines: Vec<&str> = Vec::new();
     for b in &bars {
@@ -159,8 +157,7 @@ mod tests {
     fn fig5_baselines_are_unity() {
         let r = reports();
         for b in fig5_data(&r) {
-            if b.machine == "mblaze-3" || b.machine == "m-vliw-2" || b.machine == "m-vliw-3"
-            {
+            if b.machine == "mblaze-3" || b.machine == "m-vliw-2" || b.machine == "m-vliw-3" {
                 assert!((b.relative_runtime - 1.0).abs() < 1e-9, "{b:?}");
             } else {
                 assert!(b.relative_runtime > 0.0);

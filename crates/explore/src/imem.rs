@@ -29,7 +29,12 @@ impl ICacheConfig {
     /// A small per-core cache of the kind §V-D suggests: 16 kbit of
     /// instruction storage, 8-instruction lines, 2-way, 10-cycle refills.
     pub fn small() -> Self {
-        ICacheConfig { capacity_bits: 16 * 1024, line_insts: 8, ways: 2, miss_penalty: 10 }
+        ICacheConfig {
+            capacity_bits: 16 * 1024,
+            line_insts: 8,
+            ways: 2,
+            miss_penalty: 10,
+        }
     }
 }
 
@@ -107,8 +112,7 @@ pub fn kernel_icache(
     }
     .expect("traced run");
     let report = simulate_icache(m, &trace, cfg);
-    let slowdown =
-        (result.cycles + report.stall_cycles) as f64 / result.cycles as f64;
+    let slowdown = (result.cycles + report.stall_cycles) as f64 / result.cycles as f64;
     (report, slowdown)
 }
 
@@ -120,7 +124,12 @@ mod tests {
     #[test]
     fn sequential_trace_misses_once_per_line() {
         let m = presets::mblaze_3();
-        let cfg = ICacheConfig { capacity_bits: 1 << 20, line_insts: 8, ways: 2, miss_penalty: 10 };
+        let cfg = ICacheConfig {
+            capacity_bits: 1 << 20,
+            line_insts: 8,
+            ways: 2,
+            miss_penalty: 10,
+        };
         let trace: Vec<u32> = (0..64).collect();
         let r = simulate_icache(&m, &trace, cfg);
         assert_eq!(r.accesses, 64);
@@ -155,7 +164,12 @@ mod tests {
     fn thrashing_working_set_misses() {
         // A working set larger than the cache keeps missing.
         let m = presets::mblaze_3();
-        let cfg = ICacheConfig { capacity_bits: 1024, line_insts: 4, ways: 1, miss_penalty: 10 };
+        let cfg = ICacheConfig {
+            capacity_bits: 1024,
+            line_insts: 4,
+            ways: 1,
+            miss_penalty: 10,
+        };
         // 8 lines of capacity (1024/32/4=8); touch 64 lines round-robin.
         let mut trace = Vec::new();
         for _ in 0..10 {
@@ -173,12 +187,20 @@ mod tests {
         let k = tta_chstone::by_name("gsm").unwrap();
         let module = (k.build)();
         let compiled = tta_compiler::compile(&module, &m).unwrap();
-        let (report, slowdown) =
-            kernel_icache(&m, &compiled.program, module.initial_memory(), ICacheConfig::small());
+        let (report, slowdown) = kernel_icache(
+            &m,
+            &compiled.program,
+            module.initial_memory(),
+            ICacheConfig::small(),
+        );
         assert!(report.accesses > 10_000);
         // Loop-dominated kernels should hit nearly always even in a small
         // cache.
-        assert!(report.miss_rate() < 0.05, "miss rate {:.3}", report.miss_rate());
+        assert!(
+            report.miss_rate() < 0.05,
+            "miss rate {:.3}",
+            report.miss_rate()
+        );
         assert!(slowdown < 1.5);
     }
 }

@@ -17,14 +17,14 @@
 
 pub mod compression;
 pub mod eval;
-pub mod imem;
 pub mod figures;
+pub mod imem;
 pub mod sweep;
 pub mod tables;
 pub mod transform;
 
-pub use eval::{evaluate, evaluate_all, issue_class, IssueClass, KernelRun, MachineReport};
 pub use compression::{dictionary_compress, Compression};
+pub use eval::{evaluate, evaluate_all, issue_class, IssueClass, KernelRun, MachineReport};
 pub use imem::{kernel_icache, simulate_icache, ICacheConfig, ICacheReport};
 pub use sweep::{sweep_bus_count, SweepPoint};
 pub use transform::{merge_buses, partition_rf, profile_buses, prune_bypasses, BusProfile};

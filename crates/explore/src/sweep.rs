@@ -44,8 +44,7 @@ pub fn sweep_bus_count(
             // Full RF connectivity everywhere: the sweep varies ONLY the
             // transport bandwidth, avoiding the preset's pruned/merged
             // wiring discontinuity at 3 x issue buses.
-            let machine =
-                presets::custom_tta(&format!("tta-{issue}w-{n}b"), issue, rfs, n, true);
+            let machine = presets::custom_tta(&format!("tta-{issue}w-{n}b"), issue, rfs, n, true);
             let reports = crate::eval::evaluate(std::slice::from_ref(&machine), kernels);
             let r = &reports[0];
             SweepPoint {

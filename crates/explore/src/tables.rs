@@ -59,7 +59,10 @@ pub fn table2(reports: &[MachineReport]) -> String {
     let t2_groups: Vec<(Vec<&str>, &str)> = groups()
         .into_iter()
         .map(|(members, base)| {
-            (members.into_iter().filter(|m| *m != "mblaze-5").collect(), base)
+            (
+                members.into_iter().filter(|m| *m != "mblaze-5").collect(),
+                base,
+            )
         })
         .collect();
     for (members, baseline) in t2_groups {
@@ -90,9 +93,7 @@ pub fn table2(reports: &[MachineReport]) -> String {
 /// Render Table III: fmax and FPGA resource usage, relative to the class
 /// baseline.
 pub fn table3(reports: &[MachineReport]) -> String {
-    let mut out = String::from(
-        "Table III: FPGA resource usage and maximum clock frequency\n",
-    );
+    let mut out = String::from("Table III: FPGA resource usage and maximum clock frequency\n");
     out.push_str(&format!(
         "{:10} {:>5} {:>6} {:>9} {:>9} {:>7} {:>7} {:>7}\n",
         "machine", "R/W", "fmax", "core LUT", "RF LUT", "LUTRAM", "IC", "FF"
@@ -208,7 +209,10 @@ mod tests {
         for name in ["mblaze-3", "m-tta-1", "m-vliw-2", "bm-tta-3"] {
             // mblaze-5 is deliberately absent from Table II (binary
             // compatible with mblaze-3), matching the paper.
-            assert!(t3.contains(name) || name == "mblaze-5", "{name} missing in t3");
+            assert!(
+                t3.contains(name) || name == "mblaze-5",
+                "{name} missing in t3"
+            );
             assert!(t4.contains(name), "{name} missing in t4");
             let _ = &t2;
         }

@@ -80,7 +80,11 @@ pub struct BusProfile {
 
 /// Compile the kernels for `m` and profile its transport buses.
 pub fn profile_buses(m: &Machine, kernels: &[Kernel]) -> BusProfile {
-    assert_eq!(m.style, CoreStyle::Tta, "bus profiling applies to TTA machines");
+    assert_eq!(
+        m.style,
+        CoreStyle::Tta,
+        "bus profiling applies to TTA machines"
+    );
     let n = m.buses.len();
     let mut p = BusProfile {
         use_count: vec![0; n],
@@ -90,9 +94,11 @@ pub fn profile_buses(m: &Machine, kernels: &[Kernel]) -> BusProfile {
     };
     for k in kernels {
         let module = (k.build)();
-        let compiled = compile(&module, m)
-            .unwrap_or_else(|e| panic!("{} on {}: {e}", k.name, m.name));
-        let Program::Tta(insts) = &compiled.program else { unreachable!() };
+        let compiled =
+            compile(&module, m).unwrap_or_else(|e| panic!("{} on {}: {e}", k.name, m.name));
+        let Program::Tta(insts) = &compiled.program else {
+            unreachable!()
+        };
         for inst in insts {
             let busy: Vec<usize> = inst
                 .slots
@@ -142,9 +148,7 @@ pub fn prune_bypasses(m: &Machine, profile: &BusProfile) -> Machine {
     let mut out = m.clone();
     for (bi, bus) in out.buses.iter_mut().enumerate() {
         bus.sources.retain(|s| match s {
-            SrcConn::FuResult(f) => {
-                profile.used_src.contains(&(bi, SrcConn::FuResult(*f)))
-            }
+            SrcConn::FuResult(f) => profile.used_src.contains(&(bi, SrcConn::FuResult(*f))),
             _ => true,
         });
     }
@@ -161,8 +165,7 @@ pub fn prune_bypasses(m: &Machine, profile: &BusProfile) -> Machine {
                 .iter()
                 .any(|b| b.reads(SrcConn::FuResult(f)) && b.writes(DstConn::RfWrite(r)));
             if !routed {
-                if let Some(bus) = out.buses.iter_mut().find(|b| b.writes(DstConn::RfWrite(r)))
-                {
+                if let Some(bus) = out.buses.iter_mut().find(|b| b.writes(DstConn::RfWrite(r))) {
                     bus.connect_src(SrcConn::FuResult(f));
                 }
             }
@@ -178,7 +181,10 @@ pub fn prune_bypasses(m: &Machine, profile: &BusProfile) -> Machine {
 /// union), following the heuristic of \[25\].
 pub fn merge_buses(m: &Machine, target: usize, profile: &BusProfile) -> Machine {
     assert_eq!(m.style, CoreStyle::Tta);
-    assert!(target >= m.limm.bus_slots as usize, "too few buses for long immediates");
+    assert!(
+        target >= m.limm.bus_slots as usize,
+        "too few buses for long immediates"
+    );
     let mut buses: Vec<Bus> = m.buses.clone();
     let mut usage: Vec<u64> = profile.use_count.clone();
     let mut pair: Vec<Vec<u64>> = profile.pair.clone();
@@ -237,7 +243,10 @@ mod tests {
     use tta_model::presets;
 
     fn kernels(names: &[&str]) -> Vec<Kernel> {
-        names.iter().map(|n| tta_chstone::by_name(n).unwrap()).collect()
+        names
+            .iter()
+            .map(|n| tta_chstone::by_name(n).unwrap())
+            .collect()
     }
 
     /// A kernel must still produce the golden checksum on a transformed
@@ -297,9 +306,7 @@ mod tests {
         assert_still_correct(&pruned, &tta_chstone::by_name("motion").unwrap());
         assert_still_correct(&pruned, &tta_chstone::by_name("sha").unwrap());
         // Pruning must have removed something.
-        let conns = |mm: &Machine| -> usize {
-            mm.buses.iter().map(|b| b.sources.len()).sum()
-        };
+        let conns = |mm: &Machine| -> usize { mm.buses.iter().map(|b| b.sources.len()).sum() };
         assert!(conns(&pruned) < conns(&m));
     }
 

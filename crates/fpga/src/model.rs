@@ -82,7 +82,11 @@ fn log2c(n: usize) -> f64 {
 /// modelling closed RTL).
 fn microblaze(m: &Machine) -> Resources {
     let five_stage = m.scalar.map(|p| p.stages >= 5).unwrap_or(false);
-    let (lut, fmax, ff) = if five_stage { (829, 174.0, 582) } else { (715, 169.0, 303) };
+    let (lut, fmax, ff) = if five_stage {
+        (829, 174.0, 582)
+    } else {
+        (715, 169.0, 303)
+    };
     Resources {
         lut_core: lut,
         lut_rf: 128,
@@ -133,7 +137,11 @@ fn ic_luts(m: &Machine) -> u32 {
                 }
             }
             for r in m.rf_ids() {
-                let n = m.buses.iter().filter(|b| b.writes(DstConn::RfWrite(r))).count();
+                let n = m
+                    .buses
+                    .iter()
+                    .filter(|b| b.writes(DstConn::RfWrite(r)))
+                    .count();
                 socket_inputs += n.saturating_sub(1);
             }
             cost += socket_inputs as f64 * SOCKET_MUX_LUT;
@@ -195,11 +203,20 @@ fn fmax(m: &Machine) -> f64 {
     ns += (max_depth / 32.0).log2().max(0.0) * DEPTH_NS;
     match m.style {
         CoreStyle::Tta => {
-            let bus_fanin =
-                m.buses.iter().map(|b| b.sources.len() + 1).max().unwrap_or(1);
+            let bus_fanin = m
+                .buses
+                .iter()
+                .map(|b| b.sources.len() + 1)
+                .max()
+                .unwrap_or(1);
             let socket_fanin = m
                 .fu_ids()
-                .map(|f| m.buses.iter().filter(|b| b.writes(DstConn::FuTrigger(f))).count())
+                .map(|f| {
+                    m.buses
+                        .iter()
+                        .filter(|b| b.writes(DstConn::FuTrigger(f)))
+                        .count()
+                })
                 .max()
                 .unwrap_or(1);
             ns += log2c(bus_fanin) * BUS_FANIN_NS;
@@ -207,7 +224,12 @@ fn fmax(m: &Machine) -> f64 {
             // More readable sockets on one RF deepen its read decode.
             let rf_fanout = m
                 .rf_ids()
-                .map(|r| m.buses.iter().filter(|b| b.reads(SrcConn::RfRead(r))).count())
+                .map(|r| {
+                    m.buses
+                        .iter()
+                        .filter(|b| b.reads(SrcConn::RfRead(r)))
+                        .count()
+                })
                 .max()
                 .unwrap_or(1);
             ns += log2c(rf_fanout) * 0.05;

@@ -30,7 +30,11 @@ impl Buffer {
 
     /// Operand for the address of byte offset `off`.
     pub fn at(&self, off: u32) -> Operand {
-        debug_assert!(off < self.size, "offset {off} outside buffer of {} bytes", self.size);
+        debug_assert!(
+            off < self.size,
+            "offset {off} outside buffer of {} bytes",
+            self.size
+        );
         Operand::Imm((self.addr + off) as i32)
     }
 
@@ -78,7 +82,10 @@ impl ModuleBuilder {
     /// Reserve a buffer initialised with `bytes`.
     pub fn data(&mut self, bytes: &[u8]) -> Buffer {
         let buf = self.buffer(bytes.len() as u32);
-        self.data.push(DataInit { addr: buf.addr, bytes: bytes.to_vec() });
+        self.data.push(DataInit {
+            addr: buf.addr,
+            bytes: bytes.to_vec(),
+        });
         buf
     }
 
@@ -103,7 +110,10 @@ impl ModuleBuilder {
     /// Panics if the id was already defined or the name differs from the
     /// declaration.
     pub fn define(&mut self, id: FuncId, f: Function) {
-        assert_eq!(self.names[id.0 as usize], f.name, "definition name mismatch");
+        assert_eq!(
+            self.names[id.0 as usize], f.name,
+            "definition name mismatch"
+        );
         let slot = &mut self.funcs[id.0 as usize];
         assert!(slot.is_none(), "function {} defined twice", f.name);
         *slot = Some(f);
@@ -212,20 +222,23 @@ impl FunctionBuilder {
     }
 
     /// Emit a two-input ALU op into an existing register (loop updates).
-    pub fn bin_to(
-        &mut self,
-        dst: VReg,
-        op: Opcode,
-        a: impl Into<Operand>,
-        b: impl Into<Operand>,
-    ) {
-        self.emit(Inst::Bin { op, dst, a: a.into(), b: b.into() });
+    pub fn bin_to(&mut self, dst: VReg, op: Opcode, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.emit(Inst::Bin {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
     }
 
     /// Emit a one-input ALU op into a fresh register.
     pub fn un(&mut self, op: Opcode, a: impl Into<Operand>) -> VReg {
         let dst = self.vreg();
-        self.emit(Inst::Un { op, dst, a: a.into() });
+        self.emit(Inst::Un {
+            op,
+            dst,
+            a: a.into(),
+        });
         dst
     }
 
@@ -238,7 +251,10 @@ impl FunctionBuilder {
 
     /// Copy into an existing register (loop-carried variables, merges).
     pub fn copy_to(&mut self, dst: VReg, src: impl Into<Operand>) {
-        self.emit(Inst::Copy { dst, src: src.into() });
+        self.emit(Inst::Copy {
+            dst,
+            src: src.into(),
+        });
     }
 
     /// Emit a load into a fresh register.
@@ -250,15 +266,14 @@ impl FunctionBuilder {
     }
 
     /// Emit a load into an existing register.
-    pub fn load_to(
-        &mut self,
-        dst: VReg,
-        op: Opcode,
-        addr: impl Into<Operand>,
-        region: MemRegion,
-    ) {
+    pub fn load_to(&mut self, dst: VReg, op: Opcode, addr: impl Into<Operand>, region: MemRegion) {
         assert!(op.is_load(), "{op} is not a load");
-        self.emit(Inst::Load { op, dst, addr: addr.into(), region });
+        self.emit(Inst::Load {
+            op,
+            dst,
+            addr: addr.into(),
+            region,
+        });
     }
 
     /// Emit a store.
@@ -270,19 +285,32 @@ impl FunctionBuilder {
         region: MemRegion,
     ) {
         assert!(op.is_store(), "{op} is not a store");
-        self.emit(Inst::Store { op, value: value.into(), addr: addr.into(), region });
+        self.emit(Inst::Store {
+            op,
+            value: value.into(),
+            addr: addr.into(),
+            region,
+        });
     }
 
     /// Emit a call with a result.
     pub fn call(&mut self, func: FuncId, args: &[Operand]) -> VReg {
         let dst = self.vreg();
-        self.emit(Inst::Call { func, args: args.to_vec(), dst: Some(dst) });
+        self.emit(Inst::Call {
+            func,
+            args: args.to_vec(),
+            dst: Some(dst),
+        });
         dst
     }
 
     /// Emit a call without a result.
     pub fn call_void(&mut self, func: FuncId, args: &[Operand]) {
-        self.emit(Inst::Call { func, args: args.to_vec(), dst: None });
+        self.emit(Inst::Call {
+            func,
+            args: args.to_vec(),
+            dst: None,
+        });
     }
 
     fn terminate(&mut self, t: Terminator) {
@@ -302,7 +330,11 @@ impl FunctionBuilder {
 
     /// Terminate the current block with a two-way branch on `cond != 0`.
     pub fn branch(&mut self, cond: impl Into<Operand>, if_true: BlockId, if_false: BlockId) {
-        self.terminate(Terminator::Branch { cond: cond.into(), if_true, if_false });
+        self.terminate(Terminator::Branch {
+            cond: cond.into(),
+            if_true,
+            if_false,
+        });
     }
 
     /// Terminate with `ret value`.
@@ -432,30 +464,15 @@ impl FunctionBuilder {
         self.load(Opcode::Ldqu, addr, region)
     }
     /// 32-bit store.
-    pub fn stw(
-        &mut self,
-        value: impl Into<Operand>,
-        addr: impl Into<Operand>,
-        region: MemRegion,
-    ) {
+    pub fn stw(&mut self, value: impl Into<Operand>, addr: impl Into<Operand>, region: MemRegion) {
         self.store(Opcode::Stw, value, addr, region);
     }
     /// 16-bit store.
-    pub fn sth(
-        &mut self,
-        value: impl Into<Operand>,
-        addr: impl Into<Operand>,
-        region: MemRegion,
-    ) {
+    pub fn sth(&mut self, value: impl Into<Operand>, addr: impl Into<Operand>, region: MemRegion) {
         self.store(Opcode::Sth, value, addr, region);
     }
     /// 8-bit store.
-    pub fn stq(
-        &mut self,
-        value: impl Into<Operand>,
-        addr: impl Into<Operand>,
-        region: MemRegion,
-    ) {
+    pub fn stq(&mut self, value: impl Into<Operand>, addr: impl Into<Operand>, region: MemRegion) {
         self.store(Opcode::Stq, value, addr, region);
     }
 }

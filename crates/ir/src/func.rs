@@ -15,7 +15,10 @@ pub struct Block {
 impl Block {
     /// An empty, unterminated block.
     pub fn new() -> Self {
-        Block { insts: Vec::new(), term: None }
+        Block {
+            insts: Vec::new(),
+            term: None,
+        }
     }
 }
 
@@ -229,7 +232,10 @@ mod tests {
             name: "m".into(),
             funcs: vec![],
             entry: FuncId(0),
-            data: vec![DataInit { addr: 4, bytes: vec![1, 2, 3] }],
+            data: vec![DataInit {
+                addr: 4,
+                bytes: vec![1, 2, 3],
+            }],
             mem_size: 16,
         };
         let mem = m.initial_memory();

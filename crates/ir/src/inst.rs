@@ -220,10 +220,20 @@ impl std::fmt::Display for Inst {
             Inst::Bin { op, dst, a, b } => write!(f, "{dst} = {op} {a}, {b}"),
             Inst::Un { op, dst, a } => write!(f, "{dst} = {op} {a}"),
             Inst::Copy { dst, src } => write!(f, "{dst} = {src}"),
-            Inst::Load { op, dst, addr, region } => {
+            Inst::Load {
+                op,
+                dst,
+                addr,
+                region,
+            } => {
                 write!(f, "{dst} = {op} [{addr}] @r{}", region.0)
             }
-            Inst::Store { op, value, addr, region } => {
+            Inst::Store {
+                op,
+                value,
+                addr,
+                region,
+            } => {
                 write!(f, "{op} [{addr}] = {value} @r{}", region.0)
             }
             Inst::Call { func, args, dst } => {
@@ -267,7 +277,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Jump(b) => vec![*b],
-            Terminator::Branch { if_true, if_false, .. } => vec![*if_true, *if_false],
+            Terminator::Branch {
+                if_true, if_false, ..
+            } => vec![*if_true, *if_false],
             Terminator::Ret(_) => vec![],
         }
     }
@@ -275,7 +287,10 @@ impl Terminator {
     /// Registers read by the terminator.
     pub fn uses(&self) -> Vec<VReg> {
         match self {
-            Terminator::Branch { cond: Operand::Reg(r), .. } => vec![*r],
+            Terminator::Branch {
+                cond: Operand::Reg(r),
+                ..
+            } => vec![*r],
             Terminator::Ret(Some(Operand::Reg(r))) => vec![*r],
             _ => vec![],
         }
@@ -286,7 +301,11 @@ impl std::fmt::Display for Terminator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Terminator::Jump(b) => write!(f, "jump {b}"),
-            Terminator::Branch { cond, if_true, if_false } => {
+            Terminator::Branch {
+                cond,
+                if_true,
+                if_false,
+            } => {
                 write!(f, "branch {cond} ? {if_true} : {if_false}")
             }
             Terminator::Ret(Some(v)) => write!(f, "ret {v}"),

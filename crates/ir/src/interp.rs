@@ -83,7 +83,11 @@ impl<'m> Interpreter<'m> {
     /// Interpreter with the default fuel (500 M instructions) and call depth
     /// (128).
     pub fn new(module: &'m Module) -> Self {
-        Interpreter { module, fuel: 500_000_000, max_depth: 128 }
+        Interpreter {
+            module,
+            fuel: 500_000_000,
+            max_depth: 128,
+        }
     }
 
     /// Override the fuel limit.
@@ -99,7 +103,11 @@ impl<'m> Interpreter<'m> {
         let mut fuel = self.fuel;
         let entry = self.module.entry_func();
         let ret = self.call(entry, args, &mut mem, &mut stats, &mut fuel, 0)?;
-        Ok(ExecResult { ret, stats, memory: mem })
+        Ok(ExecResult {
+            ret,
+            stats,
+            memory: mem,
+        })
     }
 
     fn call(
@@ -168,13 +176,19 @@ impl<'m> Interpreter<'m> {
                         let a = eval(&regs, *addr)? as u32;
                         regs[dst.0 as usize] = Some(tta_model::mem::load(mem, *op, a)?);
                     }
-                    Inst::Store { op, value, addr, .. } => {
+                    Inst::Store {
+                        op, value, addr, ..
+                    } => {
                         stats.stores += 1;
                         let v = eval(&regs, *value)?;
                         let a = eval(&regs, *addr)? as u32;
                         tta_model::mem::store(mem, *op, a, v)?;
                     }
-                    Inst::Call { func, args: call_args, dst } => {
+                    Inst::Call {
+                        func,
+                        args: call_args,
+                        dst,
+                    } => {
                         stats.calls += 1;
                         let callee = self.module.func(*func);
                         let mut vals = Vec::with_capacity(call_args.len());
@@ -201,8 +215,16 @@ impl<'m> Interpreter<'m> {
             stats.terminators += 1;
             match b.term.as_ref().expect("verified function has terminators") {
                 Terminator::Jump(t) => block = *t,
-                Terminator::Branch { cond, if_true, if_false } => {
-                    block = if eval(&regs, *cond)? != 0 { *if_true } else { *if_false };
+                Terminator::Branch {
+                    cond,
+                    if_true,
+                    if_false,
+                } => {
+                    block = if eval(&regs, *cond)? != 0 {
+                        *if_true
+                    } else {
+                        *if_false
+                    };
                 }
                 Terminator::Ret(v) => {
                     return match v {

@@ -26,7 +26,10 @@ impl std::error::Error for VerifyError {}
 pub fn verify_module(m: &Module) -> Result<(), Vec<VerifyError>> {
     let mut errs = Vec::new();
     if (m.entry.0 as usize) >= m.funcs.len() {
-        errs.push(VerifyError(format!("entry function f{} out of range", m.entry.0)));
+        errs.push(VerifyError(format!(
+            "entry function f{} out of range",
+            m.entry.0
+        )));
     }
     for d in &m.data {
         let end = d.addr as u64 + d.bytes.len() as u64;
@@ -124,7 +127,11 @@ pub fn verify_function(f: &Function, module: Option<&Module>) -> Result<(), Vec<
                         err(format!(
                             "{id}: return {} a value but function {}",
                             if v.is_some() { "carries" } else { "lacks" },
-                            if f.returns_value { "returns one" } else { "returns none" }
+                            if f.returns_value {
+                                "returns one"
+                            } else {
+                                "returns none"
+                            }
                         ));
                     }
                 }
@@ -343,7 +350,10 @@ mod tests {
         let r = fb.add(v, 1);
         fb.ret(r);
         let errs = verify_module(&module_of(fb.finish())).unwrap_err();
-        assert!(errs.iter().any(|e| e.0.contains("before assignment")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.0.contains("before assignment")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -461,7 +471,10 @@ mod tests {
         let id = mb.add(fb.finish());
         mb.set_entry(id);
         let mut m = mb.finish();
-        m.data.push(crate::func::DataInit { addr: m.mem_size - 2, bytes: vec![0; 8] });
+        m.data.push(crate::func::DataInit {
+            addr: m.mem_size - 2,
+            bytes: vec![0; 8],
+        });
         let errs = verify_module(&m).unwrap_err();
         assert!(errs.iter().any(|e| e.0.contains("exceeds memory size")));
     }

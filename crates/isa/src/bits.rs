@@ -59,7 +59,10 @@ struct BitWriter {
 
 impl BitWriter {
     fn new() -> Self {
-        BitWriter { bytes: Vec::new(), pos: 0 }
+        BitWriter {
+            bytes: Vec::new(),
+            pos: 0,
+        }
     }
     /// Append `n` bits of `v` (MSB of the field first).
     fn put(&mut self, v: u64, n: u32) {
@@ -194,9 +197,7 @@ impl TtaCodec {
                 w.put(reg as u64, self.limm_reg_bits);
                 w.put(value as u32 as u64, 32);
                 w.put(0, cap - self.limm_reg_bits - 32);
-                for (mv, layout) in
-                    inst.slots.iter().zip(&self.slots).skip(self.limm_slots)
-                {
+                for (mv, layout) in inst.slots.iter().zip(&self.slots).skip(self.limm_slots) {
                     self.encode_slot(*mv, layout, w)?;
                 }
             }
@@ -255,7 +256,10 @@ impl TtaCodec {
                     .iter()
                     .position(|&i| i == ditem)
                     .ok_or_else(|| {
-                        IsaError(format!("destination {:?} not reachable on this bus", mv.dst))
+                        IsaError(format!(
+                            "destination {:?} not reachable on this bus",
+                            mv.dst
+                        ))
                     })?;
                 w.put(didx as u64, layout.dst_bits);
             }
@@ -367,7 +371,10 @@ mod tests {
         // One of each move flavour on the buses that support them.
         let mut inst = TtaInst::nop(3);
         inst.slots[0] = Some(Move {
-            src: MoveSrc::Rf(RegRef { rf: RfId(0), index: 31 }),
+            src: MoveSrc::Rf(RegRef {
+                rf: RfId(0),
+                index: 31,
+            }),
             dst: MoveDst::FuTrigger(FuId(0), Opcode::Mul),
         });
         inst.slots[2] = Some(Move {
@@ -390,7 +397,10 @@ mod tests {
             .expect("pruned preset");
         let mut inst = TtaInst::nop(m.buses.len());
         inst.slots[bad] = Some(Move {
-            src: MoveSrc::Rf(RegRef { rf: RfId(0), index: 0 }),
+            src: MoveSrc::Rf(RegRef {
+                rf: RfId(0),
+                index: 0,
+            }),
             dst: MoveDst::FuOperand(FuId(0)),
         });
         assert!(c.encode_program(&[inst]).is_err());

@@ -74,7 +74,10 @@ pub struct TtaInst {
 impl TtaInst {
     /// An all-NOP instruction for a machine with `n_buses` buses.
     pub fn nop(n_buses: usize) -> Self {
-        TtaInst { slots: vec![None; n_buses], limm: None }
+        TtaInst {
+            slots: vec![None; n_buses],
+            limm: None,
+        }
     }
 
     /// Number of programmed moves.
@@ -142,7 +145,9 @@ pub struct VliwBundle {
 impl VliwBundle {
     /// An all-NOP bundle for a machine with `n_slots` issue slots.
     pub fn nop(n_slots: usize) -> Self {
-        VliwBundle { slots: vec![None; n_slots] }
+        VliwBundle {
+            slots: vec![None; n_slots],
+        }
     }
 
     /// Number of operations issued (long immediates count once).
@@ -290,7 +295,10 @@ mod tests {
         let mut b = VliwBundle::nop(3);
         assert!(b.is_nop());
         b.slots[0] = Some(VliwSlot::LimmHead {
-            dst: RegRef { rf: RfId(0), index: 1 },
+            dst: RegRef {
+                rf: RfId(0),
+                index: 1,
+            },
             value: 1 << 20,
         });
         b.slots[1] = Some(VliwSlot::LimmCont);
@@ -301,7 +309,10 @@ mod tests {
     #[test]
     fn display_smoke() {
         let mv = Move {
-            src: MoveSrc::Rf(RegRef { rf: RfId(0), index: 7 }),
+            src: MoveSrc::Rf(RegRef {
+                rf: RfId(0),
+                index: 7,
+            }),
             dst: MoveDst::FuTrigger(FuId(1), Opcode::Add),
         };
         let mut i = TtaInst::nop(2);

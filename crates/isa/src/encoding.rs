@@ -66,7 +66,11 @@ pub fn tta_dst_bits(m: &Machine, bus: &Bus) -> u32 {
 
 /// Full TTA instruction width in bits.
 pub fn tta_instruction_bits(m: &Machine) -> u32 {
-    let slots: u32 = m.buses.iter().map(|b| tta_src_bits(m, b) + tta_dst_bits(m, b)).sum();
+    let slots: u32 = m
+        .buses
+        .iter()
+        .map(|b| tta_src_bits(m, b) + tta_dst_bits(m, b))
+        .sum();
     // One template bit selects between "all slots are moves" and "the first
     // limm.bus_slots slots carry a long immediate".
     slots + 1
@@ -190,24 +194,20 @@ mod tests {
     fn tta_wider_than_vliw_at_same_issue_width() {
         // The paper's headline drawback: TTA instructions are wider.
         assert!(
-            tta_instruction_bits(&presets::m_tta_2())
-                > vliw_instruction_bits(&presets::m_vliw_2())
+            tta_instruction_bits(&presets::m_tta_2()) > vliw_instruction_bits(&presets::m_vliw_2())
         );
         assert!(
-            tta_instruction_bits(&presets::m_tta_3())
-                > vliw_instruction_bits(&presets::m_vliw_3())
+            tta_instruction_bits(&presets::m_tta_3()) > vliw_instruction_bits(&presets::m_vliw_3())
         );
     }
 
     #[test]
     fn bus_merging_narrows_instructions() {
         assert!(
-            tta_instruction_bits(&presets::bm_tta_2())
-                < tta_instruction_bits(&presets::p_tta_2())
+            tta_instruction_bits(&presets::bm_tta_2()) < tta_instruction_bits(&presets::p_tta_2())
         );
         assert!(
-            tta_instruction_bits(&presets::bm_tta_3())
-                < tta_instruction_bits(&presets::p_tta_3())
+            tta_instruction_bits(&presets::bm_tta_3()) < tta_instruction_bits(&presets::p_tta_3())
         );
     }
 

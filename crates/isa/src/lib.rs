@@ -28,10 +28,10 @@ pub mod code;
 pub mod encoding;
 pub mod program;
 
+pub use bits::TtaCodec;
 pub use code::{
     Move, MoveDst, MoveSrc, OpSrc, Operation, ScalarInst, TtaInst, VliwBundle, VliwSlot,
     RETVAL_ADDR,
 };
 pub use encoding::{image_bits, instruction_bits};
-pub use bits::TtaCodec;
 pub use program::{IsaError, Program};

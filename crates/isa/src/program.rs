@@ -7,7 +7,7 @@
 //! dynamic rules (result-port lifetimes, write-port collisions across
 //! cycles). Together they make scheduler bugs loud instead of silent.
 
-use crate::code::{MoveDst, MoveSrc, Operation, OpSrc, ScalarInst, TtaInst, VliwBundle, VliwSlot};
+use crate::code::{MoveDst, MoveSrc, OpSrc, Operation, ScalarInst, TtaInst, VliwBundle, VliwSlot};
 use crate::encoding::{fits_signed, image_bits, vliw_imm_bits};
 use tta_model::{CoreStyle, DstConn, Machine, RegRef, SrcConn};
 
@@ -66,9 +66,10 @@ impl Program {
     /// Total programmed moves (TTA) or operations (VLIW/scalar).
     pub fn payload_count(&self) -> usize {
         match self {
-            Program::Tta(v) => {
-                v.iter().map(|i| i.move_count() + usize::from(i.limm.is_some())).sum()
-            }
+            Program::Tta(v) => v
+                .iter()
+                .map(|i| i.move_count() + usize::from(i.limm.is_some()))
+                .sum(),
             Program::Vliw(v) => v.iter().map(|b| b.op_count()).sum(),
             Program::Scalar(v) => v.len(),
         }
@@ -97,7 +98,10 @@ impl Program {
 
 fn check_reg(m: &Machine, r: RegRef, ctx: &str, errs: &mut Vec<IsaError>) {
     if (r.rf.0 as usize) >= m.rfs.len() {
-        errs.push(IsaError(format!("{ctx}: register file {} out of range", r.rf)));
+        errs.push(IsaError(format!(
+            "{ctx}: register file {} out of range",
+            r.rf
+        )));
     } else if r.index >= m.rf(r.rf).regs {
         errs.push(IsaError(format!("{ctx}: register {r} out of range")));
     }
@@ -116,7 +120,9 @@ fn validate_tta(m: &Machine, insts: &[TtaInst], errs: &mut Vec<IsaError>) {
         }
         if let Some((reg, _)) = inst.limm {
             if reg >= m.limm.imm_regs {
-                errs.push(IsaError(format!("pc {pc}: long-immediate register {reg} out of range")));
+                errs.push(IsaError(format!(
+                    "pc {pc}: long-immediate register {reg} out of range"
+                )));
             }
             for s in 0..m.limm.bus_slots as usize {
                 if inst.slots[s].is_some() {
@@ -269,18 +275,27 @@ fn validate_operation(
         return;
     }
     if !m.fu(o.fu).supports(o.op) {
-        errs.push(IsaError(format!("{ctx}: {} does not implement {}", o.fu, o.op)));
+        errs.push(IsaError(format!(
+            "{ctx}: {} does not implement {}",
+            o.fu, o.op
+        )));
     }
     if let Some(d) = o.dst {
         check_reg(m, d, ctx, errs);
     }
     if o.op.has_result() != o.dst.is_some() {
-        errs.push(IsaError(format!("{ctx}: {} result/destination mismatch", o.op)));
+        errs.push(IsaError(format!(
+            "{ctx}: {} result/destination mismatch",
+            o.op
+        )));
     }
     let need = o.op.num_inputs();
     let have = usize::from(o.a.is_some()) + usize::from(o.b.is_some());
     if need != have {
-        errs.push(IsaError(format!("{ctx}: {} needs {need} inputs, has {have}", o.op)));
+        errs.push(IsaError(format!(
+            "{ctx}: {} needs {need} inputs, has {have}",
+            o.op
+        )));
     }
     for s in [o.a, o.b].into_iter().flatten() {
         match s {
@@ -382,8 +397,8 @@ fn validate_scalar(m: &Machine, insts: &[ScalarInst], errs: &mut Vec<IsaError>) 
                 // An op right after a prefix may carry a full 32-bit
                 // immediate; otherwise it is limited to the pipeline's
                 // inline immediate width.
-                let prefixed = matches!(insts.get(pc.wrapping_sub(1)), Some(ScalarInst::ImmPrefix))
-                    && pc > 0;
+                let prefixed =
+                    matches!(insts.get(pc.wrapping_sub(1)), Some(ScalarInst::ImmPrefix)) && pc > 0;
                 let imm_bits = if prefixed { 32 } else { pipe.imm_bits as u32 };
                 validate_operation(m, o, imm_bits, &ctx, errs);
             }
@@ -398,14 +413,19 @@ mod tests {
     use tta_model::{presets, FuId, FuKind, Opcode, RfId};
 
     fn rr(rf: u16, i: u16) -> RegRef {
-        RegRef { rf: RfId(rf), index: i }
+        RegRef {
+            rf: RfId(rf),
+            index: i,
+        }
     }
 
     #[test]
     fn empty_programs_validate() {
         assert!(Program::Tta(vec![]).validate(&presets::m_tta_1()).is_ok());
         assert!(Program::Vliw(vec![]).validate(&presets::m_vliw_2()).is_ok());
-        assert!(Program::Scalar(vec![]).validate(&presets::mblaze_3()).is_ok());
+        assert!(Program::Scalar(vec![])
+            .validate(&presets::mblaze_3())
+            .is_ok());
     }
 
     #[test]
@@ -416,11 +436,14 @@ mod tests {
     #[test]
     fn tta_read_port_overflow_detected() {
         let m = presets::m_tta_2(); // single 1R/1W RF
-        // Find two buses that can read the RF.
+                                    // Find two buses that can read the RF.
         let readers: Vec<usize> = (0..m.buses.len())
             .filter(|&b| m.buses[b].reads(SrcConn::RfRead(RfId(0))))
             .collect();
-        assert!(readers.len() >= 2, "preset should connect the read socket to 2 buses");
+        assert!(
+            readers.len() >= 2,
+            "preset should connect the read socket to 2 buses"
+        );
         let mut inst = TtaInst::nop(m.buses.len());
         for (k, &b) in readers.iter().take(2).enumerate() {
             inst.slots[b] = Some(Move {
@@ -517,7 +540,10 @@ mod tests {
     fn vliw_limm_needs_continuation() {
         let m = presets::m_vliw_3(); // 3 slots, limm takes 2
         let mut b = VliwBundle::nop(3);
-        b.slots[0] = Some(VliwSlot::LimmHead { dst: rr(0, 1), value: 1 << 30 });
+        b.slots[0] = Some(VliwSlot::LimmHead {
+            dst: rr(0, 1),
+            value: 1 << 30,
+        });
         let errs = Program::Vliw(vec![b.clone()]).validate(&m).unwrap_err();
         assert!(errs.iter().any(|e| e.0.contains("continuation")));
         b.slots[1] = Some(VliwSlot::LimmCont);
@@ -555,10 +581,13 @@ mod tests {
         let errs = Program::Scalar(vec![wide]).validate(&m).unwrap_err();
         assert!(errs.iter().any(|e| e.0.contains("does not fit")));
         // With prefix: accepted.
-        assert!(Program::Scalar(vec![ScalarInst::ImmPrefix, wide]).validate(&m).is_ok());
+        assert!(Program::Scalar(vec![ScalarInst::ImmPrefix, wide])
+            .validate(&m)
+            .is_ok());
         // Dangling prefix: rejected.
-        let errs =
-            Program::Scalar(vec![ScalarInst::ImmPrefix]).validate(&m).unwrap_err();
+        let errs = Program::Scalar(vec![ScalarInst::ImmPrefix])
+            .validate(&m)
+            .unwrap_err();
         assert!(errs.iter().any(|e| e.0.contains("imm-prefix")));
     }
 

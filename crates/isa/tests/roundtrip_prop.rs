@@ -3,8 +3,8 @@
 //! deterministic PRNG, so every case is reproducible from its number.
 
 use tta_isa::{Move, MoveDst, MoveSrc, TtaCodec, TtaInst};
-use tta_testutil::Rng;
 use tta_model::{presets, CoreStyle, DstConn, Machine, RegRef, SrcConn};
+use tta_testutil::Rng;
 
 /// Generate a random valid move for bus `b` of `m`, if the bus has any
 /// valid source/destination.
@@ -46,7 +46,10 @@ fn random_move(m: &Machine, b: usize, pick: &mut impl FnMut(usize) -> usize) -> 
     if srcs.is_empty() || dsts.is_empty() {
         return None;
     }
-    Some(Move { src: srcs[pick(srcs.len())], dst: dsts[pick(dsts.len())] })
+    Some(Move {
+        src: srcs[pick(srcs.len())],
+        dst: dsts[pick(dsts.len())],
+    })
 }
 
 fn random_program(m: &Machine, seeds: &[u32]) -> Vec<TtaInst> {

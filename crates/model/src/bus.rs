@@ -64,7 +64,13 @@ pub struct Bus {
 impl Bus {
     /// A 32-bit bus with 8-bit short immediates and no connections yet.
     pub fn new(name: impl Into<String>) -> Self {
-        Bus { name: name.into(), width: 32, simm_bits: 8, sources: Vec::new(), dests: Vec::new() }
+        Bus {
+            name: name.into(),
+            width: 32,
+            simm_bits: 8,
+            sources: Vec::new(),
+            dests: Vec::new(),
+        }
     }
 
     /// Whether the bus can read the given source socket.

@@ -56,17 +56,29 @@ pub struct FunctionUnit {
 impl FunctionUnit {
     /// A full Table-I ALU (all fourteen integer operations).
     pub fn full_alu(name: impl Into<String>) -> Self {
-        FunctionUnit { name: name.into(), kind: FuKind::Alu, ops: Opcode::ALU_OPS.to_vec() }
+        FunctionUnit {
+            name: name.into(),
+            kind: FuKind::Alu,
+            ops: Opcode::ALU_OPS.to_vec(),
+        }
     }
 
     /// A full Table-I LSU (all eight memory operations, absolute addresses).
     pub fn full_lsu(name: impl Into<String>) -> Self {
-        FunctionUnit { name: name.into(), kind: FuKind::Lsu, ops: Opcode::LSU_OPS.to_vec() }
+        FunctionUnit {
+            name: name.into(),
+            kind: FuKind::Lsu,
+            ops: Opcode::LSU_OPS.to_vec(),
+        }
     }
 
     /// The control unit (absolute jump, conditional jumps, halt).
     pub fn control_unit(name: impl Into<String>) -> Self {
-        FunctionUnit { name: name.into(), kind: FuKind::Ctrl, ops: Opcode::CTRL_OPS.to_vec() }
+        FunctionUnit {
+            name: name.into(),
+            kind: FuKind::Ctrl,
+            ops: Opcode::CTRL_OPS.to_vec(),
+        }
     }
 
     /// Whether the unit implements the given opcode.

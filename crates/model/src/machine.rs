@@ -57,13 +57,23 @@ pub struct ScalarPipeline {
 impl ScalarPipeline {
     /// The 3-stage, area-optimised MicroBlaze-like pipeline.
     pub fn three_stage() -> Self {
-        ScalarPipeline { stages: 3, branch_penalty: 2, forwarding: true, imm_bits: 16 }
+        ScalarPipeline {
+            stages: 3,
+            branch_penalty: 2,
+            forwarding: true,
+            imm_bits: 16,
+        }
     }
 
     /// The 5-stage, performance-optimised MicroBlaze-like pipeline (with
     /// branch-target cache).
     pub fn five_stage() -> Self {
-        ScalarPipeline { stages: 5, branch_penalty: 1, forwarding: true, imm_bits: 16 }
+        ScalarPipeline {
+            stages: 5,
+            branch_penalty: 1,
+            forwarding: true,
+            imm_bits: 16,
+        }
     }
 }
 
@@ -87,7 +97,10 @@ impl Default for LimmConfig {
         // Two immediate registers: typical blocks need one for a data
         // constant and one for the branch target, and two registers let the
         // scheduler overlap them freely.
-        LimmConfig { imm_regs: 2, bus_slots: 3 }
+        LimmConfig {
+            imm_regs: 2,
+            bus_slots: 3,
+        }
     }
 }
 
@@ -195,7 +208,8 @@ impl Machine {
     /// Buses whose slot can transport a move with the given source and
     /// destination.
     pub fn buses_connecting(&self, src: SrcConn, dst: DstConn) -> impl Iterator<Item = BusId> + '_ {
-        self.bus_ids().filter(move |&b| self.bus(b).reads(src) && self.bus(b).writes(dst))
+        self.bus_ids()
+            .filter(move |&b| self.bus(b).reads(src) && self.bus(b).writes(dst))
     }
 
     /// Structural validation. Returns all problems found (empty = valid).
@@ -204,15 +218,30 @@ impl Machine {
         let mut err = |m: String| errs.push(ModelError(m));
 
         // Exactly one control unit.
-        let ctrls = self.funits.iter().filter(|f| f.kind == FuKind::Ctrl).count();
+        let ctrls = self
+            .funits
+            .iter()
+            .filter(|f| f.kind == FuKind::Ctrl)
+            .count();
         if ctrls != 1 {
-            err(format!("machine must have exactly one control unit, found {ctrls}"));
+            err(format!(
+                "machine must have exactly one control unit, found {ctrls}"
+            ));
         }
 
         // Unique names.
         for (what, names) in [
-            ("function unit", self.funits.iter().map(|f| f.name.clone()).collect::<Vec<_>>()),
-            ("register file", self.rfs.iter().map(|r| r.name.clone()).collect()),
+            (
+                "function unit",
+                self.funits
+                    .iter()
+                    .map(|f| f.name.clone())
+                    .collect::<Vec<_>>(),
+            ),
+            (
+                "register file",
+                self.rfs.iter().map(|r| r.name.clone()).collect(),
+            ),
             ("bus", self.buses.iter().map(|b| b.name.clone()).collect()),
         ] {
             let mut sorted = names.clone();
@@ -250,7 +279,9 @@ impl Machine {
             CoreStyle::Vliw => self.validate_vliw(&mut errs),
             CoreStyle::Scalar => {
                 if self.scalar.is_none() {
-                    errs.push(ModelError("scalar machine lacks pipeline parameters".into()));
+                    errs.push(ModelError(
+                        "scalar machine lacks pipeline parameters".into(),
+                    ));
                 }
             }
         }
@@ -282,7 +313,9 @@ impl Machine {
             }
             for d in &b.dests {
                 match *d {
-                    DstConn::RfWrite(r) if !in_rf(r) => err(format!("bus {}: bad RF {r:?}", b.name)),
+                    DstConn::RfWrite(r) if !in_rf(r) => {
+                        err(format!("bus {}: bad RF {r:?}", b.name))
+                    }
                     DstConn::FuOperand(f) | DstConn::FuTrigger(f) if !in_fu(f) => {
                         err(format!("bus {}: bad FU {f:?}", b.name))
                     }
@@ -294,15 +327,23 @@ impl Machine {
         for (i, f) in self.funits.iter().enumerate() {
             let id = FuId(i as u16);
             if !self.buses.iter().any(|b| b.writes(DstConn::FuTrigger(id))) {
-                err(format!("trigger port of {} unreachable from any bus", f.name));
+                err(format!(
+                    "trigger port of {} unreachable from any bus",
+                    f.name
+                ));
             }
-            if f.has_operand_port()
-                && !self.buses.iter().any(|b| b.writes(DstConn::FuOperand(id)))
+            if f.has_operand_port() && !self.buses.iter().any(|b| b.writes(DstConn::FuOperand(id)))
             {
-                err(format!("operand port of {} unreachable from any bus", f.name));
+                err(format!(
+                    "operand port of {} unreachable from any bus",
+                    f.name
+                ));
             }
             if f.has_result_port() && !self.buses.iter().any(|b| b.reads(SrcConn::FuResult(id))) {
-                err(format!("result port of {} not connected to any bus", f.name));
+                err(format!(
+                    "result port of {} not connected to any bus",
+                    f.name
+                ));
             }
         }
         for (i, rf) in self.rfs.iter().enumerate() {
@@ -311,7 +352,10 @@ impl Machine {
                 err(format!("read port of {} not connected to any bus", rf.name));
             }
             if !self.buses.iter().any(|b| b.writes(DstConn::RfWrite(id))) {
-                err(format!("write port of {} not connected to any bus", rf.name));
+                err(format!(
+                    "write port of {} not connected to any bus",
+                    rf.name
+                ));
             }
         }
         if self.limm.imm_regs == 0 || self.limm.bus_slots == 0 {
@@ -347,7 +391,10 @@ impl Machine {
         }
         for (i, c) in covered.iter().enumerate() {
             if !c {
-                err(format!("unit {} not issuable through any slot", self.funits[i].name));
+                err(format!(
+                    "unit {} not issuable through any slot",
+                    self.funits[i].name
+                ));
             }
         }
         if self.vliw_limm_slots == 0 || (self.vliw_limm_slots as usize) > self.slots.len() {
@@ -380,7 +427,10 @@ mod tests {
                 panic!(
                     "{} failed validation:\n{}",
                     m.name,
-                    es.iter().map(|e| e.0.clone()).collect::<Vec<_>>().join("\n")
+                    es.iter()
+                        .map(|e| e.0.clone())
+                        .collect::<Vec<_>>()
+                        .join("\n")
                 );
             }
         }

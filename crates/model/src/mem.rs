@@ -44,8 +44,15 @@ pub fn access_width(op: Opcode) -> u32 {
 
 fn check(mem: &[u8], addr: u32, width: u32, store: bool) -> Result<usize, MemError> {
     let a = addr as usize;
-    if !a.is_multiple_of(width as usize) || a.checked_add(width as usize).is_none_or(|e| e > mem.len()) {
-        return Err(MemError { addr, width, store, size: mem.len() });
+    if !a.is_multiple_of(width as usize)
+        || a.checked_add(width as usize).is_none_or(|e| e > mem.len())
+    {
+        return Err(MemError {
+            addr,
+            width,
+            store,
+            size: mem.len(),
+        });
     }
     Ok(a)
 }

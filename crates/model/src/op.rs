@@ -10,7 +10,6 @@
 //! between the two would otherwise silently invalidate the differential
 //! tests.
 
-
 /// Functional class of an operation, which also determines the kind of
 /// function unit that may execute it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -339,7 +338,13 @@ mod tests {
         assert_eq!(Opcode::Sxhw.latency(), 1);
         assert_eq!(Opcode::Sxqw.latency(), 1);
         assert_eq!(Opcode::Xor.latency(), 1);
-        for ld in [Opcode::Ldw, Opcode::Ldh, Opcode::Ldq, Opcode::Ldqu, Opcode::Ldhu] {
+        for ld in [
+            Opcode::Ldw,
+            Opcode::Ldh,
+            Opcode::Ldq,
+            Opcode::Ldqu,
+            Opcode::Ldhu,
+        ] {
             assert_eq!(ld.latency(), 3, "{ld}");
         }
         for st in [Opcode::Stw, Opcode::Sth, Opcode::Stq] {

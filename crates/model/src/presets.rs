@@ -134,12 +134,25 @@ fn vliw_machine(name: &str, issue: u8, rfs: Vec<RegisterFile>) -> Machine {
     // Slot assignment per the paper's encoding: one slot per parallel
     // operation; control ops share the first ALU slot.
     let alu0 = FuId(0);
-    let (lsu, ctrl) = if issue >= 3 { (FuId(2), FuId(3)) } else { (FuId(1), FuId(2)) };
-    let mut slots = vec![IssueSlot { name: "s0".into(), units: vec![alu0, ctrl] }];
+    let (lsu, ctrl) = if issue >= 3 {
+        (FuId(2), FuId(3))
+    } else {
+        (FuId(1), FuId(2))
+    };
+    let mut slots = vec![IssueSlot {
+        name: "s0".into(),
+        units: vec![alu0, ctrl],
+    }];
     if issue >= 3 {
-        slots.push(IssueSlot { name: "s1".into(), units: vec![FuId(1)] });
+        slots.push(IssueSlot {
+            name: "s1".into(),
+            units: vec![FuId(1)],
+        });
     }
-    slots.push(IssueSlot { name: format!("s{}", slots.len()), units: vec![lsu] });
+    slots.push(IssueSlot {
+        name: format!("s{}", slots.len()),
+        units: vec![lsu],
+    });
     let m = Machine {
         name: name.into(),
         style: CoreStyle::Vliw,
@@ -202,7 +215,10 @@ pub fn p_vliw_2() -> Machine {
     vliw_machine(
         "p-vliw-2",
         2,
-        vec![RegisterFile::new("rf0", 32, 2, 1), RegisterFile::new("rf1", 32, 2, 1)],
+        vec![
+            RegisterFile::new("rf0", 32, 2, 1),
+            RegisterFile::new("rf1", 32, 2, 1),
+        ],
     )
 }
 
@@ -218,7 +234,10 @@ pub fn p_tta_2() -> Machine {
     tta_machine(
         "p-tta-2",
         2,
-        vec![RegisterFile::new("rf0", 32, 1, 1), RegisterFile::new("rf1", 32, 1, 1)],
+        vec![
+            RegisterFile::new("rf0", 32, 1, 1),
+            RegisterFile::new("rf1", 32, 1, 1),
+        ],
         6,
     )
 }
@@ -230,7 +249,10 @@ pub fn bm_tta_2() -> Machine {
     let mut m = tta_machine(
         "bm-tta-2",
         2,
-        vec![RegisterFile::new("rf0", 32, 1, 1), RegisterFile::new("rf1", 32, 1, 1)],
+        vec![
+            RegisterFile::new("rf0", 32, 1, 1),
+            RegisterFile::new("rf1", 32, 1, 1),
+        ],
         4,
     );
     m.jump_delay_slots = JUMP_DELAY_SLOTS;
@@ -428,7 +450,11 @@ mod tests {
                 '1' | '3' if m.name.starts_with("mblaze") => 1,
                 c => c.to_digit(10).unwrap() as u8,
             };
-            let expect_issue = if m.name.starts_with("mblaze") { 1 } else { expect_issue };
+            let expect_issue = if m.name.starts_with("mblaze") {
+                1
+            } else {
+                expect_issue
+            };
             assert_eq!(m.issue_width, expect_issue, "{}", m.name);
             match m.style {
                 CoreStyle::Tta => assert!(!m.buses.is_empty()),
@@ -445,8 +471,11 @@ mod tests {
     fn three_issue_has_two_alus() {
         for name in ["m-vliw-3", "p-vliw-3", "m-tta-3", "p-tta-3", "bm-tta-3"] {
             let m = by_name(name).unwrap();
-            let alus =
-                m.funits.iter().filter(|f| f.kind == crate::fu::FuKind::Alu).count();
+            let alus = m
+                .funits
+                .iter()
+                .filter(|f| f.kind == crate::fu::FuKind::Alu)
+                .count();
             assert_eq!(alus, 2, "{name}");
         }
     }
@@ -464,7 +493,10 @@ mod tests {
         // the preset machines (possibly via an RF), otherwise compilation
         // could wedge. With fully-connected buses this is immediate; the
         // test guards against future preset edits breaking it.
-        for m in all_design_points().into_iter().filter(|m| m.style == CoreStyle::Tta) {
+        for m in all_design_points()
+            .into_iter()
+            .filter(|m| m.style == CoreStyle::Tta)
+        {
             for rf in m.rf_ids() {
                 for fu in m.fu_ids() {
                     assert!(

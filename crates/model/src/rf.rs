@@ -8,7 +8,6 @@
 //! port multiplies the distributed-RAM replication cost, which is what
 //! Table III of the paper measures.
 
-
 /// Index of a register file within its [`Machine`](crate::Machine).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RfId(pub u16);
@@ -39,12 +38,20 @@ pub struct RegisterFile {
 impl RegisterFile {
     /// Convenience constructor with the default 32-bit width.
     pub fn new(name: impl Into<String>, regs: u16, read_ports: u8, write_ports: u8) -> Self {
-        RegisterFile { name: name.into(), regs, width: 32, read_ports, write_ports }
+        RegisterFile {
+            name: name.into(),
+            regs,
+            width: 32,
+            read_ports,
+            write_ports,
+        }
     }
 
     /// Bits needed to address a register in this file.
     pub fn index_bits(&self) -> u32 {
-        (self.regs.max(2) as u32).next_power_of_two().trailing_zeros()
+        (self.regs.max(2) as u32)
+            .next_power_of_two()
+            .trailing_zeros()
     }
 
     /// Total storage bits.

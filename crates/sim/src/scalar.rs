@@ -158,7 +158,12 @@ fn run_scalar_inner(
                     OpClass::Ctrl => match op {
                         Opcode::Halt => {
                             let ret = mem::load(&memory, Opcode::Ldw, RETVAL_ADDR)?;
-                            return Ok(SimResult { cycles: cycle, ret, memory, stats });
+                            return Ok(SimResult {
+                                cycles: cycle,
+                                ret,
+                                memory,
+                                stats,
+                            });
                         }
                         Opcode::Jump | Opcode::CJnz | Opcode::CJz => {
                             let (taken, target) = match op {

@@ -50,7 +50,10 @@ impl FlatRf {
             base.push(total);
             total += rf.regs as u32;
         }
-        FlatRf { vals: vec![0; total as usize], base }
+        FlatRf {
+            vals: vec![0; total as usize],
+            base,
+        }
     }
 
     /// Resolve a register reference to its flat index (decode-time only;

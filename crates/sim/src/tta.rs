@@ -121,16 +121,14 @@ fn decode(rf: &FlatRf, program: &[TtaInst]) -> Decoded {
             let Some(mv) = slot else { continue };
             d.srcs.push(match mv.src {
                 MoveSrc::Rf(r) => DecSrc::Rf(rf.flat(r)),
-                MoveSrc::FuResult(f) => DecSrc::FuResult(f.0 as u16),
+                MoveSrc::FuResult(f) => DecSrc::FuResult(f.0),
                 MoveSrc::Imm(v) => DecSrc::Imm(v),
                 MoveSrc::ImmReg(k) => DecSrc::ImmReg(k),
             });
             match mv.dst {
                 MoveDst::Rf(r) => d.writes.push((vi, DecWrite::Rf(rf.flat(r)))),
-                MoveDst::FuOperand(f) => d.writes.push((vi, DecWrite::FuOperand(f.0 as u16))),
-                MoveDst::FuTrigger(f, op) => {
-                    d.trigs.push(DecTrig { vi, fu: f.0 as u16, op })
-                }
+                MoveDst::FuOperand(f) => d.writes.push((vi, DecWrite::FuOperand(f.0))),
+                MoveDst::FuTrigger(f, op) => d.trigs.push(DecTrig { vi, fu: f.0, op }),
             }
             vi += 1;
         }
@@ -276,8 +274,10 @@ fn run_tta_inner(
                         m.funits[trig.fu as usize].name
                     )));
                 }
-                fu.pipeline[fu.live as usize] =
-                    InFlight { done: cycle + op.latency() as u64, value };
+                fu.pipeline[fu.live as usize] = InFlight {
+                    done: cycle + op.latency() as u64,
+                    value,
+                };
                 fu.live += 1;
                 Ok(())
             };
@@ -333,7 +333,12 @@ fn run_tta_inner(
         cycle += 1;
         if halt {
             let ret = mem::load(&memory, Opcode::Ldw, RETVAL_ADDR)?;
-            return Ok(SimResult { cycles: cycle, ret, memory, stats });
+            return Ok(SimResult {
+                cycles: cycle,
+                ret,
+                memory,
+                stats,
+            });
         }
         // Control transfer bookkeeping.
         match pending_jump.take() {
@@ -349,7 +354,11 @@ fn run_tta_inner(
 
 /// Convenience wrapper asserting the LSU exists and the program is
 /// non-empty; mirrors [`run_tta`] with the default fuel.
-pub fn run_tta_default(m: &Machine, program: &[TtaInst], memory: Vec<u8>) -> Result<SimResult, SimError> {
+pub fn run_tta_default(
+    m: &Machine,
+    program: &[TtaInst],
+    memory: Vec<u8>,
+) -> Result<SimResult, SimError> {
     debug_assert!(m.funits.iter().any(|f| f.kind == FuKind::Lsu));
     run_tta(m, program, memory, DEFAULT_FUEL)
 }

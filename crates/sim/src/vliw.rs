@@ -69,7 +69,7 @@ fn decode(rf: &FlatRf, program: &[VliwBundle]) -> (Vec<DecSlot>, Vec<DecBundle>)
                 None | Some(VliwSlot::LimmCont) => {}
                 Some(VliwSlot::LimmHead { dst, value }) => slots.push(DecSlot::Limm {
                     dst: rf.flat(*dst),
-                    dst_rf: dst.rf.0 as u16,
+                    dst_rf: dst.rf.0,
                     value: *value,
                 }),
                 Some(VliwSlot::Op(Operation { op, dst, a, b, .. })) => slots.push(DecSlot::Op {
@@ -77,11 +77,13 @@ fn decode(rf: &FlatRf, program: &[VliwBundle]) -> (Vec<DecSlot>, Vec<DecBundle>)
                     a: DecOpSrc::decode(rf, *a),
                     b: DecOpSrc::decode(rf, *b),
                     dst: dst.map_or(NO_DST, |d| rf.flat(d)),
-                    dst_rf: dst.map_or(0, |d| d.rf.0 as u16),
+                    dst_rf: dst.map_or(0, |d| d.rf.0),
                 }),
             }
         }
-        bundles.push(DecBundle { slots: (s0, slots.len() as u32) });
+        bundles.push(DecBundle {
+            slots: (s0, slots.len() as u32),
+        });
     }
     (slots, bundles)
 }
@@ -146,9 +148,20 @@ fn run_vliw_inner(
                 DecSlot::Limm { dst, dst_rf, value } => {
                     stats.payload += 1;
                     stats.limms += 1;
-                    pending.push(Writeback { due: cycle + 1, flat: dst, rf: dst_rf, value });
+                    pending.push(Writeback {
+                        due: cycle + 1,
+                        flat: dst,
+                        rf: dst_rf,
+                        value,
+                    });
                 }
-                DecSlot::Op { op, a, b, dst, dst_rf } => {
+                DecSlot::Op {
+                    op,
+                    a,
+                    b,
+                    dst,
+                    dst_rf,
+                } => {
                     stats.payload += 1;
                     let va = match a {
                         DecOpSrc::None => None,
@@ -248,7 +261,12 @@ fn run_vliw_inner(
         cycle += 1;
         if halt {
             let ret = mem::load(&memory, Opcode::Ldw, RETVAL_ADDR)?;
-            return Ok(SimResult { cycles: cycle, ret, memory, stats });
+            return Ok(SimResult {
+                cycles: cycle,
+                ret,
+                memory,
+                stats,
+            });
         }
         match pending_jump.take() {
             Some((0, target)) => pc = target,

@@ -9,12 +9,12 @@
 //! simulators end to end.
 
 use tta_compiler::compile;
-use tta_testutil::Rng;
 use tta_ir::builder::{FunctionBuilder, ModuleBuilder};
 use tta_ir::interp::Interpreter;
 use tta_ir::{Module, Operand, VReg};
 use tta_isa::RETVAL_ADDR;
 use tta_model::presets;
+use tta_testutil::Rng;
 
 /// Compare a module's interpreted execution against compile+simulate on one
 /// machine. Memory is compared outside the reserved low area and the spill
@@ -25,8 +25,13 @@ fn check_machine(module: &Module, machine: &tta_model::Machine) {
         .unwrap_or_else(|e| panic!("{}: interpreter failed: {e}", module.name));
     let compiled = compile(module, machine)
         .unwrap_or_else(|e| panic!("{} on {}: compile failed: {e}", module.name, machine.name));
-    let result = tta_sim::run(machine, &compiled.program, module.initial_memory())
-        .unwrap_or_else(|e| panic!("{} on {}: simulation failed: {e}", module.name, machine.name));
+    let result =
+        tta_sim::run(machine, &compiled.program, module.initial_memory()).unwrap_or_else(|e| {
+            panic!(
+                "{} on {}: simulation failed: {e}",
+                module.name, machine.name
+            )
+        });
 
     if let Some(expected) = golden.ret {
         assert_eq!(
@@ -296,7 +301,11 @@ fn random_stmt(rng: &mut Rng, depth: u32) -> Stmt {
         };
     }
     match rng.below(5) {
-        0 => Stmt::Bin(rng.below(10) as u8, rng.below(1_000_000), rng.below(1_000_000)),
+        0 => Stmt::Bin(
+            rng.below(10) as u8,
+            rng.below(1_000_000),
+            rng.below(1_000_000),
+        ),
         1 => Stmt::Un(rng.below(2) as u8, rng.below(1_000_000)),
         2 => Stmt::Store(rng.below(1_000_000), rng.below(16) as u8),
         3 => Stmt::Load(rng.below(16) as u8),
@@ -440,10 +449,21 @@ fn regression_if_then_loop_wide_consts() {
     let stmts = vec![
         Stmt::If(
             0,
-            vec![Stmt::Bin(0, 0, 0), Stmt::Const(509804834), Stmt::Bin(3, 283569, 10808)],
-            vec![Stmt::Bin(3, 29180, 562253), Stmt::Un(1, 779754), Stmt::Bin(0, 598282, 187422)],
+            vec![
+                Stmt::Bin(0, 0, 0),
+                Stmt::Const(509804834),
+                Stmt::Bin(3, 283569, 10808),
+            ],
+            vec![
+                Stmt::Bin(3, 29180, 562253),
+                Stmt::Un(1, 779754),
+                Stmt::Bin(0, 598282, 187422),
+            ],
         ),
-        Stmt::Loop(2, vec![Stmt::Const(195494744), Stmt::Load(3), Stmt::Un(0, 783974)]),
+        Stmt::Loop(
+            2,
+            vec![Stmt::Const(195494744), Stmt::Load(3), Stmt::Un(0, 783974)],
+        ),
     ];
     let module = build_random_module(&stmts);
     if std::env::var("DUMP").is_ok() {

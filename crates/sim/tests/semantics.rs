@@ -2,7 +2,9 @@
 //! machine programs — the contract the schedulers plan against, pinned
 //! down independently of the compiler.
 
-use tta_isa::{Move, MoveDst, MoveSrc, OpSrc, Operation, ScalarInst, TtaInst, VliwBundle, VliwSlot};
+use tta_isa::{
+    Move, MoveDst, MoveSrc, OpSrc, Operation, ScalarInst, TtaInst, VliwBundle, VliwSlot,
+};
 use tta_model::{presets, FuId, Opcode, RegRef, RfId};
 use tta_sim::{SimError, SimResult};
 
@@ -12,7 +14,10 @@ const LSU: FuId = FuId(1);
 const CU: FuId = FuId(2);
 
 fn rr(i: u16) -> RegRef {
-    RegRef { rf: RfId(0), index: i }
+    RegRef {
+        rf: RfId(0),
+        index: i,
+    }
 }
 
 fn mv(src: MoveSrc, dst: MoveDst) -> Option<Move> {
@@ -27,7 +32,10 @@ fn run_tta(insts: Vec<TtaInst>) -> Result<SimResult, SimError> {
 
 /// Build an m-tta-1 instruction from up to three slot moves.
 fn inst(slots: [Option<Move>; 3]) -> TtaInst {
-    TtaInst { slots: slots.to_vec(), limm: None }
+    TtaInst {
+        slots: slots.to_vec(),
+        limm: None,
+    }
 }
 
 fn store_and_halt(value_src: MoveSrc) -> Vec<TtaInst> {
@@ -38,7 +46,11 @@ fn store_and_halt(value_src: MoveSrc) -> Vec<TtaInst> {
             mv(MoveSrc::Imm(8), MoveDst::FuTrigger(LSU, Opcode::Stw)),
             None,
         ]),
-        inst([mv(MoveSrc::Imm(0), MoveDst::FuTrigger(CU, Opcode::Halt)), None, None]),
+        inst([
+            mv(MoveSrc::Imm(0), MoveDst::FuTrigger(CU, Opcode::Halt)),
+            None,
+            None,
+        ]),
     ]
 }
 
@@ -107,7 +119,11 @@ fn operand_port_storage_persists_across_triggers() {
             None,
         ]),
         // Second trigger, no operand move: still a = 10.
-        inst([mv(MoveSrc::Imm(2), MoveDst::FuTrigger(ALU, Opcode::Add)), None, None]),
+        inst([
+            mv(MoveSrc::Imm(2), MoveDst::FuTrigger(ALU, Opcode::Add)),
+            None,
+            None,
+        ]),
     ];
     prog.extend(store_and_halt(MoveSrc::FuResult(ALU)));
     assert_eq!(run_tta(prog).unwrap().ret, 12);
@@ -139,11 +155,15 @@ fn jump_executes_exactly_two_delay_slots() {
     let mut limm = TtaInst::nop(3);
     limm.limm = Some((0, 5));
     let prog = vec![
-        limm,                                                             // 0
-        inst([mv(MoveSrc::ImmReg(0), MoveDst::FuTrigger(CU, Opcode::Jump)), None, None]), // 1
-        inst([mv(MoveSrc::Imm(1), MoveDst::Rf(rr(1))), None, None]),      // 2 (delay)
-        inst([mv(MoveSrc::Imm(2), MoveDst::Rf(rr(2))), None, None]),      // 3 (delay)
-        inst([mv(MoveSrc::Imm(3), MoveDst::Rf(rr(3))), None, None]),      // 4 (skipped)
+        limm, // 0
+        inst([
+            mv(MoveSrc::ImmReg(0), MoveDst::FuTrigger(CU, Opcode::Jump)),
+            None,
+            None,
+        ]), // 1
+        inst([mv(MoveSrc::Imm(1), MoveDst::Rf(rr(1))), None, None]), // 2 (delay)
+        inst([mv(MoveSrc::Imm(2), MoveDst::Rf(rr(2))), None, None]), // 3 (delay)
+        inst([mv(MoveSrc::Imm(3), MoveDst::Rf(rr(3))), None, None]), // 4 (skipped)
         // 5: r1+r2 -> store
         inst([
             mv(MoveSrc::Rf(rr(1)), MoveDst::FuOperand(ALU)),
@@ -155,7 +175,11 @@ fn jump_executes_exactly_two_delay_slots() {
             mv(MoveSrc::Imm(8), MoveDst::FuTrigger(LSU, Opcode::Stw)),
             None,
         ]),
-        inst([mv(MoveSrc::Imm(0), MoveDst::FuTrigger(CU, Opcode::Halt)), None, None]),
+        inst([
+            mv(MoveSrc::Imm(0), MoveDst::FuTrigger(CU, Opcode::Halt)),
+            None,
+            None,
+        ]),
     ];
     let r = run_tta(prog).unwrap();
     // Delay slots executed: r1 + r2 = 3; the skipped store of r3 never ran.
@@ -170,7 +194,11 @@ fn runaway_programs_exhaust_fuel() {
     limm.limm = Some((0, 0));
     let prog = vec![
         limm,
-        inst([mv(MoveSrc::ImmReg(0), MoveDst::FuTrigger(CU, Opcode::Jump)), None, None]),
+        inst([
+            mv(MoveSrc::ImmReg(0), MoveDst::FuTrigger(CU, Opcode::Jump)),
+            None,
+            None,
+        ]),
         TtaInst::nop(3),
         TtaInst::nop(3),
     ];
@@ -207,7 +235,13 @@ fn same_cycle_completions_on_one_unit_are_rejected() {
 // ---------------------------------------------------------------------
 
 /// m-vliw-2: slot 0 hosts ALU+CU, slot 1 the LSU.
-fn vliw_op(op: Opcode, fu: FuId, dst: Option<RegRef>, a: Option<OpSrc>, b: Option<OpSrc>) -> VliwSlot {
+fn vliw_op(
+    op: Opcode,
+    fu: FuId,
+    dst: Option<RegRef>,
+    a: Option<OpSrc>,
+    b: Option<OpSrc>,
+) -> VliwSlot {
     VliwSlot::Op(Operation { op, fu, dst, a, b })
 }
 
@@ -280,11 +314,16 @@ fn vliw_limm_head_behaves_like_a_one_cycle_op() {
     let prog = vec![
         VliwBundle {
             slots: vec![
-                Some(VliwSlot::LimmHead { dst: rr(2), value: 1 << 30 }),
+                Some(VliwSlot::LimmHead {
+                    dst: rr(2),
+                    value: 1 << 30,
+                }),
                 Some(VliwSlot::LimmCont),
             ],
         },
-        VliwBundle { slots: vec![None, None] },
+        VliwBundle {
+            slots: vec![None, None],
+        },
         VliwBundle {
             slots: vec![
                 None,
@@ -313,7 +352,13 @@ fn vliw_limm_head_behaves_like_a_one_cycle_op() {
 // Scalar pipeline timing.
 // ---------------------------------------------------------------------
 
-fn scalar_op(op: Opcode, fu: FuId, dst: Option<RegRef>, a: Option<OpSrc>, b: Option<OpSrc>) -> ScalarInst {
+fn scalar_op(
+    op: Opcode,
+    fu: FuId,
+    dst: Option<RegRef>,
+    a: Option<OpSrc>,
+    b: Option<OpSrc>,
+) -> ScalarInst {
     ScalarInst::Op(Operation { op, fu, dst, a, b })
 }
 
@@ -326,8 +371,20 @@ fn scalar_load_use_stall_is_charged() {
     // dependence the consumer waits for the 3-cycle load.
     let independent = vec![
         scalar_op(Opcode::Ldw, lsu, Some(rr(1)), None, Some(OpSrc::Imm(16))),
-        scalar_op(Opcode::Add, ALU, Some(rr(2)), Some(OpSrc::Imm(1)), Some(OpSrc::Imm(2))),
-        scalar_op(Opcode::Stw, lsu, None, Some(OpSrc::Reg(rr(2))), Some(OpSrc::Imm(8))),
+        scalar_op(
+            Opcode::Add,
+            ALU,
+            Some(rr(2)),
+            Some(OpSrc::Imm(1)),
+            Some(OpSrc::Imm(2)),
+        ),
+        scalar_op(
+            Opcode::Stw,
+            lsu,
+            None,
+            Some(OpSrc::Reg(rr(2))),
+            Some(OpSrc::Imm(8)),
+        ),
         scalar_op(Opcode::Halt, cu, None, None, Some(OpSrc::Imm(0))),
     ];
     let r1 = tta_sim::scalar::run_scalar(&m, &independent, vec![0; 1 << 16], 1000).unwrap();
@@ -335,12 +392,28 @@ fn scalar_load_use_stall_is_charged() {
 
     let dependent = vec![
         scalar_op(Opcode::Ldw, lsu, Some(rr(1)), None, Some(OpSrc::Imm(16))),
-        scalar_op(Opcode::Add, ALU, Some(rr(2)), Some(OpSrc::Reg(rr(1))), Some(OpSrc::Imm(2))),
-        scalar_op(Opcode::Stw, lsu, None, Some(OpSrc::Reg(rr(2))), Some(OpSrc::Imm(8))),
+        scalar_op(
+            Opcode::Add,
+            ALU,
+            Some(rr(2)),
+            Some(OpSrc::Reg(rr(1))),
+            Some(OpSrc::Imm(2)),
+        ),
+        scalar_op(
+            Opcode::Stw,
+            lsu,
+            None,
+            Some(OpSrc::Reg(rr(2))),
+            Some(OpSrc::Imm(8)),
+        ),
         scalar_op(Opcode::Halt, cu, None, None, Some(OpSrc::Imm(0))),
     ];
     let r2 = tta_sim::scalar::run_scalar(&m, &dependent, vec![0; 1 << 16], 1000).unwrap();
-    assert!(r2.stats.stall_cycles >= 2, "load-use must stall: {:?}", r2.stats);
+    assert!(
+        r2.stats.stall_cycles >= 2,
+        "load-use must stall: {:?}",
+        r2.stats
+    );
     assert!(r2.cycles > r1.cycles);
 }
 
@@ -351,7 +424,13 @@ fn scalar_taken_branch_pays_the_pipeline_penalty() {
         let prog = vec![
             // Jump over one instruction.
             scalar_op(Opcode::Jump, cu, None, None, Some(OpSrc::Imm(2))),
-            scalar_op(Opcode::Add, ALU, Some(rr(1)), Some(OpSrc::Imm(1)), Some(OpSrc::Imm(1))),
+            scalar_op(
+                Opcode::Add,
+                ALU,
+                Some(rr(1)),
+                Some(OpSrc::Imm(1)),
+                Some(OpSrc::Imm(1)),
+            ),
             scalar_op(Opcode::Halt, cu, None, None, Some(OpSrc::Imm(0))),
         ];
         tta_sim::scalar::run_scalar(m, &prog, vec![0; 1 << 16], 1000).unwrap()
@@ -379,7 +458,13 @@ fn scalar_imm_prefix_costs_one_cycle() {
         scalar_op(Opcode::Halt, cu, None, None, Some(OpSrc::Imm(0))),
     ];
     let without = vec![
-        scalar_op(Opcode::Add, ALU, Some(rr(1)), Some(OpSrc::Imm(7)), Some(OpSrc::Imm(0))),
+        scalar_op(
+            Opcode::Add,
+            ALU,
+            Some(rr(1)),
+            Some(OpSrc::Imm(7)),
+            Some(OpSrc::Imm(0)),
+        ),
         scalar_op(Opcode::Halt, cu, None, None, Some(OpSrc::Imm(0))),
     ];
     let r1 = tta_sim::scalar::run_scalar(&m, &with_prefix, vec![0; 1 << 16], 100).unwrap();
@@ -400,10 +485,34 @@ fn scalar_without_forwarding_pays_an_extra_cycle_per_dependence() {
     });
     let cu = FuId(2);
     let prog = vec![
-        scalar_op(Opcode::Add, ALU, Some(rr(1)), Some(OpSrc::Imm(1)), Some(OpSrc::Imm(1))),
-        scalar_op(Opcode::Add, ALU, Some(rr(2)), Some(OpSrc::Reg(rr(1))), Some(OpSrc::Imm(1))),
-        scalar_op(Opcode::Add, ALU, Some(rr(3)), Some(OpSrc::Reg(rr(2))), Some(OpSrc::Imm(1))),
-        scalar_op(Opcode::Stw, LSU, None, Some(OpSrc::Reg(rr(3))), Some(OpSrc::Imm(8))),
+        scalar_op(
+            Opcode::Add,
+            ALU,
+            Some(rr(1)),
+            Some(OpSrc::Imm(1)),
+            Some(OpSrc::Imm(1)),
+        ),
+        scalar_op(
+            Opcode::Add,
+            ALU,
+            Some(rr(2)),
+            Some(OpSrc::Reg(rr(1))),
+            Some(OpSrc::Imm(1)),
+        ),
+        scalar_op(
+            Opcode::Add,
+            ALU,
+            Some(rr(3)),
+            Some(OpSrc::Reg(rr(2))),
+            Some(OpSrc::Imm(1)),
+        ),
+        scalar_op(
+            Opcode::Stw,
+            LSU,
+            None,
+            Some(OpSrc::Reg(rr(3))),
+            Some(OpSrc::Imm(8)),
+        ),
         scalar_op(Opcode::Halt, cu, None, None, Some(OpSrc::Imm(0))),
     ];
     let slow = tta_sim::scalar::run_scalar(&m, &prog, vec![0; 1 << 16], 100).unwrap();
@@ -411,6 +520,11 @@ fn scalar_without_forwarding_pays_an_extra_cycle_per_dependence() {
         tta_sim::scalar::run_scalar(&presets::mblaze_3(), &prog, vec![0; 1 << 16], 100).unwrap();
     assert_eq!(slow.ret, 4); // ((1+1)+1)+1
     assert_eq!(fast.ret, 4);
-    assert!(slow.cycles > fast.cycles, "{} vs {}", slow.cycles, fast.cycles);
+    assert!(
+        slow.cycles > fast.cycles,
+        "{} vs {}",
+        slow.cycles,
+        fast.cycles
+    );
     assert!(slow.stats.stall_cycles >= fast.stats.stall_cycles + 3);
 }

@@ -26,7 +26,13 @@ fn main() {
         .iter()
         .map(|r| {
             let t = r.geomean_runtime_us();
-            (r.name.clone(), r.geomean_cycles(), r.resources.fmax_mhz, r.resources.slices, t)
+            (
+                r.name.clone(),
+                r.geomean_cycles(),
+                r.resources.fmax_mhz,
+                r.resources.slices,
+                t,
+            )
         })
         .collect();
     for (name, cyc, fmax, slices, t) in &ranked {

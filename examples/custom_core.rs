@@ -7,8 +7,7 @@
 
 use tta_core::SoftCore;
 use tta_model::{
-    Bus, CoreStyle, DstConn, FuId, FunctionUnit, LimmConfig, Machine, RegisterFile, RfId,
-    SrcConn,
+    Bus, CoreStyle, DstConn, FuId, FunctionUnit, LimmConfig, Machine, RegisterFile, RfId, SrcConn,
 };
 
 /// Build a 5-bus, two-ALU TTA with two 16-register banks — the sort of
@@ -88,8 +87,15 @@ fn main() {
     let kernel = tta_chstone::by_name("sha").expect("kernel");
     let module = (kernel.build)();
     let exec = core.run(&module).expect("sha runs on the custom core");
-    assert_eq!(exec.ret, (kernel.expected)(), "checksum matches the reference");
-    println!("\n  sha: {} cycles, checksum {:#010x} (verified)", exec.cycles, exec.ret);
+    assert_eq!(
+        exec.ret,
+        (kernel.expected)(),
+        "checksum matches the reference"
+    );
+    println!(
+        "\n  sha: {} cycles, checksum {:#010x} (verified)",
+        exec.cycles, exec.ret
+    );
     println!(
         "  bypassed operand reads: {} of {} moves",
         exec.stats.bypass_reads, exec.stats.payload

@@ -9,8 +9,7 @@ fn run(kernel: &str, opts: TtaOptions) -> (u64, tta_sim::SimStats) {
     let module = (k.build)();
     let machine = presets::m_tta_2();
     let compiled = compile_with(&module, &machine, opts).expect("compiles");
-    let r = tta_sim::run(&machine, &compiled.program, module.initial_memory())
-        .expect("runs");
+    let r = tta_sim::run(&machine, &compiled.program, module.initial_memory()).expect("runs");
     assert_eq!(r.ret, (k.expected)(), "{kernel} with {opts:?}");
     (r.cycles, r.stats)
 }
@@ -20,10 +19,23 @@ fn every_ablated_variant_is_still_correct() {
     let full = TtaOptions::default();
     for opts in [
         full,
-        TtaOptions { bypass: false, ..full },
-        TtaOptions { dead_result_elim: false, ..full },
-        TtaOptions { operand_share: false, ..full },
-        TtaOptions { bypass: false, dead_result_elim: false, operand_share: false },
+        TtaOptions {
+            bypass: false,
+            ..full
+        },
+        TtaOptions {
+            dead_result_elim: false,
+            ..full
+        },
+        TtaOptions {
+            operand_share: false,
+            ..full
+        },
+        TtaOptions {
+            bypass: false,
+            dead_result_elim: false,
+            operand_share: false,
+        },
     ] {
         for kernel in ["gsm", "sha", "mips"] {
             run(kernel, opts);
@@ -35,8 +47,17 @@ fn every_ablated_variant_is_still_correct() {
 fn bypassing_saves_cycles_and_rf_reads() {
     let full = TtaOptions::default();
     let (c_full, s_full) = run("gsm", full);
-    let (c_nobyp, s_nobyp) = run("gsm", TtaOptions { bypass: false, ..full });
-    assert!(c_full < c_nobyp, "bypassing must save cycles: {c_full} vs {c_nobyp}");
+    let (c_nobyp, s_nobyp) = run(
+        "gsm",
+        TtaOptions {
+            bypass: false,
+            ..full
+        },
+    );
+    assert!(
+        c_full < c_nobyp,
+        "bypassing must save cycles: {c_full} vs {c_nobyp}"
+    );
     assert!(
         s_full.rf_reads * 3 < s_nobyp.rf_reads * 2,
         "bypassing must cut RF reads substantially: {} vs {}",
@@ -57,7 +78,13 @@ fn bypassing_saves_cycles_and_rf_reads() {
 fn dead_result_elimination_saves_rf_writes() {
     let full = TtaOptions::default();
     let (_, s_full) = run("gsm", full);
-    let (_, s_nodre) = run("gsm", TtaOptions { dead_result_elim: false, ..full });
+    let (_, s_nodre) = run(
+        "gsm",
+        TtaOptions {
+            dead_result_elim: false,
+            ..full
+        },
+    );
     assert!(
         s_full.rf_writes < s_nodre.rf_writes,
         "DRE must cut RF writes: {} vs {}",

@@ -16,11 +16,13 @@ fn compiled_kernels_roundtrip_through_binary_images() {
             let k = tta_chstone::by_name(kernel).unwrap();
             let module = (k.build)();
             let compiled = tta_compiler::compile(&module, &machine).unwrap();
-            let Program::Tta(insts) = &compiled.program else { unreachable!() };
+            let Program::Tta(insts) = &compiled.program else {
+                unreachable!()
+            };
 
-            let bytes = codec.encode_program(insts).unwrap_or_else(|e| {
-                panic!("{kernel} on {}: encode failed: {e}", machine.name)
-            });
+            let bytes = codec
+                .encode_program(insts)
+                .unwrap_or_else(|e| panic!("{kernel} on {}: encode failed: {e}", machine.name));
             // Image size matches the Table II accounting exactly.
             assert_eq!(
                 bytes.len(),
@@ -32,12 +34,8 @@ fn compiled_kernels_roundtrip_through_binary_images() {
             assert_eq!(&decoded, insts, "{kernel} on {}", machine.name);
 
             // The decoded program must still run to the right answer.
-            let r = tta_sim::run(
-                &machine,
-                &Program::Tta(decoded),
-                module.initial_memory(),
-            )
-            .unwrap();
+            let r =
+                tta_sim::run(&machine, &Program::Tta(decoded), module.initial_memory()).unwrap();
             assert_eq!(r.ret, (k.expected)(), "{kernel} on {}", machine.name);
         }
     }

@@ -13,12 +13,14 @@ fn run_kernel_on(kernel: &tta_chstone::Kernel, machine: &tta_model::Machine) -> 
     let golden = Interpreter::new(&module)
         .run(&[])
         .unwrap_or_else(|e| panic!("{}: interpreter failed: {e}", kernel.name));
-    let compiled = tta_compiler::compile(&module, machine).unwrap_or_else(|e| {
-        panic!("{} on {}: compile failed: {e}", kernel.name, machine.name)
-    });
-    let result = tta_sim::run(machine, &compiled.program, module.initial_memory())
-        .unwrap_or_else(|e| {
-            panic!("{} on {}: simulation failed: {e}", kernel.name, machine.name)
+    let compiled = tta_compiler::compile(&module, machine)
+        .unwrap_or_else(|e| panic!("{} on {}: compile failed: {e}", kernel.name, machine.name));
+    let result =
+        tta_sim::run(machine, &compiled.program, module.initial_memory()).unwrap_or_else(|e| {
+            panic!(
+                "{} on {}: simulation failed: {e}",
+                kernel.name, machine.name
+            )
         });
     assert_eq!(
         Some(result.ret),
@@ -27,7 +29,12 @@ fn run_kernel_on(kernel: &tta_chstone::Kernel, machine: &tta_model::Machine) -> 
         kernel.name,
         machine.name
     );
-    assert_eq!(result.ret, (kernel.expected)(), "{}: native reference", kernel.name);
+    assert_eq!(
+        result.ret,
+        (kernel.expected)(),
+        "{}: native reference",
+        kernel.name
+    );
     let lo = 16usize;
     let hi = module.mem_size.saturating_sub(4096) as usize;
     assert_eq!(

@@ -53,15 +53,13 @@ fn every_custom_tta_configuration_computes_correctly() {
                         .collect();
                     let name = format!("fuzz-{issue}w-{banks}rf-{buses}b-{full}");
                     let machine = presets::custom_tta(&name, issue, rfs, buses, full);
-                    machine.validate().unwrap_or_else(|e| panic!("{name}: {e:?}"));
+                    machine
+                        .validate()
+                        .unwrap_or_else(|e| panic!("{name}: {e:?}"));
                     let compiled = tta_compiler::compile(&module, &machine)
                         .unwrap_or_else(|e| panic!("{name}: compile: {e}"));
-                    let r = tta_sim::run(
-                        &machine,
-                        &compiled.program,
-                        module.initial_memory(),
-                    )
-                    .unwrap_or_else(|e| panic!("{name}: sim: {e}"));
+                    let r = tta_sim::run(&machine, &compiled.program, module.initial_memory())
+                        .unwrap_or_else(|e| panic!("{name}: sim: {e}"));
                     assert_eq!(r.ret, want, "{name}");
                 }
             }
@@ -80,7 +78,9 @@ fn custom_vliw_configurations_compute_correctly() {
                 .collect();
             let name = format!("fuzz-vliw-{issue}w-{banks}rf");
             let machine = presets::custom_vliw(&name, issue, rfs);
-            machine.validate().unwrap_or_else(|e| panic!("{name}: {e:?}"));
+            machine
+                .validate()
+                .unwrap_or_else(|e| panic!("{name}: {e:?}"));
             let compiled = tta_compiler::compile(&module, &machine)
                 .unwrap_or_else(|e| panic!("{name}: compile: {e}"));
             let r = tta_sim::run(&machine, &compiled.program, module.initial_memory())
