@@ -1,0 +1,60 @@
+//! Times the differential fuzzing pipeline (generate → interpret →
+//! compile + simulate on all 13 design points) over a fixed seed range
+//! and writes `BENCH_fuzz.json`, so fuzz throughput is tracked in-repo
+//! from PR to PR alongside the evaluation-pipeline numbers.
+//!
+//! Usage: `cargo run --release -p tta-bench --bin bench_fuzz [seeds] [reps]`
+//! (default 100 seeds, 3 repetitions; reports min and median).
+
+use std::time::Instant;
+
+use tta_fuzz::gen::{generate, GenConfig};
+use tta_fuzz::oracle::Oracle;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seeds: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
+    let reps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+
+    let oracle = Oracle::all_presets();
+    let cfg = GenConfig::default();
+
+    let run_once = || -> (u64, u64, u64) {
+        let (mut insts, mut cycles, mut divergences) = (0u64, 0u64, 0u64);
+        for seed in 0..seeds {
+            let module = generate(seed, &cfg);
+            match oracle.check(&module) {
+                Ok(report) => {
+                    insts += report.golden_insts;
+                    cycles += report.runs.iter().map(|r| r.cycles).sum::<u64>();
+                }
+                Err(_) => divergences += 1,
+            }
+        }
+        (insts, cycles, divergences)
+    };
+
+    // Warm-up: touches every code path once so rep timings measure the
+    // steady-state pipeline.
+    let (insts, cycles, divergences) = run_once();
+
+    let mut totals_s: Vec<f64> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(run_once());
+        totals_s.push(t.elapsed().as_secs_f64());
+    }
+    totals_s.sort_by(|a, b| a.total_cmp(b));
+    let min = totals_s[0];
+    let median = totals_s[totals_s.len() / 2];
+
+    let json = format!(
+        "{{\n  \"bench\": \"fuzz_differential\",\n  \"seeds\": {seeds},\n  \"machines\": {},\n  \"reps\": {reps},\n  \"wall_s_min\": {min:.6},\n  \"wall_s_median\": {median:.6},\n  \"cases_per_s\": {:.2},\n  \"golden_insts\": {insts},\n  \"sim_cycles\": {cycles},\n  \"sim_cycles_per_s\": {:.0},\n  \"divergences\": {divergences}\n}}\n",
+        oracle.machines.len(),
+        seeds as f64 / min,
+        cycles as f64 / min,
+    );
+    std::fs::write("BENCH_fuzz.json", &json).expect("write BENCH_fuzz.json");
+    print!("{json}");
+    eprintln!("wrote BENCH_fuzz.json ({seeds} seeds, min {min:.3}s, median {median:.3}s)");
+}

@@ -1,0 +1,246 @@
+//! Differential fuzzer driver.
+//!
+//! ```text
+//! fuzz --seeds 0..500                  # fuzz a seed range over all 13 design points
+//! fuzz --seeds 0..20 --plant-bug shr-as-shru --write-corpus
+//! fuzz --replay                        # re-check every committed corpus case
+//! ```
+//!
+//! Every generated program runs through the golden interpreter and
+//! compile+simulate on every preset machine. Any semantic divergence is
+//! printed with its seed, auto-shrunk to a minimal module, and (with
+//! `--write-corpus`) committed to `crates/fuzz/corpus/` for permanent
+//! replay. Exit code is non-zero iff a divergence was found.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use tta_fuzz::corpus::{corpus_dir, load_corpus, render_case};
+use tta_fuzz::gen::{generate, GenConfig};
+use tta_fuzz::oracle::{Divergence, Oracle, PlantedBug};
+use tta_fuzz::shrink::{inst_count, shrink};
+
+struct Args {
+    seeds: Option<(u64, u64)>,
+    replay: bool,
+    plant: Option<PlantedBug>,
+    machine: Option<String>,
+    write_corpus: bool,
+    max_stmts: Option<usize>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fuzz --seeds A..B [--plant-bug NAME] [--machine NAME] \
+         [--write-corpus] [--max-stmts N]\n       fuzz --replay\n\
+         planted bugs: {}",
+        PlantedBug::ALL
+            .iter()
+            .map(|b| b.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seeds: None,
+        replay: false,
+        plant: None,
+        machine: None,
+        write_corpus: false,
+        max_stmts: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                let Some((lo, hi)) = spec.split_once("..") else {
+                    usage()
+                };
+                let (Ok(lo), Ok(hi)) = (lo.parse(), hi.parse()) else {
+                    usage()
+                };
+                args.seeds = Some((lo, hi));
+            }
+            "--replay" => args.replay = true,
+            "--plant-bug" => {
+                let name = it.next().unwrap_or_else(|| usage());
+                match PlantedBug::from_name(&name) {
+                    Some(b) => args.plant = Some(b),
+                    None => usage(),
+                }
+            }
+            "--machine" => args.machine = Some(it.next().unwrap_or_else(|| usage())),
+            "--write-corpus" => args.write_corpus = true,
+            "--max-stmts" => {
+                args.max_stmts = it.next().and_then(|s| s.parse().ok()).or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    if args.seeds.is_none() && !args.replay {
+        usage();
+    }
+    args
+}
+
+fn make_oracle(args: &Args) -> Oracle {
+    let mut oracle = match &args.machine {
+        Some(name) => Oracle::single(name).unwrap_or_else(|| {
+            eprintln!("unknown machine {name:?}");
+            std::process::exit(2);
+        }),
+        None => Oracle::all_presets(),
+    };
+    oracle.planted = args.plant;
+    oracle
+}
+
+/// Shrink a diverging module: fast passes against the one machine that
+/// diverged, then confirm the reduced module still diverges on the full
+/// oracle (falling back to full-oracle shrinking if it does not).
+fn shrink_divergence(module: &tta_ir::Module, d: &Divergence, oracle: &Oracle) -> tta_ir::Module {
+    let full = |m: &tta_ir::Module| matches!(oracle.check(m), Err(d) if d.is_semantic());
+    if let Some(name) = d.machine() {
+        if let Some(mut fast) = Oracle::single(name) {
+            fast.planted = oracle.planted;
+            let fast_pred = |m: &tta_ir::Module| matches!(fast.check(m), Err(d) if d.is_semantic());
+            let small = shrink(module, &fast_pred);
+            if full(&small) {
+                return small;
+            }
+        }
+    }
+    shrink(module, &full)
+}
+
+fn report_divergence(
+    seed: u64,
+    module: &tta_ir::Module,
+    d: &Divergence,
+    oracle: &Oracle,
+    args: &Args,
+) {
+    println!("seed {seed}: DIVERGENCE: {d}");
+    println!("  shrinking ({} insts)...", inst_count(module));
+    let small = shrink_divergence(module, d, oracle);
+    let residual = match oracle.check(&small) {
+        Err(d) => d.to_string(),
+        Ok(_) => "lost during shrinking".to_string(),
+    };
+    println!(
+        "  minimised to {} insts: {residual}\n{}",
+        inst_count(&small),
+        tta_ir::module_to_text(&small)
+    );
+    if args.write_corpus {
+        let dir = corpus_dir();
+        let _ = std::fs::create_dir_all(&dir);
+        let tag = args.plant.map(|b| b.name()).unwrap_or("divergence");
+        let path = dir.join(format!("seed{seed:05}-{tag}.ir"));
+        let case = render_case(seed, args.plant, &residual, &small);
+        match std::fs::write(&path, case) {
+            Ok(()) => println!("  wrote {}", path.display()),
+            Err(e) => eprintln!("  failed to write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn run_replay() -> ExitCode {
+    let cases = match load_corpus() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("failed to load corpus from {}: {e}", corpus_dir().display());
+            return ExitCode::from(2);
+        }
+    };
+    let mut failures = 0u32;
+    for case in &cases {
+        // A clean toolchain must pass the case as written...
+        if let Err(d) = Oracle::all_presets().check(&case.module) {
+            println!("corpus {}: FAIL (clean oracle): {d}", case.name);
+            failures += 1;
+            continue;
+        }
+        // ...and, for synthetic cases, still catch the planted bug class.
+        if let Some(bug) = case.planted {
+            let oracle = Oracle {
+                planted: Some(bug),
+                ..Oracle::all_presets()
+            };
+            match oracle.check(&case.module) {
+                Err(d) if d.is_semantic() => {}
+                other => {
+                    println!(
+                        "corpus {}: FAIL (planted {} no longer detected): {other:?}",
+                        case.name,
+                        bug.name()
+                    );
+                    failures += 1;
+                    continue;
+                }
+            }
+        }
+        println!("corpus {}: ok", case.name);
+    }
+    println!("replayed {} corpus cases, {failures} failures", cases.len());
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if args.replay {
+        return run_replay();
+    }
+    let (lo, hi) = args.seeds.unwrap();
+    let oracle = make_oracle(&args);
+    let mut cfg = GenConfig::default();
+    if let Some(n) = args.max_stmts {
+        cfg.max_stmts = n;
+    }
+
+    let t0 = Instant::now();
+    let mut divergences = 0u64;
+    let mut golden_insts = 0u64;
+    let mut sim_cycles = 0u64;
+    for seed in lo..hi {
+        let module = generate(seed, &cfg);
+        match oracle.check(&module) {
+            Ok(report) => {
+                golden_insts += report.golden_insts;
+                sim_cycles += report.runs.iter().map(|r| r.cycles).sum::<u64>();
+            }
+            Err(d) if d.is_semantic() => {
+                divergences += 1;
+                report_divergence(seed, &module, &d, &oracle, &args);
+            }
+            Err(d) => {
+                // Generator artefact (unverified / interpreter fault):
+                // a bug in the fuzzer itself, not in the toolchain.
+                println!("seed {seed}: GENERATOR BUG: {d}");
+                divergences += 1;
+            }
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    let n = hi.saturating_sub(lo);
+    println!(
+        "fuzzed {n} seeds on {} machine(s) in {dt:.2}s ({:.1} cases/s), \
+         {golden_insts} golden insts, {sim_cycles} simulated cycles, \
+         {divergences} divergence(s)",
+        oracle.machines.len(),
+        n as f64 / dt.max(1e-9),
+    );
+    if divergences == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,168 @@
+//! The regression corpus: minimised repro cases stored as textual IR.
+//!
+//! Every divergence the fuzzer finds is shrunk and written to
+//! `crates/fuzz/corpus/<name>.ir`. A case is the module text (see
+//! [`tta_ir::text`]) preceded by `; key: value` header comments:
+//!
+//! ```text
+//! ; seed: 42
+//! ; planted: shr-as-shru
+//! ; note: arithmetic shift of negative value
+//! module ...
+//! ```
+//!
+//! `seed` records the generator seed that produced the original program,
+//! `planted` (optional) names the deliberate bug the case reproduces —
+//! set for the synthetic cases that pin the detection pipeline itself —
+//! and `note` is free text. Cases without `planted` are real historical
+//! divergences: replay asserts they stay fixed; cases with `planted`
+//! assert the oracle still catches that bug class.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::oracle::PlantedBug;
+use tta_ir::Module;
+
+/// One corpus entry, parsed from disk.
+#[derive(Debug, Clone)]
+pub struct CorpusCase {
+    /// File stem, e.g. `0001-shr-as-shru`.
+    pub name: String,
+    /// Generator seed the original program came from, if recorded.
+    pub seed: Option<u64>,
+    /// Planted bug this case reproduces (synthetic pipeline tests), or
+    /// `None` for a real historical divergence.
+    pub planted: Option<PlantedBug>,
+    /// Free-text description.
+    pub note: Option<String>,
+    /// The minimised module.
+    pub module: Module,
+}
+
+/// The on-disk corpus directory (compile-time anchored to this crate, so
+/// tests find it regardless of the working directory).
+pub fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// Parse one corpus file's contents.
+pub fn parse_case(name: &str, text: &str) -> Result<CorpusCase, String> {
+    let mut seed = None;
+    let mut planted = None;
+    let mut note = None;
+    for line in text.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix(';') else {
+            // Headers only appear before the module text.
+            if !line.is_empty() {
+                break;
+            }
+            continue;
+        };
+        if let Some((key, value)) = rest.split_once(':') {
+            let value = value.trim();
+            match key.trim() {
+                "seed" => {
+                    seed = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|e| format!("{name}: bad seed {value:?}: {e}"))?,
+                    )
+                }
+                "planted" => {
+                    planted = Some(
+                        PlantedBug::from_name(value)
+                            .ok_or_else(|| format!("{name}: unknown planted bug {value:?}"))?,
+                    )
+                }
+                "note" => note = Some(value.to_string()),
+                _ => {}
+            }
+        }
+    }
+    let module =
+        tta_ir::parse_module(text).map_err(|e| format!("{name}: line {}: {}", e.line, e.msg))?;
+    Ok(CorpusCase {
+        name: name.to_string(),
+        seed,
+        planted,
+        note,
+        module,
+    })
+}
+
+/// Load every `*.ir` case from [`corpus_dir`], sorted by file name.
+/// Malformed cases are hard errors — a corpus that does not parse is a
+/// broken regression suite.
+pub fn load_corpus() -> io::Result<Vec<CorpusCase>> {
+    load_corpus_from(&corpus_dir())
+}
+
+/// [`load_corpus`] from an explicit directory.
+pub fn load_corpus_from(dir: &Path) -> io::Result<Vec<CorpusCase>> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "ir"))
+        .collect();
+    paths.sort();
+    let mut cases = Vec::with_capacity(paths.len());
+    for p in paths {
+        let name = p
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("<non-utf8>")
+            .to_string();
+        let text = std::fs::read_to_string(&p)?;
+        let case =
+            parse_case(&name, &text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        cases.push(case);
+    }
+    Ok(cases)
+}
+
+/// Render a case back to its on-disk form.
+pub fn render_case(seed: u64, planted: Option<PlantedBug>, note: &str, module: &Module) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("; seed: {seed}\n"));
+    if let Some(bug) = planted {
+        out.push_str(&format!("; planted: {}\n", bug.name()));
+    }
+    if !note.is_empty() {
+        out.push_str(&format!("; note: {note}\n"));
+    }
+    out.push_str(&tta_ir::module_to_text(module));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_headers_round_trip() {
+        let m = crate::gen::generate(3, &crate::gen::GenConfig::default());
+        let text = render_case(3, Some(PlantedBug::SubSwapped), "swapped operands", &m);
+        let case = parse_case("0003-test", &text).unwrap();
+        assert_eq!(case.seed, Some(3));
+        assert_eq!(case.planted, Some(PlantedBug::SubSwapped));
+        assert_eq!(case.note.as_deref(), Some("swapped operands"));
+        assert_eq!(
+            tta_ir::module_to_text(&case.module),
+            tta_ir::module_to_text(&m)
+        );
+    }
+
+    #[test]
+    fn committed_corpus_parses() {
+        let cases = load_corpus().expect("corpus dir must exist and parse");
+        assert!(cases.len() >= 3, "corpus must hold >= 3 cases");
+        for c in &cases {
+            assert!(
+                tta_ir::verify_module(&c.module).is_ok(),
+                "corpus case {} does not verify",
+                c.name
+            );
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! The differential oracle: golden interpreter vs compile+simulate.
+//!
+//! For one IR module the oracle runs the reference interpreter once, then
+//! compiles and simulates the module on every configured machine,
+//! comparing:
+//!
+//! * the returned value,
+//! * the final data-memory image (outside the reserved low words and the
+//!   compiler's spill scratch area, exactly like the hand-written
+//!   differential tests), and
+//! * that a second simulation of the same program reproduces the same
+//!   cycle count bit-for-bit (simulators must be deterministic).
+//!
+//! A [`PlantedBug`] can be armed to mutate the module *on the compiled path
+//! only*, emulating a mis-compilation. This is the hook the shrinker
+//! self-test uses to prove the whole detect-and-minimise pipeline works
+//! even when the real compiler is clean.
+
+use tta_compiler::compile;
+use tta_ir::{Inst, Interpreter, Module};
+use tta_model::{presets, Machine, Opcode};
+
+/// Memory bytes below this address are reserved (return-value slot) and
+/// excluded from the comparison.
+pub const MEM_COMPARE_LO: usize = 16;
+
+/// Spill scratch headroom at the top of memory excluded from the
+/// comparison (matches `ModuleBuilder::finish`).
+pub const MEM_COMPARE_HEADROOM: u32 = 4096;
+
+/// Why a module diverged between the golden model and a machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Divergence {
+    /// The module failed IR verification — a generator/shrinker artefact,
+    /// not a semantic divergence.
+    Verify(String),
+    /// The golden interpreter itself failed (fuel, memory fault) — also a
+    /// generator artefact, not a compiler bug.
+    Interp(String),
+    /// Compilation failed on a verified module.
+    Compile {
+        /// Design-point name.
+        machine: String,
+        /// The compiler's error.
+        error: String,
+    },
+    /// Simulation failed (machine-rule violation, fault, fuel).
+    Sim {
+        /// Design-point name.
+        machine: String,
+        /// The simulator's error.
+        error: String,
+    },
+    /// The simulated return value disagrees with the interpreter.
+    Ret {
+        /// Design-point name.
+        machine: String,
+        /// Interpreter's return value.
+        golden: i32,
+        /// Simulator's return value.
+        got: i32,
+    },
+    /// The final memory images disagree.
+    Mem {
+        /// Design-point name.
+        machine: String,
+        /// First differing byte address.
+        addr: usize,
+        /// Interpreter's byte.
+        golden: u8,
+        /// Simulator's byte.
+        got: u8,
+    },
+    /// Two simulations of the same program returned different cycle
+    /// counts.
+    Cycles {
+        /// Design-point name.
+        machine: String,
+        /// First run's cycles.
+        first: u64,
+        /// Second run's cycles.
+        second: u64,
+    },
+}
+
+impl Divergence {
+    /// Whether this divergence indicates a real compiler/simulator bug
+    /// (as opposed to an ill-formed input module). The shrinker only
+    /// accepts reductions that keep a *semantic* divergence alive, so it
+    /// can never "shrink" into a module that merely fails verification.
+    pub fn is_semantic(&self) -> bool {
+        !matches!(self, Divergence::Verify(_) | Divergence::Interp(_))
+    }
+
+    /// The design point the divergence was observed on, if any.
+    pub fn machine(&self) -> Option<&str> {
+        match self {
+            Divergence::Verify(_) | Divergence::Interp(_) => None,
+            Divergence::Compile { machine, .. }
+            | Divergence::Sim { machine, .. }
+            | Divergence::Ret { machine, .. }
+            | Divergence::Mem { machine, .. }
+            | Divergence::Cycles { machine, .. } => Some(machine),
+        }
+    }
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Divergence::Verify(e) => write!(f, "verify failed: {e}"),
+            Divergence::Interp(e) => write!(f, "interpreter failed: {e}"),
+            Divergence::Compile { machine, error } => {
+                write!(f, "[{machine}] compile failed: {error}")
+            }
+            Divergence::Sim { machine, error } => {
+                write!(f, "[{machine}] simulation failed: {error}")
+            }
+            Divergence::Ret {
+                machine,
+                golden,
+                got,
+            } => write!(f, "[{machine}] return value {got} != golden {golden}"),
+            Divergence::Mem {
+                machine,
+                addr,
+                golden,
+                got,
+            } => write!(
+                f,
+                "[{machine}] memory[{addr:#x}] = {got:#04x} != golden {golden:#04x}"
+            ),
+            Divergence::Cycles {
+                machine,
+                first,
+                second,
+            } => write!(
+                f,
+                "[{machine}] nondeterministic cycle count: {first} then {second}"
+            ),
+        }
+    }
+}
+
+/// A deliberate semantics bug injected on the compiled path only. Used by
+/// the shrinker self-test and by `fuzz --plant-bug` to validate the whole
+/// pipeline end to end; never enabled in normal fuzzing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlantedBug {
+    /// Compile every arithmetic `shr` as the logical `shru`: diverges
+    /// whenever a negative value is shifted right by a non-zero amount.
+    ShrAsShru,
+    /// Compile `sub` with swapped operands: `a - b` becomes `b - a`.
+    SubSwapped,
+    /// Compile every `sxqw` (8-bit sign extension) as `sxhw` (16-bit):
+    /// diverges on values whose bits 8..15 disagree with bit 7.
+    SxqwAsSxhw,
+}
+
+impl PlantedBug {
+    /// All planted bugs (for CLI parsing and corpus seeding).
+    pub const ALL: [PlantedBug; 3] = [
+        PlantedBug::ShrAsShru,
+        PlantedBug::SubSwapped,
+        PlantedBug::SxqwAsSxhw,
+    ];
+
+    /// CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlantedBug::ShrAsShru => "shr-as-shru",
+            PlantedBug::SubSwapped => "sub-swapped",
+            PlantedBug::SxqwAsSxhw => "sxqw-as-sxhw",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn from_name(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|b| b.name() == s)
+    }
+
+    /// Apply the mis-compilation to a module clone.
+    pub fn apply(self, m: &Module) -> Module {
+        let mut out = m.clone();
+        for f in &mut out.funcs {
+            for b in &mut f.blocks {
+                for i in &mut b.insts {
+                    match (self, &mut *i) {
+                        (PlantedBug::ShrAsShru, Inst::Bin { op, .. }) if *op == Opcode::Shr => {
+                            *op = Opcode::Shru;
+                        }
+                        (PlantedBug::SubSwapped, Inst::Bin { op, a, b, .. })
+                            if *op == Opcode::Sub =>
+                        {
+                            std::mem::swap(a, b);
+                        }
+                        (PlantedBug::SxqwAsSxhw, Inst::Un { op, .. }) if *op == Opcode::Sxqw => {
+                            *op = Opcode::Sxhw;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Per-machine success data from one oracle check.
+#[derive(Debug, Clone)]
+pub struct MachineRun {
+    /// Design-point name.
+    pub machine: String,
+    /// Simulated cycle count.
+    pub cycles: u64,
+}
+
+/// Everything a clean oracle check learned.
+#[derive(Debug, Clone)]
+pub struct OracleReport {
+    /// The golden return value.
+    pub ret: i32,
+    /// Dynamic golden instruction count (throughput accounting).
+    pub golden_insts: u64,
+    /// One entry per machine checked.
+    pub runs: Vec<MachineRun>,
+}
+
+/// The differential oracle configuration.
+pub struct Oracle {
+    /// Machines to check (defaults to all 13 paper design points).
+    pub machines: Vec<Machine>,
+    /// Interpreter fuel per case.
+    pub interp_fuel: u64,
+    /// Simulator cycle budget per case.
+    pub sim_fuel: u64,
+    /// Optional mis-compilation hook (see [`PlantedBug`]).
+    pub planted: Option<PlantedBug>,
+}
+
+impl Default for Oracle {
+    fn default() -> Self {
+        Oracle {
+            machines: presets::all_design_points(),
+            interp_fuel: 50_000_000,
+            sim_fuel: 20_000_000,
+            planted: None,
+        }
+    }
+}
+
+impl Oracle {
+    /// An oracle over all 13 design points.
+    pub fn all_presets() -> Self {
+        Self::default()
+    }
+
+    /// An oracle over a single named design point.
+    pub fn single(name: &str) -> Option<Self> {
+        presets::by_name(name).map(|m| Oracle {
+            machines: vec![m],
+            ..Self::default()
+        })
+    }
+
+    /// Check one module. `Ok` carries per-machine cycle counts; `Err`
+    /// carries the first divergence found.
+    pub fn check(&self, module: &Module) -> Result<OracleReport, Divergence> {
+        if let Err(es) = tta_ir::verify_module(module) {
+            let msg = es
+                .iter()
+                .take(3)
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join("; ");
+            return Err(Divergence::Verify(msg));
+        }
+        let golden = Interpreter::new(module)
+            .with_fuel(self.interp_fuel)
+            .run(&[])
+            .map_err(|e| Divergence::Interp(e.to_string()))?;
+        let Some(golden_ret) = golden.ret else {
+            return Err(Divergence::Interp("entry returned no value".into()));
+        };
+
+        // The mis-compiled twin (identical to `module` unless a bug is
+        // planted): what the compile+simulate path actually sees.
+        let compiled_view = match self.planted {
+            Some(bug) => bug.apply(module),
+            None => module.clone(),
+        };
+
+        let lo = MEM_COMPARE_LO.min(module.mem_size as usize);
+        let hi = module.mem_size.saturating_sub(MEM_COMPARE_HEADROOM) as usize;
+        let mut runs = Vec::with_capacity(self.machines.len());
+        for machine in &self.machines {
+            let compiled = compile(&compiled_view, machine).map_err(|e| Divergence::Compile {
+                machine: machine.name.clone(),
+                error: e.to_string(),
+            })?;
+            let run = || {
+                tta_sim::run_with_fuel(
+                    machine,
+                    &compiled.program,
+                    module.initial_memory(),
+                    self.sim_fuel,
+                )
+            };
+            let result = run().map_err(|e| Divergence::Sim {
+                machine: machine.name.clone(),
+                error: e.to_string(),
+            })?;
+            if result.ret != golden_ret {
+                return Err(Divergence::Ret {
+                    machine: machine.name.clone(),
+                    golden: golden_ret,
+                    got: result.ret,
+                });
+            }
+            if let Some(addr) = (lo..hi).find(|&a| golden.memory[a] != result.memory[a]) {
+                return Err(Divergence::Mem {
+                    machine: machine.name.clone(),
+                    addr,
+                    golden: golden.memory[addr],
+                    got: result.memory[addr],
+                });
+            }
+            // Determinism: an identical re-run must reproduce the cycle
+            // count exactly.
+            let again = run().map_err(|e| Divergence::Sim {
+                machine: machine.name.clone(),
+                error: e.to_string(),
+            })?;
+            if again.cycles != result.cycles {
+                return Err(Divergence::Cycles {
+                    machine: machine.name.clone(),
+                    first: result.cycles,
+                    second: again.cycles,
+                });
+            }
+            runs.push(MachineRun {
+                machine: machine.name.clone(),
+                cycles: result.cycles,
+            });
+        }
+        Ok(OracleReport {
+            ret: golden_ret,
+            golden_insts: golden.stats.insts,
+            runs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_ir::builder::{FunctionBuilder, ModuleBuilder};
+    use tta_ir::Operand;
+
+    fn shr_module() -> Module {
+        // -64 >> 3 differs between arithmetic and logical shift.
+        let mut mb = ModuleBuilder::new("shr");
+        let mut fb = FunctionBuilder::new("main", 0, true);
+        let a = fb.copy(-64);
+        let r = fb.shr(a, 3);
+        fb.ret(r);
+        let id = mb.add(fb.finish());
+        mb.set_entry(id);
+        mb.finish()
+    }
+
+    #[test]
+    fn clean_module_passes_all_machines() {
+        let oracle = Oracle::all_presets();
+        let report = oracle.check(&shr_module()).unwrap();
+        assert_eq!(report.ret, -8);
+        assert_eq!(report.runs.len(), 13);
+        assert!(report.runs.iter().all(|r| r.cycles > 0));
+    }
+
+    #[test]
+    fn planted_shr_bug_is_detected() {
+        let oracle = Oracle {
+            planted: Some(PlantedBug::ShrAsShru),
+            ..Oracle::all_presets()
+        };
+        let d = oracle.check(&shr_module()).unwrap_err();
+        assert!(d.is_semantic(), "{d}");
+        assert!(matches!(d, Divergence::Ret { .. }), "{d}");
+    }
+
+    #[test]
+    fn unverified_module_is_not_a_semantic_divergence() {
+        let mut m = shr_module();
+        // Break definite assignment: read a register that is never written.
+        m.funcs[0].next_vreg += 1;
+        let ghost = tta_ir::VReg(m.funcs[0].next_vreg - 1);
+        m.funcs[0].blocks[0].insts.push(tta_ir::Inst::Bin {
+            op: Opcode::Add,
+            dst: ghost,
+            a: Operand::Reg(ghost),
+            b: Operand::Imm(1),
+        });
+        let d = Oracle::all_presets().check(&m).unwrap_err();
+        assert!(!d.is_semantic(), "{d}");
+    }
+
+    #[test]
+    fn planted_bug_names_round_trip() {
+        for b in PlantedBug::ALL {
+            assert_eq!(PlantedBug::from_name(b.name()), Some(b));
+        }
+        assert_eq!(PlantedBug::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,84 @@
+//! Replay every committed corpus case forever.
+//!
+//! Each `crates/fuzz/corpus/*.ir` file is a minimised repro written by the
+//! fuzzer. Two guarantees are pinned here:
+//!
+//! 1. the clean toolchain passes every case on all 13 design points
+//!    (historical divergences stay fixed), and
+//! 2. cases tagged with a planted bug still make the oracle report a
+//!    semantic divergence when that bug is armed (the detection pipeline
+//!    itself stays alive).
+
+use tta_fuzz::oracle::Oracle;
+use tta_fuzz::{inst_count, load_corpus};
+
+#[test]
+fn corpus_has_at_least_three_minimised_cases() {
+    let cases = load_corpus().expect("corpus must load");
+    assert!(cases.len() >= 3, "expected >= 3 cases, got {}", cases.len());
+    for c in &cases {
+        assert!(
+            inst_count(&c.module) <= 10,
+            "corpus case {} is not minimised: {} insts",
+            c.name,
+            inst_count(&c.module)
+        );
+        assert!(
+            c.seed.is_some(),
+            "corpus case {} lacks a seed header",
+            c.name
+        );
+    }
+}
+
+#[test]
+fn corpus_replay_clean_toolchain_passes_every_case() {
+    let cases = load_corpus().expect("corpus must load");
+    let oracle = Oracle::all_presets();
+    for c in &cases {
+        let report = oracle
+            .check(&c.module)
+            .unwrap_or_else(|d| panic!("corpus case {} regressed: {d}", c.name));
+        assert_eq!(
+            report.runs.len(),
+            13,
+            "case {} must hit all 13 machines",
+            c.name
+        );
+    }
+}
+
+#[test]
+fn corpus_replay_planted_bugs_are_still_detected() {
+    let cases = load_corpus().expect("corpus must load");
+    for c in &cases {
+        let Some(bug) = c.planted else { continue };
+        let oracle = Oracle {
+            planted: Some(bug),
+            ..Oracle::all_presets()
+        };
+        let d = oracle.check(&c.module).expect_err(&format!(
+            "corpus case {} no longer reproduces planted bug {}",
+            c.name,
+            bug.name()
+        ));
+        assert!(
+            d.is_semantic(),
+            "case {} produced a non-semantic divergence: {d}",
+            c.name
+        );
+    }
+}
+
+#[test]
+fn corpus_covers_every_planted_bug_class() {
+    use tta_fuzz::oracle::PlantedBug;
+    let cases = load_corpus().expect("corpus must load");
+    for bug in PlantedBug::ALL {
+        assert!(
+            cases.iter().any(|c| c.planted == Some(bug)),
+            "no corpus case pins planted bug {}",
+            bug.name()
+        );
+    }
+}

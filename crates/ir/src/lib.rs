@@ -33,10 +33,12 @@ pub mod builder;
 pub mod func;
 pub mod inst;
 pub mod interp;
+pub mod text;
 pub mod verify;
 
 pub use builder::{Buffer, FunctionBuilder, ModuleBuilder};
 pub use func::{Block, DataInit, Function, Module};
 pub use inst::{BlockId, FuncId, Inst, MemRegion, Operand, Terminator, VReg};
 pub use interp::{ExecResult, ExecStats, Interpreter, IrError};
+pub use text::{module_to_text, parse_module, ParseError};
 pub use verify::{verify_function, verify_module, VerifyError};

@@ -481,3 +481,27 @@ fn regression_if_then_loop_wide_consts() {
     }
     check_machine(&module, &presets::m_tta_1());
 }
+
+#[test]
+fn preset_list_is_exactly_the_thirteen_paper_design_points() {
+    // The paper's Table: two MicroBlaze-like scalars, then the TTA/VLIW
+    // grid over {2,3} issue widths and the m/p/bm resource mixes. Order
+    // matters: fuzzing, benchmarks, and snapshots all index this list.
+    let names: Vec<String> = presets::all_design_points()
+        .into_iter()
+        .map(|m| m.name)
+        .collect();
+    assert_eq!(
+        names,
+        [
+            "mblaze-3", "mblaze-5", "m-tta-1", "m-vliw-2", "p-vliw-2", "m-tta-2", "p-tta-2",
+            "bm-tta-2", "m-vliw-3", "p-vliw-3", "m-tta-3", "p-tta-3", "bm-tta-3",
+        ],
+        "the design-point list must stay exactly the 13 paper cores"
+    );
+    // And every name resolves back through the by-name lookup.
+    for n in &names {
+        let m = presets::by_name(n).unwrap_or_else(|| panic!("{n} not resolvable by name"));
+        assert_eq!(&m.name, n);
+    }
+}

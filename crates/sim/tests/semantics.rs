@@ -528,3 +528,428 @@ fn scalar_without_forwarding_pays_an_extra_cycle_per_dependence() {
     );
     assert!(slow.stats.stall_cycles >= fast.stats.stall_cycles + 3);
 }
+
+// ---------------------------------------------------------------------
+// Directed ALU edge cases, pinned identically on all three styles.
+//
+// The opcode set has no Div/Rem, so the classic `i32::MIN / -1` trap is
+// represented by its overflow analogues that do exist: wrapping Mul/Add/
+// Sub at the integer extremes, plus shift amounts at and beyond the
+// register width (hardware masks the amount to 5 bits) and signed/
+// unsigned comparisons straddling `i32::MIN`/`i32::MAX`.
+// ---------------------------------------------------------------------
+
+/// Evaluate `op(a, b)` on m-tta-1 with both operands carried by long
+/// immediates (edge values never fit the short bus immediates).
+fn tta_alu(op: Opcode, a: i32, b: i32) -> i32 {
+    let mut la = TtaInst::nop(3);
+    la.limm = Some((0, a));
+    let mut lb = TtaInst::nop(3);
+    lb.limm = Some((1, b));
+    let mut prog = vec![
+        la,
+        lb,
+        // a -> alu.o ; b -> alu.t (operand port is the first input).
+        inst([
+            mv(MoveSrc::ImmReg(0), MoveDst::FuOperand(ALU)),
+            mv(MoveSrc::ImmReg(1), MoveDst::FuTrigger(ALU, op)),
+            None,
+        ]),
+    ];
+    // The result port is readable exactly `latency` cycles after trigger.
+    for _ in 1..op.latency() {
+        prog.push(TtaInst::nop(3));
+    }
+    prog.extend(store_and_halt(MoveSrc::FuResult(ALU)));
+    run_tta(prog).unwrap().ret
+}
+
+/// Evaluate `op(a, b)` on m-vliw-2, operands loaded via limm heads.
+fn vliw_alu(op: Opcode, a: i32, b: i32) -> i32 {
+    let m = presets::m_vliw_2();
+    let lsu = FuId(1);
+    let cu = FuId(2);
+    let nop = || VliwBundle {
+        slots: vec![None, None],
+    };
+    let mut prog = vec![
+        VliwBundle {
+            slots: vec![
+                Some(VliwSlot::LimmHead {
+                    dst: rr(1),
+                    value: a,
+                }),
+                Some(VliwSlot::LimmCont),
+            ],
+        },
+        VliwBundle {
+            slots: vec![
+                Some(VliwSlot::LimmHead {
+                    dst: rr(2),
+                    value: b,
+                }),
+                Some(VliwSlot::LimmCont),
+            ],
+        },
+        nop(), // r2 written at c1 becomes visible at c3
+        VliwBundle {
+            slots: vec![
+                Some(vliw_op(
+                    op,
+                    ALU,
+                    Some(rr(3)),
+                    Some(OpSrc::Reg(rr(1))),
+                    Some(OpSrc::Reg(rr(2))),
+                )),
+                None,
+            ],
+        },
+    ];
+    // Writeback is visible `latency + 1` cycles after issue.
+    for _ in 0..op.latency() {
+        prog.push(nop());
+    }
+    prog.push(VliwBundle {
+        slots: vec![
+            None,
+            Some(vliw_op(
+                Opcode::Stw,
+                lsu,
+                None,
+                Some(OpSrc::Reg(rr(3))),
+                Some(OpSrc::Imm(8)),
+            )),
+        ],
+    });
+    prog.push(VliwBundle {
+        slots: vec![
+            Some(vliw_op(Opcode::Halt, cu, None, None, Some(OpSrc::Imm(0)))),
+            None,
+        ],
+    });
+    tta_sim::vliw::run_vliw(&m, &prog, vec![0; 1 << 16], 1000)
+        .unwrap()
+        .ret
+}
+
+/// Evaluate `op(a, b)` on mblaze-3 (the interlocked pipeline resolves
+/// hazards itself; the imm prefix models the wide-immediate encoding).
+fn scalar_alu(op: Opcode, a: i32, b: i32) -> i32 {
+    let m = presets::mblaze_3();
+    let cu = FuId(2);
+    let prog = vec![
+        ScalarInst::ImmPrefix,
+        scalar_op(
+            op,
+            ALU,
+            Some(rr(1)),
+            Some(OpSrc::Imm(a)),
+            Some(OpSrc::Imm(b)),
+        ),
+        scalar_op(
+            Opcode::Stw,
+            LSU,
+            None,
+            Some(OpSrc::Reg(rr(1))),
+            Some(OpSrc::Imm(8)),
+        ),
+        scalar_op(Opcode::Halt, cu, None, None, Some(OpSrc::Imm(0))),
+    ];
+    tta_sim::scalar::run_scalar(&m, &prog, vec![0; 1 << 16], 1000)
+        .unwrap()
+        .ret
+}
+
+/// All three styles must agree with the shared reference semantics.
+fn check_alu_edge(op: Opcode, a: i32, b: i32) {
+    let want = op.eval_alu(a, b);
+    assert_eq!(tta_alu(op, a, b), want, "tta: {op:?}({a}, {b})");
+    assert_eq!(vliw_alu(op, a, b), want, "vliw: {op:?}({a}, {b})");
+    assert_eq!(scalar_alu(op, a, b), want, "scalar: {op:?}({a}, {b})");
+}
+
+#[test]
+fn reference_semantics_of_edge_cases_are_the_expected_constants() {
+    // Shift amounts are masked to the low 5 bits (b & 31), like the FPGA
+    // barrel shifter.
+    assert_eq!(Opcode::Shl.eval_alu(1, 31), i32::MIN);
+    assert_eq!(Opcode::Shl.eval_alu(1, 32), 1);
+    assert_eq!(Opcode::Shl.eval_alu(1, 33), 2);
+    assert_eq!(Opcode::Shl.eval_alu(1, -1), i32::MIN); // -1 & 31 == 31
+    assert_eq!(Opcode::Shr.eval_alu(i32::MIN, 31), -1);
+    assert_eq!(Opcode::Shr.eval_alu(i32::MIN, 32), i32::MIN);
+    assert_eq!(Opcode::Shru.eval_alu(i32::MIN, 31), 1);
+    assert_eq!(Opcode::Shru.eval_alu(-1, 32), -1);
+    // Wrapping arithmetic at the extremes (the Div-overflow analogues).
+    assert_eq!(Opcode::Mul.eval_alu(i32::MIN, -1), i32::MIN);
+    assert_eq!(Opcode::Mul.eval_alu(i32::MAX, i32::MAX), 1);
+    assert_eq!(Opcode::Add.eval_alu(i32::MAX, 1), i32::MIN);
+    assert_eq!(Opcode::Sub.eval_alu(i32::MIN, 1), i32::MAX);
+    // Comparisons straddling the sign boundary.
+    assert_eq!(Opcode::Gt.eval_alu(i32::MIN, i32::MAX), 0);
+    assert_eq!(Opcode::Gt.eval_alu(i32::MAX, i32::MIN), 1);
+    assert_eq!(Opcode::Gtu.eval_alu(i32::MIN, i32::MAX), 1);
+    assert_eq!(Opcode::Gtu.eval_alu(i32::MAX, i32::MIN), 0);
+    assert_eq!(Opcode::Eq.eval_alu(i32::MIN, i32::MIN), 1);
+}
+
+#[test]
+fn shift_amounts_at_and_beyond_width_on_all_styles() {
+    for op in [Opcode::Shl, Opcode::Shr, Opcode::Shru] {
+        for b in [31, 32, 33, 63, -1] {
+            for a in [i32::MIN, -2, 0x4000_0001] {
+                check_alu_edge(op, a, b);
+            }
+        }
+    }
+}
+
+#[test]
+fn wrapping_arithmetic_at_extremes_on_all_styles() {
+    for (a, b) in [
+        (i32::MIN, -1),
+        (i32::MAX, i32::MAX),
+        (i32::MIN, i32::MIN),
+        (0x10000, 0x10000),
+        (48271, 2_147_483_629),
+    ] {
+        check_alu_edge(Opcode::Mul, a, b);
+    }
+    check_alu_edge(Opcode::Add, i32::MAX, 1);
+    check_alu_edge(Opcode::Add, i32::MIN, i32::MIN);
+    check_alu_edge(Opcode::Sub, i32::MIN, 1);
+    check_alu_edge(Opcode::Sub, 0, i32::MIN);
+}
+
+#[test]
+fn comparisons_at_integer_extremes_on_all_styles() {
+    for op in [Opcode::Gt, Opcode::Gtu, Opcode::Eq] {
+        for (a, b) in [
+            (i32::MIN, i32::MAX),
+            (i32::MAX, i32::MIN),
+            (i32::MIN, i32::MIN),
+            (i32::MAX, i32::MAX),
+            (i32::MIN, 0),
+            (0, i32::MIN),
+        ] {
+            check_alu_edge(op, a, b);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sub-word memory accesses at word-unaligned (but width-aligned)
+// addresses, on all three styles.
+// ---------------------------------------------------------------------
+
+/// Store `value` with `store_op` at `addr`, load it back with `load_op`,
+/// on m-tta-1.
+fn tta_subword(store_op: Opcode, load_op: Opcode, value: i32, addr: i32) -> i32 {
+    let mut limm = TtaInst::nop(3);
+    limm.limm = Some((0, value));
+    let prog = vec![
+        limm,
+        inst([
+            mv(MoveSrc::ImmReg(0), MoveDst::FuOperand(LSU)),
+            mv(MoveSrc::Imm(addr), MoveDst::FuTrigger(LSU, store_op)),
+            None,
+        ]),
+        inst([
+            mv(MoveSrc::Imm(addr), MoveDst::FuTrigger(LSU, load_op)),
+            None,
+            None,
+        ]),
+        TtaInst::nop(3),
+        TtaInst::nop(3),
+        // Load result ready (latency 3); route through the ALU so the
+        // store trigger below does not race the LSU result port.
+        inst([
+            mv(MoveSrc::FuResult(LSU), MoveDst::FuOperand(ALU)),
+            mv(MoveSrc::Imm(0), MoveDst::FuTrigger(ALU, Opcode::Add)),
+            None,
+        ]),
+        inst([
+            mv(MoveSrc::FuResult(ALU), MoveDst::FuOperand(LSU)),
+            mv(MoveSrc::Imm(8), MoveDst::FuTrigger(LSU, Opcode::Stw)),
+            None,
+        ]),
+        inst([
+            mv(MoveSrc::Imm(0), MoveDst::FuTrigger(CU, Opcode::Halt)),
+            None,
+            None,
+        ]),
+    ];
+    run_tta(prog).unwrap().ret
+}
+
+/// The same round trip on m-vliw-2.
+fn vliw_subword(store_op: Opcode, load_op: Opcode, value: i32, addr: i32) -> i32 {
+    let m = presets::m_vliw_2();
+    let lsu = FuId(1);
+    let cu = FuId(2);
+    let nop = || VliwBundle {
+        slots: vec![None, None],
+    };
+    let mut prog = vec![
+        VliwBundle {
+            slots: vec![
+                Some(VliwSlot::LimmHead { dst: rr(1), value }),
+                Some(VliwSlot::LimmCont),
+            ],
+        },
+        nop(), // r1 visible at c2
+        VliwBundle {
+            slots: vec![
+                None,
+                Some(vliw_op(
+                    store_op,
+                    lsu,
+                    None,
+                    Some(OpSrc::Reg(rr(1))),
+                    Some(OpSrc::Imm(addr)),
+                )),
+            ],
+        },
+        VliwBundle {
+            slots: vec![
+                None,
+                Some(vliw_op(
+                    load_op,
+                    lsu,
+                    Some(rr(2)),
+                    None,
+                    Some(OpSrc::Imm(addr)),
+                )),
+            ],
+        },
+    ];
+    for _ in 0..Opcode::Ldw.latency() {
+        prog.push(nop());
+    }
+    prog.push(VliwBundle {
+        slots: vec![
+            None,
+            Some(vliw_op(
+                Opcode::Stw,
+                lsu,
+                None,
+                Some(OpSrc::Reg(rr(2))),
+                Some(OpSrc::Imm(8)),
+            )),
+        ],
+    });
+    prog.push(VliwBundle {
+        slots: vec![
+            Some(vliw_op(Opcode::Halt, cu, None, None, Some(OpSrc::Imm(0)))),
+            None,
+        ],
+    });
+    tta_sim::vliw::run_vliw(&m, &prog, vec![0; 1 << 16], 1000)
+        .unwrap()
+        .ret
+}
+
+/// The same round trip on mblaze-3.
+fn scalar_subword(store_op: Opcode, load_op: Opcode, value: i32, addr: i32) -> i32 {
+    let m = presets::mblaze_3();
+    let cu = FuId(2);
+    let prog = vec![
+        ScalarInst::ImmPrefix,
+        scalar_op(
+            store_op,
+            LSU,
+            None,
+            Some(OpSrc::Imm(value)),
+            Some(OpSrc::Imm(addr)),
+        ),
+        scalar_op(load_op, LSU, Some(rr(1)), None, Some(OpSrc::Imm(addr))),
+        scalar_op(
+            Opcode::Stw,
+            LSU,
+            None,
+            Some(OpSrc::Reg(rr(1))),
+            Some(OpSrc::Imm(8)),
+        ),
+        scalar_op(Opcode::Halt, cu, None, None, Some(OpSrc::Imm(0))),
+    ];
+    tta_sim::scalar::run_scalar(&m, &prog, vec![0; 1 << 16], 1000)
+        .unwrap()
+        .ret
+}
+
+fn check_subword(store_op: Opcode, load_op: Opcode, value: i32, addr: i32, want: i32) {
+    assert_eq!(
+        tta_subword(store_op, load_op, value, addr),
+        want,
+        "tta: {store_op:?}/{load_op:?} {value:#x} @ {addr}"
+    );
+    assert_eq!(
+        vliw_subword(store_op, load_op, value, addr),
+        want,
+        "vliw: {store_op:?}/{load_op:?} {value:#x} @ {addr}"
+    );
+    assert_eq!(
+        scalar_subword(store_op, load_op, value, addr),
+        want,
+        "scalar: {store_op:?}/{load_op:?} {value:#x} @ {addr}"
+    );
+}
+
+#[test]
+fn unaligned_subword_round_trips_on_all_styles() {
+    // Half at addr 18: half-aligned but not word-aligned. The store
+    // truncates to 16 bits; Ldh sign-extends, Ldhu zero-extends.
+    let half = 0xDEAD_8765u32 as i32;
+    check_subword(Opcode::Sth, Opcode::Ldh, half, 18, 0xFFFF_8765u32 as i32);
+    check_subword(Opcode::Sth, Opcode::Ldhu, half, 18, 0x8765);
+    // Byte at addr 19: any alignment is legal for bytes.
+    let byte = 0xCAFE_FE99u32 as i32;
+    check_subword(Opcode::Stq, Opcode::Ldq, byte, 19, 0xFFFF_FF99u32 as i32);
+    check_subword(Opcode::Stq, Opcode::Ldqu, byte, 19, 0x99);
+    // Positive sub-word values survive signed loads unchanged.
+    check_subword(Opcode::Sth, Opcode::Ldh, 0x1234, 22, 0x1234);
+    check_subword(Opcode::Stq, Opcode::Ldq, 0x56, 21, 0x56);
+}
+
+#[test]
+fn word_access_at_unaligned_address_faults_on_all_styles() {
+    // Word load at addr 18 violates the alignment contract everywhere.
+    let m = presets::mblaze_3();
+    let cu = FuId(2);
+    let prog = vec![
+        scalar_op(Opcode::Ldw, LSU, Some(rr(1)), None, Some(OpSrc::Imm(18))),
+        scalar_op(Opcode::Halt, cu, None, None, Some(OpSrc::Imm(0))),
+    ];
+    assert!(matches!(
+        tta_sim::scalar::run_scalar(&m, &prog, vec![0; 1 << 16], 1000),
+        Err(SimError::Mem(_))
+    ));
+
+    let tta_prog = vec![
+        inst([
+            mv(MoveSrc::Imm(18), MoveDst::FuTrigger(LSU, Opcode::Ldw)),
+            None,
+            None,
+        ]),
+        TtaInst::nop(3),
+    ];
+    assert!(matches!(run_tta(tta_prog), Err(SimError::Mem(_))));
+
+    let mv2 = presets::m_vliw_2();
+    let vliw_prog = vec![VliwBundle {
+        slots: vec![
+            None,
+            Some(vliw_op(
+                Opcode::Ldw,
+                FuId(1),
+                Some(rr(1)),
+                None,
+                Some(OpSrc::Imm(18)),
+            )),
+        ],
+    }];
+    assert!(matches!(
+        tta_sim::vliw::run_vliw(&mv2, &vliw_prog, vec![0; 1 << 16], 1000),
+        Err(SimError::Mem(_))
+    ));
+}
