@@ -4,11 +4,20 @@
 //!
 //! Usage: `cargo run --release -p tta-bench --bin bench_eval [reps]`
 //! (default 5 repetitions; reports min and median, writes JSON to the
-//! working directory).
+//! working directory). The file embeds the observability run report under
+//! the `"obs"` key; `bench_report` diffs two such files in CI.
 
 use std::time::Instant;
 
+use tta_obs::json::Json;
+
+fn round(v: f64, places: i32) -> f64 {
+    let p = 10f64.powi(places);
+    (v * p).round() / p
+}
+
 fn main() {
+    tta_obs::init_from_env();
     let reps: usize = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
@@ -31,21 +40,42 @@ fn main() {
     let median = totals_s[totals_s.len() / 2];
 
     let timing = tta_explore::eval::last_timing();
-    let json = format!(
-        "{{\n  \"bench\": \"evaluate_all\",\n  \"machines\": {},\n  \"kernels\": {},\n  \"pairs\": {},\n  \"reps\": {},\n  \"wall_s_min\": {min:.6},\n  \"wall_s_median\": {median:.6},\n  \"pairs_per_s\": {:.2},\n  \"stages_s\": {{\n    \"build_ir\": {:.6},\n    \"golden_interp\": {:.6},\n    \"compile\": {:.6},\n    \"simulate\": {:.6},\n    \"verify_estimate\": {:.6}\n  }},\n  \"threads\": {}\n}}\n",
-        reports.len(),
-        reports.first().map_or(0, |r| r.runs.len()),
-        pairs,
-        reps,
-        pairs as f64 / min,
-        timing.build_ir_s,
-        timing.golden_interp_s,
-        timing.compile_s,
-        timing.simulate_s,
-        timing.verify_estimate_s,
-        timing.threads,
-    );
-    std::fs::write("BENCH_eval.json", &json).expect("write BENCH_eval.json");
-    print!("{json}");
+    let json = Json::Obj(vec![
+        ("bench".into(), Json::Str("evaluate_all".into())),
+        ("machines".into(), Json::Num(reports.len() as f64)),
+        (
+            "kernels".into(),
+            Json::Num(reports.first().map_or(0, |r| r.runs.len()) as f64),
+        ),
+        ("pairs".into(), Json::Num(pairs as f64)),
+        ("reps".into(), Json::Num(reps as f64)),
+        ("wall_s_min".into(), Json::Num(round(min, 6))),
+        ("wall_s_median".into(), Json::Num(round(median, 6))),
+        (
+            "pairs_per_s".into(),
+            Json::Num(round(pairs as f64 / min, 2)),
+        ),
+        (
+            "stages_s".into(),
+            Json::Obj(vec![
+                ("build_ir".into(), Json::Num(round(timing.build_ir_s, 6))),
+                (
+                    "golden_interp".into(),
+                    Json::Num(round(timing.golden_interp_s, 6)),
+                ),
+                ("compile".into(), Json::Num(round(timing.compile_s, 6))),
+                ("simulate".into(), Json::Num(round(timing.simulate_s, 6))),
+                (
+                    "verify_estimate".into(),
+                    Json::Num(round(timing.verify_estimate_s, 6)),
+                ),
+            ]),
+        ),
+        ("threads".into(), Json::Num(timing.threads as f64)),
+        ("obs".into(), tta_bench::harness::obs_report_json()),
+    ]);
+    let text = json.to_pretty();
+    std::fs::write("BENCH_eval.json", &text).expect("write BENCH_eval.json");
+    print!("{text}");
     eprintln!("wrote BENCH_eval.json ({pairs} pairs, min {min:.3}s, median {median:.3}s)");
 }

@@ -4,14 +4,23 @@
 //! from PR to PR alongside the evaluation-pipeline numbers.
 //!
 //! Usage: `cargo run --release -p tta-bench --bin bench_fuzz [seeds] [reps]`
-//! (default 100 seeds, 3 repetitions; reports min and median).
+//! (default 100 seeds, 3 repetitions; reports min and median). The file
+//! embeds the observability run report under the `"obs"` key;
+//! `bench_report` diffs two such files in CI.
 
 use std::time::Instant;
 
 use tta_fuzz::gen::{generate, GenConfig};
 use tta_fuzz::oracle::Oracle;
+use tta_obs::json::Json;
+
+fn round(v: f64, places: i32) -> f64 {
+    let p = 10f64.powi(places);
+    (v * p).round() / p
+}
 
 fn main() {
+    tta_obs::init_from_env();
     let mut args = std::env::args().skip(1);
     let seeds: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
     let reps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
@@ -48,13 +57,28 @@ fn main() {
     let min = totals_s[0];
     let median = totals_s[totals_s.len() / 2];
 
-    let json = format!(
-        "{{\n  \"bench\": \"fuzz_differential\",\n  \"seeds\": {seeds},\n  \"machines\": {},\n  \"reps\": {reps},\n  \"wall_s_min\": {min:.6},\n  \"wall_s_median\": {median:.6},\n  \"cases_per_s\": {:.2},\n  \"golden_insts\": {insts},\n  \"sim_cycles\": {cycles},\n  \"sim_cycles_per_s\": {:.0},\n  \"divergences\": {divergences}\n}}\n",
-        oracle.machines.len(),
-        seeds as f64 / min,
-        cycles as f64 / min,
-    );
-    std::fs::write("BENCH_fuzz.json", &json).expect("write BENCH_fuzz.json");
-    print!("{json}");
+    let json = Json::Obj(vec![
+        ("bench".into(), Json::Str("fuzz_differential".into())),
+        ("seeds".into(), Json::Num(seeds as f64)),
+        ("machines".into(), Json::Num(oracle.machines.len() as f64)),
+        ("reps".into(), Json::Num(reps as f64)),
+        ("wall_s_min".into(), Json::Num(round(min, 6))),
+        ("wall_s_median".into(), Json::Num(round(median, 6))),
+        (
+            "cases_per_s".into(),
+            Json::Num(round(seeds as f64 / min, 2)),
+        ),
+        ("golden_insts".into(), Json::Num(insts as f64)),
+        ("sim_cycles".into(), Json::Num(cycles as f64)),
+        (
+            "sim_cycles_per_s".into(),
+            Json::Num(round(cycles as f64 / min, 0)),
+        ),
+        ("divergences".into(), Json::Num(divergences as f64)),
+        ("obs".into(), tta_bench::harness::obs_report_json()),
+    ]);
+    let text = json.to_pretty();
+    std::fs::write("BENCH_fuzz.json", &text).expect("write BENCH_fuzz.json");
+    print!("{text}");
     eprintln!("wrote BENCH_fuzz.json ({seeds} seeds, min {min:.3}s, median {median:.3}s)");
 }

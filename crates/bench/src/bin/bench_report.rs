@@ -1,0 +1,108 @@
+//! Diffs two `BENCH_*.json` files and exits non-zero on a performance
+//! regression beyond tolerance — the binary the CI `bench-gate` job runs.
+//!
+//! Usage:
+//! ```text
+//! bench_report --baseline ci-baseline/BENCH_eval.json \
+//!              [--current BENCH_eval.json] [--tolerance 0.30]
+//! ```
+//!
+//! `--current` defaults to the baseline's file name resolved in the
+//! working directory (the file a fresh `bench_eval`/`bench_fuzz` run just
+//! wrote). Exit codes: 0 = pass, 1 = regression beyond tolerance,
+//! 2 = usage or schema error (unreadable file, mismatched workloads).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use tta_bench::report::diff;
+use tta_obs::json::{parse, Json};
+
+struct Args {
+    baseline: String,
+    current: Option<String>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        baseline: String::new(),
+        current: None,
+        tolerance: 0.30,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--baseline" => args.baseline = value("--baseline")?,
+            "--current" => args.current = Some(value("--current")?),
+            "--tolerance" => {
+                let v = value("--tolerance")?;
+                args.tolerance = v
+                    .parse()
+                    .map_err(|_| format!("--tolerance: not a number: {v}"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: bench_report --baseline FILE [--current FILE] \
+                     [--tolerance 0.30]"
+                    .into());
+            }
+            other => return Err(format!("unknown argument {other} (try --help)")),
+        }
+    }
+    if args.baseline.is_empty() {
+        return Err("--baseline is required (try --help)".into());
+    }
+    Ok(args)
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_report: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let current_path = args.current.clone().unwrap_or_else(|| {
+        Path::new(&args.baseline)
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| args.baseline.clone())
+    });
+
+    let result = load(&args.baseline)
+        .and_then(|b| load(&current_path).map(|c| (b, c)))
+        .and_then(|(b, c)| diff(&b, &c, args.tolerance));
+    match result {
+        Ok(d) => {
+            println!(
+                "bench_report: {} vs {} (tolerance {:.0}%)",
+                args.baseline,
+                current_path,
+                args.tolerance * 100.0
+            );
+            for line in &d.lines {
+                println!("  {line}");
+            }
+            if d.passed() {
+                println!("PASS");
+                ExitCode::SUCCESS
+            } else {
+                for r in &d.regressions {
+                    eprintln!("REGRESSION: {r}");
+                }
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("bench_report: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -2,15 +2,20 @@
 //!
 //! Stands in for Criterion (unavailable in the offline build environment)
 //! with the same measurement discipline on a smaller scale: per benchmark
-//! it warms up, auto-calibrates an iteration count per sample, collects a
-//! fixed number of samples, and reports the median with min/max spread so
-//! one-off scheduling hiccups are visible instead of silently averaged in.
+//! it warms up, auto-calibrates an iteration count per sample
+//! ([`calibrate_iters`]), collects a fixed number of samples, and reports
+//! the median with min/max spread ([`summarize`]) so one-off scheduling
+//! hiccups are visible instead of silently averaged in.
 //!
 //! Bench binaries (`harness = false`) build one [`Harness`], register
 //! benchmarks through [`Group`]s, and call [`Harness::finish`]. A single
 //! positional command-line argument filters benchmarks by substring, so
 //! `cargo bench -p tta-bench --bench simulator -- tta` runs the TTA rows
 //! only.
+//!
+//! The stand-alone bench binaries (`bench_eval`, `bench_fuzz`) embed the
+//! observability run report ([`obs_report_json`]) into the `BENCH_*.json`
+//! files they write, and `bench_report` diffs two such files in CI.
 
 use std::time::{Duration, Instant};
 
@@ -30,6 +35,45 @@ pub struct Measurement {
     pub max_ns: f64,
     /// Optional element count for throughput reporting.
     pub elements: Option<u64>,
+}
+
+/// How many iterations fill one target-length sample, given the duration
+/// of one warm-up iteration. Clamped to `[1, 1_000_000]`: the floor keeps
+/// benchmarks slower than the whole sample budget at one iteration per
+/// sample (never zero), the ceiling bounds loop overhead on sub-ns work.
+pub fn calibrate_iters(once: Duration) -> u64 {
+    (TARGET_SAMPLE.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+}
+
+/// Whether benchmark `name` passes the optional substring `filter`.
+pub fn name_matches(name: &str, filter: Option<&str>) -> bool {
+    filter.is_none_or(|f| name.contains(f))
+}
+
+/// Collapse raw per-iteration samples into a [`Measurement`]: sorts and
+/// picks min, max and the (upper-for-even-counts) median.
+///
+/// # Panics
+/// With an empty sample vector.
+pub fn summarize(name: String, mut samples_ns: Vec<f64>, elements: Option<u64>) -> Measurement {
+    assert!(
+        !samples_ns.is_empty(),
+        "summarize needs at least one sample"
+    );
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    Measurement {
+        name,
+        median_ns: samples_ns[samples_ns.len() / 2],
+        min_ns: samples_ns[0],
+        max_ns: *samples_ns.last().unwrap(),
+        elements,
+    }
+}
+
+/// The observability run report as a JSON value; bench binaries embed it
+/// into the `BENCH_*.json` they write, under an `"obs"` key.
+pub fn obs_report_json() -> tta_obs::json::Json {
+    tta_obs::report::to_json()
 }
 
 /// Top-level benchmark registry; create one per bench binary.
@@ -106,16 +150,13 @@ impl Group<'_> {
     /// the computation cannot be optimised away.
     pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) -> &mut Self {
         let name = format!("{}/{id}", self.name);
-        if let Some(filt) = &self.harness.filter {
-            if !name.contains(filt.as_str()) {
-                return self;
-            }
+        if !name_matches(&name, self.harness.filter.as_deref()) {
+            return self;
         }
         // Warm up and calibrate: how many iterations fill one sample?
         let t0 = Instant::now();
         std::hint::black_box(f());
-        let once = t0.elapsed();
-        let iters = (TARGET_SAMPLE.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+        let iters = calibrate_iters(t0.elapsed());
 
         let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
@@ -125,14 +166,7 @@ impl Group<'_> {
             }
             samples_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
         }
-        samples_ns.sort_by(|a, b| a.total_cmp(b));
-        let m = Measurement {
-            name,
-            median_ns: samples_ns[samples_ns.len() / 2],
-            min_ns: samples_ns[0],
-            max_ns: *samples_ns.last().unwrap(),
-            elements: self.elements,
-        };
+        let m = summarize(name, samples_ns, self.elements);
         println!(
             "{}  {}  (min {}, max {})",
             m.name,
@@ -183,6 +217,46 @@ mod tests {
         };
         h.group("t").bench("abc", || 1);
         assert!(h.results.is_empty());
+    }
+
+    #[test]
+    fn filter_is_a_substring_match_on_the_full_name() {
+        assert!(name_matches("group/id", None));
+        assert!(name_matches("group/id", Some("oup/i")));
+        assert!(name_matches("group/id", Some("group")));
+        assert!(!name_matches("group/id", Some("grid")));
+        assert!(!name_matches("group/id", Some("Group")));
+    }
+
+    #[test]
+    fn summarize_picks_median_min_max() {
+        // Odd count: exact middle after sorting.
+        let m = summarize("t/odd".into(), vec![5.0, 1.0, 3.0], None);
+        assert_eq!((m.min_ns, m.median_ns, m.max_ns), (1.0, 3.0, 5.0));
+        // Even count: the upper median (index len/2).
+        let m = summarize("t/even".into(), vec![4.0, 1.0, 3.0, 2.0], Some(7));
+        assert_eq!((m.min_ns, m.median_ns, m.max_ns), (1.0, 3.0, 4.0));
+        assert_eq!(m.elements, Some(7));
+        // Single sample: all three statistics coincide.
+        let m = summarize("t/one".into(), vec![2.5], None);
+        assert_eq!((m.min_ns, m.median_ns, m.max_ns), (2.5, 2.5, 2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn summarize_rejects_empty_input() {
+        summarize("t/none".into(), vec![], None);
+    }
+
+    #[test]
+    fn calibration_has_a_floor_and_a_ceiling() {
+        // Slower than the whole sample budget: still one iteration.
+        assert_eq!(calibrate_iters(Duration::from_secs(1)), 1);
+        assert_eq!(calibrate_iters(TARGET_SAMPLE), 1);
+        // Zero-duration warm-up must not divide by zero; it hits the cap.
+        assert_eq!(calibrate_iters(Duration::ZERO), 1_000_000);
+        // A 1µs iteration fits the 40ms target 40_000 times.
+        assert_eq!(calibrate_iters(Duration::from_micros(1)), 40_000);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod report;
 
 use tta_explore::MachineReport;
 

@@ -1,0 +1,225 @@
+//! Regression diffing between two `BENCH_*.json` files.
+//!
+//! The CI `bench-gate` job re-runs `bench_eval`/`bench_fuzz` on the PR
+//! and diffs the fresh JSON against the committed baseline with
+//! [`diff`]: the gate fails when `wall_s_median` grew by more than the
+//! configured tolerance. Two reports are only comparable when their
+//! workload keys (benchmark name, machine/kernel/pair/seed counts)
+//! match — a mismatch is a schema error, not a pass, so shrinking the
+//! workload can never sneak past the gate.
+
+use tta_obs::json::Json;
+
+/// The gated metric: median wall-clock seconds per run, lower is better.
+pub const GATE_KEY: &str = "wall_s_median";
+
+/// Keys that define the workload; they must be equal (or absent from
+/// both files) for a comparison to be meaningful.
+const WORKLOAD_KEYS: [&str; 5] = ["bench", "machines", "kernels", "pairs", "seeds"];
+
+/// Informational higher-is-better metrics shown in the summary.
+const INFO_HIGHER: [&str; 3] = ["pairs_per_s", "cases_per_s", "sim_cycles_per_s"];
+
+/// The outcome of one comparison.
+#[derive(Debug, Clone)]
+pub struct Diff {
+    /// Human-readable summary lines (one per compared metric).
+    pub lines: Vec<String>,
+    /// Regressions beyond tolerance; empty means the gate passes.
+    pub regressions: Vec<String>,
+}
+
+impl Diff {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Fetch a numeric field or explain what is wrong with it.
+fn num(j: &Json, key: &str) -> Result<f64, String> {
+    j.get(key)
+        .ok_or_else(|| format!("missing key \"{key}\""))?
+        .as_f64()
+        .ok_or_else(|| format!("key \"{key}\" is not a number"))
+}
+
+/// Compare `current` against `baseline` with a relative `tolerance`
+/// (0.30 = +30% allowed). `Err` is a schema problem (different
+/// workloads, missing or non-numeric gate key, silly tolerance) — CI
+/// treats it as a hard failure distinct from a measured regression.
+pub fn diff(baseline: &Json, current: &Json, tolerance: f64) -> Result<Diff, String> {
+    if !(0.0..10.0).contains(&tolerance) {
+        return Err(format!("tolerance {tolerance} outside [0, 10)"));
+    }
+    if !matches!(baseline, Json::Obj(_)) || !matches!(current, Json::Obj(_)) {
+        return Err("bench reports must be JSON objects".into());
+    }
+    for k in WORKLOAD_KEYS {
+        match (baseline.get(k), current.get(k)) {
+            (None, None) => {}
+            (Some(b), Some(c)) if b == c => {}
+            (Some(b), Some(c)) => {
+                return Err(format!(
+                    "workload mismatch on \"{k}\": baseline {b:?} vs current {c:?}"
+                ));
+            }
+            (Some(_), None) => return Err(format!("current report lacks workload key \"{k}\"")),
+            (None, Some(_)) => return Err(format!("baseline report lacks workload key \"{k}\"")),
+        }
+    }
+
+    let base = num(baseline, GATE_KEY).map_err(|e| format!("baseline: {e}"))?;
+    let cur = num(current, GATE_KEY).map_err(|e| format!("current: {e}"))?;
+    if base <= 0.0 {
+        return Err(format!("baseline {GATE_KEY} is not positive ({base})"));
+    }
+    let limit = base * (1.0 + tolerance);
+    let delta_pct = (cur / base - 1.0) * 100.0;
+    let mut lines = vec![format!(
+        "{GATE_KEY}: baseline {base:.6}s → current {cur:.6}s ({delta_pct:+.1}%), limit {limit:.6}s"
+    )];
+    let mut regressions = Vec::new();
+    if cur > limit {
+        regressions.push(format!(
+            "{GATE_KEY} regressed {delta_pct:+.1}% (> {:.0}% tolerance)",
+            tolerance * 100.0
+        ));
+    }
+
+    for k in INFO_HIGHER {
+        if let (Ok(b), Ok(c)) = (num(baseline, k), num(current, k)) {
+            if b > 0.0 {
+                lines.push(format!(
+                    "{k}: baseline {b:.2} → current {c:.2} ({:+.1}%, informational)",
+                    (c / b - 1.0) * 100.0
+                ));
+            }
+        }
+    }
+    Ok(Diff { lines, regressions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_obs::json::parse;
+
+    fn eval_report(median: f64) -> Json {
+        parse(&format!(
+            r#"{{"bench": "evaluate_all", "machines": 13, "kernels": 8, "pairs": 104,
+                "reps": 5, "wall_s_min": {0}, "wall_s_median": {0}, "pairs_per_s": {1}}}"#,
+            median,
+            104.0 / median
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn self_comparison_passes() {
+        let r = eval_report(0.4);
+        let d = diff(&r, &r, 0.30).unwrap();
+        assert!(d.passed(), "{:?}", d.regressions);
+        assert!(d.lines[0].contains("wall_s_median"));
+    }
+
+    #[test]
+    fn synthetic_2x_regression_fails() {
+        let d = diff(&eval_report(0.4), &eval_report(0.8), 0.30).unwrap();
+        assert!(!d.passed());
+        assert!(d.regressions[0].contains("+100.0%"), "{:?}", d.regressions);
+    }
+
+    #[test]
+    fn tolerance_edges_are_inclusive_below_and_exclusive_above() {
+        // Exactly at the limit: passes (<=).
+        let d = diff(&eval_report(0.4), &eval_report(0.4 * 1.30), 0.30).unwrap();
+        assert!(d.passed(), "{:?}", d.regressions);
+        // A hair above: fails.
+        let d = diff(&eval_report(0.4), &eval_report(0.4 * 1.30 + 1e-6), 0.30).unwrap();
+        assert!(!d.passed());
+        // Improvements always pass, even with zero tolerance.
+        let d = diff(&eval_report(0.4), &eval_report(0.2), 0.0).unwrap();
+        assert!(d.passed());
+    }
+
+    #[test]
+    fn invalid_tolerance_is_rejected() {
+        let r = eval_report(0.4);
+        assert!(diff(&r, &r, -0.1).is_err());
+        assert!(diff(&r, &r, 10.0).is_err());
+    }
+
+    #[test]
+    fn missing_gate_key_is_a_schema_error() {
+        let mut base = eval_report(0.4);
+        let cur = eval_report(0.4);
+        if let Json::Obj(fields) = &mut base {
+            fields.retain(|(k, _)| k != GATE_KEY);
+        }
+        let e = diff(&base, &cur, 0.30).unwrap_err();
+        assert!(e.contains("baseline") && e.contains(GATE_KEY), "{e}");
+    }
+
+    #[test]
+    fn non_numeric_gate_key_is_a_schema_error() {
+        let base = eval_report(0.4);
+        let mut cur = eval_report(0.4);
+        if let Json::Obj(fields) = &mut cur {
+            for (k, v) in fields.iter_mut() {
+                if k == GATE_KEY {
+                    *v = Json::Str("fast".into());
+                }
+            }
+        }
+        let e = diff(&base, &cur, 0.30).unwrap_err();
+        assert!(e.contains("not a number"), "{e}");
+    }
+
+    #[test]
+    fn different_benchmarks_do_not_compare() {
+        let base = eval_report(0.4);
+        let cur = parse(r#"{"bench": "fuzz_differential", "wall_s_median": 0.1}"#).unwrap();
+        let e = diff(&base, &cur, 0.30).unwrap_err();
+        assert!(
+            e.contains("workload mismatch") || e.contains("workload key"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn workload_size_change_does_not_compare() {
+        let base = eval_report(0.4);
+        let mut cur = eval_report(0.4);
+        if let Json::Obj(fields) = &mut cur {
+            for (k, v) in fields.iter_mut() {
+                if k == "pairs" {
+                    *v = Json::Num(52.0);
+                }
+            }
+        }
+        let e = diff(&base, &cur, 0.30).unwrap_err();
+        assert!(e.contains("workload mismatch on \"pairs\""), "{e}");
+    }
+
+    #[test]
+    fn fuzz_schema_compares_on_seed_count() {
+        let mk = |seeds: u64, median: f64| {
+            parse(&format!(
+                r#"{{"bench": "fuzz_differential", "seeds": {seeds}, "machines": 13,
+                    "wall_s_median": {median}, "cases_per_s": {}}}"#,
+                seeds as f64 / median
+            ))
+            .unwrap()
+        };
+        assert!(diff(&mk(100, 0.57), &mk(100, 0.60), 0.30).unwrap().passed());
+        assert!(diff(&mk(100, 0.57), &mk(50, 0.30), 0.30).is_err());
+    }
+
+    #[test]
+    fn non_object_reports_are_rejected() {
+        let r = eval_report(0.4);
+        assert!(diff(&Json::Num(1.0), &r, 0.30).is_err());
+        assert!(diff(&r, &Json::Arr(vec![]), 0.30).is_err());
+    }
+}

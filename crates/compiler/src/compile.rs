@@ -145,17 +145,25 @@ pub fn compile_with(
     machine: &Machine,
     opts: crate::tta_sched::TtaOptions,
 ) -> Result<Compiled, CompileError> {
-    tta_ir::verify::verify_module(module).map_err(CompileError::Verify)?;
+    let _compile_span = tta_obs::span("compile");
+    {
+        let _s = tta_obs::span("verify");
+        tta_ir::verify::verify_module(module).map_err(CompileError::Verify)?;
+    }
     if !module.entry_func().params.is_empty() {
         return Err(CompileError::Unsupported(
             "entry functions must take no parameters".into(),
         ));
     }
-    let mut flat = inline_module(module).map_err(|e| CompileError::Inline(e.0))?;
+    let mut flat = {
+        let _s = tta_obs::span("inline");
+        inline_module(module).map_err(|e| CompileError::Inline(e.0))?
+    };
     // Folding exposes dead code and vice versa; iterate the pair to a
     // fixpoint (bounded — each round strictly shrinks or stops).
     let mut dce_removed = 0;
     let mut folded = 0;
+    let opt_span = tta_obs::span("opt");
     loop {
         let f = crate::fold::fold_constants(&mut flat)
             + crate::fold::propagate_single_def_constants(&mut flat);
@@ -166,6 +174,7 @@ pub fn compile_with(
             break;
         }
     }
+    drop(opt_span);
 
     // Constant legalisation with the style's inline-immediate reach.
     let fits: Box<dyn Fn(i32) -> bool> = match machine.style {
@@ -186,7 +195,10 @@ pub fn compile_with(
     // Hoisting floods long-lived registers; budget it to a quarter of the
     // register file so the allocator never spills just to hold constants.
     let hoist_budget = (machine.total_regs() as usize / 4).max(4);
-    let const_stats = crate::consts::hoist_wide_constants(&mut flat, fits.as_ref(), hoist_budget);
+    let const_stats = {
+        let _s = tta_obs::span("consts");
+        crate::consts::hoist_wide_constants(&mut flat, fits.as_ref(), hoist_budget)
+    };
 
     // Register allocation (reserving the VLIW branch-target register).
     let reserved: Vec<RegRef> = match machine.style {
@@ -197,7 +209,10 @@ pub fn compile_with(
     let alloc =
         allocate(&flat, machine, &reserved, spill_base).map_err(|e| CompileError::Alloc(e.0))?;
     let spilled = alloc.spilled;
-    let lf = lower(&alloc);
+    let lf = {
+        let _s = tta_obs::span("lower");
+        lower(&alloc)
+    };
 
     let mut stats = CompileStats {
         blocks: lf.blocks.len(),
@@ -214,6 +229,7 @@ pub fn compile_with(
         CoreStyle::Vliw => {
             let sched = VliwScheduler::new(machine, vliw_bt_reg(machine));
             let blocks = sched.schedule(&lf);
+            let _layout = tta_obs::span("layout");
             let mut starts = Vec::with_capacity(blocks.len());
             let mut insts = Vec::new();
             for b in &blocks {
@@ -237,6 +253,7 @@ pub fn compile_with(
             let mut sched = TtaScheduler::with_options(machine, opts);
             let blocks = sched.schedule(&lf);
             stats.tta = sched.stats;
+            let _layout = tta_obs::span("layout");
             let mut starts = Vec::with_capacity(blocks.len());
             let mut insts = Vec::new();
             for b in &blocks {
@@ -257,7 +274,11 @@ pub fn compile_with(
         }
         CoreStyle::Scalar => {
             let cg = ScalarCodegen::new(machine);
-            let blocks = cg.generate(&lf);
+            let blocks = {
+                let _s = tta_obs::span("sched");
+                cg.generate(&lf)
+            };
+            let _layout = tta_obs::span("layout");
             let mut starts = Vec::with_capacity(blocks.len());
             let mut insts = Vec::new();
             for b in &blocks {
@@ -284,7 +305,14 @@ pub fn compile_with(
         }
     };
 
-    program.validate(machine).map_err(CompileError::Invalid)?;
+    {
+        let _s = tta_obs::span("validate");
+        program.validate(machine).map_err(CompileError::Invalid)?;
+    }
+    tta_obs::counter::add("compiler.compiles", 1);
+    tta_obs::counter::add("compiler.blocks", stats.blocks as u64);
+    tta_obs::counter::add("compiler.insts", stats.ops as u64);
+    tta_obs::counter::add("compiler.folded", stats.folded as u64);
     Ok(Compiled {
         program,
         machine: machine.name.clone(),

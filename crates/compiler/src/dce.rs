@@ -13,6 +13,7 @@ use tta_ir::{Function, Inst};
 /// Remove dead instructions. Returns the number removed (iterates to a
 /// fixpoint, since removing one use can kill its producers).
 pub fn eliminate_dead_code(f: &mut Function) -> usize {
+    let _span = tta_obs::span("dce");
     let mut removed_total = 0;
     loop {
         let live = Liveness::compute(f);
@@ -51,6 +52,7 @@ pub fn eliminate_dead_code(f: &mut Function) -> usize {
         }
         removed_total += removed;
         if removed == 0 {
+            tta_obs::counter::add("compiler.dce_removed", removed_total as u64);
             return removed_total;
         }
     }

@@ -61,6 +61,7 @@ pub fn allocate(
     reserved: &[RegRef],
     spill_base: u32,
 ) -> Result<Allocation, AllocError> {
+    let _span = tta_obs::span("regalloc");
     assert!(f.params.is_empty(), "entry functions take no parameters");
     let mut func = f.clone();
     // Compact once up front (the inliner leaves the vreg space sparse);
@@ -83,6 +84,8 @@ pub fn allocate(
 
         match try_allocate(&func, machine, reserved, &no_spill) {
             Ok(assignment) => {
+                tta_obs::counter::add("compiler.spilled", total_spilled as u64);
+                tta_obs::counter::add("compiler.spill_bytes", (next_slot * 4) as u64);
                 return Ok(Allocation {
                     func,
                     assignment,

@@ -506,7 +506,10 @@ impl<'m> TtaScheduler<'m> {
 
     /// Schedule all blocks.
     pub fn schedule(&mut self, f: &LocFunc) -> Vec<TtaBlock> {
-        f.blocks
+        let _span = tta_obs::span("sched");
+        let before = self.stats;
+        let blocks: Vec<TtaBlock> = f
+            .blocks
             .iter()
             .enumerate()
             .map(|(bi, b)| {
@@ -517,7 +520,16 @@ impl<'m> TtaScheduler<'m> {
                 };
                 self.schedule_block(b, next)
             })
-            .collect()
+            .collect();
+        let d = self.stats;
+        tta_obs::counter::add("compiler.tta_moves", d.moves - before.moves);
+        tta_obs::counter::add("compiler.tta_bypassed", d.bypassed - before.bypassed);
+        tta_obs::counter::add("compiler.tta_limms", d.limms - before.limms);
+        tta_obs::counter::add(
+            "compiler.tta_dead_results",
+            d.dead_results - before.dead_results,
+        );
+        blocks
     }
 
     fn min_simm_fits(&self, v: i32) -> bool {

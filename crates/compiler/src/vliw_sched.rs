@@ -135,7 +135,9 @@ impl<'m> VliwScheduler<'m> {
     /// order; `fallthrough[bi]` is the next block in layout (None for the
     /// last).
     pub fn schedule(&self, f: &LocFunc) -> Vec<SchedBlock> {
-        f.blocks
+        let _span = tta_obs::span("sched");
+        let blocks: Vec<SchedBlock> = f
+            .blocks
             .iter()
             .enumerate()
             .map(|(bi, b)| {
@@ -146,7 +148,10 @@ impl<'m> VliwScheduler<'m> {
                 };
                 self.schedule_block(b, next)
             })
-            .collect()
+            .collect();
+        let bundles: u64 = blocks.iter().map(|b| b.bundles.len() as u64).sum();
+        tta_obs::counter::add("compiler.vliw_bundles", bundles);
+        blocks
     }
 
     fn op_src(&self, s: LocSrc) -> OpSrc {

@@ -1,24 +1,32 @@
 //! The paper's evaluation pipeline: compile every kernel for every design
 //! point, simulate cycle-accurately, estimate FPGA cost, and collect the
 //! raw numbers behind Tables II–IV and Figs. 5–6.
+//!
+//! Stage timing is recorded through `tta-obs` spans: [`evaluate`] opens a
+//! root `eval` span, workers attach to it, and the compiler/simulator
+//! crates charge their own `compile`/`simulate` spans underneath, so the
+//! whole call aggregates as one `eval/...` subtree in the obs run report.
+//! [`last_timing`] reads that subtree back in the historical
+//! [`EvalTiming`] shape.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 use tta_chstone::Kernel;
 use tta_compiler::compile;
 use tta_fpga::Resources;
 use tta_ir::interp::Interpreter;
 use tta_isa::encoding;
 use tta_model::{presets, Machine};
+use tta_obs as obs;
 use tta_sim::SimStats;
 
 /// Cumulative per-stage timing of the most recent [`evaluate`] call.
 ///
 /// Stage fields are summed across worker threads (thread-seconds, not
-/// wall-clock); `wall_s` and `threads` describe the call itself. Retrieved
-/// with [`last_timing`] and emitted by the `bench_eval` binary into
-/// `BENCH_eval.json`.
+/// wall-clock); `wall_s` and `threads` describe the call itself. Backed
+/// by the `eval/...` spans of the obs registry (all zero when obs is
+/// disabled). Retrieved with [`last_timing`] and emitted by the
+/// `bench_eval` binary into `BENCH_eval.json`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EvalTiming {
     /// Building kernel IR modules from their builders.
@@ -37,49 +45,35 @@ pub struct EvalTiming {
     pub threads: usize,
 }
 
-/// Nanosecond accumulators behind [`EvalTiming`] (index: stage).
-static STAGE_NS: [AtomicU64; 5] = [
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-];
-static WALL_NS: AtomicU64 = AtomicU64::new(0);
-static THREADS: AtomicU64 = AtomicU64::new(0);
-
-/// Add `dt` to stage accumulator `idx`.
-fn stage_add(idx: usize, dt: std::time::Duration) {
-    STAGE_NS[idx].fetch_add(dt.as_nanos() as u64, Ordering::Relaxed);
-}
-
-/// Charge the time since `t` to stage `idx`; returns a fresh lap start.
-fn stage_lap(idx: usize, t: Instant) -> Instant {
-    stage_add(idx, t.elapsed());
-    Instant::now()
-}
-
-/// Per-stage timing of the most recent [`evaluate`] call in this process.
+/// Per-stage timing of the most recent [`evaluate`] call in this process,
+/// read back from the obs span registry.
 pub fn last_timing() -> EvalTiming {
-    let s = |i: usize| STAGE_NS[i].load(Ordering::Relaxed) as f64 * 1e-9;
+    let s = |p: &str| obs::span::stat(p).map_or(0.0, |(total_s, _)| total_s);
     EvalTiming {
-        build_ir_s: s(0),
-        golden_interp_s: s(1),
-        compile_s: s(2),
-        simulate_s: s(3),
-        verify_estimate_s: s(4),
-        wall_s: WALL_NS.load(Ordering::Relaxed) as f64 * 1e-9,
-        threads: THREADS.load(Ordering::Relaxed) as usize,
+        build_ir_s: s("eval/build_ir"),
+        golden_interp_s: s("eval/golden_interp"),
+        compile_s: s("eval/compile"),
+        simulate_s: s("eval/simulate"),
+        verify_estimate_s: s("eval/verify_estimate"),
+        wall_s: s("eval"),
+        threads: obs::counter::get_gauge("eval.threads").unwrap_or(0).max(0) as usize,
     }
 }
 
-/// Reset the accumulators at the start of an [`evaluate`] call.
-fn reset_timing(threads: usize) {
-    for a in &STAGE_NS {
-        a.store(0, Ordering::Relaxed);
-    }
-    WALL_NS.store(0, Ordering::Relaxed);
-    THREADS.store(threads as u64, Ordering::Relaxed);
+/// Worker threads for [`evaluate`]: the `TTA_EVAL_THREADS` environment
+/// variable when set to a positive integer, otherwise every available
+/// core; always capped at the job count.
+fn eval_threads(n_jobs: usize) -> usize {
+    std::env::var("TTA_EVAL_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(8)
+        })
+        .min(n_jobs.max(1))
 }
 
 /// One kernel executed on one machine.
@@ -147,11 +141,14 @@ struct PreparedKernel {
 }
 
 fn prepare_kernel(kernel: &Kernel) -> PreparedKernel {
-    let t = Instant::now();
-    let module = (kernel.build)();
-    let t = stage_lap(0, t);
-    let golden = Interpreter::new(&module).run(&[]).expect("interpreter");
-    stage_add(1, t.elapsed());
+    let module = {
+        let _s = obs::span("build_ir");
+        (kernel.build)()
+    };
+    let golden = {
+        let _s = obs::span("golden_interp");
+        Interpreter::new(&module).run(&[]).expect("interpreter")
+    };
     PreparedKernel {
         name: kernel.name,
         module,
@@ -160,24 +157,24 @@ fn prepare_kernel(kernel: &Kernel) -> PreparedKernel {
 }
 
 /// Compile + simulate one prepared kernel on one machine and verify the
-/// result against the golden model.
+/// result against the golden model. The compiler and simulator charge
+/// their own `compile`/`simulate` spans under this thread's ambient span.
 fn run_prepared(p: &PreparedKernel, machine: &Machine) -> KernelRun {
-    let t = Instant::now();
     let compiled = compile(&p.module, machine)
         .unwrap_or_else(|e| panic!("{} on {}: {e}", p.name, machine.name));
-    let t = stage_lap(2, t);
     let result = tta_sim::run(machine, &compiled.program, p.module.initial_memory())
         .unwrap_or_else(|e| panic!("{} on {}: {e}", p.name, machine.name));
-    let t = stage_lap(3, t);
-    // Guard the evaluation numbers with the golden model.
-    assert_eq!(
-        Some(result.ret),
-        p.golden_ret,
-        "{} on {}",
-        p.name,
-        machine.name
-    );
-    let _ = stage_lap(4, t);
+    {
+        let _s = obs::span("verify_estimate");
+        // Guard the evaluation numbers with the golden model.
+        assert_eq!(
+            Some(result.ret),
+            p.golden_ret,
+            "{} on {}",
+            p.name,
+            machine.name
+        );
+    }
     KernelRun {
         kernel: p.name.to_string(),
         cycles: result.cycles,
@@ -204,12 +201,13 @@ pub fn run_kernel(kernel: &Kernel, machine: &Machine) -> KernelRun {
 /// machine-per-thread worker.
 pub fn evaluate(machines: &[Machine], kernels: &[Kernel]) -> Vec<MachineReport> {
     let n_jobs = machines.len() * kernels.len();
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(8)
-        .min(n_jobs.max(1));
-    reset_timing(threads);
-    let wall = Instant::now();
+    let threads = eval_threads(n_jobs);
+    // Zero this call's subtree so `last_timing` describes the most recent
+    // call — the historical contract of the old stage accumulators.
+    obs::span::reset_prefix("eval");
+    obs::counter::set_gauge("eval.threads", threads as i64);
+    let eval_span = obs::span_under(obs::SpanHandle::ROOT, "eval");
+    let here = obs::current();
 
     let prepared: Vec<PreparedKernel> = kernels.iter().map(prepare_kernel).collect();
 
@@ -218,14 +216,17 @@ pub fn evaluate(machines: &[Machine], kernels: &[Kernel]) -> Vec<MachineReport> 
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let ji = next.fetch_add(1, Ordering::Relaxed);
-                if ji >= n_jobs {
-                    break;
+            scope.spawn(|| {
+                let _ctx = obs::attach(here);
+                loop {
+                    let ji = next.fetch_add(1, Ordering::Relaxed);
+                    if ji >= n_jobs {
+                        break;
+                    }
+                    let (mi, ki) = (ji / kernels.len(), ji % kernels.len());
+                    let run = run_prepared(&prepared[ki], &machines[mi]);
+                    *slots[ji].lock().unwrap() = Some(run);
                 }
-                let (mi, ki) = (ji / kernels.len(), ji % kernels.len());
-                let run = run_prepared(&prepared[ki], &machines[mi]);
-                *slots[ji].lock().unwrap() = Some(run);
             });
         }
     });
@@ -237,19 +238,17 @@ pub fn evaluate(machines: &[Machine], kernels: &[Kernel]) -> Vec<MachineReport> 
         .iter()
         .map(|machine| {
             let runs: Vec<KernelRun> = runs.by_ref().take(kernels.len()).collect();
-            let t = Instant::now();
-            let report = MachineReport {
+            let _s = obs::span("verify_estimate");
+            MachineReport {
                 name: machine.name.clone(),
                 machine: machine.clone(),
                 resources: tta_fpga::estimate(machine),
                 instr_bits: encoding::instruction_bits(machine),
                 runs,
-            };
-            stage_add(4, t.elapsed());
-            report
+            }
         })
         .collect();
-    WALL_NS.store(wall.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    drop(eval_span);
     reports
 }
 
@@ -282,6 +281,13 @@ pub fn issue_class(m: &Machine) -> IssueClass {
 mod tests {
     use super::*;
 
+    /// The eval tests share the global obs registry (the `eval` subtree
+    /// is reset per call), so they must not interleave.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static M: Mutex<()> = Mutex::new(());
+        M.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     fn small_eval() -> Vec<MachineReport> {
         let machines = vec![presets::mblaze_3(), presets::m_vliw_2(), presets::m_tta_2()];
         let kernels: Vec<Kernel> = ["sha", "motion"]
@@ -293,6 +299,7 @@ mod tests {
 
     #[test]
     fn evaluation_produces_ordered_reports() {
+        let _l = lock();
         let reports = small_eval();
         assert_eq!(reports.len(), 3);
         assert_eq!(reports[0].name, "mblaze-3");
@@ -306,6 +313,7 @@ mod tests {
 
     #[test]
     fn geomeans_are_positive_and_bounded() {
+        let _l = lock();
         let reports = small_eval();
         for r in &reports {
             let g = r.geomean_cycles();
@@ -321,10 +329,27 @@ mod tests {
 
     #[test]
     fn tta_beats_vliw_in_cycles_on_this_sample() {
+        let _l = lock();
         let reports = small_eval();
         let vliw = reports[1].geomean_cycles();
         let tta = reports[2].geomean_cycles();
         assert!(tta < vliw, "m-tta-2 {tta} vs m-vliw-2 {vliw}");
+    }
+
+    #[test]
+    fn timing_comes_from_obs_spans() {
+        let _l = lock();
+        let _ = small_eval();
+        let t = last_timing();
+        assert!(t.wall_s > 0.0, "{t:?}");
+        assert!(t.compile_s > 0.0, "{t:?}");
+        assert!(t.simulate_s > 0.0, "{t:?}");
+        assert!(t.golden_interp_s > 0.0, "{t:?}");
+        assert!(t.threads >= 1, "{t:?}");
+        // Thread-seconds can exceed wall-clock, but never by more than the
+        // worker count.
+        let stages = t.compile_s + t.simulate_s + t.verify_estimate_s;
+        assert!(stages <= t.wall_s * t.threads as f64 + 0.5, "{t:?}");
     }
 
     #[test]

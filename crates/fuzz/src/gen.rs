@@ -387,6 +387,8 @@ fn leaf_function(ctx: &mut Ctx, name: String, nparams: usize) -> tta_ir::Functio
 
 /// Generate the module for `seed`.
 pub fn generate(seed: u64, cfg: &GenConfig) -> Module {
+    let _span = tta_obs::span("fuzz_generate");
+    tta_obs::counter::add("fuzz.generated", 1);
     let mut rng = Rng::new(seed);
     let mut mb = ModuleBuilder::new(format!("fuzz_{seed}"));
     let init: Vec<u8> = rng.vec(64, |r| r.next_u32() as u8);

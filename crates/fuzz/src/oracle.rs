@@ -265,7 +265,31 @@ impl Oracle {
 
     /// Check one module. `Ok` carries per-machine cycle counts; `Err`
     /// carries the first divergence found.
+    ///
+    /// Observability: the whole check runs under a `fuzz_check` span
+    /// (the compiler and simulator charge `compile`/`simulate` spans
+    /// beneath it) and feeds the `fuzz.*` counters.
     pub fn check(&self, module: &Module) -> Result<OracleReport, Divergence> {
+        let _span = tta_obs::span("fuzz_check");
+        let result = self.check_inner(module);
+        if tta_obs::enabled() {
+            match &result {
+                Ok(report) => {
+                    tta_obs::counter::add("fuzz.cases_ok", 1);
+                    tta_obs::counter::add("fuzz.golden_insts", report.golden_insts);
+                    tta_obs::counter::add(
+                        "fuzz.sim_cycles",
+                        report.runs.iter().map(|r| r.cycles).sum(),
+                    );
+                }
+                Err(d) if d.is_semantic() => tta_obs::counter::add("fuzz.divergences", 1),
+                Err(_) => tta_obs::counter::add("fuzz.rejected_inputs", 1),
+            }
+        }
+        result
+    }
+
+    fn check_inner(&self, module: &Module) -> Result<OracleReport, Divergence> {
         if let Err(es) = tta_ir::verify_module(module) {
             let msg = es
                 .iter()
@@ -275,10 +299,13 @@ impl Oracle {
                 .join("; ");
             return Err(Divergence::Verify(msg));
         }
-        let golden = Interpreter::new(module)
-            .with_fuel(self.interp_fuel)
-            .run(&[])
-            .map_err(|e| Divergence::Interp(e.to_string()))?;
+        let golden = {
+            let _s = tta_obs::span("golden_interp");
+            Interpreter::new(module)
+                .with_fuel(self.interp_fuel)
+                .run(&[])
+                .map_err(|e| Divergence::Interp(e.to_string()))?
+        };
         let Some(golden_ret) = golden.ret else {
             return Err(Divergence::Interp("entry returned no value".into()));
         };

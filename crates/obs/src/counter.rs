@@ -1,0 +1,244 @@
+//! Monotonic counters and gauges in a global lock-free registry.
+//!
+//! Counters ([`add`]) only grow; gauges ([`set_gauge`]) hold the last
+//! value written. Both are named by `&'static str` and updated with
+//! relaxed atomics: a probe is one registry scan plus one `fetch_add`
+//! or `store`. Like spans, slots are interned on first use and never
+//! freed; [`reset`] zeroes values but keeps names.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+
+/// Maximum distinct counter names and gauge names (each kind has its own
+/// table); later names are dropped.
+pub const MAX_CELLS: usize = 256;
+
+const EMPTY: u8 = 0;
+const READY: u8 = 2;
+
+/// One named atomic cell. The value is stored as `u64` bits; gauges
+/// reinterpret them as `i64`.
+struct Cell {
+    state: AtomicU8,
+    name_ptr: AtomicUsize,
+    name_len: AtomicUsize,
+    value: AtomicU64,
+}
+
+impl Cell {
+    const fn new() -> Self {
+        Cell {
+            state: AtomicU8::new(EMPTY),
+            name_ptr: AtomicUsize::new(0),
+            name_len: AtomicUsize::new(0),
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The interned name; only valid on `READY` cells.
+    fn name(&self) -> &'static str {
+        let ptr = self.name_ptr.load(Ordering::Relaxed) as *const u8;
+        let len = self.name_len.load(Ordering::Relaxed);
+        // SAFETY: written exclusively from a `&'static str` under the
+        // registration lock before `state` was released to `READY`.
+        unsafe { std::str::from_utf8_unchecked(std::slice::from_raw_parts(ptr, len)) }
+    }
+}
+
+/// One table of named cells (counters and gauges each get one).
+struct Table {
+    cells: [Cell; MAX_CELLS],
+    next: AtomicUsize,
+    lock: AtomicBool,
+}
+
+impl Table {
+    const fn new() -> Self {
+        Table {
+            cells: [const { Cell::new() }; MAX_CELLS],
+            next: AtomicUsize::new(0),
+            lock: AtomicBool::new(false),
+        }
+    }
+
+    fn find(&self, name: &str, hi: usize) -> Option<usize> {
+        (0..hi.min(MAX_CELLS)).find(|&i| {
+            let c = &self.cells[i];
+            c.state.load(Ordering::Acquire) == READY && c.name() == name
+        })
+    }
+
+    fn intern(&self, name: &'static str) -> Option<usize> {
+        let hi = self.next.load(Ordering::Acquire);
+        if let Some(i) = self.find(name, hi) {
+            return Some(i);
+        }
+        while self
+            .lock
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+        let hi = self.next.load(Ordering::Acquire);
+        let got = match self.find(name, hi) {
+            Some(i) => Some(i),
+            None if hi < MAX_CELLS => {
+                let c = &self.cells[hi];
+                c.name_ptr.store(name.as_ptr() as usize, Ordering::Relaxed);
+                c.name_len.store(name.len(), Ordering::Relaxed);
+                c.state.store(READY, Ordering::Release);
+                self.next.store(hi + 1, Ordering::Release);
+                Some(hi)
+            }
+            None => None,
+        };
+        self.lock.store(false, Ordering::Release);
+        got
+    }
+
+    fn get(&self, name: &str) -> Option<u64> {
+        let hi = self.next.load(Ordering::Acquire);
+        self.find(name, hi)
+            .map(|i| self.cells[i].value.load(Ordering::Relaxed))
+    }
+
+    fn snapshot(&self) -> Vec<(String, u64)> {
+        let hi = self.next.load(Ordering::Acquire);
+        let mut out: Vec<(String, u64)> = (0..hi.min(MAX_CELLS))
+            .filter(|&i| self.cells[i].state.load(Ordering::Acquire) == READY)
+            .map(|i| {
+                (
+                    self.cells[i].name().to_string(),
+                    self.cells[i].value.load(Ordering::Relaxed),
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn reset(&self) {
+        let hi = self.next.load(Ordering::Acquire);
+        for i in 0..hi.min(MAX_CELLS) {
+            self.cells[i].value.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+static COUNTERS: Table = Table::new();
+static GAUGES: Table = Table::new();
+
+/// Add `delta` to the counter `name` (interned on first use). A no-op
+/// when recording is disabled or the table is full.
+#[inline]
+pub fn add(name: &'static str, delta: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    if let Some(i) = COUNTERS.intern(name) {
+        COUNTERS.cells[i].value.fetch_add(delta, Ordering::Relaxed);
+    }
+}
+
+/// Current value of the counter `name`, or `None` if it was never
+/// touched.
+pub fn get(name: &str) -> Option<u64> {
+    COUNTERS.get(name)
+}
+
+/// Set the gauge `name` to `value` (last write wins). A no-op when
+/// recording is disabled or the table is full.
+#[inline]
+pub fn set_gauge(name: &'static str, value: i64) {
+    if !crate::enabled() {
+        return;
+    }
+    if let Some(i) = GAUGES.intern(name) {
+        GAUGES.cells[i].value.store(value as u64, Ordering::Relaxed);
+    }
+}
+
+/// Current value of the gauge `name`, or `None` if it was never set.
+pub fn get_gauge(name: &str) -> Option<i64> {
+    GAUGES.get(name).map(|v| v as i64)
+}
+
+/// All counters, sorted by name.
+pub fn snapshot() -> Vec<(String, u64)> {
+    COUNTERS.snapshot()
+}
+
+/// All gauges, sorted by name.
+pub fn snapshot_gauges() -> Vec<(String, i64)> {
+    GAUGES
+        .snapshot()
+        .into_iter()
+        .map(|(n, v)| (n, v as i64))
+        .collect()
+}
+
+/// Zero every counter and gauge (names stay interned).
+pub fn reset() {
+    COUNTERS.reset();
+    GAUGES.reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let _l = crate::test_lock();
+        add("ctr_test_acc", 2);
+        add("ctr_test_acc", 3);
+        assert!(get("ctr_test_acc").unwrap() >= 5);
+        assert_eq!(get("ctr_test_never"), None);
+    }
+
+    #[test]
+    fn gauges_take_last_value() {
+        let _l = crate::test_lock();
+        set_gauge("gauge_test_last", 7);
+        set_gauge("gauge_test_last", -3);
+        assert_eq!(get_gauge("gauge_test_last"), Some(-3));
+    }
+
+    #[test]
+    fn disabled_probes_record_nothing() {
+        let _l = crate::test_lock();
+        crate::set_enabled(false);
+        add("ctr_test_disabled", 1);
+        set_gauge("gauge_test_disabled", 1);
+        crate::set_enabled(true);
+        assert_eq!(get("ctr_test_disabled"), None);
+        assert_eq!(get_gauge("gauge_test_disabled"), None);
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates() {
+        let _l = crate::test_lock();
+        let before = get("ctr_test_mt").unwrap_or(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        add("ctr_test_mt", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(get("ctr_test_mt").unwrap(), before + 4000);
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let _l = crate::test_lock();
+        add("ctr_test_snap_b", 1);
+        add("ctr_test_snap_a", 1);
+        let snap = snapshot();
+        for w in snap.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! # tta-obs — observability for the TTA soft-core pipeline
+//!
+//! A dependency-free instrumentation layer (std atomics only — the build
+//! is offline) with three pieces:
+//!
+//! * **Hierarchical timing spans** ([`span`]) — RAII guards that charge
+//!   wall time to a `(name, parent)` slot in a global lock-free registry.
+//!   Nesting is tracked per thread; a parent can be carried across a
+//!   thread boundary with [`span::current`] + [`span::attach`], so worker
+//!   pools aggregate under the span that spawned them.
+//! * **Monotonic counters and gauges** ([`counter`]) — named `u64`/`i64`
+//!   cells in the same style of registry, updated with relaxed atomics.
+//! * **A machine-readable run report** ([`report`]) — a stable JSON
+//!   rendering of every span and counter, embedded by the bench binaries
+//!   into `BENCH_*.json` and diffed by `bench_report` in CI.
+//!
+//! Instrumentation never changes *what* the instrumented code computes —
+//! simulators flush their already-collected [`SimStats`]-style totals
+//! after a run instead of counting in the cycle loop — so cycle snapshots
+//! stay bit-identical whether observability is enabled or not. The global
+//! [`enabled`] switch (env: `TTA_OBS=0` via [`init_from_env`]) reduces
+//! every probe to one relaxed atomic load for timing-purist runs.
+//!
+//! [`SimStats`]: https://docs.rs/ (tta-sim)
+
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod json;
+pub mod report;
+pub mod span;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub use span::{attach, current, span, span_under, Span, SpanHandle};
+
+/// Global on/off switch; `true` at startup.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Whether instrumentation is currently recording. One relaxed load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn recording on or off process-wide. Disabling does not clear data
+/// already recorded ([`reset`] does).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Apply the `TTA_OBS` environment variable: `0`, `off` or `false`
+/// disables recording; anything else (or unset) leaves it enabled.
+/// Binaries call this once at startup.
+pub fn init_from_env() {
+    if let Ok(v) = std::env::var("TTA_OBS") {
+        let v = v.trim().to_ascii_lowercase();
+        set_enabled(!matches!(v.as_str(), "0" | "off" | "false"));
+    }
+}
+
+/// Zero every span total and counter/gauge value (slot names stay
+/// interned, so handles remain valid).
+pub fn reset() {
+    span::reset();
+    counter::reset();
+}
+
+/// Serialises this crate's own unit tests: they share one global
+/// registry and one enabled flag, so tests that toggle or reset state
+/// must not interleave.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static M: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    M.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enable_disable_round_trips() {
+        let _l = crate::test_lock();
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+    }
+}

@@ -1,0 +1,100 @@
+//! The machine-readable run report.
+//!
+//! Schema (stable; version-bumped on breaking change):
+//!
+//! ```json
+//! {
+//!   "obs_version": 1,
+//!   "spans": [ {"path": "eval/compile", "total_s": 0.134, "count": 104} ],
+//!   "counters": { "sim.transports": 123456 },
+//!   "gauges": { "eval.threads": 8 }
+//! }
+//! ```
+//!
+//! Spans are sorted by path, counters and gauges by name, so two reports
+//! from the same workload diff cleanly. The bench binaries embed this
+//! object under an `"obs"` key in `BENCH_*.json`.
+
+use crate::json::Json;
+
+/// Current report schema version.
+pub const OBS_VERSION: u64 = 1;
+
+/// Snapshot the registries into a report object.
+pub fn to_json() -> Json {
+    let spans = crate::span::snapshot()
+        .into_iter()
+        .map(|s| {
+            Json::Obj(vec![
+                ("path".into(), Json::Str(s.path)),
+                ("total_s".into(), Json::Num(round6(s.total_s))),
+                ("count".into(), Json::Num(s.count as f64)),
+            ])
+        })
+        .collect();
+    let counters = crate::counter::snapshot()
+        .into_iter()
+        .map(|(n, v)| (n, Json::Num(v as f64)))
+        .collect();
+    let gauges = crate::counter::snapshot_gauges()
+        .into_iter()
+        .map(|(n, v)| (n, Json::Num(v as f64)))
+        .collect();
+    Json::Obj(vec![
+        ("obs_version".into(), Json::Num(OBS_VERSION as f64)),
+        ("spans".into(), Json::Arr(spans)),
+        ("counters".into(), Json::Obj(counters)),
+        ("gauges".into(), Json::Obj(gauges)),
+    ])
+}
+
+/// Render the report as pretty JSON.
+pub fn render_json() -> String {
+    to_json().to_pretty()
+}
+
+/// Round to microsecond precision: keeps reports tidy and diffs stable.
+fn round6(v: f64) -> f64 {
+    (v * 1e6).round() / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_recorded_data_and_parses_back() {
+        let _l = crate::test_lock();
+        {
+            let _s = crate::span("report_test_span");
+            crate::counter::add("report_test_counter", 41);
+            crate::counter::set_gauge("report_test_gauge", -5);
+        }
+        let text = render_json();
+        let v = crate::json::parse(&text).expect("report is valid JSON");
+        assert_eq!(
+            v.get("obs_version").unwrap().as_f64(),
+            Some(OBS_VERSION as f64)
+        );
+        let spans = match v.get("spans").unwrap() {
+            Json::Arr(items) => items,
+            other => panic!("spans not an array: {other:?}"),
+        };
+        assert!(spans
+            .iter()
+            .any(|s| s.get("path").unwrap().as_str() == Some("report_test_span")));
+        assert!(
+            v.get("counters")
+                .unwrap()
+                .get("report_test_counter")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                >= 41.0
+        );
+        assert_eq!(
+            v.get("gauges").unwrap().get("report_test_gauge"),
+            Some(&Json::Num(-5.0))
+        );
+    }
+}

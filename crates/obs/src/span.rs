@@ -1,0 +1,420 @@
+//! Hierarchical timing spans.
+//!
+//! A span charges wall-clock time to a `(name, parent)` slot in a global
+//! fixed-capacity registry. Slots are interned on first use and never
+//! freed; the hot path (enter/exit) is a registry scan plus two `Instant`
+//! reads and two relaxed `fetch_add`s — no locks, no allocation. Totals
+//! are *thread-seconds*: when several threads run under the same parent
+//! (see [`attach`]), their durations sum, exactly like the eval
+//! pipeline's historical per-stage accounting.
+//!
+//! Nesting is tracked with a per-thread stack: a span entered while
+//! another is open becomes its child, and the report renders the full
+//! `parent/child` path. To carry the hierarchy across a thread boundary,
+//! capture [`current`] before spawning and either [`attach`] it in the
+//! worker (adopting it as the ambient parent) or open children directly
+//! with [`span_under`].
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Maximum distinct `(name, parent)` span slots; later spans are dropped.
+pub const MAX_SPANS: usize = 512;
+
+/// Parent index meaning "root".
+const NO_PARENT: usize = usize::MAX;
+
+const EMPTY: u8 = 0;
+const READY: u8 = 2;
+
+/// One interned span kind.
+struct Slot {
+    state: AtomicU8,
+    name_ptr: AtomicUsize,
+    name_len: AtomicUsize,
+    parent: AtomicUsize,
+    total_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Slot {
+    const fn new() -> Self {
+        Slot {
+            state: AtomicU8::new(EMPTY),
+            name_ptr: AtomicUsize::new(0),
+            name_len: AtomicUsize::new(0),
+            parent: AtomicUsize::new(NO_PARENT),
+            total_ns: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// The interned name. Only valid on `READY` slots (the name pointer
+    /// was published with release ordering before the state flipped).
+    fn name(&self) -> &'static str {
+        let ptr = self.name_ptr.load(Ordering::Relaxed) as *const u8;
+        let len = self.name_len.load(Ordering::Relaxed);
+        // SAFETY: written exclusively from a `&'static str` under the
+        // registration lock before `state` was released to `READY`.
+        unsafe { std::str::from_utf8_unchecked(std::slice::from_raw_parts(ptr, len)) }
+    }
+}
+
+static SLOTS: [Slot; MAX_SPANS] = [const { Slot::new() }; MAX_SPANS];
+/// Number of claimed slots (slots are claimed densely from 0).
+static NEXT: AtomicUsize = AtomicUsize::new(0);
+/// Spinlock serialising slot *insertion* only; lookups stay lock-free.
+static REG_LOCK: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    /// Stack of open span slot indices on this thread.
+    static STACK: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Find the slot for `(name, parent)` in `[0, hi)`, comparing names by
+/// content so identical literals from different crates unify.
+fn find(name: &str, parent: usize, hi: usize) -> Option<usize> {
+    (0..hi.min(MAX_SPANS)).find(|&i| {
+        let s = &SLOTS[i];
+        s.state.load(Ordering::Acquire) == READY
+            && s.parent.load(Ordering::Relaxed) == parent
+            && s.name() == name
+    })
+}
+
+/// Intern `(name, parent)`, returning its slot, or `None` if the
+/// registry is full.
+fn intern(name: &'static str, parent: usize) -> Option<usize> {
+    let hi = NEXT.load(Ordering::Acquire);
+    if let Some(i) = find(name, parent, hi) {
+        return Some(i);
+    }
+    // Slow path: serialise insertion so a key is claimed exactly once.
+    while REG_LOCK
+        .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+        .is_err()
+    {
+        std::hint::spin_loop();
+    }
+    let hi = NEXT.load(Ordering::Acquire);
+    let got = match find(name, parent, hi) {
+        Some(i) => Some(i),
+        None if hi < MAX_SPANS => {
+            let s = &SLOTS[hi];
+            s.name_ptr.store(name.as_ptr() as usize, Ordering::Relaxed);
+            s.name_len.store(name.len(), Ordering::Relaxed);
+            s.parent.store(parent, Ordering::Relaxed);
+            s.state.store(READY, Ordering::Release);
+            NEXT.store(hi + 1, Ordering::Release);
+            Some(hi)
+        }
+        None => None,
+    };
+    REG_LOCK.store(false, Ordering::Release);
+    got
+}
+
+/// A position in the span tree that can be sent to another thread (see
+/// [`current`], [`span_under`], [`attach`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanHandle(usize);
+
+impl SpanHandle {
+    /// The root handle: spans opened under it have no parent.
+    pub const ROOT: SpanHandle = SpanHandle(NO_PARENT);
+}
+
+/// The innermost span currently open on this thread (or the root handle).
+pub fn current() -> SpanHandle {
+    STACK.with(|s| SpanHandle(s.borrow().last().copied().unwrap_or(NO_PARENT)))
+}
+
+/// RAII timing guard returned by [`span`] / [`span_under`]. Charges the
+/// elapsed wall time to its slot on drop. Not `Send`: a guard must drop
+/// on the thread that opened it (the per-thread nesting stack).
+pub struct Span {
+    /// `(slot, enter time)`; `None` when disabled or the registry is full.
+    open: Option<(usize, Instant)>,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Span {
+    const DISABLED: Span = Span {
+        open: None,
+        _not_send: std::marker::PhantomData,
+    };
+
+    fn enter(name: &'static str, parent: usize) -> Span {
+        let Some(slot) = intern(name, parent) else {
+            return Span::DISABLED;
+        };
+        STACK.with(|s| s.borrow_mut().push(slot));
+        Span {
+            open: Some((slot, Instant::now())),
+            _not_send: std::marker::PhantomData,
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some((slot, start)) = self.open else {
+            return;
+        };
+        let ns = start.elapsed().as_nanos() as u64;
+        SLOTS[slot].total_ns.fetch_add(ns, Ordering::Relaxed);
+        SLOTS[slot].count.fetch_add(1, Ordering::Relaxed);
+        // Guards drop in LIFO order (they are !Send and scope-bound), but
+        // be defensive: remove our slot wherever it sits, and tolerate a
+        // thread-local already torn down during thread exit.
+        let _ = STACK.try_with(|s| {
+            let mut st = s.borrow_mut();
+            match st.last() {
+                Some(&top) if top == slot => {
+                    st.pop();
+                }
+                _ => {
+                    if let Some(pos) = st.iter().rposition(|&x| x == slot) {
+                        st.remove(pos);
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// Open a span named `name` under the innermost span open on this thread
+/// (a nested call produces a `parent/child` path in the report).
+pub fn span(name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span::DISABLED;
+    }
+    Span::enter(name, current().0)
+}
+
+/// Open a span named `name` under an explicit parent captured with
+/// [`current`] — typically on a different thread.
+pub fn span_under(parent: SpanHandle, name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span::DISABLED;
+    }
+    Span::enter(name, parent.0)
+}
+
+/// RAII guard making `handle` this thread's ambient parent (see
+/// [`attach`]).
+pub struct Attach {
+    pushed: bool,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for Attach {
+    fn drop(&mut self) {
+        if self.pushed {
+            let _ = STACK.try_with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+/// Adopt `handle` as this thread's ambient span without timing anything:
+/// until the guard drops, plain [`span`] calls on this thread nest under
+/// it. This is how a worker pool inherits the span of the thread that
+/// spawned it.
+pub fn attach(handle: SpanHandle) -> Attach {
+    let pushed = handle.0 != NO_PARENT && crate::enabled();
+    if pushed {
+        STACK.with(|s| s.borrow_mut().push(handle.0));
+    }
+    Attach {
+        pushed,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// Build the `/`-joined path of slot `i` by walking its parent chain.
+fn path_of(i: usize) -> String {
+    let mut parts: Vec<&'static str> = Vec::new();
+    let mut at = i;
+    // The parent chain is acyclic by construction (a slot's parent always
+    // has a lower index), but cap the walk defensively.
+    for _ in 0..MAX_SPANS {
+        parts.push(SLOTS[at].name());
+        let p = SLOTS[at].parent.load(Ordering::Relaxed);
+        if p == NO_PARENT {
+            break;
+        }
+        at = p;
+    }
+    parts.reverse();
+    parts.join("/")
+}
+
+/// One span's aggregated measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStat {
+    /// Full `parent/child` path.
+    pub path: String,
+    /// Total charged time in seconds (thread-seconds when several
+    /// threads share the slot).
+    pub total_s: f64,
+    /// Number of completed enter/exit pairs.
+    pub count: u64,
+}
+
+/// Snapshot every span with a non-zero count, sorted by path.
+pub fn snapshot() -> Vec<SpanStat> {
+    let hi = NEXT.load(Ordering::Acquire);
+    let mut out: Vec<SpanStat> = (0..hi.min(MAX_SPANS))
+        .filter(|&i| SLOTS[i].state.load(Ordering::Acquire) == READY)
+        .map(|i| SpanStat {
+            path: path_of(i),
+            total_s: SLOTS[i].total_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+            count: SLOTS[i].count.load(Ordering::Relaxed),
+        })
+        .filter(|s| s.count > 0)
+        .collect();
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    out
+}
+
+/// Total seconds and completion count recorded for the span at `path`
+/// (e.g. `"eval/compile"`), or `None` if no such span exists yet.
+pub fn stat(path: &str) -> Option<(f64, u64)> {
+    let hi = NEXT.load(Ordering::Acquire);
+    (0..hi.min(MAX_SPANS))
+        .filter(|&i| SLOTS[i].state.load(Ordering::Acquire) == READY)
+        .find(|&i| path_of(i) == path)
+        .map(|i| {
+            (
+                SLOTS[i].total_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+                SLOTS[i].count.load(Ordering::Relaxed),
+            )
+        })
+}
+
+/// Zero every span total and count (slots stay interned).
+pub fn reset() {
+    let hi = NEXT.load(Ordering::Acquire);
+    for slot in SLOTS.iter().take(hi.min(MAX_SPANS)) {
+        slot.total_ns.store(0, Ordering::Relaxed);
+        slot.count.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Zero totals for the span at `prefix` and everything below it (path
+/// equal to `prefix` or starting with `prefix/`).
+pub fn reset_prefix(prefix: &str) {
+    let hi = NEXT.load(Ordering::Acquire);
+    for (i, slot) in SLOTS.iter().enumerate().take(hi.min(MAX_SPANS)) {
+        if slot.state.load(Ordering::Acquire) != READY {
+            continue;
+        }
+        let p = path_of(i);
+        if p == prefix || (p.starts_with(prefix) && p.as_bytes().get(prefix.len()) == Some(&b'/')) {
+            slot.total_ns.store(0, Ordering::Relaxed);
+            slot.count.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_build_paths() {
+        let _l = crate::test_lock();
+        {
+            let _a = span("span_test_outer");
+            let _b = span("span_test_inner");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let (outer_s, outer_n) = stat("span_test_outer").unwrap();
+        let (inner_s, inner_n) = stat("span_test_outer/span_test_inner").unwrap();
+        assert!(outer_n >= 1 && inner_n >= 1);
+        assert!(outer_s >= inner_s, "{outer_s} < {inner_s}");
+        assert!(inner_s > 0.0);
+    }
+
+    #[test]
+    fn cross_thread_spans_aggregate_under_parent() {
+        let _l = crate::test_lock();
+        let handle = {
+            let _root = span("span_test_xthread");
+            let h = current();
+            std::thread::scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(|| {
+                        let _ctx = attach(h);
+                        let _w = span("span_test_worker");
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    });
+                }
+            });
+            h
+        };
+        assert_ne!(handle, SpanHandle::ROOT);
+        let (s, n) = stat("span_test_xthread/span_test_worker").unwrap();
+        assert_eq!(n, 2);
+        // Two threads sleeping ~1ms each: thread-seconds, so ≥ ~2ms.
+        assert!(s >= 0.002, "{s}");
+    }
+
+    #[test]
+    fn span_under_does_not_need_attach() {
+        let _l = crate::test_lock();
+        {
+            let _root = span("span_test_under");
+            let h = current();
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    let _w = span_under(h, "span_test_leaf");
+                });
+            });
+        }
+        assert!(stat("span_test_under/span_test_leaf").is_some());
+    }
+
+    #[test]
+    fn reset_prefix_zeroes_subtree_only() {
+        let _l = crate::test_lock();
+        {
+            let _a = span("span_test_rp_keep");
+        }
+        {
+            let _a = span("span_test_rp_zap");
+            let _b = span("span_test_rp_child");
+        }
+        reset_prefix("span_test_rp_zap");
+        assert_eq!(stat("span_test_rp_zap").unwrap().1, 0);
+        assert_eq!(stat("span_test_rp_zap/span_test_rp_child").unwrap().1, 0);
+        assert!(stat("span_test_rp_keep").unwrap().1 >= 1);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _l = crate::test_lock();
+        crate::set_enabled(false);
+        {
+            let _a = span("span_test_disabled");
+        }
+        crate::set_enabled(true);
+        assert_eq!(stat("span_test_disabled"), None);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_nonempty_after_use() {
+        let _l = crate::test_lock();
+        {
+            let _a = span("span_test_snap");
+        }
+        let snap = snapshot();
+        assert!(snap.iter().any(|s| s.path == "span_test_snap"));
+        for w in snap.windows(2) {
+            assert!(w[0].path < w[1].path);
+        }
+    }
+}

@@ -36,9 +36,33 @@ pub fn run_with_fuel(
     memory: Vec<u8>,
     fuel: u64,
 ) -> Result<SimResult, SimError> {
-    match program {
+    let span = tta_obs::span("simulate");
+    let result = match program {
         Program::Tta(insts) => tta::run_tta(m, insts, memory, fuel),
         Program::Vliw(bundles) => vliw::run_vliw(m, bundles, memory, fuel),
         Program::Scalar(insts) => scalar::run_scalar(m, insts, memory, fuel),
+    };
+    drop(span);
+    // Observability: flush the already-collected per-run stats into the
+    // global counters *after* the run. The cycle loops stay untouched, so
+    // cycle counts and `SimStats` are bit-identical with obs on or off,
+    // and the whole block reduces to one branch when obs is disabled.
+    if tta_obs::enabled() {
+        if let Ok(r) = &result {
+            use tta_obs::counter::add;
+            add("sim.runs", 1);
+            add("sim.cycles", r.cycles);
+            add("sim.instructions", r.stats.instructions);
+            add("sim.transports", r.stats.payload);
+            add("sim.rf_reads", r.stats.rf_reads);
+            add("sim.rf_writes", r.stats.rf_writes);
+            add("sim.bypass_reads", r.stats.bypass_reads);
+            add("sim.limms", r.stats.limms);
+            add("sim.branches_taken", r.stats.branches_taken);
+            add("sim.stall_cycles", r.stats.stall_cycles);
+            add("sim.loads", r.stats.loads);
+            add("sim.stores", r.stats.stores);
+        }
     }
+    result
 }
