@@ -4,24 +4,28 @@
 //! Usage:
 //! ```text
 //! bench_report --baseline ci-baseline/BENCH_eval.json \
-//!              [--current BENCH_eval.json] [--tolerance 0.30]
+//!              [--current BENCH_eval.json] [--tolerance 0.30] [--json FILE]
 //! ```
 //!
 //! `--current` defaults to the baseline's file name resolved in the
 //! working directory (the file a fresh `bench_eval`/`bench_fuzz` run just
-//! wrote). Exit codes: 0 = pass, 1 = regression beyond tolerance,
-//! 2 = usage or schema error (unreadable file, mismatched workloads).
+//! wrote). `--json` additionally writes the comparison as a
+//! machine-readable document (`-` for stdout); on a schema error the
+//! document is `{"error": ...}`. Exit codes: 0 = pass, 1 = regression
+//! beyond tolerance, 2 = usage or schema error (unreadable file,
+//! mismatched workloads).
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use tta_bench::report::diff;
+use tta_bench::report::{diff, diff_to_json};
 use tta_obs::json::{parse, Json};
 
 struct Args {
     baseline: String,
     current: Option<String>,
     tolerance: f64,
+    json: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -29,6 +33,7 @@ fn parse_args() -> Result<Args, String> {
         baseline: String::new(),
         current: None,
         tolerance: 0.30,
+        json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -36,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--baseline" => args.baseline = value("--baseline")?,
             "--current" => args.current = Some(value("--current")?),
+            "--json" => args.json = Some(value("--json")?),
             "--tolerance" => {
                 let v = value("--tolerance")?;
                 args.tolerance = v
@@ -44,7 +50,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err("usage: bench_report --baseline FILE [--current FILE] \
-                     [--tolerance 0.30]"
+                     [--tolerance 0.30] [--json FILE]"
                     .into());
             }
             other => return Err(format!("unknown argument {other} (try --help)")),
@@ -79,19 +85,49 @@ fn main() -> ExitCode {
     let result = load(&args.baseline)
         .and_then(|b| load(&current_path).map(|c| (b, c)))
         .and_then(|(b, c)| diff(&b, &c, args.tolerance));
+
+    // Machine-readable mirror of the outcome, including schema errors.
+    if let Some(path) = &args.json {
+        let doc = match &result {
+            Ok(d) => diff_to_json(d, &args.baseline, &current_path, args.tolerance),
+            Err(e) => Json::Obj(vec![("error".into(), Json::Str(e.clone()))]),
+        };
+        let text = doc.to_pretty();
+        let written = if path == "-" {
+            print!("{text}");
+            Ok(())
+        } else {
+            std::fs::write(path, text)
+        };
+        if let Err(e) = written {
+            eprintln!("bench_report: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    // With the JSON document on stdout, the human summary moves to
+    // stderr so `--json -` stays machine-parseable.
+    let json_on_stdout = args.json.as_deref() == Some("-");
+    let say = |line: String| {
+        if json_on_stdout {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
     match result {
         Ok(d) => {
-            println!(
+            say(format!(
                 "bench_report: {} vs {} (tolerance {:.0}%)",
                 args.baseline,
                 current_path,
                 args.tolerance * 100.0
-            );
+            ));
             for line in &d.lines {
-                println!("  {line}");
+                say(format!("  {line}"));
             }
             if d.passed() {
-                println!("PASS");
+                say("PASS".into());
                 ExitCode::SUCCESS
             } else {
                 for r in &d.regressions {

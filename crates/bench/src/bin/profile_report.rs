@@ -1,0 +1,151 @@
+//! Regenerates the microarchitectural profile report: per-bus/per-FU
+//! utilization, RF port-pressure histograms and bypass ratios for the
+//! CHStone kernels across the design points, plus an optional Perfetto
+//! trace of one run.
+//!
+//! Usage:
+//! ```text
+//! profile_report [--machine NAME]... [--kernel NAME]... \
+//!                [--json FILE] [--markdown FILE] [--trace FILE] \
+//!                [--bucket N] [--check]
+//! ```
+//!
+//! With no machine/kernel flags the full 13-machine × 8-kernel sweep
+//! runs. `--json`/`--markdown` write the versioned report
+//! (`profile_version: 1`) and the utilization table; with neither, the
+//! table prints to stdout. `--trace` renders the first selected machine ×
+//! first selected kernel as a Chrome trace-event file (open in
+//! ui.perfetto.dev), averaging `--bucket` cycles (default 64) per counter
+//! sample. `--check` re-validates the emitted JSON against the schema.
+//! Exit codes: 0 = ok, 2 = usage error or schema violation.
+
+use std::process::ExitCode;
+
+use tta_chstone::Kernel;
+use tta_explore::{profile, report_json, trace_json, utilization_markdown, validate_report};
+use tta_model::Machine;
+
+struct Args {
+    machines: Vec<String>,
+    kernels: Vec<String>,
+    json: Option<String>,
+    markdown: Option<String>,
+    trace: Option<String>,
+    bucket: u64,
+    check: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        machines: Vec::new(),
+        kernels: Vec::new(),
+        json: None,
+        markdown: None,
+        trace: None,
+        bucket: 64,
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--machine" => args.machines.push(value("--machine")?),
+            "--kernel" => args.kernels.push(value("--kernel")?),
+            "--json" => args.json = Some(value("--json")?),
+            "--markdown" => args.markdown = Some(value("--markdown")?),
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--bucket" => {
+                let v = value("--bucket")?;
+                args.bucket = v
+                    .parse()
+                    .map_err(|_| format!("--bucket: not a number: {v}"))?;
+            }
+            "--check" => args.check = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: profile_report [--machine NAME]... [--kernel NAME]... \
+                     [--json FILE] [--markdown FILE] [--trace FILE] [--bucket N] [--check]"
+                        .into(),
+                );
+            }
+            other => return Err(format!("unknown argument {other} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn selected_machines(names: &[String]) -> Result<Vec<Machine>, String> {
+    if names.is_empty() {
+        return Ok(tta_model::presets::all_design_points());
+    }
+    names
+        .iter()
+        .map(|n| tta_model::presets::by_name(n).ok_or_else(|| format!("unknown machine {n}")))
+        .collect()
+}
+
+fn selected_kernels(names: &[String]) -> Result<Vec<Kernel>, String> {
+    if names.is_empty() {
+        return Ok(tta_chstone::all_kernels());
+    }
+    names
+        .iter()
+        .map(|n| tta_chstone::by_name(n).ok_or_else(|| format!("unknown kernel {n}")))
+        .collect()
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let machines = selected_machines(&args.machines)?;
+    let kernels = selected_kernels(&args.kernels)?;
+
+    // The trace exporter folds host obs spans in; enable obs so the
+    // profile run itself populates them.
+    tta_obs::set_enabled(true);
+    tta_obs::reset();
+
+    let report = profile(&machines, &kernels);
+    let json = report_json(&report);
+    validate_report(&json).map_err(|e| format!("emitted report is invalid: {e}"))?;
+
+    if let Some(path) = &args.json {
+        std::fs::write(path, json.to_pretty()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("profile_report: wrote {path}");
+    }
+    let md = utilization_markdown(&report);
+    if let Some(path) = &args.markdown {
+        std::fs::write(path, &md).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("profile_report: wrote {path}");
+    }
+    if args.json.is_none() && args.markdown.is_none() {
+        print!("{md}");
+    }
+
+    if let Some(path) = &args.trace {
+        let trace = trace_json(&machines[0], &kernels[0], args.bucket);
+        std::fs::write(path, trace.to_pretty()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "profile_report: wrote {path} ({} on {}; open in ui.perfetto.dev)",
+            kernels[0].name, machines[0].name
+        );
+    }
+
+    if args.check {
+        if let Some(path) = &args.json {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let parsed = tta_obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            validate_report(&parsed).map_err(|e| format!("{path}: {e}"))?;
+        }
+        eprintln!("profile_report: schema check passed");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args().and_then(|args| run(&args)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("profile_report: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -100,6 +100,32 @@ pub fn diff(baseline: &Json, current: &Json, tolerance: f64) -> Result<Diff, Str
     Ok(Diff { lines, regressions })
 }
 
+/// Schema version of [`diff_to_json`]'s machine-readable result.
+pub const BENCH_REPORT_VERSION: u64 = 1;
+
+/// Render a comparison outcome as the machine-readable document behind
+/// `bench_report --json` (consumed by CI annotations and dashboards).
+pub fn diff_to_json(d: &Diff, baseline: &str, current: &str, tolerance: f64) -> Json {
+    Json::Obj(vec![
+        (
+            "bench_report_version".into(),
+            Json::Num(BENCH_REPORT_VERSION as f64),
+        ),
+        ("baseline".into(), Json::Str(baseline.into())),
+        ("current".into(), Json::Str(current.into())),
+        ("tolerance".into(), Json::Num(tolerance)),
+        ("passed".into(), Json::Bool(d.passed())),
+        (
+            "lines".into(),
+            Json::Arr(d.lines.iter().map(|l| Json::Str(l.clone())).collect()),
+        ),
+        (
+            "regressions".into(),
+            Json::Arr(d.regressions.iter().map(|r| Json::Str(r.clone())).collect()),
+        ),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +240,37 @@ mod tests {
         };
         assert!(diff(&mk(100, 0.57), &mk(100, 0.60), 0.30).unwrap().passed());
         assert!(diff(&mk(100, 0.57), &mk(50, 0.30), 0.30).is_err());
+    }
+
+    #[test]
+    fn diff_to_json_has_the_documented_shape() {
+        let d = diff(&eval_report(0.4), &eval_report(0.8), 0.30).unwrap();
+        let j = diff_to_json(&d, "ci-baseline/BENCH_eval.json", "BENCH_eval.json", 0.30);
+        assert_eq!(
+            j.get("bench_report_version").and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            j.get("baseline").and_then(Json::as_str),
+            Some("ci-baseline/BENCH_eval.json")
+        );
+        assert_eq!(j.get("passed"), Some(&Json::Bool(false)));
+        let Some(Json::Arr(regs)) = j.get("regressions") else {
+            panic!("regressions must be an array");
+        };
+        assert_eq!(regs.len(), 1);
+        let Some(Json::Arr(lines)) = j.get("lines") else {
+            panic!("lines must be an array");
+        };
+        assert!(!lines.is_empty());
+        // The document parses back from its rendered text.
+        let rt = parse(&j.to_pretty()).unwrap();
+        assert_eq!(rt, j);
+
+        let ok = diff(&eval_report(0.4), &eval_report(0.4), 0.30).unwrap();
+        let j = diff_to_json(&ok, "a.json", "b.json", 0.30);
+        assert_eq!(j.get("passed"), Some(&Json::Bool(true)));
+        assert_eq!(j.get("regressions"), Some(&Json::Arr(vec![])));
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod compression;
 pub mod eval;
 pub mod figures;
 pub mod imem;
+pub mod profile;
 pub mod sweep;
 pub mod tables;
 pub mod transform;
@@ -26,5 +27,9 @@ pub mod transform;
 pub use compression::{dictionary_compress, Compression};
 pub use eval::{evaluate, evaluate_all, issue_class, IssueClass, KernelRun, MachineReport};
 pub use imem::{kernel_icache, simulate_icache, ICacheConfig, ICacheReport};
+pub use profile::{
+    profile, profile_all, report_json, trace_json, utilization_markdown, validate_report,
+    KernelProfile, MachineProfile, ProfileReport, PROFILE_VERSION,
+};
 pub use sweep::{sweep_bus_count, SweepPoint};
 pub use transform::{merge_buses, partition_rf, profile_buses, prune_bypasses, BusProfile};

@@ -49,6 +49,9 @@ struct Table {
     cells: [Cell; MAX_CELLS],
     next: AtomicUsize,
     lock: AtomicBool,
+    /// Updates refused because the table was full (new names only;
+    /// already-interned names keep working).
+    dropped: AtomicU64,
 }
 
 impl Table {
@@ -57,6 +60,7 @@ impl Table {
             cells: [const { Cell::new() }; MAX_CELLS],
             next: AtomicUsize::new(0),
             lock: AtomicBool::new(false),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -90,7 +94,10 @@ impl Table {
                 self.next.store(hi + 1, Ordering::Release);
                 Some(hi)
             }
-            None => None,
+            None => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                None
+            }
         };
         self.lock.store(false, Ordering::Release);
         got
@@ -122,6 +129,7 @@ impl Table {
         for i in 0..hi.min(MAX_CELLS) {
             self.cells[i].value.store(0, Ordering::Relaxed);
         }
+        self.dropped.store(0, Ordering::Relaxed);
     }
 }
 
@@ -177,7 +185,18 @@ pub fn snapshot_gauges() -> Vec<(String, i64)> {
         .collect()
 }
 
-/// Zero every counter and gauge (names stay interned).
+/// How many counter updates were refused because the table was full.
+pub fn dropped() -> u64 {
+    COUNTERS.dropped.load(Ordering::Relaxed)
+}
+
+/// How many gauge updates were refused because the table was full.
+pub fn dropped_gauges() -> u64 {
+    GAUGES.dropped.load(Ordering::Relaxed)
+}
+
+/// Zero every counter and gauge plus the dropped tallies (names stay
+/// interned).
 pub fn reset() {
     COUNTERS.reset();
     GAUGES.reset();
@@ -229,6 +248,38 @@ mod tests {
             }
         });
         assert_eq!(get("ctr_test_mt").unwrap(), before + 4000);
+    }
+
+    #[test]
+    fn full_table_drops_new_names_and_counts_them() {
+        // A *local* table, so overflowing it cannot poison the global
+        // COUNTERS/GAUGES every other test shares.
+        let t = Table::new();
+        for i in 0..MAX_CELLS {
+            let name: &'static str = Box::leak(format!("cell_ovf_{i}").into_boxed_str());
+            assert!(t.intern(name).is_some(), "cell {i}");
+        }
+        assert_eq!(t.dropped.load(Ordering::Relaxed), 0);
+        // The table is full: new names degrade to drops...
+        let extra: &'static str = Box::leak("cell_ovf_overflow".to_string().into_boxed_str());
+        assert_eq!(t.intern(extra), None);
+        assert_eq!(t.intern(extra), None);
+        assert_eq!(t.dropped.load(Ordering::Relaxed), 2);
+        // ...while already-interned names keep working.
+        assert!(t.intern("cell_ovf_0").is_some());
+        assert_eq!(t.dropped.load(Ordering::Relaxed), 2);
+        // reset() clears the tally along with the values.
+        t.reset();
+        assert_eq!(t.dropped.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn dropped_tallies_are_zero_on_the_global_tables() {
+        let _l = crate::test_lock();
+        // The suite interns far fewer than MAX_CELLS names; a non-zero
+        // tally here would mean real counters are being lost.
+        assert_eq!(dropped(), 0);
+        assert_eq!(dropped_gauges(), 0);
     }
 
     #[test]

@@ -107,9 +107,13 @@ impl Json {
 }
 
 /// Render a number: integers undecorated, everything else in Rust's
-/// shortest-round-trip float form.
+/// shortest-round-trip float form. JSON has no NaN/Infinity, so
+/// non-finite values degrade to `null` (the `JSON.stringify` convention)
+/// instead of emitting an unparseable document.
 fn format_num(n: f64) -> String {
-    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+    if !n.is_finite() {
+        "null".to_string()
+    } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
         format!("{}", n as i64)
     } else {
         format!("{n}")
@@ -396,6 +400,16 @@ mod tests {
         // Integers print undecorated; floats round-trip.
         assert!(printed.contains("\"list\""));
         assert!(printed.contains("0.385604"));
+    }
+
+    #[test]
+    fn non_finite_numbers_emit_null_not_invalid_json() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let doc = Json::Obj(vec![("x".into(), Json::Num(bad))]);
+            let printed = doc.to_pretty();
+            let back = parse(&printed).expect("emitted JSON must parse");
+            assert_eq!(back.get("x"), Some(&Json::Null), "{printed}");
+        }
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! * **A machine-readable run report** ([`report`]) — a stable JSON
 //!   rendering of every span and counter, embedded by the bench binaries
 //!   into `BENCH_*.json` and diffed by `bench_report` in CI.
+//! * **A Chrome trace-event exporter** ([`trace`]) — serialises host
+//!   spans and guest cycle activity into one `.trace.json` that loads in
+//!   Perfetto / `about:tracing`.
 //!
 //! Instrumentation never changes *what* the instrumented code computes —
 //! simulators flush their already-collected [`SimStats`]-style totals
@@ -29,10 +32,12 @@ pub mod counter;
 pub mod json;
 pub mod report;
 pub mod span;
+pub mod trace;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 pub use span::{attach, current, span, span_under, Span, SpanHandle};
+pub use trace::TraceBuilder;
 
 /// Global on/off switch; `true` at startup.
 static ENABLED: AtomicBool = AtomicBool::new(true);

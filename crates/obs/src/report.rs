@@ -7,9 +7,14 @@
 //!   "obs_version": 1,
 //!   "spans": [ {"path": "eval/compile", "total_s": 0.134, "count": 104} ],
 //!   "counters": { "sim.transports": 123456 },
-//!   "gauges": { "eval.threads": 8 }
+//!   "gauges": { "eval.threads": 8 },
+//!   "obs_dropped": { "spans": 0, "counters": 0, "gauges": 0 }
 //! }
 //! ```
+//!
+//! `obs_dropped` counts probe updates refused because a fixed-capacity
+//! registry was full — all zeros in a healthy run; anything else means
+//! the report has blind spots (see the registry docs in `span`/`counter`).
 //!
 //! Spans are sorted by path, counters and gauges by name, so two reports
 //! from the same workload diff cleanly. The bench binaries embed this
@@ -40,11 +45,23 @@ pub fn to_json() -> Json {
         .into_iter()
         .map(|(n, v)| (n, Json::Num(v as f64)))
         .collect();
+    let dropped = Json::Obj(vec![
+        ("spans".into(), Json::Num(crate::span::dropped() as f64)),
+        (
+            "counters".into(),
+            Json::Num(crate::counter::dropped() as f64),
+        ),
+        (
+            "gauges".into(),
+            Json::Num(crate::counter::dropped_gauges() as f64),
+        ),
+    ]);
     Json::Obj(vec![
         ("obs_version".into(), Json::Num(OBS_VERSION as f64)),
         ("spans".into(), Json::Arr(spans)),
         ("counters".into(), Json::Obj(counters)),
         ("gauges".into(), Json::Obj(gauges)),
+        ("obs_dropped".into(), dropped),
     ])
 }
 
@@ -96,5 +113,13 @@ mod tests {
             v.get("gauges").unwrap().get("report_test_gauge"),
             Some(&Json::Num(-5.0))
         );
+        let dropped = v.get("obs_dropped").expect("report has obs_dropped");
+        for kind in ["spans", "counters", "gauges"] {
+            assert_eq!(
+                dropped.get(kind).unwrap().as_f64(),
+                Some(0.0),
+                "{kind} dropped in a healthy run"
+            );
+        }
     }
 }

@@ -14,6 +14,12 @@
 //! capture [`current`] before spawning and either [`attach`] it in the
 //! worker (adopting it as the ambient parent) or open children directly
 //! with [`span_under`].
+//!
+//! Exhaustion degrades gracefully: once all [`MAX_SPANS`] slots are
+//! claimed, further *new* `(name, parent)` keys record nothing and bump
+//! the [`dropped`] tally (existing keys keep working). The run report
+//! surfaces the tally under `obs_dropped` so a silent gap in the span
+//! tree is visible as a number instead of a mystery.
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -61,58 +67,155 @@ impl Slot {
     }
 }
 
-static SLOTS: [Slot; MAX_SPANS] = [const { Slot::new() }; MAX_SPANS];
-/// Number of claimed slots (slots are claimed densely from 0).
-static NEXT: AtomicUsize = AtomicUsize::new(0);
-/// Spinlock serialising slot *insertion* only; lookups stay lock-free.
-static REG_LOCK: AtomicBool = AtomicBool::new(false);
+/// A fixed-capacity span registry. The process-wide instance backs the
+/// public module functions; tests exercising exhaustion build their own
+/// so they cannot poison everyone else's slots.
+struct Registry {
+    slots: [Slot; MAX_SPANS],
+    /// Number of claimed slots (slots are claimed densely from 0).
+    next: AtomicUsize,
+    /// Spinlock serialising slot *insertion* only; lookups stay lock-free.
+    lock: AtomicBool,
+    /// Span entries refused because the registry was full.
+    dropped: AtomicU64,
+}
+
+impl Registry {
+    const fn new() -> Self {
+        Registry {
+            slots: [const { Slot::new() }; MAX_SPANS],
+            next: AtomicUsize::new(0),
+            lock: AtomicBool::new(false),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Find the slot for `(name, parent)` in `[0, hi)`, comparing names by
+    /// content so identical literals from different crates unify.
+    fn find(&self, name: &str, parent: usize, hi: usize) -> Option<usize> {
+        (0..hi.min(MAX_SPANS)).find(|&i| {
+            let s = &self.slots[i];
+            s.state.load(Ordering::Acquire) == READY
+                && s.parent.load(Ordering::Relaxed) == parent
+                && s.name() == name
+        })
+    }
+
+    /// Intern `(name, parent)`, returning its slot. A full registry
+    /// returns `None` and bumps the dropped tally — the caller records
+    /// nothing rather than misattributing time to someone else's slot.
+    fn intern(&self, name: &'static str, parent: usize) -> Option<usize> {
+        let hi = self.next.load(Ordering::Acquire);
+        if let Some(i) = self.find(name, parent, hi) {
+            return Some(i);
+        }
+        // Slow path: serialise insertion so a key is claimed exactly once.
+        while self
+            .lock
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+        let hi = self.next.load(Ordering::Acquire);
+        let got = match self.find(name, parent, hi) {
+            Some(i) => Some(i),
+            None if hi < MAX_SPANS => {
+                let s = &self.slots[hi];
+                s.name_ptr.store(name.as_ptr() as usize, Ordering::Relaxed);
+                s.name_len.store(name.len(), Ordering::Relaxed);
+                s.parent.store(parent, Ordering::Relaxed);
+                s.state.store(READY, Ordering::Release);
+                self.next.store(hi + 1, Ordering::Release);
+                Some(hi)
+            }
+            None => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        };
+        self.lock.store(false, Ordering::Release);
+        got
+    }
+
+    /// Build the `/`-joined path of slot `i` by walking its parent chain.
+    fn path_of(&self, i: usize) -> String {
+        let mut parts: Vec<&'static str> = Vec::new();
+        let mut at = i;
+        // The parent chain is acyclic by construction (a slot's parent
+        // always has a lower index), but cap the walk defensively.
+        for _ in 0..MAX_SPANS {
+            parts.push(self.slots[at].name());
+            let p = self.slots[at].parent.load(Ordering::Relaxed);
+            if p == NO_PARENT {
+                break;
+            }
+            at = p;
+        }
+        parts.reverse();
+        parts.join("/")
+    }
+
+    fn snapshot(&self) -> Vec<SpanStat> {
+        let hi = self.next.load(Ordering::Acquire);
+        let mut out: Vec<SpanStat> = (0..hi.min(MAX_SPANS))
+            .filter(|&i| self.slots[i].state.load(Ordering::Acquire) == READY)
+            .map(|i| SpanStat {
+                path: self.path_of(i),
+                total_s: self.slots[i].total_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+                count: self.slots[i].count.load(Ordering::Relaxed),
+            })
+            .filter(|s| s.count > 0)
+            .collect();
+        out.sort_by(|a, b| a.path.cmp(&b.path));
+        out
+    }
+
+    fn stat(&self, path: &str) -> Option<(f64, u64)> {
+        let hi = self.next.load(Ordering::Acquire);
+        (0..hi.min(MAX_SPANS))
+            .filter(|&i| self.slots[i].state.load(Ordering::Acquire) == READY)
+            .find(|&i| self.path_of(i) == path)
+            .map(|i| {
+                (
+                    self.slots[i].total_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+                    self.slots[i].count.load(Ordering::Relaxed),
+                )
+            })
+    }
+
+    fn reset(&self) {
+        let hi = self.next.load(Ordering::Acquire);
+        for slot in self.slots.iter().take(hi.min(MAX_SPANS)) {
+            slot.total_ns.store(0, Ordering::Relaxed);
+            slot.count.store(0, Ordering::Relaxed);
+        }
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+
+    fn reset_prefix(&self, prefix: &str) {
+        let hi = self.next.load(Ordering::Acquire);
+        for (i, slot) in self.slots.iter().enumerate().take(hi.min(MAX_SPANS)) {
+            if slot.state.load(Ordering::Acquire) != READY {
+                continue;
+            }
+            let p = self.path_of(i);
+            if p == prefix
+                || (p.starts_with(prefix) && p.as_bytes().get(prefix.len()) == Some(&b'/'))
+            {
+                slot.total_ns.store(0, Ordering::Relaxed);
+                slot.count.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// The process-wide registry behind [`span`], [`snapshot`] and friends.
+static REGISTRY: Registry = Registry::new();
 
 thread_local! {
     /// Stack of open span slot indices on this thread.
     static STACK: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
-}
-
-/// Find the slot for `(name, parent)` in `[0, hi)`, comparing names by
-/// content so identical literals from different crates unify.
-fn find(name: &str, parent: usize, hi: usize) -> Option<usize> {
-    (0..hi.min(MAX_SPANS)).find(|&i| {
-        let s = &SLOTS[i];
-        s.state.load(Ordering::Acquire) == READY
-            && s.parent.load(Ordering::Relaxed) == parent
-            && s.name() == name
-    })
-}
-
-/// Intern `(name, parent)`, returning its slot, or `None` if the
-/// registry is full.
-fn intern(name: &'static str, parent: usize) -> Option<usize> {
-    let hi = NEXT.load(Ordering::Acquire);
-    if let Some(i) = find(name, parent, hi) {
-        return Some(i);
-    }
-    // Slow path: serialise insertion so a key is claimed exactly once.
-    while REG_LOCK
-        .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
-        .is_err()
-    {
-        std::hint::spin_loop();
-    }
-    let hi = NEXT.load(Ordering::Acquire);
-    let got = match find(name, parent, hi) {
-        Some(i) => Some(i),
-        None if hi < MAX_SPANS => {
-            let s = &SLOTS[hi];
-            s.name_ptr.store(name.as_ptr() as usize, Ordering::Relaxed);
-            s.name_len.store(name.len(), Ordering::Relaxed);
-            s.parent.store(parent, Ordering::Relaxed);
-            s.state.store(READY, Ordering::Release);
-            NEXT.store(hi + 1, Ordering::Release);
-            Some(hi)
-        }
-        None => None,
-    };
-    REG_LOCK.store(false, Ordering::Release);
-    got
 }
 
 /// A position in the span tree that can be sent to another thread (see
@@ -146,7 +249,7 @@ impl Span {
     };
 
     fn enter(name: &'static str, parent: usize) -> Span {
-        let Some(slot) = intern(name, parent) else {
+        let Some(slot) = REGISTRY.intern(name, parent) else {
             return Span::DISABLED;
         };
         STACK.with(|s| s.borrow_mut().push(slot));
@@ -163,8 +266,10 @@ impl Drop for Span {
             return;
         };
         let ns = start.elapsed().as_nanos() as u64;
-        SLOTS[slot].total_ns.fetch_add(ns, Ordering::Relaxed);
-        SLOTS[slot].count.fetch_add(1, Ordering::Relaxed);
+        REGISTRY.slots[slot]
+            .total_ns
+            .fetch_add(ns, Ordering::Relaxed);
+        REGISTRY.slots[slot].count.fetch_add(1, Ordering::Relaxed);
         // Guards drop in LIFO order (they are !Send and scope-bound), but
         // be defensive: remove our slot wherever it sits, and tolerate a
         // thread-local already torn down during thread exit.
@@ -234,24 +339,6 @@ pub fn attach(handle: SpanHandle) -> Attach {
     }
 }
 
-/// Build the `/`-joined path of slot `i` by walking its parent chain.
-fn path_of(i: usize) -> String {
-    let mut parts: Vec<&'static str> = Vec::new();
-    let mut at = i;
-    // The parent chain is acyclic by construction (a slot's parent always
-    // has a lower index), but cap the walk defensively.
-    for _ in 0..MAX_SPANS {
-        parts.push(SLOTS[at].name());
-        let p = SLOTS[at].parent.load(Ordering::Relaxed);
-        if p == NO_PARENT {
-            break;
-        }
-        at = p;
-    }
-    parts.reverse();
-    parts.join("/")
-}
-
 /// One span's aggregated measurement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanStat {
@@ -266,58 +353,30 @@ pub struct SpanStat {
 
 /// Snapshot every span with a non-zero count, sorted by path.
 pub fn snapshot() -> Vec<SpanStat> {
-    let hi = NEXT.load(Ordering::Acquire);
-    let mut out: Vec<SpanStat> = (0..hi.min(MAX_SPANS))
-        .filter(|&i| SLOTS[i].state.load(Ordering::Acquire) == READY)
-        .map(|i| SpanStat {
-            path: path_of(i),
-            total_s: SLOTS[i].total_ns.load(Ordering::Relaxed) as f64 * 1e-9,
-            count: SLOTS[i].count.load(Ordering::Relaxed),
-        })
-        .filter(|s| s.count > 0)
-        .collect();
-    out.sort_by(|a, b| a.path.cmp(&b.path));
-    out
+    REGISTRY.snapshot()
 }
 
 /// Total seconds and completion count recorded for the span at `path`
 /// (e.g. `"eval/compile"`), or `None` if no such span exists yet.
 pub fn stat(path: &str) -> Option<(f64, u64)> {
-    let hi = NEXT.load(Ordering::Acquire);
-    (0..hi.min(MAX_SPANS))
-        .filter(|&i| SLOTS[i].state.load(Ordering::Acquire) == READY)
-        .find(|&i| path_of(i) == path)
-        .map(|i| {
-            (
-                SLOTS[i].total_ns.load(Ordering::Relaxed) as f64 * 1e-9,
-                SLOTS[i].count.load(Ordering::Relaxed),
-            )
-        })
+    REGISTRY.stat(path)
 }
 
-/// Zero every span total and count (slots stay interned).
+/// How many span entries were refused because the registry was full.
+pub fn dropped() -> u64 {
+    REGISTRY.dropped.load(Ordering::Relaxed)
+}
+
+/// Zero every span total, count and the dropped tally (slots stay
+/// interned).
 pub fn reset() {
-    let hi = NEXT.load(Ordering::Acquire);
-    for slot in SLOTS.iter().take(hi.min(MAX_SPANS)) {
-        slot.total_ns.store(0, Ordering::Relaxed);
-        slot.count.store(0, Ordering::Relaxed);
-    }
+    REGISTRY.reset();
 }
 
 /// Zero totals for the span at `prefix` and everything below it (path
 /// equal to `prefix` or starting with `prefix/`).
 pub fn reset_prefix(prefix: &str) {
-    let hi = NEXT.load(Ordering::Acquire);
-    for (i, slot) in SLOTS.iter().enumerate().take(hi.min(MAX_SPANS)) {
-        if slot.state.load(Ordering::Acquire) != READY {
-            continue;
-        }
-        let p = path_of(i);
-        if p == prefix || (p.starts_with(prefix) && p.as_bytes().get(prefix.len()) == Some(&b'/')) {
-            slot.total_ns.store(0, Ordering::Relaxed);
-            slot.count.store(0, Ordering::Relaxed);
-        }
-    }
+    REGISTRY.reset_prefix(prefix);
 }
 
 #[cfg(test)]
@@ -416,5 +475,42 @@ mod tests {
         for w in snap.windows(2) {
             assert!(w[0].path < w[1].path);
         }
+    }
+
+    #[test]
+    fn full_registry_drops_new_keys_and_counts_them() {
+        // A *local* registry, so overflowing it cannot poison the global
+        // one that every other test in this process shares.
+        static LOCAL: Registry = Registry::new();
+        // Distinct leaked names: interning is by name content, so each
+        // claims a fresh slot.
+        for i in 0..MAX_SPANS {
+            let name: &'static str = Box::leak(format!("ovf_{i}").into_boxed_str());
+            assert!(LOCAL.intern(name, NO_PARENT).is_some(), "slot {i}");
+        }
+        assert_eq!(LOCAL.next.load(Ordering::Relaxed), MAX_SPANS);
+        assert_eq!(LOCAL.dropped.load(Ordering::Relaxed), 0);
+        // The registry is full: new keys degrade to drops...
+        let extra: &'static str = Box::leak("ovf_overflow".to_string().into_boxed_str());
+        assert_eq!(LOCAL.intern(extra, NO_PARENT), None);
+        assert_eq!(LOCAL.intern(extra, NO_PARENT), None);
+        assert_eq!(LOCAL.dropped.load(Ordering::Relaxed), 2);
+        // ...while already-interned keys keep working.
+        assert!(LOCAL.intern("ovf_0", NO_PARENT).is_some());
+        assert_eq!(LOCAL.dropped.load(Ordering::Relaxed), 2);
+        // A full-registry snapshot still renders (zero-count slots are
+        // filtered, so charge one slot a tick first).
+        LOCAL.slots[0].count.fetch_add(1, Ordering::Relaxed);
+        let snap = LOCAL.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].path, "ovf_0");
+    }
+
+    #[test]
+    fn dropped_tally_is_zero_on_the_global_registry() {
+        let _l = crate::test_lock();
+        // The whole test suite interns far fewer than MAX_SPANS keys; a
+        // non-zero tally here would mean real spans are being lost.
+        assert_eq!(dropped(), 0);
     }
 }

@@ -1,0 +1,180 @@
+//! Property tests for `tta_obs::json`: every value the emitter can
+//! print must parse back to the same value (after the documented
+//! non-finite → `null` normalisation), across adversarial inputs —
+//! deep nesting, non-finite floats, exotic escapes — generated from a
+//! seeded `tta-testutil::Rng` so failures replay from the seed alone.
+
+use tta_obs::json::{parse, Json};
+use tta_testutil::Rng;
+
+/// Interesting scalar strings: every escape class the emitter handles,
+/// plus multi-byte UTF-8 and boundary code points.
+const NASTY_STRINGS: &[&str] = &[
+    "",
+    "plain",
+    "quote\"inside",
+    "back\\slash",
+    "new\nline",
+    "car\rreturn",
+    "tab\tstop",
+    "null\u{0}byte",
+    "bell\u{7}",
+    "backspace\u{8}formfeed\u{c}",
+    "esc\u{1b}[0m",
+    "unit\u{1f}sep",
+    "müł†ibyte → ünïcode",
+    "emoji \u{1F600} astral",
+    "\u{FFFD}\u{FFFF}",
+    "ends with backslash\\",
+    "\"",
+    "\\u0041 looks like an escape",
+    "//slashes// and </script>",
+];
+
+/// Interesting numbers, including the non-finite values that must
+/// degrade to `null` rather than produce unparseable output.
+const NASTY_NUMS: &[f64] = &[
+    0.0,
+    -0.0,
+    1.0,
+    -1.0,
+    0.1,
+    -2.5e-10,
+    1e300,
+    -1e300,
+    9.0e15,      // just past the undecorated-integer cutoff
+    8.999999e15, // just under it
+    f64::MIN_POSITIVE,
+    f64::EPSILON,
+    f64::MAX,
+    f64::NAN,
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+    i64::MAX as f64,
+    i64::MIN as f64,
+];
+
+/// A random JSON value with structure depth at most `depth`.
+fn gen_value(r: &mut Rng, depth: usize) -> Json {
+    let pick = if depth == 0 { r.below(4) } else { r.below(6) };
+    match pick {
+        0 => Json::Null,
+        1 => Json::Bool(r.next_bool()),
+        2 => {
+            if r.chance(1, 3) {
+                Json::Num(NASTY_NUMS[r.below(NASTY_NUMS.len())])
+            } else {
+                // Random finite doubles from raw bits (resample the rare
+                // NaN patterns — the constant pool already covers NaN).
+                let mut bits = r.next_u64();
+                while !f64::from_bits(bits).is_finite() {
+                    bits = r.next_u64();
+                }
+                Json::Num(f64::from_bits(bits))
+            }
+        }
+        3 => {
+            if r.chance(1, 2) {
+                Json::Str(NASTY_STRINGS[r.below(NASTY_STRINGS.len())].to_string())
+            } else {
+                let len = r.below(12);
+                let s: String = (0..len)
+                    .map(|_| char::from_u32(r.next_u32() % 0xD800).unwrap_or('?'))
+                    .collect();
+                Json::Str(s)
+            }
+        }
+        4 => {
+            let len = r.below(5);
+            Json::Arr((0..len).map(|_| gen_value(r, depth - 1)).collect())
+        }
+        _ => {
+            let len = r.below(5);
+            Json::Obj(
+                (0..len)
+                    .map(|i| {
+                        let key = if r.chance(1, 4) {
+                            // Duplicate-ish and nasty keys are legal JSON.
+                            NASTY_STRINGS[r.below(NASTY_STRINGS.len())].to_string()
+                        } else {
+                            format!("k{i}")
+                        };
+                        (key, gen_value(r, depth - 1))
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// What the emitter documents: non-finite numbers print as `null`.
+fn normalize(v: &Json) -> Json {
+    match v {
+        Json::Num(n) if !n.is_finite() => Json::Null,
+        Json::Arr(items) => Json::Arr(items.iter().map(normalize).collect()),
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .map(|(k, v)| (k.clone(), normalize(v)))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+#[test]
+fn random_values_round_trip_for_500_seeds() {
+    for seed in 0..500u64 {
+        let mut r = Rng::new(seed);
+        let v = gen_value(&mut r, 5);
+        // Print the *raw* value (exercising the non-finite → null path in
+        // the emitter) and expect the normalised value back.
+        let printed = v.to_pretty();
+        let back = parse(&printed).unwrap_or_else(|e| {
+            panic!("seed {seed}: emitted JSON failed to parse: {e}\n{printed}")
+        });
+        assert_eq!(back, normalize(&v), "seed {seed} round-trip mismatch");
+    }
+}
+
+#[test]
+fn non_finite_floats_normalize_to_null_and_stay_parseable() {
+    for seed in 0..100u64 {
+        let mut r = Rng::new(0xF10A7 + seed);
+        // Force plenty of non-finite leaves into the structure.
+        let v = Json::Arr(vec![
+            gen_value(&mut r, 3),
+            Json::Num(f64::NAN),
+            Json::Obj(vec![("inf".into(), Json::Num(f64::INFINITY))]),
+            Json::Num(f64::NEG_INFINITY),
+        ]);
+        let printed = v.to_pretty();
+        let back = parse(&printed).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{printed}"));
+        assert_eq!(back, normalize(&v), "seed {seed}");
+    }
+}
+
+#[test]
+fn deep_nesting_round_trips() {
+    // 300 alternating array/object levels around one string leaf.
+    let mut v = Json::Str("bottom".into());
+    for i in 0..300 {
+        v = if i % 2 == 0 {
+            Json::Arr(vec![v])
+        } else {
+            Json::Obj(vec![(format!("level{i}"), v)])
+        };
+    }
+    let printed = v.to_pretty();
+    assert_eq!(parse(&printed).unwrap(), v);
+}
+
+#[test]
+fn nasty_strings_round_trip_as_values_and_keys() {
+    for (i, s) in NASTY_STRINGS.iter().enumerate() {
+        let v = Json::Obj(vec![(s.to_string(), Json::Str(s.to_string()))]);
+        let printed = v.to_pretty();
+        let back = parse(&printed).unwrap_or_else(|e| panic!("string {i}: {e}\n{printed}"));
+        assert_eq!(back, v, "string {i} ({s:?})");
+    }
+}

@@ -10,12 +10,14 @@
 
 #![warn(missing_docs)]
 
+pub mod profile;
 pub mod result;
 pub mod scalar;
 mod state;
 pub mod tta;
 pub mod vliw;
 
+pub use profile::{static_activity, CycleActivity, FuProfile, GuestProfile, RfProfile};
 pub use result::{SimError, SimResult, SimStats};
 
 use tta_isa::Program;
@@ -43,12 +45,65 @@ pub fn run_with_fuel(
         Program::Scalar(insts) => scalar::run_scalar(m, insts, memory, fuel),
     };
     drop(span);
-    // Observability: flush the already-collected per-run stats into the
-    // global counters *after* the run. The cycle loops stay untouched, so
-    // cycle counts and `SimStats` are bit-identical with obs on or off,
-    // and the whole block reduces to one branch when obs is disabled.
+    flush_obs(&result);
+    result
+}
+
+/// Run any program while collecting a [`GuestProfile`] (see
+/// [`profile`] for the zero-cost-when-disabled contract). The returned
+/// `SimResult` is bit-identical to [`run_with_fuel`]'s.
+pub fn run_profiled(
+    m: &Machine,
+    program: &Program,
+    memory: Vec<u8>,
+) -> Result<(SimResult, GuestProfile), SimError> {
+    run_profiled_with_fuel(m, program, memory, DEFAULT_FUEL)
+}
+
+/// [`run_profiled`] with an explicit cycle budget.
+pub fn run_profiled_with_fuel(
+    m: &Machine,
+    program: &Program,
+    memory: Vec<u8>,
+    fuel: u64,
+) -> Result<(SimResult, GuestProfile), SimError> {
+    let span = tta_obs::span("simulate");
+    let result = match program {
+        Program::Tta(insts) => tta::run_tta_profiled(m, insts, memory, fuel),
+        Program::Vliw(bundles) => vliw::run_vliw_profiled(m, bundles, memory, fuel),
+        Program::Scalar(insts) => scalar::run_scalar_profiled(m, insts, memory, fuel),
+    };
+    drop(span);
+    let plain = result
+        .as_ref()
+        .map(|(r, _)| r.clone())
+        .map_err(|e| e.clone());
+    flush_obs(&plain);
+    result
+}
+
+/// Run any program, also recording the program counter of every executed
+/// instruction (dispatches to the per-style `run_*_traced` entry points).
+pub fn run_traced(
+    m: &Machine,
+    program: &Program,
+    memory: Vec<u8>,
+    fuel: u64,
+) -> Result<(SimResult, Vec<u32>), SimError> {
+    match program {
+        Program::Tta(insts) => tta::run_tta_traced(m, insts, memory, fuel),
+        Program::Vliw(bundles) => vliw::run_vliw_traced(m, bundles, memory, fuel),
+        Program::Scalar(insts) => scalar::run_scalar_traced(m, insts, memory, fuel),
+    }
+}
+
+/// Observability: flush the already-collected per-run stats into the
+/// global counters *after* the run. The cycle loops stay untouched, so
+/// cycle counts and `SimStats` are bit-identical with obs on or off,
+/// and the whole block reduces to one branch when obs is disabled.
+fn flush_obs(result: &Result<SimResult, SimError>) {
     if tta_obs::enabled() {
-        if let Ok(r) = &result {
+        if let Ok(r) = result {
             use tta_obs::counter::add;
             add("sim.runs", 1);
             add("sim.cycles", r.cycles);
@@ -64,5 +119,4 @@ pub fn run_with_fuel(
             add("sim.stores", r.stats.stores);
         }
     }
-    result
 }

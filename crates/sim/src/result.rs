@@ -20,7 +20,13 @@ pub struct SimStats {
     pub limms: u64,
     /// Taken control transfers.
     pub branches_taken: u64,
-    /// Pipeline stall cycles (scalar model only).
+    /// Dynamic pipeline stall cycles charged by the in-order *scalar*
+    /// model: dependence interlocks plus the taken-branch refill penalty.
+    /// Always zero for the TTA and VLIW cores — their compile-time
+    /// schedules encode all waiting as explicit NOP instructions/slots
+    /// (counted in `instructions`, and reported as NOP/padding density by
+    /// [`crate::GuestProfile`]), never as dynamic stalls. Pinned by
+    /// `stall_cycles_semantics_are_scalar_only` in the sim test suite.
     pub stall_cycles: u64,
     /// Memory loads.
     pub loads: u64,

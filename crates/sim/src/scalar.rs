@@ -11,6 +11,7 @@
 //! to flat indices, the register scoreboard stored alongside), so the
 //! per-instruction loop performs no heap allocation.
 
+use crate::profile::{finish_scalar, Collector, GuestProfile, NoProfile, ProfileSink};
 use crate::result::{SimError, SimResult, SimStats};
 use crate::state::{trace_capacity, DecOpSrc, FlatRf, NO_DST};
 use tta_isa::{Operation, ScalarInst, RETVAL_ADDR};
@@ -54,7 +55,7 @@ pub fn run_scalar(
     memory: Vec<u8>,
     fuel: u64,
 ) -> Result<SimResult, SimError> {
-    run_scalar_inner(m, program, memory, fuel, None)
+    run_scalar_inner(m, program, memory, fuel, None, &mut NoProfile)
 }
 
 /// Like [`run_scalar`], also recording the program counter of every executed
@@ -66,16 +67,33 @@ pub fn run_scalar_traced(
     fuel: u64,
 ) -> Result<(SimResult, Vec<u32>), SimError> {
     let mut trace = Vec::with_capacity(trace_capacity(program.len()));
-    let r = run_scalar_inner(m, program, memory, fuel, Some(&mut trace))?;
+    let r = run_scalar_inner(m, program, memory, fuel, Some(&mut trace), &mut NoProfile)?;
     Ok((r, trace))
 }
 
-fn run_scalar_inner(
+/// Like [`run_scalar`], also collecting a [`GuestProfile`]. The unprofiled
+/// entry points monomorphise the same loop over [`NoProfile`], so their
+/// results are bit-identical (see `crate::profile`).
+pub fn run_scalar_profiled(
+    m: &Machine,
+    program: &[ScalarInst],
+    memory: Vec<u8>,
+    fuel: u64,
+) -> Result<(SimResult, GuestProfile), SimError> {
+    let mut sink = Collector::for_static(program.len());
+    let r = run_scalar_inner(m, program, memory, fuel, None, &mut sink)?;
+    let mut p = finish_scalar(m, program, sink);
+    p.cycles = r.cycles;
+    Ok((r, p))
+}
+
+fn run_scalar_inner<S: ProfileSink>(
     m: &Machine,
     program: &[ScalarInst],
     mut memory: Vec<u8>,
     fuel: u64,
     mut trace: Option<&mut Vec<u32>>,
+    sink: &mut S,
 ) -> Result<SimResult, SimError> {
     let pipe = m.scalar.expect("scalar machine");
     let mut rf = FlatRf::new(m);
@@ -101,6 +119,7 @@ fn run_scalar_inner(
         if let Some(t) = trace.as_deref_mut() {
             t.push(pc);
         }
+        sink.retire(pc);
 
         match *inst {
             DecInst::ImmPrefix => {

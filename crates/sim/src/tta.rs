@@ -19,6 +19,7 @@
 //! reference is resolved to a flat index, so the cycle loop touches only
 //! dense arrays and performs no heap allocation.
 
+use crate::profile::{finish_tta, Collector, GuestProfile, NoProfile, ProfileSink};
 use crate::result::{SimError, SimResult, SimStats};
 use crate::state::{trace_capacity, FlatRf};
 use tta_isa::{MoveDst, MoveSrc, TtaInst, RETVAL_ADDR};
@@ -150,7 +151,7 @@ pub fn run_tta(
     memory: Vec<u8>,
     fuel: u64,
 ) -> Result<SimResult, SimError> {
-    run_tta_inner(m, program, memory, fuel, None)
+    run_tta_inner(m, program, memory, fuel, None, &mut NoProfile)
 }
 
 /// Like [`run_tta`], also recording the program counter of every executed
@@ -162,16 +163,33 @@ pub fn run_tta_traced(
     fuel: u64,
 ) -> Result<(SimResult, Vec<u32>), SimError> {
     let mut trace = Vec::with_capacity(trace_capacity(program.len()));
-    let r = run_tta_inner(m, program, memory, fuel, Some(&mut trace))?;
+    let r = run_tta_inner(m, program, memory, fuel, Some(&mut trace), &mut NoProfile)?;
     Ok((r, trace))
 }
 
-fn run_tta_inner(
+/// Like [`run_tta`], also collecting a [`GuestProfile`]. The unprofiled
+/// entry points monomorphise the same loop over [`NoProfile`], so their
+/// results are bit-identical (see `crate::profile`).
+pub fn run_tta_profiled(
+    m: &Machine,
+    program: &[TtaInst],
+    memory: Vec<u8>,
+    fuel: u64,
+) -> Result<(SimResult, GuestProfile), SimError> {
+    let mut sink = Collector::for_static(program.len());
+    let r = run_tta_inner(m, program, memory, fuel, None, &mut sink)?;
+    let mut p = finish_tta(m, program, sink);
+    p.cycles = r.cycles;
+    Ok((r, p))
+}
+
+fn run_tta_inner<S: ProfileSink>(
     m: &Machine,
     program: &[TtaInst],
     mut memory: Vec<u8>,
     fuel: u64,
     mut trace: Option<&mut Vec<u32>>,
+    sink: &mut S,
 ) -> Result<SimResult, SimError> {
     let mut rf = FlatRf::new(m);
     let dec = decode(&rf, program);
@@ -196,6 +214,7 @@ fn run_tta_inner(
         if let Some(t) = trace.as_deref_mut() {
             t.push(pc);
         }
+        sink.retire(pc);
 
         // (1) Completions.
         for (fi, fu) in fus.iter_mut().enumerate() {

@@ -15,6 +15,7 @@
 //! per-cycle write-port counters live in a reusable buffer, so the cycle
 //! loop performs no heap allocation.
 
+use crate::profile::{finish_vliw, Collector, GuestProfile, NoProfile, ProfileSink};
 use crate::result::{SimError, SimResult, SimStats};
 use crate::state::{trace_capacity, DecOpSrc, FlatRf, NO_DST};
 use tta_isa::{Operation, VliwBundle, VliwSlot, RETVAL_ADDR};
@@ -95,7 +96,7 @@ pub fn run_vliw(
     memory: Vec<u8>,
     fuel: u64,
 ) -> Result<SimResult, SimError> {
-    run_vliw_inner(m, program, memory, fuel, None)
+    run_vliw_inner(m, program, memory, fuel, None, &mut NoProfile)
 }
 
 /// Like [`run_vliw`], also recording the program counter of every executed
@@ -107,16 +108,33 @@ pub fn run_vliw_traced(
     fuel: u64,
 ) -> Result<(SimResult, Vec<u32>), SimError> {
     let mut trace = Vec::with_capacity(trace_capacity(program.len()));
-    let r = run_vliw_inner(m, program, memory, fuel, Some(&mut trace))?;
+    let r = run_vliw_inner(m, program, memory, fuel, Some(&mut trace), &mut NoProfile)?;
     Ok((r, trace))
 }
 
-fn run_vliw_inner(
+/// Like [`run_vliw`], also collecting a [`GuestProfile`]. The unprofiled
+/// entry points monomorphise the same loop over [`NoProfile`], so their
+/// results are bit-identical (see `crate::profile`).
+pub fn run_vliw_profiled(
+    m: &Machine,
+    program: &[VliwBundle],
+    memory: Vec<u8>,
+    fuel: u64,
+) -> Result<(SimResult, GuestProfile), SimError> {
+    let mut sink = Collector::with_write_hist(m, program.len());
+    let r = run_vliw_inner(m, program, memory, fuel, None, &mut sink)?;
+    let mut p = finish_vliw(m, program, sink);
+    p.cycles = r.cycles;
+    Ok((r, p))
+}
+
+fn run_vliw_inner<S: ProfileSink>(
     m: &Machine,
     program: &[VliwBundle],
     mut memory: Vec<u8>,
     fuel: u64,
     mut trace: Option<&mut Vec<u32>>,
+    sink: &mut S,
 ) -> Result<SimResult, SimError> {
     let mut rf = FlatRf::new(m);
     let (dec_slots, dec_bundles) = decode(&rf, program);
@@ -139,6 +157,7 @@ fn run_vliw_inner(
         if let Some(t) = trace.as_deref_mut() {
             t.push(pc);
         }
+        sink.retire(pc);
 
         // Execute slots (reads all happen against the pre-cycle RF state:
         // writebacks apply at end of cycle).
@@ -257,6 +276,7 @@ fn run_vliw_inner(
                 )));
             }
         }
+        sink.writeback_pressure(&writes_per_rf);
 
         cycle += 1;
         if halt {

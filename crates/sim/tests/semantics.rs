@@ -953,3 +953,95 @@ fn word_access_at_unaligned_address_faults_on_all_styles() {
         Err(SimError::Mem(_))
     ));
 }
+
+// ---------------------------------------------------------------------
+// stall_cycles semantics: dynamic stalls are a scalar-pipeline concept.
+// ---------------------------------------------------------------------
+
+/// `SimStats::stall_cycles` counts *dynamic* interlock and refill cycles,
+/// which only the in-order scalar pipeline has. The statically scheduled
+/// styles encode all waiting as explicit NOP instructions/slots — visible
+/// as NOP/padding density in `tta_sim::GuestProfile`, never as stalls —
+/// so their counter must stay zero even for padding-heavy schedules.
+#[test]
+fn stall_cycles_semantics_are_scalar_only() {
+    // TTA: pure padding ahead of the store still costs one *instruction*
+    // per waited cycle, never a stall.
+    let mut tta_prog = vec![TtaInst::nop(3), TtaInst::nop(3)];
+    tta_prog.extend(store_and_halt(MoveSrc::Imm(5)));
+    let r = run_tta(tta_prog).unwrap();
+    assert_eq!(r.ret, 5);
+    assert_eq!(r.stats.stall_cycles, 0);
+    assert_eq!(r.cycles, r.stats.instructions);
+
+    // VLIW: the scheduler's NOP bundle between the long immediate's
+    // writeback and its consumer is likewise an instruction, not a stall.
+    let m = presets::m_vliw_2();
+    let prog = vec![
+        VliwBundle {
+            slots: vec![
+                Some(VliwSlot::LimmHead {
+                    dst: rr(1),
+                    value: 5,
+                }),
+                Some(VliwSlot::LimmCont),
+            ],
+        },
+        VliwBundle {
+            slots: vec![None, None],
+        },
+        VliwBundle {
+            slots: vec![
+                Some(vliw_op(
+                    Opcode::Stw,
+                    LSU,
+                    None,
+                    Some(OpSrc::Reg(rr(1))),
+                    Some(OpSrc::Imm(8)),
+                )),
+                None,
+            ],
+        },
+        VliwBundle {
+            slots: vec![
+                Some(vliw_op(Opcode::Halt, CU, None, None, Some(OpSrc::Imm(0)))),
+                None,
+            ],
+        },
+    ];
+    let r = tta_sim::vliw::run_vliw(&m, &prog, vec![0; 1 << 16], 1000).unwrap();
+    assert_eq!(r.ret, 5);
+    assert_eq!(r.stats.stall_cycles, 0);
+    assert_eq!(r.cycles, r.stats.instructions);
+
+    // Scalar: a load-use dependence stalls dynamically, and the cycle
+    // count decomposes exactly into issue slots plus stalls.
+    let m = presets::mblaze_3();
+    let lsu = FuId(1);
+    let cu = FuId(2);
+    let prog = vec![
+        scalar_op(Opcode::Ldw, lsu, Some(rr(1)), None, Some(OpSrc::Imm(16))),
+        scalar_op(
+            Opcode::Add,
+            ALU,
+            Some(rr(2)),
+            Some(OpSrc::Reg(rr(1))),
+            Some(OpSrc::Imm(2)),
+        ),
+        scalar_op(
+            Opcode::Stw,
+            lsu,
+            None,
+            Some(OpSrc::Reg(rr(2))),
+            Some(OpSrc::Imm(8)),
+        ),
+        scalar_op(Opcode::Halt, cu, None, None, Some(OpSrc::Imm(0))),
+    ];
+    let r = tta_sim::scalar::run_scalar(&m, &prog, vec![0; 1 << 16], 1000).unwrap();
+    assert!(
+        r.stats.stall_cycles > 0,
+        "load-use must stall: {:?}",
+        r.stats
+    );
+    assert_eq!(r.cycles, r.stats.instructions + r.stats.stall_cycles);
+}
