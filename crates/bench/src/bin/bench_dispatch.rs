@@ -1,0 +1,171 @@
+//! Micro-benchmark of the fused-block simulator dispatch: runs one hot
+//! kernel compiled for one machine of each style (TTA, VLIW, scalar) and
+//! reports superblock dispatch throughput, writing `BENCH_dispatch.json`
+//! so engine-level regressions are caught even when the full evaluation
+//! pipeline hides them behind compile time.
+//!
+//! Usage: `cargo run --release -p tta-bench --bin bench_dispatch [reps] [iters]`
+//! (default 5 repetitions; each repetition simulates the kernel `iters`
+//! times per style — default 20 — so one repetition is long enough for the
+//! CI gate's relative tolerance to be meaningful). "Blocks" are dynamic superblock entries, counted from an
+//! execution trace against the program's `BlockMap`: a block is entered at
+//! the first instruction, after every control-bearing (run-terminal)
+//! instruction, and at every pc discontinuity. `bench_report` diffs the
+//! file against the committed baseline in CI.
+
+use std::time::Instant;
+
+use tta_isa::BlockMap;
+use tta_model::{presets, Machine};
+use tta_obs::json::Json;
+
+const KERNEL: &str = "sha";
+
+fn round(v: f64, places: i32) -> f64 {
+    let p = 10f64.powi(places);
+    (v * p).round() / p
+}
+
+struct Style {
+    label: &'static str,
+    machine: Machine,
+    program: tta_isa::Program,
+    memory: Vec<u8>,
+    /// Dynamic superblock entries of one run.
+    blocks: u64,
+    cycles: u64,
+}
+
+/// Count dynamic superblock entries in an executed-pc trace.
+fn dynamic_blocks(map: &BlockMap, trace: &[u32]) -> u64 {
+    let mut blocks = 0u64;
+    let mut prev: Option<u32> = None;
+    for &pc in trace {
+        let entry = match prev {
+            None => true,
+            // A run-terminal instruction ends its block even on
+            // fall-through; any non-sequential pc is a (re-)entry.
+            Some(p) => map.run_len(p) == 1 || pc != p + 1,
+        };
+        if entry {
+            blocks += 1;
+        }
+        prev = Some(pc);
+    }
+    blocks
+}
+
+fn prepare(machine: Machine, module: &tta_ir::Module) -> Style {
+    let compiled = tta_compiler::compile(module, &machine)
+        .unwrap_or_else(|e| panic!("{KERNEL} on {}: {e}", machine.name));
+    let memory = module.initial_memory();
+    let (result, trace) = tta_sim::run_traced(
+        &machine,
+        &compiled.program,
+        memory.clone(),
+        tta_sim::DEFAULT_FUEL,
+    )
+    .unwrap_or_else(|e| panic!("{KERNEL} on {}: {e}", machine.name));
+    let map = BlockMap::of_program(&compiled.program);
+    let label = match &compiled.program {
+        tta_isa::Program::Tta(_) => "tta",
+        tta_isa::Program::Vliw(_) => "vliw",
+        tta_isa::Program::Scalar(_) => "scalar",
+    };
+    Style {
+        label,
+        machine,
+        blocks: dynamic_blocks(&map, &trace),
+        cycles: result.cycles,
+        program: compiled.program,
+        memory,
+    }
+}
+
+fn main() {
+    tta_obs::init_from_env();
+    let mut args = std::env::args().skip(1);
+    let reps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
+    let iters: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(20);
+
+    let kernel = tta_chstone::by_name(KERNEL).expect("hot kernel exists");
+    let module = (kernel.build)();
+    let styles: Vec<Style> = [presets::m_tta_2(), presets::m_vliw_2(), presets::mblaze_3()]
+        .into_iter()
+        .map(|m| prepare(m, &module))
+        .collect();
+
+    // Per-style minimum wall-clock across reps (one simulation per rep).
+    let mut per_style_min = vec![f64::INFINITY; styles.len()];
+    let mut totals_s: Vec<f64> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let mut total = 0.0;
+        for (si, s) in styles.iter().enumerate() {
+            let t = Instant::now();
+            for _ in 0..iters {
+                let r = tta_sim::run(&s.machine, &s.program, s.memory.clone());
+                std::hint::black_box(&r);
+                r.unwrap_or_else(|e| panic!("{KERNEL} on {}: {e}", s.machine.name));
+            }
+            let dt = t.elapsed().as_secs_f64();
+            per_style_min[si] = per_style_min[si].min(dt);
+            total += dt;
+        }
+        totals_s.push(total);
+    }
+    totals_s.sort_by(|a, b| a.total_cmp(b));
+    let min = totals_s[0];
+    let median = totals_s[totals_s.len() / 2];
+
+    // Per-repetition totals: each rep simulates every style `iters` times.
+    let blocks: u64 = styles.iter().map(|s| s.blocks).sum::<u64>() * iters;
+    let cycles: u64 = styles.iter().map(|s| s.cycles).sum::<u64>() * iters;
+    let style_fields: Vec<(String, Json)> = styles
+        .iter()
+        .zip(&per_style_min)
+        .map(|(s, &m)| {
+            (
+                s.label.to_string(),
+                Json::Obj(vec![
+                    ("machine".into(), Json::Str(s.machine.name.clone())),
+                    ("cycles".into(), Json::Num(s.cycles as f64)),
+                    ("blocks".into(), Json::Num(s.blocks as f64)),
+                    ("wall_s_min".into(), Json::Num(round(m, 6))),
+                    (
+                        "blocks_per_s".into(),
+                        Json::Num(round(s.blocks as f64 * iters as f64 / m, 0)),
+                    ),
+                ]),
+            )
+        })
+        .collect();
+
+    let json = Json::Obj(vec![
+        ("bench".into(), Json::Str("dispatch".into())),
+        ("kernel".into(), Json::Str(KERNEL.into())),
+        ("machines".into(), Json::Num(styles.len() as f64)),
+        ("kernels".into(), Json::Num(1.0)),
+        ("reps".into(), Json::Num(reps as f64)),
+        ("iters".into(), Json::Num(iters as f64)),
+        ("wall_s_min".into(), Json::Num(round(min, 6))),
+        ("wall_s_median".into(), Json::Num(round(median, 6))),
+        ("blocks".into(), Json::Num(blocks as f64)),
+        (
+            "blocks_per_s".into(),
+            Json::Num(round(blocks as f64 / min, 0)),
+        ),
+        ("sim_cycles".into(), Json::Num(cycles as f64)),
+        (
+            "sim_cycles_per_s".into(),
+            Json::Num(round(cycles as f64 / min, 0)),
+        ),
+        ("styles".into(), Json::Obj(style_fields)),
+        ("obs".into(), tta_bench::harness::obs_report_json()),
+    ]);
+    let text = json.to_pretty();
+    std::fs::write("BENCH_dispatch.json", &text).expect("write BENCH_dispatch.json");
+    print!("{text}");
+    eprintln!(
+        "wrote BENCH_dispatch.json ({blocks} blocks/run, min {min:.4}s, median {median:.4}s)"
+    );
+}

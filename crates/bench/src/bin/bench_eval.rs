@@ -40,7 +40,18 @@ fn main() {
     let median = totals_s[totals_s.len() / 2];
 
     let timing = tta_explore::eval::last_timing();
-    let json = Json::Obj(vec![
+    // Single-threaded runs are not comparable against multi-core baselines;
+    // flag them loudly in both the log and the JSON so `bench_report`
+    // consumers can tell the configurations apart.
+    let threads_warning = timing.threads <= 1;
+    if threads_warning {
+        eprintln!(
+            "WARNING: evaluate_all ran on 1 worker thread (TTA_EVAL_THREADS or a \
+             single-core host); wall-clock numbers are not comparable to \
+             multi-threaded baselines"
+        );
+    }
+    let mut fields = vec![
         ("bench".into(), Json::Str("evaluate_all".into())),
         ("machines".into(), Json::Num(reports.len() as f64)),
         (
@@ -72,8 +83,15 @@ fn main() {
             ]),
         ),
         ("threads".into(), Json::Num(timing.threads as f64)),
-        ("obs".into(), tta_bench::harness::obs_report_json()),
-    ]);
+    ];
+    if threads_warning {
+        fields.push((
+            "threads_warning".into(),
+            Json::Str("single-threaded run; not comparable to multi-core baselines".into()),
+        ));
+    }
+    fields.push(("obs".into(), tta_bench::harness::obs_report_json()));
+    let json = Json::Obj(fields);
     let text = json.to_pretty();
     std::fs::write("BENCH_eval.json", &text).expect("write BENCH_eval.json");
     print!("{text}");

@@ -15,10 +15,15 @@ pub const GATE_KEY: &str = "wall_s_median";
 
 /// Keys that define the workload; they must be equal (or absent from
 /// both files) for a comparison to be meaningful.
-const WORKLOAD_KEYS: [&str; 5] = ["bench", "machines", "kernels", "pairs", "seeds"];
+const WORKLOAD_KEYS: [&str; 6] = ["bench", "machines", "kernels", "pairs", "seeds", "iters"];
 
 /// Informational higher-is-better metrics shown in the summary.
-const INFO_HIGHER: [&str; 3] = ["pairs_per_s", "cases_per_s", "sim_cycles_per_s"];
+const INFO_HIGHER: [&str; 4] = [
+    "pairs_per_s",
+    "cases_per_s",
+    "sim_cycles_per_s",
+    "blocks_per_s",
+];
 
 /// The outcome of one comparison.
 #[derive(Debug, Clone)]

@@ -24,11 +24,13 @@
 #![warn(missing_docs)]
 
 pub mod bits;
+pub mod blocks;
 pub mod code;
 pub mod encoding;
 pub mod program;
 
 pub use bits::TtaCodec;
+pub use blocks::BlockMap;
 pub use code::{
     Move, MoveDst, MoveSrc, OpSrc, Operation, ScalarInst, TtaInst, VliwBundle, VliwSlot,
     RETVAL_ADDR,

@@ -58,6 +58,34 @@ impl ProfileSink for NoProfile {
     fn writeback_pressure(&mut self, _writes_per_rf: &[u32]) {}
 }
 
+/// The sink of the `run_*_traced` entry points: records the program
+/// counter of every executed instruction. A third monomorphisation of the
+/// same cycle loops, so tracing shares the bit-identity guarantee of the
+/// other sinks instead of threading an `Option<&mut Vec<u32>>` through
+/// every engine.
+pub(crate) struct TraceSink {
+    /// Executed pcs in order.
+    pub trace: Vec<u32>,
+}
+
+impl TraceSink {
+    /// A sink pre-sized by the [`crate::state::trace_capacity`] heuristic.
+    pub fn for_program(program_len: usize) -> TraceSink {
+        TraceSink {
+            trace: Vec::with_capacity(crate::state::trace_capacity(program_len)),
+        }
+    }
+}
+
+impl ProfileSink for TraceSink {
+    #[inline]
+    fn retire(&mut self, pc: u32) {
+        self.trace.push(pc);
+    }
+    #[inline(always)]
+    fn writeback_pressure(&mut self, _writes_per_rf: &[u32]) {}
+}
+
 /// The collecting sink: a per-PC execution counter plus (for VLIW) dynamic
 /// write-port pressure histograms. Everything else is derived post-run.
 pub(crate) struct Collector {

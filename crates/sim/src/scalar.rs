@@ -9,13 +9,18 @@
 //!
 //! Instructions are predecoded once per run (register references resolved
 //! to flat indices, the register scoreboard stored alongside), so the
-//! per-instruction loop performs no heap allocation.
+//! per-instruction loop performs no heap allocation. Dispatch is
+//! fused-block: the fuel and pc bounds checks run once per straight-line
+//! run, and interior instructions execute in a monomorphisation without
+//! the control arm (the scalar model has no delay slots, so block entry
+//! needs no delay-slot clamp — see `crate::tta` for the shared dispatch
+//! structure).
 
-use crate::profile::{finish_scalar, Collector, GuestProfile, NoProfile, ProfileSink};
+use crate::profile::{finish_scalar, Collector, GuestProfile, NoProfile, ProfileSink, TraceSink};
 use crate::result::{SimError, SimResult, SimStats};
-use crate::state::{trace_capacity, DecOpSrc, FlatRf, NO_DST};
-use tta_isa::{Operation, ScalarInst, RETVAL_ADDR};
-use tta_model::{mem, Machine, OpClass, Opcode};
+use crate::state::{DecOpSrc, FlatRf, NO_DST};
+use tta_isa::{BlockMap, Operation, ScalarInst, RETVAL_ADDR};
+use tta_model::{mem, Machine, OpClass, Opcode, ScalarPipeline};
 
 /// Maximum simulated instructions before declaring a runaway program.
 pub const DEFAULT_FUEL: u64 = 200_000_000;
@@ -55,7 +60,7 @@ pub fn run_scalar(
     memory: Vec<u8>,
     fuel: u64,
 ) -> Result<SimResult, SimError> {
-    run_scalar_inner(m, program, memory, fuel, None, &mut NoProfile)
+    run_scalar_with(m, program, memory, fuel, &mut NoProfile)
 }
 
 /// Like [`run_scalar`], also recording the program counter of every executed
@@ -66,9 +71,9 @@ pub fn run_scalar_traced(
     memory: Vec<u8>,
     fuel: u64,
 ) -> Result<(SimResult, Vec<u32>), SimError> {
-    let mut trace = Vec::with_capacity(trace_capacity(program.len()));
-    let r = run_scalar_inner(m, program, memory, fuel, Some(&mut trace), &mut NoProfile)?;
-    Ok((r, trace))
+    let mut sink = TraceSink::for_program(program.len());
+    let r = run_scalar_with(m, program, memory, fuel, &mut sink)?;
+    Ok((r, sink.trace))
 }
 
 /// Like [`run_scalar`], also collecting a [`GuestProfile`]. The unprofiled
@@ -81,73 +86,82 @@ pub fn run_scalar_profiled(
     fuel: u64,
 ) -> Result<(SimResult, GuestProfile), SimError> {
     let mut sink = Collector::for_static(program.len());
-    let r = run_scalar_inner(m, program, memory, fuel, None, &mut sink)?;
+    let r = run_scalar_with(m, program, memory, fuel, &mut sink)?;
     let mut p = finish_scalar(m, program, sink);
     p.cycles = r.cycles;
     Ok((r, p))
 }
 
-fn run_scalar_inner<S: ProfileSink>(
-    m: &Machine,
-    program: &[ScalarInst],
-    mut memory: Vec<u8>,
-    fuel: u64,
-    mut trace: Option<&mut Vec<u32>>,
-    sink: &mut S,
-) -> Result<SimResult, SimError> {
-    let pipe = m.scalar.expect("scalar machine");
-    let mut rf = FlatRf::new(m);
-    let dec = decode(&rf, program);
-    // Cycle at which each register's latest value becomes readable.
-    let mut ready: Vec<u64> = vec![0; rf.len()];
-    let mut stats = SimStats::default();
-    let mut pc: u32 = 0;
-    let mut cycle: u64 = 0;
-    let mut executed: u64 = 0;
+/// Control outcome of one scalar step.
+enum Flow {
+    /// Fall through to `pc + 1`.
+    Next,
+    /// Taken branch (penalty already charged by the step).
+    Jump(u32),
+    /// The core halted; the caller builds the [`SimResult`].
+    Halt,
+}
 
-    let extra = if pipe.forwarding { 0 } else { 1 };
+/// Mutable datapath state of one run, shared by every step of the block
+/// dispatch loop.
+struct ScalarEngine<'a> {
+    pipe: ScalarPipeline,
+    dec: &'a [DecInst],
+    rf: FlatRf,
+    /// Cycle at which each register's latest value becomes readable.
+    ready: Vec<u64>,
+    /// Extra scoreboard cycle when the pipeline lacks forwarding.
+    extra: u64,
+    memory: Vec<u8>,
+    stats: SimStats,
+}
 
-    loop {
-        if executed >= fuel {
-            return Err(SimError::OutOfFuel);
-        }
-        let Some(inst) = dec.get(pc as usize) else {
-            return Err(SimError::PcOutOfRange(pc));
-        };
-        executed += 1;
-        stats.instructions += 1;
-        if let Some(t) = trace.as_deref_mut() {
-            t.push(pc);
-        }
+impl ScalarEngine<'_> {
+    /// One instruction at `pc`, advancing `cycle` by its issue + stall
+    /// cost. With `CTRL = false` the caller guarantees (via the block map)
+    /// a non-control instruction and the control arm is compiled out.
+    #[inline(always)]
+    fn step<S: ProfileSink, const CTRL: bool>(
+        &mut self,
+        sink: &mut S,
+        pc: u32,
+        cycle: &mut u64,
+    ) -> Result<Flow, SimError> {
+        let inst = self.dec[pc as usize];
+        self.stats.instructions += 1;
         sink.retire(pc);
 
-        match *inst {
+        match inst {
             DecInst::ImmPrefix => {
                 // One fetch/issue cycle; the following instruction carries
                 // the full immediate already.
-                cycle += 1;
-                pc += 1;
-                continue;
+                *cycle += 1;
+                Ok(Flow::Next)
             }
             DecInst::Op { op, a, b, dst } => {
-                stats.payload += 1;
+                self.stats.payload += 1;
                 // Issue no earlier than every source register is ready.
-                let mut issue = cycle;
-                let src_val = |s: DecOpSrc, issue: &mut u64, stats: &mut SimStats| match s {
+                let mut issue = *cycle;
+                let mut src_val = |s: DecOpSrc, issue: &mut u64| match s {
                     DecOpSrc::None => None,
                     DecOpSrc::Reg(i) => {
-                        stats.rf_reads += 1;
-                        *issue = (*issue).max(ready[i as usize]);
-                        Some(rf.vals[i as usize])
+                        self.stats.rf_reads += 1;
+                        *issue = (*issue).max(self.ready[i as usize]);
+                        Some(self.rf.vals[i as usize])
                     }
                     DecOpSrc::Imm(v) => Some(v),
                 };
-                let va = src_val(a, &mut issue, &mut stats);
-                let vb = src_val(b, &mut issue, &mut stats);
-                stats.stall_cycles += issue - cycle;
-                cycle = issue + 1; // the instruction occupies one issue slot
+                let va = src_val(a, &mut issue);
+                let vb = src_val(b, &mut issue);
+                self.stats.stall_cycles += issue - *cycle;
+                *cycle = issue + 1; // the instruction occupies one issue slot
 
-                let mut write = |v: i32, lat: u32, rf: &mut FlatRf, ready: &mut Vec<u64>| {
+                let extra = self.extra;
+                let write = |v: i32,
+                             lat: u32,
+                             rf: &mut FlatRf,
+                             ready: &mut Vec<u64>,
+                             stats: &mut SimStats| {
                     if dst != NO_DST {
                         stats.rf_writes += 1;
                         rf.vals[dst as usize] = v;
@@ -162,28 +176,32 @@ fn run_scalar_inner<S: ProfileSink>(
                         } else {
                             op.eval_alu(va.unwrap(), vb.unwrap())
                         };
-                        write(r, op.latency(), &mut rf, &mut ready);
+                        write(
+                            r,
+                            op.latency(),
+                            &mut self.rf,
+                            &mut self.ready,
+                            &mut self.stats,
+                        );
                     }
                     OpClass::Lsu => {
                         if op.is_load() {
-                            stats.loads += 1;
-                            let v = mem::load(&memory, op, vb.unwrap() as u32)?;
-                            write(v, op.latency(), &mut rf, &mut ready);
+                            self.stats.loads += 1;
+                            let v = mem::load(&self.memory, op, vb.unwrap() as u32)?;
+                            write(
+                                v,
+                                op.latency(),
+                                &mut self.rf,
+                                &mut self.ready,
+                                &mut self.stats,
+                            );
                         } else {
-                            stats.stores += 1;
-                            mem::store(&mut memory, op, vb.unwrap() as u32, va.unwrap())?;
+                            self.stats.stores += 1;
+                            mem::store(&mut self.memory, op, vb.unwrap() as u32, va.unwrap())?;
                         }
                     }
-                    OpClass::Ctrl => match op {
-                        Opcode::Halt => {
-                            let ret = mem::load(&memory, Opcode::Ldw, RETVAL_ADDR)?;
-                            return Ok(SimResult {
-                                cycles: cycle,
-                                ret,
-                                memory,
-                                stats,
-                            });
-                        }
+                    OpClass::Ctrl if CTRL => match op {
+                        Opcode::Halt => return Ok(Flow::Halt),
                         Opcode::Jump | Opcode::CJnz | Opcode::CJz => {
                             let (taken, target) = match op {
                                 Opcode::Jump => (true, vb.unwrap() as u32),
@@ -192,17 +210,90 @@ fn run_scalar_inner<S: ProfileSink>(
                                 _ => unreachable!(),
                             };
                             if taken {
-                                stats.branches_taken += 1;
-                                cycle += pipe.branch_penalty as u64;
-                                stats.stall_cycles += pipe.branch_penalty as u64;
-                                pc = target;
-                                continue;
+                                self.stats.branches_taken += 1;
+                                *cycle += self.pipe.branch_penalty as u64;
+                                self.stats.stall_cycles += self.pipe.branch_penalty as u64;
+                                return Ok(Flow::Jump(target));
                             }
                         }
                         _ => unreachable!(),
                     },
+                    OpClass::Ctrl => {
+                        unreachable!("control instruction inside a superblock interior")
+                    }
                 }
-                pc += 1;
+                Ok(Flow::Next)
+            }
+        }
+    }
+}
+
+/// The generic engine behind all public entry points: one superblock per
+/// outer-loop iteration, monomorphised over the profile sink. Scalar fuel
+/// counts executed instructions (not cycles), so the block-entry clamp is
+/// `min(run length, fuel − executed)`.
+pub(crate) fn run_scalar_with<S: ProfileSink>(
+    m: &Machine,
+    program: &[ScalarInst],
+    memory: Vec<u8>,
+    fuel: u64,
+    sink: &mut S,
+) -> Result<SimResult, SimError> {
+    let pipe = m.scalar.expect("scalar machine");
+    let rf = FlatRf::new(m);
+    let dec = decode(&rf, program);
+    let blocks = BlockMap::of_scalar(program);
+    let ready_len = rf.len();
+    let mut eng = ScalarEngine {
+        pipe,
+        dec: &dec,
+        rf,
+        ready: vec![0; ready_len],
+        extra: if pipe.forwarding { 0 } else { 1 },
+        memory,
+        stats: SimStats::default(),
+    };
+    let mut pc: u32 = 0;
+    let mut cycle: u64 = 0;
+    let mut executed: u64 = 0;
+
+    loop {
+        // Superblock entry: the only place fuel and the pc bound are
+        // examined.
+        if executed >= fuel {
+            return Err(SimError::OutOfFuel);
+        }
+        if pc as usize >= eng.dec.len() {
+            return Err(SimError::PcOutOfRange(pc));
+        }
+        let full = blocks.run_len(pc) as u64;
+        let len = full.min(fuel - executed);
+        // Only the run's terminal instruction can be a control op, and it
+        // is part of this dispatch iff fuel didn't clamp `len`.
+        let terminal = len == full;
+        let straight = if terminal { len - 1 } else { len };
+
+        for _ in 0..straight {
+            eng.step::<S, false>(sink, pc, &mut cycle)?;
+            pc += 1;
+        }
+        executed += straight;
+
+        if terminal {
+            let flow = eng.step::<S, true>(sink, pc, &mut cycle)?;
+            executed += 1;
+            match flow {
+                Flow::Halt => {
+                    let ret = mem::load(&eng.memory, Opcode::Ldw, RETVAL_ADDR)?;
+                    return Ok(SimResult {
+                        cycles: cycle,
+                        ret,
+                        memory: eng.memory,
+                        stats: eng.stats,
+                    });
+                }
+                Flow::Jump(target) => pc = target,
+                Flow::Next => pc += 1,
             }
         }
     }

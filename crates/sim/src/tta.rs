@@ -14,15 +14,24 @@
 //! during an in-flight jump raise [`SimError::Machine`] — each of these is
 //! a scheduler bug that static validation cannot see.
 //!
+//! ## Fused-block dispatch
+//!
 //! The program is predecoded once per run: empty slots are dropped, moves
-//! are split into source/write/trigger classes, and every register
-//! reference is resolved to a flat index, so the cycle loop touches only
-//! dense arrays and performs no heap allocation.
+//! are split into source/write/trigger classes, every register reference
+//! is resolved to a flat index, and the program is segmented into
+//! superblocks ([`tta_isa::BlockMap`]). The cycle loop then dispatches a
+//! superblock at a time: the fuel check, the pc bounds check and the
+//! delay-slot bookkeeping happen once per block entry, and the interior of
+//! a block runs as a tight loop over the contiguous per-class move arrays
+//! in a monomorphisation whose control arm is compiled out (`CTRL =
+//! false` in [`TtaEngine::step`]). Cycle counts, statistics and error
+//! behaviour are bit-identical to per-cycle execution; the fuel-exhaustion
+//! boundary is pinned by `tests/fuel_boundary.rs`.
 
-use crate::profile::{finish_tta, Collector, GuestProfile, NoProfile, ProfileSink};
+use crate::profile::{finish_tta, Collector, GuestProfile, NoProfile, ProfileSink, TraceSink};
 use crate::result::{SimError, SimResult, SimStats};
-use crate::state::{trace_capacity, FlatRf};
-use tta_isa::{MoveDst, MoveSrc, TtaInst, RETVAL_ADDR};
+use crate::state::FlatRf;
+use tta_isa::{BlockMap, MoveDst, MoveSrc, TtaInst, RETVAL_ADDR};
 use tta_model::{mem, FuKind, Machine, OpClass, Opcode};
 
 /// Maximum simulated cycles before declaring a runaway program.
@@ -95,7 +104,10 @@ struct DecInst {
     limm: Option<(u8, i32)>,
 }
 
-/// The whole program, predecoded into dense per-class arrays.
+/// The whole program, predecoded into dense per-class arrays. Because the
+/// per-class arrays are filled in program order, the moves of a
+/// superblock's instructions are contiguous in memory and block dispatch
+/// streams straight through them.
 struct Decoded {
     srcs: Vec<DecSrc>,
     writes: Vec<(u16, DecWrite)>,
@@ -151,7 +163,7 @@ pub fn run_tta(
     memory: Vec<u8>,
     fuel: u64,
 ) -> Result<SimResult, SimError> {
-    run_tta_inner(m, program, memory, fuel, None, &mut NoProfile)
+    run_tta_with(m, program, memory, fuel, &mut NoProfile)
 }
 
 /// Like [`run_tta`], also recording the program counter of every executed
@@ -162,9 +174,9 @@ pub fn run_tta_traced(
     memory: Vec<u8>,
     fuel: u64,
 ) -> Result<(SimResult, Vec<u32>), SimError> {
-    let mut trace = Vec::with_capacity(trace_capacity(program.len()));
-    let r = run_tta_inner(m, program, memory, fuel, Some(&mut trace), &mut NoProfile)?;
-    Ok((r, trace))
+    let mut sink = TraceSink::for_program(program.len());
+    let r = run_tta_with(m, program, memory, fuel, &mut sink)?;
+    Ok((r, sink.trace))
 }
 
 /// Like [`run_tta`], also collecting a [`GuestProfile`]. The unprofiled
@@ -177,64 +189,73 @@ pub fn run_tta_profiled(
     fuel: u64,
 ) -> Result<(SimResult, GuestProfile), SimError> {
     let mut sink = Collector::for_static(program.len());
-    let r = run_tta_inner(m, program, memory, fuel, None, &mut sink)?;
+    let r = run_tta_with(m, program, memory, fuel, &mut sink)?;
     let mut p = finish_tta(m, program, sink);
     p.cycles = r.cycles;
     Ok((r, p))
 }
 
-fn run_tta_inner<S: ProfileSink>(
-    m: &Machine,
-    program: &[TtaInst],
-    mut memory: Vec<u8>,
-    fuel: u64,
-    mut trace: Option<&mut Vec<u32>>,
-    sink: &mut S,
-) -> Result<SimResult, SimError> {
-    let mut rf = FlatRf::new(m);
-    let dec = decode(&rf, program);
-    let mut fus: Vec<FuSim> = vec![FuSim::default(); m.funits.len()];
-    let mut immregs: Vec<Option<i32>> = vec![None; m.limm.imm_regs as usize];
-    // Sampled move values of the current instruction, reused every cycle.
-    let mut values: Vec<i32> = vec![0; dec.max_moves];
-    let mut stats = SimStats::default();
-    let mut pc: u32 = 0;
-    let mut cycle: u64 = 0;
-    // (remaining delay slots, target)
-    let mut pending_jump: Option<(u32, u32)> = None;
+/// Mutable datapath state of one run, shared by every step of the block
+/// dispatch loop.
+struct TtaEngine<'a> {
+    m: &'a Machine,
+    dec: &'a Decoded,
+    fus: Vec<FuSim>,
+    /// Operations in flight across all units; lets quiet cycles skip the
+    /// completion scan entirely.
+    live_total: u32,
+    rf: FlatRf,
+    immregs: Vec<Option<i32>>,
+    /// Sampled move values of the current instruction, reused every cycle.
+    values: Vec<i32>,
+    memory: Vec<u8>,
+    stats: SimStats,
+}
 
-    loop {
-        if cycle >= fuel {
-            return Err(SimError::OutOfFuel);
-        }
-        let Some(inst) = dec.insts.get(pc as usize) else {
-            return Err(SimError::PcOutOfRange(pc));
-        };
-        stats.instructions += 1;
-        if let Some(t) = trace.as_deref_mut() {
-            t.push(pc);
-        }
+impl TtaEngine<'_> {
+    /// One architectural cycle at `pc`. With `CTRL = false` the caller
+    /// guarantees (via the block map) that the instruction carries no
+    /// control trigger, and the whole control arm is compiled out of the
+    /// monomorphisation. Returns whether the core halted.
+    #[inline(always)]
+    fn step<S: ProfileSink, const CTRL: bool>(
+        &mut self,
+        sink: &mut S,
+        pc: u32,
+        cycle: u64,
+        pending_jump: &mut Option<(u32, u32)>,
+    ) -> Result<bool, SimError> {
+        let dec = self.dec;
+        let m = self.m;
+        let inst = dec.insts[pc as usize];
+        self.stats.instructions += 1;
         sink.retire(pc);
 
         // (1) Completions.
-        for (fi, fu) in fus.iter_mut().enumerate() {
-            let mut completed = 0;
-            let mut k = 0;
-            while k < fu.live as usize {
-                if fu.pipeline[k].done == cycle {
-                    fu.result = Some(fu.pipeline[k].value);
-                    fu.live -= 1;
-                    fu.pipeline[k] = fu.pipeline[fu.live as usize];
-                    completed += 1;
-                } else {
-                    k += 1;
+        if self.live_total > 0 {
+            for (fi, fu) in self.fus.iter_mut().enumerate() {
+                if fu.live == 0 {
+                    continue;
                 }
-            }
-            if completed > 1 {
-                return Err(SimError::Machine(format!(
-                    "{} delivered {completed} results in cycle {cycle}",
-                    m.funits[fi].name
-                )));
+                let mut completed = 0;
+                let mut k = 0;
+                while k < fu.live as usize {
+                    if fu.pipeline[k].done == cycle {
+                        fu.result = Some(fu.pipeline[k].value);
+                        fu.live -= 1;
+                        self.live_total -= 1;
+                        fu.pipeline[k] = fu.pipeline[fu.live as usize];
+                        completed += 1;
+                    } else {
+                        k += 1;
+                    }
+                }
+                if completed > 1 {
+                    return Err(SimError::Machine(format!(
+                        "{} delivered {completed} results in cycle {cycle}",
+                        m.funits[fi].name
+                    )));
+                }
             }
         }
 
@@ -245,12 +266,12 @@ fn run_tta_inner<S: ProfileSink>(
         {
             let v = match *src {
                 DecSrc::Rf(i) => {
-                    stats.rf_reads += 1;
-                    rf.vals[i as usize]
+                    self.stats.rf_reads += 1;
+                    self.rf.vals[i as usize]
                 }
                 DecSrc::FuResult(f) => {
-                    stats.bypass_reads += 1;
-                    fus[f as usize].result.ok_or_else(|| {
+                    self.stats.bypass_reads += 1;
+                    self.fus[f as usize].result.ok_or_else(|| {
                         SimError::Machine(format!(
                             "read of {}'s result port before any completion (pc {pc})",
                             m.funits[f as usize].name
@@ -258,48 +279,50 @@ fn run_tta_inner<S: ProfileSink>(
                     })?
                 }
                 DecSrc::Imm(v) => v,
-                DecSrc::ImmReg(k) => immregs[k as usize].ok_or_else(|| {
+                DecSrc::ImmReg(k) => self.immregs[k as usize].ok_or_else(|| {
                     SimError::Machine(format!(
                         "read of long-immediate register {k} before any write (pc {pc})"
                     ))
                 })?,
             };
-            values[vi] = v;
-            stats.payload += 1;
+            self.values[vi] = v;
+            self.stats.payload += 1;
         }
 
         // (3) Apply operand-port and RF writes.
         for &(vi, w) in &dec.writes[inst.writes.0 as usize..inst.writes.1 as usize] {
-            let v = values[vi as usize];
+            let v = self.values[vi as usize];
             match w {
                 DecWrite::Rf(i) => {
-                    stats.rf_writes += 1;
-                    rf.vals[i as usize] = v;
+                    self.stats.rf_writes += 1;
+                    self.rf.vals[i as usize] = v;
                 }
-                DecWrite::FuOperand(f) => fus[f as usize].operand = v,
+                DecWrite::FuOperand(f) => self.fus[f as usize].operand = v,
             }
         }
 
         // (4) Triggers.
         let mut halt = false;
         for trig in &dec.trigs[inst.trigs.0 as usize..inst.trigs.1 as usize] {
-            let trig_v = values[trig.vi as usize];
+            let trig_v = self.values[trig.vi as usize];
             let op = trig.op;
-            let fu = &mut fus[trig.fu as usize];
-            let launch = |fu: &mut FuSim, value: i32| -> Result<(), SimError> {
-                if fu.live as usize == MAX_INFLIGHT {
-                    return Err(SimError::Machine(format!(
-                        "more than {MAX_INFLIGHT} in-flight results on {} (pc {pc})",
-                        m.funits[trig.fu as usize].name
-                    )));
-                }
-                fu.pipeline[fu.live as usize] = InFlight {
-                    done: cycle + op.latency() as u64,
-                    value,
+            let fu = &mut self.fus[trig.fu as usize];
+            let launch =
+                |fu: &mut FuSim, live_total: &mut u32, value: i32| -> Result<(), SimError> {
+                    if fu.live as usize == MAX_INFLIGHT {
+                        return Err(SimError::Machine(format!(
+                            "more than {MAX_INFLIGHT} in-flight results on {} (pc {pc})",
+                            m.funits[trig.fu as usize].name
+                        )));
+                    }
+                    fu.pipeline[fu.live as usize] = InFlight {
+                        done: cycle + op.latency() as u64,
+                        value,
+                    };
+                    fu.live += 1;
+                    *live_total += 1;
+                    Ok(())
                 };
-                fu.live += 1;
-                Ok(())
-            };
             match op.class() {
                 OpClass::Alu => {
                     let result = if op.num_inputs() == 1 {
@@ -307,19 +330,19 @@ fn run_tta_inner<S: ProfileSink>(
                     } else {
                         op.eval_alu(fu.operand, trig_v)
                     };
-                    launch(fu, result)?;
+                    launch(fu, &mut self.live_total, result)?;
                 }
                 OpClass::Lsu => {
                     if op.is_load() {
-                        stats.loads += 1;
-                        let v = mem::load(&memory, op, trig_v as u32)?;
-                        launch(fu, v)?;
+                        self.stats.loads += 1;
+                        let v = mem::load(&self.memory, op, trig_v as u32)?;
+                        launch(fu, &mut self.live_total, v)?;
                     } else {
-                        stats.stores += 1;
-                        mem::store(&mut memory, op, trig_v as u32, fu.operand)?;
+                        self.stats.stores += 1;
+                        mem::store(&mut self.memory, op, trig_v as u32, fu.operand)?;
                     }
                 }
-                OpClass::Ctrl => match op {
+                OpClass::Ctrl if CTRL => match op {
                     Opcode::Halt => halt = true,
                     Opcode::Jump | Opcode::CJnz | Opcode::CJz => {
                         let (taken, target) = match op {
@@ -334,39 +357,114 @@ fn run_tta_inner<S: ProfileSink>(
                                     "jump triggered during an in-flight jump (pc {pc})"
                                 )));
                             }
-                            stats.branches_taken += 1;
-                            pending_jump = Some((m.jump_delay_slots, target));
+                            self.stats.branches_taken += 1;
+                            *pending_jump = Some((m.jump_delay_slots, target));
                         }
                     }
                     _ => unreachable!(),
                 },
+                OpClass::Ctrl => unreachable!("control trigger inside a superblock interior"),
             }
         }
 
         // (5) Long immediate (visible next cycle — applied after sampling).
         if let Some((k, v)) = inst.limm {
-            stats.limms += 1;
-            immregs[k as usize] = Some(v);
+            self.stats.limms += 1;
+            self.immregs[k as usize] = Some(v);
+        }
+        Ok(halt)
+    }
+}
+
+/// The generic engine behind all public entry points: one superblock per
+/// outer-loop iteration, monomorphised over the profile sink.
+pub(crate) fn run_tta_with<S: ProfileSink>(
+    m: &Machine,
+    program: &[TtaInst],
+    memory: Vec<u8>,
+    fuel: u64,
+    sink: &mut S,
+) -> Result<SimResult, SimError> {
+    let rf = FlatRf::new(m);
+    let dec = decode(&rf, program);
+    let blocks = BlockMap::of_tta(program);
+    let mut eng = TtaEngine {
+        m,
+        dec: &dec,
+        fus: vec![FuSim::default(); m.funits.len()],
+        live_total: 0,
+        rf,
+        immregs: vec![None; m.limm.imm_regs as usize],
+        values: vec![0; dec.max_moves],
+        memory,
+        stats: SimStats::default(),
+    };
+    let mut pc: u32 = 0;
+    let mut cycle: u64 = 0;
+    // (remaining delay slots, target)
+    let mut pending_jump: Option<(u32, u32)> = None;
+
+    loop {
+        // Superblock entry: the only place fuel, the pc bound and the
+        // delay-slot budget are examined.
+        if cycle >= fuel {
+            return Err(SimError::OutOfFuel);
+        }
+        if pc as usize >= dec.insts.len() {
+            return Err(SimError::PcOutOfRange(pc));
+        }
+        let full = blocks.run_len(pc) as u64;
+        let mut len = full;
+        if let Some((k, _)) = pending_jump {
+            // k delay slots remain, then the redirect: at most k + 1 more
+            // instructions execute on the fall-through path.
+            len = len.min(k as u64 + 1);
+        }
+        len = len.min(fuel - cycle);
+        // Only the run's terminal instruction can carry control triggers,
+        // and it is part of this dispatch iff nothing clamped `len`.
+        let terminal = len == full;
+        let straight = if terminal { len - 1 } else { len };
+
+        for _ in 0..straight {
+            eng.step::<S, false>(sink, pc, cycle, &mut pending_jump)?;
+            pc += 1;
+            cycle += 1;
+        }
+        // The per-cycle engine decrements the delay-slot count at each
+        // cycle's end; batch the `straight` decrements here. A redirect
+        // inside the straight portion (straight == k + 1) can only happen
+        // when the terminal instruction was clamped away.
+        if let Some((k, target)) = pending_jump {
+            if k as u64 + 1 == straight {
+                pc = target;
+                pending_jump = None;
+            } else {
+                pending_jump = Some((k - straight as u32, target));
+            }
         }
 
-        cycle += 1;
-        if halt {
-            let ret = mem::load(&memory, Opcode::Ldw, RETVAL_ADDR)?;
-            return Ok(SimResult {
-                cycles: cycle,
-                ret,
-                memory,
-                stats,
-            });
-        }
-        // Control transfer bookkeeping.
-        match pending_jump.take() {
-            Some((0, target)) => pc = target,
-            Some((n, target)) => {
-                pending_jump = Some((n - 1, target));
-                pc += 1;
+        if terminal {
+            let halt = eng.step::<S, true>(sink, pc, cycle, &mut pending_jump)?;
+            cycle += 1;
+            if halt {
+                let ret = mem::load(&eng.memory, Opcode::Ldw, RETVAL_ADDR)?;
+                return Ok(SimResult {
+                    cycles: cycle,
+                    ret,
+                    memory: eng.memory,
+                    stats: eng.stats,
+                });
             }
-            None => pc += 1,
+            // Control transfer bookkeeping for the terminal cycle.
+            match pending_jump.take() {
+                Some((0, target)) => pc = target,
+                Some((n, target)) => {
+                    pending_jump = Some((n - 1, target));
+                    pc += 1;
+                }
+                None => pc += 1,
+            }
         }
     }
 }

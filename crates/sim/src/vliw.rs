@@ -13,12 +13,17 @@
 //! Bundles are predecoded once per run — empty and `LimmCont` slots are
 //! dropped and register references resolved to flat indices — and the
 //! per-cycle write-port counters live in a reusable buffer, so the cycle
-//! loop performs no heap allocation.
+//! loop performs no heap allocation. Dispatch is fused-block: the outer
+//! loop walks one superblock per iteration, so the fuel check, the pc
+//! bounds check and the delay-slot bookkeeping run once per block and the
+//! interior bundles execute in a monomorphisation without the control arm
+//! (see `crate::tta` for the dispatch-loop invariants — both engines share
+//! the same structure).
 
-use crate::profile::{finish_vliw, Collector, GuestProfile, NoProfile, ProfileSink};
+use crate::profile::{finish_vliw, Collector, GuestProfile, NoProfile, ProfileSink, TraceSink};
 use crate::result::{SimError, SimResult, SimStats};
-use crate::state::{trace_capacity, DecOpSrc, FlatRf, NO_DST};
-use tta_isa::{Operation, VliwBundle, VliwSlot, RETVAL_ADDR};
+use crate::state::{DecOpSrc, FlatRf, NO_DST};
+use tta_isa::{BlockMap, Operation, VliwBundle, VliwSlot, RETVAL_ADDR};
 use tta_model::{mem, Machine, OpClass, Opcode};
 
 /// Maximum simulated cycles before declaring a runaway program.
@@ -96,7 +101,7 @@ pub fn run_vliw(
     memory: Vec<u8>,
     fuel: u64,
 ) -> Result<SimResult, SimError> {
-    run_vliw_inner(m, program, memory, fuel, None, &mut NoProfile)
+    run_vliw_with(m, program, memory, fuel, &mut NoProfile)
 }
 
 /// Like [`run_vliw`], also recording the program counter of every executed
@@ -107,9 +112,9 @@ pub fn run_vliw_traced(
     memory: Vec<u8>,
     fuel: u64,
 ) -> Result<(SimResult, Vec<u32>), SimError> {
-    let mut trace = Vec::with_capacity(trace_capacity(program.len()));
-    let r = run_vliw_inner(m, program, memory, fuel, Some(&mut trace), &mut NoProfile)?;
-    Ok((r, trace))
+    let mut sink = TraceSink::for_program(program.len());
+    let r = run_vliw_with(m, program, memory, fuel, &mut sink)?;
+    Ok((r, sink.trace))
 }
 
 /// Like [`run_vliw`], also collecting a [`GuestProfile`]. The unprofiled
@@ -122,52 +127,53 @@ pub fn run_vliw_profiled(
     fuel: u64,
 ) -> Result<(SimResult, GuestProfile), SimError> {
     let mut sink = Collector::with_write_hist(m, program.len());
-    let r = run_vliw_inner(m, program, memory, fuel, None, &mut sink)?;
+    let r = run_vliw_with(m, program, memory, fuel, &mut sink)?;
     let mut p = finish_vliw(m, program, sink);
     p.cycles = r.cycles;
     Ok((r, p))
 }
 
-fn run_vliw_inner<S: ProfileSink>(
-    m: &Machine,
-    program: &[VliwBundle],
-    mut memory: Vec<u8>,
-    fuel: u64,
-    mut trace: Option<&mut Vec<u32>>,
-    sink: &mut S,
-) -> Result<SimResult, SimError> {
-    let mut rf = FlatRf::new(m);
-    let (dec_slots, dec_bundles) = decode(&rf, program);
-    let mut stats = SimStats::default();
-    let mut pending: Vec<Writeback> = Vec::new();
-    // Per-cycle write-port usage, reused across cycles.
-    let mut writes_per_rf = vec![0u32; m.rfs.len()];
-    let mut pc: u32 = 0;
-    let mut cycle: u64 = 0;
-    let mut pending_jump: Option<(u32, u32)> = None;
+/// Mutable datapath state of one run, shared by every step of the block
+/// dispatch loop.
+struct VliwEngine<'a> {
+    m: &'a Machine,
+    dec_slots: &'a [DecSlot],
+    dec_bundles: &'a [DecBundle],
+    rf: FlatRf,
+    pending: Vec<Writeback>,
+    /// Per-cycle write-port usage, reused across cycles.
+    writes_per_rf: Vec<u32>,
+    memory: Vec<u8>,
+    stats: SimStats,
+}
 
-    loop {
-        if cycle >= fuel {
-            return Err(SimError::OutOfFuel);
-        }
-        let Some(bundle) = dec_bundles.get(pc as usize) else {
-            return Err(SimError::PcOutOfRange(pc));
-        };
-        stats.instructions += 1;
-        if let Some(t) = trace.as_deref_mut() {
-            t.push(pc);
-        }
+impl VliwEngine<'_> {
+    /// One architectural cycle at `pc`. With `CTRL = false` the caller
+    /// guarantees (via the block map) that the bundle issues no control
+    /// operation, and the control arm is compiled out of the
+    /// monomorphisation. Returns whether the core halted.
+    #[inline(always)]
+    fn step<S: ProfileSink, const CTRL: bool>(
+        &mut self,
+        sink: &mut S,
+        pc: u32,
+        cycle: u64,
+        pending_jump: &mut Option<(u32, u32)>,
+    ) -> Result<bool, SimError> {
+        let m = self.m;
+        let bundle = self.dec_bundles[pc as usize];
+        self.stats.instructions += 1;
         sink.retire(pc);
 
         // Execute slots (reads all happen against the pre-cycle RF state:
         // writebacks apply at end of cycle).
         let mut halt = false;
-        for slot in &dec_slots[bundle.slots.0 as usize..bundle.slots.1 as usize] {
+        for slot in &self.dec_slots[bundle.slots.0 as usize..bundle.slots.1 as usize] {
             match *slot {
                 DecSlot::Limm { dst, dst_rf, value } => {
-                    stats.payload += 1;
-                    stats.limms += 1;
-                    pending.push(Writeback {
+                    self.stats.payload += 1;
+                    self.stats.limms += 1;
+                    self.pending.push(Writeback {
                         due: cycle + 1,
                         flat: dst,
                         rf: dst_rf,
@@ -181,20 +187,20 @@ fn run_vliw_inner<S: ProfileSink>(
                     dst,
                     dst_rf,
                 } => {
-                    stats.payload += 1;
+                    self.stats.payload += 1;
                     let va = match a {
                         DecOpSrc::None => None,
                         DecOpSrc::Reg(i) => {
-                            stats.rf_reads += 1;
-                            Some(rf.vals[i as usize])
+                            self.stats.rf_reads += 1;
+                            Some(self.rf.vals[i as usize])
                         }
                         DecOpSrc::Imm(v) => Some(v),
                     };
                     let vb = match b {
                         DecOpSrc::None => None,
                         DecOpSrc::Reg(i) => {
-                            stats.rf_reads += 1;
-                            Some(rf.vals[i as usize])
+                            self.stats.rf_reads += 1;
+                            Some(self.rf.vals[i as usize])
                         }
                         DecOpSrc::Imm(v) => Some(v),
                     };
@@ -206,7 +212,7 @@ fn run_vliw_inner<S: ProfileSink>(
                                 op.eval_alu(va.unwrap(), vb.unwrap())
                             };
                             assert!(dst != NO_DST, "ALU op writes a register");
-                            pending.push(Writeback {
+                            self.pending.push(Writeback {
                                 due: cycle + op.latency() as u64,
                                 flat: dst,
                                 rf: dst_rf,
@@ -215,21 +221,21 @@ fn run_vliw_inner<S: ProfileSink>(
                         }
                         OpClass::Lsu => {
                             if op.is_load() {
-                                stats.loads += 1;
-                                let v = mem::load(&memory, op, vb.unwrap() as u32)?;
+                                self.stats.loads += 1;
+                                let v = mem::load(&self.memory, op, vb.unwrap() as u32)?;
                                 assert!(dst != NO_DST, "load writes a register");
-                                pending.push(Writeback {
+                                self.pending.push(Writeback {
                                     due: cycle + op.latency() as u64,
                                     flat: dst,
                                     rf: dst_rf,
                                     value: v,
                                 });
                             } else {
-                                stats.stores += 1;
-                                mem::store(&mut memory, op, vb.unwrap() as u32, va.unwrap())?;
+                                self.stats.stores += 1;
+                                mem::store(&mut self.memory, op, vb.unwrap() as u32, va.unwrap())?;
                             }
                         }
-                        OpClass::Ctrl => match op {
+                        OpClass::Ctrl if CTRL => match op {
                             Opcode::Halt => halt = true,
                             Opcode::Jump | Opcode::CJnz | Opcode::CJz => {
                                 let (taken, target) = match op {
@@ -244,31 +250,36 @@ fn run_vliw_inner<S: ProfileSink>(
                                             "jump during in-flight jump (pc {pc})"
                                         )));
                                     }
-                                    stats.branches_taken += 1;
-                                    pending_jump = Some((m.jump_delay_slots, target));
+                                    self.stats.branches_taken += 1;
+                                    *pending_jump = Some((m.jump_delay_slots, target));
                                 }
                             }
                             _ => unreachable!(),
                         },
+                        OpClass::Ctrl => {
+                            unreachable!("control operation inside a superblock interior")
+                        }
                     }
                 }
             }
         }
 
-        // End of cycle: apply due writebacks, checking port budgets.
-        writes_per_rf.fill(0);
+        // End of cycle: apply due writebacks, checking port budgets. This
+        // stays per-cycle even inside a block — the writeback queue and
+        // the write-pressure histogram are cycle-granular by contract.
+        self.writes_per_rf.fill(0);
         let mut k = 0;
-        while k < pending.len() {
-            if pending[k].due == cycle {
-                let wb = pending.swap_remove(k);
-                writes_per_rf[wb.rf as usize] += 1;
-                stats.rf_writes += 1;
-                rf.vals[wb.flat as usize] = wb.value;
+        while k < self.pending.len() {
+            if self.pending[k].due == cycle {
+                let wb = self.pending.swap_remove(k);
+                self.writes_per_rf[wb.rf as usize] += 1;
+                self.stats.rf_writes += 1;
+                self.rf.vals[wb.flat as usize] = wb.value;
             } else {
                 k += 1;
             }
         }
-        for (ri, &n) in writes_per_rf.iter().enumerate() {
+        for (ri, &n) in self.writes_per_rf.iter().enumerate() {
             if n > m.rfs[ri].write_ports as u32 {
                 return Err(SimError::Machine(format!(
                     "{n} writebacks to {} in cycle {cycle} but only {} ports",
@@ -276,25 +287,98 @@ fn run_vliw_inner<S: ProfileSink>(
                 )));
             }
         }
-        sink.writeback_pressure(&writes_per_rf);
+        sink.writeback_pressure(&self.writes_per_rf);
+        Ok(halt)
+    }
+}
 
-        cycle += 1;
-        if halt {
-            let ret = mem::load(&memory, Opcode::Ldw, RETVAL_ADDR)?;
-            return Ok(SimResult {
-                cycles: cycle,
-                ret,
-                memory,
-                stats,
-            });
+/// The generic engine behind all public entry points: one superblock per
+/// outer-loop iteration, monomorphised over the profile sink. The dispatch
+/// structure and its invariants mirror `crate::tta::run_tta_with`.
+pub(crate) fn run_vliw_with<S: ProfileSink>(
+    m: &Machine,
+    program: &[VliwBundle],
+    memory: Vec<u8>,
+    fuel: u64,
+    sink: &mut S,
+) -> Result<SimResult, SimError> {
+    let rf = FlatRf::new(m);
+    let (dec_slots, dec_bundles) = decode(&rf, program);
+    let blocks = BlockMap::of_vliw(program);
+    let mut eng = VliwEngine {
+        m,
+        dec_slots: &dec_slots,
+        dec_bundles: &dec_bundles,
+        rf,
+        pending: Vec::new(),
+        writes_per_rf: vec![0u32; m.rfs.len()],
+        memory,
+        stats: SimStats::default(),
+    };
+    let mut pc: u32 = 0;
+    let mut cycle: u64 = 0;
+    // (remaining delay slots, target)
+    let mut pending_jump: Option<(u32, u32)> = None;
+
+    loop {
+        // Superblock entry: the only place fuel, the pc bound and the
+        // delay-slot budget are examined.
+        if cycle >= fuel {
+            return Err(SimError::OutOfFuel);
         }
-        match pending_jump.take() {
-            Some((0, target)) => pc = target,
-            Some((n, target)) => {
-                pending_jump = Some((n - 1, target));
-                pc += 1;
+        if pc as usize >= eng.dec_bundles.len() {
+            return Err(SimError::PcOutOfRange(pc));
+        }
+        let full = blocks.run_len(pc) as u64;
+        let mut len = full;
+        if let Some((k, _)) = pending_jump {
+            // k delay slots remain, then the redirect: at most k + 1 more
+            // bundles execute on the fall-through path.
+            len = len.min(k as u64 + 1);
+        }
+        len = len.min(fuel - cycle);
+        // Only the run's terminal bundle can issue control operations,
+        // and it is part of this dispatch iff nothing clamped `len`.
+        let terminal = len == full;
+        let straight = if terminal { len - 1 } else { len };
+
+        for _ in 0..straight {
+            eng.step::<S, false>(sink, pc, cycle, &mut pending_jump)?;
+            pc += 1;
+            cycle += 1;
+        }
+        // Batch the per-cycle delay-slot decrements of the straight
+        // portion; a redirect inside it only happens when the terminal
+        // bundle was clamped away.
+        if let Some((k, target)) = pending_jump {
+            if k as u64 + 1 == straight {
+                pc = target;
+                pending_jump = None;
+            } else {
+                pending_jump = Some((k - straight as u32, target));
             }
-            None => pc += 1,
+        }
+
+        if terminal {
+            let halt = eng.step::<S, true>(sink, pc, cycle, &mut pending_jump)?;
+            cycle += 1;
+            if halt {
+                let ret = mem::load(&eng.memory, Opcode::Ldw, RETVAL_ADDR)?;
+                return Ok(SimResult {
+                    cycles: cycle,
+                    ret,
+                    memory: eng.memory,
+                    stats: eng.stats,
+                });
+            }
+            match pending_jump.take() {
+                Some((0, target)) => pc = target,
+                Some((n, target)) => {
+                    pending_jump = Some((n - 1, target));
+                    pc += 1;
+                }
+                None => pc += 1,
+            }
         }
     }
 }

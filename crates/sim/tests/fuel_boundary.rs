@@ -1,0 +1,123 @@
+//! Fuel-exhaustion boundary semantics under fused-block dispatch.
+//!
+//! The engines check fuel once per superblock entry and clamp the block's
+//! dispatch length to the remaining budget, so a program exhausting fuel
+//! *mid-superblock* must behave exactly like the per-cycle reference: for
+//! every budget below the program's exact cost the run fails with
+//! [`SimError::OutOfFuel`], and at or above it the result is identical to
+//! the unconstrained run — on all three styles. The sweep is exhaustive
+//! over every fuel value up to the boundary, so every possible mid-block
+//! cut point (including inside jump delay-slot windows) is exercised.
+
+use tta_compiler::compile;
+use tta_ir::builder::{FunctionBuilder, ModuleBuilder};
+use tta_ir::Module;
+use tta_model::{presets, Machine};
+use tta_sim::{SimError, SimResult};
+
+/// A small looping kernel: two dependent loops with stores and loads, so
+/// the compiled programs have several superblocks, taken and fall-through
+/// branches, and (on the TTA/VLIW machines) delay slots in play.
+fn loop_module() -> Module {
+    let mut mb = ModuleBuilder::new("fuelloop");
+    let buf = mb.buffer(64);
+    let mut fb = FunctionBuilder::new("main", 0, true);
+    let i = fb.copy(0);
+    let acc = fb.copy(0);
+    let head = fb.new_block();
+    let body = fb.new_block();
+    let exit = fb.new_block();
+    fb.jump(head);
+    fb.switch_to(head);
+    let c = fb.lt(i, 9);
+    fb.branch(c, body, exit);
+    fb.switch_to(body);
+    let sq = fb.mul(i, i);
+    let off = fb.shl(i, 2);
+    let addr = fb.add(off, buf.base());
+    fb.stw(sq, addr, buf.region);
+    let back = fb.ldw(addr, buf.region);
+    let acc2 = fb.add(acc, back);
+    fb.copy_to(acc, acc2);
+    let i2 = fb.add(i, 1);
+    fb.copy_to(i, i2);
+    fb.jump(head);
+    fb.switch_to(exit);
+    fb.ret(acc);
+    let id = mb.add(fb.finish());
+    mb.set_entry(id);
+    mb.finish()
+}
+
+fn assert_same(a: &SimResult, b: &SimResult, what: &str) {
+    assert_eq!(a.cycles, b.cycles, "{what}: cycles");
+    assert_eq!(a.ret, b.ret, "{what}: return value");
+    assert_eq!(a.stats, b.stats, "{what}: stats");
+    assert_eq!(a.memory, b.memory, "{what}: memory image");
+}
+
+/// The exact fuel boundary of a style: the minimum budget that lets the
+/// program finish. TTA/VLIW fuel counts cycles; scalar fuel counts
+/// executed instructions.
+fn boundary(m: &Machine, full: &SimResult) -> u64 {
+    if m.scalar.is_some() {
+        full.stats.instructions
+    } else {
+        full.cycles
+    }
+}
+
+fn sweep(machine: &Machine) {
+    let module = loop_module();
+    let compiled =
+        compile(&module, machine).unwrap_or_else(|e| panic!("compile on {}: {e}", machine.name));
+    let run = |fuel: u64| {
+        tta_sim::run_with_fuel(machine, &compiled.program, module.initial_memory(), fuel)
+    };
+
+    let full =
+        run(tta_sim::DEFAULT_FUEL).unwrap_or_else(|e| panic!("full run on {}: {e}", machine.name));
+    let b = boundary(machine, &full);
+    // Keep the exhaustive sweep meaningful and cheap: the kernel must loop
+    // enough to cross many block boundaries but stay small.
+    assert!(
+        (50..5000).contains(&b),
+        "{}: boundary {b} outside the expected window",
+        machine.name
+    );
+
+    // Below the boundary: out of fuel at every possible cut point,
+    // including mid-superblock and inside delay-slot windows.
+    for fuel in 0..b {
+        match run(fuel) {
+            Err(SimError::OutOfFuel) => {}
+            other => panic!(
+                "{}: fuel {fuel} of {b} should exhaust, got {other:?}",
+                machine.name
+            ),
+        }
+    }
+    // At and above the boundary: bit-identical to the unconstrained run.
+    for fuel in b..b + 3 {
+        let r = run(fuel)
+            .unwrap_or_else(|e| panic!("{}: fuel {fuel} of {b} failed: {e}", machine.name));
+        assert_same(&r, &full, &format!("{} at fuel {fuel}", machine.name));
+    }
+}
+
+#[test]
+fn tta_fuel_boundary_is_exact() {
+    sweep(&presets::m_tta_2());
+    sweep(&presets::m_tta_1());
+}
+
+#[test]
+fn vliw_fuel_boundary_is_exact() {
+    sweep(&presets::m_vliw_2());
+}
+
+#[test]
+fn scalar_fuel_boundary_is_exact() {
+    sweep(&presets::mblaze_3());
+    sweep(&presets::mblaze_5());
+}
