@@ -1,17 +1,26 @@
-//! Micro-benchmark of the fused-block simulator dispatch: runs one hot
-//! kernel compiled for one machine of each style (TTA, VLIW, scalar) and
-//! reports superblock dispatch throughput, writing `BENCH_dispatch.json`
-//! so engine-level regressions are caught even when the full evaluation
+//! Micro-benchmark of simulator dispatch: runs every CHStone kernel
+//! compiled for one machine of each style (TTA, VLIW, scalar) and reports
+//! superblock dispatch throughput, writing `BENCH_dispatch.json` so
+//! engine-level regressions are caught even when the full evaluation
 //! pipeline hides them behind compile time.
 //!
 //! Usage: `cargo run --release -p tta-bench --bin bench_dispatch [reps] [iters]`
-//! (default 5 repetitions; each repetition simulates the kernel `iters`
+//! (default 5 repetitions; each repetition simulates every kernel `iters`
 //! times per style — default 20 — so one repetition is long enough for the
-//! CI gate's relative tolerance to be meaningful). "Blocks" are dynamic superblock entries, counted from an
-//! execution trace against the program's `BlockMap`: a block is entered at
-//! the first instruction, after every control-bearing (run-terminal)
-//! instruction, and at every pc discontinuity. `bench_report` diffs the
-//! file against the committed baseline in CI.
+//! CI gate's relative tolerance to be meaningful).
+//!
+//! "Blocks" are dynamic superblock entries, counted *once per case* from
+//! an execution trace against the program's `BlockMap` during setup — the
+//! timed region only simulates, so `blocks_per_s` measures dispatch, not
+//! tracing. A block is entered at the first instruction, after every
+//! control-bearing (run-terminal) instruction, and at every pc
+//! discontinuity.
+//!
+//! Each case carries shared compiled-tier state ([`tta_sim::Tiers`], the
+//! environment configuration) warmed by one untimed run, so the timed
+//! region measures the steady state of the configured tier: compiled
+//! superblock chains by default, pure interpretation under `TTA_JIT=0`.
+//! `bench_report` diffs the file against the committed baseline in CI.
 
 use std::time::Instant;
 
@@ -19,19 +28,18 @@ use tta_isa::BlockMap;
 use tta_model::{presets, Machine};
 use tta_obs::json::Json;
 
-const KERNEL: &str = "sha";
-
 fn round(v: f64, places: i32) -> f64 {
     let p = 10f64.powi(places);
     (v * p).round() / p
 }
 
-struct Style {
-    label: &'static str,
+struct Case {
+    kernel: &'static str,
     machine: Machine,
     program: tta_isa::Program,
     memory: Vec<u8>,
-    /// Dynamic superblock entries of one run.
+    tiers: tta_sim::Tiers,
+    /// Dynamic superblock entries of one run (counted during setup).
     blocks: u64,
     cycles: u64,
 }
@@ -55,9 +63,9 @@ fn dynamic_blocks(map: &BlockMap, trace: &[u32]) -> u64 {
     blocks
 }
 
-fn prepare(machine: Machine, module: &tta_ir::Module) -> Style {
+fn prepare(kernel: &'static str, machine: Machine, module: &tta_ir::Module) -> Case {
     let compiled = tta_compiler::compile(module, &machine)
-        .unwrap_or_else(|e| panic!("{KERNEL} on {}: {e}", machine.name));
+        .unwrap_or_else(|e| panic!("{kernel} on {}: {e}", machine.name));
     let memory = module.initial_memory();
     let (result, trace) = tta_sim::run_traced(
         &machine,
@@ -65,20 +73,28 @@ fn prepare(machine: Machine, module: &tta_ir::Module) -> Style {
         memory.clone(),
         tta_sim::DEFAULT_FUEL,
     )
-    .unwrap_or_else(|e| panic!("{KERNEL} on {}: {e}", machine.name));
+    .unwrap_or_else(|e| panic!("{kernel} on {}: {e}", machine.name));
     let map = BlockMap::of_program(&compiled.program);
-    let label = match &compiled.program {
-        tta_isa::Program::Tta(_) => "tta",
-        tta_isa::Program::Vliw(_) => "vliw",
-        tta_isa::Program::Scalar(_) => "scalar",
-    };
-    Style {
-        label,
+    // Shared tier state, warmed by one untimed run so the timed region
+    // measures steady-state dispatch (promotion is paid here).
+    let tiers = tta_sim::Tiers::for_program(&compiled.program);
+    let warm = tta_sim::run_with_tiers(
+        &machine,
+        &compiled.program,
+        memory.clone(),
+        tta_sim::DEFAULT_FUEL,
+        &tiers,
+    )
+    .unwrap_or_else(|e| panic!("{kernel} on {}: {e}", machine.name));
+    assert_eq!(warm.cycles, result.cycles, "tiered warm-up diverged");
+    Case {
+        kernel,
         machine,
         blocks: dynamic_blocks(&map, &trace),
         cycles: result.cycles,
         program: compiled.program,
         memory,
+        tiers,
     }
 }
 
@@ -88,28 +104,49 @@ fn main() {
     let reps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
     let iters: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(20);
 
-    let kernel = tta_chstone::by_name(KERNEL).expect("hot kernel exists");
-    let module = (kernel.build)();
-    let styles: Vec<Style> = [presets::m_tta_2(), presets::m_vliw_2(), presets::mblaze_3()]
-        .into_iter()
-        .map(|m| prepare(m, &module))
-        .collect();
+    let kernels = tta_chstone::all_kernels();
+    let machines = [presets::m_tta_2(), presets::m_vliw_2(), presets::mblaze_3()];
+    let styles = ["tta", "vliw", "scalar"];
+    let mut cases: Vec<Case> = Vec::new();
+    for kernel in &kernels {
+        let module = (kernel.build)();
+        for m in &machines {
+            cases.push(prepare(kernel.name, m.clone(), &module));
+        }
+    }
 
-    // Per-style minimum wall-clock across reps (one simulation per rep).
+    // Wall-clock per rep: grand total plus per-style and per-kernel
+    // slices (each minimised across reps independently).
     let mut per_style_min = vec![f64::INFINITY; styles.len()];
+    let mut per_kernel_min = vec![f64::INFINITY; kernels.len()];
     let mut totals_s: Vec<f64> = Vec::with_capacity(reps);
     for _ in 0..reps {
         let mut total = 0.0;
-        for (si, s) in styles.iter().enumerate() {
+        let mut style_s = vec![0.0; styles.len()];
+        let mut kernel_s = vec![0.0; kernels.len()];
+        for (ci, c) in cases.iter().enumerate() {
             let t = Instant::now();
             for _ in 0..iters {
-                let r = tta_sim::run(&s.machine, &s.program, s.memory.clone());
+                let r = tta_sim::run_with_tiers(
+                    &c.machine,
+                    &c.program,
+                    c.memory.clone(),
+                    tta_sim::DEFAULT_FUEL,
+                    &c.tiers,
+                );
                 std::hint::black_box(&r);
-                r.unwrap_or_else(|e| panic!("{KERNEL} on {}: {e}", s.machine.name));
+                r.unwrap_or_else(|e| panic!("{} on {}: {e}", c.kernel, c.machine.name));
             }
             let dt = t.elapsed().as_secs_f64();
-            per_style_min[si] = per_style_min[si].min(dt);
+            style_s[ci % styles.len()] += dt;
+            kernel_s[ci / styles.len()] += dt;
             total += dt;
+        }
+        for (si, s) in style_s.iter().enumerate() {
+            per_style_min[si] = per_style_min[si].min(*s);
+        }
+        for (ki, k) in kernel_s.iter().enumerate() {
+            per_kernel_min[ki] = per_kernel_min[ki].min(*k);
         }
         totals_s.push(total);
     }
@@ -117,36 +154,70 @@ fn main() {
     let min = totals_s[0];
     let median = totals_s[totals_s.len() / 2];
 
-    // Per-repetition totals: each rep simulates every style `iters` times.
-    let blocks: u64 = styles.iter().map(|s| s.blocks).sum::<u64>() * iters;
-    let cycles: u64 = styles.iter().map(|s| s.cycles).sum::<u64>() * iters;
+    // Per-repetition totals: each rep simulates every case `iters` times.
+    let blocks: u64 = cases.iter().map(|c| c.blocks).sum::<u64>() * iters;
+    let cycles: u64 = cases.iter().map(|c| c.cycles).sum::<u64>() * iters;
+
     let style_fields: Vec<(String, Json)> = styles
         .iter()
-        .zip(&per_style_min)
-        .map(|(s, &m)| {
+        .enumerate()
+        .map(|(si, &label)| {
+            let scases: Vec<&Case> = cases.iter().skip(si).step_by(styles.len()).collect();
+            let scycles: u64 = scases.iter().map(|c| c.cycles).sum();
+            let sblocks: u64 = scases.iter().map(|c| c.blocks).sum();
+            let m = per_style_min[si];
             (
-                s.label.to_string(),
+                label.to_string(),
                 Json::Obj(vec![
-                    ("machine".into(), Json::Str(s.machine.name.clone())),
-                    ("cycles".into(), Json::Num(s.cycles as f64)),
-                    ("blocks".into(), Json::Num(s.blocks as f64)),
+                    ("machine".into(), Json::Str(scases[0].machine.name.clone())),
+                    ("cycles".into(), Json::Num(scycles as f64)),
+                    ("blocks".into(), Json::Num(sblocks as f64)),
                     ("wall_s_min".into(), Json::Num(round(m, 6))),
                     (
                         "blocks_per_s".into(),
-                        Json::Num(round(s.blocks as f64 * iters as f64 / m, 0)),
+                        Json::Num(round(sblocks as f64 * iters as f64 / m, 0)),
+                    ),
+                    (
+                        "sim_cycles_per_s".into(),
+                        Json::Num(round(scycles as f64 * iters as f64 / m, 0)),
                     ),
                 ]),
             )
         })
         .collect();
 
+    let kernel_fields: Vec<(String, Json)> = kernels
+        .iter()
+        .enumerate()
+        .map(|(ki, kernel)| {
+            let kcases = &cases[ki * styles.len()..(ki + 1) * styles.len()];
+            let kcycles: u64 = kcases.iter().map(|c| c.cycles).sum();
+            let kblocks: u64 = kcases.iter().map(|c| c.blocks).sum();
+            let m = per_kernel_min[ki];
+            (
+                kernel.name.to_string(),
+                Json::Obj(vec![
+                    ("cycles".into(), Json::Num(kcycles as f64)),
+                    ("blocks".into(), Json::Num(kblocks as f64)),
+                    ("wall_s_min".into(), Json::Num(round(m, 6))),
+                    (
+                        "sim_cycles_per_s".into(),
+                        Json::Num(round(kcycles as f64 * iters as f64 / m, 0)),
+                    ),
+                ]),
+            )
+        })
+        .collect();
+
+    let compiled_blocks: u64 = cases.iter().map(|c| c.tiers.compiled_blocks() as u64).sum();
     let json = Json::Obj(vec![
         ("bench".into(), Json::Str("dispatch".into())),
-        ("kernel".into(), Json::Str(KERNEL.into())),
-        ("machines".into(), Json::Num(styles.len() as f64)),
-        ("kernels".into(), Json::Num(1.0)),
+        ("machines".into(), Json::Num(machines.len() as f64)),
+        ("kernels".into(), Json::Num(kernels.len() as f64)),
         ("reps".into(), Json::Num(reps as f64)),
         ("iters".into(), Json::Num(iters as f64)),
+        ("jit_enabled".into(), Json::Bool(cases[0].tiers.enabled())),
+        ("compiled_blocks".into(), Json::Num(compiled_blocks as f64)),
         ("wall_s_min".into(), Json::Num(round(min, 6))),
         ("wall_s_median".into(), Json::Num(round(median, 6))),
         ("blocks".into(), Json::Num(blocks as f64)),
@@ -160,12 +231,13 @@ fn main() {
             Json::Num(round(cycles as f64 / min, 0)),
         ),
         ("styles".into(), Json::Obj(style_fields)),
+        ("per_kernel".into(), Json::Obj(kernel_fields)),
         ("obs".into(), tta_bench::harness::obs_report_json()),
     ]);
     let text = json.to_pretty();
     std::fs::write("BENCH_dispatch.json", &text).expect("write BENCH_dispatch.json");
     print!("{text}");
     eprintln!(
-        "wrote BENCH_dispatch.json ({blocks} blocks/run, min {min:.4}s, median {median:.4}s)"
+        "wrote BENCH_dispatch.json ({blocks} blocks/rep, min {min:.4}s, median {median:.4}s)"
     );
 }

@@ -179,14 +179,17 @@ fn compile_cache() -> &'static Mutex<CompileCache> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-/// (machine-`Debug` hash, IR-text hash) → shared compile artefact.
-type CompileCache = HashMap<(u64, u64), Arc<Compiled>>;
+/// (machine-`Debug` hash, IR-text hash) → shared compile artefact plus the
+/// program's compiled-tier state, so superblocks promoted by the first
+/// simulation of a pair are reused by every repetition (promotion is
+/// lock-free, so the shared table is safe across worker threads).
+type CompileCache = HashMap<(u64, u64), (Arc<Compiled>, Arc<tta_sim::Tiers>)>;
 
 /// Compile through the content-keyed cache. The hit path still charges a
 /// (tiny) `compile` span so stage accounting always reflects the stage
 /// that ran; misses are charged in full by `compile` itself. Hit/miss
 /// totals land on the `eval.compile_cache.{hits,misses}` counters.
-fn compile_cached(p: &PreparedKernel, machine: &Machine) -> Arc<Compiled> {
+fn compile_cached(p: &PreparedKernel, machine: &Machine) -> (Arc<Compiled>, Arc<tta_sim::Tiers>) {
     let cache = compile_cache();
     let key;
     {
@@ -202,19 +205,27 @@ fn compile_cached(p: &PreparedKernel, machine: &Machine) -> Arc<Compiled> {
         compile(&p.module, machine)
             .unwrap_or_else(|e| panic!("{} on {}: {e}", p.name, machine.name)),
     );
+    let tiers = Arc::new(tta_sim::Tiers::for_program(&compiled.program));
     // A racing worker may have inserted the same key; either value is
     // equivalent (same content), so last-write-wins is fine.
-    cache.lock().unwrap().insert(key, compiled.clone());
-    compiled
+    let entry = (compiled, tiers);
+    cache.lock().unwrap().insert(key, entry.clone());
+    entry
 }
 
 /// Compile + simulate one prepared kernel on one machine and verify the
 /// result against the golden model. The compiler and simulator charge
 /// their own `compile`/`simulate` spans under this thread's ambient span.
 fn run_prepared(p: &PreparedKernel, machine: &Machine) -> KernelRun {
-    let compiled = compile_cached(p, machine);
-    let result = tta_sim::run(machine, &compiled.program, p.module.initial_memory())
-        .unwrap_or_else(|e| panic!("{} on {}: {e}", p.name, machine.name));
+    let (compiled, tiers) = compile_cached(p, machine);
+    let result = tta_sim::run_with_tiers(
+        machine,
+        &compiled.program,
+        p.module.initial_memory(),
+        tta_sim::DEFAULT_FUEL,
+        &tiers,
+    )
+    .unwrap_or_else(|e| panic!("{} on {}: {e}", p.name, machine.name));
     {
         let _s = obs::span("verify_estimate");
         // Guard the evaluation numbers with the golden model.

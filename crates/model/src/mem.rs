@@ -33,6 +33,7 @@ impl std::fmt::Display for MemError {
 impl std::error::Error for MemError {}
 
 /// Access width in bytes for a memory opcode.
+#[inline]
 pub fn access_width(op: Opcode) -> u32 {
     match op {
         Opcode::Ldw | Opcode::Stw => 4,
@@ -42,6 +43,7 @@ pub fn access_width(op: Opcode) -> u32 {
     }
 }
 
+#[inline]
 fn check(mem: &[u8], addr: u32, width: u32, store: bool) -> Result<usize, MemError> {
     let a = addr as usize;
     if !a.is_multiple_of(width as usize)
@@ -58,6 +60,7 @@ fn check(mem: &[u8], addr: u32, width: u32, store: bool) -> Result<usize, MemErr
 }
 
 /// Perform a load per the opcode's width/extension semantics.
+#[inline]
 pub fn load(mem: &[u8], op: Opcode, addr: u32) -> Result<i32, MemError> {
     let w = access_width(op);
     let a = check(mem, addr, w, false)?;
@@ -73,6 +76,7 @@ pub fn load(mem: &[u8], op: Opcode, addr: u32) -> Result<i32, MemError> {
 }
 
 /// Perform a store per the opcode's width semantics (the value is truncated).
+#[inline]
 pub fn store(mem: &mut [u8], op: Opcode, addr: u32, value: i32) -> Result<(), MemError> {
     let w = access_width(op);
     let a = check(mem, addr, w, true)?;

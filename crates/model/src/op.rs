@@ -179,6 +179,7 @@ impl Opcode {
     }
 
     /// The functional class of this operation.
+    #[inline]
     pub fn class(self) -> OpClass {
         match self {
             Opcode::Add
@@ -211,6 +212,7 @@ impl Opcode {
     /// cycle `t` has its result available at cycle `t + latency()`. Stores
     /// have latency 0: the memory write happens immediately and there is no
     /// result.
+    #[inline]
     pub fn latency(self) -> u32 {
         match self {
             Opcode::Mul => 3,
@@ -227,6 +229,7 @@ impl Opcode {
 
     /// Number of data inputs (1 or 2). For stores the two inputs are
     /// (address, value); for conditional jumps (target, condition).
+    #[inline]
     pub fn num_inputs(self) -> usize {
         match self {
             Opcode::Sxhw | Opcode::Sxqw => 1,
@@ -251,6 +254,7 @@ impl Opcode {
     }
 
     /// Whether this is a memory load.
+    #[inline]
     pub fn is_load(self) -> bool {
         matches!(
             self,
@@ -290,6 +294,7 @@ impl Opcode {
     /// # Panics
     ///
     /// Panics if called with a memory or control opcode.
+    #[inline]
     pub fn eval_alu(self, a: i32, b: i32) -> i32 {
         match self {
             Opcode::Add => a.wrapping_add(b),

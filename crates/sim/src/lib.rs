@@ -14,11 +14,14 @@ pub mod profile;
 pub mod result;
 pub mod scalar;
 mod state;
+pub mod tier;
 pub mod tta;
 pub mod vliw;
 
 pub use profile::{static_activity, CycleActivity, FuProfile, GuestProfile, RfProfile};
 pub use result::{SimError, SimResult, SimStats};
+pub use tier::{run_with_tiers, Tiers};
+pub use tta_isa::TierConfig;
 
 use tta_isa::Program;
 use tta_model::Machine;

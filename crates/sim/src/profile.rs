@@ -39,6 +39,11 @@ use tta_model::{CoreStyle, Machine};
 /// Per-cycle hooks the simulator cycle loops invoke. Crate-private: the
 /// public surface is the `run_*_profiled` entry points.
 pub(crate) trait ProfileSink {
+    /// Whether every hook is a no-op. Only a passive sink permits the
+    /// compiled superblock tier (see `crate::tier`): compiled blocks
+    /// batch their bookkeeping and never call `retire`, which would
+    /// corrupt a trace or profile. `NoProfile` is the only passive sink.
+    const PASSIVE: bool;
     /// One instruction/bundle at `pc` entered execution this cycle.
     fn retire(&mut self, pc: u32);
     /// RF write-port usage of the cycle that just completed (VLIW only;
@@ -52,6 +57,7 @@ pub(crate) trait ProfileSink {
 pub(crate) struct NoProfile;
 
 impl ProfileSink for NoProfile {
+    const PASSIVE: bool = true;
     #[inline(always)]
     fn retire(&mut self, _pc: u32) {}
     #[inline(always)]
@@ -78,6 +84,7 @@ impl TraceSink {
 }
 
 impl ProfileSink for TraceSink {
+    const PASSIVE: bool = false;
     #[inline]
     fn retire(&mut self, pc: u32) {
         self.trace.push(pc);
@@ -119,6 +126,7 @@ impl Collector {
 }
 
 impl ProfileSink for Collector {
+    const PASSIVE: bool = false;
     #[inline]
     fn retire(&mut self, pc: u32) {
         self.pc_counts[pc as usize] += 1;

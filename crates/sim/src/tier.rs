@@ -1,0 +1,143 @@
+//! Shared compiled-tier state: one promotion table per program.
+//!
+//! [`Tiers`] bundles a style-matched [`TierTable`] (TTA, VLIW or scalar)
+//! for one program, so the compiled blocks a run promotes are reused by
+//! every later run through [`crate::run_with_tiers`] — the steady state
+//! the evaluation pipeline and the dispatch benchmark run in. The
+//! default [`crate::run`] entry points build a fresh per-run table from
+//! the environment configuration instead, which keeps them dependency-
+//! free but re-pays promotion each run.
+//!
+//! The promotion-threshold invariant (`tta_isa::tier`) holds across
+//! shared tables too: a block promoted by run N executes compiled in run
+//! N+1 with bit-identical results — `tests/tier_transitions.rs` pins
+//! this boundary.
+
+use crate::result::{SimError, SimResult};
+use tta_isa::{Program, TierConfig, TierTable};
+use tta_model::Machine;
+
+/// Per-program compiled-tier state, shareable across runs (and across
+/// threads — promotion is lock-free and promote-once).
+pub struct Tiers {
+    pub(crate) style: StyleTiers,
+    pub(crate) program_len: usize,
+}
+
+pub(crate) enum StyleTiers {
+    /// Compiled tier disabled: every run stays interpreted.
+    Off,
+    Tta(crate::tta::TtaTiers),
+    Vliw(crate::vliw::VliwTiers),
+    Scalar(TierTable<crate::scalar::ScalarBlockFn>),
+}
+
+impl Tiers {
+    /// Tier state for `program` using the environment configuration
+    /// (`TTA_JIT`, `TTA_JIT_THRESHOLD`).
+    pub fn for_program(program: &Program) -> Tiers {
+        Self::with_config(program, &TierConfig::from_env())
+    }
+
+    /// Tier state for `program` with an explicit configuration.
+    pub fn with_config(program: &Program, cfg: &TierConfig) -> Tiers {
+        let program_len = program.len();
+        let style = if !cfg.enabled {
+            StyleTiers::Off
+        } else {
+            match program {
+                Program::Tta(_) => {
+                    StyleTiers::Tta(crate::tta::TtaTiers::new(program_len, cfg.threshold))
+                }
+                Program::Vliw(_) => {
+                    StyleTiers::Vliw(crate::vliw::VliwTiers::new(program_len, cfg.threshold))
+                }
+                Program::Scalar(_) => {
+                    StyleTiers::Scalar(TierTable::new(program_len, cfg.threshold))
+                }
+            }
+        };
+        Tiers { style, program_len }
+    }
+
+    /// Whether the compiled tier is enabled at all.
+    pub fn enabled(&self) -> bool {
+        !matches!(self.style, StyleTiers::Off)
+    }
+
+    /// Number of program counters with an installed compiled block.
+    pub fn compiled_blocks(&self) -> usize {
+        match &self.style {
+            StyleTiers::Off => 0,
+            StyleTiers::Tta(t) => t.compiled_count(),
+            StyleTiers::Vliw(t) => t.compiled_count(),
+            StyleTiers::Scalar(t) => t.compiled_count(),
+        }
+    }
+}
+
+/// Per-run tier event counts, flushed to the global observability
+/// counters after the run (the hot loops never touch the registry).
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct TierCounts {
+    /// Blocks compiled and installed by this run.
+    pub promotions: u64,
+    /// Block entries dispatched to the compiled tier.
+    pub entries: u64,
+    /// Clamped entries (pending jump or fuel) of a pc that has a
+    /// compiled block, executed interpreted instead.
+    pub fallbacks: u64,
+}
+
+impl TierCounts {
+    pub fn flush(&self) {
+        if (self.promotions | self.entries | self.fallbacks) != 0 && tta_obs::enabled() {
+            use tta_obs::counter::add;
+            add("sim.jit.promotions", self.promotions);
+            add("sim.jit.tier2_entries", self.entries);
+            add("sim.jit.fallbacks", self.fallbacks);
+        }
+    }
+}
+
+/// [`crate::run_with_fuel`] against shared tier state (must have been
+/// built for this same `program`).
+pub fn run_with_tiers(
+    m: &Machine,
+    program: &Program,
+    memory: Vec<u8>,
+    fuel: u64,
+    tiers: &Tiers,
+) -> Result<SimResult, SimError> {
+    assert_eq!(
+        tiers.program_len,
+        program.len(),
+        "tier state was built for a different program"
+    );
+    use crate::profile::NoProfile;
+    let span = tta_obs::span("simulate");
+    let result = match (program, &tiers.style) {
+        (Program::Tta(insts), StyleTiers::Tta(t)) => {
+            crate::tta::run_tta_with(m, insts, memory, fuel, &mut NoProfile, Some(t))
+        }
+        (Program::Vliw(bundles), StyleTiers::Vliw(t)) => {
+            crate::vliw::run_vliw_with(m, bundles, memory, fuel, &mut NoProfile, Some(t))
+        }
+        (Program::Scalar(insts), StyleTiers::Scalar(t)) => {
+            crate::scalar::run_scalar_with(m, insts, memory, fuel, &mut NoProfile, Some(t))
+        }
+        (Program::Tta(insts), StyleTiers::Off) => {
+            crate::tta::run_tta_with(m, insts, memory, fuel, &mut NoProfile, None)
+        }
+        (Program::Vliw(bundles), StyleTiers::Off) => {
+            crate::vliw::run_vliw_with(m, bundles, memory, fuel, &mut NoProfile, None)
+        }
+        (Program::Scalar(insts), StyleTiers::Off) => {
+            crate::scalar::run_scalar_with(m, insts, memory, fuel, &mut NoProfile, None)
+        }
+        _ => panic!("tier state style does not match the program style"),
+    };
+    drop(span);
+    crate::flush_obs(&result);
+    result
+}

@@ -11,19 +11,23 @@
 //! [`SimError::Machine`].
 //!
 //! Bundles are predecoded once per run — empty and `LimmCont` slots are
-//! dropped and register references resolved to flat indices — and the
-//! per-cycle write-port counters live in a reusable buffer, so the cycle
-//! loop performs no heap allocation. Dispatch is fused-block: the outer
-//! loop walks one superblock per iteration, so the fuel check, the pc
-//! bounds check and the delay-slot bookkeeping run once per block and the
-//! interior bundles execute in a monomorphisation without the control arm
-//! (see `crate::tta` for the dispatch-loop invariants — both engines share
-//! the same structure).
+//! dropped and register references resolved to flat indices — and pending
+//! writebacks ride a four-deep wheel indexed by `due & 3` (every
+//! writeback latency is 1–3 cycles and the wheel drains every cycle), so
+//! the cycle loop performs no heap allocation and no queue scan. Dispatch
+//! is fused-block: the outer loop walks one superblock per iteration, so
+//! the fuel check, the pc bounds check and the delay-slot bookkeeping run
+//! once per block and the interior bundles execute in a monomorphisation
+//! without the control arm (see `crate::tta` for the dispatch-loop
+//! invariants — the engines share the same structure). Hot superblocks
+//! are promoted into chains of resolved thunks exactly as in the TTA
+//! engine (DESIGN.md §14).
 
 use crate::profile::{finish_vliw, Collector, GuestProfile, NoProfile, ProfileSink, TraceSink};
 use crate::result::{SimError, SimResult, SimStats};
 use crate::state::{DecOpSrc, FlatRf, NO_DST};
-use tta_isa::{BlockMap, Operation, VliwBundle, VliwSlot, RETVAL_ADDR};
+use crate::tier::TierCounts;
+use tta_isa::{BlockMap, Operation, TierEntry, TierTable, VliwBundle, VliwSlot, RETVAL_ADDR};
 use tta_model::{mem, Machine, OpClass, Opcode};
 
 /// Maximum simulated cycles before declaring a runaway program.
@@ -31,7 +35,6 @@ pub const DEFAULT_FUEL: u64 = 200_000_000;
 
 #[derive(Debug, Clone, Copy)]
 struct Writeback {
-    due: u64,
     /// Flat register index.
     flat: u32,
     /// Register-file index (write-port accounting).
@@ -94,14 +97,22 @@ fn decode(rf: &FlatRf, program: &[VliwBundle]) -> (Vec<DecSlot>, Vec<DecBundle>)
     (slots, bundles)
 }
 
-/// Run a VLIW program.
+/// Run a VLIW program. The compiled superblock tier is configured from
+/// the environment with a fresh per-run promotion table; share one across
+/// runs with [`crate::run_with_tiers`].
 pub fn run_vliw(
     m: &Machine,
     program: &[VliwBundle],
     memory: Vec<u8>,
     fuel: u64,
 ) -> Result<SimResult, SimError> {
-    run_vliw_with(m, program, memory, fuel, &mut NoProfile)
+    let cfg = tta_isa::TierConfig::from_env();
+    if cfg.enabled {
+        let tier = VliwTiers::new(program.len(), cfg.threshold);
+        run_vliw_with(m, program, memory, fuel, &mut NoProfile, Some(&tier))
+    } else {
+        run_vliw_with(m, program, memory, fuel, &mut NoProfile, None)
+    }
 }
 
 /// Like [`run_vliw`], also recording the program counter of every executed
@@ -113,7 +124,7 @@ pub fn run_vliw_traced(
     fuel: u64,
 ) -> Result<(SimResult, Vec<u32>), SimError> {
     let mut sink = TraceSink::for_program(program.len());
-    let r = run_vliw_with(m, program, memory, fuel, &mut sink)?;
+    let r = run_vliw_with(m, program, memory, fuel, &mut sink, None)?;
     Ok((r, sink.trace))
 }
 
@@ -127,27 +138,97 @@ pub fn run_vliw_profiled(
     fuel: u64,
 ) -> Result<(SimResult, GuestProfile), SimError> {
     let mut sink = Collector::with_write_hist(m, program.len());
-    let r = run_vliw_with(m, program, memory, fuel, &mut sink)?;
+    let r = run_vliw_with(m, program, memory, fuel, &mut sink, None)?;
     let mut p = finish_vliw(m, program, sink);
     p.cycles = r.cycles;
     Ok((r, p))
 }
 
 /// Mutable datapath state of one run, shared by every step of the block
-/// dispatch loop.
-struct VliwEngine<'a> {
+/// dispatch loop and by compiled blocks.
+pub(crate) struct VliwEngine<'a> {
     m: &'a Machine,
     dec_slots: &'a [DecSlot],
     dec_bundles: &'a [DecBundle],
     rf: FlatRf,
-    pending: Vec<Writeback>,
+    /// Writeback wheel: writebacks due at the end of cycle `c` sit in
+    /// `wheel[c & 3]` in issue order. Sound because every writeback
+    /// latency is 1..=3 and the wheel drains every cycle.
+    wheel: [Vec<Writeback>; 4],
     /// Per-cycle write-port usage, reused across cycles.
     writes_per_rf: Vec<u32>,
+    /// Smallest write-port budget over all register files: when ≥ 1 a
+    /// single writeback can never overflow a port, enabling the drain
+    /// fast path.
+    min_write_ports: u32,
     memory: Vec<u8>,
     stats: SimStats,
 }
 
 impl VliwEngine<'_> {
+    /// Queue a writeback due at the end of `due`.
+    #[inline(always)]
+    fn enqueue(&mut self, due: u64, flat: u32, rf: u16, value: i32) {
+        self.wheel[(due & 3) as usize].push(Writeback { flat, rf, value });
+    }
+
+    /// End-of-cycle drain: apply due writebacks, checking port budgets.
+    /// Cycle-granular by contract (the write-pressure histogram hangs off
+    /// it); shared by the interpreted step and compiled blocks, which
+    /// both call it exactly once per architectural cycle.
+    #[inline(always)]
+    fn drain<S: ProfileSink>(&mut self, sink: &mut S, cycle: u64) -> Result<(), SimError> {
+        let bucket = (cycle & 3) as usize;
+        let n = self.wheel[bucket].len();
+        // Fast path: a passive sink needs no pressure histogram, and a
+        // single writeback cannot overflow a ≥1-port budget.
+        if S::PASSIVE && n <= 1 && self.min_write_ports >= 1 {
+            if n == 1 {
+                let wb = self.wheel[bucket][0];
+                self.wheel[bucket].clear();
+                self.stats.rf_writes += 1;
+                self.rf.vals[wb.flat as usize] = wb.value;
+            }
+            return Ok(());
+        }
+        self.writes_per_rf.fill(0);
+        for k in 0..n {
+            let wb = self.wheel[bucket][k];
+            self.writes_per_rf[wb.rf as usize] += 1;
+            self.stats.rf_writes += 1;
+            self.rf.vals[wb.flat as usize] = wb.value;
+        }
+        self.wheel[bucket].clear();
+        for (ri, &n) in self.writes_per_rf.iter().enumerate() {
+            if n > self.m.rfs[ri].write_ports as u32 {
+                return Err(SimError::Machine(format!(
+                    "{n} writebacks to {} in cycle {cycle} but only {} ports",
+                    self.m.rfs[ri].name, self.m.rfs[ri].write_ports
+                )));
+            }
+        }
+        sink.writeback_pressure(&self.writes_per_rf);
+        Ok(())
+    }
+
+    /// Arm a control transfer.
+    #[inline(always)]
+    fn take_jump(
+        &mut self,
+        pc: u32,
+        target: u32,
+        pending_jump: &mut Option<(u32, u32)>,
+    ) -> Result<(), SimError> {
+        if pending_jump.is_some() {
+            return Err(SimError::Machine(format!(
+                "jump during in-flight jump (pc {pc})"
+            )));
+        }
+        self.stats.branches_taken += 1;
+        *pending_jump = Some((self.m.jump_delay_slots, target));
+        Ok(())
+    }
+
     /// One architectural cycle at `pc`. With `CTRL = false` the caller
     /// guarantees (via the block map) that the bundle issues no control
     /// operation, and the control arm is compiled out of the
@@ -160,7 +241,6 @@ impl VliwEngine<'_> {
         cycle: u64,
         pending_jump: &mut Option<(u32, u32)>,
     ) -> Result<bool, SimError> {
-        let m = self.m;
         let bundle = self.dec_bundles[pc as usize];
         self.stats.instructions += 1;
         sink.retire(pc);
@@ -168,17 +248,12 @@ impl VliwEngine<'_> {
         // Execute slots (reads all happen against the pre-cycle RF state:
         // writebacks apply at end of cycle).
         let mut halt = false;
-        for slot in &self.dec_slots[bundle.slots.0 as usize..bundle.slots.1 as usize] {
-            match *slot {
+        for si in bundle.slots.0..bundle.slots.1 {
+            match self.dec_slots[si as usize] {
                 DecSlot::Limm { dst, dst_rf, value } => {
                     self.stats.payload += 1;
                     self.stats.limms += 1;
-                    self.pending.push(Writeback {
-                        due: cycle + 1,
-                        flat: dst,
-                        rf: dst_rf,
-                        value,
-                    });
+                    self.enqueue(cycle + 1, dst, dst_rf, value);
                 }
                 DecSlot::Op {
                     op,
@@ -212,24 +287,14 @@ impl VliwEngine<'_> {
                                 op.eval_alu(va.unwrap(), vb.unwrap())
                             };
                             assert!(dst != NO_DST, "ALU op writes a register");
-                            self.pending.push(Writeback {
-                                due: cycle + op.latency() as u64,
-                                flat: dst,
-                                rf: dst_rf,
-                                value: r,
-                            });
+                            self.enqueue(cycle + op.latency() as u64, dst, dst_rf, r);
                         }
                         OpClass::Lsu => {
                             if op.is_load() {
                                 self.stats.loads += 1;
                                 let v = mem::load(&self.memory, op, vb.unwrap() as u32)?;
                                 assert!(dst != NO_DST, "load writes a register");
-                                self.pending.push(Writeback {
-                                    due: cycle + op.latency() as u64,
-                                    flat: dst,
-                                    rf: dst_rf,
-                                    value: v,
-                                });
+                                self.enqueue(cycle + op.latency() as u64, dst, dst_rf, v);
                             } else {
                                 self.stats.stores += 1;
                                 mem::store(&mut self.memory, op, vb.unwrap() as u32, va.unwrap())?;
@@ -245,13 +310,7 @@ impl VliwEngine<'_> {
                                     _ => unreachable!(),
                                 };
                                 if taken {
-                                    if pending_jump.is_some() {
-                                        return Err(SimError::Machine(format!(
-                                            "jump during in-flight jump (pc {pc})"
-                                        )));
-                                    }
-                                    self.stats.branches_taken += 1;
-                                    *pending_jump = Some((m.jump_delay_slots, target));
+                                    self.take_jump(pc, target, pending_jump)?;
                                 }
                             }
                             _ => unreachable!(),
@@ -264,32 +323,291 @@ impl VliwEngine<'_> {
             }
         }
 
-        // End of cycle: apply due writebacks, checking port budgets. This
-        // stays per-cycle even inside a block — the writeback queue and
-        // the write-pressure histogram are cycle-granular by contract.
-        self.writes_per_rf.fill(0);
-        let mut k = 0;
-        while k < self.pending.len() {
-            if self.pending[k].due == cycle {
-                let wb = self.pending.swap_remove(k);
-                self.writes_per_rf[wb.rf as usize] += 1;
-                self.stats.rf_writes += 1;
-                self.rf.vals[wb.flat as usize] = wb.value;
-            } else {
-                k += 1;
-            }
-        }
-        for (ri, &n) in self.writes_per_rf.iter().enumerate() {
-            if n > m.rfs[ri].write_ports as u32 {
-                return Err(SimError::Machine(format!(
-                    "{n} writebacks to {} in cycle {cycle} but only {} ports",
-                    m.rfs[ri].name, m.rfs[ri].write_ports
-                )));
-            }
-        }
-        sink.writeback_pressure(&self.writes_per_rf);
+        self.drain(sink, cycle)?;
         Ok(halt)
     }
+}
+
+/// A resolved operand in a compiled block.
+#[derive(Debug, Clone, Copy)]
+enum VSrc {
+    Reg(u32),
+    Imm(i32),
+}
+
+impl VSrc {
+    #[inline(always)]
+    fn read(self, rf: &FlatRf) -> i32 {
+        match self {
+            VSrc::Reg(i) => rf.vals[i as usize],
+            VSrc::Imm(v) => v,
+        }
+    }
+}
+
+/// One thunk of a compiled superblock: a decoded slot with its opcode
+/// match and operand routing already performed. `lat` is the writeback
+/// latency, precomputed.
+#[derive(Debug, Clone, Copy)]
+enum VliwOp {
+    /// End of one bundle: drain writebacks, advance `pc`/`cycle`.
+    Next,
+    /// One-input ALU operation (`b` is the input).
+    Alu1 {
+        op: Opcode,
+        b: VSrc,
+        dst: u32,
+        rf: u16,
+        lat: u32,
+    },
+    /// Two-input ALU operation.
+    Alu2 {
+        op: Opcode,
+        a: VSrc,
+        b: VSrc,
+        dst: u32,
+        rf: u16,
+        lat: u32,
+    },
+    /// Load (`b` is the address).
+    Load {
+        op: Opcode,
+        b: VSrc,
+        dst: u32,
+        rf: u16,
+        lat: u32,
+    },
+    /// Store (`a` value, `b` address).
+    Store { op: Opcode, a: VSrc, b: VSrc },
+    /// Long immediate (writes back at the end of the next cycle).
+    Limm { dst: u32, rf: u16, v: i32 },
+    /// Halt (terminal bundles only).
+    Halt,
+    /// Unconditional jump (terminal bundles only; `b` is the target).
+    Jump { b: VSrc },
+    /// Conditional jump (terminal bundles only; `b` condition, `a` target).
+    CJump { a: VSrc, b: VSrc, nz: bool },
+}
+
+/// A compiled superblock (see [`crate::tta::TtaBlockFn`] — same contract).
+pub(crate) type VliwBlockFn = Box<
+    dyn for<'e> Fn(&mut VliwEngine<'e>, u64, &mut Option<(u32, u32)>) -> Result<bool, SimError>
+        + Send
+        + Sync,
+>;
+
+/// Compiled-tier state for one VLIW program: whole superblocks plus
+/// delay-slot segments (see [`crate::tta::TtaTiers`] — same two-table
+/// shape and dispatch contract).
+pub(crate) struct VliwTiers {
+    pub(crate) main: TierTable<VliwBlockFn>,
+    /// Fall-through windows of taken jumps, keyed by entry pc and tagged
+    /// with the segment length they were compiled for.
+    pub(crate) delay: TierTable<(u32, VliwBlockFn)>,
+}
+
+impl VliwTiers {
+    pub(crate) fn new(len: usize, threshold: u32) -> VliwTiers {
+        VliwTiers {
+            main: TierTable::new(len, threshold),
+            delay: TierTable::new(len, threshold),
+        }
+    }
+
+    pub(crate) fn compiled_count(&self) -> usize {
+        self.main.compiled_count() + self.delay.compiled_count()
+    }
+}
+
+/// Execute a compiled block: straight-line thunk dispatch with the
+/// block's static statistics applied once at the end.
+fn exec_vliw_block(
+    ops: &[VliwOp],
+    delta: &SimStats,
+    eng: &mut VliwEngine,
+    pc0: u32,
+    cycle0: u64,
+    pending_jump: &mut Option<(u32, u32)>,
+) -> Result<bool, SimError> {
+    let mut pc = pc0;
+    let mut cycle = cycle0;
+    let mut halt = false;
+    for op in ops {
+        match *op {
+            VliwOp::Next => {
+                eng.drain(&mut NoProfile, cycle)?;
+                pc += 1;
+                cycle += 1;
+            }
+            VliwOp::Alu1 {
+                op,
+                b,
+                dst,
+                rf,
+                lat,
+            } => {
+                let r = op.eval_alu(b.read(&eng.rf), 0);
+                eng.enqueue(cycle + lat as u64, dst, rf, r);
+            }
+            VliwOp::Alu2 {
+                op,
+                a,
+                b,
+                dst,
+                rf,
+                lat,
+            } => {
+                let r = op.eval_alu(a.read(&eng.rf), b.read(&eng.rf));
+                eng.enqueue(cycle + lat as u64, dst, rf, r);
+            }
+            VliwOp::Load {
+                op,
+                b,
+                dst,
+                rf,
+                lat,
+            } => {
+                let v = mem::load(&eng.memory, op, b.read(&eng.rf) as u32)?;
+                eng.enqueue(cycle + lat as u64, dst, rf, v);
+            }
+            VliwOp::Store { op, a, b } => {
+                let addr = b.read(&eng.rf) as u32;
+                mem::store(&mut eng.memory, op, addr, a.read(&eng.rf))?;
+            }
+            VliwOp::Limm { dst, rf, v } => eng.enqueue(cycle + 1, dst, rf, v),
+            VliwOp::Halt => halt = true,
+            VliwOp::Jump { b } => {
+                let target = b.read(&eng.rf) as u32;
+                eng.take_jump(pc, target, pending_jump)?;
+            }
+            VliwOp::CJump { a, b, nz } => {
+                if (b.read(&eng.rf) != 0) == nz {
+                    let target = a.read(&eng.rf) as u32;
+                    eng.take_jump(pc, target, pending_jump)?;
+                }
+            }
+        }
+    }
+    eng.stats.accumulate(delta);
+    Ok(halt)
+}
+
+/// Compile the superblock `[pc0, pc0 + len)` into a chain of resolved
+/// thunks. Register-file writes are charged dynamically by the drain;
+/// everything statically known (instructions, payload, operand reads,
+/// loads/stores, limms) is folded into one per-block delta. The
+/// reference engine charges an `rf_reads` for *every* register operand,
+/// including ones a one-input operation never evaluates — the delta
+/// preserves that.
+fn compile_vliw_block(
+    dec_slots: &[DecSlot],
+    dec_bundles: &[DecBundle],
+    pc0: u32,
+    len: u32,
+) -> VliwBlockFn {
+    let mut ops: Vec<VliwOp> = Vec::new();
+    let mut delta = SimStats::default();
+    for i in 0..len {
+        let pc = pc0 + i;
+        let bundle = dec_bundles[pc as usize];
+        delta.instructions += 1;
+        for si in bundle.slots.0..bundle.slots.1 {
+            match dec_slots[si as usize] {
+                DecSlot::Limm { dst, dst_rf, value } => {
+                    delta.payload += 1;
+                    delta.limms += 1;
+                    ops.push(VliwOp::Limm {
+                        dst,
+                        rf: dst_rf,
+                        v: value,
+                    });
+                }
+                DecSlot::Op {
+                    op,
+                    a,
+                    b,
+                    dst,
+                    dst_rf,
+                } => {
+                    delta.payload += 1;
+                    let mut vsrc = |s: DecOpSrc| match s {
+                        DecOpSrc::None => None,
+                        DecOpSrc::Reg(i) => {
+                            delta.rf_reads += 1;
+                            Some(VSrc::Reg(i))
+                        }
+                        DecOpSrc::Imm(v) => Some(VSrc::Imm(v)),
+                    };
+                    let va = vsrc(a);
+                    let vb = vsrc(b);
+                    let lat = op.latency();
+                    match op.class() {
+                        OpClass::Alu => {
+                            assert!(dst != NO_DST, "ALU op writes a register");
+                            ops.push(if op.num_inputs() == 1 {
+                                VliwOp::Alu1 {
+                                    op,
+                                    b: vb.unwrap(),
+                                    dst,
+                                    rf: dst_rf,
+                                    lat,
+                                }
+                            } else {
+                                VliwOp::Alu2 {
+                                    op,
+                                    a: va.unwrap(),
+                                    b: vb.unwrap(),
+                                    dst,
+                                    rf: dst_rf,
+                                    lat,
+                                }
+                            });
+                        }
+                        OpClass::Lsu => {
+                            if op.is_load() {
+                                delta.loads += 1;
+                                assert!(dst != NO_DST, "load writes a register");
+                                ops.push(VliwOp::Load {
+                                    op,
+                                    b: vb.unwrap(),
+                                    dst,
+                                    rf: dst_rf,
+                                    lat,
+                                });
+                            } else {
+                                delta.stores += 1;
+                                ops.push(VliwOp::Store {
+                                    op,
+                                    a: va.unwrap(),
+                                    b: vb.unwrap(),
+                                });
+                            }
+                        }
+                        OpClass::Ctrl => ops.push(match op {
+                            Opcode::Halt => VliwOp::Halt,
+                            Opcode::Jump => VliwOp::Jump { b: vb.unwrap() },
+                            Opcode::CJnz => VliwOp::CJump {
+                                a: va.unwrap(),
+                                b: vb.unwrap(),
+                                nz: true,
+                            },
+                            Opcode::CJz => VliwOp::CJump {
+                                a: va.unwrap(),
+                                b: vb.unwrap(),
+                                nz: false,
+                            },
+                            _ => unreachable!("non-transfer control opcode"),
+                        }),
+                    }
+                }
+            }
+        }
+        ops.push(VliwOp::Next);
+    }
+    let ops = ops.into_boxed_slice();
+    Box::new(move |eng, cycle0, pending_jump| {
+        exec_vliw_block(&ops, &delta, eng, pc0, cycle0, pending_jump)
+    })
 }
 
 /// The generic engine behind all public entry points: one superblock per
@@ -301,6 +619,22 @@ pub(crate) fn run_vliw_with<S: ProfileSink>(
     memory: Vec<u8>,
     fuel: u64,
     sink: &mut S,
+    tier: Option<&VliwTiers>,
+) -> Result<SimResult, SimError> {
+    let mut tc = TierCounts::default();
+    let r = run_vliw_inner(m, program, memory, fuel, sink, tier, &mut tc);
+    tc.flush();
+    r
+}
+
+fn run_vliw_inner<S: ProfileSink>(
+    m: &Machine,
+    program: &[VliwBundle],
+    memory: Vec<u8>,
+    fuel: u64,
+    sink: &mut S,
+    tier: Option<&VliwTiers>,
+    tc: &mut TierCounts,
 ) -> Result<SimResult, SimError> {
     let rf = FlatRf::new(m);
     let (dec_slots, dec_bundles) = decode(&rf, program);
@@ -310,8 +644,14 @@ pub(crate) fn run_vliw_with<S: ProfileSink>(
         dec_slots: &dec_slots,
         dec_bundles: &dec_bundles,
         rf,
-        pending: Vec::new(),
+        wheel: Default::default(),
         writes_per_rf: vec![0u32; m.rfs.len()],
+        min_write_ports: m
+            .rfs
+            .iter()
+            .map(|r| r.write_ports as u32)
+            .min()
+            .unwrap_or(0),
         memory,
         stats: SimStats::default(),
     };
@@ -330,6 +670,125 @@ pub(crate) fn run_vliw_with<S: ProfileSink>(
             return Err(SimError::PcOutOfRange(pc));
         }
         let full = blocks.run_len(pc) as u64;
+
+        // Tier-2 dispatch (see `crate::tta::run_tta_with`): unclamped
+        // entries run whole compiled superblocks, the fall-through
+        // window of a taken jump runs as a compiled delay segment.
+        if S::PASSIVE {
+            if let Some(tab) = tier {
+                match pending_jump {
+                    None if fuel - cycle >= full => {
+                        let block = match tab.main.entry(pc) {
+                            TierEntry::Compiled(b) => Some(b),
+                            TierEntry::Promote => {
+                                tc.promotions += 1;
+                                tab.main.install(
+                                    pc,
+                                    compile_vliw_block(&dec_slots, &dec_bundles, pc, full as u32),
+                                );
+                                tab.main.get(pc)
+                            }
+                            TierEntry::Cold => None,
+                        };
+                        if let Some(b) = block {
+                            tc.entries += 1;
+                            let halt = b(&mut eng, cycle, &mut pending_jump)?;
+                            pc += full as u32 - 1;
+                            cycle += full;
+                            if halt {
+                                let ret = mem::load(&eng.memory, Opcode::Ldw, RETVAL_ADDR)?;
+                                return Ok(SimResult {
+                                    cycles: cycle,
+                                    ret,
+                                    memory: eng.memory,
+                                    stats: eng.stats,
+                                });
+                            }
+                            match pending_jump.take() {
+                                Some((0, target)) => pc = target,
+                                Some((n, target)) => {
+                                    pending_jump = Some((n - 1, target));
+                                    pc += 1;
+                                }
+                                None => pc += 1,
+                            }
+                            continue;
+                        }
+                    }
+                    Some((k, target)) => {
+                        // Delay-slot window: min(k + 1, full) bundles run
+                        // on the fall-through path before the redirect
+                        // (or the run's own terminal, whose nested
+                        // control transfer faults identically in both
+                        // tiers).
+                        let dlen = (k as u64 + 1).min(full);
+                        if fuel - cycle >= dlen {
+                            let seg = match tab.delay.entry(pc) {
+                                TierEntry::Compiled(s) => Some(s),
+                                TierEntry::Promote => {
+                                    tc.promotions += 1;
+                                    let b = compile_vliw_block(
+                                        &dec_slots,
+                                        &dec_bundles,
+                                        pc,
+                                        dlen as u32,
+                                    );
+                                    tab.delay.install(pc, (dlen as u32, b));
+                                    tab.delay.get(pc)
+                                }
+                                TierEntry::Cold => None,
+                            };
+                            // A pc can be entered with different residual
+                            // delay budgets; only the length the segment
+                            // was compiled for may run it.
+                            if let Some(b) = seg.filter(|s| s.0 as u64 == dlen).map(|s| &s.1) {
+                                tc.entries += 1;
+                                let halt = b(&mut eng, cycle, &mut pending_jump)?;
+                                cycle += dlen;
+                                if halt {
+                                    let ret = mem::load(&eng.memory, Opcode::Ldw, RETVAL_ADDR)?;
+                                    return Ok(SimResult {
+                                        cycles: cycle,
+                                        ret,
+                                        memory: eng.memory,
+                                        stats: eng.stats,
+                                    });
+                                }
+                                if dlen < full {
+                                    // Pure delay window: ends exactly at
+                                    // the redirect.
+                                    debug_assert_eq!(dlen, k as u64 + 1);
+                                    pending_jump = None;
+                                    pc = target;
+                                } else {
+                                    // The whole run fits in the window:
+                                    // its terminal ran; mirror the
+                                    // interpreted bookkeeping.
+                                    let k2 = k - (dlen as u32 - 1);
+                                    if k2 == 0 {
+                                        pending_jump = None;
+                                        pc = target;
+                                    } else {
+                                        pending_jump = Some((k2 - 1, target));
+                                        pc += dlen as u32;
+                                    }
+                                }
+                                continue;
+                            }
+                            tc.fallbacks += 1;
+                        } else if tab.delay.get(pc).is_some() {
+                            tc.fallbacks += 1;
+                        }
+                    }
+                    None => {
+                        if tab.main.get(pc).is_some() {
+                            tc.fallbacks += 1;
+                        }
+                    }
+                }
+            }
+        }
+
         let mut len = full;
         if let Some((k, _)) = pending_jump {
             // k delay slots remain, then the redirect: at most k + 1 more
