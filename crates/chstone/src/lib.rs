@@ -28,6 +28,7 @@ pub mod gsm;
 pub mod jpeg;
 pub mod mips;
 pub mod motion;
+pub mod reactive;
 pub mod sha;
 pub mod util;
 

@@ -82,6 +82,13 @@ pub struct Compiled {
     pub machine: String,
     /// Start address (instruction index) of each block.
     pub block_starts: Vec<u32>,
+    /// Entry pc of the compiled `__irq` interrupt handler, when the
+    /// module declares one: the handler is compiled as a second code
+    /// region appended after the main program, entered by the simulator
+    /// on interrupt delivery. Its returns are compiled as a store to
+    /// [`tta_model::io::IRQ_EOI_ADDR`] (followed by a halt the simulator
+    /// never reaches).
+    pub irq_entry: Option<u32>,
     /// Statistics.
     pub stats: CompileStats,
 }
@@ -155,6 +162,97 @@ pub fn compile_with(
             "entry functions must take no parameters".into(),
         ));
     }
+    let spill_base = module.mem_size.saturating_sub(4096);
+    let (mut program, mut block_starts, mut stats) =
+        compile_segment(module, machine, opts, spill_base, 0)?;
+
+    // The `__irq` handler compiles as a second code region appended
+    // after the main program. Its spill slots live in a separate area
+    // (512 words each) so a trap can never clobber a spilled main value.
+    let mut irq_entry = None;
+    if let Some(hview) = irq_view(module) {
+        const SPILL_WORDS: usize = 512;
+        let base = program.len() as u32;
+        let hspill = module.mem_size.saturating_sub(2048);
+        let (hprog, hstarts, hstats) = compile_segment(&hview, machine, opts, hspill, base)?;
+        if stats.spilled > SPILL_WORDS || hstats.spilled > SPILL_WORDS {
+            return Err(CompileError::Alloc(format!(
+                "spill areas overflow with an interrupt handler: main {} / handler {} (max {})",
+                stats.spilled, hstats.spilled, SPILL_WORDS
+            )));
+        }
+        append_program(&mut program, hprog);
+        block_starts.extend(hstarts);
+        stats.blocks += hstats.blocks;
+        stats.ops += hstats.ops;
+        stats.spilled += hstats.spilled;
+        stats.dce_removed += hstats.dce_removed;
+        stats.folded += hstats.folded;
+        irq_entry = Some(base);
+    }
+
+    {
+        let _s = tta_obs::span("validate");
+        program.validate(machine).map_err(CompileError::Invalid)?;
+    }
+    tta_obs::counter::add("compiler.compiles", 1);
+    tta_obs::counter::add("compiler.blocks", stats.blocks as u64);
+    tta_obs::counter::add("compiler.insts", stats.ops as u64);
+    tta_obs::counter::add("compiler.folded", stats.folded as u64);
+    Ok(Compiled {
+        program,
+        machine: machine.name.clone(),
+        block_starts,
+        irq_entry,
+        stats,
+    })
+}
+
+/// The module as seen by the interrupt-handler compilation pass: entry
+/// swapped to `__irq`, and a store to [`tta_model::io::IRQ_EOI_ADDR`]
+/// injected before every handler return. The simulator treats that
+/// doorbell store as the return-from-interrupt, so `Ret(None)`'s own
+/// halt lowering becomes unreachable — no new opcode is needed.
+fn irq_view(module: &Module) -> Option<Module> {
+    use tta_ir::inst::{Inst, MemRegion, Operand, Terminator};
+    let id = module.irq_handler_id()?;
+    let mut m = module.clone();
+    m.entry = id;
+    let f = &mut m.funcs[id.0 as usize];
+    for b in &mut f.blocks {
+        if matches!(b.term, Some(Terminator::Ret(None))) {
+            b.insts.push(Inst::Store {
+                op: tta_model::Opcode::Stw,
+                value: Operand::Imm(0),
+                addr: Operand::Imm(tta_model::io::IRQ_EOI_ADDR as i32),
+                region: MemRegion::ANY,
+            });
+        }
+    }
+    Some(m)
+}
+
+/// Append a same-style code segment to `main`.
+fn append_program(main: &mut Program, seg: Program) {
+    match (main, seg) {
+        (Program::Tta(a), Program::Tta(b)) => a.extend(b),
+        (Program::Vliw(a), Program::Vliw(b)) => a.extend(b),
+        (Program::Scalar(a), Program::Scalar(b)) => a.extend(b),
+        _ => unreachable!("segments compiled for the same machine share a style"),
+    }
+}
+
+/// One pipeline pass over `module.entry_func()`: inline, optimise,
+/// legalise constants, allocate registers (spilling at `spill_base`),
+/// schedule, and lay blocks out starting at absolute pc `base` (branch
+/// targets are patched to absolute addresses).
+fn compile_segment(
+    module: &Module,
+    machine: &Machine,
+    opts: crate::tta_sched::TtaOptions,
+    spill_base: u32,
+    base: u32,
+) -> Result<(Program, Vec<u32>, CompileStats), CompileError> {
     let mut flat = {
         let _s = tta_obs::span("inline");
         inline_module(module).map_err(|e| CompileError::Inline(e.0))?
@@ -205,7 +303,6 @@ pub fn compile_with(
         CoreStyle::Vliw => vec![vliw_bt_reg(machine)],
         _ => vec![],
     };
-    let spill_base = module.mem_size.saturating_sub(4096);
     let alloc =
         allocate(&flat, machine, &reserved, spill_base).map_err(|e| CompileError::Alloc(e.0))?;
     let spilled = alloc.spilled;
@@ -240,7 +337,7 @@ pub fn compile_with(
             for (bi, b) in blocks.iter().enumerate() {
                 for p in &b.patches {
                     let at = (starts[bi] + p.cycle) as usize;
-                    let target = starts[p.target.0 as usize] as i32;
+                    let target = (base + starts[p.target.0 as usize]) as i32;
                     match &mut insts[at].slots[p.slot] {
                         Some(VliwSlot::LimmHead { value, .. }) => *value = target,
                         other => panic!("patch site is not a limm head: {other:?}"),
@@ -263,7 +360,7 @@ pub fn compile_with(
             for (bi, b) in blocks.iter().enumerate() {
                 for p in &b.patches {
                     let at = (starts[bi] + p.cycle) as usize;
-                    let target = starts[p.target.0 as usize] as i32;
+                    let target = (base + starts[p.target.0 as usize]) as i32;
                     match &mut insts[at].limm {
                         Some((_, value)) => *value = target,
                         None => panic!("patch site has no long immediate"),
@@ -288,7 +385,7 @@ pub fn compile_with(
             for (bi, b) in blocks.iter().enumerate() {
                 for p in &b.patches {
                     let at = (starts[bi] + p.index) as usize;
-                    let target = starts[p.target.0 as usize] as i32;
+                    let target = (base + starts[p.target.0 as usize]) as i32;
                     match &mut insts[at] {
                         ScalarInst::Op(o) => {
                             let field = match p.which {
@@ -305,20 +402,8 @@ pub fn compile_with(
         }
     };
 
-    {
-        let _s = tta_obs::span("validate");
-        program.validate(machine).map_err(CompileError::Invalid)?;
-    }
-    tta_obs::counter::add("compiler.compiles", 1);
-    tta_obs::counter::add("compiler.blocks", stats.blocks as u64);
-    tta_obs::counter::add("compiler.insts", stats.ops as u64);
-    tta_obs::counter::add("compiler.folded", stats.folded as u64);
-    Ok(Compiled {
-        program,
-        machine: machine.name.clone(),
-        block_starts,
-        stats,
-    })
+    let block_starts = block_starts.into_iter().map(|s| base + s).collect();
+    Ok((program, block_starts, stats))
 }
 
 #[cfg(test)]
@@ -393,6 +478,45 @@ mod tests {
         } else {
             panic!("expected scalar program");
         }
+    }
+
+    #[test]
+    fn irq_handler_compiles_as_appended_region() {
+        use tta_ir::inst::MemRegion;
+        let mut mb = ModuleBuilder::new("withirq");
+        let buf = mb.buffer(8);
+        let mut hb = FunctionBuilder::new("__irq", 0, false);
+        let old = hb.ldw(buf.base(), buf.region);
+        let n = hb.add(old, 1);
+        hb.stw(n, buf.base(), buf.region);
+        hb.ret_void();
+        mb.add(hb.finish());
+        let mut fb = FunctionBuilder::new("main", 0, true);
+        fb.stw(1, tta_model::io::IRQ_CTRL_ADDR as i32, MemRegion::ANY);
+        let v = fb.ldw(buf.base(), buf.region);
+        fb.ret(v);
+        let id = mb.add(fb.finish());
+        mb.set_entry(id);
+        let m = mb.finish();
+
+        for machine in presets::all_design_points() {
+            let c = compile(&m, &machine).unwrap_or_else(|e| panic!("{}: {e}", machine.name));
+            let entry = c
+                .irq_entry
+                .unwrap_or_else(|| panic!("{}: no irq entry", machine.name));
+            assert!(
+                entry > 0 && (entry as usize) < c.program.len(),
+                "{}: handler entry {entry} out of range",
+                machine.name
+            );
+            // The handler region must be a block start.
+            assert!(c.block_starts.contains(&entry), "{}", machine.name);
+        }
+
+        // Without a handler the entry stays empty.
+        let plain = sum_module(3);
+        let c = compile(&plain, &presets::m_tta_2()).unwrap();
+        assert_eq!(c.irq_entry, None);
     }
 
     #[test]

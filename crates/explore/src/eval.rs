@@ -14,11 +14,13 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use tta_chstone::reactive::ReactiveGuest;
 use tta_chstone::Kernel;
 use tta_compiler::{compile, Compiled};
 use tta_fpga::Resources;
 use tta_ir::interp::Interpreter;
 use tta_isa::encoding;
+use tta_model::io::IoSystem;
 use tta_model::{presets, Machine};
 use tta_obs as obs;
 use tta_sim::SimStats;
@@ -319,6 +321,140 @@ pub fn evaluate_all() -> Vec<MachineReport> {
     evaluate(&presets::all_design_points(), &tta_chstone::all_kernels())
 }
 
+/// One reactive guest executed on one machine: cycle numbers plus the
+/// interrupt-side observables.
+#[derive(Debug, Clone)]
+pub struct ReactiveRun {
+    /// Guest name.
+    pub guest: String,
+    /// Cycle count from the cycle-accurate simulation.
+    pub cycles: u64,
+    /// Interrupts delivered during the run.
+    pub irqs: u64,
+    /// Cycles charged to trap entry/return overhead.
+    pub irq_cycles: u64,
+    /// The UART transmit stream (bit-identical across styles by
+    /// construction of the guests).
+    pub uart_tx: Vec<u8>,
+    /// Dynamic statistics.
+    pub sim: SimStats,
+}
+
+/// Compile + simulate one reactive guest on one machine under the
+/// guest's own I/O spec, verified three ways: the golden interpreter run
+/// must match the guest's native expected checksum and transmit stream,
+/// and the simulated run must match both.
+///
+/// Interrupt *counts* are only checked against the golden run for
+/// guests driven by an external schedule; self-clocked guests (the
+/// timer producer/consumer) legitimately take a style-dependent number
+/// of interrupts, which is exactly why their checksums are
+/// timing-invariant.
+pub fn run_reactive(guest: &ReactiveGuest, machine: &Machine) -> ReactiveRun {
+    let module = {
+        let _s = obs::span("build_ir");
+        (guest.build)()
+    };
+    let spec = (guest.spec)();
+    let (golden_ret, golden_tx, golden_irqs) = {
+        let _s = obs::span("golden_interp");
+        let mut io = IoSystem::new(&spec);
+        let r = Interpreter::new(&module)
+            .run_with_io(&[], &mut io)
+            .unwrap_or_else(|e| panic!("{} interpreter: {e}", guest.name));
+        (r.ret, io.uart_tx(), io.irqs_delivered)
+    };
+    let compiled = compile(&module, machine)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", guest.name, machine.name));
+    let result = tta_sim::run_with_io(
+        machine,
+        &compiled.program,
+        module.initial_memory(),
+        tta_sim::DEFAULT_FUEL,
+        &spec,
+        compiled.irq_entry,
+    )
+    .unwrap_or_else(|e| panic!("{} on {}: {e}", guest.name, machine.name));
+    {
+        let _s = obs::span("verify_estimate");
+        assert_eq!(
+            golden_ret,
+            Some((guest.expected)()),
+            "{}: golden interpreter vs native checksum",
+            guest.name
+        );
+        assert_eq!(
+            golden_tx,
+            (guest.expected_tx)(),
+            "{}: golden interpreter transmit stream",
+            guest.name
+        );
+        assert_eq!(
+            result.ret,
+            (guest.expected)(),
+            "{} on {}: checksum (tx {:x?}, stats {:?})",
+            guest.name,
+            machine.name,
+            result.uart_tx,
+            result.stats
+        );
+        assert_eq!(
+            result.uart_tx, golden_tx,
+            "{} on {}: transmit stream",
+            guest.name, machine.name
+        );
+        if spec.uart_irq_on_rx || !spec.schedule.is_empty() {
+            assert_eq!(
+                result.stats.irqs, golden_irqs,
+                "{} on {}: interrupts delivered",
+                guest.name, machine.name
+            );
+        }
+        assert!(
+            result.stats.irqs > 0,
+            "{} on {}: a reactive guest must actually take interrupts",
+            guest.name,
+            machine.name
+        );
+    }
+    ReactiveRun {
+        guest: guest.name.to_string(),
+        cycles: result.cycles,
+        irqs: result.stats.irqs,
+        irq_cycles: result.stats.irq_cycles,
+        uart_tx: result.uart_tx,
+        sim: result.stats,
+    }
+}
+
+/// Evaluate reactive guests on `machines`: one `(machine name, runs)`
+/// entry per machine, guests in order. The jobs are few (guests ×
+/// machines) and sub-millisecond, so this runs serially under one
+/// `eval` span.
+pub fn evaluate_reactive(
+    machines: &[Machine],
+    guests: &[ReactiveGuest],
+) -> Vec<(String, Vec<ReactiveRun>)> {
+    let eval_span = obs::span_under(obs::SpanHandle::ROOT, "eval");
+    let reports = machines
+        .iter()
+        .map(|m| {
+            let runs = guests.iter().map(|g| run_reactive(g, m)).collect();
+            (m.name.clone(), runs)
+        })
+        .collect();
+    drop(eval_span);
+    reports
+}
+
+/// Evaluate all reactive example guests on all thirteen design points.
+pub fn evaluate_reactive_all() -> Vec<(String, Vec<ReactiveRun>)> {
+    evaluate_reactive(
+        &presets::all_design_points(),
+        &tta_chstone::reactive::all_guests(),
+    )
+}
+
 /// The issue-width class a design point is reported under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IssueClass {
@@ -412,6 +548,40 @@ mod tests {
         // worker count.
         let stages = t.compile_s + t.simulate_s + t.verify_estimate_s;
         assert!(stages <= t.wall_s * t.threads as f64 + 0.5, "{t:?}");
+    }
+
+    /// The full reactive sweep: every example guest on every design
+    /// point converges on its timing-invariant checksum and an
+    /// identical UART transmit stream (`run_reactive` asserts both
+    /// internally), and the interrupt observables are live.
+    #[test]
+    fn reactive_guests_sweep_all_design_points() {
+        let _l = lock();
+        let reports = evaluate_reactive_all();
+        assert_eq!(reports.len(), presets::all_design_points().len());
+        let guests = tta_chstone::reactive::all_guests();
+        for (name, runs) in &reports {
+            assert_eq!(runs.len(), guests.len(), "{name}");
+            for r in runs {
+                assert!(r.cycles > 0, "{name}/{}", r.guest);
+                assert!(r.irqs > 0, "{name}/{}", r.guest);
+                assert!(
+                    r.irq_cycles > 0,
+                    "{name}/{}: trap overhead must be charged",
+                    r.guest
+                );
+            }
+        }
+        // The transmit stream is style-invariant: every machine saw the
+        // same bytes for the same guest.
+        for gi in 0..guests.len() {
+            let first = &reports[0].1[gi].uart_tx;
+            for (name, runs) in &reports {
+                assert_eq!(&runs[gi].uart_tx, first, "{name}/{}", runs[gi].guest);
+            }
+        }
+        // And the sweep charged the eval span tree.
+        assert!(last_timing().golden_interp_s > 0.0);
     }
 
     #[test]

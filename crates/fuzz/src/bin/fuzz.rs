@@ -2,13 +2,18 @@
 //!
 //! ```text
 //! fuzz --seeds 0..500                  # fuzz a seed range over all 13 design points
+//! fuzz --seeds 0..500 --schedules      # reactive cases: interrupt schedules + UART scripts
 //! fuzz --seeds 0..20 --plant-bug shr-as-shru --write-corpus
 //! fuzz --replay                        # re-check every committed corpus case
 //! ```
 //!
 //! Every generated program runs through the golden interpreter and
-//! compile+simulate on every preset machine. Any semantic divergence is
-//! printed with its seed, auto-shrunk to a minimal module, and (with
+//! compile+simulate on every preset machine. With `--schedules` each seed
+//! generates a reactive case instead: a guest with a `__irq` handler plus
+//! a seeded interrupt schedule and UART receive script, checked
+//! differentially (return value, memory, UART tx stream, interrupt
+//! count). Any semantic divergence is printed with its seed, auto-shrunk
+//! to a minimal module (and minimal schedule), and (with
 //! `--write-corpus`) committed to `crates/fuzz/corpus/` for permanent
 //! replay. Exit code is non-zero iff a divergence was found.
 
@@ -16,9 +21,10 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use tta_fuzz::corpus::{corpus_dir, load_corpus, render_case};
-use tta_fuzz::gen::{generate, GenConfig};
+use tta_fuzz::gen::{generate, generate_reactive, GenConfig};
 use tta_fuzz::oracle::{Divergence, Oracle, PlantedBug};
-use tta_fuzz::shrink::{inst_count, shrink};
+use tta_fuzz::shrink::{inst_count, shrink_reactive};
+use tta_model::io::IoSpec;
 
 struct Args {
     seeds: Option<(u64, u64)>,
@@ -27,11 +33,12 @@ struct Args {
     machine: Option<String>,
     write_corpus: bool,
     max_stmts: Option<usize>,
+    schedules: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fuzz --seeds A..B [--plant-bug NAME] [--machine NAME] \
+        "usage: fuzz --seeds A..B [--schedules] [--plant-bug NAME] [--machine NAME] \
          [--write-corpus] [--max-stmts N]\n       fuzz --replay\n\
          planted bugs: {}",
         PlantedBug::ALL
@@ -51,6 +58,7 @@ fn parse_args() -> Args {
         machine: None,
         write_corpus: false,
         max_stmts: None,
+        schedules: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -75,6 +83,7 @@ fn parse_args() -> Args {
             }
             "--machine" => args.machine = Some(it.next().unwrap_or_else(|| usage())),
             "--write-corpus" => args.write_corpus = true,
+            "--schedules" => args.schedules = true,
             "--max-stmts" => {
                 args.max_stmts = it.next().and_then(|s| s.parse().ok()).or_else(|| usage())
             }
@@ -99,41 +108,71 @@ fn make_oracle(args: &Args) -> Oracle {
     oracle
 }
 
-/// Shrink a diverging module: fast passes against the one machine that
-/// diverged, then confirm the reduced module still diverges on the full
-/// oracle (falling back to full-oracle shrinking if it does not).
-fn shrink_divergence(module: &tta_ir::Module, d: &Divergence, oracle: &Oracle) -> tta_ir::Module {
-    let full = |m: &tta_ir::Module| matches!(oracle.check(m), Err(d) if d.is_semantic());
+/// Shrink a diverging case: fast passes against the one machine that
+/// diverged, then confirm the reduced case still diverges on the full
+/// oracle (falling back to full-oracle shrinking if it does not). The
+/// I/O spec is minimised jointly with the module.
+///
+/// When the divergence comes from a *planted* bug, the predicate also
+/// requires the clean oracle to pass: otherwise shrinking can wander
+/// into genuinely divergent territory (e.g. a schedule key migrating
+/// onto the guest's final MMIO store) and mint a corpus case that fails
+/// clean replay.
+fn shrink_divergence(
+    module: &tta_ir::Module,
+    spec: &IoSpec,
+    d: &Divergence,
+    oracle: &Oracle,
+) -> (tta_ir::Module, IoSpec) {
+    let clean = oracle.planted.map(|_| Oracle {
+        planted: None,
+        ..Oracle::all_presets()
+    });
+    let full = |m: &tta_ir::Module, s: &IoSpec| {
+        matches!(oracle.check_reactive(m, s), Err(d) if d.is_semantic())
+            && clean
+                .as_ref()
+                .is_none_or(|c| c.check_reactive(m, s).is_ok())
+    };
     if let Some(name) = d.machine() {
         if let Some(mut fast) = Oracle::single(name) {
             fast.planted = oracle.planted;
-            let fast_pred = |m: &tta_ir::Module| matches!(fast.check(m), Err(d) if d.is_semantic());
-            let small = shrink(module, &fast_pred);
-            if full(&small) {
-                return small;
+            let fast_clean = oracle.planted.and_then(|_| Oracle::single(name));
+            let fast_pred = |m: &tta_ir::Module, s: &IoSpec| {
+                matches!(fast.check_reactive(m, s), Err(d) if d.is_semantic())
+                    && fast_clean
+                        .as_ref()
+                        .is_none_or(|c| c.check_reactive(m, s).is_ok())
+            };
+            let (small_m, small_s) = shrink_reactive(module, spec, &fast_pred);
+            if full(&small_m, &small_s) {
+                return (small_m, small_s);
             }
         }
     }
-    shrink(module, &full)
+    shrink_reactive(module, spec, &full)
 }
 
 fn report_divergence(
     seed: u64,
     module: &tta_ir::Module,
+    spec: &IoSpec,
     d: &Divergence,
     oracle: &Oracle,
     args: &Args,
 ) {
     println!("seed {seed}: DIVERGENCE: {d}");
     println!("  shrinking ({} insts)...", inst_count(module));
-    let small = shrink_divergence(module, d, oracle);
-    let residual = match oracle.check(&small) {
+    let (small, small_spec) = shrink_divergence(module, spec, d, oracle);
+    let residual = match oracle.check_reactive(&small, &small_spec) {
         Err(d) => d.to_string(),
         Ok(_) => "lost during shrinking".to_string(),
     };
     println!(
-        "  minimised to {} insts: {residual}\n{}",
+        "  minimised to {} insts, {} irqs, {} rx bytes: {residual}\n{}",
         inst_count(&small),
+        small_spec.schedule.len(),
+        small_spec.uart_rx.len(),
         tta_ir::module_to_text(&small)
     );
     if args.write_corpus {
@@ -141,7 +180,7 @@ fn report_divergence(
         let _ = std::fs::create_dir_all(&dir);
         let tag = args.plant.map(|b| b.name()).unwrap_or("divergence");
         let path = dir.join(format!("seed{seed:05}-{tag}.ir"));
-        let case = render_case(seed, args.plant, &residual, &small);
+        let case = render_case(seed, args.plant, &residual, &small_spec, &small);
         match std::fs::write(&path, case) {
             Ok(()) => println!("  wrote {}", path.display()),
             Err(e) => eprintln!("  failed to write {}: {e}", path.display()),
@@ -160,7 +199,7 @@ fn run_replay() -> ExitCode {
     let mut failures = 0u32;
     for case in &cases {
         // A clean toolchain must pass the case as written...
-        if let Err(d) = Oracle::all_presets().check(&case.module) {
+        if let Err(d) = Oracle::all_presets().check_reactive(&case.module, &case.spec) {
             println!("corpus {}: FAIL (clean oracle): {d}", case.name);
             failures += 1;
             continue;
@@ -171,7 +210,7 @@ fn run_replay() -> ExitCode {
                 planted: Some(bug),
                 ..Oracle::all_presets()
             };
-            match oracle.check(&case.module) {
+            match oracle.check_reactive(&case.module, &case.spec) {
                 Err(d) if d.is_semantic() => {}
                 other => {
                     println!(
@@ -211,15 +250,19 @@ fn main() -> ExitCode {
     let mut golden_insts = 0u64;
     let mut sim_cycles = 0u64;
     for seed in lo..hi {
-        let module = generate(seed, &cfg);
-        match oracle.check(&module) {
+        let (module, spec) = if args.schedules {
+            generate_reactive(seed, &cfg)
+        } else {
+            (generate(seed, &cfg), IoSpec::default())
+        };
+        match oracle.check_reactive(&module, &spec) {
             Ok(report) => {
                 golden_insts += report.golden_insts;
                 sim_cycles += report.runs.iter().map(|r| r.cycles).sum::<u64>();
             }
             Err(d) if d.is_semantic() => {
                 divergences += 1;
-                report_divergence(seed, &module, &d, &oracle, &args);
+                report_divergence(seed, &module, &spec, &d, &oracle, &args);
             }
             Err(d) => {
                 // Generator artefact (unverified / interpreter fault):

@@ -8,21 +8,29 @@
 //! ; seed: 42
 //! ; planted: shr-as-shru
 //! ; note: arithmetic shift of negative value
+//! ; irq: mmio-store 2 line 2
+//! ; uart-rx: 0 97
 //! module ...
 //! ```
 //!
 //! `seed` records the generator seed that produced the original program,
 //! `planted` (optional) names the deliberate bug the case reproduces —
 //! set for the synthetic cases that pin the detection pipeline itself —
-//! and `note` is free text. Cases without `planted` are real historical
-//! divergences: replay asserts they stay fixed; cases with `planted`
-//! assert the oracle still catches that bug class.
+//! and `note` is free text. Reactive cases additionally serialise their
+//! [`tta_model::io::IoSpec`]: one `irq` line per scheduled arrival
+//! (`mmio-store K` or `cycle C` key plus the interrupt line) and one
+//! `uart-rx` line per scripted receive byte (arrival cycle, byte value);
+//! `uart-irq-on-rx` arms the UART's own receive interrupt. Cases without
+//! `planted` are real historical divergences: replay asserts they stay
+//! fixed; cases with `planted` assert the oracle still catches that bug
+//! class.
 
 use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::oracle::PlantedBug;
 use tta_ir::Module;
+use tta_model::io::{IoSpec, IrqAt};
 
 /// One corpus entry, parsed from disk.
 #[derive(Debug, Clone)]
@@ -36,6 +44,8 @@ pub struct CorpusCase {
     pub planted: Option<PlantedBug>,
     /// Free-text description.
     pub note: Option<String>,
+    /// The scripted I/O environment (empty for pure compute cases).
+    pub spec: IoSpec,
     /// The minimised module.
     pub module: Module,
 }
@@ -46,11 +56,33 @@ pub fn corpus_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
 }
 
+/// Parse one `; irq: <key> line <n>` header value, e.g. `mmio-store 2
+/// line 2` or `cycle 40 line 0`.
+fn parse_irq(name: &str, value: &str) -> Result<(IrqAt, u8), String> {
+    let parts: Vec<&str> = value.split_whitespace().collect();
+    let bad = || format!("{name}: bad irq header {value:?}");
+    let [kind, key, lit, line] = parts.as_slice() else {
+        return Err(bad());
+    };
+    if *lit != "line" {
+        return Err(bad());
+    }
+    let key: u64 = key.parse().map_err(|_| bad())?;
+    let line: u8 = line.parse().map_err(|_| bad())?;
+    let at = match *kind {
+        "mmio-store" => IrqAt::MmioStore(key),
+        "cycle" => IrqAt::Cycle(key),
+        _ => return Err(bad()),
+    };
+    Ok((at, line))
+}
+
 /// Parse one corpus file's contents.
 pub fn parse_case(name: &str, text: &str) -> Result<CorpusCase, String> {
     let mut seed = None;
     let mut planted = None;
     let mut note = None;
+    let mut spec = IoSpec::default();
     for line in text.lines() {
         let line = line.trim();
         let Some(rest) = line.strip_prefix(';') else {
@@ -77,6 +109,19 @@ pub fn parse_case(name: &str, text: &str) -> Result<CorpusCase, String> {
                     )
                 }
                 "note" => note = Some(value.to_string()),
+                "irq" => spec.schedule.push(parse_irq(name, value)?),
+                "uart-rx" => {
+                    let bad = || format!("{name}: bad uart-rx header {value:?}");
+                    let (cycle, byte) = value.split_once(' ').ok_or_else(bad)?;
+                    let cycle: u64 = cycle.trim().parse().map_err(|_| bad())?;
+                    let byte: u8 = byte.trim().parse().map_err(|_| bad())?;
+                    spec.uart_rx.push((cycle, byte));
+                }
+                "uart-irq-on-rx" => {
+                    spec.uart_irq_on_rx = value
+                        .parse::<bool>()
+                        .map_err(|e| format!("{name}: bad uart-irq-on-rx {value:?}: {e}"))?;
+                }
                 _ => {}
             }
         }
@@ -88,6 +133,7 @@ pub fn parse_case(name: &str, text: &str) -> Result<CorpusCase, String> {
         seed,
         planted,
         note,
+        spec,
         module,
     })
 }
@@ -122,7 +168,13 @@ pub fn load_corpus_from(dir: &Path) -> io::Result<Vec<CorpusCase>> {
 }
 
 /// Render a case back to its on-disk form.
-pub fn render_case(seed: u64, planted: Option<PlantedBug>, note: &str, module: &Module) -> String {
+pub fn render_case(
+    seed: u64,
+    planted: Option<PlantedBug>,
+    note: &str,
+    spec: &IoSpec,
+    module: &Module,
+) -> String {
     let mut out = String::new();
     out.push_str(&format!("; seed: {seed}\n"));
     if let Some(bug) = planted {
@@ -130,6 +182,19 @@ pub fn render_case(seed: u64, planted: Option<PlantedBug>, note: &str, module: &
     }
     if !note.is_empty() {
         out.push_str(&format!("; note: {note}\n"));
+    }
+    for &(at, line) in &spec.schedule {
+        let key = match at {
+            IrqAt::MmioStore(k) => format!("mmio-store {k}"),
+            IrqAt::Cycle(c) => format!("cycle {c}"),
+        };
+        out.push_str(&format!("; irq: {key} line {line}\n"));
+    }
+    for &(cycle, byte) in &spec.uart_rx {
+        out.push_str(&format!("; uart-rx: {cycle} {byte}\n"));
+    }
+    if spec.uart_irq_on_rx {
+        out.push_str("; uart-irq-on-rx: true\n");
     }
     out.push_str(&tta_ir::module_to_text(module));
     out
@@ -142,15 +207,51 @@ mod tests {
     #[test]
     fn case_headers_round_trip() {
         let m = crate::gen::generate(3, &crate::gen::GenConfig::default());
-        let text = render_case(3, Some(PlantedBug::SubSwapped), "swapped operands", &m);
+        let spec = IoSpec::default();
+        let text = render_case(
+            3,
+            Some(PlantedBug::SubSwapped),
+            "swapped operands",
+            &spec,
+            &m,
+        );
         let case = parse_case("0003-test", &text).unwrap();
         assert_eq!(case.seed, Some(3));
         assert_eq!(case.planted, Some(PlantedBug::SubSwapped));
         assert_eq!(case.note.as_deref(), Some("swapped operands"));
+        assert!(case.spec.is_empty());
         assert_eq!(
             tta_ir::module_to_text(&case.module),
             tta_ir::module_to_text(&m)
         );
+    }
+
+    #[test]
+    fn reactive_case_headers_round_trip() {
+        let (m, spec) = crate::gen::generate_reactive(7, &crate::gen::GenConfig::default());
+        assert!(!spec.is_empty(), "reactive cases must script I/O");
+        let text = render_case(7, Some(PlantedBug::IrqShiftKey), "late latch", &spec, &m);
+        let case = parse_case("0007-test", &text).unwrap();
+        assert_eq!(case.seed, Some(7));
+        assert_eq!(case.planted, Some(PlantedBug::IrqShiftKey));
+        assert_eq!(case.spec, spec);
+        assert_eq!(
+            tta_ir::module_to_text(&case.module),
+            tta_ir::module_to_text(&m)
+        );
+    }
+
+    #[test]
+    fn cycle_keyed_irq_headers_round_trip() {
+        let m = crate::gen::generate(3, &crate::gen::GenConfig::default());
+        let spec = IoSpec {
+            schedule: vec![(IrqAt::Cycle(40), 0), (IrqAt::MmioStore(2), 2)],
+            uart_rx: vec![(0, 97), (5, 200)],
+            uart_irq_on_rx: true,
+        };
+        let text = render_case(3, None, "", &spec, &m);
+        let case = parse_case("0003-io", &text).unwrap();
+        assert_eq!(case.spec, spec);
     }
 
     #[test]

@@ -23,6 +23,9 @@
 
 use tta_ir::builder::{Buffer, FunctionBuilder, ModuleBuilder};
 use tta_ir::{FuncId, MemRegion, Module, Operand, VReg};
+use tta_model::io::{
+    IoSpec, IrqAt, IRQ_CTRL_ADDR, IRQ_HANDLER_NAME, SOFT_LINE, UART_RX_ADDR, UART_TX_ADDR,
+};
 use tta_model::Opcode;
 use tta_testutil::Rng;
 
@@ -439,6 +442,135 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> Module {
     mb.finish()
 }
 
+/// Opcodes for the handler's seeded accumulate step (no shifts: the
+/// handler must stay sensitive to *which* byte it popped, and a shift by
+/// a large rx value would mask everything to zero).
+const IRQ_ACC_OPS: [Opcode; 4] = [Opcode::Add, Opcode::Xor, Opcode::Sub, Opcode::Ior];
+
+/// Generate a reactive case for `seed`: a module with a `__irq` handler
+/// plus the [`IoSpec`] it runs against.
+///
+/// The guest's `main` is a normal generated program with two additions:
+/// it enables interrupts first thing, and it transmits sentinel bytes
+/// over the UART between top-level statements (always at the top level,
+/// so the MMIO-store count of the main path is static). The handler pops
+/// one UART rx byte, folds it into an accumulator buffer with a seeded
+/// ALU op, and echoes a byte back; `main` folds the accumulator into its
+/// return value, so delivery points are visible in the return value, the
+/// memory image *and* the tx stream.
+///
+/// Interrupt arrivals are keyed on MMIO-store counts ([`IrqAt::MmioStore`])
+/// and rx bytes arrive at cycle 0 — the style-invariant choices, so the
+/// golden interpreter is an exact oracle for every design point (see the
+/// `tta_model::io` docs for why cycle keys are not).
+pub fn generate_reactive(seed: u64, cfg: &GenConfig) -> (Module, IoSpec) {
+    let _span = tta_obs::span("fuzz_generate");
+    tta_obs::counter::add("fuzz.generated", 1);
+    let mut rng = Rng::new(seed);
+    let mut mb = ModuleBuilder::new(format!("fuzz_irq_{seed}"));
+    let init: Vec<u8> = rng.vec(64, |r| r.next_u32() as u8);
+    let data = mb.data(&init);
+    let scratch = mb.buffer(64);
+    let ibuf = mb.buffer(8);
+
+    let mut ctx = Ctx {
+        rng: &mut rng,
+        data,
+        scratch,
+        leaves: Vec::new(),
+    };
+
+    let n_leaves = ctx.rng.below(cfg.max_leaf_funcs + 1);
+    for li in 0..n_leaves {
+        let nparams = ctx.rng.range(1, 4);
+        let f = leaf_function(&mut ctx, format!("leaf{li}"), nparams);
+        let id = mb.add(f);
+        ctx.leaves.push(Leaf { id, nparams });
+    }
+
+    // The interrupt handler: pop rx, fold it into the accumulator at
+    // ibuf[0] with a seeded op, echo a byte.
+    let mut hb = FunctionBuilder::new(IRQ_HANDLER_NAME, 0, false);
+    let rx = hb.ldw(UART_RX_ADDR as i32, MemRegion::ANY);
+    let acc = hb.ldw(ibuf.word(0), ibuf.region);
+    let op = IRQ_ACC_OPS[ctx.rng.below(IRQ_ACC_OPS.len())];
+    let mixed = hb.bin(op, Operand::Reg(acc), Operand::Reg(rx));
+    hb.stw(mixed, ibuf.word(0), ibuf.region);
+    let echo = if ctx.rng.next_bool() { rx } else { mixed };
+    hb.stw(echo, UART_TX_ADDR as i32, MemRegion::ANY);
+    hb.ret_void();
+    mb.add(hb.finish());
+
+    let mut fb = FunctionBuilder::new("main", 0, true);
+    fb.stw(1, IRQ_CTRL_ADDR as i32, MemRegion::ANY);
+    let mut main_stores = 1u64; // the IE enable above
+    let mut vals = Vec::new();
+    for _ in 0..3 {
+        let c = ctx.constant();
+        vals.push(fb.copy(c));
+    }
+    let budget = ctx.rng.range(cfg.max_stmts / 2 + 1, cfg.max_stmts + 1);
+    for s in 0..budget {
+        stmt(&mut ctx, &mut fb, &mut vals, cfg.max_depth);
+        if ctx.rng.chance(1, 2) {
+            fb.stw(0x40 + s as i32, UART_TX_ADDR as i32, MemRegion::ANY);
+            main_stores += 1;
+        }
+    }
+    // Pad to at least three main-path MMIO stores, so a schedule key can
+    // always land strictly before the last one. A key on the *final*
+    // store may coincide with halt: the fused styles retire the store and
+    // the return in one cycle and drop the pending interrupt, while the
+    // instruction-granular interpreter still delivers it — deterministic
+    // on every engine, but not style-invariant, so (like cycle keys) the
+    // differential oracle never schedules it.
+    while main_stores < 3 {
+        fb.stw(0x7e, UART_TX_ADDR as i32, MemRegion::ANY);
+        main_stores += 1;
+    }
+
+    // Fold the handler's accumulator and the tail of the value pool into
+    // the return value, and pin one copy into memory.
+    let hits = fb.ldw(ibuf.word(0), ibuf.region);
+    let mut out = *vals.last().expect("pool is never empty");
+    let tail: Vec<VReg> = vals.iter().rev().take(6).copied().collect();
+    for v in tail {
+        out = fb.xor(out, v);
+    }
+    out = fb.xor(out, hits);
+    fb.stw(out, scratch.word(0), scratch.region);
+    fb.ret(out);
+    let id = mb.add(fb.finish());
+    mb.set_entry(id);
+
+    // Seeded schedule: 1-3 arrivals keyed on the main path's MMIO-store
+    // counts (key 1 is the IE store itself; 2.. land on markers), plus
+    // 0-3 rx bytes available from the start. The upper bound excludes the
+    // final store (halt-edge delivery, see above); handler echoes only
+    // push the k-th store *earlier* in main's sequence, so every key is
+    // still followed by at least one more MMIO store.
+    let n_irqs = ctx.rng.range(1, 4);
+    let mut keys: Vec<u64> = (0..n_irqs)
+        .map(|_| ctx.rng.range(2, main_stores as usize) as u64)
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let schedule = keys
+        .into_iter()
+        .map(|k| (IrqAt::MmioStore(k), SOFT_LINE))
+        .collect();
+    let n_rx = ctx.rng.range(0, 4);
+    let uart_rx = (0..n_rx)
+        .map(|_| (0u64, ctx.rng.next_u32() as u8))
+        .collect();
+    let spec = IoSpec {
+        schedule,
+        uart_rx,
+        uart_irq_on_rx: false,
+    };
+    (mb.finish(), spec)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,6 +597,40 @@ mod tests {
         let cfg = GenConfig::default();
         for seed in [0u64, 7, 123, 9999] {
             assert_eq!(generate(seed, &cfg), generate(seed, &cfg));
+        }
+    }
+
+    #[test]
+    fn reactive_modules_verify_and_terminate_under_their_spec() {
+        let cfg = GenConfig::default();
+        let mut delivered = 0u64;
+        for seed in 0..64 {
+            let (m, spec) = generate_reactive(seed, &cfg);
+            tta_ir::verify_module(&m)
+                .unwrap_or_else(|e| panic!("seed {seed}: verify failed: {e:?}"));
+            assert!(!spec.schedule.is_empty(), "seed {seed}: empty schedule");
+            assert!(
+                spec.schedule
+                    .iter()
+                    .all(|&(at, _)| matches!(at, IrqAt::MmioStore(_))),
+                "seed {seed}: cycle-keyed arrival in a differential spec"
+            );
+            let mut io = tta_model::io::IoSystem::new(&spec);
+            let r = Interpreter::new(&m)
+                .with_fuel(50_000_000)
+                .run_with_io(&[], &mut io)
+                .unwrap_or_else(|e| panic!("seed {seed}: interpreter failed: {e}"));
+            assert!(r.ret.is_some(), "seed {seed}: entry must return a value");
+            delivered += io.irqs_delivered;
+        }
+        assert!(delivered > 32, "interrupts barely ever fire: {delivered}");
+    }
+
+    #[test]
+    fn reactive_generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        for seed in [0u64, 7, 123, 9999] {
+            assert_eq!(generate_reactive(seed, &cfg), generate_reactive(seed, &cfg));
         }
     }
 

@@ -3,13 +3,16 @@
 //! Three pieces, composed by the `fuzz` binary and the regression tests:
 //!
 //! * [`gen`] — a seeded random generator of verified, terminating
-//!   [`tta_ir::Module`]s covering the full instruction surface;
-//! * [`oracle`] — a differential oracle running each module through the
+//!   [`tta_ir::Module`]s covering the full instruction surface, plus a
+//!   reactive variant pairing each module with a seeded interrupt
+//!   schedule and UART script ([`gen::generate_reactive`]);
+//! * [`oracle`] — a differential oracle running each case through the
 //!   golden interpreter and compile+simulate on every preset design
-//!   point, comparing return value, memory image, and cycle-count
-//!   determinism;
+//!   point, comparing return value, memory image, UART transmit stream,
+//!   interrupt delivery count, and cycle-count determinism;
 //! * [`shrink`] — a greedy reducer that minimises any diverging module
-//!   while the divergence still reproduces.
+//!   (and, for reactive cases, its I/O spec) while the divergence still
+//!   reproduces.
 //!
 //! Every failure the fuzzer ever finds is shrunk and committed to
 //! `crates/fuzz/corpus/` as a textual IR file (see [`tta_ir::text`]),
@@ -22,6 +25,6 @@ pub mod oracle;
 pub mod shrink;
 
 pub use corpus::{corpus_dir, load_corpus, CorpusCase};
-pub use gen::{generate, GenConfig};
+pub use gen::{generate, generate_reactive, GenConfig};
 pub use oracle::{Divergence, Oracle, OracleReport, PlantedBug};
-pub use shrink::{inst_count, shrink};
+pub use shrink::{inst_count, shrink, shrink_reactive};

@@ -7,17 +7,27 @@
 //! * the returned value,
 //! * the final data-memory image (outside the reserved low words and the
 //!   compiler's spill scratch area, exactly like the hand-written
-//!   differential tests), and
+//!   differential tests),
+//! * for reactive cases ([`Oracle::check_reactive`]), the UART transmit
+//!   stream and the number of interrupts delivered, and
 //! * that a second simulation of the same program reproduces the same
 //!   cycle count bit-for-bit (simulators must be deterministic).
 //!
-//! A [`PlantedBug`] can be armed to mutate the module *on the compiled path
-//! only*, emulating a mis-compilation. This is the hook the shrinker
-//! self-test uses to prove the whole detect-and-minimise pipeline works
-//! even when the real compiler is clean.
+//! Reactive cases carry an [`IoSpec`] alongside the module: an interrupt
+//! schedule keyed on MMIO-store counts (the style-invariant clock — see
+//! [`tta_model::io::IrqAt`]) plus a scripted UART receive stream. The
+//! golden interpreter and every simulator run against their own fresh
+//! `IoSystem` built from the same spec.
+//!
+//! A [`PlantedBug`] can be armed to mutate the module *or the I/O spec on
+//! the compiled path only*, emulating a mis-compilation or a broken
+//! interrupt controller. This is the hook the shrinker self-test uses to
+//! prove the whole detect-and-minimise pipeline works even when the real
+//! toolchain is clean.
 
 use tta_compiler::compile;
 use tta_ir::{Inst, Interpreter, Module};
+use tta_model::io::{IoSpec, IoSystem, IrqAt, SOFT_LINE};
 use tta_model::{presets, Machine, Opcode};
 
 /// Memory bytes below this address are reserved (return-value slot) and
@@ -81,6 +91,24 @@ pub enum Divergence {
         /// Second run's cycles.
         second: u64,
     },
+    /// The UART transmit streams disagree (reactive cases only).
+    Uart {
+        /// Design-point name.
+        machine: String,
+        /// Interpreter's transmit log.
+        golden: Vec<u8>,
+        /// Simulator's transmit log.
+        got: Vec<u8>,
+    },
+    /// The interrupt delivery counts disagree (reactive cases only).
+    Irqs {
+        /// Design-point name.
+        machine: String,
+        /// Interrupts the interpreter delivered.
+        golden: u64,
+        /// Interrupts the simulator delivered.
+        got: u64,
+    },
 }
 
 impl Divergence {
@@ -100,7 +128,9 @@ impl Divergence {
             | Divergence::Sim { machine, .. }
             | Divergence::Ret { machine, .. }
             | Divergence::Mem { machine, .. }
-            | Divergence::Cycles { machine, .. } => Some(machine),
+            | Divergence::Cycles { machine, .. }
+            | Divergence::Uart { machine, .. }
+            | Divergence::Irqs { machine, .. } => Some(machine),
         }
     }
 }
@@ -138,13 +168,29 @@ impl std::fmt::Display for Divergence {
                 f,
                 "[{machine}] nondeterministic cycle count: {first} then {second}"
             ),
+            Divergence::Uart {
+                machine,
+                golden,
+                got,
+            } => write!(f, "[{machine}] uart tx {got:02x?} != golden {golden:02x?}"),
+            Divergence::Irqs {
+                machine,
+                golden,
+                got,
+            } => write!(
+                f,
+                "[{machine}] {got} interrupts delivered != golden {golden}"
+            ),
         }
     }
 }
 
-/// A deliberate semantics bug injected on the compiled path only. Used by
-/// the shrinker self-test and by `fuzz --plant-bug` to validate the whole
-/// pipeline end to end; never enabled in normal fuzzing.
+/// A deliberate semantics bug injected on the compiled path only. The
+/// first three mutate the *module* (a mis-compilation); the last three
+/// mutate the *I/O spec* the simulators run against (a broken interrupt
+/// controller or lossy device). Used by the shrinker self-test and by
+/// `fuzz --plant-bug` to validate the whole pipeline end to end; never
+/// enabled in normal fuzzing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlantedBug {
     /// Compile every arithmetic `shr` as the logical `shru`: diverges
@@ -155,14 +201,27 @@ pub enum PlantedBug {
     /// Compile every `sxqw` (8-bit sign extension) as `sxhw` (16-bit):
     /// diverges on values whose bits 8..15 disagree with bit 7.
     SxqwAsSxhw,
+    /// Shift every interrupt-schedule key one step later (a controller
+    /// that latches a beat late): the handler runs at the wrong point in
+    /// the MMIO-store stream, or not at all.
+    IrqShiftKey,
+    /// Drop every scripted interrupt on the soft line: scheduled
+    /// deliveries silently never happen.
+    IrqDropLine,
+    /// Lose the first scripted UART receive byte: the handler pops the
+    /// wrong byte (or -1) from that point on.
+    UartDropByte,
 }
 
 impl PlantedBug {
     /// All planted bugs (for CLI parsing and corpus seeding).
-    pub const ALL: [PlantedBug; 3] = [
+    pub const ALL: [PlantedBug; 6] = [
         PlantedBug::ShrAsShru,
         PlantedBug::SubSwapped,
         PlantedBug::SxqwAsSxhw,
+        PlantedBug::IrqShiftKey,
+        PlantedBug::IrqDropLine,
+        PlantedBug::UartDropByte,
     ];
 
     /// CLI name.
@@ -171,6 +230,9 @@ impl PlantedBug {
             PlantedBug::ShrAsShru => "shr-as-shru",
             PlantedBug::SubSwapped => "sub-swapped",
             PlantedBug::SxqwAsSxhw => "sxqw-as-sxhw",
+            PlantedBug::IrqShiftKey => "irq-shift-key",
+            PlantedBug::IrqDropLine => "irq-drop-line",
+            PlantedBug::UartDropByte => "uart-drop-byte",
         }
     }
 
@@ -179,7 +241,16 @@ impl PlantedBug {
         Self::ALL.into_iter().find(|b| b.name() == s)
     }
 
-    /// Apply the mis-compilation to a module clone.
+    /// Whether this bug mutates the I/O spec (as opposed to the module).
+    pub fn is_spec_bug(self) -> bool {
+        matches!(
+            self,
+            PlantedBug::IrqShiftKey | PlantedBug::IrqDropLine | PlantedBug::UartDropByte
+        )
+    }
+
+    /// Apply the mis-compilation to a module clone. Spec bugs leave the
+    /// module untouched.
     pub fn apply(self, m: &Module) -> Module {
         let mut out = m.clone();
         for f in &mut out.funcs {
@@ -201,6 +272,30 @@ impl PlantedBug {
                     }
                 }
             }
+        }
+        out
+    }
+
+    /// Apply the device/controller fault to a spec clone. Module bugs
+    /// leave the spec untouched.
+    pub fn apply_spec(self, spec: &IoSpec) -> IoSpec {
+        let mut out = spec.clone();
+        match self {
+            PlantedBug::IrqShiftKey => {
+                for (at, _) in &mut out.schedule {
+                    *at = match *at {
+                        IrqAt::Cycle(c) => IrqAt::Cycle(c + 1),
+                        IrqAt::MmioStore(k) => IrqAt::MmioStore(k + 1),
+                    };
+                }
+            }
+            PlantedBug::IrqDropLine => {
+                out.schedule.retain(|&(_, line)| line != SOFT_LINE);
+            }
+            PlantedBug::UartDropByte if !out.uart_rx.is_empty() => {
+                out.uart_rx.remove(0);
+            }
+            _ => {}
         }
         out
     }
@@ -263,15 +358,27 @@ impl Oracle {
         })
     }
 
-    /// Check one module. `Ok` carries per-machine cycle counts; `Err`
-    /// carries the first divergence found.
+    /// Check one module with no scripted I/O. `Ok` carries per-machine
+    /// cycle counts; `Err` carries the first divergence found.
+    pub fn check(&self, module: &Module) -> Result<OracleReport, Divergence> {
+        self.check_reactive(module, &IoSpec::default())
+    }
+
+    /// Check one reactive case: a module plus the interrupt schedule and
+    /// device scripts it runs against. The golden interpreter and every
+    /// simulator get their own fresh `IoSystem` built from `spec`; a
+    /// planted spec bug mutates only the simulators' copy.
     ///
     /// Observability: the whole check runs under a `fuzz_check` span
     /// (the compiler and simulator charge `compile`/`simulate` spans
     /// beneath it) and feeds the `fuzz.*` counters.
-    pub fn check(&self, module: &Module) -> Result<OracleReport, Divergence> {
+    pub fn check_reactive(
+        &self,
+        module: &Module,
+        spec: &IoSpec,
+    ) -> Result<OracleReport, Divergence> {
         let _span = tta_obs::span("fuzz_check");
-        let result = self.check_inner(module);
+        let result = self.check_inner(module, spec);
         if tta_obs::enabled() {
             match &result {
                 Ok(report) => {
@@ -289,7 +396,7 @@ impl Oracle {
         result
     }
 
-    fn check_inner(&self, module: &Module) -> Result<OracleReport, Divergence> {
+    fn check_inner(&self, module: &Module, spec: &IoSpec) -> Result<OracleReport, Divergence> {
         if let Err(es) = tta_ir::verify_module(module) {
             let msg = es
                 .iter()
@@ -299,22 +406,29 @@ impl Oracle {
                 .join("; ");
             return Err(Divergence::Verify(msg));
         }
+        let mut golden_io = IoSystem::new(spec);
         let golden = {
             let _s = tta_obs::span("golden_interp");
             Interpreter::new(module)
                 .with_fuel(self.interp_fuel)
-                .run(&[])
+                .run_with_io(&[], &mut golden_io)
                 .map_err(|e| Divergence::Interp(e.to_string()))?
         };
         let Some(golden_ret) = golden.ret else {
             return Err(Divergence::Interp("entry returned no value".into()));
         };
+        let golden_tx = golden_io.uart_tx();
+        let golden_irqs = golden_io.irqs_delivered;
 
-        // The mis-compiled twin (identical to `module` unless a bug is
-        // planted): what the compile+simulate path actually sees.
+        // The mis-compiled twin (identical to `module`/`spec` unless a
+        // bug is planted): what the compile+simulate path actually sees.
         let compiled_view = match self.planted {
             Some(bug) => bug.apply(module),
             None => module.clone(),
+        };
+        let spec_view = match self.planted {
+            Some(bug) => bug.apply_spec(spec),
+            None => spec.clone(),
         };
 
         let lo = MEM_COMPARE_LO.min(module.mem_size as usize);
@@ -326,11 +440,13 @@ impl Oracle {
                 error: e.to_string(),
             })?;
             let run = || {
-                tta_sim::run_with_fuel(
+                tta_sim::run_with_io(
                     machine,
                     &compiled.program,
                     module.initial_memory(),
                     self.sim_fuel,
+                    &spec_view,
+                    compiled.irq_entry,
                 )
             };
             let result = run().map_err(|e| Divergence::Sim {
@@ -350,6 +466,20 @@ impl Oracle {
                     addr,
                     golden: golden.memory[addr],
                     got: result.memory[addr],
+                });
+            }
+            if result.uart_tx != golden_tx {
+                return Err(Divergence::Uart {
+                    machine: machine.name.clone(),
+                    golden: golden_tx,
+                    got: result.uart_tx.clone(),
+                });
+            }
+            if result.stats.irqs != golden_irqs {
+                return Err(Divergence::Irqs {
+                    machine: machine.name.clone(),
+                    golden: golden_irqs,
+                    got: result.stats.irqs,
                 });
             }
             // Determinism: an identical re-run must reproduce the cycle
@@ -438,5 +568,71 @@ mod tests {
             assert_eq!(PlantedBug::from_name(b.name()), Some(b));
         }
         assert_eq!(PlantedBug::from_name("nope"), None);
+    }
+
+    #[test]
+    fn reactive_case_passes_clean_and_every_spec_bug_is_detected() {
+        let (m, spec) = crate::gen::generate_reactive(1, &crate::gen::GenConfig::default());
+        let clean = Oracle::all_presets();
+        let report = clean
+            .check_reactive(&m, &spec)
+            .unwrap_or_else(|d| panic!("clean reactive check diverged: {d}"));
+        assert_eq!(report.runs.len(), 13);
+        for bug in PlantedBug::ALL {
+            if !bug.is_spec_bug() {
+                continue;
+            }
+            assert_eq!(bug.apply(&m), m, "spec bugs must not touch the module");
+            // A spec bug may be a no-op on a given spec (e.g. nothing to
+            // drop); find a seed where each one bites below.
+        }
+    }
+
+    #[test]
+    fn each_spec_bug_diverges_on_some_seed() {
+        for bug in [
+            PlantedBug::IrqShiftKey,
+            PlantedBug::IrqDropLine,
+            PlantedBug::UartDropByte,
+        ] {
+            let oracle = Oracle {
+                planted: Some(bug),
+                ..Oracle::all_presets()
+            };
+            let caught = (0..24).any(|seed| {
+                let (m, spec) =
+                    crate::gen::generate_reactive(seed, &crate::gen::GenConfig::default());
+                matches!(oracle.check_reactive(&m, &spec), Err(d) if d.is_semantic())
+            });
+            assert!(caught, "planted {} never diverged in 24 seeds", bug.name());
+        }
+    }
+
+    #[test]
+    fn module_bugs_leave_the_spec_untouched() {
+        let spec = IoSpec {
+            schedule: vec![(IrqAt::MmioStore(2), SOFT_LINE)],
+            uart_rx: vec![(0, 97)],
+            uart_irq_on_rx: false,
+        };
+        for bug in [
+            PlantedBug::ShrAsShru,
+            PlantedBug::SubSwapped,
+            PlantedBug::SxqwAsSxhw,
+        ] {
+            assert_eq!(bug.apply_spec(&spec), spec, "{}", bug.name());
+        }
+        assert_eq!(
+            PlantedBug::IrqShiftKey.apply_spec(&spec).schedule,
+            vec![(IrqAt::MmioStore(3), SOFT_LINE)]
+        );
+        assert!(PlantedBug::IrqDropLine
+            .apply_spec(&spec)
+            .schedule
+            .is_empty());
+        assert!(PlantedBug::UartDropByte
+            .apply_spec(&spec)
+            .uart_rx
+            .is_empty());
     }
 }

@@ -18,6 +18,7 @@
 //! generated ~50-instruction programs down to a handful.
 
 use tta_ir::{BlockId, FuncId, Function, Inst, Module, Operand, Terminator};
+use tta_model::io::IoSpec;
 
 /// Count every instruction in the module (terminators excluded).
 pub fn inst_count(m: &Module) -> usize {
@@ -150,10 +151,16 @@ fn cleanup_blocks(m: &mut Module) {
 }
 
 /// Drop functions unreachable from the entry via calls, renumbering
-/// `FuncId`s in call sites and the entry.
+/// `FuncId`s in call sites and the entry. The reserved `__irq` handler
+/// is a root too: it is entered by interrupt delivery, never by a call.
 fn cleanup_funcs(m: &mut Module) {
     let mut live = vec![false; m.funcs.len()];
     let mut stack = vec![m.entry];
+    for (i, f) in m.funcs.iter().enumerate() {
+        if f.name == tta_model::io::IRQ_HANDLER_NAME {
+            stack.push(FuncId(i as u32));
+        }
+    }
     while let Some(fid) = stack.pop() {
         if std::mem::replace(&mut live[fid.0 as usize], true) {
             continue;
@@ -316,6 +323,69 @@ pub fn shrink(module: &Module, reproduces: &dyn Fn(&Module) -> bool) -> Module {
 
         if !progress {
             return best;
+        }
+    }
+}
+
+/// Greedily minimise a reactive case — the module *and* its I/O spec —
+/// while `reproduces` holds for the pair. Alternates spec reduction
+/// (drop one schedule entry or rx byte at a time, clear the rx-interrupt
+/// flag) with module shrinking under the fixed spec, to a joint
+/// fixpoint. Like [`shrink`], the input is returned unchanged if it does
+/// not reproduce.
+pub fn shrink_reactive(
+    module: &Module,
+    spec: &IoSpec,
+    reproduces: &dyn Fn(&Module, &IoSpec) -> bool,
+) -> (Module, IoSpec) {
+    let mut best_m = module.clone();
+    let mut best_s = spec.clone();
+    if !reproduces(&best_m, &best_s) {
+        return (best_m, best_s);
+    }
+    loop {
+        let mut progress = false;
+        let mut i = 0;
+        while i < best_s.schedule.len() {
+            let mut cand = best_s.clone();
+            cand.schedule.remove(i);
+            if reproduces(&best_m, &cand) {
+                best_s = cand;
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < best_s.uart_rx.len() {
+            let mut cand = best_s.clone();
+            cand.uart_rx.remove(i);
+            if reproduces(&best_m, &cand) {
+                best_s = cand;
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+        if best_s.uart_irq_on_rx {
+            let mut cand = best_s.clone();
+            cand.uart_irq_on_rx = false;
+            if reproduces(&best_m, &cand) {
+                best_s = cand;
+                progress = true;
+            }
+        }
+        // Module passes under the (possibly reduced) spec; `shrink` runs
+        // to its own fixpoint, so any change it makes is final for this
+        // spec.
+        let s = best_s.clone();
+        let small = shrink(&best_m, &|m| reproduces(m, &s));
+        if small != best_m {
+            best_m = small;
+            progress = true;
+        }
+        if !progress {
+            return (best_m, best_s);
         }
     }
 }

@@ -172,6 +172,23 @@ impl Module {
     pub fn inst_count(&self) -> usize {
         self.funcs.iter().map(|f| f.inst_count()).sum()
     }
+
+    /// The reserved interrupt handler — the function named `__irq`
+    /// (see [`tta_model::io::IRQ_HANDLER_NAME`]) — if the module has
+    /// one that is not also the entry. The verifier pins its shape:
+    /// no parameters, no return value.
+    pub fn irq_handler_id(&self) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == tta_model::io::IRQ_HANDLER_NAME)
+            .map(|i| FuncId(i as u32))
+            .filter(|&id| id != self.entry)
+    }
+
+    /// [`Module::irq_handler_id`], resolved to the function.
+    pub fn irq_handler(&self) -> Option<&Function> {
+        self.irq_handler_id().map(|id| self.func(id))
+    }
 }
 
 /// Convenience conversions used pervasively by kernel builders.

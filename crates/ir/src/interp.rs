@@ -9,6 +9,7 @@
 
 use crate::func::{Function, Module};
 use crate::inst::{Inst, Operand, Terminator, VReg};
+use tta_model::io::{IoSystem, MMIO_BASE};
 use tta_model::mem::MemError;
 
 /// Dynamic execution counters.
@@ -102,7 +103,7 @@ impl<'m> Interpreter<'m> {
         let mut stats = ExecStats::default();
         let mut fuel = self.fuel;
         let entry = self.module.entry_func();
-        let ret = self.call(entry, args, &mut mem, &mut stats, &mut fuel, 0)?;
+        let ret = self.call(entry, args, &mut mem, &mut stats, &mut fuel, 0, None)?;
         Ok(ExecResult {
             ret,
             stats,
@@ -110,6 +111,60 @@ impl<'m> Interpreter<'m> {
         })
     }
 
+    /// [`Interpreter::run`] against a memory-mapped I/O system: accesses
+    /// at or above [`MMIO_BASE`] route to `io`'s devices, and pending
+    /// interrupts are delivered at instruction boundaries as a nested
+    /// call of the module's `__irq` handler. The interpreter's clock (for
+    /// cycle-keyed schedule entries) is its executed-instruction count —
+    /// an approximation by design; the style-invariant
+    /// [`tta_model::io::IrqAt::MmioStore`] keys are exact here.
+    pub fn run_with_io(&self, args: &[i32], io: &mut IoSystem) -> Result<ExecResult, IrError> {
+        let mut mem = self.module.initial_memory();
+        let mut stats = ExecStats::default();
+        let mut fuel = self.fuel;
+        let entry = self.module.entry_func();
+        let ret = self.call(entry, args, &mut mem, &mut stats, &mut fuel, 0, Some(io))?;
+        Ok(ExecResult {
+            ret,
+            stats,
+            memory: mem,
+        })
+    }
+
+    /// Drain pending interrupts by calling `__irq` as a nested function.
+    /// Runs at every instruction boundary (before each instruction and
+    /// each terminator), mirroring the simulators' block-boundary
+    /// delivery points. Draining loops: a line raised *while the handler
+    /// runs* (e.g. an [`tta_model::io::IrqAt::MmioStore`] key landing on
+    /// one of the handler's own stores) redelivers at this same boundary,
+    /// exactly as the simulators re-poll at the loop top after an
+    /// interrupt return. Each delivery burns fuel inside the handler, so
+    /// a self-sustaining storm terminates as `FuelExhausted`.
+    #[allow(clippy::too_many_arguments)]
+    fn maybe_deliver(
+        &self,
+        io: Option<&mut IoSystem>,
+        mem: &mut Vec<u8>,
+        stats: &mut ExecStats,
+        fuel: &mut u64,
+        depth: u32,
+    ) -> Result<(), IrError> {
+        let Some(io) = io else { return Ok(()) };
+        loop {
+            io.poll(stats.insts);
+            let Some(line) = io.deliverable() else {
+                return Ok(());
+            };
+            let Some(handler) = self.module.irq_handler() else {
+                return Ok(());
+            };
+            io.begin_delivery(line);
+            self.call(handler, &[], mem, stats, fuel, depth + 1, Some(&mut *io))?;
+            io.finish_handler();
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn call(
         &self,
         f: &Function,
@@ -118,6 +173,7 @@ impl<'m> Interpreter<'m> {
         stats: &mut ExecStats,
         fuel: &mut u64,
         depth: u32,
+        mut io: Option<&mut IoSystem>,
     ) -> Result<Option<i32>, IrError> {
         if depth > self.max_depth {
             return Err(IrError::DepthExceeded);
@@ -152,6 +208,7 @@ impl<'m> Interpreter<'m> {
         loop {
             let b = f.block(block);
             for inst in &b.insts {
+                self.maybe_deliver(io.as_deref_mut(), mem, stats, fuel, depth)?;
                 if *fuel == 0 {
                     return Err(IrError::FuelExhausted);
                 }
@@ -174,7 +231,11 @@ impl<'m> Interpreter<'m> {
                     Inst::Load { op, dst, addr, .. } => {
                         stats.loads += 1;
                         let a = eval(&regs, *addr)? as u32;
-                        regs[dst.0 as usize] = Some(tta_model::mem::load(mem, *op, a)?);
+                        let v = match io.as_deref_mut() {
+                            Some(sys) if a >= MMIO_BASE => sys.load(*op, a, stats.insts)?,
+                            _ => tta_model::mem::load(mem, *op, a)?,
+                        };
+                        regs[dst.0 as usize] = Some(v);
                     }
                     Inst::Store {
                         op, value, addr, ..
@@ -182,7 +243,10 @@ impl<'m> Interpreter<'m> {
                         stats.stores += 1;
                         let v = eval(&regs, *value)?;
                         let a = eval(&regs, *addr)? as u32;
-                        tta_model::mem::store(mem, *op, a, v)?;
+                        match io.as_deref_mut() {
+                            Some(sys) if a >= MMIO_BASE => sys.store(*op, a, v, stats.insts)?,
+                            _ => tta_model::mem::store(mem, *op, a, v)?,
+                        }
                     }
                     Inst::Call {
                         func,
@@ -195,7 +259,15 @@ impl<'m> Interpreter<'m> {
                         for a in call_args {
                             vals.push(eval(&regs, *a)?);
                         }
-                        let r = self.call(callee, &vals, mem, stats, fuel, depth + 1)?;
+                        let r = self.call(
+                            callee,
+                            &vals,
+                            mem,
+                            stats,
+                            fuel,
+                            depth + 1,
+                            io.as_deref_mut(),
+                        )?;
                         if let Some(d) = dst {
                             let v = r.ok_or_else(|| {
                                 IrError::BadCall(format!(
@@ -208,6 +280,7 @@ impl<'m> Interpreter<'m> {
                     }
                 }
             }
+            self.maybe_deliver(io.as_deref_mut(), mem, stats, fuel, depth)?;
             if *fuel == 0 {
                 return Err(IrError::FuelExhausted);
             }
@@ -354,6 +427,66 @@ mod tests {
         let r = Interpreter::new(&m).run(&[]).unwrap();
         assert_eq!(r.ret, Some(0x55aa));
         assert_eq!(r.memory[buf.addr as usize], 0xaa);
+    }
+
+    #[test]
+    fn mmio_interrupt_delivery_runs_handler_between_stores() {
+        use crate::inst::MemRegion;
+        use tta_model::io::{IoSpec, IoSystem, IrqAt, SOFT_LINE};
+        use tta_model::io::{IRQ_CTRL_ADDR, UART_RX_ADDR, UART_TX_ADDR};
+
+        let mut mb = ModuleBuilder::new("reactive");
+        let buf = mb.buffer(8);
+        // Handler: pop an rx byte, accumulate it into buf, echo it.
+        let mut hb = FunctionBuilder::new("__irq", 0, false);
+        let rx = hb.ldw(UART_RX_ADDR as i32, MemRegion::ANY);
+        let old = hb.ldw(buf.base(), buf.region);
+        let sum = hb.add(old, rx);
+        hb.stw(sum, buf.base(), buf.region);
+        hb.stw(rx, UART_TX_ADDR as i32, MemRegion::ANY);
+        hb.ret_void();
+        mb.add(hb.finish());
+        // Main: enable IE (mmio store #1), send two markers (#2, #3).
+        let mut fb = FunctionBuilder::new("main", 0, true);
+        fb.stw(1, IRQ_CTRL_ADDR as i32, MemRegion::ANY);
+        fb.stw(0x10, UART_TX_ADDR as i32, MemRegion::ANY);
+        fb.stw(0x20, UART_TX_ADDR as i32, MemRegion::ANY);
+        let v = fb.ldw(buf.base(), buf.region);
+        fb.ret(v);
+        let id = mb.add(fb.finish());
+        mb.set_entry(id);
+        let m = mb.finish();
+        crate::verify::verify_module(&m).unwrap();
+
+        // One interrupt after the 2nd MMIO store, one rx byte ready.
+        let spec = IoSpec {
+            schedule: vec![(IrqAt::MmioStore(2), SOFT_LINE)],
+            uart_rx: vec![(0, 7)],
+            ..IoSpec::default()
+        };
+        let mut io = IoSystem::new(&spec);
+        let r = Interpreter::new(&m).run_with_io(&[], &mut io).unwrap();
+        // The handler ran between the two marker stores: tx order pins it.
+        assert_eq!(io.uart_tx(), vec![0x10, 7, 0x20]);
+        assert_eq!(r.ret, Some(7));
+        assert_eq!(io.irqs_delivered, 1);
+        // With a handler-echo store in between, the main markers still
+        // count: 1 (IE) + 2 markers + 1 handler echo.
+        assert_eq!(io.mmio_stores(), 4);
+    }
+
+    #[test]
+    fn irq_handler_signature_is_verified() {
+        let mut mb = ModuleBuilder::new("badirq");
+        let mut hb = FunctionBuilder::new("__irq", 1, false);
+        hb.ret_void();
+        mb.add(hb.finish());
+        let mut fb = FunctionBuilder::new("main", 0, false);
+        fb.ret_void();
+        let id = mb.add(fb.finish());
+        mb.set_entry(id);
+        let m = mb.finish();
+        assert!(crate::verify::verify_module(&m).is_err());
     }
 
     #[test]

@@ -45,6 +45,17 @@ pub fn verify_module(m: &Module) -> Result<(), Vec<VerifyError>> {
             errs.append(&mut es);
         }
     }
+    // The reserved interrupt handler has a fixed signature: no
+    // parameters (there is nothing to pass at delivery) and no return
+    // value (it resumes the interrupted context instead).
+    if let Some(h) = m.irq_handler() {
+        if !h.params.is_empty() || h.returns_value {
+            errs.push(VerifyError(format!(
+                "{}: interrupt handler must take no parameters and return no value",
+                h.name
+            )));
+        }
+    }
     if errs.is_empty() {
         Ok(())
     } else {

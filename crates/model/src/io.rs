@@ -1,0 +1,750 @@
+//! Memory-mapped I/O and interrupt machinery shared by the IR reference
+//! interpreter and the cycle-accurate simulators.
+//!
+//! Like [`crate::mem`], this module is the single source of truth for
+//! device semantics so every executor agrees bit-for-bit: the golden
+//! interpreter and the three simulator styles all route accesses above
+//! [`MMIO_BASE`] through the same [`IoSystem`].
+//!
+//! # Memory map
+//!
+//! All MMIO registers are word-sized and word-aligned; sub-word accesses
+//! fault exactly like a misaligned data-memory access.
+//!
+//! | address                | register     | semantics                              |
+//! |------------------------|--------------|----------------------------------------|
+//! | `MMIO_BASE + 0x00`     | `IRQ_CTRL`   | bit0 = interrupt enable (rw)           |
+//! | `MMIO_BASE + 0x04`     | `IRQ_STATUS` | pending/servicing line mask (r, W1C)   |
+//! | `MMIO_BASE + 0x08`     | `IRQ_EOI`    | any store = return-from-interrupt (w)  |
+//! | `MMIO_BASE + 0x40`     | `UART_STATUS`| bit0 rx available, bit1 tx ready (r)   |
+//! | `MMIO_BASE + 0x44`     | `UART_RX`    | pop next received byte, -1 if none (r) |
+//! | `MMIO_BASE + 0x48`     | `UART_TX`    | send low byte (w)                      |
+//! | `MMIO_BASE + 0x80`     | `TIMER_CTRL` | bit0 enable (rw)                       |
+//! | `MMIO_BASE + 0x84`     | `TIMER_PERIOD`| fire period in cycles (rw)            |
+//! | `MMIO_BASE + 0x88`     | `TIMER_COUNT`| cycles until next fire, -1 idle (r)    |
+//!
+//! # Interrupt model
+//!
+//! Devices raise numbered lines (UART = line 0, timer = line 1, scripted
+//! "soft" interrupts default to line 2); raised lines latch into a
+//! pending mask. Delivery happens at an *instruction boundary* when the
+//! guest has set `IRQ_CTRL.IE` and no handler is already running: the
+//! lowest pending line is cleared, `IE` drops, and control transfers to
+//! the guest's `__irq` handler. The handler returns by storing to
+//! `IRQ_EOI` (the compiler injects that store before every handler
+//! return), which restores `IE` and the interrupted context.
+//!
+//! Interrupt *arrival* can be keyed two ways ([`IrqAt`]):
+//!
+//! * [`IrqAt::Cycle`] — raise at a simulated cycle. Cycle counts differ
+//!   across core styles by design, so this axis serves within-style
+//!   tests (tier-parity, latency pinning) and reactive example guests.
+//! * [`IrqAt::MmioStore`] — raise once the guest has performed its K-th
+//!   MMIO store. The dynamic MMIO-store sequence is identical across the
+//!   interpreter and every style (MMIO ops are naturally program-
+//!   ordered), so this axis is the style-invariant key the differential
+//!   fuzz oracle uses.
+
+use crate::mem::MemError;
+use crate::op::Opcode;
+
+/// Base of the MMIO window. Addresses at or above this route to devices.
+pub const MMIO_BASE: u32 = 0xFFFF_0000;
+
+/// Interrupt-enable control register (bit0 = IE).
+pub const IRQ_CTRL_ADDR: u32 = MMIO_BASE;
+/// Pending/servicing interrupt line mask (read; write-1-to-clear).
+pub const IRQ_STATUS_ADDR: u32 = MMIO_BASE + 0x04;
+/// Return-from-interrupt doorbell: any store ends the current handler.
+pub const IRQ_EOI_ADDR: u32 = MMIO_BASE + 0x08;
+
+/// UART status register (bit0 rx available, bit1 tx ready).
+pub const UART_STATUS_ADDR: u32 = MMIO_BASE + 0x40;
+/// UART receive register: pops the next scripted byte, or -1.
+pub const UART_RX_ADDR: u32 = MMIO_BASE + 0x44;
+/// UART transmit register: stores append their low byte to the tx log.
+pub const UART_TX_ADDR: u32 = MMIO_BASE + 0x48;
+
+/// Timer control register (bit0 enable).
+pub const TIMER_CTRL_ADDR: u32 = MMIO_BASE + 0x80;
+/// Timer period register, in cycles (0 = never fires).
+pub const TIMER_PERIOD_ADDR: u32 = MMIO_BASE + 0x84;
+/// Timer countdown register: cycles until the next fire, or -1.
+pub const TIMER_COUNT_ADDR: u32 = MMIO_BASE + 0x88;
+
+/// Interrupt line of the UART (rx-available).
+pub const UART_LINE: u8 = 0;
+/// Interrupt line of the cycle timer.
+pub const TIMER_LINE: u8 = 1;
+/// Default interrupt line for scripted (schedule-driven) interrupts.
+pub const SOFT_LINE: u8 = 2;
+
+/// Name of the reserved interrupt-handler function in guest IR: a
+/// function called `__irq` taking no parameters and returning no value.
+pub const IRQ_HANDLER_NAME: &str = "__irq";
+
+/// When an interrupt-schedule entry raises its line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum IrqAt {
+    /// Raise at this simulated cycle (style-dependent: cycle counts
+    /// differ across TTA/VLIW/scalar; the interpreter approximates the
+    /// clock with its executed-instruction count).
+    Cycle(u64),
+    /// Raise once the guest has performed this many MMIO stores — the
+    /// style-invariant key used by the differential fuzz oracle.
+    MmioStore(u64),
+}
+
+/// A reactive run's scripted environment: interrupt-arrival schedule and
+/// UART receive script. This is fuzz *input* — it is serialised next to
+/// the module text in corpus cases.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IoSpec {
+    /// Scripted interrupt arrivals: (trigger, line).
+    pub schedule: Vec<(IrqAt, u8)>,
+    /// UART receive script: (arrival cycle, byte). Bytes become readable
+    /// (and, with [`IoSpec::uart_irq_on_rx`], raise line 0) once the
+    /// clock passes their arrival cycle.
+    pub uart_rx: Vec<(u64, u8)>,
+    /// Whether an arriving rx byte raises the UART interrupt line.
+    /// Cycle-keyed like [`IrqAt::Cycle`], so the differential oracle
+    /// keeps this off and polls instead.
+    pub uart_irq_on_rx: bool,
+}
+
+impl IoSpec {
+    /// True if this spec scripts no device activity at all.
+    pub fn is_empty(&self) -> bool {
+        self.schedule.is_empty() && self.uart_rx.is_empty() && !self.uart_irq_on_rx
+    }
+}
+
+/// A memory-mapped device occupying one address window.
+///
+/// `now` is the executor's clock: simulated cycles in the simulators,
+/// executed instructions in the reference interpreter. Devices must be
+/// deterministic functions of their access/clock history so every
+/// executor observes identical behaviour.
+pub trait Device: Send {
+    /// Short name, for traces and diagnostics.
+    fn name(&self) -> &'static str;
+    /// The absolute address window `(base, len_bytes)` this device decodes.
+    fn window(&self) -> (u32, u32);
+    /// Word load at `offset` bytes into the window.
+    fn load(&mut self, offset: u32, now: u64) -> i32;
+    /// Word store at `offset` bytes into the window.
+    fn store(&mut self, offset: u32, value: i32, now: u64);
+    /// The next clock value strictly after `now` at which this device
+    /// will raise its interrupt line, if it can know one.
+    fn next_event(&self, now: u64) -> Option<u64>;
+    /// Poll the device up to `now`: true if its line has risen since the
+    /// last poll (edge-triggered; the caller latches it).
+    fn poll(&mut self, now: u64) -> bool;
+    /// Observable output stream (e.g. UART tx bytes) for differential
+    /// comparison.
+    fn output(&self) -> &[u8] {
+        &[]
+    }
+}
+
+/// UART-like byte-stream device: a scripted receive queue and an
+/// append-only transmit log.
+#[derive(Debug, Default)]
+pub struct Uart {
+    /// (arrival cycle, byte), sorted by arrival.
+    rx: Vec<(u64, u8)>,
+    /// Next rx index to pop.
+    rx_head: usize,
+    /// Next rx index whose arrival has not yet raised the line.
+    rx_irq_head: usize,
+    /// Whether arriving bytes raise line 0.
+    irq_on_rx: bool,
+    /// Transmit log.
+    tx: Vec<u8>,
+}
+
+impl Uart {
+    /// A UART fed by `rx` (sorted by this constructor).
+    pub fn new(mut rx: Vec<(u64, u8)>, irq_on_rx: bool) -> Uart {
+        rx.sort_by_key(|&(c, _)| c);
+        Uart {
+            rx,
+            rx_head: 0,
+            rx_irq_head: 0,
+            irq_on_rx,
+            tx: Vec::new(),
+        }
+    }
+
+    fn rx_available(&self, now: u64) -> bool {
+        self.rx.get(self.rx_head).is_some_and(|&(c, _)| c <= now)
+    }
+}
+
+impl Device for Uart {
+    fn name(&self) -> &'static str {
+        "uart"
+    }
+
+    fn window(&self) -> (u32, u32) {
+        (UART_STATUS_ADDR, 12)
+    }
+
+    fn load(&mut self, offset: u32, now: u64) -> i32 {
+        match offset {
+            // STATUS: tx always ready (bit1), rx available (bit0).
+            0 => 2 | self.rx_available(now) as i32,
+            // RX: pop the next arrived byte, or -1.
+            4 => {
+                if self.rx_available(now) {
+                    let b = self.rx[self.rx_head].1;
+                    self.rx_head += 1;
+                    self.rx_irq_head = self.rx_irq_head.max(self.rx_head);
+                    b as i32
+                } else {
+                    -1
+                }
+            }
+            // TX reads as 0.
+            _ => 0,
+        }
+    }
+
+    fn store(&mut self, offset: u32, value: i32, _now: u64) {
+        if offset == 8 {
+            self.tx.push(value as u8);
+        }
+    }
+
+    fn next_event(&self, now: u64) -> Option<u64> {
+        if !self.irq_on_rx {
+            return None;
+        }
+        self.rx.get(self.rx_irq_head).map(|&(c, _)| c.max(now + 1))
+    }
+
+    fn poll(&mut self, now: u64) -> bool {
+        if !self.irq_on_rx {
+            return false;
+        }
+        let mut rose = false;
+        while self
+            .rx
+            .get(self.rx_irq_head)
+            .is_some_and(|&(c, _)| c <= now)
+        {
+            self.rx_irq_head += 1;
+            rose = true;
+        }
+        rose
+    }
+
+    fn output(&self) -> &[u8] {
+        &self.tx
+    }
+}
+
+/// Cycle-driven periodic timer, programmed by the guest over MMIO.
+#[derive(Debug, Default)]
+pub struct Timer {
+    enabled: bool,
+    period: u64,
+    /// Next fire clock, when armed (enabled with a non-zero period).
+    next_fire: Option<u64>,
+}
+
+impl Timer {
+    /// A disabled timer (the guest arms it over MMIO).
+    pub fn new() -> Timer {
+        Timer::default()
+    }
+
+    fn rearm(&mut self, now: u64) {
+        self.next_fire = (self.enabled && self.period > 0).then(|| now + self.period);
+    }
+}
+
+impl Device for Timer {
+    fn name(&self) -> &'static str {
+        "timer"
+    }
+
+    fn window(&self) -> (u32, u32) {
+        (TIMER_CTRL_ADDR, 12)
+    }
+
+    fn load(&mut self, offset: u32, now: u64) -> i32 {
+        match offset {
+            0 => self.enabled as i32,
+            4 => self.period as i32,
+            // COUNT: cycles until the next fire, -1 when idle.
+            _ => match self.next_fire {
+                Some(t) => t.saturating_sub(now).min(i32::MAX as u64) as i32,
+                None => -1,
+            },
+        }
+    }
+
+    fn store(&mut self, offset: u32, value: i32, now: u64) {
+        match offset {
+            0 => {
+                self.enabled = value & 1 != 0;
+                self.rearm(now);
+            }
+            4 => {
+                self.period = value as u32 as u64;
+                self.rearm(now);
+            }
+            _ => {}
+        }
+    }
+
+    fn next_event(&self, now: u64) -> Option<u64> {
+        self.next_fire.map(|t| t.max(now + 1))
+    }
+
+    fn poll(&mut self, now: u64) -> bool {
+        let mut rose = false;
+        while let Some(t) = self.next_fire {
+            if t > now {
+                break;
+            }
+            rose = true;
+            // Advance by whole periods; a period-1 timer fires every
+            // cycle (an interrupt storm — deterministic, fuel-bounded).
+            self.next_fire = Some(t + self.period);
+        }
+        rose
+    }
+}
+
+/// Address-window router over a set of [`Device`]s.
+pub struct MmioBus {
+    /// (base, len, line, device), windows pairwise disjoint.
+    devices: Vec<(u32, u32, u8, Box<dyn Device>)>,
+}
+
+impl MmioBus {
+    /// Build a bus, rejecting overlapping device windows and windows
+    /// that collide with the interrupt-controller registers at
+    /// `[MMIO_BASE, MMIO_BASE+12)`. This is a machine-build-time check:
+    /// a mis-declared device map must never reach simulation.
+    pub fn new(devices: Vec<(u8, Box<dyn Device>)>) -> Result<MmioBus, String> {
+        let mut entries: Vec<(u32, u32, u8, Box<dyn Device>)> = Vec::new();
+        for (line, dev) in devices {
+            let (base, len) = dev.window();
+            if base < MMIO_BASE || len == 0 || base.checked_add(len).is_none() {
+                return Err(format!(
+                    "device {} window {base:#x}+{len} outside the MMIO region",
+                    dev.name()
+                ));
+            }
+            let overlaps = |b2: u32, l2: u32| base < b2 + l2 && b2 < base + len;
+            if overlaps(IRQ_CTRL_ADDR, 12) {
+                return Err(format!(
+                    "device {} window {base:#x}+{len} overlaps the interrupt controller",
+                    dev.name()
+                ));
+            }
+            for (b2, l2, _, other) in &entries {
+                if overlaps(*b2, *l2) {
+                    return Err(format!(
+                        "device windows overlap: {} at {base:#x}+{len} vs {} at {b2:#x}+{l2}",
+                        dev.name(),
+                        other.name()
+                    ));
+                }
+            }
+            entries.push((base, len, line, dev));
+        }
+        Ok(MmioBus { devices: entries })
+    }
+
+    fn find(&mut self, addr: u32) -> Option<(u32, u8, &mut Box<dyn Device>)> {
+        self.devices
+            .iter_mut()
+            .find(|(b, l, _, _)| addr >= *b && addr < *b + *l)
+            .map(|(b, _, line, dev)| (addr - *b, *line, dev))
+    }
+}
+
+/// The complete per-run I/O state: interrupt controller, device bus, and
+/// scripted interrupt schedule. One instance per simulated run; every
+/// executor drives it through the same entry points.
+pub struct IoSystem {
+    /// Guest interrupt enable (IRQ_CTRL bit0).
+    pub ie: bool,
+    /// Latched pending line mask.
+    pub pending: u8,
+    /// Whether the guest is currently inside its `__irq` handler.
+    pub in_handler: bool,
+    /// Line being serviced while `in_handler`.
+    current_line: u8,
+    /// Set by a store to `IRQ_EOI`; consumed by the executor.
+    eoi: bool,
+    /// MMIO stores performed so far (`IRQ_EOI` excluded — that store is
+    /// compiler-injected on the simulated path only, so counting it
+    /// would desynchronise the interpreter's store count).
+    mmio_stores: u64,
+    /// MMIO loads performed so far.
+    pub mmio_loads: u64,
+    /// Interrupts delivered so far.
+    pub irqs_delivered: u64,
+    /// Cycle-keyed schedule entries, sorted; `cycle_idx` consumed.
+    cycle_keys: Vec<(u64, u8)>,
+    cycle_idx: usize,
+    /// MMIO-store-keyed schedule entries, sorted; `mmio_idx` consumed.
+    mmio_keys: Vec<(u64, u8)>,
+    mmio_idx: usize,
+    /// The device bus (UART on line 0, timer on line 1).
+    pub bus: MmioBus,
+}
+
+impl IoSystem {
+    /// Build the standard machine (UART + timer) driven by `spec`.
+    pub fn new(spec: &IoSpec) -> IoSystem {
+        let bus = MmioBus::new(vec![
+            (
+                UART_LINE,
+                Box::new(Uart::new(spec.uart_rx.clone(), spec.uart_irq_on_rx)) as Box<dyn Device>,
+            ),
+            (TIMER_LINE, Box::new(Timer::new()) as Box<dyn Device>),
+        ])
+        .expect("standard device map never overlaps");
+        let mut cycle_keys = Vec::new();
+        let mut mmio_keys = Vec::new();
+        for &(at, line) in &spec.schedule {
+            match at {
+                IrqAt::Cycle(c) => cycle_keys.push((c, line)),
+                IrqAt::MmioStore(k) => mmio_keys.push((k, line)),
+            }
+        }
+        cycle_keys.sort();
+        mmio_keys.sort();
+        IoSystem {
+            ie: false,
+            pending: 0,
+            in_handler: false,
+            current_line: 0,
+            eoi: false,
+            mmio_stores: 0,
+            mmio_loads: 0,
+            irqs_delivered: 0,
+            cycle_keys,
+            cycle_idx: 0,
+            mmio_keys,
+            mmio_idx: 0,
+            bus,
+        }
+    }
+
+    /// MMIO stores performed so far (the [`IrqAt::MmioStore`] clock).
+    pub fn mmio_stores(&self) -> u64 {
+        self.mmio_stores
+    }
+
+    /// Latch every line that has risen up to clock `now`.
+    pub fn poll(&mut self, now: u64) {
+        while self
+            .cycle_keys
+            .get(self.cycle_idx)
+            .is_some_and(|&(c, _)| c <= now)
+        {
+            self.pending |= 1 << (self.cycle_keys[self.cycle_idx].1 & 7);
+            self.cycle_idx += 1;
+        }
+        while self
+            .mmio_keys
+            .get(self.mmio_idx)
+            .is_some_and(|&(k, _)| k <= self.mmio_stores)
+        {
+            self.pending |= 1 << (self.mmio_keys[self.mmio_idx].1 & 7);
+            self.mmio_idx += 1;
+        }
+        for (_, _, line, dev) in &mut self.bus.devices {
+            if dev.poll(now) {
+                self.pending |= 1 << (*line & 7);
+            }
+        }
+    }
+
+    /// The line to deliver now, if any: interrupts enabled, no handler
+    /// already running, and a pending line (lowest first).
+    pub fn deliverable(&self) -> Option<u8> {
+        if self.ie && !self.in_handler && self.pending != 0 {
+            Some(self.pending.trailing_zeros() as u8)
+        } else {
+            None
+        }
+    }
+
+    /// Commit delivery of `line`: clear it, mask interrupts, and mark
+    /// the handler as running.
+    pub fn begin_delivery(&mut self, line: u8) {
+        self.pending &= !(1u8 << line);
+        self.current_line = line;
+        self.ie = false;
+        self.in_handler = true;
+        self.irqs_delivered += 1;
+    }
+
+    /// Consume a pending end-of-interrupt doorbell.
+    pub fn take_eoi(&mut self) -> bool {
+        std::mem::take(&mut self.eoi)
+    }
+
+    /// End the current handler: re-enable interrupts.
+    pub fn finish_handler(&mut self) {
+        self.in_handler = false;
+        self.ie = true;
+    }
+
+    /// How many clock ticks the executor may run before the next
+    /// instruction boundary it must observe: 1 while a handler is
+    /// running, a line is pending, or MMIO-store-keyed arrivals remain
+    /// outstanding (single-stepping makes delivery land exactly after
+    /// the triggering instruction in every executor); otherwise the
+    /// distance to the next scheduled cycle event; `u64::MAX` when idle.
+    pub fn window(&self, now: u64) -> u64 {
+        if self.in_handler || self.pending != 0 || self.mmio_idx < self.mmio_keys.len() {
+            return 1;
+        }
+        let mut next: Option<u64> = self
+            .cycle_keys
+            .get(self.cycle_idx)
+            .map(|&(c, _)| c.max(now + 1));
+        for (_, _, _, dev) in &self.bus.devices {
+            if let Some(t) = dev.next_event(now) {
+                next = Some(next.map_or(t, |n| n.min(t)));
+            }
+        }
+        match next {
+            Some(t) => t - now,
+            None => u64::MAX,
+        }
+    }
+
+    fn reg_error(addr: u32, op: Opcode, store: bool) -> MemError {
+        MemError {
+            addr,
+            width: crate::mem::access_width(op),
+            store,
+            // MMIO has no byte-array backing; report size 0.
+            size: 0,
+        }
+    }
+
+    fn check_word(addr: u32, op: Opcode, store: bool) -> Result<(), MemError> {
+        if crate::mem::access_width(op) != 4 || !addr.is_multiple_of(4) {
+            return Err(Self::reg_error(addr, op, store));
+        }
+        Ok(())
+    }
+
+    /// Word load from the MMIO region at clock `now`.
+    pub fn load(&mut self, op: Opcode, addr: u32, now: u64) -> Result<i32, MemError> {
+        Self::check_word(addr, op, false)?;
+        self.mmio_loads += 1;
+        match addr {
+            IRQ_CTRL_ADDR => Ok(self.ie as i32),
+            IRQ_STATUS_ADDR => {
+                let servicing = if self.in_handler {
+                    1u8 << self.current_line
+                } else {
+                    0
+                };
+                Ok((self.pending | servicing) as i32)
+            }
+            IRQ_EOI_ADDR => Ok(0),
+            _ => match self.bus.find(addr) {
+                Some((offset, _, dev)) => Ok(dev.load(offset, now)),
+                None => Err(Self::reg_error(addr, op, false)),
+            },
+        }
+    }
+
+    /// Word store to the MMIO region at clock `now`.
+    pub fn store(&mut self, op: Opcode, addr: u32, value: i32, now: u64) -> Result<(), MemError> {
+        Self::check_word(addr, op, true)?;
+        match addr {
+            IRQ_CTRL_ADDR => self.ie = value & 1 != 0,
+            IRQ_STATUS_ADDR => self.pending &= !(value as u8),
+            IRQ_EOI_ADDR => {
+                // Compiler-injected return-from-interrupt; not counted
+                // as an MMIO store (see `mmio_stores`).
+                if self.in_handler {
+                    self.eoi = true;
+                }
+                return Ok(());
+            }
+            _ => match self.bus.find(addr) {
+                Some((offset, _, dev)) => dev.store(offset, value, now),
+                None => return Err(Self::reg_error(addr, op, true)),
+            },
+        }
+        self.mmio_stores += 1;
+        Ok(())
+    }
+
+    /// The UART transmit log (every byte the guest sent), the
+    /// device-output stream the differential oracle compares.
+    pub fn uart_tx(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (_, _, _, dev) in &self.bus.devices {
+            out.extend_from_slice(dev.output());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word_load(io: &mut IoSystem, addr: u32, now: u64) -> i32 {
+        io.load(Opcode::Ldw, addr, now).unwrap()
+    }
+
+    fn word_store(io: &mut IoSystem, addr: u32, v: i32, now: u64) {
+        io.store(Opcode::Stw, addr, v, now).unwrap()
+    }
+
+    #[test]
+    fn uart_rx_pops_in_order_and_tx_logs() {
+        let spec = IoSpec {
+            uart_rx: vec![(0, 0x41), (5, 0x42)],
+            ..IoSpec::default()
+        };
+        let mut io = IoSystem::new(&spec);
+        assert_eq!(word_load(&mut io, UART_STATUS_ADDR, 0), 3);
+        assert_eq!(word_load(&mut io, UART_RX_ADDR, 0), 0x41);
+        // Second byte has not arrived yet.
+        assert_eq!(word_load(&mut io, UART_STATUS_ADDR, 0), 2);
+        assert_eq!(word_load(&mut io, UART_RX_ADDR, 0), -1);
+        assert_eq!(word_load(&mut io, UART_RX_ADDR, 7), 0x42);
+        word_store(&mut io, UART_TX_ADDR, 0x155, 7);
+        assert_eq!(io.uart_tx(), vec![0x55]);
+        assert_eq!(io.mmio_stores(), 1);
+    }
+
+    #[test]
+    fn timer_period_edges() {
+        let mut io = IoSystem::new(&IoSpec::default());
+        // Period 0: enabling never arms.
+        word_store(&mut io, TIMER_CTRL_ADDR, 1, 0);
+        assert_eq!(word_load(&mut io, TIMER_COUNT_ADDR, 0), -1);
+        io.poll(1000);
+        assert_eq!(io.pending, 0);
+        // Period 3, enabled at clock 10: fires at 13, 16, ...
+        word_store(&mut io, TIMER_PERIOD_ADDR, 3, 10);
+        assert_eq!(word_load(&mut io, TIMER_COUNT_ADDR, 11), 2);
+        io.poll(12);
+        assert_eq!(io.pending, 0);
+        io.poll(16);
+        assert_eq!(io.pending, 1 << TIMER_LINE);
+        // Period 1 storms: every subsequent poll fires again.
+        io.pending = 0;
+        word_store(&mut io, TIMER_PERIOD_ADDR, 1, 20);
+        io.poll(21);
+        assert_eq!(io.pending, 1 << TIMER_LINE);
+    }
+
+    #[test]
+    fn overlapping_device_windows_rejected() {
+        struct Fake(u32, u32);
+        impl Device for Fake {
+            fn name(&self) -> &'static str {
+                "fake"
+            }
+            fn window(&self) -> (u32, u32) {
+                (self.0, self.1)
+            }
+            fn load(&mut self, _: u32, _: u64) -> i32 {
+                0
+            }
+            fn store(&mut self, _: u32, _: i32, _: u64) {}
+            fn next_event(&self, _: u64) -> Option<u64> {
+                None
+            }
+            fn poll(&mut self, _: u64) -> bool {
+                false
+            }
+        }
+        // Disjoint windows are fine.
+        assert!(MmioBus::new(vec![
+            (3, Box::new(Fake(MMIO_BASE + 0x100, 8)) as Box<dyn Device>),
+            (4, Box::new(Fake(MMIO_BASE + 0x108, 8)) as Box<dyn Device>),
+        ])
+        .is_ok());
+        // Overlapping windows are a build-time error.
+        let Err(err) = MmioBus::new(vec![
+            (3, Box::new(Fake(MMIO_BASE + 0x100, 8)) as Box<dyn Device>),
+            (4, Box::new(Fake(MMIO_BASE + 0x104, 8)) as Box<dyn Device>),
+        ]) else {
+            panic!("overlap must be rejected");
+        };
+        assert!(err.contains("overlap"), "{err}");
+        // Colliding with the interrupt controller is too.
+        assert!(MmioBus::new(vec![(
+            3,
+            Box::new(Fake(IRQ_STATUS_ADDR, 4)) as Box<dyn Device>
+        )])
+        .is_err());
+        // As is escaping the MMIO region entirely.
+        assert!(MmioBus::new(vec![(3, Box::new(Fake(0x1000, 8)) as Box<dyn Device>)]).is_err());
+    }
+
+    #[test]
+    fn mmio_accesses_must_be_word_sized_and_aligned() {
+        let mut io = IoSystem::new(&IoSpec::default());
+        assert!(io.load(Opcode::Ldh, UART_STATUS_ADDR, 0).is_err());
+        assert!(io.load(Opcode::Ldw, UART_STATUS_ADDR + 2, 0).is_err());
+        assert!(io.store(Opcode::Stq, UART_TX_ADDR, 1, 0).is_err());
+        // Unmapped word in the region faults too.
+        assert!(io.load(Opcode::Ldw, MMIO_BASE + 0x2000, 0).is_err());
+    }
+
+    #[test]
+    fn delivery_masks_and_eoi_restores() {
+        let spec = IoSpec {
+            schedule: vec![(IrqAt::MmioStore(1), SOFT_LINE), (IrqAt::Cycle(50), 3)],
+            ..IoSpec::default()
+        };
+        let mut io = IoSystem::new(&spec);
+        io.poll(0);
+        assert_eq!(io.pending, 0);
+        assert_eq!(io.window(0), 1, "outstanding mmio keys force single-step");
+        word_store(&mut io, IRQ_CTRL_ADDR, 1, 0);
+        io.poll(0);
+        assert_eq!(io.pending, 1 << SOFT_LINE);
+        assert_eq!(io.deliverable(), Some(SOFT_LINE));
+        io.begin_delivery(SOFT_LINE);
+        assert!(!io.ie && io.in_handler);
+        assert_eq!(io.deliverable(), None);
+        // IRQ_STATUS reads the line being serviced.
+        assert_eq!(
+            word_load(&mut io, IRQ_STATUS_ADDR, 0),
+            1 << SOFT_LINE as i32
+        );
+        // EOI only latches inside a handler, and is not a counted store.
+        let stores = io.mmio_stores();
+        word_store(&mut io, IRQ_EOI_ADDR, 0, 0);
+        assert_eq!(io.mmio_stores(), stores);
+        assert!(io.take_eoi());
+        assert!(!io.take_eoi());
+        io.finish_handler();
+        assert!(io.ie && !io.in_handler);
+        // Cycle key at 50: the window now points at it.
+        assert_eq!(io.window(10), 40);
+        io.poll(50);
+        assert_eq!(io.pending, 1 << 3);
+        assert_eq!(io.window(50), 1, "pending line forces single-step");
+    }
+
+    #[test]
+    fn idle_window_is_unbounded() {
+        let mut io = IoSystem::new(&IoSpec::default());
+        io.poll(0);
+        assert_eq!(io.window(0), u64::MAX);
+    }
+}

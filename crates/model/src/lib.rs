@@ -23,6 +23,7 @@
 
 pub mod bus;
 pub mod fu;
+pub mod io;
 pub mod machine;
 pub mod mem;
 pub mod op;

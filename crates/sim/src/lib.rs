@@ -22,8 +22,11 @@ pub use profile::{static_activity, CycleActivity, FuProfile, GuestProfile, RfPro
 pub use result::{SimError, SimResult, SimStats};
 pub use tier::{run_with_tiers, Tiers};
 pub use tta_isa::TierConfig;
+pub use tta_model::io::{IoSpec, IrqAt};
 
+use crate::state::IoCtx;
 use tta_isa::Program;
+use tta_model::io::IoSystem;
 use tta_model::Machine;
 
 /// Default cycle budget for [`run`].
@@ -85,6 +88,79 @@ pub fn run_profiled_with_fuel(
     result
 }
 
+/// Run a reactive program: like [`run_with_fuel`] with a memory-mapped
+/// device bus, interrupt controller and scripted interrupt schedule
+/// attached. `irq_entry` is where the compiled `__irq` handler region
+/// starts (see `tta_compiler::Compiled::irq_entry`); with `None`,
+/// interrupts latch in the controller but are never delivered, matching
+/// the IR interpreter's semantics for handler-less modules. Builds fresh
+/// per-run tier state from the environment configuration.
+pub fn run_with_io(
+    m: &Machine,
+    program: &Program,
+    memory: Vec<u8>,
+    fuel: u64,
+    spec: &IoSpec,
+    irq_entry: Option<u32>,
+) -> Result<SimResult, SimError> {
+    let tiers = Tiers::for_program(program);
+    run_with_io_tiers(m, program, memory, fuel, spec, irq_entry, &tiers)
+}
+
+/// [`run_with_io`] against shared compiled-tier state (must have been
+/// built for this same `program`). The I/O system itself is always
+/// per-run: devices and the interrupt controller reset with the guest.
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_io_tiers(
+    m: &Machine,
+    program: &Program,
+    memory: Vec<u8>,
+    fuel: u64,
+    spec: &IoSpec,
+    irq_entry: Option<u32>,
+    tiers: &Tiers,
+) -> Result<SimResult, SimError> {
+    assert_eq!(
+        tiers.program_len,
+        program.len(),
+        "tier state was built for a different program"
+    );
+    use crate::profile::NoProfile;
+    use crate::tier::StyleTiers;
+    let mut io = IoSystem::new(spec);
+    let span = tta_obs::span("simulate");
+    let result = {
+        let ctx = Some(IoCtx {
+            sys: &mut io,
+            irq_entry,
+        });
+        match (program, &tiers.style) {
+            (Program::Tta(insts), StyleTiers::Tta(t)) => {
+                tta::run_tta_with(m, insts, memory, fuel, &mut NoProfile, Some(t), ctx)
+            }
+            (Program::Vliw(bundles), StyleTiers::Vliw(t)) => {
+                vliw::run_vliw_with(m, bundles, memory, fuel, &mut NoProfile, Some(t), ctx)
+            }
+            (Program::Scalar(insts), StyleTiers::Scalar(t)) => {
+                scalar::run_scalar_with(m, insts, memory, fuel, &mut NoProfile, Some(t), ctx)
+            }
+            (Program::Tta(insts), StyleTiers::Off) => {
+                tta::run_tta_with(m, insts, memory, fuel, &mut NoProfile, None, ctx)
+            }
+            (Program::Vliw(bundles), StyleTiers::Off) => {
+                vliw::run_vliw_with(m, bundles, memory, fuel, &mut NoProfile, None, ctx)
+            }
+            (Program::Scalar(insts), StyleTiers::Off) => {
+                scalar::run_scalar_with(m, insts, memory, fuel, &mut NoProfile, None, ctx)
+            }
+            _ => panic!("tier state style does not match the program style"),
+        }
+    };
+    drop(span);
+    flush_obs(&result);
+    result
+}
+
 /// Run any program, also recording the program counter of every executed
 /// instruction (dispatches to the per-style `run_*_traced` entry points).
 pub fn run_traced(
@@ -120,6 +196,10 @@ fn flush_obs(result: &Result<SimResult, SimError>) {
             add("sim.stall_cycles", r.stats.stall_cycles);
             add("sim.loads", r.stats.loads);
             add("sim.stores", r.stats.stores);
+            add("sim.irq.delivered", r.stats.irqs);
+            add("sim.irq.trap_cycles", r.stats.irq_cycles);
+            add("sim.irq.mmio_loads", r.stats.mmio_loads);
+            add("sim.irq.mmio_stores", r.stats.mmio_stores);
         }
     }
 }

@@ -32,6 +32,19 @@ pub struct SimStats {
     pub loads: u64,
     /// Memory stores.
     pub stores: u64,
+    /// Interrupts delivered to the guest handler.
+    pub irqs: u64,
+    /// Cycles spent on interrupt entry/return overhead: in-flight-state
+    /// drain plus the fixed trap cost per style (see `crate::run_with_io`).
+    /// Included in `SimResult::cycles`; reported separately so the
+    /// interrupt-latency experiments can isolate the trap tax.
+    pub irq_cycles: u64,
+    /// Loads routed to the memory-mapped I/O region.
+    pub mmio_loads: u64,
+    /// Stores routed to the memory-mapped I/O region (the
+    /// [`tta_model::io::IrqAt::MmioStore`] clock; compiler-injected
+    /// end-of-interrupt stores excluded).
+    pub mmio_stores: u64,
 }
 
 impl SimStats {
@@ -50,6 +63,10 @@ impl SimStats {
         self.stall_cycles += d.stall_cycles;
         self.loads += d.loads;
         self.stores += d.stores;
+        self.irqs += d.irqs;
+        self.irq_cycles += d.irq_cycles;
+        self.mmio_loads += d.mmio_loads;
+        self.mmio_stores += d.mmio_stores;
     }
 }
 
@@ -64,6 +81,10 @@ pub struct SimResult {
     pub memory: Vec<u8>,
     /// Dynamic statistics.
     pub stats: SimStats,
+    /// Bytes the guest transmitted over the UART (empty for runs without
+    /// an I/O system) — a device-output stream the differential oracle
+    /// compares across styles.
+    pub uart_tx: Vec<u8>,
 }
 
 /// A simulation failure.

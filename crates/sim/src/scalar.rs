@@ -21,9 +21,10 @@
 
 use crate::profile::{finish_scalar, Collector, GuestProfile, NoProfile, ProfileSink, TraceSink};
 use crate::result::{SimError, SimResult, SimStats};
-use crate::state::{DecOpSrc, FlatRf, NO_DST};
+use crate::state::{DecOpSrc, FlatRf, IoCtx, NO_DST};
 use crate::tier::TierCounts;
 use tta_isa::{BlockMap, Operation, ScalarInst, TierEntry, TierTable, RETVAL_ADDR};
+use tta_model::io::MMIO_BASE;
 use tta_model::{mem, Machine, OpClass, Opcode, ScalarPipeline};
 
 /// Maximum simulated instructions before declaring a runaway program.
@@ -69,9 +70,9 @@ pub fn run_scalar(
     let cfg = tta_isa::TierConfig::from_env();
     if cfg.enabled {
         let tier = TierTable::new(program.len(), cfg.threshold);
-        run_scalar_with(m, program, memory, fuel, &mut NoProfile, Some(&tier))
+        run_scalar_with(m, program, memory, fuel, &mut NoProfile, Some(&tier), None)
     } else {
-        run_scalar_with(m, program, memory, fuel, &mut NoProfile, None)
+        run_scalar_with(m, program, memory, fuel, &mut NoProfile, None, None)
     }
 }
 
@@ -84,7 +85,7 @@ pub fn run_scalar_traced(
     fuel: u64,
 ) -> Result<(SimResult, Vec<u32>), SimError> {
     let mut sink = TraceSink::for_program(program.len());
-    let r = run_scalar_with(m, program, memory, fuel, &mut sink, None)?;
+    let r = run_scalar_with(m, program, memory, fuel, &mut sink, None, None)?;
     Ok((r, sink.trace))
 }
 
@@ -98,7 +99,7 @@ pub fn run_scalar_profiled(
     fuel: u64,
 ) -> Result<(SimResult, GuestProfile), SimError> {
     let mut sink = Collector::for_static(program.len());
-    let r = run_scalar_with(m, program, memory, fuel, &mut sink, None)?;
+    let r = run_scalar_with(m, program, memory, fuel, &mut sink, None, None)?;
     let mut p = finish_scalar(m, program, sink);
     p.cycles = r.cycles;
     Ok((r, p))
@@ -126,6 +127,18 @@ pub(crate) struct ScalarEngine<'a> {
     extra: u64,
     memory: Vec<u8>,
     stats: SimStats,
+    io: Option<IoCtx<'a>>,
+}
+
+/// Architectural state saved on interrupt entry and restored on return.
+/// The scalar core has no exposed in-flight state to drain: the trap
+/// shadows the register file and the scoreboard, and the handler issues
+/// against the live scoreboard (interlocking deterministically with
+/// whatever loads the main program left in flight).
+struct ScalarShadow {
+    pc: u32,
+    rf: Vec<i32>,
+    ready: Vec<u64>,
 }
 
 impl ScalarEngine<'_> {
@@ -199,7 +212,7 @@ impl ScalarEngine<'_> {
                     OpClass::Lsu => {
                         if op.is_load() {
                             self.stats.loads += 1;
-                            let v = mem::load(&self.memory, op, vb.unwrap() as u32)?;
+                            let v = self.mem_load(op, vb.unwrap() as u32, issue)?;
                             write(
                                 v,
                                 op.latency(),
@@ -209,7 +222,7 @@ impl ScalarEngine<'_> {
                             );
                         } else {
                             self.stats.stores += 1;
-                            mem::store(&mut self.memory, op, vb.unwrap() as u32, va.unwrap())?;
+                            self.mem_store(op, vb.unwrap() as u32, va.unwrap(), issue)?;
                         }
                     }
                     OpClass::Ctrl if CTRL => match op {
@@ -237,6 +250,116 @@ impl ScalarEngine<'_> {
                 Ok(Flow::Next)
             }
         }
+    }
+
+    /// Load with MMIO fallback: plain memory on the fast path; a fault at
+    /// or above [`MMIO_BASE`] routes to the device bus (stamped with the
+    /// instruction's issue cycle) when an I/O system is attached.
+    #[inline(always)]
+    fn mem_load(&mut self, op: Opcode, addr: u32, now: u64) -> Result<i32, SimError> {
+        match mem::load(&self.memory, op, addr) {
+            Ok(v) => Ok(v),
+            Err(e) => match &mut self.io {
+                Some(ctx) if addr >= MMIO_BASE => Ok(ctx.sys.load(op, addr, now)?),
+                _ => Err(e.into()),
+            },
+        }
+    }
+
+    /// Store counterpart of [`Self::mem_load`].
+    #[inline(always)]
+    fn mem_store(&mut self, op: Opcode, addr: u32, value: i32, now: u64) -> Result<(), SimError> {
+        match mem::store(&mut self.memory, op, addr, value) {
+            Ok(()) => Ok(()),
+            Err(e) => match &mut self.io {
+                Some(ctx) if addr >= MMIO_BASE => Ok(ctx.sys.store(op, addr, value, now)?),
+                _ => Err(e.into()),
+            },
+        }
+    }
+
+    /// Poll the I/O system at a superblock boundary. Returns the open run
+    /// window in cycles (`u64::MAX` without I/O), or `None` after
+    /// redirecting into the handler. The scalar trap needs no drain: entry
+    /// costs one issue cycle plus the branch-refill penalty (like a taken
+    /// branch into the handler) and consumes no instruction fuel.
+    fn io_boundary(
+        &mut self,
+        pc: &mut u32,
+        cycle: &mut u64,
+        shadow: &mut Option<ScalarShadow>,
+    ) -> Option<u64> {
+        let (line, entry) = match &mut self.io {
+            None => return Some(u64::MAX),
+            Some(ctx) => {
+                ctx.sys.poll(*cycle);
+                match (ctx.sys.deliverable(), ctx.irq_entry) {
+                    (Some(line), Some(entry)) => (line, entry),
+                    _ => return Some(ctx.sys.window(*cycle)),
+                }
+            }
+        };
+        *shadow = Some(ScalarShadow {
+            pc: *pc,
+            rf: self.rf.vals.clone(),
+            ready: self.ready.clone(),
+        });
+        let ctx = self.io.as_mut().expect("io presence checked above");
+        ctx.sys.begin_delivery(line);
+        self.stats.irqs += 1;
+        *pc = entry;
+        let cost = 1 + self.pipe.branch_penalty as u64;
+        *cycle += cost;
+        self.stats.irq_cycles += cost;
+        None
+    }
+
+    /// Retire a halting handler: if the halt was the compiler-injected
+    /// end-of-interrupt, restore the shadowed context and resume the
+    /// interrupted program (returning `true`); a real guest halt returns
+    /// `false` and the caller finishes the run.
+    fn iret(
+        &mut self,
+        pc: &mut u32,
+        cycle: &mut u64,
+        shadow: &mut Option<ScalarShadow>,
+    ) -> Result<bool, SimError> {
+        let Some(ctx) = &mut self.io else {
+            return Ok(false);
+        };
+        if !ctx.sys.take_eoi() {
+            return Ok(false);
+        }
+        ctx.sys.finish_handler();
+        let sh = shadow
+            .take()
+            .ok_or_else(|| SimError::Machine("end-of-interrupt without a saved context".into()))?;
+        self.rf.vals = sh.rf;
+        self.ready = sh.ready;
+        *pc = sh.pc;
+        let cost = 1 + self.pipe.branch_penalty as u64;
+        *cycle += cost;
+        self.stats.irq_cycles += cost;
+        Ok(true)
+    }
+
+    /// Build the final [`SimResult`] at the halt cycle, folding the I/O
+    /// system's counters and UART output into it.
+    fn finish(mut self, cycles: u64) -> Result<SimResult, SimError> {
+        let ret = mem::load(&self.memory, Opcode::Ldw, RETVAL_ADDR)?;
+        let mut uart_tx = Vec::new();
+        if let Some(ctx) = &self.io {
+            self.stats.mmio_loads = ctx.sys.mmio_loads;
+            self.stats.mmio_stores = ctx.sys.mmio_stores();
+            uart_tx = ctx.sys.uart_tx();
+        }
+        Ok(SimResult {
+            cycles,
+            ret,
+            memory: self.memory,
+            stats: self.stats,
+            uart_tx,
+        })
     }
 }
 
@@ -340,7 +463,8 @@ fn exec_scalar_block(
                 let vb = sread(b, eng, &mut issue);
                 eng.stats.stall_cycles += issue - c;
                 c = issue + 1;
-                let v = mem::load(&eng.memory, op, vb.unwrap() as u32)?;
+                let addr = vb.unwrap() as u32;
+                let v = eng.mem_load(op, addr, issue)?;
                 if dst != NO_DST {
                     eng.rf.vals[dst as usize] = v;
                     eng.ready[dst as usize] = issue + lat as u64 + eng.extra;
@@ -352,7 +476,9 @@ fn exec_scalar_block(
                 let vb = sread(b, eng, &mut issue);
                 eng.stats.stall_cycles += issue - c;
                 c = issue + 1;
-                mem::store(&mut eng.memory, op, vb.unwrap() as u32, va.unwrap())?;
+                let addr = vb.unwrap() as u32;
+                let v = va.unwrap();
+                eng.mem_store(op, addr, v, issue)?;
             }
             ScalarOp::Halt { a, b } => {
                 let mut issue = c;
@@ -466,13 +592,15 @@ pub(crate) fn run_scalar_with<S: ProfileSink>(
     fuel: u64,
     sink: &mut S,
     tier: Option<&TierTable<ScalarBlockFn>>,
+    io: Option<IoCtx<'_>>,
 ) -> Result<SimResult, SimError> {
     let mut tc = TierCounts::default();
-    let r = run_scalar_inner(m, program, memory, fuel, sink, tier, &mut tc);
+    let r = run_scalar_inner(m, program, memory, fuel, sink, tier, io, &mut tc);
     tc.flush();
     r
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_scalar_inner<S: ProfileSink>(
     m: &Machine,
     program: &[ScalarInst],
@@ -480,6 +608,7 @@ fn run_scalar_inner<S: ProfileSink>(
     fuel: u64,
     sink: &mut S,
     tier: Option<&TierTable<ScalarBlockFn>>,
+    io: Option<IoCtx<'_>>,
     tc: &mut TierCounts,
 ) -> Result<SimResult, SimError> {
     let pipe = m.scalar.expect("scalar machine");
@@ -495,10 +624,12 @@ fn run_scalar_inner<S: ProfileSink>(
         extra: if pipe.forwarding { 0 } else { 1 },
         memory,
         stats: SimStats::default(),
+        io,
     };
     let mut pc: u32 = 0;
     let mut cycle: u64 = 0;
     let mut executed: u64 = 0;
+    let mut shadow: Option<ScalarShadow> = None;
 
     loop {
         // Superblock entry: the only place fuel and the pc bound are
@@ -509,13 +640,23 @@ fn run_scalar_inner<S: ProfileSink>(
         if pc as usize >= eng.dec.len() {
             return Err(SimError::PcOutOfRange(pc));
         }
+        // Interrupt boundary: deliver a pending interrupt (re-entering the
+        // loop at the handler) or learn how many cycles may run before the
+        // next one can arrive. The window is in cycles and the clamps below
+        // are in instructions; since each instruction costs at least one
+        // cycle this only makes the clamp more conservative, and every tier
+        // applies the identical clamp, so delivery points still agree.
+        let win = match eng.io_boundary(&mut pc, &mut cycle, &mut shadow) {
+            Some(win) => win,
+            None => continue,
+        };
         let full = blocks.run_len(pc) as u64;
 
         // Tier-2 dispatch (see `crate::tta::run_tta_with`; the scalar
         // model has no delay slots, so only fuel can clamp an entry).
         if S::PASSIVE {
             if let Some(tab) = tier {
-                if fuel - executed >= full {
+                if fuel - executed >= full && win >= full {
                     let block = match tab.entry(pc) {
                         TierEntry::Compiled(b) => Some(b),
                         TierEntry::Promote => {
@@ -531,13 +672,10 @@ fn run_scalar_inner<S: ProfileSink>(
                         executed += full;
                         match flow {
                             Flow::Halt => {
-                                let ret = mem::load(&eng.memory, Opcode::Ldw, RETVAL_ADDR)?;
-                                return Ok(SimResult {
-                                    cycles: cycle,
-                                    ret,
-                                    memory: eng.memory,
-                                    stats: eng.stats,
-                                });
+                                if eng.iret(&mut pc, &mut cycle, &mut shadow)? {
+                                    continue;
+                                }
+                                return eng.finish(cycle);
                             }
                             Flow::Jump(target) => pc = target,
                             Flow::Next => pc += full as u32,
@@ -550,7 +688,7 @@ fn run_scalar_inner<S: ProfileSink>(
             }
         }
 
-        let len = full.min(fuel - executed);
+        let len = full.min(fuel - executed).min(win);
         // Only the run's terminal instruction can be a control op, and it
         // is part of this dispatch iff fuel didn't clamp `len`.
         let terminal = len == full;
@@ -567,13 +705,10 @@ fn run_scalar_inner<S: ProfileSink>(
             executed += 1;
             match flow {
                 Flow::Halt => {
-                    let ret = mem::load(&eng.memory, Opcode::Ldw, RETVAL_ADDR)?;
-                    return Ok(SimResult {
-                        cycles: cycle,
-                        ret,
-                        memory: eng.memory,
-                        stats: eng.stats,
-                    });
+                    if eng.iret(&mut pc, &mut cycle, &mut shadow)? {
+                        continue;
+                    }
+                    return eng.finish(cycle);
                 }
                 Flow::Jump(target) => pc = target,
                 Flow::Next => pc += 1,

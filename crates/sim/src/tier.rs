@@ -118,22 +118,22 @@ pub fn run_with_tiers(
     let span = tta_obs::span("simulate");
     let result = match (program, &tiers.style) {
         (Program::Tta(insts), StyleTiers::Tta(t)) => {
-            crate::tta::run_tta_with(m, insts, memory, fuel, &mut NoProfile, Some(t))
+            crate::tta::run_tta_with(m, insts, memory, fuel, &mut NoProfile, Some(t), None)
         }
         (Program::Vliw(bundles), StyleTiers::Vliw(t)) => {
-            crate::vliw::run_vliw_with(m, bundles, memory, fuel, &mut NoProfile, Some(t))
+            crate::vliw::run_vliw_with(m, bundles, memory, fuel, &mut NoProfile, Some(t), None)
         }
         (Program::Scalar(insts), StyleTiers::Scalar(t)) => {
-            crate::scalar::run_scalar_with(m, insts, memory, fuel, &mut NoProfile, Some(t))
+            crate::scalar::run_scalar_with(m, insts, memory, fuel, &mut NoProfile, Some(t), None)
         }
         (Program::Tta(insts), StyleTiers::Off) => {
-            crate::tta::run_tta_with(m, insts, memory, fuel, &mut NoProfile, None)
+            crate::tta::run_tta_with(m, insts, memory, fuel, &mut NoProfile, None, None)
         }
         (Program::Vliw(bundles), StyleTiers::Off) => {
-            crate::vliw::run_vliw_with(m, bundles, memory, fuel, &mut NoProfile, None)
+            crate::vliw::run_vliw_with(m, bundles, memory, fuel, &mut NoProfile, None, None)
         }
         (Program::Scalar(insts), StyleTiers::Off) => {
-            crate::scalar::run_scalar_with(m, insts, memory, fuel, &mut NoProfile, None)
+            crate::scalar::run_scalar_with(m, insts, memory, fuel, &mut NoProfile, None, None)
         }
         _ => panic!("tier state style does not match the program style"),
     };

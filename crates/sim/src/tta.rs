@@ -40,9 +40,10 @@
 
 use crate::profile::{finish_tta, Collector, GuestProfile, NoProfile, ProfileSink, TraceSink};
 use crate::result::{SimError, SimResult, SimStats};
-use crate::state::FlatRf;
+use crate::state::{FlatRf, IoCtx, TRAP_CYCLES};
 use crate::tier::TierCounts;
 use tta_isa::{BlockMap, MoveDst, MoveSrc, TierEntry, TierTable, TtaInst, RETVAL_ADDR};
+use tta_model::io::MMIO_BASE;
 use tta_model::{mem, FuKind, Machine, OpClass, Opcode};
 
 /// Maximum simulated cycles before declaring a runaway program.
@@ -162,9 +163,9 @@ pub fn run_tta(
     let cfg = tta_isa::TierConfig::from_env();
     if cfg.enabled {
         let tier = TtaTiers::new(program.len(), cfg.threshold);
-        run_tta_with(m, program, memory, fuel, &mut NoProfile, Some(&tier))
+        run_tta_with(m, program, memory, fuel, &mut NoProfile, Some(&tier), None)
     } else {
-        run_tta_with(m, program, memory, fuel, &mut NoProfile, None)
+        run_tta_with(m, program, memory, fuel, &mut NoProfile, None, None)
     }
 }
 
@@ -177,7 +178,7 @@ pub fn run_tta_traced(
     fuel: u64,
 ) -> Result<(SimResult, Vec<u32>), SimError> {
     let mut sink = TraceSink::for_program(program.len());
-    let r = run_tta_with(m, program, memory, fuel, &mut sink, None)?;
+    let r = run_tta_with(m, program, memory, fuel, &mut sink, None, None)?;
     Ok((r, sink.trace))
 }
 
@@ -191,7 +192,7 @@ pub fn run_tta_profiled(
     fuel: u64,
 ) -> Result<(SimResult, GuestProfile), SimError> {
     let mut sink = Collector::for_static(program.len());
-    let r = run_tta_with(m, program, memory, fuel, &mut sink, None)?;
+    let r = run_tta_with(m, program, memory, fuel, &mut sink, None, None)?;
     let mut p = finish_tta(m, program, sink);
     p.cycles = r.cycles;
     Ok((r, p))
@@ -216,6 +217,30 @@ pub(crate) struct TtaEngine<'a> {
     jit_tmp: Vec<i32>,
     memory: Vec<u8>,
     stats: SimStats,
+    /// Memory-mapped I/O and interrupt state, present only for reactive
+    /// runs ([`crate::run_with_io`]); `None` keeps plain runs untouched.
+    io: Option<IoCtx<'a>>,
+}
+
+/// The datapath checkpoint a TTA trap must save. A transport-triggered
+/// core exposes far more architectural state than a pc: the interrupted
+/// schedule's values live in FU operand/result ports and long-immediate
+/// registers (software bypassing), so handler entry checkpoints all of
+/// them — the paper's argument for why TTA interrupt support is costly.
+struct TtaShadow {
+    pc: u32,
+    pending_jump: Option<(u32, u32)>,
+    rf: Vec<i32>,
+    fus: Vec<FuSim>,
+    immregs: Vec<Option<i32>>,
+    /// In-flight completions, indexed by *remaining* latency (0 = due at
+    /// the resume cycle). Saved rather than force-landed: landing early
+    /// would overwrite result ports the interrupted schedule has not
+    /// read yet (software bypassing keeps values live in ports), which
+    /// is exactly the exposed-datapath state the paper's trap-cost
+    /// argument is about. Re-armed relative to the resume cycle by
+    /// [`TtaEngine::iret`].
+    wheel: [Vec<(u16, i32)>; 4],
 }
 
 impl TtaEngine<'_> {
@@ -380,12 +405,12 @@ impl TtaEngine<'_> {
                 OpClass::Lsu => {
                     if op.is_load() {
                         self.stats.loads += 1;
-                        let v = mem::load(&self.memory, op, trig_v as u32)?;
+                        let v = self.mem_load(op, trig_v as u32, cycle)?;
                         self.launch(trig.fu, op.latency(), v, cycle, pc)?;
                     } else {
                         self.stats.stores += 1;
                         let operand = self.fus[trig.fu as usize].operand;
-                        mem::store(&mut self.memory, op, trig_v as u32, operand)?;
+                        self.mem_store(op, trig_v as u32, operand, cycle)?;
                     }
                 }
                 OpClass::Ctrl if CTRL => match op {
@@ -428,6 +453,171 @@ impl TtaEngine<'_> {
     ) -> Result<bool, SimError> {
         self.deliver(cycle)?;
         self.exec_inst::<S, CTRL>(sink, pc, cycle, pending_jump)
+    }
+
+    /// Memory load routing: data memory on the fast path, the MMIO bus
+    /// for addresses at or above [`MMIO_BASE`] when the run has an I/O
+    /// system. Routing keys off the data-memory fault, so io-less runs
+    /// pay nothing.
+    #[inline(always)]
+    fn mem_load(&mut self, op: Opcode, addr: u32, now: u64) -> Result<i32, SimError> {
+        match mem::load(&self.memory, op, addr) {
+            Ok(v) => Ok(v),
+            Err(e) => match &mut self.io {
+                Some(ctx) if addr >= MMIO_BASE => Ok(ctx.sys.load(op, addr, now)?),
+                _ => Err(e.into()),
+            },
+        }
+    }
+
+    /// Memory store routing (see [`TtaEngine::mem_load`]).
+    #[inline(always)]
+    fn mem_store(&mut self, op: Opcode, addr: u32, value: i32, now: u64) -> Result<(), SimError> {
+        match mem::store(&mut self.memory, op, addr, value) {
+            Ok(()) => Ok(()),
+            Err(e) => match &mut self.io {
+                Some(ctx) if addr >= MMIO_BASE => Ok(ctx.sys.store(op, addr, value, now)?),
+                _ => Err(e.into()),
+            },
+        }
+    }
+
+    /// The per-block-entry I/O boundary: latch risen lines, then either
+    /// deliver a pending interrupt (returning `None` — the caller loops
+    /// back so its entry checks re-run at the handler pc) or report how
+    /// many cycles may safely run before the next boundary.
+    ///
+    /// Handler entry is the TTA's architecturally expensive trap: the
+    /// interrupted transport schedule owns the buses, so the core first
+    /// drains every in-flight function-unit result (one cycle per
+    /// residual wheel slot, fuel-checked), checkpoints the exposed
+    /// datapath, and only then pays the fixed redirect cost.
+    fn io_boundary(
+        &mut self,
+        pc: &mut u32,
+        cycle: &mut u64,
+        fuel: u64,
+        pending_jump: &mut Option<(u32, u32)>,
+        shadow: &mut Option<TtaShadow>,
+    ) -> Result<Option<u64>, SimError> {
+        let (line, entry) = match &mut self.io {
+            None => return Ok(Some(u64::MAX)),
+            Some(ctx) => {
+                ctx.sys.poll(*cycle);
+                match (ctx.sys.deliverable(), ctx.irq_entry) {
+                    (Some(line), Some(entry)) => (line, entry),
+                    _ => return Ok(Some(ctx.sys.window(*cycle))),
+                }
+            }
+        };
+        // The core still *waits* for the last in-flight result (one cycle
+        // per residual wheel step, fuel-checked) — that is the trap's
+        // drain cost — but the completions themselves are checkpointed
+        // with their remaining latencies instead of landed: an early
+        // landing would clobber result ports whose current values the
+        // interrupted schedule still reads (fuzz seed 2604).
+        let mut wheel: [Vec<(u16, i32)>; 4] = Default::default();
+        let mut drain = 0u64;
+        for b in 0..4usize {
+            if self.wheel[b].is_empty() {
+                continue;
+            }
+            let rel = (b as u64).wrapping_sub(*cycle) & 3;
+            drain = drain.max(rel + 1);
+            wheel[rel as usize] = std::mem::take(&mut self.wheel[b]);
+        }
+        for _ in 0..drain {
+            if *cycle >= fuel {
+                return Err(SimError::OutOfFuel);
+            }
+            *cycle += 1;
+            self.stats.irq_cycles += 1;
+        }
+        // The checkpoint keeps the in-flight `live` counts (the restored
+        // wheel will decrement them on delivery); the handler starts from
+        // idle units, so drop them on the engine's own view.
+        let inflight: Vec<u16> = wheel.iter().flatten().map(|&(fi, _)| fi).collect();
+        *shadow = Some(TtaShadow {
+            pc: *pc,
+            pending_jump: pending_jump.take(),
+            rf: self.rf.vals.clone(),
+            fus: self.fus.clone(),
+            immregs: self.immregs.clone(),
+            wheel,
+        });
+        for fi in inflight {
+            self.fus[fi as usize].live -= 1;
+        }
+        let ctx = self.io.as_mut().expect("io presence checked above");
+        ctx.sys.begin_delivery(line);
+        self.stats.irqs += 1;
+        *pc = entry;
+        *cycle += TRAP_CYCLES;
+        self.stats.irq_cycles += TRAP_CYCLES;
+        Ok(None)
+    }
+
+    /// Retire a halting handler: consume the end-of-interrupt doorbell
+    /// if one is latched and restore the checkpointed datapath (leftover
+    /// handler completions are discarded with the wheel). Returns whether
+    /// the halt that reached the caller was a handler return rather than
+    /// the program's end.
+    fn iret(
+        &mut self,
+        pc: &mut u32,
+        cycle: &mut u64,
+        pending_jump: &mut Option<(u32, u32)>,
+        shadow: &mut Option<TtaShadow>,
+    ) -> Result<bool, SimError> {
+        let Some(ctx) = &mut self.io else {
+            return Ok(false);
+        };
+        if !ctx.sys.take_eoi() {
+            return Ok(false);
+        }
+        ctx.sys.finish_handler();
+        let sh = shadow
+            .take()
+            .ok_or_else(|| SimError::Machine("end-of-interrupt without a saved context".into()))?;
+        for b in &mut self.wheel {
+            b.clear();
+        }
+        self.rf.vals = sh.rf;
+        self.fus = sh.fus;
+        self.immregs = sh.immregs;
+        *pc = sh.pc;
+        *pending_jump = sh.pending_jump;
+        *cycle += TRAP_CYCLES;
+        self.stats.irq_cycles += TRAP_CYCLES;
+        // Re-arm the checkpointed in-flight completions relative to the
+        // resume cycle: an entry saved with remaining latency `rel` lands
+        // `rel` cycles after execution resumes, exactly where the
+        // interrupted schedule expects it.
+        for (rel, entries) in sh.wheel.into_iter().enumerate() {
+            if !entries.is_empty() {
+                self.wheel[(*cycle as usize + rel) & 3] = entries;
+            }
+        }
+        Ok(true)
+    }
+
+    /// Build the final [`SimResult`] at the halt cycle, folding the I/O
+    /// system's counters and device-output stream into it.
+    fn finish(mut self, cycles: u64) -> Result<SimResult, SimError> {
+        let ret = mem::load(&self.memory, Opcode::Ldw, RETVAL_ADDR)?;
+        let mut uart_tx = Vec::new();
+        if let Some(ctx) = &self.io {
+            self.stats.mmio_loads = ctx.sys.mmio_loads;
+            self.stats.mmio_stores = ctx.sys.mmio_stores();
+            uart_tx = ctx.sys.uart_tx();
+        }
+        Ok(SimResult {
+            cycles,
+            ret,
+            memory: self.memory,
+            stats: self.stats,
+            uart_tx,
+        })
     }
 }
 
@@ -1101,13 +1291,13 @@ fn exec_tta_block(
                     let v = val.read(eng, pc)?;
                     eng.set_operand(fu, v);
                     let ad = addr.read(eng, pc)? as u32;
-                    mem::store(&mut eng.memory, op, ad, v)?;
+                    eng.mem_store(op, ad, v, cycle)?;
                 }
                 TtaOp::CycSt { addr, val, fu, op } => {
                     let v = val.read(eng, pc)?;
                     eng.set_operand(fu, v);
                     let ad = addr.read(eng, pc)? as u32;
-                    mem::store(&mut eng.memory, op, ad, v)?;
+                    eng.mem_store(op, ad, v, cycle)?;
                     pc += 1;
                     cycle += 1;
                 }
@@ -1164,7 +1354,7 @@ fn exec_tta_block(
                 }
                 TtaOp::CycLdSc { src, slot, op } => {
                     let addr = src.read(eng, pc)? as u32;
-                    let v = mem::load(&eng.memory, op, addr)?;
+                    let v = eng.mem_load(op, addr, cycle)?;
                     *eng.jit_tmp.get_unchecked_mut(slot as usize) = v;
                     pc += 1;
                     cycle += 1;
@@ -1202,7 +1392,7 @@ fn exec_tta_block(
                 }
                 TtaOp::CycTrigLdD { b, fu, op } => {
                     let addr = b.read(eng, pc)? as u32;
-                    let v = mem::load(&eng.memory, op, addr)?;
+                    let v = eng.mem_load(op, addr, cycle)?;
                     eng.set_result(fu, v);
                     pc += 1;
                     cycle += 1;
@@ -1250,21 +1440,21 @@ fn exec_tta_block(
                 }
                 TtaOp::LdDRf { s, fu, op } => {
                     let addr = eng.rf_get(s) as u32;
-                    let v = mem::load(&eng.memory, op, addr)?;
+                    let v = eng.mem_load(op, addr, cycle)?;
                     eng.set_result(fu, v);
                 }
                 TtaOp::LdDImm { v, fu, op } => {
-                    let v = mem::load(&eng.memory, op, v as u32)?;
+                    let v = eng.mem_load(op, v as u32, cycle)?;
                     eng.set_result(fu, v);
                 }
                 TtaOp::LdDFu { s, fu, op } => {
                     let addr = eng.result(s, pc)? as u32;
-                    let v = mem::load(&eng.memory, op, addr)?;
+                    let v = eng.mem_load(op, addr, cycle)?;
                     eng.set_result(fu, v);
                 }
                 TtaOp::LdDIr { k, fu, op } => {
                     let addr = eng.immreg(k, pc)? as u32;
-                    let v = mem::load(&eng.memory, op, addr)?;
+                    let v = eng.mem_load(op, addr, cycle)?;
                     eng.set_result(fu, v);
                 }
                 TtaOp::A1Sc { src, slot, op } => {
@@ -1278,7 +1468,7 @@ fn exec_tta_block(
                 }
                 TtaOp::LdSc { src, slot, op } => {
                     let addr = src.read(eng, pc)? as u32;
-                    let v = mem::load(&eng.memory, op, addr)?;
+                    let v = eng.mem_load(op, addr, cycle)?;
                     *eng.jit_tmp.get_unchecked_mut(slot as usize) = v;
                 }
                 TtaOp::RfRf { s, d } => {
@@ -1343,41 +1533,41 @@ fn exec_tta_block(
                 }
                 TtaOp::LdRf { s, fu, op } => {
                     let addr = eng.rf_get(s) as u32;
-                    let v = mem::load(&eng.memory, op, addr)?;
+                    let v = eng.mem_load(op, addr, cycle)?;
                     eng.launch_fast(fu, op, v, cycle, pc)?;
                 }
                 TtaOp::LdImm { v, fu, op } => {
-                    let v = mem::load(&eng.memory, op, v as u32)?;
+                    let v = eng.mem_load(op, v as u32, cycle)?;
                     eng.launch_fast(fu, op, v, cycle, pc)?;
                 }
                 TtaOp::LdFu { s, fu, op } => {
                     let addr = eng.result(s, pc)? as u32;
-                    let v = mem::load(&eng.memory, op, addr)?;
+                    let v = eng.mem_load(op, addr, cycle)?;
                     eng.launch_fast(fu, op, v, cycle, pc)?;
                 }
                 TtaOp::LdIr { k, fu, op } => {
                     let addr = eng.immreg(k, pc)? as u32;
-                    let v = mem::load(&eng.memory, op, addr)?;
+                    let v = eng.mem_load(op, addr, cycle)?;
                     eng.launch_fast(fu, op, v, cycle, pc)?;
                 }
                 TtaOp::StRf { s, fu, op } => {
                     let addr = eng.rf_get(s) as u32;
                     let v = eng.operand(fu);
-                    mem::store(&mut eng.memory, op, addr, v)?;
+                    eng.mem_store(op, addr, v, cycle)?;
                 }
                 TtaOp::StImm { v: addr, fu, op } => {
                     let v = eng.operand(fu);
-                    mem::store(&mut eng.memory, op, addr as u32, v)?;
+                    eng.mem_store(op, addr as u32, v, cycle)?;
                 }
                 TtaOp::StFu { s, fu, op } => {
                     let addr = eng.result(s, pc)? as u32;
                     let v = eng.operand(fu);
-                    mem::store(&mut eng.memory, op, addr, v)?;
+                    eng.mem_store(op, addr, v, cycle)?;
                 }
                 TtaOp::StIr { k, fu, op } => {
                     let addr = eng.immreg(k, pc)? as u32;
                     let v = eng.operand(fu);
-                    mem::store(&mut eng.memory, op, addr, v)?;
+                    eng.mem_store(op, addr, v, cycle)?;
                 }
                 TtaOp::Limm { k, v } => *eng.immregs.get_unchecked_mut(k as usize) = Some(v),
                 TtaOp::Halt => halt = true,
@@ -2105,13 +2295,15 @@ pub(crate) fn run_tta_with<S: ProfileSink>(
     fuel: u64,
     sink: &mut S,
     tier: Option<&TtaTiers>,
+    io: Option<IoCtx<'_>>,
 ) -> Result<SimResult, SimError> {
     let mut tc = TierCounts::default();
-    let r = run_tta_inner(m, program, memory, fuel, sink, tier, &mut tc);
+    let r = run_tta_inner(m, program, memory, fuel, sink, tier, io, &mut tc);
     tc.flush();
     r
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_tta_inner<S: ProfileSink>(
     m: &Machine,
     program: &[TtaInst],
@@ -2119,6 +2311,7 @@ fn run_tta_inner<S: ProfileSink>(
     fuel: u64,
     sink: &mut S,
     tier: Option<&TtaTiers>,
+    io: Option<IoCtx<'_>>,
     tc: &mut TierCounts,
 ) -> Result<SimResult, SimError> {
     let rf = FlatRf::new(m);
@@ -2135,11 +2328,14 @@ fn run_tta_inner<S: ProfileSink>(
         jit_tmp: Vec::new(),
         memory,
         stats: SimStats::default(),
+        io,
     };
     let mut pc: u32 = 0;
     let mut cycle: u64 = 0;
     // (remaining delay slots, target)
     let mut pending_jump: Option<(u32, u32)> = None;
+    // Checkpointed context of the interrupted code while a handler runs.
+    let mut shadow: Option<TtaShadow> = None;
 
     loop {
         // Superblock entry: the only place fuel, the pc bound and the
@@ -2150,6 +2346,15 @@ fn run_tta_inner<S: ProfileSink>(
         if pc as usize >= dec.insts.len() {
             return Err(SimError::PcOutOfRange(pc));
         }
+        // I/O boundary: latch lines and either trap into the handler
+        // (re-running the entry checks there) or learn how many cycles
+        // may run before the next observable boundary. `u64::MAX` (the
+        // io-less constant) clamps nothing below.
+        let win =
+            match eng.io_boundary(&mut pc, &mut cycle, fuel, &mut pending_jump, &mut shadow)? {
+                Some(win) => win,
+                None => continue,
+            };
         let full = blocks.run_len(pc) as u64;
 
         // Tier-2 dispatch: an unclamped entry (no pending jump, fuel
@@ -2160,7 +2365,7 @@ fn run_tta_inner<S: ProfileSink>(
         if S::PASSIVE {
             if let Some(tab) = tier {
                 match pending_jump {
-                    None if fuel - cycle >= full => {
+                    None if fuel - cycle >= full && win >= full => {
                         let block = match tab.main.entry(pc) {
                             TierEntry::Compiled(b) => Some(b),
                             TierEntry::Promote => {
@@ -2182,13 +2387,10 @@ fn run_tta_inner<S: ProfileSink>(
                             pc += full as u32 - 1;
                             cycle += full;
                             if halt {
-                                let ret = mem::load(&eng.memory, Opcode::Ldw, RETVAL_ADDR)?;
-                                return Ok(SimResult {
-                                    cycles: cycle,
-                                    ret,
-                                    memory: eng.memory,
-                                    stats: eng.stats,
-                                });
+                                if eng.iret(&mut pc, &mut cycle, &mut pending_jump, &mut shadow)? {
+                                    continue;
+                                }
+                                return eng.finish(cycle);
                             }
                             match pending_jump.take() {
                                 Some((0, target)) => pc = target,
@@ -2208,7 +2410,7 @@ fn run_tta_inner<S: ProfileSink>(
                         // nested control transfer faults identically in
                         // both tiers).
                         let dlen = (k as u64 + 1).min(full);
-                        if fuel - cycle >= dlen {
+                        if fuel - cycle >= dlen && win >= dlen {
                             let seg = match tab.delay.entry(pc) {
                                 TierEntry::Compiled(s) => Some(s),
                                 TierEntry::Promote => {
@@ -2232,13 +2434,15 @@ fn run_tta_inner<S: ProfileSink>(
                                 let halt = b(&mut eng, cycle, &mut pending_jump)?;
                                 cycle += dlen;
                                 if halt {
-                                    let ret = mem::load(&eng.memory, Opcode::Ldw, RETVAL_ADDR)?;
-                                    return Ok(SimResult {
-                                        cycles: cycle,
-                                        ret,
-                                        memory: eng.memory,
-                                        stats: eng.stats,
-                                    });
+                                    if eng.iret(
+                                        &mut pc,
+                                        &mut cycle,
+                                        &mut pending_jump,
+                                        &mut shadow,
+                                    )? {
+                                        continue;
+                                    }
+                                    return eng.finish(cycle);
                                 }
                                 if dlen < full {
                                     // Pure delay window: ends exactly at
@@ -2281,7 +2485,7 @@ fn run_tta_inner<S: ProfileSink>(
             // instructions execute on the fall-through path.
             len = len.min(k as u64 + 1);
         }
-        len = len.min(fuel - cycle);
+        len = len.min(fuel - cycle).min(win);
         // Only the run's terminal instruction can carry control triggers,
         // and it is part of this dispatch iff nothing clamped `len`.
         let terminal = len == full;
@@ -2309,13 +2513,10 @@ fn run_tta_inner<S: ProfileSink>(
             let halt = eng.step::<S, true>(sink, pc, cycle, &mut pending_jump)?;
             cycle += 1;
             if halt {
-                let ret = mem::load(&eng.memory, Opcode::Ldw, RETVAL_ADDR)?;
-                return Ok(SimResult {
-                    cycles: cycle,
-                    ret,
-                    memory: eng.memory,
-                    stats: eng.stats,
-                });
+                if eng.iret(&mut pc, &mut cycle, &mut pending_jump, &mut shadow)? {
+                    continue;
+                }
+                return eng.finish(cycle);
             }
             // Control transfer bookkeeping for the terminal cycle.
             match pending_jump.take() {

@@ -25,9 +25,10 @@
 
 use crate::profile::{finish_vliw, Collector, GuestProfile, NoProfile, ProfileSink, TraceSink};
 use crate::result::{SimError, SimResult, SimStats};
-use crate::state::{DecOpSrc, FlatRf, NO_DST};
+use crate::state::{DecOpSrc, FlatRf, IoCtx, NO_DST, TRAP_CYCLES};
 use crate::tier::TierCounts;
 use tta_isa::{BlockMap, Operation, TierEntry, TierTable, VliwBundle, VliwSlot, RETVAL_ADDR};
+use tta_model::io::MMIO_BASE;
 use tta_model::{mem, Machine, OpClass, Opcode};
 
 /// Maximum simulated cycles before declaring a runaway program.
@@ -109,9 +110,9 @@ pub fn run_vliw(
     let cfg = tta_isa::TierConfig::from_env();
     if cfg.enabled {
         let tier = VliwTiers::new(program.len(), cfg.threshold);
-        run_vliw_with(m, program, memory, fuel, &mut NoProfile, Some(&tier))
+        run_vliw_with(m, program, memory, fuel, &mut NoProfile, Some(&tier), None)
     } else {
-        run_vliw_with(m, program, memory, fuel, &mut NoProfile, None)
+        run_vliw_with(m, program, memory, fuel, &mut NoProfile, None, None)
     }
 }
 
@@ -124,7 +125,7 @@ pub fn run_vliw_traced(
     fuel: u64,
 ) -> Result<(SimResult, Vec<u32>), SimError> {
     let mut sink = TraceSink::for_program(program.len());
-    let r = run_vliw_with(m, program, memory, fuel, &mut sink, None)?;
+    let r = run_vliw_with(m, program, memory, fuel, &mut sink, None, None)?;
     Ok((r, sink.trace))
 }
 
@@ -138,7 +139,7 @@ pub fn run_vliw_profiled(
     fuel: u64,
 ) -> Result<(SimResult, GuestProfile), SimError> {
     let mut sink = Collector::with_write_hist(m, program.len());
-    let r = run_vliw_with(m, program, memory, fuel, &mut sink, None)?;
+    let r = run_vliw_with(m, program, memory, fuel, &mut sink, None, None)?;
     let mut p = finish_vliw(m, program, sink);
     p.cycles = r.cycles;
     Ok((r, p))
@@ -163,6 +164,19 @@ pub(crate) struct VliwEngine<'a> {
     min_write_ports: u32,
     memory: Vec<u8>,
     stats: SimStats,
+    /// Memory-mapped I/O and interrupt state, present only for reactive
+    /// runs ([`crate::run_with_io`]); `None` keeps plain runs untouched.
+    io: Option<IoCtx<'a>>,
+}
+
+/// The context a VLIW trap must save. The VLIW's in-flight state is its
+/// writeback wheel; the trap drains it first (results commit to the
+/// register files), so the checkpoint is pc, the in-flight jump and the
+/// register files — cheaper than the TTA's exposed-bus checkpoint.
+struct VliwShadow {
+    pc: u32,
+    pending_jump: Option<(u32, u32)>,
+    rf: Vec<i32>,
 }
 
 impl VliwEngine<'_> {
@@ -292,12 +306,12 @@ impl VliwEngine<'_> {
                         OpClass::Lsu => {
                             if op.is_load() {
                                 self.stats.loads += 1;
-                                let v = mem::load(&self.memory, op, vb.unwrap() as u32)?;
+                                let v = self.mem_load(op, vb.unwrap() as u32, cycle)?;
                                 assert!(dst != NO_DST, "load writes a register");
                                 self.enqueue(cycle + op.latency() as u64, dst, dst_rf, v);
                             } else {
                                 self.stats.stores += 1;
-                                mem::store(&mut self.memory, op, vb.unwrap() as u32, va.unwrap())?;
+                                self.mem_store(op, vb.unwrap() as u32, va.unwrap(), cycle)?;
                             }
                         }
                         OpClass::Ctrl if CTRL => match op {
@@ -325,6 +339,133 @@ impl VliwEngine<'_> {
 
         self.drain(sink, cycle)?;
         Ok(halt)
+    }
+
+    /// Whether no writeback is in flight (all wheel buckets empty).
+    #[inline(always)]
+    fn wheel_is_empty(&self) -> bool {
+        self.wheel.iter().all(|b| b.is_empty())
+    }
+
+    /// Memory load routing: data memory on the fast path, the MMIO bus
+    /// for addresses at or above [`MMIO_BASE`] when the run has an I/O
+    /// system. Routing keys off the data-memory fault, so io-less runs
+    /// pay nothing.
+    #[inline(always)]
+    fn mem_load(&mut self, op: Opcode, addr: u32, now: u64) -> Result<i32, SimError> {
+        match mem::load(&self.memory, op, addr) {
+            Ok(v) => Ok(v),
+            Err(e) => match &mut self.io {
+                Some(ctx) if addr >= MMIO_BASE => Ok(ctx.sys.load(op, addr, now)?),
+                _ => Err(e.into()),
+            },
+        }
+    }
+
+    /// Memory store routing (see [`VliwEngine::mem_load`]).
+    #[inline(always)]
+    fn mem_store(&mut self, op: Opcode, addr: u32, value: i32, now: u64) -> Result<(), SimError> {
+        match mem::store(&mut self.memory, op, addr, value) {
+            Ok(()) => Ok(()),
+            Err(e) => match &mut self.io {
+                Some(ctx) if addr >= MMIO_BASE => Ok(ctx.sys.store(op, addr, value, now)?),
+                _ => Err(e.into()),
+            },
+        }
+    }
+
+    /// The per-block-entry I/O boundary (see `TtaEngine::io_boundary` —
+    /// same contract). The VLIW trap drains the writeback wheel first
+    /// (one cycle per residual bucket, fuel-checked, write-port rules
+    /// still enforced), then checkpoints pc, the in-flight jump and the
+    /// register files.
+    fn io_boundary<S: ProfileSink>(
+        &mut self,
+        sink: &mut S,
+        pc: &mut u32,
+        cycle: &mut u64,
+        fuel: u64,
+        pending_jump: &mut Option<(u32, u32)>,
+        shadow: &mut Option<VliwShadow>,
+    ) -> Result<Option<u64>, SimError> {
+        let (line, entry) = match &mut self.io {
+            None => return Ok(Some(u64::MAX)),
+            Some(ctx) => {
+                ctx.sys.poll(*cycle);
+                match (ctx.sys.deliverable(), ctx.irq_entry) {
+                    (Some(line), Some(entry)) => (line, entry),
+                    _ => return Ok(Some(ctx.sys.window(*cycle))),
+                }
+            }
+        };
+        while !self.wheel_is_empty() {
+            if *cycle >= fuel {
+                return Err(SimError::OutOfFuel);
+            }
+            self.drain(sink, *cycle)?;
+            *cycle += 1;
+            self.stats.irq_cycles += 1;
+        }
+        *shadow = Some(VliwShadow {
+            pc: *pc,
+            pending_jump: pending_jump.take(),
+            rf: self.rf.vals.clone(),
+        });
+        let ctx = self.io.as_mut().expect("io presence checked above");
+        ctx.sys.begin_delivery(line);
+        self.stats.irqs += 1;
+        *pc = entry;
+        *cycle += TRAP_CYCLES;
+        self.stats.irq_cycles += TRAP_CYCLES;
+        Ok(None)
+    }
+
+    /// Retire a halting handler (see `TtaEngine::iret` — same contract).
+    fn iret(
+        &mut self,
+        pc: &mut u32,
+        cycle: &mut u64,
+        pending_jump: &mut Option<(u32, u32)>,
+        shadow: &mut Option<VliwShadow>,
+    ) -> Result<bool, SimError> {
+        let Some(ctx) = &mut self.io else {
+            return Ok(false);
+        };
+        if !ctx.sys.take_eoi() {
+            return Ok(false);
+        }
+        ctx.sys.finish_handler();
+        let sh = shadow
+            .take()
+            .ok_or_else(|| SimError::Machine("end-of-interrupt without a saved context".into()))?;
+        for b in &mut self.wheel {
+            b.clear();
+        }
+        self.rf.vals = sh.rf;
+        *pc = sh.pc;
+        *pending_jump = sh.pending_jump;
+        *cycle += TRAP_CYCLES;
+        self.stats.irq_cycles += TRAP_CYCLES;
+        Ok(true)
+    }
+
+    /// Build the final [`SimResult`] at the halt cycle, folding the I/O
+    /// system's counters and device-output stream into it.
+    fn finish(mut self, cycles: u64) -> Result<SimResult, SimError> {
+        let ret = mem::load(&self.memory, Opcode::Ldw, RETVAL_ADDR)?;
+        let mut uart_tx = Vec::new();
+        if let Some(ctx) = &self.io {
+            self.stats.mmio_loads = ctx.sys.mmio_loads;
+            self.stats.mmio_stores = ctx.sys.mmio_stores();
+            uart_tx = ctx.sys.uart_tx();
+        }
+        Ok(SimResult {
+            cycles,
+            ret,
+            memory: self.memory,
+            stats: self.stats,
+            uart_tx,
+        })
     }
 }
 
@@ -467,12 +608,14 @@ fn exec_vliw_block(
                 rf,
                 lat,
             } => {
-                let v = mem::load(&eng.memory, op, b.read(&eng.rf) as u32)?;
+                let addr = b.read(&eng.rf) as u32;
+                let v = eng.mem_load(op, addr, cycle)?;
                 eng.enqueue(cycle + lat as u64, dst, rf, v);
             }
             VliwOp::Store { op, a, b } => {
                 let addr = b.read(&eng.rf) as u32;
-                mem::store(&mut eng.memory, op, addr, a.read(&eng.rf))?;
+                let v = a.read(&eng.rf);
+                eng.mem_store(op, addr, v, cycle)?;
             }
             VliwOp::Limm { dst, rf, v } => eng.enqueue(cycle + 1, dst, rf, v),
             VliwOp::Halt => halt = true,
@@ -620,13 +763,15 @@ pub(crate) fn run_vliw_with<S: ProfileSink>(
     fuel: u64,
     sink: &mut S,
     tier: Option<&VliwTiers>,
+    io: Option<IoCtx<'_>>,
 ) -> Result<SimResult, SimError> {
     let mut tc = TierCounts::default();
-    let r = run_vliw_inner(m, program, memory, fuel, sink, tier, &mut tc);
+    let r = run_vliw_inner(m, program, memory, fuel, sink, tier, io, &mut tc);
     tc.flush();
     r
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_vliw_inner<S: ProfileSink>(
     m: &Machine,
     program: &[VliwBundle],
@@ -634,6 +779,7 @@ fn run_vliw_inner<S: ProfileSink>(
     fuel: u64,
     sink: &mut S,
     tier: Option<&VliwTiers>,
+    io: Option<IoCtx<'_>>,
     tc: &mut TierCounts,
 ) -> Result<SimResult, SimError> {
     let rf = FlatRf::new(m);
@@ -654,11 +800,13 @@ fn run_vliw_inner<S: ProfileSink>(
             .unwrap_or(0),
         memory,
         stats: SimStats::default(),
+        io,
     };
     let mut pc: u32 = 0;
     let mut cycle: u64 = 0;
     // (remaining delay slots, target)
     let mut pending_jump: Option<(u32, u32)> = None;
+    let mut shadow: Option<VliwShadow> = None;
 
     loop {
         // Superblock entry: the only place fuel, the pc bound and the
@@ -669,6 +817,21 @@ fn run_vliw_inner<S: ProfileSink>(
         if pc as usize >= eng.dec_bundles.len() {
             return Err(SimError::PcOutOfRange(pc));
         }
+        // Interrupt boundary: deliver a pending interrupt (re-entering the
+        // loop at the handler) or learn how many cycles may run before the
+        // next one can arrive. Polling only here keeps every tier's
+        // delivery points identical by construction.
+        let win = match eng.io_boundary(
+            sink,
+            &mut pc,
+            &mut cycle,
+            fuel,
+            &mut pending_jump,
+            &mut shadow,
+        )? {
+            Some(win) => win,
+            None => continue,
+        };
         let full = blocks.run_len(pc) as u64;
 
         // Tier-2 dispatch (see `crate::tta::run_tta_with`): unclamped
@@ -677,7 +840,7 @@ fn run_vliw_inner<S: ProfileSink>(
         if S::PASSIVE {
             if let Some(tab) = tier {
                 match pending_jump {
-                    None if fuel - cycle >= full => {
+                    None if fuel - cycle >= full && win >= full => {
                         let block = match tab.main.entry(pc) {
                             TierEntry::Compiled(b) => Some(b),
                             TierEntry::Promote => {
@@ -696,13 +859,10 @@ fn run_vliw_inner<S: ProfileSink>(
                             pc += full as u32 - 1;
                             cycle += full;
                             if halt {
-                                let ret = mem::load(&eng.memory, Opcode::Ldw, RETVAL_ADDR)?;
-                                return Ok(SimResult {
-                                    cycles: cycle,
-                                    ret,
-                                    memory: eng.memory,
-                                    stats: eng.stats,
-                                });
+                                if eng.iret(&mut pc, &mut cycle, &mut pending_jump, &mut shadow)? {
+                                    continue;
+                                }
+                                return eng.finish(cycle);
                             }
                             match pending_jump.take() {
                                 Some((0, target)) => pc = target,
@@ -722,7 +882,7 @@ fn run_vliw_inner<S: ProfileSink>(
                         // control transfer faults identically in both
                         // tiers).
                         let dlen = (k as u64 + 1).min(full);
-                        if fuel - cycle >= dlen {
+                        if fuel - cycle >= dlen && win >= dlen {
                             let seg = match tab.delay.entry(pc) {
                                 TierEntry::Compiled(s) => Some(s),
                                 TierEntry::Promote => {
@@ -746,13 +906,15 @@ fn run_vliw_inner<S: ProfileSink>(
                                 let halt = b(&mut eng, cycle, &mut pending_jump)?;
                                 cycle += dlen;
                                 if halt {
-                                    let ret = mem::load(&eng.memory, Opcode::Ldw, RETVAL_ADDR)?;
-                                    return Ok(SimResult {
-                                        cycles: cycle,
-                                        ret,
-                                        memory: eng.memory,
-                                        stats: eng.stats,
-                                    });
+                                    if eng.iret(
+                                        &mut pc,
+                                        &mut cycle,
+                                        &mut pending_jump,
+                                        &mut shadow,
+                                    )? {
+                                        continue;
+                                    }
+                                    return eng.finish(cycle);
                                 }
                                 if dlen < full {
                                     // Pure delay window: ends exactly at
@@ -795,7 +957,7 @@ fn run_vliw_inner<S: ProfileSink>(
             // bundles execute on the fall-through path.
             len = len.min(k as u64 + 1);
         }
-        len = len.min(fuel - cycle);
+        len = len.min(fuel - cycle).min(win);
         // Only the run's terminal bundle can issue control operations,
         // and it is part of this dispatch iff nothing clamped `len`.
         let terminal = len == full;
@@ -822,13 +984,10 @@ fn run_vliw_inner<S: ProfileSink>(
             let halt = eng.step::<S, true>(sink, pc, cycle, &mut pending_jump)?;
             cycle += 1;
             if halt {
-                let ret = mem::load(&eng.memory, Opcode::Ldw, RETVAL_ADDR)?;
-                return Ok(SimResult {
-                    cycles: cycle,
-                    ret,
-                    memory: eng.memory,
-                    stats: eng.stats,
-                });
+                if eng.iret(&mut pc, &mut cycle, &mut pending_jump, &mut shadow)? {
+                    continue;
+                }
+                return eng.finish(cycle);
             }
             match pending_jump.take() {
                 Some((0, target)) => pc = target,

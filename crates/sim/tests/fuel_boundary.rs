@@ -11,9 +11,11 @@
 
 use tta_compiler::compile;
 use tta_ir::builder::{FunctionBuilder, ModuleBuilder};
+use tta_ir::inst::MemRegion;
 use tta_ir::Module;
+use tta_model::io::{IoSpec, IrqAt, IRQ_CTRL_ADDR, SOFT_LINE};
 use tta_model::{presets, Machine};
-use tta_sim::{SimError, SimResult};
+use tta_sim::{SimError, SimResult, TierConfig, Tiers};
 
 /// A small looping kernel: two dependent loops with stores and loads, so
 /// the compiled programs have several superblocks, taken and fall-through
@@ -105,10 +107,170 @@ fn sweep(machine: &Machine) {
     }
 }
 
+/// [`loop_module`] plus interrupts: a `__irq` handler bumps a counter
+/// that the exit path folds into the return value (shifted clear of the
+/// accumulator), and `main` enables interrupts first thing. Two
+/// cycle-keyed arrivals land mid-loop, so the sweep below cuts fuel at
+/// every point *around a trap* too: mid-drain, between trap entry and
+/// the handler, inside the handler, and across the return.
+fn reactive_loop_module() -> Module {
+    let mut mb = ModuleBuilder::new("fuelloop_irq");
+    let buf = mb.buffer(64);
+    let ibuf = mb.buffer(8);
+    let mut hb = FunctionBuilder::new("__irq", 0, false);
+    let old = hb.ldw(ibuf.base(), ibuf.region);
+    let n = hb.add(old, 1);
+    hb.stw(n, ibuf.base(), ibuf.region);
+    hb.ret_void();
+    mb.add(hb.finish());
+    let mut fb = FunctionBuilder::new("main", 0, true);
+    fb.stw(1, IRQ_CTRL_ADDR as i32, MemRegion::ANY);
+    let i = fb.copy(0);
+    let acc = fb.copy(0);
+    let head = fb.new_block();
+    let body = fb.new_block();
+    let exit = fb.new_block();
+    fb.jump(head);
+    fb.switch_to(head);
+    let c = fb.lt(i, 9);
+    fb.branch(c, body, exit);
+    fb.switch_to(body);
+    let sq = fb.mul(i, i);
+    let off = fb.shl(i, 2);
+    let addr = fb.add(off, buf.base());
+    fb.stw(sq, addr, buf.region);
+    let back = fb.ldw(addr, buf.region);
+    let acc2 = fb.add(acc, back);
+    fb.copy_to(acc, acc2);
+    let i2 = fb.add(i, 1);
+    fb.copy_to(i, i2);
+    fb.jump(head);
+    fb.switch_to(exit);
+    let hits = fb.ldw(ibuf.base(), ibuf.region);
+    let tagged = fb.shl(hits, 16);
+    let out = fb.add(acc, tagged);
+    fb.ret(out);
+    let id = mb.add(fb.finish());
+    mb.set_entry(id);
+    mb.finish()
+}
+
+/// The interrupt leg of the boundary sweep: with a fixed schedule, every
+/// fuel value below the exact cost errs with `OutOfFuel` and every value
+/// at or above it reproduces the unconstrained run bit-for-bit — on the
+/// interpreted engine, the eagerly compiled tier, and the default
+/// promotion threshold alike, and all three configurations agree with
+/// each other on the unconstrained result.
+fn reactive_sweep(machine: &Machine) {
+    let module = reactive_loop_module();
+    let compiled =
+        compile(&module, machine).unwrap_or_else(|e| panic!("compile on {}: {e}", machine.name));
+    let spec = IoSpec {
+        schedule: vec![(IrqAt::Cycle(20), SOFT_LINE), (IrqAt::Cycle(60), SOFT_LINE)],
+        ..IoSpec::default()
+    };
+    let configs = [
+        (
+            "interpreted",
+            TierConfig {
+                enabled: false,
+                threshold: 0,
+            },
+        ),
+        (
+            "threshold-0",
+            TierConfig {
+                enabled: true,
+                threshold: 0,
+            },
+        ),
+        (
+            "default-threshold",
+            TierConfig {
+                enabled: true,
+                threshold: TierConfig::DEFAULT_THRESHOLD,
+            },
+        ),
+    ];
+    let mut baseline: Option<SimResult> = None;
+    for (what, cfg) in &configs {
+        // Shared across the whole sweep, so blocks promoted by earlier
+        // runs serve later fuel values fully compiled — the steady state.
+        let tiers = Tiers::with_config(&compiled.program, cfg);
+        let run = |fuel: u64| {
+            tta_sim::run_with_io_tiers(
+                machine,
+                &compiled.program,
+                module.initial_memory(),
+                fuel,
+                &spec,
+                compiled.irq_entry,
+                &tiers,
+            )
+        };
+        let full = run(200_000)
+            .unwrap_or_else(|e| panic!("{} ({what}): full run failed: {e}", machine.name));
+        assert_eq!(
+            full.stats.irqs, 2,
+            "{} ({what}): both arrivals",
+            machine.name
+        );
+        assert_eq!(
+            full.ret >> 16,
+            2,
+            "{} ({what}): handler ran twice",
+            machine.name
+        );
+        match &baseline {
+            None => baseline = Some(full.clone()),
+            Some(base) => assert_same(
+                &full,
+                base,
+                &format!("{} ({what}) vs baseline", machine.name),
+            ),
+        }
+        let b = boundary(machine, &full);
+        for fuel in 0..b {
+            match run(fuel) {
+                Err(SimError::OutOfFuel) => {}
+                other => panic!(
+                    "{} ({what}): fuel {fuel} of {b} should exhaust, got {other:?}",
+                    machine.name
+                ),
+            }
+        }
+        for fuel in b..b + 3 {
+            let r = run(fuel).unwrap_or_else(|e| {
+                panic!("{} ({what}): fuel {fuel} of {b} failed: {e}", machine.name)
+            });
+            assert_same(
+                &r,
+                &full,
+                &format!("{} ({what}) at fuel {fuel}", machine.name),
+            );
+        }
+    }
+}
+
 #[test]
 fn tta_fuel_boundary_is_exact() {
     sweep(&presets::m_tta_2());
     sweep(&presets::m_tta_1());
+}
+
+#[test]
+fn tta_fuel_boundary_is_exact_with_interrupts() {
+    reactive_sweep(&presets::m_tta_2());
+}
+
+#[test]
+fn vliw_fuel_boundary_is_exact_with_interrupts() {
+    reactive_sweep(&presets::m_vliw_2());
+}
+
+#[test]
+fn scalar_fuel_boundary_is_exact_with_interrupts() {
+    reactive_sweep(&presets::mblaze_3());
 }
 
 #[test]

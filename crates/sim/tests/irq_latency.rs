@@ -1,0 +1,153 @@
+//! Interrupt-latency snapshots: the cycle-exact trap entry/return cost
+//! of every design point, pinned per style.
+//!
+//! The paper's interrupt argument is microarchitectural: a TTA exposes
+//! its datapath (in-flight FU results, the transport buses, immediate
+//! registers) in the architectural state, so a precise trap must drain or
+//! save more state than a scalar core whose only exposed state is the
+//! register file. The simulators charge that cost explicitly — the
+//! statically scheduled cores drain the writeback wheel (one cycle per
+//! residual bucket) and then pay a fixed two-cycle trap entry plus a
+//! two-cycle return, while the scalar core pays one issue cycle plus its
+//! branch-refill penalty each way and drains nothing. This suite pins
+//! those numbers exactly so the latency table in EXPERIMENTS.md cannot
+//! rot silently.
+
+use tta_compiler::compile;
+use tta_ir::builder::{FunctionBuilder, ModuleBuilder};
+use tta_ir::inst::MemRegion;
+use tta_ir::Module;
+use tta_model::io::{IoSpec, IrqAt, IRQ_CTRL_ADDR, SOFT_LINE};
+use tta_model::presets;
+use tta_sim::{run_with_io, SimResult};
+
+const FUEL: u64 = 100_000;
+
+/// A guest with a minimal handler (bump a counter) and a spin-loop main
+/// that enables interrupts and returns the counter.
+fn guest() -> Module {
+    let mut mb = ModuleBuilder::new("latency_guest");
+    let buf = mb.buffer(8);
+    let mut hb = FunctionBuilder::new("__irq", 0, false);
+    let old = hb.ldw(buf.base(), buf.region);
+    let n = hb.add(old, 1);
+    hb.stw(n, buf.base(), buf.region);
+    hb.ret_void();
+    mb.add(hb.finish());
+    let mut fb = FunctionBuilder::new("main", 0, true);
+    fb.stw(1, IRQ_CTRL_ADDR as i32, MemRegion::ANY);
+    let i = fb.copy(0);
+    let head = fb.new_block();
+    let body = fb.new_block();
+    let exit = fb.new_block();
+    fb.jump(head);
+    fb.switch_to(head);
+    let c = fb.lt(i, 40);
+    fb.branch(c, body, exit);
+    fb.switch_to(body);
+    let i2 = fb.add(i, 1);
+    fb.copy_to(i, i2);
+    fb.jump(head);
+    fb.switch_to(exit);
+    let v = fb.ldw(buf.base(), buf.region);
+    fb.ret(v);
+    let id = mb.add(fb.finish());
+    mb.set_entry(id);
+    mb.finish()
+}
+
+fn reactive(machine: &tta_model::Machine, module: &Module, spec: &IoSpec) -> SimResult {
+    let c = compile(module, machine).unwrap_or_else(|e| panic!("compile on {}: {e}", machine.name));
+    run_with_io(
+        machine,
+        &c.program,
+        module.initial_memory(),
+        FUEL,
+        spec,
+        c.irq_entry,
+    )
+    .unwrap_or_else(|e| panic!("reactive run on {}: {e}", machine.name))
+}
+
+/// One interrupt mid-spin at a fixed cycle: pin the exact trap overhead
+/// (drain + entry + return) each design point charges.
+#[test]
+fn trap_overhead_is_cycle_exact_per_design_point() {
+    let module = guest();
+    let spec = IoSpec {
+        schedule: vec![(IrqAt::Cycle(60), SOFT_LINE)],
+        ..IoSpec::default()
+    };
+    // (design point, pinned irq_cycles for one delivery + return).
+    // Scalar cores pay 2 * (1 issue + branch_penalty) and never drain;
+    // TTA/VLIW cores pay wheel-drain + 2 cycles each way.
+    let pinned: &[(&str, u64)] = &[
+        ("mblaze-3", 6),
+        ("mblaze-5", 4),
+        ("m-tta-1", 4),
+        ("m-vliw-2", 5),
+        ("p-vliw-2", 5),
+        ("m-tta-2", 4),
+        ("p-tta-2", 5),
+        ("bm-tta-2", 5),
+        ("m-vliw-3", 5),
+        ("p-vliw-3", 5),
+        ("m-tta-3", 5),
+        ("p-tta-3", 4),
+        ("bm-tta-3", 5),
+    ];
+    let machines = presets::all_design_points();
+    assert_eq!(machines.len(), pinned.len(), "design-point list changed");
+    for (machine, &(name, want)) in machines.iter().zip(pinned) {
+        assert_eq!(machine.name, name, "design-point order changed");
+        let r = reactive(machine, &module, &spec);
+        assert_eq!(r.stats.irqs, 1, "{name}: exactly one delivery");
+        assert_eq!(r.ret, 1, "{name}: handler ran once");
+        assert_eq!(
+            r.stats.irq_cycles, want,
+            "{name}: trap overhead changed (got {}, pinned {want})",
+            r.stats.irq_cycles
+        );
+        // Scalar trap overhead is pure stall; the statically scheduled
+        // cores never charge less than the fixed 2+2 entry/return.
+        if let Some(scalar) = &machine.scalar {
+            let pen = scalar.branch_penalty as u64;
+            assert_eq!(
+                r.stats.irq_cycles,
+                2 * (1 + pen),
+                "{name}: scalar trap model"
+            );
+        } else {
+            assert!(r.stats.irq_cycles >= 4, "{name}: fixed trap floor");
+        }
+    }
+}
+
+/// The interrupt tax is visible end-to-end: the same guest with the same
+/// schedule costs exactly `irq_cycles` more than the undisturbed run
+/// plus the handler's own execution — i.e. total cycles grow when the
+/// interrupt fires, and by a deterministic amount (run twice).
+#[test]
+fn interrupt_cost_is_deterministic_and_additive() {
+    let module = guest();
+    let quiet_spec = IoSpec::default();
+    let spec = IoSpec {
+        schedule: vec![(IrqAt::Cycle(60), SOFT_LINE)],
+        ..IoSpec::default()
+    };
+    for machine in &presets::all_design_points() {
+        let quiet = reactive(machine, &module, &quiet_spec);
+        let a = reactive(machine, &module, &spec);
+        let b = reactive(machine, &module, &spec);
+        assert_eq!(a, b, "{}: reactive run must be deterministic", machine.name);
+        assert_eq!(quiet.stats.irqs, 0, "{}", machine.name);
+        assert!(
+            a.cycles >= quiet.cycles + a.stats.irq_cycles,
+            "{}: interrupted run ({}) must pay at least the quiet run ({}) plus trap tax ({})",
+            machine.name,
+            a.cycles,
+            quiet.cycles,
+            a.stats.irq_cycles
+        );
+    }
+}
