@@ -8,6 +8,9 @@
 //! * `cargo run --release -p tta-bench --bin bench_eval` times the full
 //!   evaluation pipeline and writes `BENCH_eval.json` (the perf
 //!   trajectory tracked in `EXPERIMENTS.md`).
+//! * `cargo run --release -p tta-bench --bin bench_serve` load-tests the
+//!   batch simulation server over real sockets and writes
+//!   `BENCH_serve.json` (throughput plus p50/p99 per-job latency).
 //! * `cargo bench` runs the micro-benchmarks of the toolchain itself
 //!   (scheduler, simulator, encoder, end-to-end pipeline) on the local
 //!   [`harness`].

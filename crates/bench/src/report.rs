@@ -13,16 +13,25 @@ use tta_obs::json::Json;
 /// The gated metric: median wall-clock seconds per run, lower is better.
 pub const GATE_KEY: &str = "wall_s_median";
 
+/// Additional lower-is-better metrics gated with the same tolerance when
+/// both reports carry them (per-job latency percentiles from
+/// `bench_serve`). Present in one file only is a schema error — a report
+/// cannot drop a gated metric to dodge the gate.
+pub const GATED_LOWER_KEYS: [&str; 2] = ["p50_ms", "p99_ms"];
+
 /// Keys that define the workload; they must be equal (or absent from
 /// both files) for a comparison to be meaningful.
-const WORKLOAD_KEYS: [&str; 6] = ["bench", "machines", "kernels", "pairs", "seeds", "iters"];
+const WORKLOAD_KEYS: [&str; 7] = [
+    "bench", "machines", "kernels", "pairs", "seeds", "iters", "jobs",
+];
 
 /// Informational higher-is-better metrics shown in the summary.
-const INFO_HIGHER: [&str; 4] = [
+const INFO_HIGHER: [&str; 5] = [
     "pairs_per_s",
     "cases_per_s",
     "sim_cycles_per_s",
     "blocks_per_s",
+    "jobs_per_s",
 ];
 
 /// The outcome of one comparison.
@@ -90,6 +99,32 @@ pub fn diff(baseline: &Json, current: &Json, tolerance: f64) -> Result<Diff, Str
             "{GATE_KEY} regressed {delta_pct:+.1}% (> {:.0}% tolerance)",
             tolerance * 100.0
         ));
+    }
+
+    for k in GATED_LOWER_KEYS {
+        let (b, c) = match (baseline.get(k), current.get(k)) {
+            (None, None) => continue,
+            (Some(_), None) => return Err(format!("current report lacks gated key \"{k}\"")),
+            (None, Some(_)) => return Err(format!("baseline report lacks gated key \"{k}\"")),
+            (Some(_), Some(_)) => (
+                num(baseline, k).map_err(|e| format!("baseline: {e}"))?,
+                num(current, k).map_err(|e| format!("current: {e}"))?,
+            ),
+        };
+        if b <= 0.0 {
+            return Err(format!("baseline {k} is not positive ({b})"));
+        }
+        let limit = b * (1.0 + tolerance);
+        let delta_pct = (c / b - 1.0) * 100.0;
+        lines.push(format!(
+            "{k}: baseline {b:.3}ms → current {c:.3}ms ({delta_pct:+.1}%), limit {limit:.3}ms"
+        ));
+        if c > limit {
+            regressions.push(format!(
+                "{k} regressed {delta_pct:+.1}% (> {:.0}% tolerance)",
+                tolerance * 100.0
+            ));
+        }
     }
 
     for k in INFO_HIGHER {
@@ -245,6 +280,59 @@ mod tests {
         };
         assert!(diff(&mk(100, 0.57), &mk(100, 0.60), 0.30).unwrap().passed());
         assert!(diff(&mk(100, 0.57), &mk(50, 0.30), 0.30).is_err());
+    }
+
+    fn serve_report(median: f64, p50: f64, p99: f64) -> Json {
+        parse(&format!(
+            r#"{{"bench": "serve_batch", "machines": 13, "kernels": 8, "jobs": 1000,
+                "reps": 3, "wall_s_median": {median}, "jobs_per_s": {},
+                "p50_ms": {p50}, "p99_ms": {p99}}}"#,
+            1000.0 / median
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn latency_percentiles_are_gated_when_present() {
+        let base = serve_report(2.0, 40.0, 90.0);
+        // Wall time flat, p99 doubled: the gate must trip on p99 alone.
+        let d = diff(&base, &serve_report(2.0, 41.0, 180.0), 0.30).unwrap();
+        assert!(!d.passed());
+        assert!(d.regressions[0].contains("p99_ms"), "{:?}", d.regressions);
+        // All three within tolerance: passes, and all are in the summary.
+        let d = diff(&base, &serve_report(2.1, 45.0, 100.0), 0.30).unwrap();
+        assert!(d.passed(), "{:?}", d.regressions);
+        assert!(d.lines.iter().any(|l| l.contains("p50_ms")));
+        assert!(d.lines.iter().any(|l| l.contains("p99_ms")));
+    }
+
+    #[test]
+    fn dropping_a_gated_latency_key_is_a_schema_error() {
+        let base = serve_report(2.0, 40.0, 90.0);
+        let mut cur = serve_report(2.0, 40.0, 90.0);
+        if let Json::Obj(fields) = &mut cur {
+            fields.retain(|(k, _)| k != "p99_ms");
+        }
+        let e = diff(&base, &cur, 0.30).unwrap_err();
+        assert!(e.contains("gated key \"p99_ms\""), "{e}");
+        // Reports without latency keys on either side still compare.
+        let r = eval_report(0.4);
+        assert!(diff(&r, &r, 0.30).unwrap().passed());
+    }
+
+    #[test]
+    fn serve_job_count_is_a_workload_key() {
+        let base = serve_report(2.0, 40.0, 90.0);
+        let mut cur = serve_report(1.0, 40.0, 90.0);
+        if let Json::Obj(fields) = &mut cur {
+            for (k, v) in fields.iter_mut() {
+                if k == "jobs" {
+                    *v = Json::Num(500.0);
+                }
+            }
+        }
+        let e = diff(&base, &cur, 0.30).unwrap_err();
+        assert!(e.contains("workload mismatch on \"jobs\""), "{e}");
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! The sharded, content-keyed compile cache.
+//!
+//! Every consumer of the pipeline — the evaluation work queue, the batch
+//! server, repeated bench repetitions — revisits the same
+//! (machine × kernel) pairs, so compilation is memoised process-wide.
+//! Keys are *content* hashes (the machine's full `Debug` form and the
+//! kernel's IR text), never identities, so equivalent requests from
+//! different call sites share one artefact.
+//!
+//! The map is split across [`SHARDS`] independently-locked shards chosen
+//! by key hash: a server draining dozens of concurrent simulations then
+//! only contends on a shard when two jobs race for the *same* artefact's
+//! neighbourhood, not on one global mutex. Values are
+//! `(Arc<Compiled>, Arc<Tiers>)` — the shared tier table means superblocks
+//! promoted by the first run of a pair are reused by every later run
+//! (promotion is lock-free, so sharing across worker threads is safe).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use tta_compiler::{compile, Compiled};
+use tta_model::Machine;
+use tta_obs as obs;
+
+/// A cached compile artefact: the compiled program plus its shared
+/// compiled-tier promotion state.
+pub type Entry = (Arc<Compiled>, Arc<tta_sim::Tiers>);
+
+/// Cache key: (machine-`Debug` hash, IR-text hash).
+pub type Key = (u64, u64);
+
+/// Shard count. A small power of two: enough to spread the handful of
+/// hot keys a concurrent batch touches, cheap enough that an idle cache
+/// costs nothing.
+pub const SHARDS: usize = 16;
+
+/// Hash any `Hash` value with the std default hasher.
+pub fn hash_of<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// A sharded `Key → Entry` map. See the module docs for the design.
+pub struct CompileCache {
+    shards: Vec<Mutex<HashMap<Key, Entry>>>,
+}
+
+impl CompileCache {
+    /// An empty cache with [`SHARDS`] shards.
+    pub fn new() -> Self {
+        CompileCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// The shard holding `key`: mix both halves so machines (which share
+    /// an IR hash across kernels) and kernels (which share a machine
+    /// hash across machines) both spread.
+    fn shard(&self, key: Key) -> &Mutex<HashMap<Key, Entry>> {
+        let mixed = key.0.rotate_left(17) ^ key.1.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        &self.shards[(mixed as usize) % self.shards.len()]
+    }
+
+    /// The cache key for compiling `ir_hash` on `machine`.
+    pub fn key_for(machine: &Machine, ir_hash: u64) -> Key {
+        (hash_of(&format!("{machine:?}")), ir_hash)
+    }
+
+    /// Look up `key`, or compile `module` for `machine` and insert. The
+    /// hit path still charges a (tiny) `compile` span so stage accounting
+    /// always reflects the stage that ran; misses are charged in full by
+    /// `compile` itself. Hit/miss totals land on the
+    /// `eval.compile_cache.{hits,misses}` counters.
+    ///
+    /// Compilation happens *outside* the shard lock: a racing worker may
+    /// compile the same key concurrently and insert second, but both
+    /// artefacts have identical content, so last-write-wins is fine.
+    pub fn get_or_compile(
+        &self,
+        key: Key,
+        module: &tta_ir::Module,
+        machine: &Machine,
+        what: &str,
+    ) -> Entry {
+        {
+            let _s = obs::span("compile");
+            if let Some(hit) = self.shard(key).lock().unwrap().get(&key) {
+                obs::counter::add("eval.compile_cache.hits", 1);
+                return hit.clone();
+            }
+        }
+        obs::counter::add("eval.compile_cache.misses", 1);
+        let compiled = Arc::new(
+            compile(module, machine).unwrap_or_else(|e| panic!("{what} on {}: {e}", machine.name)),
+        );
+        let tiers = Arc::new(tta_sim::Tiers::for_program(&compiled.program));
+        let entry = (compiled, tiers);
+        self.shard(key).lock().unwrap().insert(key, entry.clone());
+        entry
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards (fixed at construction).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+impl Default for CompileCache {
+    fn default() -> Self {
+        CompileCache::new()
+    }
+}
+
+/// The process-wide cache shared by the evaluation pipeline and the
+/// batch server.
+pub fn global() -> &'static CompileCache {
+    static CACHE: OnceLock<CompileCache> = OnceLock::new();
+    CACHE.get_or_init(CompileCache::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_model::presets;
+
+    fn small_module() -> tta_ir::Module {
+        tta_chstone::by_name("sha").map(|k| (k.build)()).unwrap()
+    }
+
+    #[test]
+    fn hit_returns_the_same_artefact() {
+        let cache = CompileCache::new();
+        let module = small_module();
+        let machine = presets::mblaze_3();
+        let key = CompileCache::key_for(&machine, hash_of("sha-ir"));
+        let a = cache.get_or_compile(key, &module, &machine, "sha");
+        let b = cache.get_or_compile(key, &module, &machine, "sha");
+        assert!(Arc::ptr_eq(&a.0, &b.0), "hit must share the artefact");
+        assert!(Arc::ptr_eq(&a.1, &b.1), "hit must share the tier table");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_machines_get_distinct_entries() {
+        let cache = CompileCache::new();
+        let module = small_module();
+        let ir = hash_of("sha-ir");
+        for m in [presets::mblaze_3(), presets::m_vliw_2(), presets::m_tta_2()] {
+            cache.get_or_compile(CompileCache::key_for(&m, ir), &module, &m, "sha");
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.shard_count(), SHARDS);
+    }
+
+    #[test]
+    fn concurrent_lookups_converge_on_one_entry_per_key() {
+        let cache = CompileCache::new();
+        let module = small_module();
+        let machine = presets::mblaze_3();
+        let key = CompileCache::key_for(&machine, hash_of("sha-ir"));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..3 {
+                        let e = cache.get_or_compile(key, &module, &machine, "sha");
+                        assert!(!e.0.program.is_empty());
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 1);
+    }
+}

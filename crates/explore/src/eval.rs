@@ -9,11 +9,7 @@
 //! [`last_timing`] reads that subtree back in the historical
 //! [`EvalTiming`] shape.
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 use tta_chstone::reactive::ReactiveGuest;
 use tta_chstone::Kernel;
 use tta_compiler::{compile, Compiled};
@@ -23,7 +19,11 @@ use tta_isa::encoding;
 use tta_model::io::IoSystem;
 use tta_model::{presets, Machine};
 use tta_obs as obs;
+use tta_obs::json::Json;
 use tta_sim::SimStats;
+
+use crate::cache::{self, CompileCache};
+use crate::queue;
 
 /// Cumulative per-stage timing of the most recent [`evaluate`] call.
 ///
@@ -65,10 +65,11 @@ pub fn last_timing() -> EvalTiming {
     }
 }
 
-/// Worker threads for [`evaluate`]: the `TTA_EVAL_THREADS` environment
-/// variable when set to a positive integer, otherwise every available
-/// core; always capped at the job count.
-fn eval_threads(n_jobs: usize) -> usize {
+/// Worker threads for [`evaluate`] (and the serve layer's simulation
+/// pool): the `TTA_EVAL_THREADS` environment variable when set to a
+/// positive integer, otherwise every available core; always capped at
+/// the job count (pass `usize::MAX` for an uncapped long-lived pool).
+pub fn eval_threads(n_jobs: usize) -> usize {
     std::env::var("TTA_EVAL_THREADS")
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
@@ -137,23 +138,22 @@ impl MachineReport {
 }
 
 /// A kernel with its IR module built and golden return value interpreted —
-/// both machine-independent, so [`evaluate`] does this once per kernel
-/// instead of once per (kernel × machine).
-struct PreparedKernel {
-    name: &'static str,
-    module: tta_ir::Module,
-    golden_ret: Option<i32>,
+/// both machine-independent, so [`evaluate`] (and the batch server) does
+/// this once per kernel instead of once per (kernel × machine).
+pub struct PreparedKernel {
+    /// Kernel name.
+    pub name: &'static str,
+    /// The built IR module.
+    pub module: tta_ir::Module,
+    /// The golden interpreter's return value.
+    pub golden_ret: Option<i32>,
     /// Content hash of the kernel's IR text (compile-cache key half).
-    ir_hash: u64,
+    pub ir_hash: u64,
 }
 
-fn hash_of(text: &str) -> u64 {
-    let mut h = DefaultHasher::new();
-    text.hash(&mut h);
-    h.finish()
-}
-
-fn prepare_kernel(kernel: &Kernel) -> PreparedKernel {
+/// Build a kernel's IR module and run the golden interpreter once,
+/// charging the `build_ir`/`golden_interp` spans.
+pub fn prepare_kernel(kernel: &Kernel) -> PreparedKernel {
     let module = {
         let _s = obs::span("build_ir");
         (kernel.build)()
@@ -162,7 +162,7 @@ fn prepare_kernel(kernel: &Kernel) -> PreparedKernel {
         let _s = obs::span("golden_interp");
         Interpreter::new(&module).run(&[]).expect("interpreter")
     };
-    let ir_hash = hash_of(&tta_ir::module_to_text(&module));
+    let ir_hash = cache::hash_of(&tta_ir::module_to_text(&module));
     PreparedKernel {
         name: kernel.name,
         module,
@@ -171,54 +171,24 @@ fn prepare_kernel(kernel: &Kernel) -> PreparedKernel {
     }
 }
 
-/// Process-wide compile memo, keyed by *content*: the machine's full
-/// `Debug` form and the kernel's IR text. The (machine × kernel) work
-/// queue revisits the same pairs across warm-up and benchmark repetitions
-/// — and design-space sweeps revisit shared structure — so each pair
-/// compiles exactly once per process.
-fn compile_cache() -> &'static Mutex<CompileCache> {
-    static CACHE: OnceLock<Mutex<CompileCache>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
-}
-
-/// (machine-`Debug` hash, IR-text hash) → shared compile artefact plus the
-/// program's compiled-tier state, so superblocks promoted by the first
-/// simulation of a pair are reused by every repetition (promotion is
-/// lock-free, so the shared table is safe across worker threads).
-type CompileCache = HashMap<(u64, u64), (Arc<Compiled>, Arc<tta_sim::Tiers>)>;
-
-/// Compile through the content-keyed cache. The hit path still charges a
-/// (tiny) `compile` span so stage accounting always reflects the stage
-/// that ran; misses are charged in full by `compile` itself. Hit/miss
-/// totals land on the `eval.compile_cache.{hits,misses}` counters.
+/// Compile through the process-wide sharded content-keyed cache
+/// ([`crate::cache`]). Each (machine × kernel) pair compiles exactly
+/// once per process, however many callers revisit it.
 fn compile_cached(p: &PreparedKernel, machine: &Machine) -> (Arc<Compiled>, Arc<tta_sim::Tiers>) {
-    let cache = compile_cache();
-    let key;
-    {
-        let _s = obs::span("compile");
-        key = (hash_of(&format!("{machine:?}")), p.ir_hash);
-        if let Some(hit) = cache.lock().unwrap().get(&key) {
-            obs::counter::add("eval.compile_cache.hits", 1);
-            return hit.clone();
-        }
-    }
-    obs::counter::add("eval.compile_cache.misses", 1);
-    let compiled = Arc::new(
-        compile(&p.module, machine)
-            .unwrap_or_else(|e| panic!("{} on {}: {e}", p.name, machine.name)),
-    );
-    let tiers = Arc::new(tta_sim::Tiers::for_program(&compiled.program));
-    // A racing worker may have inserted the same key; either value is
-    // equivalent (same content), so last-write-wins is fine.
-    let entry = (compiled, tiers);
-    cache.lock().unwrap().insert(key, entry.clone());
-    entry
+    let key = CompileCache::key_for(machine, p.ir_hash);
+    cache::global().get_or_compile(key, &p.module, machine, p.name)
 }
 
 /// Compile + simulate one prepared kernel on one machine and verify the
 /// result against the golden model. The compiler and simulator charge
 /// their own `compile`/`simulate` spans under this thread's ambient span.
-fn run_prepared(p: &PreparedKernel, machine: &Machine) -> KernelRun {
+///
+/// # Panics
+/// On compile or simulation failure, and when the simulated return value
+/// disagrees with the golden interpreter — all three indicate toolchain
+/// bugs (callers that must stay alive, like the batch server, catch the
+/// unwind and report a structured error instead).
+pub fn run_prepared(p: &PreparedKernel, machine: &Machine) -> KernelRun {
     let (compiled, tiers) = compile_cached(p, machine);
     let result = tta_sim::run_with_tiers(
         machine,
@@ -277,22 +247,10 @@ pub fn evaluate(machines: &[Machine], kernels: &[Kernel]) -> Vec<MachineReport> 
 
     // One result slot per job; each is written by exactly one worker.
     let slots: Vec<Mutex<Option<KernelRun>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let _ctx = obs::attach(here);
-                loop {
-                    let ji = next.fetch_add(1, Ordering::Relaxed);
-                    if ji >= n_jobs {
-                        break;
-                    }
-                    let (mi, ki) = (ji / kernels.len(), ji % kernels.len());
-                    let run = run_prepared(&prepared[ki], &machines[mi]);
-                    *slots[ji].lock().unwrap() = Some(run);
-                }
-            });
-        }
+    queue::drain_indexed(n_jobs, threads, here, |ji| {
+        let (mi, ki) = (ji / kernels.len(), ji % kernels.len());
+        let run = run_prepared(&prepared[ki], &machines[mi]);
+        *slots[ji].lock().unwrap() = Some(run);
     });
 
     let mut runs = slots
@@ -319,6 +277,38 @@ pub fn evaluate(machines: &[Machine], kernels: &[Kernel]) -> Vec<MachineReport> 
 /// Evaluate all eight kernels on all thirteen design points.
 pub fn evaluate_all() -> Vec<MachineReport> {
     evaluate(&presets::all_design_points(), &tta_chstone::all_kernels())
+}
+
+/// The canonical machine-readable form of one [`KernelRun`] — the per-job
+/// payload the batch server streams as NDJSON. Built from the same
+/// [`KernelRun`] values [`evaluate`] produces, so a served job's report is
+/// bit-identical to the equivalent single-run evaluation (the simulators
+/// are cycle-deterministic and the compile cache is shared).
+pub fn job_report_json(machine: &str, run: &KernelRun) -> Json {
+    let n = |v: u64| Json::Num(v as f64);
+    Json::Obj(vec![
+        ("machine".into(), Json::Str(machine.into())),
+        ("kernel".into(), Json::Str(run.kernel.clone())),
+        ("cycles".into(), n(run.cycles)),
+        ("program_len".into(), Json::Num(run.program_len as f64)),
+        ("image_bits".into(), n(run.image_bits)),
+        ("spilled".into(), Json::Num(run.spilled as f64)),
+        (
+            "sim".into(),
+            Json::Obj(vec![
+                ("instructions".into(), n(run.sim.instructions)),
+                ("payload".into(), n(run.sim.payload)),
+                ("rf_reads".into(), n(run.sim.rf_reads)),
+                ("rf_writes".into(), n(run.sim.rf_writes)),
+                ("bypass_reads".into(), n(run.sim.bypass_reads)),
+                ("limms".into(), n(run.sim.limms)),
+                ("branches_taken".into(), n(run.sim.branches_taken)),
+                ("stall_cycles".into(), n(run.sim.stall_cycles)),
+                ("loads".into(), n(run.sim.loads)),
+                ("stores".into(), n(run.sim.stores)),
+            ]),
+        ),
+    ])
 }
 
 /// One reactive guest executed on one machine: cycle numbers plus the

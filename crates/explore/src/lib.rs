@@ -15,15 +15,18 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod compression;
 pub mod eval;
 pub mod figures;
 pub mod imem;
 pub mod profile;
+pub mod queue;
 pub mod sweep;
 pub mod tables;
 pub mod transform;
 
+pub use cache::CompileCache;
 pub use compression::{dictionary_compress, Compression};
 pub use eval::{evaluate, evaluate_all, issue_class, IssueClass, KernelRun, MachineReport};
 pub use imem::{kernel_icache, simulate_icache, ICacheConfig, ICacheReport};
@@ -31,5 +34,6 @@ pub use profile::{
     profile, profile_all, report_json, trace_json, utilization_markdown, validate_report,
     KernelProfile, MachineProfile, ProfileReport, PROFILE_VERSION,
 };
+pub use queue::WorkQueue;
 pub use sweep::{sweep_bus_count, SweepPoint};
 pub use transform::{merge_buses, partition_rf, profile_buses, prune_bypasses, BusProfile};

@@ -1,0 +1,192 @@
+//! Reusable worker pools behind the evaluation pipeline and the batch
+//! server.
+//!
+//! Two shapes of the same idea — N threads draining a shared queue, each
+//! attached to a caller-supplied obs span so their `compile`/`simulate`
+//! spans aggregate under the call that spawned them:
+//!
+//! * [`drain_indexed`] — the *scoped* form used by [`crate::evaluate`]:
+//!   a fixed job count, borrowed data, an atomic next-job counter, and
+//!   all workers joined before it returns.
+//! * [`WorkQueue`] — the *long-lived* form used by the serve layer:
+//!   `'static` closures submitted over a channel to persistent workers,
+//!   with graceful shutdown (close, drain, join).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use tta_obs as obs;
+
+/// Run `f(0..n_jobs)` across `threads` scoped workers pulling job
+/// indices off a shared atomic counter, so a slow job spreads the rest
+/// across threads instead of serialising on a static partition. Each
+/// worker attaches to `parent` for span accounting. Returns once every
+/// job has finished.
+pub fn drain_indexed(
+    n_jobs: usize,
+    threads: usize,
+    parent: obs::SpanHandle,
+    f: impl Fn(usize) + Sync,
+) {
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|| {
+                let _ctx = obs::attach(parent);
+                loop {
+                    let ji = next.fetch_add(1, Ordering::Relaxed);
+                    if ji >= n_jobs {
+                        break;
+                    }
+                    f(ji);
+                }
+            });
+        }
+    });
+}
+
+/// A boxed unit of work for a [`WorkQueue`].
+pub type Job = Box<dyn FnOnce() + Send>;
+
+/// A fixed pool of persistent worker threads draining submitted jobs in
+/// FIFO order. [`WorkQueue::shutdown`] closes the queue, lets the workers
+/// drain what was already submitted, and joins them; dropping the queue
+/// shuts it down implicitly.
+pub struct WorkQueue {
+    tx: Mutex<Option<mpsc::Sender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    threads: usize,
+}
+
+impl WorkQueue {
+    /// Spawn `threads` workers (at least one), each attached to `parent`
+    /// for span accounting and named for thread listings.
+    pub fn new(threads: usize, name: &str, parent: obs::SpanHandle) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || {
+                        let _ctx = obs::attach(parent);
+                        loop {
+                            // Take the job while holding the receiver lock,
+                            // run it after releasing, so one long job never
+                            // blocks the other workers' dequeues.
+                            let job = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+                                Ok(job) => job,
+                                Err(_) => break, // queue closed and drained
+                            };
+                            job();
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkQueue {
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+            threads,
+        }
+    }
+
+    /// Submit one job. Fails only after [`WorkQueue::shutdown`].
+    pub fn submit(&self, job: Job) -> Result<(), &'static str> {
+        match self.tx.lock().unwrap().as_ref() {
+            Some(tx) => tx.send(job).map_err(|_| "work queue closed"),
+            None => Err("work queue closed"),
+        }
+    }
+
+    /// Worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Close the queue, drain already-submitted jobs, and join every
+    /// worker. Idempotent.
+    pub fn shutdown(&self) {
+        drop(self.tx.lock().unwrap().take());
+        let workers = std::mem::take(&mut *self.workers.lock().unwrap());
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for WorkQueue {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn drain_indexed_runs_every_job_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        drain_indexed(hits.len(), 4, obs::SpanHandle::ROOT, |ji| {
+            hits[ji].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn drain_indexed_tolerates_more_threads_than_jobs() {
+        let count = AtomicUsize::new(0);
+        drain_indexed(3, 16, obs::SpanHandle::ROOT, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn work_queue_drains_everything_on_shutdown() {
+        let q = WorkQueue::new(3, "test-wq", obs::SpanHandle::ROOT);
+        assert_eq!(q.threads(), 3);
+        let sum = Arc::new(AtomicU64::new(0));
+        for i in 1..=100u64 {
+            let sum = Arc::clone(&sum);
+            q.submit(Box::new(move || {
+                sum.fetch_add(i, Ordering::Relaxed);
+            }))
+            .unwrap();
+        }
+        q.shutdown();
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+        // Closed for business afterwards, and shutdown is idempotent.
+        assert!(q.submit(Box::new(|| {})).is_err());
+        q.shutdown();
+    }
+
+    #[test]
+    fn work_queue_runs_jobs_concurrently() {
+        // Two jobs that each wait for the other prove two workers run at
+        // once (a single worker would deadlock; the 5s bound fails fast).
+        let q = WorkQueue::new(2, "test-conc", obs::SpanHandle::ROOT);
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let (done_tx, done_rx) = mpsc::channel();
+        for _ in 0..2 {
+            let barrier = Arc::clone(&barrier);
+            let done = done_tx.clone();
+            q.submit(Box::new(move || {
+                barrier.wait();
+                done.send(()).unwrap();
+            }))
+            .unwrap();
+        }
+        for _ in 0..2 {
+            done_rx
+                .recv_timeout(std::time::Duration::from_secs(5))
+                .expect("both jobs must rendezvous");
+        }
+        q.shutdown();
+    }
+}

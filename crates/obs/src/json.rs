@@ -59,6 +59,49 @@ impl Json {
         out
     }
 
+    /// Render on a single line with no insignificant whitespace and no
+    /// trailing newline — the NDJSON framing form ([`crate::ndjson`]).
+    /// String contents are escaped, so the output never contains a raw
+    /// newline regardless of the value.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(n) => out.push_str(&format_num(*n)),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         let pad = |out: &mut String, n: usize| {
             for _ in 0..n {
@@ -400,6 +443,20 @@ mod tests {
         // Integers print undecorated; floats round-trip.
         assert!(printed.contains("\"list\""));
         assert!(printed.contains("0.385604"));
+    }
+
+    #[test]
+    fn compact_form_is_one_line_and_round_trips() {
+        let src = r#"{"a": [1, {"b": null}], "s": "x\ny", "empty": {}, "e": []}"#;
+        let v = parse(src).unwrap();
+        let compact = v.to_compact();
+        assert!(!compact.contains('\n'), "{compact}");
+        assert!(!compact.contains(": "), "{compact}");
+        assert_eq!(parse(&compact).unwrap(), v);
+        assert_eq!(
+            compact,
+            r#"{"a":[1,{"b":null}],"s":"x\ny","empty":{},"e":[]}"#
+        );
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! * **A machine-readable run report** ([`report`]) — a stable JSON
 //!   rendering of every span and counter, embedded by the bench binaries
 //!   into `BENCH_*.json` and diffed by `bench_report` in CI.
+//! * **NDJSON framing** ([`ndjson`]) — one compact JSON document per
+//!   line, the streaming form of the serve layer's per-job run reports.
 //! * **A Chrome trace-event exporter** ([`trace`]) — serialises host
 //!   spans and guest cycle activity into one `.trace.json` that loads in
 //!   Perfetto / `about:tracing`.
@@ -30,6 +32,7 @@
 
 pub mod counter;
 pub mod json;
+pub mod ndjson;
 pub mod report;
 pub mod span;
 pub mod trace;

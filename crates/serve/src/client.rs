@@ -1,0 +1,149 @@
+//! A minimal blocking HTTP client for the server's own tests and the
+//! `bench_serve` harness — enough HTTP/1.1 to post a body and consume a
+//! `Connection: close` response, with per-line arrival timestamps so the
+//! bench can report per-job latency percentiles.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A fully-buffered response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// The whole body.
+    pub body: String,
+}
+
+/// One line of a streamed NDJSON response.
+#[derive(Debug, Clone)]
+pub struct StreamedLine {
+    /// The line, without its terminating newline.
+    pub text: String,
+    /// Arrival time, measured from just before the request was sent.
+    pub at: Duration,
+}
+
+/// A streamed response: status plus timestamped lines.
+#[derive(Debug, Clone)]
+pub struct StreamedResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body lines in arrival order.
+    pub lines: Vec<StreamedLine>,
+}
+
+fn send_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> std::io::Result<TcpStream> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.set_nodelay(true)?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    stream.flush()?;
+    Ok(stream)
+}
+
+fn parse_status(head: &str) -> std::io::Result<u16> {
+    head.split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("bad status line: {head:?}")))
+}
+
+/// POST `body` to `path` and buffer the whole response.
+pub fn post(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> std::io::Result<Response> {
+    request(addr, "POST", path, body, timeout)
+}
+
+/// GET `path` and buffer the whole response.
+pub fn get(addr: SocketAddr, path: &str, timeout: Duration) -> std::io::Result<Response> {
+    request(addr, "GET", path, "", timeout)
+}
+
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> std::io::Result<Response> {
+    let mut stream = send_request(addr, method, path, body, timeout)?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::other("response without header/body split"))?;
+    Ok(Response {
+        status: parse_status(head.lines().next().unwrap_or(""))?,
+        body: body.to_string(),
+    })
+}
+
+/// POST `body` to `path` and consume the response incrementally,
+/// timestamping each completed line as it arrives (relative to the
+/// moment the request was sent).
+pub fn post_streaming(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> std::io::Result<StreamedResponse> {
+    let start = Instant::now();
+    let mut stream = send_request(addr, "POST", path, body, timeout)?;
+    let mut status = 0u16;
+    let mut in_body = false;
+    let mut acc: Vec<u8> = Vec::new();
+    let mut lines = Vec::new();
+    let mut tmp = [0u8; 4096];
+    loop {
+        let n = stream.read(&mut tmp)?;
+        if n == 0 {
+            break;
+        }
+        acc.extend_from_slice(&tmp[..n]);
+        if !in_body {
+            let Some(pos) = acc.windows(4).position(|w| w == b"\r\n\r\n") else {
+                continue;
+            };
+            let head = String::from_utf8_lossy(&acc[..pos]).into_owned();
+            status = parse_status(head.lines().next().unwrap_or(""))?;
+            acc.drain(..pos + 4);
+            in_body = true;
+        }
+        while let Some(nl) = acc.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = acc.drain(..=nl).collect();
+            lines.push(StreamedLine {
+                text: String::from_utf8_lossy(&line)
+                    .trim_end_matches(['\r', '\n'])
+                    .to_string(),
+                at: start.elapsed(),
+            });
+        }
+    }
+    // A trailing unterminated fragment (not produced by the server's
+    // NDJSON framing, but don't lose it if it ever appears).
+    if in_body && !acc.is_empty() {
+        lines.push(StreamedLine {
+            text: String::from_utf8_lossy(&acc).into_owned(),
+            at: start.elapsed(),
+        });
+    }
+    Ok(StreamedResponse { status, lines })
+}

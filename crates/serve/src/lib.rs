@@ -1,0 +1,38 @@
+//! # tta-serve — simulation as a service
+//!
+//! A dependency-light batch server over the evaluation pipeline: clients
+//! `POST /v1/batch` a versioned JSON list of `(machine, kernel)` jobs and
+//! receive one NDJSON run-report line per completed job (streamed in
+//! completion order, indexed back to the request) plus a summary line.
+//! Compilation is memoised in the process-wide sharded compile cache and
+//! simulations multiplex over a work-queue pool sized like
+//! `evaluate_all`'s, so a sustained stream of batches keeps every core
+//! busy while compiling each distinct pair exactly once.
+//!
+//! ```text
+//! cargo run --release -p tta-serve -- --addr 127.0.0.1:7878
+//! curl -sN localhost:7878/v1/batch -d '{
+//!   "req_version": 1,
+//!   "jobs": [{"machine": "m-tta-2", "kernel": "sha"},
+//!            {"machine": "m-vliw-2", "kernel": "motion"}]
+//! }'
+//! {"obs_version":1,"job":0,"ok":true,"report":{"machine":"m-tta-2","kernel":"sha","cycles":...}}
+//! {"obs_version":1,"job":1,"ok":true,"report":{...}}
+//! {"obs_version":1,"summary":true,"jobs":2,"ok":2,"errors":0,"timed_out":false,"wall_ms":...}
+//! ```
+//!
+//! Per-job reports are built by `tta_explore::eval::job_report_json` from
+//! the same `KernelRun` values the batch evaluation produces, so a served
+//! job's report is bit-identical to the equivalent `evaluate_all` entry.
+//! Malformed, oversized, or unknown-version requests get structured
+//! `{"error": {"code", "message"}}` bodies; batch deadlines surface as
+//! per-job `timeout` error lines rather than dropped connections.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod schema;
+pub mod server;
+
+pub use schema::{ApiError, BatchRequest, ErrorCode, JobSpec, REQ_VERSION};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,63 @@
+//! The `tta-serve` binary: bind, serve batches, stop on
+//! `POST /v1/shutdown`.
+//!
+//! ```text
+//! tta-serve [--addr HOST:PORT] [--threads N]
+//! ```
+//!
+//! `--threads 0` (the default) sizes the simulation pool like the
+//! evaluation pipeline: every available core, `TTA_EVAL_THREADS`
+//! override honoured.
+
+use tta_serve::{Server, ServerConfig};
+
+fn parse_args() -> Result<ServerConfig, String> {
+    let mut cfg = ServerConfig::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--threads" => {
+                let v = value("--threads")?;
+                cfg.sim_threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads: not a number: {v}"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: tta-serve [--addr HOST:PORT] [--threads N]".into());
+            }
+            other => return Err(format!("unknown argument {other} (try --help)")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() -> std::process::ExitCode {
+    tta_obs::init_from_env();
+    let cfg = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("tta-serve: {e}");
+            return std::process::ExitCode::from(2);
+        }
+    };
+    let server = match Server::spawn(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tta-serve: bind failed: {e}");
+            return std::process::ExitCode::from(1);
+        }
+    };
+    eprintln!(
+        "tta-serve listening on http://{} ({} simulation threads)",
+        server.addr(),
+        server.sim_threads()
+    );
+    eprintln!("  POST /v1/batch     submit a job batch (NDJSON stream back)");
+    eprintln!("  GET  /healthz      liveness + cache stats");
+    eprintln!("  POST /v1/shutdown  graceful stop");
+    server.wait();
+    eprintln!("tta-serve: drained and stopped");
+    std::process::ExitCode::SUCCESS
+}

@@ -1,0 +1,315 @@
+//! The versioned request schema and structured error vocabulary.
+//!
+//! Requests carry `req_version` (currently [`REQ_VERSION`]); a request
+//! with a missing or unknown version is rejected with a structured error
+//! before any job is looked at, so old clients fail loudly instead of
+//! being half-served. Responses — per-job NDJSON lines and error bodies
+//! alike — carry `obs_version` from the obs run-report schema family.
+//!
+//! ```json
+//! {
+//!   "req_version": 1,
+//!   "jobs": [ {"machine": "m-tta-2", "kernel": "sha"} ],
+//!   "timeout_ms": 5000
+//! }
+//! ```
+
+use tta_obs::json::Json;
+
+/// The request schema version this server speaks.
+pub const REQ_VERSION: u64 = 1;
+
+/// The run-report schema version of every response line (the obs
+/// run-report family).
+pub const OBS_VERSION: u64 = tta_obs::report::OBS_VERSION;
+
+/// One simulation job: a preset design point × a CHStone-style kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Design-point name (`tta_model::presets::by_name`).
+    pub machine: String,
+    /// Kernel name (`tta_chstone::by_name`).
+    pub kernel: String,
+}
+
+/// A parsed `POST /v1/batch` body.
+#[derive(Debug, Clone)]
+pub struct BatchRequest {
+    /// The jobs, in client order (the order report lines are indexed by,
+    /// not necessarily the order they stream back in).
+    pub jobs: Vec<JobSpec>,
+    /// Client-requested deadline for the whole batch; clamped to the
+    /// server's configured maximum.
+    pub timeout_ms: Option<u64>,
+}
+
+/// Machine-readable error categories; the `code` string in error bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The body is not valid JSON.
+    MalformedJson,
+    /// `req_version` is missing or not a version this server speaks.
+    UnknownVersion,
+    /// A required field is missing or has the wrong type.
+    BadRequest,
+    /// `machine` names no known design point.
+    UnknownMachine,
+    /// `kernel` names no known kernel.
+    UnknownKernel,
+    /// The body (or job count) exceeds the configured limit.
+    Oversized,
+    /// No route matches the request path.
+    NotFound,
+    /// The route exists but not for this HTTP method.
+    BadMethod,
+    /// The batch deadline expired before this job's report was ready.
+    Timeout,
+    /// A job panicked in the toolchain (a bug, not a client error).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire form of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::MalformedJson => "malformed_json",
+            ErrorCode::UnknownVersion => "unknown_version",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownMachine => "unknown_machine",
+            ErrorCode::UnknownKernel => "unknown_kernel",
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::NotFound => "not_found",
+            ErrorCode::BadMethod => "bad_method",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// The HTTP status an error of this code is delivered with (when it
+    /// fails a whole request; per-job errors ride inside a 200 stream).
+    pub fn http_status(self) -> u16 {
+        match self {
+            ErrorCode::Oversized => 413,
+            ErrorCode::NotFound => 404,
+            ErrorCode::BadMethod => 405,
+            ErrorCode::Internal => 500,
+            ErrorCode::Timeout => 408,
+            _ => 400,
+        }
+    }
+}
+
+/// A structured error: stable machine-readable code plus a human message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// Error category.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ApiError {
+    /// Construct an error.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        ApiError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// The `{"code": ..., "message": ...}` object embedded in bodies and
+    /// per-job lines.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("code".into(), Json::Str(self.code.as_str().into())),
+            ("message".into(), Json::Str(self.message.clone())),
+        ])
+    }
+
+    /// A whole-request error body: `{"obs_version": 1, "error": {...}}`.
+    pub fn to_body(&self) -> Json {
+        Json::Obj(vec![
+            ("obs_version".into(), Json::Num(OBS_VERSION as f64)),
+            ("error".into(), self.to_json()),
+        ])
+    }
+}
+
+/// Parse and validate a batch request body against the schema. `max_jobs`
+/// bounds the job count (the body size is bounded earlier, at the HTTP
+/// layer). Job *names* are validated later, against the server's
+/// catalogue, so this layer stays a pure schema check.
+pub fn parse_batch(body: &str, max_jobs: usize) -> Result<BatchRequest, ApiError> {
+    let doc = tta_obs::json::parse(body)
+        .map_err(|e| ApiError::new(ErrorCode::MalformedJson, format!("body is not JSON: {e}")))?;
+    let version = doc.get("req_version").and_then(Json::as_f64);
+    if version != Some(REQ_VERSION as f64) {
+        return Err(ApiError::new(
+            ErrorCode::UnknownVersion,
+            match version {
+                Some(v) => {
+                    format!("req_version {v} is not supported (this server speaks {REQ_VERSION})")
+                }
+                None => format!("req_version is required (this server speaks {REQ_VERSION})"),
+            },
+        ));
+    }
+    let Some(Json::Arr(raw_jobs)) = doc.get("jobs") else {
+        return Err(ApiError::new(
+            ErrorCode::BadRequest,
+            "\"jobs\" must be an array of {machine, kernel} objects",
+        ));
+    };
+    if raw_jobs.is_empty() {
+        return Err(ApiError::new(ErrorCode::BadRequest, "\"jobs\" is empty"));
+    }
+    if raw_jobs.len() > max_jobs {
+        return Err(ApiError::new(
+            ErrorCode::Oversized,
+            format!(
+                "{} jobs exceeds the per-batch limit of {max_jobs}",
+                raw_jobs.len()
+            ),
+        ));
+    }
+    let mut jobs = Vec::with_capacity(raw_jobs.len());
+    for (i, j) in raw_jobs.iter().enumerate() {
+        let field = |name: &str| {
+            j.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| {
+                    ApiError::new(
+                        ErrorCode::BadRequest,
+                        format!("jobs[{i}] lacks a string \"{name}\""),
+                    )
+                })
+        };
+        jobs.push(JobSpec {
+            machine: field("machine")?,
+            kernel: field("kernel")?,
+        });
+    }
+    let timeout_ms = match doc.get("timeout_ms") {
+        None | Some(Json::Null) => None,
+        Some(v) => match v.as_f64() {
+            Some(ms) if ms >= 0.0 => Some(ms as u64),
+            _ => {
+                return Err(ApiError::new(
+                    ErrorCode::BadRequest,
+                    "\"timeout_ms\" must be a non-negative number",
+                ))
+            }
+        },
+    };
+    Ok(BatchRequest { jobs, timeout_ms })
+}
+
+/// Render a batch request as a request body (the client-side inverse of
+/// [`parse_batch`]; used by the bench harness and tests).
+pub fn batch_to_json(jobs: &[JobSpec], timeout_ms: Option<u64>) -> Json {
+    let mut fields = vec![
+        ("req_version".into(), Json::Num(REQ_VERSION as f64)),
+        (
+            "jobs".into(),
+            Json::Arr(
+                jobs.iter()
+                    .map(|j| {
+                        Json::Obj(vec![
+                            ("machine".into(), Json::Str(j.machine.clone())),
+                            ("kernel".into(), Json::Str(j.kernel.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ];
+    if let Some(ms) = timeout_ms {
+        fields.push(("timeout_ms".into(), Json::Num(ms as f64)));
+    }
+    Json::Obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(jobs: &[(&str, &str)]) -> String {
+        let specs: Vec<JobSpec> = jobs
+            .iter()
+            .map(|(m, k)| JobSpec {
+                machine: m.to_string(),
+                kernel: k.to_string(),
+            })
+            .collect();
+        batch_to_json(&specs, None).to_compact()
+    }
+
+    #[test]
+    fn well_formed_batch_round_trips() {
+        let req = parse_batch(&body(&[("m-tta-2", "sha"), ("mblaze-3", "motion")]), 100).unwrap();
+        assert_eq!(req.jobs.len(), 2);
+        assert_eq!(req.jobs[0].machine, "m-tta-2");
+        assert_eq!(req.jobs[1].kernel, "motion");
+        assert_eq!(req.timeout_ms, None);
+    }
+
+    #[test]
+    fn unknown_and_missing_versions_are_rejected() {
+        let e = parse_batch(r#"{"req_version": 2, "jobs": []}"#, 10).unwrap_err();
+        assert_eq!(e.code, ErrorCode::UnknownVersion);
+        assert!(e.message.contains("speaks 1"), "{}", e.message);
+        let e = parse_batch(r#"{"jobs": [{"machine": "a", "kernel": "b"}]}"#, 10).unwrap_err();
+        assert_eq!(e.code, ErrorCode::UnknownVersion);
+    }
+
+    #[test]
+    fn malformed_bodies_and_fields_are_structured_errors() {
+        assert_eq!(
+            parse_batch("not json", 10).unwrap_err().code,
+            ErrorCode::MalformedJson
+        );
+        assert_eq!(
+            parse_batch(r#"{"req_version": 1}"#, 10).unwrap_err().code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            parse_batch(r#"{"req_version": 1, "jobs": []}"#, 10)
+                .unwrap_err()
+                .code,
+            ErrorCode::BadRequest
+        );
+        let e = parse_batch(r#"{"req_version": 1, "jobs": [{"machine": "x"}]}"#, 10).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        assert!(e.message.contains("jobs[0]"), "{}", e.message);
+    }
+
+    #[test]
+    fn job_count_limit_is_enforced() {
+        let e = parse_batch(&body(&[("a", "b"), ("c", "d")]), 1).unwrap_err();
+        assert_eq!(e.code, ErrorCode::Oversized);
+        assert_eq!(e.code.http_status(), 413);
+    }
+
+    #[test]
+    fn timeout_field_parses_and_validates() {
+        let src = r#"{"req_version": 1, "timeout_ms": 250,
+                      "jobs": [{"machine": "a", "kernel": "b"}]}"#;
+        assert_eq!(parse_batch(src, 10).unwrap().timeout_ms, Some(250));
+        let bad = r#"{"req_version": 1, "timeout_ms": -1,
+                      "jobs": [{"machine": "a", "kernel": "b"}]}"#;
+        assert_eq!(
+            parse_batch(bad, 10).unwrap_err().code,
+            ErrorCode::BadRequest
+        );
+    }
+
+    #[test]
+    fn error_body_shape_is_stable() {
+        let b = ApiError::new(ErrorCode::UnknownVersion, "nope").to_body();
+        assert_eq!(b.get("obs_version").unwrap().as_f64(), Some(1.0));
+        let err = b.get("error").unwrap();
+        assert_eq!(err.get("code").unwrap().as_str(), Some("unknown_version"));
+        assert_eq!(err.get("message").unwrap().as_str(), Some("nope"));
+    }
+}

@@ -1,0 +1,309 @@
+//! End-to-end tests of the batch server over real sockets: schema
+//! versioning, structured errors, NDJSON stream framing, concurrent-batch
+//! determinism, parity with the batch evaluation pipeline, deadlines, and
+//! graceful shutdown.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use tta_obs::json::Json;
+use tta_obs::ndjson;
+use tta_serve::{client, schema, Server, ServerConfig};
+
+const TIMEOUT: Duration = Duration::from_secs(120);
+
+fn spawn() -> Server {
+    spawn_with(|_| {})
+}
+
+fn spawn_with(tweak: impl FnOnce(&mut ServerConfig)) -> Server {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    };
+    tweak(&mut cfg);
+    Server::spawn(cfg).expect("bind")
+}
+
+fn batch_body(jobs: &[(&str, &str)], timeout_ms: Option<u64>) -> String {
+    let specs: Vec<schema::JobSpec> = jobs
+        .iter()
+        .map(|(m, k)| schema::JobSpec {
+            machine: m.to_string(),
+            kernel: k.to_string(),
+        })
+        .collect();
+    schema::batch_to_json(&specs, timeout_ms).to_compact()
+}
+
+fn post_batch(addr: SocketAddr, body: &str) -> client::StreamedResponse {
+    client::post_streaming(addr, "/v1/batch", body, TIMEOUT).expect("post /v1/batch")
+}
+
+/// Parse every line of a 200 stream; returns (job lines, summary line).
+fn parse_stream(resp: &client::StreamedResponse) -> (Vec<Json>, Json) {
+    assert_eq!(resp.status, 200);
+    let mut values: Vec<Json> = resp
+        .lines
+        .iter()
+        .map(|l| {
+            tta_obs::json::parse(&l.text)
+                .unwrap_or_else(|e| panic!("line not self-contained JSON: {e}: {:?}", l.text))
+        })
+        .collect();
+    let summary = values.pop().expect("stream has a summary line");
+    assert_eq!(summary.get("summary"), Some(&Json::Bool(true)));
+    (values, summary)
+}
+
+fn error_code(resp: &client::Response) -> String {
+    let doc = tta_obs::json::parse(&resp.body).expect("error body is JSON");
+    doc.get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+        .expect("error body has error.code")
+        .to_string()
+}
+
+#[test]
+fn health_endpoint_reports_liveness() {
+    let server = spawn();
+    let resp = client::get(server.addr(), "/healthz", TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200);
+    let doc = tta_obs::json::parse(&resp.body).unwrap();
+    assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+    assert!(doc.get("sim_threads").unwrap().as_f64().unwrap() >= 1.0);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_req_version_is_a_structured_error() {
+    let server = spawn();
+    let body = r#"{"req_version": 99, "jobs": [{"machine": "mblaze-3", "kernel": "sha"}]}"#;
+    let resp = client::post(server.addr(), "/v1/batch", body, TIMEOUT).unwrap();
+    assert_eq!(resp.status, 400);
+    assert_eq!(error_code(&resp), "unknown_version");
+    assert!(resp.body.contains("speaks 1"), "{}", resp.body);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_oversized_and_unknown_names_are_structured_errors() {
+    let server = spawn_with(|cfg| cfg.max_body_bytes = 256);
+    let addr = server.addr();
+
+    let resp = client::post(addr, "/v1/batch", "this is not json", TIMEOUT).unwrap();
+    assert_eq!(
+        (resp.status, error_code(&resp)),
+        (400, "malformed_json".into())
+    );
+
+    let big = batch_body(&[("mblaze-3", "sha"); 20], None);
+    assert!(big.len() > 256);
+    let resp = client::post(addr, "/v1/batch", &big, TIMEOUT).unwrap();
+    assert_eq!((resp.status, error_code(&resp)), (413, "oversized".into()));
+
+    let resp = client::post(
+        addr,
+        "/v1/batch",
+        &batch_body(&[("not-a-machine", "sha")], None),
+        TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(
+        (resp.status, error_code(&resp)),
+        (400, "unknown_machine".into())
+    );
+
+    let resp = client::post(
+        addr,
+        "/v1/batch",
+        &batch_body(&[("mblaze-3", "not-a-kernel")], None),
+        TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(
+        (resp.status, error_code(&resp)),
+        (400, "unknown_kernel".into())
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn routing_rejects_wrong_methods_and_paths() {
+    let server = spawn();
+    let resp = client::get(server.addr(), "/v1/batch", TIMEOUT).unwrap();
+    assert_eq!((resp.status, error_code(&resp)), (405, "bad_method".into()));
+    let resp = client::post(server.addr(), "/v2/other", "{}", TIMEOUT).unwrap();
+    assert_eq!((resp.status, error_code(&resp)), (404, "not_found".into()));
+    server.shutdown();
+}
+
+#[test]
+fn ndjson_stream_frames_one_report_per_job_plus_summary() {
+    let server = spawn();
+    let jobs = [("mblaze-3", "sha"), ("mblaze-3", "motion")];
+    let resp = post_batch(server.addr(), &batch_body(&jobs, None));
+    let (lines, summary) = parse_stream(&resp);
+    assert_eq!(lines.len(), jobs.len());
+    let mut seen = vec![false; jobs.len()];
+    for line in &lines {
+        assert_eq!(line.get("obs_version").unwrap().as_f64(), Some(1.0));
+        assert_eq!(line.get("ok"), Some(&Json::Bool(true)));
+        let job = line.get("job").unwrap().as_f64().unwrap() as usize;
+        let report = line.get("report").expect("ok line carries a report");
+        // The job index routes back to the requested (machine, kernel).
+        assert_eq!(report.get("machine").unwrap().as_str(), Some(jobs[job].0));
+        assert_eq!(report.get("kernel").unwrap().as_str(), Some(jobs[job].1));
+        assert!(report.get("cycles").unwrap().as_f64().unwrap() > 0.0);
+        assert!(!seen[job], "job {job} reported twice");
+        seen[job] = true;
+    }
+    assert_eq!(summary.get("jobs").unwrap().as_f64(), Some(2.0));
+    assert_eq!(summary.get("ok").unwrap().as_f64(), Some(2.0));
+    assert_eq!(summary.get("errors").unwrap().as_f64(), Some(0.0));
+    assert_eq!(summary.get("timed_out"), Some(&Json::Bool(false)));
+    server.shutdown();
+}
+
+/// The whole response also decodes with the library-side NDJSON parser
+/// when reassembled — the framing satellite's round-trip.
+#[test]
+fn stream_reassembles_through_ndjson_parse_lines() {
+    let server = spawn();
+    let resp = post_batch(server.addr(), &batch_body(&[("m-tta-2", "sha")], None));
+    assert_eq!(resp.status, 200);
+    let text: String = resp.lines.iter().map(|l| format!("{}\n", l.text)).collect();
+    let values = ndjson::parse_lines(&text).expect("stream parses as NDJSON");
+    assert_eq!(values.len(), 2); // one job + summary
+    server.shutdown();
+}
+
+#[test]
+fn shuffled_batches_produce_identical_per_job_reports() {
+    let server = spawn();
+    let ordered = [
+        ("mblaze-3", "sha"),
+        ("mblaze-3", "motion"),
+        ("m-vliw-2", "sha"),
+        ("m-vliw-2", "motion"),
+    ];
+    let shuffled = [
+        ("m-vliw-2", "motion"),
+        ("mblaze-3", "sha"),
+        ("m-vliw-2", "sha"),
+        ("mblaze-3", "motion"),
+    ];
+    let collect = |jobs: &[(&str, &str)]| -> std::collections::BTreeMap<String, String> {
+        let resp = post_batch(server.addr(), &batch_body(jobs, None));
+        let (lines, summary) = parse_stream(&resp);
+        assert_eq!(summary.get("ok").unwrap().as_f64(), Some(jobs.len() as f64));
+        lines
+            .iter()
+            .map(|l| {
+                let report = l.get("report").unwrap();
+                let key = format!(
+                    "{}/{}",
+                    report.get("machine").unwrap().as_str().unwrap(),
+                    report.get("kernel").unwrap().as_str().unwrap()
+                );
+                (key, report.to_compact())
+            })
+            .collect()
+    };
+    let a = collect(&ordered);
+    let b = collect(&shuffled);
+    assert_eq!(a.len(), 4);
+    assert_eq!(a, b, "report content must not depend on submission order");
+    server.shutdown();
+}
+
+/// Served per-job reports are bit-identical to the reports derived from
+/// the equivalent `evaluate` single run — same canonical JSON, same
+/// simulated numbers (acceptance criterion of the serve subsystem).
+#[test]
+fn served_reports_match_the_evaluation_pipeline_bit_for_bit() {
+    let machines = vec![
+        tta_model::presets::mblaze_3(),
+        tta_model::presets::m_vliw_2(),
+        tta_model::presets::m_tta_2(),
+    ];
+    let kernels: Vec<tta_chstone::Kernel> = ["sha", "motion"]
+        .iter()
+        .map(|n| tta_chstone::by_name(n).unwrap())
+        .collect();
+    let reports = tta_explore::evaluate(&machines, &kernels);
+
+    let server = spawn();
+    let jobs: Vec<(&str, &str)> = machines
+        .iter()
+        .flat_map(|m| kernels.iter().map(move |k| (m.name.as_str(), k.name)))
+        .collect();
+    let resp = post_batch(server.addr(), &batch_body(&jobs, None));
+    let (lines, summary) = parse_stream(&resp);
+    assert_eq!(summary.get("ok").unwrap().as_f64(), Some(jobs.len() as f64));
+
+    let mut served: Vec<(usize, String)> = lines
+        .iter()
+        .map(|l| {
+            (
+                l.get("job").unwrap().as_f64().unwrap() as usize,
+                l.get("report").unwrap().to_compact(),
+            )
+        })
+        .collect();
+    served.sort();
+    for (ji, (machine, kernel)) in jobs.iter().enumerate() {
+        let report = reports.iter().find(|r| &r.name == machine).unwrap();
+        let expected = tta_explore::eval::job_report_json(machine, report.run(kernel)).to_compact();
+        assert_eq!(served[ji].1, expected, "{machine}/{kernel}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn expired_deadline_surfaces_structured_timeout_lines() {
+    let server = spawn();
+    let jobs = [("mblaze-3", "sha"), ("m-tta-2", "sha")];
+    let resp = post_batch(server.addr(), &batch_body(&jobs, Some(0)));
+    let (lines, summary) = parse_stream(&resp);
+    assert_eq!(lines.len(), jobs.len());
+    for line in &lines {
+        assert_eq!(line.get("ok"), Some(&Json::Bool(false)));
+        let code = line
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str);
+        assert_eq!(code, Some("timeout"));
+    }
+    assert_eq!(summary.get("timed_out"), Some(&Json::Bool(true)));
+    assert_eq!(summary.get("errors").unwrap().as_f64(), Some(2.0));
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_and_unbinds() {
+    let server = spawn();
+    let addr = server.addr();
+    // A request in flight before shutdown completes normally.
+    let resp = post_batch(addr, &batch_body(&[("mblaze-3", "sha")], None));
+    assert_eq!(resp.status, 200);
+    server.shutdown();
+    // The port no longer accepts (give the OS a beat to tear down).
+    let refused = (0..10).any(|_| {
+        std::thread::sleep(Duration::from_millis(20));
+        std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err()
+    });
+    assert!(refused, "socket must stop accepting after shutdown");
+}
+
+#[test]
+fn shutdown_over_the_wire_stops_the_server() {
+    let server = spawn();
+    let addr = server.addr();
+    let resp = client::post(addr, "/v1/shutdown", "", TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200);
+    // wait() returns because the wire request flagged shutdown.
+    server.wait();
+}
