@@ -8,9 +8,16 @@
 //! in-process `tta-serve` instance and timestamps every report line on
 //! arrival. The JSON carries `jobs_per_s` plus `p50_ms`/`p99_ms` per-job
 //! latencies, all gated by `bench_report` in the CI `serve-gate` job.
+//!
+//! The same latencies also feed a local log₂ [`obs::hist::HistStat`] as a
+//! cross-check of the telemetry pipeline: the histogram-derived p50/p99
+//! must land in the same log₂ bucket as the exact sorted percentiles, and
+//! both are recorded (`hist_p50_ms`/`hist_p99_ms`, schema-checked but
+//! ungated — bucket bounds double at boundaries).
 
 use std::time::Duration;
 
+use tta_obs as obs;
 use tta_obs::json::Json;
 use tta_serve::{client, schema, Server, ServerConfig};
 
@@ -100,6 +107,33 @@ fn main() {
     let p99 = percentile(&latencies_ms, 0.99);
     server.shutdown();
 
+    // Cross-check the log₂ histogram against the exact percentiles: feed
+    // the same latencies (as µs) into a local HistStat and require its
+    // nearest-rank quantiles to land in the same log₂ bucket as the exact
+    // sorted values — the telemetry pipeline must agree with ground truth
+    // to within one bucket width.
+    let lat_us: Vec<u64> = latencies_ms.iter().map(|ms| (ms * 1e3) as u64).collect();
+    let mut hist = obs::hist::HistStat::new("bench.serve.latency_us");
+    for &us in &lat_us {
+        hist.observe(us);
+    }
+    let check = |q: f64, exact_ms: f64, label: &str| -> f64 {
+        let bound_us = hist.quantile(q).expect("histogram is non-empty");
+        let exact_us = (exact_ms * 1e3) as u64;
+        let (hb, eb) = (
+            obs::hist::bucket_index(bound_us),
+            obs::hist::bucket_index(exact_us),
+        );
+        assert!(
+            hb.abs_diff(eb) <= 1,
+            "{label}: histogram quantile {bound_us}µs (bucket {hb}) disagrees with \
+             exact {exact_us}µs (bucket {eb}) by more than one bucket"
+        );
+        bound_us as f64 / 1e3
+    };
+    let hist_p50_ms = check(0.50, p50, "p50");
+    let hist_p99_ms = check(0.99, p99, "p99");
+
     // Single-threaded runs are not comparable against multi-core baselines;
     // flag them loudly in both the log and the JSON so `bench_report`
     // consumers can tell the configurations apart.
@@ -122,6 +156,8 @@ fn main() {
         ("jobs_per_s".into(), Json::Num(round(JOBS as f64 / min, 2))),
         ("p50_ms".into(), Json::Num(round(p50, 3))),
         ("p99_ms".into(), Json::Num(round(p99, 3))),
+        ("hist_p50_ms".into(), Json::Num(round(hist_p50_ms, 3))),
+        ("hist_p99_ms".into(), Json::Num(round(hist_p99_ms, 3))),
         ("threads".into(), Json::Num(threads as f64)),
     ];
     if threads_warning {

@@ -19,6 +19,14 @@ pub const GATE_KEY: &str = "wall_s_median";
 /// cannot drop a gated metric to dodge the gate.
 pub const GATED_LOWER_KEYS: [&str; 2] = ["p50_ms", "p99_ms"];
 
+/// Histogram-derived latency percentiles from `bench_serve`'s log₂
+/// histogram cross-check. Schema-checked like the gated keys (dropping
+/// one from only one side is an error) but never a regression on their
+/// own: a log₂ bucket bound doubles when a latency crosses a boundary,
+/// which would spuriously trip a 30% tolerance while the exact
+/// `p50_ms`/`p99_ms` gates above track the same shift smoothly.
+pub const INFO_SCHEMA_LOWER_KEYS: [&str; 2] = ["hist_p50_ms", "hist_p99_ms"];
+
 /// Keys that define the workload; they must be equal (or absent from
 /// both files) for a comparison to be meaningful.
 const WORKLOAD_KEYS: [&str; 7] = [
@@ -125,6 +133,21 @@ pub fn diff(baseline: &Json, current: &Json, tolerance: f64) -> Result<Diff, Str
                 tolerance * 100.0
             ));
         }
+    }
+
+    for k in INFO_SCHEMA_LOWER_KEYS {
+        let (b, c) = match (baseline.get(k), current.get(k)) {
+            (None, None) => continue,
+            (Some(_), None) => return Err(format!("current report lacks key \"{k}\"")),
+            (None, Some(_)) => return Err(format!("baseline report lacks key \"{k}\"")),
+            (Some(_), Some(_)) => (
+                num(baseline, k).map_err(|e| format!("baseline: {e}"))?,
+                num(current, k).map_err(|e| format!("current: {e}"))?,
+            ),
+        };
+        lines.push(format!(
+            "{k}: baseline {b:.3}ms → current {c:.3}ms (informational; log₂-bucket bound)"
+        ));
     }
 
     for k in INFO_HIGHER {
@@ -318,6 +341,37 @@ mod tests {
         // Reports without latency keys on either side still compare.
         let r = eval_report(0.4);
         assert!(diff(&r, &r, 0.30).unwrap().passed());
+    }
+
+    #[test]
+    fn hist_percentiles_are_schema_checked_but_never_gate() {
+        let with_hist = |p99: f64| {
+            let mut j = serve_report(2.0, 40.0, 90.0);
+            if let Json::Obj(fields) = &mut j {
+                fields.push(("hist_p50_ms".into(), Json::Num(65.535)));
+                fields.push(("hist_p99_ms".into(), Json::Num(p99)));
+            }
+            j
+        };
+        // A doubled histogram bound (bucket-boundary jump) is reported
+        // but never a regression.
+        let d = diff(&with_hist(131.071), &with_hist(262.143), 0.30).unwrap();
+        assert!(d.passed(), "{:?}", d.regressions);
+        assert!(
+            d.lines.iter().any(|l| l.contains("hist_p99_ms")),
+            "{:?}",
+            d.lines
+        );
+        // Dropping the key from one side only is a schema error.
+        let mut cur = with_hist(131.071);
+        if let Json::Obj(fields) = &mut cur {
+            fields.retain(|(k, _)| k != "hist_p99_ms");
+        }
+        let e = diff(&with_hist(131.071), &cur, 0.30).unwrap_err();
+        assert!(e.contains("hist_p99_ms"), "{e}");
+        // Absent from both sides (old baselines): still compares.
+        let plain = serve_report(2.0, 40.0, 90.0);
+        assert!(diff(&plain, &plain, 0.30).unwrap().passed());
     }
 
     #[test]

@@ -12,9 +12,10 @@
 //!   `'static` closures submitted over a channel to persistent workers,
 //!   with graceful shutdown (close, drain, join).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use tta_obs as obs;
 
@@ -49,26 +50,62 @@ pub fn drain_indexed(
 /// A boxed unit of work for a [`WorkQueue`].
 pub type Job = Box<dyn FnOnce() + Send>;
 
+/// Telemetry wiring for a [`WorkQueue`]: obs gauge names for the queue
+/// depth (submitted, not yet started) and in-flight count (started, not
+/// yet finished), plus a histogram name for per-job queue wait in
+/// microseconds. Names are `&'static str` because the obs registries
+/// intern by static name.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueMetrics {
+    /// Gauge tracking jobs submitted but not yet dequeued.
+    pub depth_gauge: &'static str,
+    /// Gauge tracking jobs currently executing.
+    pub in_flight_gauge: &'static str,
+    /// Histogram of submit→dequeue wait times, microseconds.
+    pub wait_hist: &'static str,
+}
+
 /// A fixed pool of persistent worker threads draining submitted jobs in
 /// FIFO order. [`WorkQueue::shutdown`] closes the queue, lets the workers
 /// drain what was already submitted, and joins them; dropping the queue
-/// shuts it down implicitly.
+/// shuts it down implicitly. Queue depth and in-flight counts are always
+/// tracked ([`WorkQueue::depth`] / [`WorkQueue::in_flight`]); passing a
+/// [`QueueMetrics`] additionally publishes them as obs gauges and records
+/// per-job queue waits into an obs histogram.
 pub struct WorkQueue {
-    tx: Mutex<Option<mpsc::Sender<Job>>>,
+    tx: Mutex<Option<mpsc::Sender<(Instant, Job)>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     threads: usize,
+    depth: Arc<AtomicI64>,
+    in_flight: Arc<AtomicI64>,
+    metrics: Option<QueueMetrics>,
 }
 
 impl WorkQueue {
     /// Spawn `threads` workers (at least one), each attached to `parent`
     /// for span accounting and named for thread listings.
     pub fn new(threads: usize, name: &str, parent: obs::SpanHandle) -> Self {
+        Self::new_with_metrics(threads, name, parent, None)
+    }
+
+    /// [`WorkQueue::new`] plus queue telemetry published through the obs
+    /// registries (see [`QueueMetrics`]).
+    pub fn new_with_metrics(
+        threads: usize,
+        name: &str,
+        parent: obs::SpanHandle,
+        metrics: Option<QueueMetrics>,
+    ) -> Self {
         let threads = threads.max(1);
-        let (tx, rx) = mpsc::channel::<Job>();
+        let (tx, rx) = mpsc::channel::<(Instant, Job)>();
         let rx = Arc::new(Mutex::new(rx));
+        let depth = Arc::new(AtomicI64::new(0));
+        let in_flight = Arc::new(AtomicI64::new(0));
         let workers = (0..threads)
             .map(|i| {
                 let rx = Arc::clone(&rx);
+                let depth = Arc::clone(&depth);
+                let in_flight = Arc::clone(&in_flight);
                 std::thread::Builder::new()
                     .name(format!("{name}-{i}"))
                     .spawn(move || {
@@ -77,11 +114,26 @@ impl WorkQueue {
                             // Take the job while holding the receiver lock,
                             // run it after releasing, so one long job never
                             // blocks the other workers' dequeues.
-                            let job = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
-                                Ok(job) => job,
-                                Err(_) => break, // queue closed and drained
-                            };
+                            let (queued_at, job) =
+                                match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+                                    Ok(job) => job,
+                                    Err(_) => break, // queue closed and drained
+                                };
+                            let d = depth.fetch_sub(1, Ordering::Relaxed) - 1;
+                            let f = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+                            if let Some(m) = metrics {
+                                obs::counter::set_gauge(m.depth_gauge, d);
+                                obs::counter::set_gauge(m.in_flight_gauge, f);
+                                obs::hist::record(
+                                    m.wait_hist,
+                                    queued_at.elapsed().as_micros() as u64,
+                                );
+                            }
                             job();
+                            let f = in_flight.fetch_sub(1, Ordering::Relaxed) - 1;
+                            if let Some(m) = metrics {
+                                obs::counter::set_gauge(m.in_flight_gauge, f);
+                            }
                         }
                     })
                     .expect("spawn worker thread")
@@ -91,13 +143,25 @@ impl WorkQueue {
             tx: Mutex::new(Some(tx)),
             workers: Mutex::new(workers),
             threads,
+            depth,
+            in_flight,
+            metrics,
         }
     }
 
     /// Submit one job. Fails only after [`WorkQueue::shutdown`].
     pub fn submit(&self, job: Job) -> Result<(), &'static str> {
-        match self.tx.lock().unwrap().as_ref() {
-            Some(tx) => tx.send(job).map_err(|_| "work queue closed"),
+        match self.tx.lock().unwrap_or_else(|e| e.into_inner()).as_ref() {
+            Some(tx) => {
+                let d = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+                if let Some(m) = self.metrics {
+                    obs::counter::set_gauge(m.depth_gauge, d);
+                }
+                tx.send((Instant::now(), job)).map_err(|_| {
+                    self.depth.fetch_sub(1, Ordering::Relaxed);
+                    "work queue closed"
+                })
+            }
             None => Err("work queue closed"),
         }
     }
@@ -105,6 +169,27 @@ impl WorkQueue {
     /// Worker thread count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Jobs submitted but not yet started (approximate under concurrency,
+    /// never negative in steady state).
+    pub fn depth(&self) -> i64 {
+        self.depth.load(Ordering::Relaxed).max(0)
+    }
+
+    /// Jobs currently executing.
+    pub fn in_flight(&self) -> i64 {
+        self.in_flight.load(Ordering::Relaxed).max(0)
+    }
+
+    /// Re-publish the current depth/in-flight values to the configured
+    /// gauges (a no-op without [`QueueMetrics`]) — called at scrape time
+    /// so an idle queue still exports fresh series.
+    pub fn publish_gauges(&self) {
+        if let Some(m) = self.metrics {
+            obs::counter::set_gauge(m.depth_gauge, self.depth());
+            obs::counter::set_gauge(m.in_flight_gauge, self.in_flight());
+        }
     }
 
     /// Close the queue, drain already-submitted jobs, and join every
@@ -164,6 +249,46 @@ mod tests {
         // Closed for business afterwards, and shutdown is idempotent.
         assert!(q.submit(Box::new(|| {})).is_err());
         q.shutdown();
+    }
+
+    #[test]
+    fn work_queue_tracks_depth_in_flight_and_wait() {
+        let m = QueueMetrics {
+            depth_gauge: "test.q.depth",
+            in_flight_gauge: "test.q.in_flight",
+            wait_hist: "test.q.wait_us",
+        };
+        let q = WorkQueue::new_with_metrics(1, "test-metrics", obs::SpanHandle::ROOT, Some(m));
+        assert_eq!(q.depth(), 0);
+        assert_eq!(q.in_flight(), 0);
+        // Hold the single worker so later submissions pile up as depth.
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        {
+            let gate = Arc::clone(&gate);
+            q.submit(Box::new(move || {
+                gate.wait();
+            }))
+            .unwrap();
+        }
+        for _ in 0..3 {
+            q.submit(Box::new(|| {})).unwrap();
+        }
+        // The blocked job is either still queued or already in flight;
+        // the three behind it cannot start until the gate opens.
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while q.depth() < 3 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert!(q.depth() >= 3, "blocked worker leaves later jobs queued");
+        gate.wait();
+        q.shutdown();
+        assert_eq!(q.depth(), 0);
+        assert_eq!(q.in_flight(), 0);
+        q.publish_gauges();
+        assert_eq!(obs::counter::get_gauge("test.q.depth"), Some(0));
+        assert_eq!(obs::counter::get_gauge("test.q.in_flight"), Some(0));
+        let wait = obs::hist::get("test.q.wait_us").expect("queue waits recorded");
+        assert_eq!(wait.count, 4, "every dequeued job records a wait");
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! A bounded ring-buffer flight recorder for structured events.
+//!
+//! The serve layer records request/job/shutdown transitions here so a
+//! hang, panic, or timed-out job leaves in-process evidence behind: the
+//! last [`DEFAULT_CAPACITY`] events survive in arrival order, older ones
+//! are overwritten (and tallied), and the whole ring can be dumped to
+//! stderr on a panic or deadline expiry, or served over the wire as JSON
+//! (`GET /v1/debug/flight`).
+//!
+//! Events are cheap but not free — one short mutex hold plus two string
+//! copies — so they belong on request/job transitions, not in cycle
+//! loops. The recorder honours the global [`crate::enabled`] switch like
+//! every other probe.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Events the global ring retains; older events are overwritten.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotonic sequence number (never reused, survives overwrites).
+    pub seq: u64,
+    /// Milliseconds since the recorder was created.
+    pub at_ms: f64,
+    /// Event kind, a stable dotted name (`"req.start"`, `"job.timeout"`).
+    pub kind: &'static str,
+    /// The request trace ID this event belongs to (empty for
+    /// process-level events like shutdown transitions).
+    pub trace: String,
+    /// Free-form human-readable detail.
+    pub detail: String,
+}
+
+impl Event {
+    /// The event as a JSON object (the `/v1/debug/flight` line shape).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("seq".into(), Json::Num(self.seq as f64)),
+            ("at_ms".into(), Json::Num((self.at_ms * 1e3).round() / 1e3)),
+            ("kind".into(), Json::Str(self.kind.into())),
+            ("trace".into(), Json::Str(self.trace.clone())),
+            ("detail".into(), Json::Str(self.detail.clone())),
+        ])
+    }
+}
+
+struct Inner {
+    events: VecDeque<Event>,
+    next_seq: u64,
+    overwritten: u64,
+    start: Instant,
+}
+
+/// A bounded event ring. The process-wide instance backs the module
+/// functions; tests build their own so assertions cannot race the global.
+pub struct Flight {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl Flight {
+    /// An empty recorder keeping the last `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Flight {
+            inner: Mutex::new(Inner {
+                events: VecDeque::new(),
+                next_seq: 0,
+                overwritten: 0,
+                start: Instant::now(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panicking recorder caller must not silence the recorder — the
+        // panic path is exactly when the ring is read back.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Append one event, overwriting the oldest when full.
+    pub fn record(&self, kind: &'static str, trace: &str, detail: impl Into<String>) {
+        if !crate::enabled() {
+            return;
+        }
+        let mut g = self.lock();
+        let at_ms = g.start.elapsed().as_secs_f64() * 1e3;
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        if g.events.len() >= self.capacity {
+            g.events.pop_front();
+            g.overwritten += 1;
+        }
+        g.events.push_back(Event {
+            seq,
+            at_ms,
+            kind,
+            trace: trace.to_string(),
+            detail: detail.into(),
+        });
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.lock().events.iter().cloned().collect()
+    }
+
+    /// How many events have been overwritten by ring wraparound.
+    pub fn overwritten(&self) -> u64 {
+        self.lock().overwritten
+    }
+
+    /// Drop every retained event (sequence numbers keep counting).
+    pub fn clear(&self) {
+        let mut g = self.lock();
+        g.events.clear();
+        g.overwritten = 0;
+    }
+
+    /// The ring as one JSON object: capacity, overwrite tally, events in
+    /// order.
+    pub fn to_json(&self) -> Json {
+        let g = self.lock();
+        Json::Obj(vec![
+            ("capacity".into(), Json::Num(self.capacity as f64)),
+            ("overwritten".into(), Json::Num(g.overwritten as f64)),
+            (
+                "events".into(),
+                Json::Arr(g.events.iter().map(Event::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Dump the ring to stderr, one line per event, bracketed by `reason`
+    /// — the black-box readout for panics and expired deadlines.
+    pub fn dump(&self, reason: &str) {
+        let events = self.snapshot();
+        eprintln!(
+            "=== flight recorder dump ({reason}): {} events ===",
+            events.len()
+        );
+        for e in &events {
+            eprintln!(
+                "  #{:<6} {:>10.3}ms {:<14} [{}] {}",
+                e.seq, e.at_ms, e.kind, e.trace, e.detail
+            );
+        }
+        eprintln!("=== end flight recorder dump ===");
+    }
+}
+
+/// The process-wide recorder behind the module-level functions.
+pub fn global() -> &'static Flight {
+    static FLIGHT: OnceLock<Flight> = OnceLock::new();
+    FLIGHT.get_or_init(|| Flight::new(DEFAULT_CAPACITY))
+}
+
+/// Record one event on the global ring.
+pub fn record(kind: &'static str, trace: &str, detail: impl Into<String>) {
+    global().record(kind, trace, detail);
+}
+
+/// Snapshot the global ring, oldest first.
+pub fn snapshot() -> Vec<Event> {
+    global().snapshot()
+}
+
+/// The global ring as JSON.
+pub fn to_json() -> Json {
+    global().to_json()
+}
+
+/// Dump the global ring to stderr.
+pub fn dump(reason: &str) {
+    global().dump(reason);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_arrive_in_order_with_timestamps() {
+        let f = Flight::new(8);
+        f.record("t.start", "trace-1", "first");
+        f.record("t.end", "trace-1", "second");
+        let events = f.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, "t.start");
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert!(events[1].at_ms >= events[0].at_ms);
+        assert_eq!(events[0].trace, "trace-1");
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_tallies() {
+        let f = Flight::new(3);
+        for i in 0..5 {
+            f.record("t.tick", "", format!("event {i}"));
+        }
+        let events = f.snapshot();
+        assert_eq!(events.len(), 3);
+        // Oldest two were overwritten; the survivors are 2, 3, 4.
+        assert_eq!(events[0].seq, 2);
+        assert_eq!(events[2].seq, 4);
+        assert_eq!(events[2].detail, "event 4");
+        assert_eq!(f.overwritten(), 2);
+        f.clear();
+        assert!(f.snapshot().is_empty());
+        assert_eq!(f.overwritten(), 0);
+        // Sequence numbers keep counting after a clear.
+        f.record("t.tick", "", "after clear");
+        assert_eq!(f.snapshot()[0].seq, 5);
+    }
+
+    #[test]
+    fn json_shape_round_trips() {
+        let f = Flight::new(4);
+        f.record("t.json", "trace-x", "detail text");
+        let j = f.to_json();
+        assert_eq!(j.get("capacity").unwrap().as_f64(), Some(4.0));
+        assert_eq!(j.get("overwritten").unwrap().as_f64(), Some(0.0));
+        let Some(Json::Arr(events)) = j.get("events") else {
+            panic!("events must be an array");
+        };
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.get("kind").unwrap().as_str(), Some("t.json"));
+        assert_eq!(e.get("trace").unwrap().as_str(), Some("trace-x"));
+        assert_eq!(e.get("detail").unwrap().as_str(), Some("detail text"));
+        // The rendered document parses back.
+        let rt = crate::json::parse(&j.to_pretty()).unwrap();
+        assert_eq!(rt, j);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _l = crate::test_lock();
+        let f = Flight::new(4);
+        crate::set_enabled(false);
+        f.record("t.off", "", "ignored");
+        crate::set_enabled(true);
+        assert!(f.snapshot().is_empty());
+    }
+
+    #[test]
+    fn concurrent_records_keep_unique_seqs() {
+        let f = Flight::new(64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..16 {
+                        f.record("t.mt", "", "");
+                    }
+                });
+            }
+        });
+        let events = f.snapshot();
+        assert_eq!(events.len(), 64);
+        let mut seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 64, "sequence numbers are unique");
+    }
+}

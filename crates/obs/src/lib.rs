@@ -10,9 +10,18 @@
 //!   pools aggregate under the span that spawned them.
 //! * **Monotonic counters and gauges** ([`counter`]) — named `u64`/`i64`
 //!   cells in the same style of registry, updated with relaxed atomics.
+//! * **Log₂-bucketed histograms** ([`hist`]) — fixed-size lock-free
+//!   latency histograms in the same interned-registry design, with
+//!   merge and quantile queries (the serve layer's per-job latencies).
+//! * **A flight recorder** ([`flight`]) — a bounded ring buffer of
+//!   recent structured events (request/job/shutdown transitions),
+//!   dumpable to stderr on panic or timeout and servable as JSON.
 //! * **A machine-readable run report** ([`report`]) — a stable JSON
-//!   rendering of every span and counter, embedded by the bench binaries
-//!   into `BENCH_*.json` and diffed by `bench_report` in CI.
+//!   rendering of every span, counter, and histogram, embedded by the
+//!   bench binaries into `BENCH_*.json` and diffed by `bench_report` in
+//!   CI.
+//! * **Prometheus text exposition** ([`prom`]) — the same registries
+//!   rendered for a `GET /v1/metrics` scrape.
 //! * **NDJSON framing** ([`ndjson`]) — one compact JSON document per
 //!   line, the streaming form of the serve layer's per-job run reports.
 //! * **A Chrome trace-event exporter** ([`trace`]) — serialises host
@@ -31,8 +40,11 @@
 #![warn(missing_docs)]
 
 pub mod counter;
+pub mod flight;
+pub mod hist;
 pub mod json;
 pub mod ndjson;
+pub mod prom;
 pub mod report;
 pub mod span;
 pub mod trace;
@@ -67,11 +79,12 @@ pub fn init_from_env() {
     }
 }
 
-/// Zero every span total and counter/gauge value (slot names stay
-/// interned, so handles remain valid).
+/// Zero every span total, counter/gauge value, and histogram (slot names
+/// stay interned, so handles remain valid).
 pub fn reset() {
     span::reset();
     counter::reset();
+    hist::reset();
 }
 
 /// Serialises this crate's own unit tests: they share one global

@@ -39,15 +39,20 @@ fn send_request(
     method: &str,
     path: &str,
     body: &str,
+    headers: &[(&str, &str)],
     timeout: Duration,
 ) -> std::io::Result<TcpStream> {
     let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
     stream.set_nodelay(true)?;
+    let extra: String = headers
+        .iter()
+        .map(|(k, v)| format!("{k}: {v}\r\n"))
+        .collect();
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{extra}Connection: close\r\n\r\n{body}",
         body.len(),
     )?;
     stream.flush()?;
@@ -83,7 +88,7 @@ fn request(
     body: &str,
     timeout: Duration,
 ) -> std::io::Result<Response> {
-    let mut stream = send_request(addr, method, path, body, timeout)?;
+    let mut stream = send_request(addr, method, path, body, &[], timeout)?;
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw)?;
     let text = String::from_utf8_lossy(&raw);
@@ -105,8 +110,19 @@ pub fn post_streaming(
     body: &str,
     timeout: Duration,
 ) -> std::io::Result<StreamedResponse> {
+    post_streaming_with_headers(addr, path, body, &[], timeout)
+}
+
+/// [`post_streaming`] with extra request headers (e.g. `x-trace-id`).
+pub fn post_streaming_with_headers(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    headers: &[(&str, &str)],
+    timeout: Duration,
+) -> std::io::Result<StreamedResponse> {
     let start = Instant::now();
-    let mut stream = send_request(addr, "POST", path, body, timeout)?;
+    let mut stream = send_request(addr, "POST", path, body, headers, timeout)?;
     let mut status = 0u16;
     let mut in_body = false;
     let mut acc: Vec<u8> = Vec::new();

@@ -27,6 +27,17 @@
 //! Malformed, oversized, or unknown-version requests get structured
 //! `{"error": {"code", "message"}}` bodies; batch deadlines surface as
 //! per-job `timeout` error lines rather than dropped connections.
+//!
+//! Beyond `/v1/batch` the server exposes its telemetry directly:
+//! `GET /v1/metrics` renders every obs counter, gauge, and latency
+//! histogram (queue depth/wait, per-job service time, per-route request
+//! and per-class error counts) in Prometheus text format;
+//! `GET /healthz` summarises the live queue/cache state; and
+//! `GET /v1/debug/flight` serves the flight recorder — a bounded ring of
+//! recent request/job/shutdown events. Every request carries a trace ID
+//! (client `x-trace-id` header or generated) that appears on its log
+//! line, every NDJSON line it produces, its error body, and its flight
+//! events.
 
 #![warn(missing_docs)]
 

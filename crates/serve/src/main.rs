@@ -54,9 +54,11 @@ fn main() -> std::process::ExitCode {
         server.addr(),
         server.sim_threads()
     );
-    eprintln!("  POST /v1/batch     submit a job batch (NDJSON stream back)");
-    eprintln!("  GET  /healthz      liveness + cache stats");
-    eprintln!("  POST /v1/shutdown  graceful stop");
+    eprintln!("  POST /v1/batch        submit a job batch (NDJSON stream back)");
+    eprintln!("  GET  /healthz         liveness + queue/cache/telemetry stats");
+    eprintln!("  GET  /v1/metrics      Prometheus text exposition");
+    eprintln!("  GET  /v1/debug/flight recent request/job events (flight recorder)");
+    eprintln!("  POST /v1/shutdown     graceful stop");
     server.wait();
     eprintln!("tta-serve: drained and stopped");
     std::process::ExitCode::SUCCESS

@@ -85,6 +85,24 @@ impl ErrorCode {
         }
     }
 
+    /// The obs counter incremented when an error of this code is written
+    /// to the wire (`serve.errors.<code>`). Static so the counter
+    /// registry can intern it.
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            ErrorCode::MalformedJson => "serve.errors.malformed_json",
+            ErrorCode::UnknownVersion => "serve.errors.unknown_version",
+            ErrorCode::BadRequest => "serve.errors.bad_request",
+            ErrorCode::UnknownMachine => "serve.errors.unknown_machine",
+            ErrorCode::UnknownKernel => "serve.errors.unknown_kernel",
+            ErrorCode::Oversized => "serve.errors.oversized",
+            ErrorCode::NotFound => "serve.errors.not_found",
+            ErrorCode::BadMethod => "serve.errors.bad_method",
+            ErrorCode::Timeout => "serve.errors.timeout",
+            ErrorCode::Internal => "serve.errors.internal",
+        }
+    }
+
     /// The HTTP status an error of this code is delivered with (when it
     /// fails a whole request; per-job errors ride inside a 200 stream).
     pub fn http_status(self) -> u16 {
@@ -130,6 +148,16 @@ impl ApiError {
     pub fn to_body(&self) -> Json {
         Json::Obj(vec![
             ("obs_version".into(), Json::Num(OBS_VERSION as f64)),
+            ("error".into(), self.to_json()),
+        ])
+    }
+
+    /// [`ApiError::to_body`] plus the request's trace ID, so a client can
+    /// correlate an error body with its request logs and flight events.
+    pub fn to_body_traced(&self, trace: &str) -> Json {
+        Json::Obj(vec![
+            ("obs_version".into(), Json::Num(OBS_VERSION as f64)),
+            ("trace_id".into(), Json::Str(trace.into())),
             ("error".into(), self.to_json()),
         ])
     }
@@ -311,5 +339,38 @@ mod tests {
         let err = b.get("error").unwrap();
         assert_eq!(err.get("code").unwrap().as_str(), Some("unknown_version"));
         assert_eq!(err.get("message").unwrap().as_str(), Some("nope"));
+    }
+
+    #[test]
+    fn traced_error_body_carries_the_trace_id() {
+        let b = ApiError::new(ErrorCode::NotFound, "gone").to_body_traced("t-123");
+        assert_eq!(b.get("trace_id").unwrap().as_str(), Some("t-123"));
+        assert_eq!(
+            b.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("not_found")
+        );
+    }
+
+    #[test]
+    fn every_error_code_has_a_distinct_counter_name() {
+        let codes = [
+            ErrorCode::MalformedJson,
+            ErrorCode::UnknownVersion,
+            ErrorCode::BadRequest,
+            ErrorCode::UnknownMachine,
+            ErrorCode::UnknownKernel,
+            ErrorCode::Oversized,
+            ErrorCode::NotFound,
+            ErrorCode::BadMethod,
+            ErrorCode::Timeout,
+            ErrorCode::Internal,
+        ];
+        let mut names: Vec<&str> = codes.iter().map(|c| c.counter_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), codes.len());
+        for c in codes {
+            assert_eq!(c.counter_name(), format!("serve.errors.{}", c.as_str()));
+        }
     }
 }

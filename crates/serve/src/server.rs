@@ -17,6 +17,20 @@
 //! results stream back as NDJSON the moment they complete (completion
 //! order, client-indexed), followed by one summary line; the whole
 //! response rides `Connection: close` framing.
+//!
+//! # Telemetry
+//!
+//! Every request carries a **trace ID** — the client's `x-trace-id`
+//! header when present (sanitised), a generated one otherwise — stamped
+//! on the request log line, every NDJSON job/summary line, every error
+//! body, and every flight-recorder event, so one grep correlates a
+//! request across all four. Both worker pools publish queue-depth and
+//! in-flight gauges plus a queue-wait histogram; per-job service time and
+//! per-batch wall time land in histograms too. `GET /v1/metrics` renders
+//! all of it in Prometheus text format, `GET /healthz` summarises the
+//! live values, and `GET /v1/debug/flight` serves the flight recorder's
+//! recent request/job/shutdown events (also dumped to stderr on panic or
+//! batch timeout).
 
 use std::collections::HashMap;
 use std::io::{self, BufWriter, Read as _, Write as _};
@@ -27,7 +41,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use tta_explore::eval::{self, PreparedKernel};
-use tta_explore::queue::WorkQueue;
+use tta_explore::queue::{QueueMetrics, WorkQueue};
 use tta_model::{presets, Machine};
 use tta_obs as obs;
 use tta_obs::json::Json;
@@ -84,7 +98,9 @@ impl Shared {
     /// Flag shutdown and poke the accept loop awake with a throwaway
     /// connection so it re-checks the flag.
     fn request_shutdown(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            obs::flight::record("shutdown.request", "", format!("addr {}", self.addr));
+        }
         let _ = TcpStream::connect(self.addr);
     }
 }
@@ -100,6 +116,7 @@ pub struct Server {
 impl Server {
     /// Bind `cfg.addr` and start the accept loop plus worker pools.
     pub fn spawn(cfg: ServerConfig) -> io::Result<Server> {
+        install_panic_hook();
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let sim_threads = match cfg.sim_threads {
@@ -107,8 +124,26 @@ impl Server {
             n => n,
         };
         let shared = Arc::new(Shared {
-            sim: WorkQueue::new(sim_threads, "tta-serve-sim", obs::SpanHandle::ROOT),
-            conns: WorkQueue::new(cfg.conn_threads, "tta-serve-conn", obs::SpanHandle::ROOT),
+            sim: WorkQueue::new_with_metrics(
+                sim_threads,
+                "tta-serve-sim",
+                obs::SpanHandle::ROOT,
+                Some(QueueMetrics {
+                    depth_gauge: "serve.sim.queue_depth",
+                    in_flight_gauge: "serve.sim.in_flight",
+                    wait_hist: "serve.sim.queue_wait_us",
+                }),
+            ),
+            conns: WorkQueue::new_with_metrics(
+                cfg.conn_threads,
+                "tta-serve-conn",
+                obs::SpanHandle::ROOT,
+                Some(QueueMetrics {
+                    depth_gauge: "serve.conn.queue_depth",
+                    in_flight_gauge: "serve.conn.in_flight",
+                    wait_hist: "serve.conn.queue_wait_us",
+                }),
+            ),
             cfg,
             addr,
             shutdown: AtomicBool::new(false),
@@ -173,6 +208,7 @@ impl Server {
         // Connections first (they feed the sim queue), then the sims.
         self.shared.conns.shutdown();
         self.shared.sim.shutdown();
+        obs::flight::record("shutdown.done", "", format!("addr {}", self.shared.addr));
     }
 }
 
@@ -191,7 +227,11 @@ impl Drop for Server {
 fn prepared_kernel(name: &str) -> Option<Arc<PreparedKernel>> {
     static MEMO: OnceLock<Mutex<HashMap<String, Arc<PreparedKernel>>>> = OnceLock::new();
     let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
-    if let Some(p) = memo.lock().unwrap().get(name) {
+    // The map holds only complete entries (insertion is the last step),
+    // so a lock poisoned by a panicking job thread is still safe to read
+    // through — clearing the memo on poison would punish every later
+    // request with a re-prepare instead.
+    if let Some(p) = memo.lock().unwrap_or_else(|e| e.into_inner()).get(name) {
         return Some(Arc::clone(p));
     }
     let kernel = tta_chstone::by_name(name)?;
@@ -199,15 +239,61 @@ fn prepared_kernel(name: &str) -> Option<Arc<PreparedKernel>> {
     // content and last-write-wins.
     let p = Arc::new(eval::prepare_kernel(&kernel));
     memo.lock()
-        .unwrap()
+        .unwrap_or_else(|e| e.into_inner())
         .insert(name.to_string(), Arc::clone(&p));
     Some(p)
+}
+
+/// Dump the flight recorder on any unhandled panic, then run the
+/// previously-installed hook. Installed once per process, the first time
+/// a server spawns.
+fn install_panic_hook() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            obs::flight::dump("panic");
+            prev(info);
+        }));
+    });
+}
+
+/// Keep a client-supplied `x-trace-id` only if it is non-empty, at most
+/// 64 characters, and entirely `[A-Za-z0-9._-]` — anything else is
+/// discarded (a fresh ID is generated) so trace IDs are always safe to
+/// echo into logs, JSON, and metrics labels.
+fn sanitize_trace(raw: &str) -> Option<String> {
+    let raw = raw.trim();
+    let ok = !raw.is_empty()
+        && raw.len() <= 64
+        && raw
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'));
+    ok.then(|| raw.to_string())
+}
+
+/// A process-unique trace ID for requests that did not bring their own:
+/// a per-process random-ish seed (start time) plus a monotonic counter.
+fn fresh_trace_id() -> String {
+    use std::sync::atomic::AtomicU64;
+    static SEED: OnceLock<u64> = OnceLock::new();
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let seed = *SEED.get_or_init(|| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5eed)
+    });
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    format!("t-{:08x}-{n}", (seed ^ (seed >> 32)) as u32)
 }
 
 struct HttpRequest {
     method: String,
     path: String,
     body: String,
+    /// Sanitised `x-trace-id` header, if the client sent a usable one.
+    trace: Option<String>,
 }
 
 /// Read and frame one HTTP request (request line, headers,
@@ -247,13 +333,17 @@ fn read_request(stream: &mut TcpStream, cfg: &ServerConfig) -> Result<HttpReques
         return Err(bad("malformed request line".into()));
     }
     let mut content_length = 0usize;
+    let mut trace = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
                 content_length = value
                     .trim()
                     .parse()
                     .map_err(|_| bad("bad Content-Length".into()))?;
+            } else if name.eq_ignore_ascii_case("x-trace-id") {
+                trace = sanitize_trace(value);
             }
         }
     }
@@ -279,7 +369,12 @@ fn read_request(stream: &mut TcpStream, cfg: &ServerConfig) -> Result<HttpReques
     body.truncate(content_length);
     let body = String::from_utf8(body)
         .map_err(|_| ApiError::new(ErrorCode::MalformedJson, "body is not UTF-8"))?;
-    Ok(HttpRequest { method, path, body })
+    Ok(HttpRequest {
+        method,
+        path,
+        body,
+        trace,
+    })
 }
 
 fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
@@ -311,13 +406,92 @@ fn write_json(stream: &mut TcpStream, status: u16, body: &Json) -> io::Result<()
     stream.flush()
 }
 
-fn write_error(stream: &mut TcpStream, e: &ApiError) {
+/// One-shot plain-text response (the `/v1/metrics` exposition document).
+fn write_text(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    text: &str,
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{text}",
+        reason(status),
+        text.len(),
+    )?;
+    stream.flush()
+}
+
+/// Write a whole-request error (traced body), bump the aggregate and
+/// per-class error counters, and leave a flight event behind.
+fn write_error(stream: &mut TcpStream, e: &ApiError, trace: &str) {
     obs::counter::add("serve.errors", 1);
-    let _ = write_json(stream, e.code.http_status(), &e.to_body());
+    obs::counter::add(e.code.counter_name(), 1);
+    obs::flight::record(
+        "req.reject",
+        trace,
+        format!("{}: {}", e.code.as_str(), e.message),
+    );
+    let _ = write_json(stream, e.code.http_status(), &e.to_body_traced(trace));
+}
+
+/// The per-route request counter (`serve.requests.<route>`); static so
+/// the counter registry can intern it. Unknown paths share one bucket.
+fn route_counter(path: &str) -> &'static str {
+    match path {
+        "/v1/batch" => "serve.requests.batch",
+        "/healthz" => "serve.requests.healthz",
+        "/v1/metrics" => "serve.requests.metrics",
+        "/v1/debug/flight" => "serve.requests.flight",
+        "/v1/shutdown" => "serve.requests.shutdown",
+        _ => "serve.requests.other",
+    }
+}
+
+/// The `/healthz` body: liveness plus live queue/cache/telemetry state.
+fn healthz_body(shared: &Shared) -> Json {
+    let c = |name: &str| obs::counter::get(name).unwrap_or(0) as f64;
+    Json::Obj(vec![
+        ("obs_version".into(), Json::Num(OBS_VERSION as f64)),
+        ("ok".into(), Json::Bool(true)),
+        ("sim_threads".into(), Json::Num(shared.sim.threads() as f64)),
+        ("queue_depth".into(), Json::Num(shared.sim.depth() as f64)),
+        ("in_flight".into(), Json::Num(shared.sim.in_flight() as f64)),
+        (
+            "conn_queue_depth".into(),
+            Json::Num(shared.conns.depth() as f64),
+        ),
+        (
+            "conn_in_flight".into(),
+            Json::Num(shared.conns.in_flight() as f64),
+        ),
+        (
+            "cache_entries".into(),
+            Json::Num(tta_explore::cache::global().len() as f64),
+        ),
+        ("cache_hits".into(), Json::Num(c("eval.compile_cache.hits"))),
+        (
+            "cache_misses".into(),
+            Json::Num(c("eval.compile_cache.misses")),
+        ),
+        (
+            "dropped".into(),
+            Json::Obj(vec![
+                ("spans".into(), Json::Num(obs::span::dropped() as f64)),
+                ("counters".into(), Json::Num(obs::counter::dropped() as f64)),
+                (
+                    "gauges".into(),
+                    Json::Num(obs::counter::dropped_gauges() as f64),
+                ),
+                ("hists".into(), Json::Num(obs::hist::dropped() as f64)),
+            ]),
+        ),
+    ])
 }
 
 /// Dispatch one accepted connection.
 fn handle_conn(shared: Arc<Shared>, mut stream: TcpStream) {
+    let _span = obs::span("serve.request");
     let io_timeout = Duration::from_millis(shared.cfg.io_timeout_ms.max(1));
     let _ = stream.set_read_timeout(Some(io_timeout));
     let _ = stream.set_write_timeout(Some(io_timeout));
@@ -325,51 +499,79 @@ fn handle_conn(shared: Arc<Shared>, mut stream: TcpStream) {
     obs::counter::add("serve.requests", 1);
     let req = match read_request(&mut stream, &shared.cfg) {
         Ok(r) => r,
-        Err(e) => return write_error(&mut stream, &e),
+        Err(e) => {
+            // The request never parsed far enough to carry a trace ID;
+            // generate one so the error body and log line still correlate.
+            let trace = fresh_trace_id();
+            obs::counter::add("serve.requests.invalid", 1);
+            eprintln!("tta-serve: [{trace}] <unreadable request>: {}", e.message);
+            return write_error(&mut stream, &e, &trace);
+        }
     };
+    let trace = req.trace.clone().unwrap_or_else(fresh_trace_id);
+    obs::counter::add(route_counter(&req.path), 1);
+    obs::flight::record("req.start", &trace, format!("{} {}", req.method, req.path));
+    eprintln!("tta-serve: [{trace}] {} {}", req.method, req.path);
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/v1/batch") => {
-            let _ = handle_batch(&shared, stream, &req.body);
+            let _ = handle_batch(&shared, stream, &req.body, &trace);
         }
         ("GET", "/healthz") => {
-            let body = Json::Obj(vec![
-                ("obs_version".into(), Json::Num(OBS_VERSION as f64)),
-                ("ok".into(), Json::Bool(true)),
-                ("sim_threads".into(), Json::Num(shared.sim.threads() as f64)),
-                (
-                    "cache_entries".into(),
-                    Json::Num(tta_explore::cache::global().len() as f64),
-                ),
-            ]);
-            let _ = write_json(&mut stream, 200, &body);
+            let _ = write_json(&mut stream, 200, &healthz_body(&shared));
+        }
+        ("GET", "/v1/metrics") => {
+            // Re-publish so an idle queue still scrapes fresh gauges.
+            shared.sim.publish_gauges();
+            shared.conns.publish_gauges();
+            obs::counter::set_gauge(
+                "serve.cache.entries",
+                tta_explore::cache::global().len() as i64,
+            );
+            let text = obs::prom::render();
+            let _ = write_text(&mut stream, 200, "text/plain; version=0.0.4", &text);
+        }
+        ("GET", "/v1/debug/flight") => {
+            let mut fields = vec![("obs_version".into(), Json::Num(OBS_VERSION as f64))];
+            match obs::flight::to_json() {
+                Json::Obj(inner) => fields.extend(inner),
+                other => fields.push(("flight".into(), other)),
+            }
+            let _ = write_json(&mut stream, 200, &Json::Obj(fields));
         }
         ("POST", "/v1/shutdown") => {
             let body = Json::Obj(vec![
                 ("obs_version".into(), Json::Num(OBS_VERSION as f64)),
+                ("trace_id".into(), Json::Str(trace.clone())),
                 ("ok".into(), Json::Bool(true)),
                 ("shutting_down".into(), Json::Bool(true)),
             ]);
             let _ = write_json(&mut stream, 200, &body);
             shared.request_shutdown();
         }
-        (_, "/v1/batch" | "/healthz" | "/v1/shutdown") => write_error(
-            &mut stream,
-            &ApiError::new(
-                ErrorCode::BadMethod,
-                format!("{} is not valid for {}", req.method, req.path),
-            ),
-        ),
+        (_, "/v1/batch" | "/healthz" | "/v1/metrics" | "/v1/debug/flight" | "/v1/shutdown") => {
+            write_error(
+                &mut stream,
+                &ApiError::new(
+                    ErrorCode::BadMethod,
+                    format!("{} is not valid for {}", req.method, req.path),
+                ),
+                &trace,
+            )
+        }
         _ => write_error(
             &mut stream,
             &ApiError::new(ErrorCode::NotFound, format!("no route for {}", req.path)),
+            &trace,
         ),
     }
+    obs::flight::record("req.end", &trace, format!("{} {}", req.method, req.path));
 }
 
 /// One per-job success line.
-fn job_ok_line(job: usize, machine: &str, run: &tta_explore::KernelRun) -> Json {
+fn job_ok_line(job: usize, trace: &str, machine: &str, run: &tta_explore::KernelRun) -> Json {
     Json::Obj(vec![
         ("obs_version".into(), Json::Num(OBS_VERSION as f64)),
+        ("trace_id".into(), Json::Str(trace.into())),
         ("job".into(), Json::Num(job as f64)),
         ("ok".into(), Json::Bool(true)),
         ("report".into(), eval::job_report_json(machine, run)),
@@ -377,9 +579,10 @@ fn job_ok_line(job: usize, machine: &str, run: &tta_explore::KernelRun) -> Json 
 }
 
 /// One per-job failure line (internal panic or deadline expiry).
-fn job_error_line(job: usize, e: &ApiError) -> Json {
+fn job_error_line(job: usize, trace: &str, e: &ApiError) -> Json {
     Json::Obj(vec![
         ("obs_version".into(), Json::Num(OBS_VERSION as f64)),
+        ("trace_id".into(), Json::Str(trace.into())),
         ("job".into(), Json::Num(job as f64)),
         ("ok".into(), Json::Bool(false)),
         ("error".into(), e.to_json()),
@@ -388,15 +591,19 @@ fn job_error_line(job: usize, e: &ApiError) -> Json {
 
 /// Run one job on a simulation worker, catching toolchain panics so a
 /// bug in one job degrades to a structured error line instead of
-/// poisoning the whole batch.
-fn run_job(job: usize, machine: &Machine, p: &PreparedKernel) -> (Json, bool) {
+/// poisoning the whole batch. Service time (the run itself, not queue
+/// wait) lands in the `serve.job.service_us` histogram.
+fn run_job(job: usize, trace: &str, machine: &Machine, p: &PreparedKernel) -> (Json, bool) {
+    let started = Instant::now();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         eval::run_prepared(p, machine)
     }));
+    obs::hist::record("serve.job.service_us", started.elapsed().as_micros() as u64);
     match outcome {
         Ok(run) => {
             obs::counter::add("serve.jobs.ok", 1);
-            (job_ok_line(job, &machine.name, &run), true)
+            obs::flight::record("job.done", trace, format!("job {job} ({})", machine.name));
+            (job_ok_line(job, trace, &machine.name, &run), true)
         }
         Err(panic) => {
             obs::counter::add("serve.jobs.internal_error", 1);
@@ -405,20 +612,27 @@ fn run_job(job: usize, machine: &Machine, p: &PreparedKernel) -> (Json, bool) {
                 .map(String::as_str)
                 .or_else(|| panic.downcast_ref::<&str>().copied())
                 .unwrap_or("unknown panic");
+            obs::flight::record("job.panic", trace, format!("job {job}: {msg}"));
             let e = ApiError::new(ErrorCode::Internal, format!("job panicked: {msg}"));
-            (job_error_line(job, &e), false)
+            (job_error_line(job, trace, &e), false)
         }
     }
 }
 
 /// Validate a batch, fan its jobs out over the simulation pool, and
-/// stream one NDJSON line per completed job plus a final summary line.
-fn handle_batch(shared: &Arc<Shared>, mut stream: TcpStream, body: &str) -> io::Result<()> {
+/// stream one NDJSON line per completed job plus a final summary line —
+/// every line stamped with the request's trace ID.
+fn handle_batch(
+    shared: &Arc<Shared>,
+    mut stream: TcpStream,
+    body: &str,
+    trace: &str,
+) -> io::Result<()> {
     let start = Instant::now();
     let req: BatchRequest = match schema::parse_batch(body, shared.cfg.max_jobs) {
         Ok(r) => r,
         Err(e) => {
-            write_error(&mut stream, &e);
+            write_error(&mut stream, &e, trace);
             return Ok(());
         }
     };
@@ -439,6 +653,7 @@ fn handle_batch(shared: &Arc<Shared>, mut stream: TcpStream, body: &str) -> io::
                             ErrorCode::UnknownMachine,
                             format!("jobs[{i}]: unknown machine \"{}\"", spec.machine),
                         ),
+                        trace,
                     );
                     return Ok(());
                 }
@@ -451,6 +666,7 @@ fn handle_batch(shared: &Arc<Shared>, mut stream: TcpStream, body: &str) -> io::
                     ErrorCode::UnknownKernel,
                     format!("jobs[{i}]: unknown kernel \"{}\"", spec.kernel),
                 ),
+                trace,
             );
             return Ok(());
         };
@@ -464,12 +680,23 @@ fn handle_batch(shared: &Arc<Shared>, mut stream: TcpStream, body: &str) -> io::
             .unwrap_or(shared.cfg.max_timeout_ms)
             .min(shared.cfg.max_timeout_ms),
     );
+    obs::flight::record(
+        "batch.start",
+        trace,
+        format!("{n} jobs, timeout {} ms", timeout.as_millis()),
+    );
     let deadline = start + timeout;
     let (tx, rx) = mpsc::channel::<(usize, Json, bool)>();
     for (i, (machine, prepared)) in resolved.into_iter().enumerate() {
         let tx = tx.clone();
+        let job_trace = trace.to_string();
+        obs::flight::record(
+            "job.dispatch",
+            trace,
+            format!("job {i} ({} × {})", machine.name, req.jobs[i].kernel),
+        );
         let submit = shared.sim.submit(Box::new(move || {
-            let (line, ok) = run_job(i, &machine, &prepared);
+            let (line, ok) = run_job(i, &job_trace, &machine, &prepared);
             let _ = tx.send((i, line, ok));
         }));
         if submit.is_err() {
@@ -510,17 +737,26 @@ fn handle_batch(shared: &Arc<Shared>, mut stream: TcpStream, body: &str) -> io::
     for (i, d) in done.iter().enumerate() {
         if !d {
             obs::counter::add("serve.jobs.timeout", 1);
+            obs::counter::add(ErrorCode::Timeout.counter_name(), 1);
+            obs::flight::record("job.timeout", trace, format!("job {i} missed the deadline"));
             let e = ApiError::new(
                 ErrorCode::Timeout,
                 "batch deadline expired before this job completed",
             );
-            writer.write(&job_error_line(i, &e))?;
+            writer.write(&job_error_line(i, trace, &e))?;
             err_count += 1;
         }
     }
+    if timed_out {
+        // The black-box readout: what the server was doing when the
+        // deadline expired, on stderr next to the request log.
+        obs::flight::dump(&format!("batch timeout, trace {trace}"));
+    }
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    obs::hist::record("serve.request.batch_us", start.elapsed().as_micros() as u64);
     writer.write(&Json::Obj(vec![
         ("obs_version".into(), Json::Num(OBS_VERSION as f64)),
+        ("trace_id".into(), Json::Str(trace.into())),
         ("summary".into(), Json::Bool(true)),
         ("jobs".into(), Json::Num(n as f64)),
         ("ok".into(), Json::Num(ok_count as f64)),

@@ -307,3 +307,226 @@ fn shutdown_over_the_wire_stops_the_server() {
     // wait() returns because the wire request flagged shutdown.
     server.wait();
 }
+
+/// Every line of a stream must carry the same trace ID; returns it.
+fn stream_trace_id(resp: &client::StreamedResponse) -> String {
+    let (lines, summary) = parse_stream(resp);
+    let trace = summary
+        .get("trace_id")
+        .and_then(Json::as_str)
+        .expect("summary line carries trace_id")
+        .to_string();
+    assert!(!trace.is_empty());
+    for line in &lines {
+        assert_eq!(
+            line.get("trace_id").and_then(Json::as_str),
+            Some(trace.as_str()),
+            "every job line carries the request trace ID"
+        );
+    }
+    trace
+}
+
+#[test]
+fn client_trace_id_stamps_every_line_and_flight_event() {
+    let server = spawn();
+    let resp = client::post_streaming_with_headers(
+        server.addr(),
+        "/v1/batch",
+        &batch_body(&[("mblaze-3", "sha")], None),
+        &[("x-trace-id", "e2e-trace-abc")],
+        TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(stream_trace_id(&resp), "e2e-trace-abc");
+
+    // The flight recorder kept the request's event sequence under the
+    // same ID (filtered by trace: other tests share the global ring).
+    let flight = client::get(server.addr(), "/v1/debug/flight", TIMEOUT).unwrap();
+    assert_eq!(flight.status, 200);
+    let doc = tta_obs::json::parse(&flight.body).unwrap();
+    let Some(Json::Arr(events)) = doc.get("events") else {
+        panic!("flight body has an events array: {}", flight.body);
+    };
+    let kinds: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("trace").and_then(Json::as_str) == Some("e2e-trace-abc"))
+        .map(|e| e.get("kind").unwrap().as_str().unwrap())
+        .collect();
+    for expected in ["req.start", "batch.start", "job.dispatch", "job.done"] {
+        assert!(kinds.contains(&expected), "missing {expected} in {kinds:?}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn missing_trace_header_gets_a_generated_id() {
+    let server = spawn();
+    let a = post_batch(server.addr(), &batch_body(&[("mblaze-3", "sha")], None));
+    let b = post_batch(server.addr(), &batch_body(&[("mblaze-3", "sha")], None));
+    let (ta, tb) = (stream_trace_id(&a), stream_trace_id(&b));
+    assert_ne!(ta, tb, "generated trace IDs are per-request");
+    server.shutdown();
+}
+
+#[test]
+fn error_bodies_carry_the_trace_id() {
+    let server = spawn();
+    let mut stream = client::post_streaming_with_headers(
+        server.addr(),
+        "/v1/batch",
+        "this is not json",
+        &[("x-trace-id", "e2e-err-trace")],
+        TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(stream.status, 400);
+    let body: String = stream.lines.drain(..).map(|l| l.text).collect();
+    let doc = tta_obs::json::parse(&body).unwrap();
+    assert_eq!(
+        doc.get("trace_id").and_then(Json::as_str),
+        Some("e2e-err-trace")
+    );
+    assert_eq!(
+        doc.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("malformed_json")
+    );
+    server.shutdown();
+}
+
+/// The value of a label-free series in an exposition document.
+fn metric_value(text: &str, name: &str) -> Option<f64> {
+    text.lines()
+        .find(|l| l.split_whitespace().next() == Some(name))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn metrics_exposition_parses_and_changes_under_load() {
+    let server = spawn();
+    let scrape = || {
+        let resp = client::get(server.addr(), "/v1/metrics", TIMEOUT).unwrap();
+        assert_eq!(resp.status, 200);
+        resp.body
+    };
+    let before = scrape();
+    // Well-formed: every non-comment line is `name[{labels}] value` with
+    // a finite value; no NaN anywhere (all exported values are integers).
+    assert!(!before.contains("NaN"));
+    for line in before.lines().filter(|l| !l.starts_with('#')) {
+        let (_, value) = line.rsplit_once(' ').expect("line has a value");
+        let v: f64 = value.parse().unwrap_or_else(|_| panic!("{line:?}"));
+        assert!(v.is_finite(), "{line:?}");
+    }
+    let batches_before = metric_value(&before, "tta_serve_batches").unwrap_or(0.0);
+
+    post_batch(server.addr(), &batch_body(&[("mblaze-3", "sha")], None));
+    let after = scrape();
+    let batches_after = metric_value(&after, "tta_serve_batches").unwrap();
+    assert!(
+        batches_after > batches_before,
+        "batch counter moves under load: {batches_before} -> {batches_after}"
+    );
+    // Queue gauges and latency histograms are exported.
+    for series in [
+        "tta_serve_sim_queue_depth",
+        "tta_serve_sim_in_flight",
+        "tta_serve_requests_batch",
+        "tta_serve_job_service_us_count",
+        "tta_serve_sim_queue_wait_us_count",
+    ] {
+        assert!(
+            metric_value(&after, series).is_some(),
+            "missing series {series} in:\n{after}"
+        );
+    }
+    assert!(metric_value(&after, "tta_serve_job_service_us_count").unwrap() >= 1.0);
+    server.shutdown();
+}
+
+#[test]
+fn healthz_reports_queue_cache_and_dropped_state() {
+    let server = spawn();
+    let resp = client::get(server.addr(), "/healthz", TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200);
+    let doc = tta_obs::json::parse(&resp.body).unwrap();
+    for key in [
+        "queue_depth",
+        "in_flight",
+        "conn_queue_depth",
+        "conn_in_flight",
+        "cache_entries",
+        "cache_hits",
+        "cache_misses",
+    ] {
+        let v = doc
+            .get(key)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("healthz lacks {key}: {}", resp.body));
+        assert!(v >= 0.0, "{key} = {v}");
+    }
+    let dropped = doc.get("dropped").expect("healthz has dropped tallies");
+    for kind in ["spans", "counters", "gauges", "hists"] {
+        assert!(dropped.get(kind).and_then(Json::as_f64).is_some());
+    }
+    server.shutdown();
+}
+
+#[test]
+fn flight_recorder_captures_a_timed_out_job() {
+    let server = spawn();
+    let resp = client::post_streaming_with_headers(
+        server.addr(),
+        "/v1/batch",
+        &batch_body(&[("mblaze-3", "sha")], Some(0)),
+        &[("x-trace-id", "e2e-timeout-trace")],
+        TIMEOUT,
+    )
+    .unwrap();
+    let (lines, summary) = parse_stream(&resp);
+    assert_eq!(summary.get("timed_out"), Some(&Json::Bool(true)));
+    assert_eq!(
+        lines[0].get("trace_id").and_then(Json::as_str),
+        Some("e2e-timeout-trace")
+    );
+
+    let flight = client::get(server.addr(), "/v1/debug/flight", TIMEOUT).unwrap();
+    let doc = tta_obs::json::parse(&flight.body).unwrap();
+    let Some(Json::Arr(events)) = doc.get("events") else {
+        panic!("flight body has an events array");
+    };
+    let kinds: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("trace").and_then(Json::as_str) == Some("e2e-timeout-trace"))
+        .map(|e| e.get("kind").unwrap().as_str().unwrap())
+        .collect();
+    for expected in ["req.start", "batch.start", "job.dispatch", "job.timeout"] {
+        assert!(kinds.contains(&expected), "missing {expected} in {kinds:?}");
+    }
+    // Events arrive in recorded order: the dispatch precedes the timeout.
+    let pos = |k: &str| kinds.iter().position(|&x| x == k).unwrap();
+    assert!(pos("req.start") < pos("batch.start"));
+    assert!(pos("batch.start") < pos("job.timeout"));
+    server.shutdown();
+}
+
+#[test]
+fn per_route_and_per_error_counters_show_in_metrics() {
+    let server = spawn();
+    let scrape = || {
+        client::get(server.addr(), "/v1/metrics", TIMEOUT)
+            .unwrap()
+            .body
+    };
+    let before = scrape();
+    let h0 = metric_value(&before, "tta_serve_requests_healthz").unwrap_or(0.0);
+    let e0 = metric_value(&before, "tta_serve_errors_not_found").unwrap_or(0.0);
+    client::get(server.addr(), "/healthz", TIMEOUT).unwrap();
+    let resp = client::post(server.addr(), "/nope", "{}", TIMEOUT).unwrap();
+    assert_eq!(resp.status, 404);
+    let after = scrape();
+    assert!(metric_value(&after, "tta_serve_requests_healthz").unwrap() > h0);
+    assert!(metric_value(&after, "tta_serve_errors_not_found").unwrap() > e0);
+    server.shutdown();
+}
