@@ -27,10 +27,28 @@ pub const GATED_LOWER_KEYS: [&str; 2] = ["p50_ms", "p99_ms"];
 /// `p50_ms`/`p99_ms` gates above track the same shift smoothly.
 pub const INFO_SCHEMA_LOWER_KEYS: [&str; 2] = ["hist_p50_ms", "hist_p99_ms"];
 
+/// Higher-is-better metrics gated with the same tolerance when both
+/// reports carry them (search throughput from `bench_search`): the gate
+/// fails when the value *drops* by more than the tolerance. Present in
+/// one file only is a schema error, like [`GATED_LOWER_KEYS`].
+pub const GATED_HIGHER_KEYS: [&str; 1] = ["configs_per_s"];
+
 /// Keys that define the workload; they must be equal (or absent from
-/// both files) for a comparison to be meaningful.
-const WORKLOAD_KEYS: [&str; 7] = [
-    "bench", "machines", "kernels", "pairs", "seeds", "iters", "jobs",
+/// both files) for a comparison to be meaningful. `configs`,
+/// `generations`, and `seed` pin the design-space search: its funnel is
+/// deterministic per seed, so a different config count means a changed
+/// space, not a faster search.
+const WORKLOAD_KEYS: [&str; 10] = [
+    "bench",
+    "machines",
+    "kernels",
+    "pairs",
+    "seeds",
+    "iters",
+    "jobs",
+    "configs",
+    "generations",
+    "seed",
 ];
 
 /// Informational higher-is-better metrics shown in the summary.
@@ -128,6 +146,32 @@ pub fn diff(baseline: &Json, current: &Json, tolerance: f64) -> Result<Diff, Str
             "{k}: baseline {b:.3}ms → current {c:.3}ms ({delta_pct:+.1}%), limit {limit:.3}ms"
         ));
         if c > limit {
+            regressions.push(format!(
+                "{k} regressed {delta_pct:+.1}% (> {:.0}% tolerance)",
+                tolerance * 100.0
+            ));
+        }
+    }
+
+    for k in GATED_HIGHER_KEYS {
+        let (b, c) = match (baseline.get(k), current.get(k)) {
+            (None, None) => continue,
+            (Some(_), None) => return Err(format!("current report lacks gated key \"{k}\"")),
+            (None, Some(_)) => return Err(format!("baseline report lacks gated key \"{k}\"")),
+            (Some(_), Some(_)) => (
+                num(baseline, k).map_err(|e| format!("baseline: {e}"))?,
+                num(current, k).map_err(|e| format!("current: {e}"))?,
+            ),
+        };
+        if b <= 0.0 {
+            return Err(format!("baseline {k} is not positive ({b})"));
+        }
+        let limit = b * (1.0 - tolerance).max(0.0);
+        let delta_pct = (c / b - 1.0) * 100.0;
+        lines.push(format!(
+            "{k}: baseline {b:.2} → current {c:.2} ({delta_pct:+.1}%), floor {limit:.2}"
+        ));
+        if c < limit {
             regressions.push(format!(
                 "{k} regressed {delta_pct:+.1}% (> {:.0}% tolerance)",
                 tolerance * 100.0
@@ -387,6 +431,71 @@ mod tests {
         }
         let e = diff(&base, &cur, 0.30).unwrap_err();
         assert!(e.contains("workload mismatch on \"jobs\""), "{e}");
+    }
+
+    fn search_report(median: f64, configs_per_s: f64) -> Json {
+        parse(&format!(
+            r#"{{"bench": "pareto_search", "kernels": 8, "configs": 1740,
+                "generations": 6, "seed": 1, "reps": 3,
+                "wall_s_median": {median}, "configs_per_s": {configs_per_s}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn search_throughput_is_gated_higher_is_better() {
+        let base = search_report(3.0, 580.0);
+        // Throughput holds (or improves): passes.
+        assert!(diff(&base, &search_report(3.0, 580.0), 0.30)
+            .unwrap()
+            .passed());
+        assert!(diff(&base, &search_report(2.0, 870.0), 0.30)
+            .unwrap()
+            .passed());
+        // Wall flat but throughput collapsed beyond tolerance: fails on
+        // configs_per_s alone.
+        let d = diff(&base, &search_report(3.0, 300.0), 0.30).unwrap();
+        assert!(!d.passed());
+        assert!(
+            d.regressions[0].contains("configs_per_s"),
+            "{:?}",
+            d.regressions
+        );
+        // A drop inside tolerance passes.
+        assert!(diff(&base, &search_report(3.2, 450.0), 0.30)
+            .unwrap()
+            .passed());
+    }
+
+    #[test]
+    fn dropping_the_throughput_key_is_a_schema_error() {
+        let base = search_report(3.0, 580.0);
+        let mut cur = search_report(3.0, 580.0);
+        if let Json::Obj(fields) = &mut cur {
+            fields.retain(|(k, _)| k != "configs_per_s");
+        }
+        let e = diff(&base, &cur, 0.30).unwrap_err();
+        assert!(e.contains("gated key \"configs_per_s\""), "{e}");
+    }
+
+    #[test]
+    fn search_workload_is_pinned_by_configs_generations_and_seed() {
+        let base = search_report(3.0, 580.0);
+        for (key, val) in [("configs", 900.0), ("generations", 2.0), ("seed", 9.0)] {
+            let mut cur = search_report(1.0, 1200.0);
+            if let Json::Obj(fields) = &mut cur {
+                for (k, v) in fields.iter_mut() {
+                    if k == key {
+                        *v = Json::Num(val);
+                    }
+                }
+            }
+            let e = diff(&base, &cur, 0.30).unwrap_err();
+            assert!(
+                e.contains(&format!("workload mismatch on \"{key}\"")),
+                "{e}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! Sanity checks on the committed `BENCH_*.json` baselines: the CI gate
+//! diffs fresh runs against these files, so a malformed or sandbagged
+//! baseline would quietly neuter the gate.
+
+use tta_obs::json::{parse, Json};
+
+fn load(name: &str) -> Json {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let text = std::fs::read_to_string(format!("{path}/{name}"))
+        .unwrap_or_else(|e| panic!("{name} must be committed at the repo root: {e}"));
+    parse(&text).unwrap_or_else(|e| panic!("{name} must parse: {e:?}"))
+}
+
+#[test]
+fn search_baseline_meets_the_throughput_floor() {
+    let j = load("BENCH_search.json");
+    assert_eq!(
+        j.get("bench").and_then(Json::as_str),
+        Some("pareto_search"),
+        "baseline names the search bench"
+    );
+    assert_eq!(
+        j.get("threads").and_then(Json::as_f64),
+        Some(1.0),
+        "the committed baseline is a 1-thread run (comparable across hosts)"
+    );
+    let cps = j
+        .get("configs_per_s")
+        .and_then(Json::as_f64)
+        .expect("configs_per_s present and numeric");
+    assert!(
+        cps >= 500.0,
+        "search throughput floor: committed baseline reports {cps} configs/s, need >= 500"
+    );
+    // The workload keys the gate compares on must all be present.
+    for key in ["configs", "generations", "seed", "kernels", "wall_s_median"] {
+        assert!(
+            j.get(key).and_then(Json::as_f64).is_some(),
+            "baseline lacks workload key {key}"
+        );
+    }
+}
+
+#[test]
+fn search_baseline_is_comparable_with_itself_under_the_gate() {
+    let j = load("BENCH_search.json");
+    let d = tta_bench::report::diff(&j, &j, 0.30).expect("self-diff is schema-clean");
+    assert!(d.passed());
+    assert!(
+        d.lines.iter().any(|l| l.contains("configs_per_s")),
+        "the throughput key is part of the gate summary: {:?}",
+        d.lines
+    );
+}

@@ -14,9 +14,18 @@
 //! `(Arc<Compiled>, Arc<Tiers>)` — the shared tier table means superblocks
 //! promoted by the first run of a pair are reused by every later run
 //! (promotion is lock-free, so sharing across worker threads is safe).
+//!
+//! The cache is *bounded*: each shard keeps at most its share of the
+//! configured capacity and evicts its oldest insertion first (FIFO — the
+//! access pattern is "a burst of evaluations revisits a working set, a
+//! design-space search streams through thousands of one-shot configs",
+//! where FIFO behaves like LRU without per-hit bookkeeping). Evictions
+//! land on the `cache.evictions` obs counter. The default capacity holds
+//! the full 13×8 evaluation working set (104 pairs) plus an order of
+//! magnitude of head room, so `evaluate_all` hit rates are unaffected.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -36,6 +45,11 @@ pub type Key = (u64, u64);
 /// costs nothing.
 pub const SHARDS: usize = 16;
 
+/// Default total capacity (entries across all shards): the 104-pair
+/// evaluation working set never evicts, a thousand-config search stays
+/// bounded at a few GB of compiled artefacts at most.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
 /// Hash any `Hash` value with the std default hasher.
 pub fn hash_of<T: Hash + ?Sized>(value: &T) -> u64 {
     let mut h = DefaultHasher::new();
@@ -43,23 +57,46 @@ pub fn hash_of<T: Hash + ?Sized>(value: &T) -> u64 {
     h.finish()
 }
 
-/// A sharded `Key → Entry` map. See the module docs for the design.
+/// One shard: the key→entry map plus the FIFO insertion order backing
+/// eviction.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<Key, Entry>,
+    order: VecDeque<Key>,
+}
+
+/// A sharded, bounded `Key → Entry` map. See the module docs for the
+/// design.
 pub struct CompileCache {
-    shards: Vec<Mutex<HashMap<Key, Entry>>>,
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard entry cap (total capacity / shard count, at least 1).
+    shard_cap: usize,
 }
 
 impl CompileCache {
-    /// An empty cache with [`SHARDS`] shards.
+    /// A cache with [`SHARDS`] shards and the [`DEFAULT_CAPACITY`].
     pub fn new() -> Self {
+        CompileCache::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A cache bounded to roughly `capacity` entries in total (rounded up
+    /// to a multiple of the shard count; at least one entry per shard).
+    pub fn with_capacity(capacity: usize) -> Self {
         CompileCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_cap: capacity.div_ceil(SHARDS).max(1),
         }
+    }
+
+    /// Total entry capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shard_cap * self.shards.len()
     }
 
     /// The shard holding `key`: mix both halves so machines (which share
     /// an IR hash across kernels) and kernels (which share a machine
     /// hash across machines) both spread.
-    fn shard(&self, key: Key) -> &Mutex<HashMap<Key, Entry>> {
+    fn shard(&self, key: Key) -> &Mutex<Shard> {
         let mixed = key.0.rotate_left(17) ^ key.1.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         &self.shards[(mixed as usize) % self.shards.len()]
     }
@@ -87,7 +124,7 @@ impl CompileCache {
     ) -> Entry {
         {
             let _s = obs::span("compile");
-            if let Some(hit) = self.shard(key).lock().unwrap().get(&key) {
+            if let Some(hit) = self.shard(key).lock().unwrap().map.get(&key) {
                 obs::counter::add("eval.compile_cache.hits", 1);
                 return hit.clone();
             }
@@ -98,13 +135,34 @@ impl CompileCache {
         );
         let tiers = Arc::new(tta_sim::Tiers::for_program(&compiled.program));
         let entry = (compiled, tiers);
-        self.shard(key).lock().unwrap().insert(key, entry.clone());
+        self.insert(key, entry.clone());
         entry
+    }
+
+    /// Insert `entry`, evicting the shard's oldest insertions past its
+    /// capacity (counted on `cache.evictions`).
+    fn insert(&self, key: Key, entry: Entry) {
+        let mut shard = self.shard(key).lock().unwrap();
+        if shard.map.insert(key, entry).is_none() {
+            shard.order.push_back(key);
+        }
+        let mut evicted = 0;
+        while shard.map.len() > self.shard_cap {
+            let oldest = shard.order.pop_front().expect("order tracks the map");
+            shard.map.remove(&oldest);
+            evicted += 1;
+        }
+        if evicted > 0 {
+            obs::counter::add("cache.evictions", evicted);
+        }
     }
 
     /// Total entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
     }
 
     /// Whether the cache holds no entries.
@@ -163,6 +221,63 @@ mod tests {
         }
         assert_eq!(cache.len(), 3);
         assert_eq!(cache.shard_count(), SHARDS);
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_fifo_eviction() {
+        // One entry per shard: every second distinct key in a shard
+        // evicts the oldest one.
+        let cache = CompileCache::with_capacity(SHARDS);
+        assert_eq!(cache.capacity(), SHARDS);
+        let module = small_module();
+        let machine = presets::mblaze_3();
+        let before = tta_obs::counter::get("cache.evictions").unwrap_or(0);
+        // Distinct IR hashes spread across shards; 4x capacity forces
+        // evictions no matter how the hashes land.
+        for i in 0..(4 * SHARDS as u64) {
+            let key = CompileCache::key_for(&machine, i);
+            cache.get_or_compile(key, &module, &machine, "sha");
+        }
+        assert!(
+            cache.len() <= cache.capacity(),
+            "len {} exceeds capacity {}",
+            cache.len(),
+            cache.capacity()
+        );
+        let evicted = tta_obs::counter::get("cache.evictions").unwrap_or(0) - before;
+        assert!(evicted > 0, "overfilling must evict");
+
+        // An evicted key recompiles (miss), a resident key still hits.
+        let misses_before = tta_obs::counter::get("eval.compile_cache.misses").unwrap_or(0);
+        let key0 = CompileCache::key_for(&machine, 0);
+        cache.get_or_compile(key0, &module, &machine, "sha");
+        let misses_after = tta_obs::counter::get("eval.compile_cache.misses").unwrap_or(0);
+        assert_eq!(misses_after, misses_before + 1, "oldest key was evicted");
+    }
+
+    #[test]
+    fn default_capacity_holds_the_evaluation_working_set() {
+        // 13 machines x 8 kernels = 104 pairs; the default capacity must
+        // keep them all resident so evaluate_all hit rates are unchanged.
+        assert!(CompileCache::new().capacity() >= 104 * 4);
+    }
+
+    #[test]
+    fn reinserting_the_same_key_does_not_count_as_growth() {
+        let cache = CompileCache::with_capacity(SHARDS);
+        let module = small_module();
+        let machine = presets::mblaze_3();
+        let key = CompileCache::key_for(&machine, 7);
+        let before = tta_obs::counter::get("cache.evictions").unwrap_or(0);
+        for _ in 0..5 {
+            cache.get_or_compile(key, &module, &machine, "sha");
+        }
+        assert_eq!(cache.len(), 1);
+        assert_eq!(
+            tta_obs::counter::get("cache.evictions").unwrap_or(0),
+            before,
+            "hits never evict"
+        );
     }
 
     #[test]

@@ -147,6 +147,10 @@ pub struct PreparedKernel {
     pub module: tta_ir::Module,
     /// The golden interpreter's return value.
     pub golden_ret: Option<i32>,
+    /// The golden interpreter's dynamic execution counts —
+    /// machine-independent demand the design-space search turns into
+    /// per-config cycle lower bounds without compiling anything.
+    pub golden_stats: tta_ir::interp::ExecStats,
     /// Content hash of the kernel's IR text (compile-cache key half).
     pub ir_hash: u64,
 }
@@ -167,14 +171,18 @@ pub fn prepare_kernel(kernel: &Kernel) -> PreparedKernel {
         name: kernel.name,
         module,
         golden_ret: golden.ret,
+        golden_stats: golden.stats,
         ir_hash,
     }
 }
 
 /// Compile through the process-wide sharded content-keyed cache
 /// ([`crate::cache`]). Each (machine × kernel) pair compiles exactly
-/// once per process, however many callers revisit it.
-fn compile_cached(p: &PreparedKernel, machine: &Machine) -> (Arc<Compiled>, Arc<tta_sim::Tiers>) {
+/// once per process (while resident), however many callers revisit it.
+pub fn compile_cached(
+    p: &PreparedKernel,
+    machine: &Machine,
+) -> (Arc<Compiled>, Arc<tta_sim::Tiers>) {
     let key = CompileCache::key_for(machine, p.ir_hash);
     cache::global().get_or_compile(key, &p.module, machine, p.name)
 }

@@ -22,6 +22,7 @@ pub mod figures;
 pub mod imem;
 pub mod profile;
 pub mod queue;
+pub mod search;
 pub mod sweep;
 pub mod tables;
 pub mod transform;
@@ -35,5 +36,6 @@ pub use profile::{
     KernelProfile, MachineProfile, ProfileReport, PROFILE_VERSION,
 };
 pub use queue::WorkQueue;
+pub use search::{search, EvalPoint, Frontier, SearchOutcome, SearchParams, SearchStats};
 pub use sweep::{sweep_bus_count, SweepPoint};
 pub use transform::{merge_buses, partition_rf, profile_buses, prune_bypasses, BusProfile};

@@ -23,6 +23,7 @@
 
 pub mod bus;
 pub mod fu;
+pub mod gen;
 pub mod io;
 pub mod machine;
 pub mod mem;
@@ -32,6 +33,7 @@ pub mod rf;
 
 pub use bus::{Bus, BusId, DstConn, SrcConn};
 pub use fu::{FuId, FuKind, FunctionUnit};
+pub use gen::{SearchConfig, TtaParams, VliwParams};
 pub use machine::{CoreStyle, IssueSlot, LimmConfig, Machine, ModelError, ScalarPipeline};
 pub use op::{OpClass, Opcode};
 pub use rf::{RegRef, RegisterFile, RfId};

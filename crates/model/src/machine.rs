@@ -406,6 +406,72 @@ impl Machine {
         }
     }
 
+    /// Validation for *generated* configs, as produced by the design-space
+    /// search mutator ([`crate::gen`]): everything [`Machine::validate`]
+    /// checks, plus the stronger invariants the compiler needs to make
+    /// progress on arbitrary kernels. A hand-written machine may
+    /// legitimately violate these (e.g. an ALU-only datapath for a
+    /// load-free guest); a machine the mutator feeds to the full kernel
+    /// suite may not.
+    pub fn validate_generated(&self) -> Result<(), Vec<ModelError>> {
+        let mut errs = match self.validate() {
+            Ok(()) => Vec::new(),
+            Err(e) => e,
+        };
+        let mut err = |m: String| errs.push(ModelError(m));
+
+        // The kernel suite needs arithmetic and memory traffic.
+        if !self.funits.iter().any(|f| f.kind == FuKind::Alu) {
+            err("generated config has no ALU".into());
+        }
+        if !self.funits.iter().any(|f| f.kind == FuKind::Lsu) {
+            err("generated config has no LSU".into());
+        }
+        if !(1..=3).contains(&self.issue_width) {
+            err(format!(
+                "generated config has issue width {} outside 1..=3",
+                self.issue_width
+            ));
+        }
+        // Register allocation must have head room; the smallest paper RF
+        // is 32 registers and the allocator's spill machinery is tuned
+        // for that floor.
+        if self.total_regs() < 32 {
+            err(format!(
+                "generated config has only {} registers (minimum 32)",
+                self.total_regs()
+            ));
+        }
+        // A VLIW slot reads up to two operands and writes one result per
+        // cycle; fewer aggregate ports than the issue contract can
+        // demand would wedge the scheduler (RF ports < connectivity
+        // needs). TTA needs no such rule — that asymmetry is the paper's
+        // point — its per-port reachability is checked by `validate`.
+        if self.style == CoreStyle::Vliw {
+            let slots = self.slots.len() as u32;
+            if self.total_read_ports() < 2 * slots {
+                err(format!(
+                    "generated VLIW has {} read ports for {} slots (needs 2 per slot)",
+                    self.total_read_ports(),
+                    slots
+                ));
+            }
+            if self.total_write_ports() < slots {
+                err(format!(
+                    "generated VLIW has {} write ports for {} slots (needs 1 per slot)",
+                    self.total_write_ports(),
+                    slots
+                ));
+            }
+        }
+
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs)
+        }
+    }
+
     /// Classes of operations the machine can execute at all.
     pub fn supported_classes(&self) -> Vec<OpClass> {
         let mut v: Vec<OpClass> = self.funits.iter().map(|f| f.kind.op_class()).collect();
@@ -469,6 +535,58 @@ mod tests {
         let mut m = presets::m_vliw_2();
         m.slots[0].units.clear();
         assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn generated_validation_accepts_all_presets_except_scalar_port_rule() {
+        // Every multi-issue preset satisfies the generated-config rules.
+        for m in presets::all_design_points() {
+            if m.style != CoreStyle::Scalar {
+                m.validate_generated()
+                    .unwrap_or_else(|e| panic!("{}: {e:?}", m.name));
+            }
+        }
+    }
+
+    #[test]
+    fn generated_validation_rejects_missing_alu_and_lsu() {
+        let mut m = presets::m_tta_1();
+        m.funits.retain(|f| f.kind != FuKind::Alu);
+        let errs = m.validate_generated().unwrap_err();
+        assert!(errs.iter().any(|e| e.0.contains("no ALU")), "{errs:?}");
+
+        let mut m = presets::m_tta_1();
+        m.funits.retain(|f| f.kind != FuKind::Lsu);
+        let errs = m.validate_generated().unwrap_err();
+        assert!(errs.iter().any(|e| e.0.contains("no LSU")), "{errs:?}");
+    }
+
+    #[test]
+    fn generated_validation_rejects_zero_buses() {
+        let mut m = presets::m_tta_2();
+        m.buses.clear();
+        let errs = m.validate_generated().unwrap_err();
+        assert!(errs.iter().any(|e| e.0.contains("no buses")), "{errs:?}");
+    }
+
+    #[test]
+    fn generated_validation_rejects_starved_vliw_ports() {
+        // Two slots need 4 read / 2 write ports; halve the RF.
+        let mut m = presets::m_vliw_2();
+        m.rfs = vec![RegisterFile::new("rf0", 64, 2, 1)];
+        let errs = m.validate_generated().unwrap_err();
+        assert!(errs.iter().any(|e| e.0.contains("read ports")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.0.contains("write ports")), "{errs:?}");
+        // validate() itself is fine with it — the rule is search-specific.
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn generated_validation_rejects_tiny_register_budgets() {
+        let mut m = presets::m_tta_1();
+        m.rfs = vec![RegisterFile::new("rf0", 16, 1, 1)];
+        let errs = m.validate_generated().unwrap_err();
+        assert!(errs.iter().any(|e| e.0.contains("minimum 32")), "{errs:?}");
     }
 
     #[test]

@@ -65,6 +65,69 @@ fn push_hist(out: &mut String, h: &HistStat) {
     out.push_str(&format!("{m}_sum {}\n{m}_count {}\n", h.sum, h.count));
 }
 
+/// Escape a label *value* for the exposition format: backslash, double
+/// quote, and newline get backslash-escaped (label values, unlike metric
+/// names, may carry arbitrary text).
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render one histogram metric split into labeled series: a single
+/// `# TYPE` header for `name`, then cumulative `_bucket`/`_sum`/`_count`
+/// lines per `(label_value, stat)` entry, each carrying
+/// `{<label_key>="<label_value>"}`. Series render in the given order —
+/// pass them pre-sorted for deterministic scrapes. Empty `series`
+/// renders nothing (no dangling header).
+pub fn push_labeled_hist(
+    out: &mut String,
+    name: &str,
+    label_key: &str,
+    series: &[(String, HistStat)],
+) {
+    if series.is_empty() {
+        return;
+    }
+    let m = format!("tta_{}", sanitize(name));
+    let k = sanitize(label_key);
+    out.push_str(&format!("# TYPE {m} histogram\n"));
+    for (value, h) in series {
+        let v = escape_label_value(value);
+        let mut cumulative = 0u64;
+        for i in 0..BUCKETS {
+            cumulative = cumulative.saturating_add(h.buckets[i]);
+            if i == BUCKETS - 1 {
+                out.push_str(&format!(
+                    "{m}_bucket{{{k}=\"{v}\",le=\"+Inf\"}} {cumulative}\n"
+                ));
+            } else {
+                let le = hist::bucket_bound(i);
+                out.push_str(&format!(
+                    "{m}_bucket{{{k}=\"{v}\",le=\"{le}\"}} {cumulative}\n"
+                ));
+                if cumulative == h.count && h.buckets[i..].iter().skip(1).all(|&b| b == 0) {
+                    out.push_str(&format!(
+                        "{m}_bucket{{{k}=\"{v}\",le=\"+Inf\"}} {cumulative}\n"
+                    ));
+                    break;
+                }
+            }
+        }
+        out.push_str(&format!(
+            "{m}_sum{{{k}=\"{v}\"}} {}\n{m}_count{{{k}=\"{v}\"}} {}\n",
+            h.sum, h.count
+        ));
+    }
+}
+
 /// Render `counters`, `gauges`, and `hists` (each already sorted by
 /// name) into one exposition document — the pure core of [`render`].
 pub fn render_parts(
@@ -193,6 +256,48 @@ mod tests {
         assert!(a.contains("le=\"7\""));
         assert!(!a.contains("le=\"15\""), "{a}");
         assert!(a.contains("le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn labeled_hist_renders_one_header_and_per_label_series() {
+        let mut fast = HistStat::new("ignored");
+        fast.observe(3);
+        fast.observe(5);
+        let mut slow = HistStat::new("ignored");
+        slow.observe(4000);
+        let mut out = String::new();
+        push_labeled_hist(
+            &mut out,
+            "serve.job.kernel_us",
+            "kernel",
+            &[("sha".into(), fast), ("aes".into(), slow)],
+        );
+        check_exposition(&out);
+        assert_eq!(
+            out.matches("# TYPE tta_serve_job_kernel_us histogram")
+                .count(),
+            1,
+            "one TYPE header for the whole family:\n{out}"
+        );
+        assert!(out.contains("tta_serve_job_kernel_us_bucket{kernel=\"sha\",le=\"+Inf\"} 2"));
+        assert!(out.contains("tta_serve_job_kernel_us_bucket{kernel=\"aes\",le=\"+Inf\"} 1"));
+        assert!(out.contains("tta_serve_job_kernel_us_sum{kernel=\"sha\"} 8"));
+        assert!(out.contains("tta_serve_job_kernel_us_count{kernel=\"aes\"} 1"));
+        // Series order follows input order (deterministic scrapes).
+        let sha_at = out.find("kernel=\"sha\"").unwrap();
+        let aes_at = out.find("kernel=\"aes\"").unwrap();
+        assert!(sha_at < aes_at);
+    }
+
+    #[test]
+    fn labeled_hist_escapes_values_and_elides_empty_input() {
+        let mut out = String::new();
+        push_labeled_hist(&mut out, "x.y", "kernel", &[]);
+        assert!(out.is_empty(), "no dangling header for empty series");
+        let mut h = HistStat::new("ignored");
+        h.observe(1);
+        push_labeled_hist(&mut out, "x.y", "kernel", &[("a\"b\\c".into(), h)]);
+        assert!(out.contains("kernel=\"a\\\"b\\\\c\""), "{out}");
     }
 
     #[test]

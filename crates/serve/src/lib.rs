@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod metrics;
 pub mod schema;
 pub mod server;
 

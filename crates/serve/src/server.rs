@@ -69,6 +69,10 @@ pub struct ServerConfig {
     pub max_timeout_ms: u64,
     /// Socket read/write timeout, milliseconds.
     pub io_timeout_ms: u64,
+    /// Scrape-time cardinality budget for the per-kernel latency series
+    /// on `/v1/metrics`: at most this many kernels get their own
+    /// `kernel="..."` label, the rest fold into `kernel="_other"`.
+    pub kernel_series_budget: usize,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +85,7 @@ impl Default for ServerConfig {
             max_jobs: 10_000,
             max_timeout_ms: 60_000,
             io_timeout_ms: 10_000,
+            kernel_series_budget: crate::metrics::DEFAULT_KERNEL_SERIES_BUDGET,
         }
     }
 }
@@ -527,7 +532,10 @@ fn handle_conn(shared: Arc<Shared>, mut stream: TcpStream) {
                 "serve.cache.entries",
                 tta_explore::cache::global().len() as i64,
             );
-            let text = obs::prom::render();
+            let mut text = obs::prom::render();
+            text.push_str(&crate::metrics::kernel_exposition(
+                shared.cfg.kernel_series_budget,
+            ));
             let _ = write_text(&mut stream, 200, "text/plain; version=0.0.4", &text);
         }
         ("GET", "/v1/debug/flight") => {
@@ -598,7 +606,9 @@ fn run_job(job: usize, trace: &str, machine: &Machine, p: &PreparedKernel) -> (J
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         eval::run_prepared(p, machine)
     }));
-    obs::hist::record("serve.job.service_us", started.elapsed().as_micros() as u64);
+    let service_us = started.elapsed().as_micros() as u64;
+    obs::hist::record("serve.job.service_us", service_us);
+    crate::metrics::record_kernel_service(p.name, service_us);
     match outcome {
         Ok(run) => {
             obs::counter::add("serve.jobs.ok", 1);

@@ -446,6 +446,51 @@ fn metrics_exposition_parses_and_changes_under_load() {
 }
 
 #[test]
+fn per_kernel_latency_series_respect_the_cardinality_budget() {
+    // Budget of 1: at most one kernel keeps its own label, everything
+    // else folds into kernel="_other" at scrape time.
+    let server = spawn_with(|c| c.kernel_series_budget = 1);
+    post_batch(
+        server.addr(),
+        &batch_body(
+            &[("mblaze-3", "sha"), ("mblaze-3", "aes"), ("m-tta-2", "gsm")],
+            None,
+        ),
+    );
+    let resp = client::get(server.addr(), "/v1/metrics", TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200);
+    let text = resp.body;
+    assert_eq!(
+        text.matches("# TYPE tta_serve_job_kernel_service_us histogram")
+            .count(),
+        1,
+        "one header for the labeled family"
+    );
+    let count_lines: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("tta_serve_job_kernel_service_us_count{kernel="))
+        .collect();
+    assert_eq!(
+        count_lines.len(),
+        2,
+        "budget 1 = one named kernel + _other:\n{count_lines:?}"
+    );
+    assert!(
+        count_lines.iter().any(|l| l.contains("kernel=\"_other\"")),
+        "{count_lines:?}"
+    );
+    let total: f64 = count_lines
+        .iter()
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<f64>().unwrap())
+        .sum();
+    assert!(
+        total >= 3.0,
+        "all three jobs accounted for across the budgeted series, got {total}"
+    );
+    server.shutdown();
+}
+
+#[test]
 fn healthz_reports_queue_cache_and_dropped_state() {
     let server = spawn();
     let resp = client::get(server.addr(), "/healthz", TIMEOUT).unwrap();
